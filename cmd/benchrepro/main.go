@@ -1,0 +1,67 @@
+// Command benchrepro regenerates every table and figure of the paper's
+// evaluation and checks each one's qualitative shape.
+//
+// Usage:
+//
+//	benchrepro                # all experiments, paper order
+//	benchrepro -exp table2    # one experiment
+//	benchrepro -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symplfied/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchrepro", flag.ContinueOnError)
+	var (
+		exp  = fs.String("exp", "all", "experiment id (fig2, fig3, table1, tcas, table2, replace, inventory) or all")
+		list = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Desc)
+		}
+		return nil
+	}
+
+	runners := experiments.All()
+	if *exp != "all" {
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	allOK := true
+	for _, r := range runners {
+		res, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Println(res.Render())
+		if !res.ShapeOK {
+			allOK = false
+		}
+	}
+	if !allOK {
+		return fmt.Errorf("one or more shape checks failed")
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	for _, exp := range []string{"fig2", "fig3", "table1", "inventory"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

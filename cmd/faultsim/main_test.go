@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestCampaign(t *testing.T) {
+	if err := run([]string{"-app", "tcas", "-n", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignExplicitRandomPerSite(t *testing.T) {
+	if err := run([]string{"-app", "tcas", "-n", "100", "-random-per-site", "2", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-app", "bogus"},
+		{"-app", "tcas", "-input", "x"},
+		{"-app", "tcas", "-outputs", "a,b"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command mips2sym translates MIPS-dialect assembly into SymPLFIED's
+// generic assembly language — the paper's architecture front end.
+//
+// Usage:
+//
+//	mips2sym prog.s            # translated program on stdout
+//	mips2sym -run -input 5 prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symplfied"
+	"symplfied/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mips2sym:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mips2sym", flag.ContinueOnError)
+	var (
+		doRun = fs.Bool("run", false, "also execute the translated program")
+		input = fs.String("input", "", "comma-separated input stream for -run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mips2sym [-run] [-input N,...] file.s")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := symplfied.TranslateMIPS(fs.Arg(0), string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.String())
+
+	if !*doRun {
+		return nil
+	}
+	in, err := cli.ParseInput(*input)
+	if err != nil {
+		return err
+	}
+	res := symplfied.Execute(prog, in, symplfied.ExecConfig{})
+	fmt.Printf("-- output: %q\n", res.Output)
+	if !res.Halted {
+		fmt.Printf("-- terminated abnormally: %v\n", res.Exception)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeMIPS(t *testing.T) string {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "p.s")
+	src := "\t.text\nmain:\n\tli $a0, 7\n\tli $v0, 1\n\tsyscall\n\tli $v0, 10\n\tsyscall\n"
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTranslate(t *testing.T) {
+	if err := run([]string{writeMIPS(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateAndRun(t *testing.T) {
+	if err := run([]string{"-run", writeMIPS(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no file accepted")
+	}
+	if err := run([]string{"/nonexistent.s"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	os.WriteFile(bad, []byte("\t.text\nmain:\n\tfoo\n"), 0o644)
+	if err := run([]string{bad}); err == nil {
+		t.Error("bad MIPS accepted")
+	}
+	if err := run([]string{"-run", "-input", "zz", writeMIPS(t)}); err == nil {
+		t.Error("bad input accepted")
+	}
+}

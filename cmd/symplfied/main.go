@@ -1,0 +1,144 @@
+// Command symplfied runs a symbolic fault-injection search: it enumerates
+// all errors of a hardware-error class that satisfy a goal (evade detection
+// and cause failure), exactly as the framework's Maude search command did in
+// the paper.
+//
+// Usage:
+//
+//	symplfied -app tcas -class register -goal wrong-advisory
+//	symplfied -app replace -class register -goal incorrect-output -tasks 312
+//	symplfied -file prog.sym -input 5 -class control -goal crash -traces 1
+//
+// With -tasks > 1 the search is decomposed cluster-style (paper Section 6.1)
+// over a worker pool; otherwise it runs sequentially.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symplfied"
+	"symplfied/internal/cli"
+	"symplfied/internal/query"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "symplfied:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("symplfied", flag.ContinueOnError)
+	var (
+		file      = fs.String("file", "", "assembly file to analyze")
+		app       = fs.String("app", "", "built-in application: factorial | factorial-detectors | tcas | replace")
+		isMIPS    = fs.Bool("mips", false, "treat -file as MIPS-dialect assembly")
+		input     = fs.String("input", "", "comma-separated input stream (default: the app's canonical input)")
+		className = fs.String("class", "register", "error class: register | memory | control | decode")
+		goalName  = fs.String("goal", "incorrect-output", "goal: err-output | incorrect-output | wrong-advisory | crash | hang")
+		watchdog  = fs.Int("watchdog", 0, "per-path instruction bound (0: default)")
+		budget    = fs.Int("budget", 0, "state budget per injection or per task (0: default)")
+		findings  = fs.Int("findings", 10, "findings cap per injection/task (0: unlimited)")
+		tasks     = fs.Int("tasks", 1, "decompose into N cluster-style tasks")
+		workers   = fs.Int("workers", 0, "worker pool size for -tasks (0: GOMAXPROCS)")
+		traces    = fs.Int("traces", 0, "print the decision trace of the first N findings")
+		noAffine  = fs.Bool("no-affine", false, "disable the affine constraint solver (paper-strict propagation)")
+		graphOut  = fs.String("graph", "", "write the search graph of the first finding's injection to this Graphviz file")
+		graphMax  = fs.Int("graph-nodes", 0, "node cap for -graph (0: default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	unit, err := cli.LoadUnit(*file, *app, *isMIPS)
+	if err != nil {
+		return err
+	}
+	in, err := cli.ParseInput(*input)
+	if err != nil {
+		return err
+	}
+	if in == nil {
+		in = cli.DefaultInput(*app)
+	}
+	class, ok := query.ClassByName(*className)
+	if !ok {
+		return fmt.Errorf("unknown error class %q", *className)
+	}
+	goal, ok := query.GoalByName(*goalName)
+	if !ok {
+		return fmt.Errorf("unknown goal %q", *goalName)
+	}
+
+	spec := symplfied.SearchSpec{
+		Unit:                unit,
+		Input:               in,
+		Class:               class,
+		Goal:                goal,
+		Watchdog:            *watchdog,
+		StateBudget:         *budget,
+		MaxFindings:         *findings,
+		DisableAffineSolver: *noAffine,
+	}
+
+	var found []symplfied.Finding
+	if *tasks > 1 {
+		reports, sum, err := symplfied.Study(spec, symplfied.StudyConfig{
+			Tasks:              *tasks,
+			TaskStateBudget:    *budget,
+			MaxFindingsPerTask: *findings,
+			Workers:            *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tasks: %d launched, %d completed (%d empty, %d with findings), %d incomplete\n",
+			sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
+		fmt.Printf("states explored: %d over %d injections\n", sum.TotalStates, sum.TotalInjections)
+		for _, r := range reports {
+			if r.Err != nil {
+				return fmt.Errorf("task %d: %w", r.TaskID, r.Err)
+			}
+		}
+		found = sum.Findings
+	} else {
+		rep, err := symplfied.Search(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("injections: %d (%d not activated), states explored: %d\n",
+			len(rep.Spec.Injections), rep.NotActivated, rep.TotalStates)
+		fmt.Printf("terminal outcomes: %v\n", rep.Outcomes)
+		if rep.BudgetBlown > 0 {
+			fmt.Printf("warning: %d injections exhausted their state budget (findings are a sound subset)\n", rep.BudgetBlown)
+		}
+		found = rep.Findings
+	}
+
+	fmt.Printf("findings (%s, goal %s): %d\n", class, goal, len(found))
+	for i, f := range found {
+		fmt.Printf("  [%d] %s\n", i+1, f.Describe())
+		if i < *traces {
+			fmt.Println("      trace:")
+			for _, e := range f.State.Trace.Events() {
+				fmt.Printf("        %s\n", e)
+			}
+		}
+	}
+
+	if *graphOut != "" && len(found) > 0 {
+		g, err := symplfied.ExploreSearchGraph(spec, found[0].Injection, *graphMax)
+		if err != nil {
+			return fmt.Errorf("graph: %w", err)
+		}
+		if err := os.WriteFile(*graphOut, []byte(g.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("search graph (%d states, truncated=%v) written to %s\n",
+			len(g.Nodes), g.Truncated, *graphOut)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSequentialSearch(t *testing.T) {
+	err := run([]string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "err-output",
+		"-watchdog", "400", "-findings", "2", "-traces", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposedStudy(t *testing.T) {
+	err := run([]string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "incorrect-output",
+		"-watchdog", "400", "-tasks", "4", "-budget", "20000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectedGoal(t *testing.T) {
+	err := run([]string{
+		"-app", "factorial-detectors", "-input", "5",
+		"-class", "register", "-goal", "detected", "-watchdog", "400",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoAffineAblation(t *testing.T) {
+	err := run([]string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "err-output",
+		"-watchdog", "400", "-no-affine", "-findings", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphOutput(t *testing.T) {
+	dot := t.TempDir() + "/g.dot"
+	err := run([]string{
+		"-app", "factorial", "-input", "3",
+		"-class", "register", "-goal", "err-output",
+		"-watchdog", "200", "-findings", "1",
+		"-graph", dot, "-graph-nodes", "500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph symplfied") {
+		t.Errorf("graph file content %q", string(data[:60]))
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-app", "factorial", "-class", "quantum"},
+		{"-app", "factorial", "-goal", "nonsense"},
+		{"-app", "bogus"},
+		{"-app", "factorial", "-input", "zz"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command symrun executes a SymPLFIED assembly program concretely on the
+// machine model.
+//
+// Usage:
+//
+//	symrun -file prog.sym -input 5,3
+//	symrun -app factorial -input 5
+//	symrun -file prog.s -mips -input 4
+//
+// The program's output stream, termination status and instruction count are
+// printed. With -list-asm the assembled program is printed instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symplfied"
+	"symplfied/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "symrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("symrun", flag.ContinueOnError)
+	var (
+		file     = fs.String("file", "", "assembly file to execute")
+		app      = fs.String("app", "", "built-in application: factorial | factorial-detectors | tcas | replace")
+		isMIPS   = fs.Bool("mips", false, "treat -file as MIPS-dialect assembly")
+		input    = fs.String("input", "", "comma-separated integer input stream (default: the app's canonical input)")
+		watchdog = fs.Int("watchdog", 0, "instruction bound (0: default)")
+		list     = fs.Bool("list-asm", false, "print the assembled program instead of running it")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	unit, err := cli.LoadUnit(*file, *app, *isMIPS)
+	if err != nil {
+		return err
+	}
+	if *list {
+		fmt.Print(unit.Program.String())
+		return nil
+	}
+	in, err := cli.ParseInput(*input)
+	if err != nil {
+		return err
+	}
+	if in == nil {
+		in = cli.DefaultInput(*app)
+	}
+
+	res := symplfied.Execute(unit.Program, in, symplfied.ExecConfig{
+		Watchdog:  *watchdog,
+		Detectors: unit.Detectors,
+	})
+	fmt.Printf("output: %q\n", res.Output)
+	if res.Halted {
+		fmt.Printf("halted normally after %d instructions\n", res.Steps)
+		return nil
+	}
+	fmt.Printf("terminated abnormally after %d instructions: %v\n", res.Steps, res.Exception)
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunApp(t *testing.T) {
+	if err := run([]string{"-app", "factorial", "-input", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDefaultsInput(t *testing.T) {
+	if err := run([]string{"-app", "tcas"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "p.sym")
+	if err := os.WriteFile(f, []byte("\tread $1\n\tprint $1\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", f, "-input", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMIPSFile(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "p.s")
+	src := "\t.text\nmain:\n\tli $a0, 7\n\tli $v0, 1\n\tsyscall\n\tli $v0, 10\n\tsyscall\n"
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", f, "-mips"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListAsm(t *testing.T) {
+	if err := run([]string{"-app", "factorial", "-list-asm"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAbnormalTerminationReported(t *testing.T) {
+	// Reading with no input throws; the tool reports it without erroring.
+	if err := run([]string{"-app", "factorial"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-app", "bogus"},
+		{"-app", "factorial", "-input", "x"},
+		{"-file", "/nonexistent.sym"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

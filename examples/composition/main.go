@@ -1,0 +1,76 @@
+// Composition: the paper's hierarchical analysis sketch (Section 3.4) made
+// concrete. A detector-protected component is proven resilient in isolation;
+// its injections are then discharged from the whole-program search, which
+// localizes the remaining escaping errors in the unprotected code — "first
+// the detection mechanisms deployed in small components are proved to
+// protect that component from errors of a particular class, and then
+// inter-component interactions are considered".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symplfied"
+)
+
+// The program computes a checked sum (protected component), then scales and
+// emits it through unprotected code.
+const source = `
+-- component "checked-sum": compute and verify against the golden value
+	li $1 3
+	li $2 4
+	add $3 $1 $2
+	check ($3 == 7)
+-- unprotected tail: scale and print
+	multi $4 $3 10
+	print $4
+	halt
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	unit, err := symplfied.Assemble("composed", source)
+	if err != nil {
+		return err
+	}
+	spec := symplfied.SearchSpec{
+		Unit:     unit,
+		Class:    symplfied.ClassRegister,
+		Goal:     symplfied.GoalIncorrectOutput,
+		Watchdog: 100,
+	}
+
+	// Flat analysis: the whole injection space at once.
+	flat, err := symplfied.Search(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flat search: %d injections, %d states, verdict %s, %d findings\n",
+		len(flat.Spec.Injections), flat.TotalStates, flat.Verdict(), len(flat.Findings))
+
+	// Compositional: prove the checked component, prune, search the rest.
+	rep, proofs, err := symplfied.SearchComposed(spec, []symplfied.Component{
+		{Name: "checked-sum", Lo: 0, Hi: 3},
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range proofs {
+		fmt.Printf("component %q [%d..%d]: verdict %s (%d states)\n",
+			p.Component.Name, p.Component.Lo, p.Component.Hi, p.Verdict, p.Report.TotalStates)
+	}
+	fmt.Printf("composed remainder: %d injections, %d states, verdict %s\n",
+		len(rep.Spec.Injections), rep.TotalStates, rep.Verdict())
+	for _, f := range rep.Findings {
+		fmt.Printf("  escaping (unprotected tail): %s\n", f.Describe())
+	}
+	fmt.Println("\nevery escaping error localizes in the unprotected tail; the proven")
+	fmt.Println("component's injections were discharged without re-exploration.")
+	return nil
+}

@@ -1,0 +1,81 @@
+// Replace: the paper's Section 6.4 scalability study subject. This example
+// reproduces the reported scenario: a transient error corrupting the
+// delimiter parameter passed to dodash (the character-range expander inside
+// pattern construction) builds an erroneous pattern, so the pattern match
+// fails and the program emits the line without the intended substitution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symplfied"
+	"symplfied/internal/apps/replace"
+	"symplfied/internal/isa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		pattern = "[ab]c]"
+		subst   = "X"
+		line    = "qac]q"
+	)
+	unit := &symplfied.Unit{Program: replace.Program()}
+	input := replace.Input(pattern, subst, line)
+
+	ref := symplfied.Execute(unit.Program, input, symplfied.ExecConfig{})
+	fmt.Printf("pattern %q, substitution %q, line %q\n", pattern, subst, line)
+	fmt.Printf("fault-free output: %q (%d instructions)\n\n", decode(ref.Values), ref.Steps)
+
+	callPC, err := replace.DodashDelimCallPC(unit.Program)
+	if err != nil {
+		return err
+	}
+	rep, err := symplfied.Search(symplfied.SearchSpec{
+		Unit:  unit,
+		Input: input,
+		Injections: []symplfied.Injection{{
+			Class: symplfied.ClassRegister,
+			PC:    callPC,
+			Loc:   isa.RegLoc(4), // the delimiter argument register
+		}},
+		Goal:     symplfied.GoalIncorrectOutput,
+		Watchdog: 200_000,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("symbolic error in dodash's delimiter parameter: %d incorrect outcomes\n", len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Printf("  output %q\n    symbolic state: %s\n", decode(f.State.OutputValues()), f.State.Sym.Describe())
+	}
+	fmt.Println("\nthe forks where the erroneous delimiter stops the class early build a wrong")
+	fmt.Println("pattern: the intended match \"ac]\" fails and the line passes through unsubstituted.")
+	return nil
+}
+
+// decode renders printed character codes as text (err values as <err>).
+func decode(vals []symplfied.Value) string {
+	out := ""
+	for _, v := range vals {
+		if c, ok := v.Concrete(); ok {
+			if c >= 32 && c < 127 {
+				out += string(rune(c))
+			} else if c == 10 {
+				out += "\\n"
+			} else {
+				out += fmt.Sprintf("<%d>", c)
+			}
+		} else {
+			out += "<err>"
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module symplfied
+
+go 1.22

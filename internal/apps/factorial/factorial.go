@@ -1,0 +1,113 @@
+// Package factorial provides the paper's running example (Section 4): a
+// program computing n! in the generic assembly language, in plain form
+// (Figure 2) and in detector-protected form (Figure 3). It also provides a
+// Go oracle for expected outputs.
+package factorial
+
+import (
+	"symplfied/internal/asm"
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// SourcePlain is the paper's Figure 2 program, verbatim modulo assembler
+// syntax: p in $2, input i in $1, loop counter in $3.
+const SourcePlain = `
+	ori $2 $0 #1        -- initial product p = 1
+	read $1             -- read i from input
+	mov $3 $1
+	ori $4 $0 #1        -- for comparison purposes
+loop:	setgt $5 $3 $4      -- start of loop
+	beq $5 0 exit       -- loop condition: $3 > $4
+	mult $2 $2 $3       -- p = p * i
+	subi $3 $3 #1       -- i = i - 1
+	beq $0 0 loop       -- loop backedge
+exit:	prints "Factorial = "
+	print $2
+	halt
+`
+
+// SourceDetectors is the paper's Figure 3 program: the same computation
+// augmented with two detectors (and the supporting mov on line 8).
+const SourceDetectors = `
+	ori $2 $0 #1        -- initial product p = 1
+	read $1             -- read i from input
+	mov $3 $1
+	ori $4 $0 #1        -- for comparison purposes
+loop:	setgt $5 $3 $4      -- start of loop
+	beq $5 0 exit
+	check ($4 < $3)
+	mov $6 $2
+	mult $2 $2 $3       -- p = p * i
+	check ($2 >= $6 * $1)
+	subi $3 $3 #1       -- i = i - 1
+	beq $0 0 loop       -- loop backedge
+exit:	prints "Factorial = "
+	print $2
+	halt
+`
+
+// SourceDetectorsExact is a corrected variant of Figure 3 whose second
+// detector checks the exact multiplicative invariant $2 == $6 * $3 (the value
+// just computed), so that fault-free executions never trigger it. The
+// paper's literal Figure 3 detector ($2 >= $6 * $1) is purely illustrative
+// and fires on clean runs from the second loop iteration on.
+const SourceDetectorsExact = `
+	ori $2 $0 #1        -- initial product p = 1
+	read $1             -- read i from input
+	mov $3 $1
+	ori $4 $0 #1        -- for comparison purposes
+loop:	setgt $5 $3 $4      -- start of loop
+	beq $5 0 exit
+	check ($4 < $3)
+	mov $6 $2
+	mult $2 $2 $3       -- p = p * i
+	check ($2 == $6 * $3)
+	subi $3 $3 #1       -- i = i - 1
+	beq $0 0 loop       -- loop backedge
+exit:	prints "Factorial = "
+	print $2
+	halt
+`
+
+// Plain assembles the Figure 2 program.
+func Plain() *isa.Program {
+	return asm.MustParse("factorial", SourcePlain).Program
+}
+
+// WithDetectors assembles the Figure 3 program and its two detectors.
+func WithDetectors() (*isa.Program, *detector.Table) {
+	u := asm.MustParse("factorial-detectors", SourceDetectors)
+	return u.Program, u.Detectors
+}
+
+// WithExactDetectors assembles the corrected detector variant (see
+// SourceDetectorsExact).
+func WithExactDetectors() (*isa.Program, *detector.Table) {
+	u := asm.MustParse("factorial-detectors-exact", SourceDetectorsExact)
+	return u.Program, u.Detectors
+}
+
+// SubiPC returns the instruction index of the "subi $3 $3 #1" loop decrement
+// in prog — the paper's injection point (Section 4.1: "a fault occurs in
+// register $3 ... after the loop counter is decremented"). ok is false if the
+// program contains no such instruction.
+func SubiPC(prog *isa.Program) (int, bool) {
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		if in.Op == isa.OpSubi && in.Rd == 3 && in.Rs == 3 && in.Imm == 1 {
+			return pc, true
+		}
+	}
+	return 0, false
+}
+
+// Oracle computes n! as the program would (product over n..2 downward;
+// 64-bit wraparound semantics match the machine's).
+func Oracle(n int64) int64 {
+	p := int64(1)
+	for i := n; i > 1; i-- {
+		p *= i
+	}
+	return p
+}

@@ -1,0 +1,118 @@
+package factorial
+
+import (
+	"strings"
+	"testing"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+func TestPlainComputesFactorial(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 3, 5, 10, 12} {
+		m := machine.New(Plain(), []int64{n}, machine.Options{})
+		res := m.Run()
+		if res.Status != machine.StatusHalted {
+			t.Fatalf("n=%d: status %v (exception %v)", n, res.Status, res.Exception)
+		}
+		vals := machine.OutputValues(res.Output)
+		if len(vals) != 1 {
+			t.Fatalf("n=%d: want 1 printed value, got %v", n, vals)
+		}
+		got, ok := vals[0].Concrete()
+		if !ok || got != Oracle(n) {
+			t.Errorf("n=%d: printed %v, want %d", n, vals[0], Oracle(n))
+		}
+		if want := "Factorial = "; !strings.HasPrefix(machine.RenderOutput(res.Output), want) {
+			t.Errorf("n=%d: output %q lacks prefix %q", n, machine.RenderOutput(res.Output), want)
+		}
+	}
+}
+
+// TestWithDetectorsPaperLiteral documents the behaviour of the paper's
+// literal Figure 3 program: its second detector ($2 >= $6 * $1) is
+// illustrative rather than sound — on a clean run with input > 1 it fires in
+// the second loop iteration, because p*current < p*input once current has
+// been decremented.
+func TestWithDetectorsPaperLiteral(t *testing.T) {
+	prog, dets := WithDetectors()
+	if dets.Len() != 2 {
+		t.Fatalf("want 2 detectors, got %d", dets.Len())
+	}
+
+	// Input 1 skips the loop body entirely: no check executes, clean halt.
+	m := machine.New(prog, []int64{1}, machine.Options{Detectors: dets})
+	res := m.Run()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("input 1: status %v (exception %v)", res.Status, res.Exception)
+	}
+	vals := machine.OutputValues(res.Output)
+	if len(vals) != 1 || !vals[0].Equal(isa.Int(1)) {
+		t.Fatalf("input 1: printed %v, want [1]", vals)
+	}
+
+	// Input 5 reaches the literal detector's over-strict condition.
+	m = machine.New(prog, []int64{5}, machine.Options{Detectors: dets})
+	res = m.Run()
+	if res.Status != machine.StatusExcepted || res.Exception.Kind != isa.ExcDetected {
+		t.Fatalf("input 5: want detection by literal Figure 3 detector, got %v (%v)", res.Status, res.Exception)
+	}
+}
+
+func TestWithExactDetectorsCleanRunPasses(t *testing.T) {
+	prog, dets := WithExactDetectors()
+	if dets.Len() != 2 {
+		t.Fatalf("want 2 detectors, got %d", dets.Len())
+	}
+	m := machine.New(prog, []int64{5}, machine.Options{Detectors: dets})
+	res := m.Run()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("status %v (exception %v)", res.Status, res.Exception)
+	}
+	vals := machine.OutputValues(res.Output)
+	if len(vals) != 1 || !vals[0].Equal(isa.Int(120)) {
+		t.Fatalf("printed %v, want [120]", vals)
+	}
+}
+
+func TestSubiPC(t *testing.T) {
+	if _, ok := SubiPC(Plain()); !ok {
+		t.Error("SubiPC not found in plain program")
+	}
+	prog, _ := WithDetectors()
+	if _, ok := SubiPC(prog); !ok {
+		t.Error("SubiPC not found in detector program")
+	}
+}
+
+// TestSymbolicMatchesConcreteWithoutFaults checks that in the absence of
+// injected errors the symbolic executor is deterministic and agrees with the
+// concrete machine (the machine model is "completely deterministic",
+// Section 5.1).
+func TestSymbolicMatchesConcreteWithoutFaults(t *testing.T) {
+	prog := Plain()
+	st := symexec.NewState(prog, nil, []int64{5}, symexec.DefaultOptions())
+	for st.Running() {
+		succs := st.Successors()
+		if len(succs) != 1 {
+			t.Fatalf("fault-free execution forked: %d successors at pc %d", len(succs), st.PC)
+		}
+		st = succs[0]
+	}
+	if st.Outcome() != symexec.OutcomeNormal {
+		t.Fatalf("outcome %v, want normal", st.Outcome())
+	}
+	if got, want := st.OutputString(), "Factorial = 120"; got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+
+	m := machine.New(prog, []int64{5}, machine.Options{})
+	res := m.Run()
+	if machine.RenderOutput(res.Output) != st.OutputString() {
+		t.Fatalf("symbolic output %q != concrete output %q", st.OutputString(), machine.RenderOutput(res.Output))
+	}
+	if res.Steps != st.Steps {
+		t.Fatalf("symbolic steps %d != concrete steps %d", st.Steps, res.Steps)
+	}
+}

@@ -1,0 +1,390 @@
+// Package replace reproduces the paper's scalability study subject
+// (Section 6.4): the Siemens-suite "replace" program, "the largest of the
+// Siemens benchmarks", which matches a pattern in an input line and replaces
+// it with a substitution string. The pattern language is the Software Tools
+// text-pattern language: literal characters, ? (any), % (beginning of line),
+// $ (end of line), [...] character classes with ^ negation and - ranges,
+// * closure, @ escapes, and & (ditto) in the substitution.
+//
+// The package provides a Go oracle transcribed from the Siemens replace.c
+// (the functions of the paper's Table 3 — makepat, getccl, dodash, amatch,
+// locate — plus their support routines) and an assembly implementation of
+// the same pipeline with genuine recursion for closure backtracking.
+//
+// Strings are sequences of int64 character codes terminated by ENDSTR (0);
+// lines conventionally end with a NEWLINE before the terminator.
+package replace
+
+// Pattern-language character codes (Software Tools / Siemens replace.c).
+const (
+	ENDSTR  = 0
+	NEWLINE = 10
+	TAB     = 9
+
+	ESCAPE  = '@'
+	CLOSURE = '*'
+	BOL     = '%'
+	EOL     = '$'
+	ANY     = '?'
+	CCL     = '['
+	CCLEND  = ']'
+	NEGATE  = '^'
+	NCCL    = '!'
+	LITCHAR = 'c'
+	DITTO   = -1
+	DASH    = '-'
+	AMPER   = '&'
+
+	MAXSTR  = 100
+	CLOSIZE = 1
+)
+
+// Str converts a Go string to a terminated code sequence.
+func Str(s string) []int64 {
+	out := make([]int64, 0, len(s)+1)
+	for _, r := range s {
+		out = append(out, int64(r))
+	}
+	return append(out, ENDSTR)
+}
+
+// Line is Str plus a trailing newline before the terminator (the Software
+// Tools line convention that $ matches against).
+func Line(s string) []int64 {
+	out := make([]int64, 0, len(s)+2)
+	for _, r := range s {
+		out = append(out, int64(r))
+	}
+	return append(out, NEWLINE, ENDSTR)
+}
+
+// Render converts a code sequence (no terminator) back to a Go string.
+func Render(codes []int64) string {
+	out := make([]rune, 0, len(codes))
+	for _, c := range codes {
+		out = append(out, rune(c))
+	}
+	return string(out)
+}
+
+func isalnum(c int64) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// addstr appends c to dest at *j if it fits in maxset (replace.c addstr).
+func addstr(c int64, dest []int64, j *int64, maxset int64) bool {
+	if *j >= maxset {
+		return false
+	}
+	dest[*j] = c
+	*j++
+	return true
+}
+
+// esc interprets an @-escape at s[*i] (replace.c esc).
+func esc(s []int64, i *int64) int64 {
+	if s[*i] != ESCAPE {
+		return s[*i]
+	}
+	if s[*i+1] == ENDSTR {
+		return ESCAPE
+	}
+	*i++
+	switch s[*i] {
+	case 'n':
+		return NEWLINE
+	case 't':
+		return TAB
+	default:
+		return s[*i]
+	}
+}
+
+// dodash expands dash ranges inside a character class (replace.c dodash).
+// This is the function whose delimiter parameter the paper's Section 6.4
+// example scenario corrupts.
+func dodash(delim int64, src []int64, i *int64, dest []int64, j *int64, maxset int64) {
+	for src[*i] != delim && src[*i] != ENDSTR {
+		switch {
+		case src[*i] == ESCAPE:
+			addstr(esc(src, i), dest, j, maxset)
+		case src[*i] != DASH:
+			addstr(src[*i], dest, j, maxset)
+		case *j <= 1 || src[*i+1] == ENDSTR:
+			addstr(DASH, dest, j, maxset)
+		case isalnum(src[*i-1]) && isalnum(src[*i+1]) && src[*i-1] <= src[*i+1]:
+			for k := src[*i-1] + 1; k <= src[*i+1]; k++ {
+				addstr(k, dest, j, maxset)
+			}
+			*i++
+		default:
+			addstr(DASH, dest, j, maxset)
+		}
+		*i++
+	}
+}
+
+// getccl parses a [...] class into pat (replace.c getccl).
+func getccl(arg []int64, i *int64, pat []int64, j *int64) bool {
+	*i++ // skip over [
+	if arg[*i] == NEGATE {
+		addstr(NCCL, pat, j, MAXSTR)
+		*i++
+	} else {
+		addstr(CCL, pat, j, MAXSTR)
+	}
+	jstart := *j
+	addstr(0, pat, j, MAXSTR)
+	dodash(CCLEND, arg, i, pat, j, MAXSTR)
+	pat[jstart] = *j - jstart - 1
+	return arg[*i] == CCLEND
+}
+
+// stclose rewrites the last pattern element as a closure (replace.c stclose).
+func stclose(pat []int64, j *int64, lastj int64) {
+	for jt := *j - 1; jt >= lastj; jt-- {
+		jp := jt + CLOSIZE
+		addstr(pat[jt], pat, &jp, MAXSTR)
+	}
+	*j += CLOSIZE
+	pat[lastj] = CLOSURE
+}
+
+// inSet2 reports pattern codes a closure may not follow (replace.c in_set_2).
+func inSet2(c int64) bool { return c == BOL || c == EOL || c == CLOSURE }
+
+// Makepat encodes the pattern in arg (from index start to delim) into pat,
+// returning the index of the delimiter, or 0 on error (replace.c makepat).
+func Makepat(arg []int64, start, delim int64, pat []int64) int64 {
+	var (
+		i     = start
+		j     int64
+		lastj int64
+		done  bool
+	)
+	for !done && arg[i] != delim && arg[i] != ENDSTR {
+		lj := j
+		switch {
+		case arg[i] == ANY:
+			addstr(ANY, pat, &j, MAXSTR)
+		case arg[i] == BOL && i == start:
+			addstr(BOL, pat, &j, MAXSTR)
+		case arg[i] == EOL && arg[i+1] == delim:
+			addstr(EOL, pat, &j, MAXSTR)
+		case arg[i] == CCL:
+			done = !getccl(arg, &i, pat, &j)
+		case arg[i] == CLOSURE && i > start:
+			lj = lastj
+			if inSet2(pat[lj]) {
+				done = true
+			} else {
+				stclose(pat, &j, lastj)
+			}
+		default:
+			addstr(LITCHAR, pat, &j, MAXSTR)
+			addstr(esc(arg, &i), pat, &j, MAXSTR)
+		}
+		lastj = lj
+		if !done {
+			i++
+		}
+	}
+	junk := addstr(ENDSTR, pat, &j, MAXSTR)
+	if done || arg[i] != delim || !junk {
+		return 0
+	}
+	return i
+}
+
+// Makesub encodes the substitution in arg into sub (replace.c makesub).
+func Makesub(arg []int64, from, delim int64, sub []int64) int64 {
+	var (
+		i = from
+		j int64
+	)
+	for arg[i] != delim && arg[i] != ENDSTR {
+		if arg[i] == AMPER {
+			addstr(DITTO, sub, &j, MAXSTR)
+		} else {
+			addstr(esc(arg, &i), sub, &j, MAXSTR)
+		}
+		i++
+	}
+	if arg[i] != delim {
+		return 0
+	}
+	if !addstr(ENDSTR, sub, &j, MAXSTR) {
+		return 0
+	}
+	return i
+}
+
+// patsize returns the encoded size of the pattern element at n (replace.c
+// patsize). Unknown codes return -1 (replace.c calls Caseerror).
+func patsize(pat []int64, n int64) int64 {
+	switch pat[n] {
+	case LITCHAR:
+		return 2
+	case BOL, EOL, ANY:
+		return 1
+	case CCL, NCCL:
+		return pat[n+1] + 2
+	case CLOSURE:
+		return CLOSIZE
+	default:
+		return -1
+	}
+}
+
+// Locate searches a class body for c (replace.c locate; paper Table 3:
+// "called by amatch to find whether the pattern appears at a string index").
+func Locate(c int64, pat []int64, offset int64) bool {
+	for i := offset + pat[offset]; i > offset; i-- {
+		if c == pat[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// omatch matches a single pattern element at lin[*i] (replace.c omatch).
+func omatch(lin []int64, i *int64, pat []int64, j int64) bool {
+	if lin[*i] == ENDSTR {
+		return false
+	}
+	advance := int64(-1)
+	switch pat[j] {
+	case LITCHAR:
+		if lin[*i] == pat[j+1] {
+			advance = 1
+		}
+	case BOL:
+		if *i == 0 {
+			advance = 0
+		}
+	case ANY:
+		if lin[*i] != NEWLINE {
+			advance = 1
+		}
+	case EOL:
+		if lin[*i] == NEWLINE {
+			advance = 0
+		}
+	case CCL:
+		if Locate(lin[*i], pat, j+1) {
+			advance = 1
+		}
+	case NCCL:
+		if lin[*i] != NEWLINE && !Locate(lin[*i], pat, j+1) {
+			advance = 1
+		}
+	}
+	if advance >= 0 {
+		*i += advance
+		return true
+	}
+	return false
+}
+
+// Amatch matches the whole pattern anchored at offset, returning the index
+// just past the match or -1 (replace.c amatch; paper Table 3: "returns the
+// position where pattern matched"). Closure backtracking recurses.
+func Amatch(lin []int64, offset int64, pat []int64, j int64) int64 {
+	for pat[j] != ENDSTR {
+		if pat[j] == CLOSURE {
+			j += patsize(pat, j) // step over CLOSURE
+			i := offset
+			// Match as many as possible.
+			for lin[i] != ENDSTR {
+				if !omatch(lin, &i, pat, j) {
+					break
+				}
+			}
+			// Shrink the closure by one after each failure of the rest.
+			var k int64 = -1
+			for i >= offset {
+				k = Amatch(lin, i, pat, j+patsize(pat, j))
+				if k >= 0 {
+					break
+				}
+				i--
+			}
+			return k
+		}
+		if !omatch(lin, &offset, pat, j) {
+			return -1
+		}
+		j += patsize(pat, j)
+	}
+	return offset
+}
+
+// putsub emits the substitution for lin[s1:s2] (replace.c putsub).
+func putsub(lin []int64, s1, s2 int64, sub []int64, out *[]int64) {
+	for i := int64(0); sub[i] != ENDSTR; i++ {
+		if sub[i] == DITTO {
+			for j := s1; j < s2; j++ {
+				*out = append(*out, lin[j])
+			}
+		} else {
+			*out = append(*out, sub[i])
+		}
+	}
+}
+
+// Subline rewrites one line through the pattern and substitution (replace.c
+// subline), returning the emitted character codes.
+func Subline(lin []int64, pat []int64, sub []int64) []int64 {
+	var (
+		out   []int64
+		lastm = int64(-1)
+		i     int64
+	)
+	for lin[i] != ENDSTR {
+		m := Amatch(lin, i, pat, 0)
+		if m >= 0 && lastm != m {
+			putsub(lin, i, m, sub, &out)
+			lastm = m
+		}
+		if m == -1 || m == i {
+			out = append(out, lin[i])
+			i++
+		} else {
+			i = m
+		}
+	}
+	return out
+}
+
+// Oracle runs the full pipeline on a pattern, substitution and line (all as
+// Go strings), mirroring the assembly driver: an illegal pattern or
+// substitution emits a -2 or -3 marker respectively (and sets ok=false), and
+// the line is then still processed with the partially-built encoding — the
+// behaviour behind the paper's Section 6.4 scenario, where an erroneously
+// constructed pattern "leads to a failure in the pattern match" and the
+// program "returns the original string without the substitution".
+func Oracle(pattern, substitution, line string) (out []int64, ok bool) {
+	return OracleLines(pattern, substitution, line)
+}
+
+// OracleLines is Oracle over several input lines, mirroring the driver's
+// change() loop (replace.c processes standard input line by line).
+func OracleLines(pattern, substitution string, lines ...string) (out []int64, ok bool) {
+	pat := make([]int64, MAXSTR+2)
+	sub := make([]int64, MAXSTR+2)
+	argPat := Str(pattern)
+	argSub := Str(substitution)
+	ok = true
+	if Makepat(argPat, 0, ENDSTR, pat) == 0 {
+		out = append(out, -2)
+		ok = false
+	}
+	if Makesub(argSub, 0, ENDSTR, sub) == 0 {
+		out = append(out, -3)
+		ok = false
+	}
+	for _, line := range lines {
+		out = append(out, Subline(Line(line), pat, sub)...)
+	}
+	return out, ok
+}

@@ -1,0 +1,130 @@
+package replace
+
+import (
+	"testing"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+// TestSymbolicDodashDelimiterScenario reproduces the paper's Section 6.4
+// example: "an input parameter to the dodash function that holds the
+// delimiter (']') for a character range was injected. An erroneous pattern
+// is constructed, which leads to a failure in the pattern match. As a
+// result, the program returns the original string without the substitution."
+//
+// The injection corrupts $4 (the delimiter argument) at the jal dodash call
+// inside getccl. SymPLFIED must enumerate incorrect program outcomes: paths
+// where the erroneous delimiter makes dodash consume the wrong span, so the
+// constructed pattern is either rejected or matches the wrong text.
+func TestSymbolicDodashDelimiterScenario(t *testing.T) {
+	prog := Program()
+	callPC, err := DodashDelimCallPC(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		pattern = "[ab]c]"
+		subst   = "X"
+		line    = "qac]q"
+	)
+	input := Input(pattern, subst, line)
+
+	// Fault-free reference output.
+	ref := machine.New(prog, input, machine.Options{Watchdog: 2_000_000})
+	res := ref.Run()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("reference run: %v (%v)", res.Status, res.Exception)
+	}
+	expected := machine.RenderOutput(res.Output)
+	if want := Render(mustConcrete(t, machine.OutputValues(res.Output))); want != "qXq\n" {
+		t.Fatalf("reference output %q, want %q", want, "qXq\n")
+	}
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 200_000
+	ir, err := checker.RunInjection(checker.Spec{
+		Program:     prog,
+		Input:       input,
+		Exec:        exec,
+		Predicate:   checker.IncorrectOutput(expected),
+		StateBudget: 3_000_000,
+	}, faults.Injection{
+		Class: faults.ClassRegister,
+		PC:    callPC,
+		Loc:   isa.RegLoc(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Activated {
+		t.Fatal("dodash delimiter injection never activated")
+	}
+	if len(ir.Findings) == 0 {
+		t.Fatalf("no incorrect-output finding; outcomes %v", ir.Outcomes)
+	}
+
+	// The correct execution must also be among the enumerated paths: the
+	// fork where the erroneous delimiter happens to equal ']' behaves
+	// exactly like the fault-free run (a benign error).
+	benign := false
+	unsubstituted := false
+	all, err := checker.RunInjection(checker.Spec{
+		Program:     prog,
+		Input:       input,
+		Exec:        exec,
+		Predicate:   checker.OutcomeIs(symexec.OutcomeNormal),
+		StateBudget: 3_000_000,
+	}, faults.Injection{Class: faults.ClassRegister, PC: callPC, Loc: isa.RegLoc(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range all.Findings {
+		if f.State.OutputString() == expected {
+			benign = true
+		}
+		vals := f.State.OutputValues()
+		allConcrete := true
+		codes := make([]int64, 0, len(vals))
+		for _, v := range vals {
+			c, isConc := v.Concrete()
+			if !isConc {
+				allConcrete = false
+				break
+			}
+			codes = append(codes, c)
+		}
+		if !allConcrete {
+			continue
+		}
+		// "Returns the original string without the substitution": the
+		// intended full match "ac]" survives in the (decoded) output.
+		if containsSubstring(Render(codes), "ac]") {
+			unsubstituted = true
+		}
+	}
+	if !benign {
+		t.Error("benign fork (erroneous delimiter equal to ']') not enumerated")
+	}
+	if !unsubstituted {
+		t.Error("no path returning the text without the intended substitution")
+	}
+}
+
+func containsSubstring(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func mustConcrete(t *testing.T, vals []isa.Value) []int64 {
+	t.Helper()
+	return concrete(t, vals)
+}

@@ -1,0 +1,154 @@
+package replace
+
+import (
+	"testing"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+)
+
+// oracleString runs the Go oracle and renders its output.
+func oracleString(t *testing.T, pattern, sub, line string) string {
+	t.Helper()
+	out, _ := Oracle(pattern, sub, line)
+	return Render(out)
+}
+
+func TestOracleBehaviour(t *testing.T) {
+	cases := []struct {
+		pattern, sub, line string
+		want               string
+	}{
+		{"abc", "xyz", "say abc twice abc", "say xyz twice xyz\n"},
+		{"a", "b", "banana", "bbnbnb\n"},
+		{"?", "x", "hi", "xx\n"}, // '?' matches any char except newline
+		{"%ab", "X", "abab", "Xab\n"},
+		{"ab$", "X", "ab abab", "ab abX\n"},
+		{"[0-9]", "#", "a1b22c", "a#b##c\n"},
+		{"[^0-9]", "#", "a1b2", "#1#2\n"},     // NCCL never matches the newline
+		{"x*", "<&>", "axxb", "<>a<xx>b<>\n"}, // lastm suppresses the empty match after "xx"
+		{"a@?", "Q", "xa?y a!", "xQy a!\n"},   // escaped ? is literal
+		{"[a-c]*d", "*", "abcd x", "* x\n"},
+		{"no-match", "Z", "hello", "hello\n"},
+	}
+	for _, c := range cases {
+		got := oracleString(t, c.pattern, c.sub, c.line)
+		if got != c.want {
+			t.Errorf("Oracle(%q,%q,%q) = %q, want %q", c.pattern, c.sub, c.line, got, c.want)
+		}
+	}
+}
+
+func TestOracleIllegalSpecs(t *testing.T) {
+	// An unterminated class emits the -2 marker, then processes the line
+	// with the partial pattern: the class never closed, so nothing matches
+	// (the Section 6.4 "original string without substitution" behaviour).
+	out, ok := Oracle("[abc", "x", "line")
+	if ok || len(out) == 0 || out[0] != -2 {
+		t.Fatalf("unterminated class: got %v ok=%v, want leading -2 and ok=false", out, ok)
+	}
+	if got := Render(out[1:]); got != "line\n" {
+		t.Errorf("unterminated class: line %q, want unchanged %q", got, "line\n")
+	}
+
+	// The empty substitution is reported as illegal by the replace.c driver
+	// convention (makesub returns index 0), then applied as a deletion.
+	out, ok = Oracle("abc", "", "xabcx")
+	if ok || len(out) == 0 || out[0] != -3 {
+		t.Fatalf("empty substitution: got %v ok=%v, want leading -3 and ok=false", out, ok)
+	}
+	if got := Render(out[1:]); got != "xx\n" {
+		t.Errorf("empty substitution: line %q, want deletion %q", got, "xx\n")
+	}
+}
+
+// TestAssemblyMatchesOracle cross-validates the assembly implementation
+// against the Go oracle across the pattern-language feature matrix.
+func TestAssemblyMatchesOracle(t *testing.T) {
+	prog := Program()
+	cases := []struct{ pattern, sub, line string }{
+		{"abc", "xyz", "say abc twice abc"},
+		{"a", "b", "banana"},
+		{"?", "x", "hi"},
+		{"%ab", "X", "abab"},
+		{"ab$", "X", "ab abab"},
+		{"[0-9]", "#", "a1b22c"},
+		{"[^0-9]", "#", "a1b2"},
+		{"[a-cx]", ".", "axbycz"},
+		{"x*", "<&>", "axxb"},
+		{"[0-9]*", "N", "ab123cd9"},
+		{"a@?", "Q", "xa?y a!"},
+		{"@tb", "T", "a\tb"},
+		{"[a-c]*d", "*", "abcd x"},
+		{"a?c", "&!", "abc adc axx"},
+		{"no-match", "Z", "hello"},
+		{"[abc", "x", "line"}, // illegal pattern: -2 marker then partial pattern
+		{"abc", "", "xabcx"},  // "illegal" empty substitution: -3 marker then deletion
+		{"%", "^", "bol"},
+		{"-", "_", "a-b"},
+		{"[-x]", "+", "a-xb"},
+		{"&", "and", "you & me"},
+		{"ab*c", "!", "ac abc abbbbc"},
+	}
+	for _, c := range cases {
+		wantCodes, wantOK := Oracle(c.pattern, c.sub, c.line)
+		m := machine.New(prog, Input(c.pattern, c.sub, c.line), machine.Options{Watchdog: 2_000_000})
+		res := m.Run()
+		if res.Status != machine.StatusHalted {
+			t.Fatalf("(%q,%q,%q): machine %v (exception %v)", c.pattern, c.sub, c.line, res.Status, res.Exception)
+		}
+		got := machine.OutputValues(res.Output)
+		if len(got) != len(wantCodes) {
+			t.Fatalf("(%q,%q,%q): assembly printed %d values %q, oracle %d values %q (ok=%v)",
+				c.pattern, c.sub, c.line, len(got), Render(concrete(t, got)), len(wantCodes), Render(wantCodes), wantOK)
+		}
+		for i := range got {
+			v, ok := got[i].Concrete()
+			if !ok || v != wantCodes[i] {
+				t.Fatalf("(%q,%q,%q): output[%d] = %v, want %d (assembly %q vs oracle %q)",
+					c.pattern, c.sub, c.line, i, got[i], wantCodes[i], Render(concrete(t, got)), Render(wantCodes))
+			}
+		}
+	}
+}
+
+func concrete(t *testing.T, vals []isa.Value) []int64 {
+	t.Helper()
+	out := make([]int64, 0, len(vals))
+	for _, v := range vals {
+		c, _ := v.Concrete()
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestMultiLineChangeLoop: the driver's change() loop processes several
+// input lines with one compiled pattern, matching the oracle line for line.
+func TestMultiLineChangeLoop(t *testing.T) {
+	prog := Program()
+	lines := []string{"axx b cx", "no match here q", "ccc", ""}
+	want, _ := OracleLines("[a-c]x*", "<&>", lines...)
+	m := machine.New(prog, InputLines("[a-c]x*", "<&>", lines...), machine.Options{Watchdog: 5_000_000})
+	res := m.Run()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("machine %v (%v)", res.Status, res.Exception)
+	}
+	got := concrete(t, machine.OutputValues(res.Output))
+	if Render(got) != Render(want) {
+		t.Fatalf("multi-line output %q, want %q", Render(got), Render(want))
+	}
+}
+
+// TestZeroLinesChangeLoop: a zero line count emits nothing after the spec
+// markers.
+func TestZeroLinesChangeLoop(t *testing.T) {
+	prog := Program()
+	m := machine.New(prog, InputLines("abc", "x"), machine.Options{Watchdog: 1_000_000})
+	res := m.Run()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("machine %v (%v)", res.Status, res.Exception)
+	}
+	if vals := machine.OutputValues(res.Output); len(vals) != 0 {
+		t.Fatalf("printed %v, want nothing", vals)
+	}
+}

@@ -1,0 +1,41 @@
+package tcas
+
+import (
+	"fmt"
+	"strings"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// Hardened returns the tcas program protected against the catastrophic
+// scenario the symbolic study exposes: a return-address canary detector at
+// Non_Crossing_Biased_Climb's return.
+//
+// This is the paper's closing loop (Section 4.2: "the programmer can then
+// formulate a detector to handle the case ... the errors that evade
+// detection are made explicit"): the study finds that a corrupted $31 at
+// NCBC's jr redirects control into alt_sep_test; the countermeasure checks,
+// after the epilogue restored $31 from the frame, that $31 still equals the
+// saved copy — which remains in (now stale but defined) memory at the known
+// frame address. A corrupted return address then trips the check instead of
+// hijacking control.
+//
+// The saved-RA address is static on this call path: alt_sep_test's frame
+// starts at StackTop-4 and NCBC's at StackTop-4-2, with the return address
+// in slot 0.
+func Hardened() (*isa.Program, *detector.Table) {
+	const savedRA = StackTop - 4 - 2
+
+	canary := fmt.Sprintf("\tdet(91, $31, ==, *(%d))", savedRA)
+	// Insert "check #91" between NCBC's epilogue restore and its jr.
+	const epilogue = "NCBC_done:\n\tld $31 0($29)\n\taddi $29 $29 2\n\tjr $31"
+	const protected = "NCBC_done:\n\tld $31 0($29)\n\taddi $29 $29 2\n\tcheck #91\n\tjr $31"
+	if !strings.Contains(Source, epilogue) {
+		panic("tcas: NCBC epilogue not found for hardening")
+	}
+	src := canary + "\n" + strings.Replace(Source, epilogue, protected, 1)
+	u := asm.MustParse("tcas-hardened", src)
+	return u.Program, u.Detectors
+}

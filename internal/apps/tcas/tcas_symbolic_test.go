@@ -1,0 +1,98 @@
+package tcas
+
+import (
+	"strings"
+	"testing"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+	"symplfied/internal/trace"
+)
+
+// TestSymbolicFindsCatastrophicAdvisoryFlip reproduces the paper's headline
+// result (Section 6.2): a symbolic register error in $31 — the return
+// address — inside Non_Crossing_Biased_Climb redirects control to the
+// "alt_sep = DOWNWARD_RA" assignment in alt_sep_test, so the program prints
+// 2 instead of 1 without any exception. Symbolic injection enumerates this
+// among the arbitrary-but-valid control transfers.
+func TestSymbolicFindsCatastrophicAdvisoryFlip(t *testing.T) {
+	prog := Program()
+	jrPC, err := ReturnJrPC(prog, "Non_Crossing_Biased_Climb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	landPC, err := DownwardAssignPC(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 4000
+	ir, err := checker.RunInjection(checker.Spec{
+		Program:   prog,
+		Input:     UpwardInput().Slice(),
+		Exec:      exec,
+		Predicate: checker.HaltedOutputOtherThan(UpwardRA),
+	}, faults.Injection{
+		Class: faults.ClassRegister,
+		PC:    jrPC,
+		Loc:   isa.RegLoc(isa.RegRA),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Activated {
+		t.Fatal("injection at NCBC return never activated")
+	}
+
+	var flip *checker.Finding
+	sawZero := false
+	for i := range ir.Findings {
+		f := &ir.Findings[i]
+		vals := f.State.OutputValues()
+		if len(vals) != 1 {
+			continue
+		}
+		if vals[0].Equal(isa.Int(DownwardRA)) {
+			flip = f
+		}
+		if vals[0].Equal(isa.Int(Unresolved)) {
+			sawZero = true
+		}
+	}
+	if flip == nil {
+		t.Fatalf("catastrophic 1->2 advisory flip not found; outcomes %v, %d findings",
+			ir.Outcomes, len(ir.Findings))
+	}
+	if !sawZero {
+		t.Error("1->0 (unresolved) incorrect advisory not found")
+	}
+
+	// The trace must show the control transfer landing on the downward
+	// assignment, and the constraint store must pin the corrupted return
+	// address to exactly that code location.
+	evs := flip.State.Trace.Events()
+	landed := false
+	for _, e := range evs {
+		if e.Kind == trace.KindControl && strings.Contains(e.Text, "AST_downward") {
+			landed = true
+		}
+	}
+	if !landed {
+		t.Errorf("finding trace does not show landing at AST_downward:\n%s", flip.State.Trace.Render())
+	}
+	cons := flip.State.Sym.RootConstraints(0)
+	if cons == nil {
+		t.Fatal("no constraints recorded for the corrupted return address")
+	}
+	if v, ok := cons.Exact(); !ok || v != int64(landPC) {
+		t.Errorf("corrupted $31 constrained to %v, want exactly %d", cons, landPC)
+	}
+
+	// Crashes must also be enumerated among the arbitrary landings.
+	if ir.Outcomes[symexec.OutcomeCrash] == 0 {
+		t.Error("no crash outcome among arbitrary control transfers")
+	}
+}

@@ -1,0 +1,185 @@
+package tcas
+
+import (
+	"math/rand"
+	"testing"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+func run(t *testing.T, in Inputs, opts machine.Options) machine.Result {
+	t.Helper()
+	m := machine.New(Program(), in.Slice(), opts)
+	return m.Run()
+}
+
+func outputOf(t *testing.T, res machine.Result) int64 {
+	t.Helper()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("status %v (exception %v)", res.Status, res.Exception)
+	}
+	vals := machine.OutputValues(res.Output)
+	if len(vals) != 1 {
+		t.Fatalf("want single printed value, got %v", vals)
+	}
+	v, ok := vals[0].Concrete()
+	if !ok {
+		t.Fatalf("printed value not concrete")
+	}
+	return v
+}
+
+func TestUpwardInputProducesUpwardAdvisory(t *testing.T) {
+	in := UpwardInput()
+	if got := Oracle(in); got != UpwardRA {
+		t.Fatalf("oracle: %d, want %d", got, UpwardRA)
+	}
+	if got := outputOf(t, run(t, in, machine.Options{})); got != UpwardRA {
+		t.Fatalf("machine: %d, want %d", got, UpwardRA)
+	}
+}
+
+// TestAssemblyMatchesOracle cross-validates the assembly program against the
+// Go oracle over a randomized input sweep — the model-accuracy validation the
+// paper performs by comparing model behaviour with the real system
+// (Section 3.1, correctness requirement 2).
+func TestAssemblyMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := map[int64]int{}
+	for i := 0; i < 2000; i++ {
+		in := Inputs{
+			CurVerticalSep:         rng.Int63n(1200),
+			HighConfidence:         rng.Int63n(2),
+			TwoOfThreeReportsValid: rng.Int63n(2),
+			OwnTrackedAlt:          rng.Int63n(2000),
+			OwnTrackedAltRate:      rng.Int63n(1200),
+			OtherTrackedAlt:        rng.Int63n(2000),
+			AltLayerValue:          rng.Int63n(4),
+			UpSeparation:           rng.Int63n(1000),
+			DownSeparation:         rng.Int63n(1000),
+			OtherRAC:               rng.Int63n(3),
+			OtherCapability:        1 + rng.Int63n(2),
+			ClimbInhibit:           rng.Int63n(2),
+		}
+		want := Oracle(in)
+		got := outputOf(t, run(t, in, machine.Options{}))
+		if got != want {
+			t.Fatalf("input %+v: assembly %d, oracle %d", in, got, want)
+		}
+		seen[got]++
+	}
+	// The sweep must exercise all three advisories, or it proves little.
+	for _, adv := range []int64{Unresolved, UpwardRA, DownwardRA} {
+		if seen[adv] == 0 {
+			t.Errorf("randomized sweep never produced advisory %d (distribution %v)", adv, seen)
+		}
+	}
+}
+
+// TestDirectedAdvisoryCases pins the oracle on hand-computed configurations.
+func TestDirectedAdvisoryCases(t *testing.T) {
+	base := UpwardInput()
+
+	downward := base
+	// Make own aircraft the higher one and bias preference downward.
+	downward.OwnTrackedAlt, downward.OtherTrackedAlt = 600, 500
+	downward.UpSeparation, downward.DownSeparation = 500, 740
+	if got := Oracle(downward); got != DownwardRA {
+		t.Fatalf("downward config: oracle %d, want %d", got, DownwardRA)
+	}
+	if got := outputOf(t, run(t, downward, machine.Options{})); got != DownwardRA {
+		t.Fatalf("downward config: machine %d, want %d", got, DownwardRA)
+	}
+
+	disabled := base
+	disabled.HighConfidence = 0
+	if got := outputOf(t, run(t, disabled, machine.Options{})); got != Unresolved {
+		t.Fatalf("disabled config: machine %d, want %d", got, Unresolved)
+	}
+
+	notEquippedNoIntent := base
+	notEquippedNoIntent.OtherCapability = Other
+	if got := Oracle(notEquippedNoIntent); got != UpwardRA {
+		t.Fatalf("non-equipped config: oracle %d, want %d", got, UpwardRA)
+	}
+	if got := outputOf(t, run(t, notEquippedNoIntent, machine.Options{})); got != UpwardRA {
+		t.Fatalf("non-equipped config: machine %d, want %d", got, UpwardRA)
+	}
+}
+
+// TestCatastrophicJumpConcretely validates the catastrophic scenario the way
+// the paper validated it on SimpleScalar (Section 6.2): concretely setting
+// the return address of Non_Crossing_Biased_Climb to the address of the
+// "alt_sep = DOWNWARD_RA" assignment turns the advisory from 1 into 2 —
+// a real error, not a false positive.
+func TestCatastrophicJumpConcretely(t *testing.T) {
+	prog := Program()
+	jrPC, err := ReturnJrPC(prog, "Non_Crossing_Biased_Climb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	landPC, err := DownwardAssignPC(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injected := false
+	m := machine.New(prog, UpwardInput().Slice(), machine.Options{
+		PreStep: func(m *machine.Machine, _ int) {
+			if !injected && m.PC() == jrPC {
+				m.SetReg(isa.RegRA, isa.Int(int64(landPC)))
+				injected = true
+			}
+		},
+	})
+	res := m.Run()
+	if !injected {
+		t.Fatal("injection point never reached")
+	}
+	if got := outputOf(t, res); got != DownwardRA {
+		t.Fatalf("corrupted return address printed %d, want %d (catastrophic downward advisory)", got, DownwardRA)
+	}
+}
+
+// TestSymbolicFaultFreeMatchesOracle drives the symbolic executor (with its
+// call/return machinery) over random fault-free tcas inputs and requires the
+// oracle's advisory — covering jal/jr/stack paths the random-program fuzzer
+// does not generate.
+func TestSymbolicFaultFreeMatchesOracle(t *testing.T) {
+	prog := Program()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		in := Inputs{
+			CurVerticalSep:         rng.Int63n(1200),
+			HighConfidence:         rng.Int63n(2),
+			TwoOfThreeReportsValid: rng.Int63n(2),
+			OwnTrackedAlt:          rng.Int63n(2000),
+			OwnTrackedAltRate:      rng.Int63n(1200),
+			OtherTrackedAlt:        rng.Int63n(2000),
+			AltLayerValue:          rng.Int63n(4),
+			UpSeparation:           rng.Int63n(1000),
+			DownSeparation:         rng.Int63n(1000),
+			OtherRAC:               rng.Int63n(3),
+			OtherCapability:        1 + rng.Int63n(2),
+			ClimbInhibit:           rng.Int63n(2),
+		}
+		st := symexec.NewState(prog, nil, in.Slice(), symexec.DefaultOptions())
+		for st.Running() {
+			if !st.StepInPlace() {
+				t.Fatalf("fault-free tcas forked at pc %d", st.PC)
+			}
+		}
+		if st.Outcome() != symexec.OutcomeNormal {
+			t.Fatalf("outcome %v (%v)", st.Outcome(), st.Exc)
+		}
+		vals := st.OutputValues()
+		if len(vals) != 1 {
+			t.Fatalf("printed %v", vals)
+		}
+		if v, _ := vals[0].Concrete(); v != Oracle(in) {
+			t.Fatalf("symbolic %d, oracle %d for %+v", v, Oracle(in), in)
+		}
+	}
+}

@@ -1,0 +1,608 @@
+// Package asm implements the assembler for SymPLFIED's generic assembly
+// language: it parses textual programs (the notation used throughout the
+// paper, e.g. Figures 2 and 3) into isa.Program values, together with any
+// detector specifications.
+//
+// Accepted syntax, one statement per line:
+//
+//	label:                          -- a label (may share a line with code)
+//	ori $2 $0 #1                    -- immediates written #N or N
+//	beq $5 0 exit                   -- beq/bne with a constant auto-select beqi/bnei
+//	ld $3 4($29)                    -- memory operands off($base), or "ld $3 $29 4"
+//	prints "Factorial = "           -- string literals in double quotes
+//	check ($4 < $3)                 -- inline detector sugar (Figure 3 style)
+//	check #2                        -- invoke detector by ID
+//	det(2, $2, >=, $6 * $1)         -- detector specification (not an instruction)
+//	halt
+//
+// Comments run from "--", ";" or "//" to end of line. Operands may be
+// separated by spaces and/or commas.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// Unit is the result of assembling one source text.
+type Unit struct {
+	Program   *isa.Program
+	Detectors *detector.Table
+}
+
+// ParseError reports a syntax error with its source line.
+type ParseError struct {
+	Name string
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Name, e.Line, e.Msg)
+}
+
+var _ error = (*ParseError)(nil)
+
+// Parse assembles src into a program named name.
+func Parse(name, src string) (*Unit, error) {
+	p := &parser{
+		name:   name,
+		labels: make(map[string]int),
+		dets:   detector.EmptyTable(),
+	}
+	for i, line := range strings.Split(src, "\n") {
+		if err := p.parseLine(i+1, line); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := isa.NewProgram(name, p.instrs, p.labels)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Program: prog, Detectors: p.dets}, nil
+}
+
+// MustParse is Parse for statically known-good sources; it panics on error.
+func MustParse(name, src string) *Unit {
+	u, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+type parser struct {
+	name   string
+	instrs []isa.Instr
+	labels map[string]int
+	dets   *detector.Table
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &ParseError{Name: p.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch {
+		case inStr && line[i] == '\\':
+			i++ // skip the escaped character (notably \")
+		case line[i] == '"':
+			inStr = !inStr
+		case inStr:
+		case line[i] == ';':
+			return line[:i]
+		case line[i] == '-' && i+1 < len(line) && line[i+1] == '-':
+			return line[:i]
+		case line[i] == '/' && i+1 < len(line) && line[i+1] == '/':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func (p *parser) parseLine(lineNo int, raw string) error {
+	line := strings.TrimSpace(stripComment(raw))
+	if line == "" {
+		return nil
+	}
+
+	// Detector specification lines.
+	if strings.HasPrefix(line, "det(") || strings.HasPrefix(line, "det (") {
+		d, err := detector.Parse(line)
+		if err != nil {
+			return p.errf(lineNo, "%v", err)
+		}
+		if err := p.dets.Add(d); err != nil {
+			return p.errf(lineNo, "%v", err)
+		}
+		return nil
+	}
+
+	// Leading labels (possibly several, possibly followed by code).
+	for {
+		idx := labelSplit(line)
+		if idx < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:idx])
+		if !isIdent(label) {
+			return p.errf(lineNo, "bad label %q", label)
+		}
+		if _, dup := p.labels[label]; dup {
+			return p.errf(lineNo, "duplicate label %q", label)
+		}
+		p.labels[label] = len(p.instrs)
+		line = strings.TrimSpace(line[idx+1:])
+		if line == "" {
+			return nil
+		}
+	}
+
+	in, err := p.parseInstr(lineNo, line)
+	if err != nil {
+		return err
+	}
+	in.Line = lineNo
+	p.instrs = append(p.instrs, in)
+	return nil
+}
+
+// labelSplit returns the index of a label-terminating ':' at the start of the
+// line, or -1. A ':' inside a string or past the mnemonic is not a label.
+func labelSplit(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == ':':
+			return i
+		case c == ' ' || c == '\t' || c == '"' || c == '(' || c == '#' || c == '$':
+			return -1
+		}
+	}
+	return -1
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) parseInstr(lineNo int, line string) (isa.Instr, error) {
+	mnemonic, rest := splitWord(line)
+
+	// Inline check sugar: check (<loc> <cmp> <expr>).
+	if mnemonic == "check" {
+		r := strings.TrimSpace(rest)
+		if strings.HasPrefix(r, "(") {
+			id := p.dets.NextID()
+			d, err := detector.ParseInlineCheck(id, strings.TrimSuffix(strings.TrimPrefix(r, "("), ")"))
+			if err != nil {
+				return isa.Instr{}, p.errf(lineNo, "%v", err)
+			}
+			if err := p.dets.Add(d); err != nil {
+				return isa.Instr{}, p.errf(lineNo, "%v", err)
+			}
+			return isa.Instr{Op: isa.OpCheck, Imm: id}, nil
+		}
+	}
+
+	op := isa.OpByName(mnemonic)
+	if op == isa.OpInvalid {
+		return isa.Instr{}, p.errf(lineNo, "unknown mnemonic %q", mnemonic)
+	}
+	ops, err := tokenizeOperands(rest)
+	if err != nil {
+		return isa.Instr{}, p.errf(lineNo, "%v", err)
+	}
+	in, err := p.buildInstr(op, ops)
+	if err != nil {
+		return isa.Instr{}, p.errf(lineNo, "%s: %v", mnemonic, err)
+	}
+	return in, nil
+}
+
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+// operand is one token: a register, immediate, label, string, or memory ref.
+type operand struct {
+	kind    opKind
+	reg     isa.Reg
+	imm     int64
+	memBase isa.Reg
+	str     string
+	label   string
+}
+
+type opKind int
+
+const (
+	opReg opKind = iota + 1
+	opImm
+	opMem // imm(reg)
+	opStr
+	opLabel
+)
+
+func tokenizeOperands(s string) ([]operand, error) {
+	var out []operand
+	i := 0
+	n := len(s)
+	for i < n {
+		switch c := s[i]; {
+		case c == ' ' || c == '\t' || c == ',':
+			i++
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < n && s[j] != '"' {
+				if s[j] == '\\' && j+1 < n {
+					j++
+					switch s[j] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					default:
+						b.WriteByte(s[j])
+					}
+				} else {
+					b.WriteByte(s[j])
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("unterminated string literal")
+			}
+			out = append(out, operand{kind: opStr, str: b.String()})
+			i = j + 1
+		case c == '$':
+			j := i + 1
+			for j < n && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseUint(s[i+1:j], 10, 8)
+			if err != nil || v >= isa.NumRegs {
+				return nil, fmt.Errorf("bad register %q", s[i:j])
+			}
+			out = append(out, operand{kind: opReg, reg: isa.Reg(v)})
+			i = j
+		case c == '#' || c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if s[j] == '#' {
+				j++
+			}
+			start := j
+			if j < n && s[j] == '-' {
+				j++
+			}
+			for j < n && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if j == start || (j == start+1 && s[start] == '-') {
+				return nil, fmt.Errorf("bad immediate at %q", s[i:])
+			}
+			v, err := strconv.ParseInt(s[start:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad immediate %q: %v", s[start:j], err)
+			}
+			// Memory operand imm($reg)?
+			if j < n && s[j] == '(' {
+				k := j + 1
+				if k >= n || s[k] != '$' {
+					return nil, fmt.Errorf("bad memory operand at %q", s[i:])
+				}
+				k++
+				rs := k
+				for k < n && s[k] >= '0' && s[k] <= '9' {
+					k++
+				}
+				rv, err := strconv.ParseUint(s[rs:k], 10, 8)
+				if err != nil || rv >= isa.NumRegs {
+					return nil, fmt.Errorf("bad base register in %q", s[i:])
+				}
+				if k >= n || s[k] != ')' {
+					return nil, fmt.Errorf("missing ')' in memory operand %q", s[i:])
+				}
+				out = append(out, operand{kind: opMem, imm: v, memBase: isa.Reg(rv)})
+				i = k + 1
+			} else {
+				out = append(out, operand{kind: opImm, imm: v})
+				i = j
+			}
+		default:
+			j := i
+			for j < n && s[j] != ' ' && s[j] != '\t' && s[j] != ',' {
+				j++
+			}
+			tok := s[i:j]
+			if strings.HasPrefix(tok, "@") {
+				v, err := strconv.Atoi(tok[1:])
+				if err != nil {
+					return nil, fmt.Errorf("bad absolute target %q", tok)
+				}
+				out = append(out, operand{kind: opLabel, label: "", imm: int64(v)})
+				i = j
+				continue
+			}
+			if !isIdent(tok) {
+				return nil, fmt.Errorf("bad token %q", tok)
+			}
+			out = append(out, operand{kind: opLabel, label: tok})
+			i = j
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) buildInstr(op isa.Op, ops []operand) (isa.Instr, error) {
+	in := isa.Instr{Op: op}
+	want := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("want %d operands, got %d", n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (isa.Reg, error) {
+		if ops[i].kind != opReg {
+			return 0, fmt.Errorf("operand %d: want register", i+1)
+		}
+		return ops[i].reg, nil
+	}
+	imm := func(i int) (int64, error) {
+		if ops[i].kind != opImm {
+			return 0, fmt.Errorf("operand %d: want immediate", i+1)
+		}
+		return ops[i].imm, nil
+	}
+	lbl := func(i int) error {
+		if ops[i].kind != opLabel {
+			return fmt.Errorf("operand %d: want label", i+1)
+		}
+		in.Label = ops[i].label
+		if in.Label == "" {
+			in.Target = int(ops[i].imm)
+		}
+		return nil
+	}
+
+	switch op.Format() {
+	case isa.FormatNone:
+		return in, want(0)
+
+	case isa.FormatR3:
+		// Accept the immediate form spelled with the register mnemonic
+		// (e.g. "setgt $5 $3 4"): auto-select the immediate opcode.
+		if len(ops) == 3 && ops[2].kind == opImm {
+			if immOp := immediateForm(op); immOp != isa.OpInvalid {
+				in.Op = immOp
+				var err error
+				if in.Rd, err = reg(0); err != nil {
+					return in, err
+				}
+				if in.Rs, err = reg(1); err != nil {
+					return in, err
+				}
+				in.Imm = ops[2].imm
+				return in, nil
+			}
+		}
+		if err := want(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(0); err != nil {
+			return in, err
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return in, err
+		}
+		in.Rt, err = reg(2)
+		return in, err
+
+	case isa.FormatR2I:
+		if err := want(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(0); err != nil {
+			return in, err
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return in, err
+		}
+		in.Imm, err = imm(2)
+		return in, err
+
+	case isa.FormatR2:
+		if err := want(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(0); err != nil {
+			return in, err
+		}
+		in.Rs, err = reg(1)
+		return in, err
+
+	case isa.FormatRI:
+		if err := want(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(0); err != nil {
+			return in, err
+		}
+		in.Imm, err = imm(1)
+		return in, err
+
+	case isa.FormatMem:
+		// Two spellings: "ld $t off($b)" and "ld $t $b off".
+		if len(ops) == 2 && ops[1].kind == opMem {
+			var err error
+			if in.Rt, err = reg(0); err != nil {
+				return in, err
+			}
+			in.Rs = ops[1].memBase
+			in.Imm = ops[1].imm
+			return in, nil
+		}
+		if err := want(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rt, err = reg(0); err != nil {
+			return in, err
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return in, err
+		}
+		in.Imm, err = imm(2)
+		return in, err
+
+	case isa.FormatBranch:
+		if err := want(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rs, err = reg(0); err != nil {
+			return in, err
+		}
+		// "beq $5 0 exit" (paper form): constant second operand selects the
+		// immediate branch.
+		if ops[1].kind == opImm {
+			switch op {
+			case isa.OpBeq:
+				in.Op = isa.OpBeqi
+			case isa.OpBne:
+				in.Op = isa.OpBnei
+			}
+			in.Imm = ops[1].imm
+		} else if in.Rt, err = reg(1); err != nil {
+			return in, err
+		}
+		return in, lbl(2)
+
+	case isa.FormatBranchI:
+		if err := want(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rs, err = reg(0); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(1); err != nil {
+			return in, err
+		}
+		return in, lbl(2)
+
+	case isa.FormatJump:
+		if err := want(1); err != nil {
+			return in, err
+		}
+		return in, lbl(0)
+
+	case isa.FormatJumpR:
+		if err := want(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.Rs, err = reg(0)
+		return in, err
+
+	case isa.FormatR1:
+		if err := want(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.Rd, err = reg(0)
+		return in, err
+
+	case isa.FormatStr:
+		if err := want(1); err != nil {
+			return in, err
+		}
+		if ops[0].kind != opStr {
+			return in, fmt.Errorf("want string literal")
+		}
+		in.Str = ops[0].str
+		return in, nil
+
+	case isa.FormatCheck:
+		if err := want(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.Imm, err = imm(0)
+		return in, err
+	}
+	return in, fmt.Errorf("unhandled format for %s", op)
+}
+
+// immediateForm returns the immediate twin of a register-form opcode.
+func immediateForm(op isa.Op) isa.Op {
+	switch op {
+	case isa.OpAdd:
+		return isa.OpAddi
+	case isa.OpSub:
+		return isa.OpSubi
+	case isa.OpMult:
+		return isa.OpMulti
+	case isa.OpDiv:
+		return isa.OpDivi
+	case isa.OpMod:
+		return isa.OpModi
+	case isa.OpAnd:
+		return isa.OpAndi
+	case isa.OpOr:
+		return isa.OpOri
+	case isa.OpXor:
+		return isa.OpXori
+	case isa.OpSll:
+		return isa.OpSlli
+	case isa.OpSrl:
+		return isa.OpSrli
+	case isa.OpSra:
+		return isa.OpSrai
+	case isa.OpSeteq:
+		return isa.OpSeteqi
+	case isa.OpSetne:
+		return isa.OpSetnei
+	case isa.OpSetgt:
+		return isa.OpSetgti
+	case isa.OpSetlt:
+		return isa.OpSetlti
+	case isa.OpSetge:
+		return isa.OpSetgei
+	case isa.OpSetle:
+		return isa.OpSetlei
+	}
+	return isa.OpInvalid
+}

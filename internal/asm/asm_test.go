@@ -1,0 +1,214 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+func parseOne(t *testing.T, line string) isa.Instr {
+	t.Helper()
+	u, err := Parse("t", line+"\nx:\thalt\n")
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	return u.Program.At(0)
+}
+
+func TestOperandSyntaxVariants(t *testing.T) {
+	cases := []struct {
+		line string
+		want isa.Instr
+	}{
+		// Immediates with and without '#', with commas and without.
+		{"ori $2 $0 #1", isa.Instr{Op: isa.OpOri, Rd: 2, Imm: 1}},
+		{"ori $2, $0, 1", isa.Instr{Op: isa.OpOri, Rd: 2, Imm: 1}},
+		{"addi $1 $2 #-5", isa.Instr{Op: isa.OpAddi, Rd: 1, Rs: 2, Imm: -5}},
+		{"subi $3 $3 1", isa.Instr{Op: isa.OpSubi, Rd: 3, Rs: 3, Imm: 1}},
+		// Register-mnemonic with immediate third operand auto-selects the
+		// immediate twin (paper style "setgt $9 $8 600").
+		{"setgt $9 $8 600", isa.Instr{Op: isa.OpSetgti, Rd: 9, Rs: 8, Imm: 600}},
+		{"add $1 $2 3", isa.Instr{Op: isa.OpAddi, Rd: 1, Rs: 2, Imm: 3}},
+		{"seteq $10 $8 1", isa.Instr{Op: isa.OpSeteqi, Rd: 10, Rs: 8, Imm: 1}},
+		// Memory operands in both spellings, including negative offsets.
+		{"ld $3 4($29)", isa.Instr{Op: isa.OpLd, Rt: 3, Rs: 29, Imm: 4}},
+		{"ld $3 $29 4", isa.Instr{Op: isa.OpLd, Rt: 3, Rs: 29, Imm: 4}},
+		{"ld $13 -1($9)", isa.Instr{Op: isa.OpLd, Rt: 13, Rs: 9, Imm: -1}},
+		{"st $6 100($0)", isa.Instr{Op: isa.OpSt, Rt: 6, Rs: 0, Imm: 100}},
+		// Paper branch form "beq rs v l" auto-selects beqi.
+		{"beq $5 0 x", isa.Instr{Op: isa.OpBeqi, Rs: 5, Imm: 0, Label: "x", Target: 1}},
+		{"bne $5 $6 x", isa.Instr{Op: isa.OpBne, Rs: 5, Rt: 6, Label: "x", Target: 1}},
+		// String escapes.
+		{`prints "a\nb"`, isa.Instr{Op: isa.OpPrints, Str: "a\nb"}},
+		// Absolute branch target.
+		{"jmp @1", isa.Instr{Op: isa.OpJmp, Target: 1}},
+		// Check by ID.
+		{"check #3", isa.Instr{Op: isa.OpCheck, Imm: 3}},
+	}
+	for _, c := range cases {
+		got := parseOne(t, "\t"+c.line)
+		got.Line = 0
+		if got.Label == "x" {
+			// keep label for comparison
+		}
+		if got != c.want {
+			t.Errorf("parse %q = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestLabelsShareLineWithCode(t *testing.T) {
+	u, err := Parse("t", "loop: setgt $5 $3 $4\nexit:\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Program.Labels["loop"] != 0 || u.Program.Labels["exit"] != 1 {
+		t.Errorf("labels %v", u.Program.Labels)
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := `
+	ori $2 $0 #1   -- dash comment
+	ori $3 $0 #2   ; semicolon comment
+	ori $4 $0 #3   // slash comment
+	prints "a--b;c//d" -- comment markers inside strings survive
+	halt
+`
+	u, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Program.Len() != 5 {
+		t.Fatalf("Len = %d", u.Program.Len())
+	}
+	if got := u.Program.At(3).Str; got != "a--b;c//d" {
+		t.Errorf("string literal %q", got)
+	}
+}
+
+func TestInlineCheckSugar(t *testing.T) {
+	src := `
+	check ($4 < $3)
+	check ($2 >= $6 * $1)
+	halt
+`
+	u, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Detectors.Len() != 2 {
+		t.Fatalf("detectors %d", u.Detectors.Len())
+	}
+	d1, _ := u.Detectors.Lookup(1)
+	if d1.Target != isa.RegLoc(4) || d1.Cmp != isa.CmpLt {
+		t.Errorf("detector 1 = %v", d1)
+	}
+	d2, _ := u.Detectors.Lookup(2)
+	if d2.Target != isa.RegLoc(2) || d2.Cmp != isa.CmpGe {
+		t.Errorf("detector 2 = %v", d2)
+	}
+	if u.Program.At(0).Op != isa.OpCheck || u.Program.At(0).Imm != 1 {
+		t.Errorf("check instr %v", u.Program.At(0))
+	}
+}
+
+func TestDetectorSpecLines(t *testing.T) {
+	src := `
+	det(7, $5, ==, $3 + *(1000))
+	check #7
+	halt
+`
+	u, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := u.Detectors.Lookup(7)
+	if !ok || d.Target != isa.RegLoc(5) || d.Cmp != isa.CmpEq {
+		t.Fatalf("detector %v ok=%v", d, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{"\tbogus $1\n", "unknown mnemonic"},
+		{"\tadd $1 $2\n", "want 3 operands"},
+		{"\tadd $1 $2 $40\n", "bad register"},
+		{"\tld $1 4($40)\n", "bad base register"},
+		{"\tprints noquote\n", "want string literal"},
+		{"l:\nl:\n\thalt\n", "duplicate label"},
+		{"\tjmp nowhere\n", "undefined label"},
+		{"\tprints \"open\n", "unterminated string"},
+		{"\tbeq $1 $2\n", "want 3 operands"},
+		{"\tjmp @99\n", "invalid target"},
+		{"\tdet(1, $1, ==\n", "detector"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantMsg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("Parse(%q) error %q, want containing %q", c.src, err, c.wantMsg)
+		}
+	}
+}
+
+func TestParseErrorCarriesLine(t *testing.T) {
+	_, err := Parse("file.sym", "\tnop\n\tbogus\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T, want *ParseError", err)
+	}
+	if pe.Line != 2 || pe.Name != "file.sym" {
+		t.Errorf("ParseError = %+v", pe)
+	}
+}
+
+// TestRoundTrip checks Program.String output re-parses to an identical
+// program (the disassembler/assembler contract).
+func TestRoundTrip(t *testing.T) {
+	src := `
+main:	ori $2 $0 #1
+	read $1
+loop:	setgt $5 $3 $4
+	beq $5 0 exit
+	mult $2 $2 $3
+	ld $7 4($29)
+	st $7 -2($29)
+	jal fn
+	jmp loop
+fn:	jr $31
+exit:	prints "done"
+	print $2
+	halt
+`
+	u1, err := Parse("rt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := u1.Program.String()
+	u2, err := Parse("rt2", rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered program failed: %v\n%s", err, rendered)
+	}
+	if u2.Program.String() != rendered {
+		t.Errorf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", rendered, u2.Program.String())
+	}
+	if u1.Program.Len() != u2.Program.Len() {
+		t.Fatalf("lengths differ: %d vs %d", u1.Program.Len(), u2.Program.Len())
+	}
+	for i := 0; i < u1.Program.Len(); i++ {
+		a, b := u1.Program.At(i), u2.Program.At(i)
+		a.Line, b.Line = 0, 0
+		if a != b {
+			t.Errorf("instr %d differs: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package asm_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+)
+
+// randomInstr generates one random instruction of any renderable format,
+// with branch targets constrained to [0, progLen).
+func randomInstr(r *rand.Rand, progLen int) isa.Instr {
+	ops := isa.Ops()
+	for {
+		op := ops[r.Intn(len(ops))]
+		in := isa.Instr{Op: op}
+		reg := func() isa.Reg { return isa.Reg(r.Intn(isa.NumRegs)) }
+		imm := func() int64 { return int64(r.Intn(2001) - 1000) }
+		switch op.Format() {
+		case isa.FormatNone:
+			if op == isa.OpHalt {
+				continue // emitted explicitly at the end
+			}
+		case isa.FormatR3:
+			in.Rd, in.Rs, in.Rt = reg(), reg(), reg()
+		case isa.FormatR2I:
+			in.Rd, in.Rs, in.Imm = reg(), reg(), imm()
+		case isa.FormatR2:
+			in.Rd, in.Rs = reg(), reg()
+		case isa.FormatRI:
+			in.Rd, in.Imm = reg(), imm()
+		case isa.FormatMem:
+			in.Rt, in.Rs, in.Imm = reg(), reg(), imm()
+		case isa.FormatBranch:
+			in.Rs, in.Rt, in.Target = reg(), reg(), r.Intn(progLen)
+		case isa.FormatBranchI:
+			in.Rs, in.Imm, in.Target = reg(), imm(), r.Intn(progLen)
+		case isa.FormatJump:
+			in.Target = r.Intn(progLen)
+		case isa.FormatJumpR:
+			in.Rs = reg()
+		case isa.FormatR1:
+			in.Rd = reg()
+		case isa.FormatStr:
+			// Random printable string with the characters the renderer must
+			// escape.
+			n := r.Intn(8)
+			s := make([]byte, 0, n)
+			alphabet := `abc "\-;/()#$*123 	`
+			for i := 0; i < n; i++ {
+				s = append(s, alphabet[r.Intn(len(alphabet))])
+			}
+			in.Str = string(s)
+		case isa.FormatCheck:
+			in.Imm = int64(r.Intn(10))
+		}
+		return in
+	}
+}
+
+// TestFuzzRenderParseRoundTrip: for random syntactically valid programs,
+// Program.String must re-parse to an instruction-identical program.
+func TestFuzzRenderParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 400; iter++ {
+		n := 3 + r.Intn(30)
+		instrs := make([]isa.Instr, 0, n+1)
+		for i := 0; i < n; i++ {
+			instrs = append(instrs, randomInstr(r, n+1))
+		}
+		instrs = append(instrs, isa.Instr{Op: isa.OpHalt})
+		labels := map[string]int{}
+		for k := r.Intn(4); k > 0; k-- {
+			labels["L"+strconv.Itoa(r.Intn(100))] = r.Intn(n + 1)
+		}
+		prog, err := isa.NewProgram("fuzz", instrs, labels)
+		if err != nil {
+			t.Fatalf("iter %d: build: %v", iter, err)
+		}
+
+		rendered := prog.String()
+		u, err := asm.Parse("fuzz-rt", rendered)
+		if err != nil {
+			t.Fatalf("iter %d: re-parse: %v\n%s", iter, err, rendered)
+		}
+		if u.Program.Len() != prog.Len() {
+			t.Fatalf("iter %d: length %d vs %d\n%s", iter, u.Program.Len(), prog.Len(), rendered)
+		}
+		for i := 0; i < prog.Len(); i++ {
+			a, b := prog.At(i), u.Program.At(i)
+			a.Line, b.Line = 0, 0
+			a.Label, b.Label = "", "" // spelling may differ; targets must not
+			if a != b {
+				t.Fatalf("iter %d @%d: %v vs %v\n%s", iter, i, prog.At(i), u.Program.At(i), rendered)
+			}
+		}
+	}
+}

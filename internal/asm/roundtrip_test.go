@@ -1,0 +1,77 @@
+package asm_test
+
+import (
+	"testing"
+
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/apps/replace"
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+)
+
+// TestAppRoundTrips disassembles each benchmark application and re-assembles
+// the text, requiring instruction-for-instruction equality — the
+// assembler/disassembler contract over the full production programs.
+func TestAppRoundTrips(t *testing.T) {
+	apps := []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"factorial", factorial.Plain()},
+		{"tcas", tcas.Program()},
+		{"replace", replace.Program()},
+	}
+	for _, app := range apps {
+		rendered := app.prog.String()
+		u, err := asm.Parse(app.name+"-rt", rendered)
+		if err != nil {
+			t.Errorf("%s: re-parse failed: %v", app.name, err)
+			continue
+		}
+		if u.Program.Len() != app.prog.Len() {
+			t.Errorf("%s: length %d vs %d", app.name, u.Program.Len(), app.prog.Len())
+			continue
+		}
+		for i := 0; i < app.prog.Len(); i++ {
+			a, b := app.prog.At(i), u.Program.At(i)
+			a.Line, b.Line = 0, 0
+			// Branch labels may be spelled differently but must resolve to
+			// the same target.
+			if a.IsBranch() {
+				if a.Target != b.Target || a.Op != b.Op || a.Rs != b.Rs || a.Rt != b.Rt || a.Imm != b.Imm {
+					t.Errorf("%s @%d: %v vs %v", app.name, i, a, b)
+				}
+				continue
+			}
+			if a != b {
+				t.Errorf("%s @%d: %v vs %v", app.name, i, a, b)
+			}
+		}
+	}
+}
+
+// TestAppRoundTripSemantics runs the original and the re-assembled tcas and
+// replace programs on their canonical inputs and requires identical output
+// and instruction counts.
+func TestAppRoundTripSemantics(t *testing.T) {
+	check := func(name string, prog *isa.Program, input []int64) {
+		t.Helper()
+		u, err := asm.Parse(name+"-rt", prog.String())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r1 := machine.New(prog, input, machine.Options{Watchdog: 2_000_000}).Run()
+		r2 := machine.New(u.Program, input, machine.Options{Watchdog: 2_000_000}).Run()
+		if r1.Status != r2.Status || r1.Steps != r2.Steps ||
+			machine.RenderOutput(r1.Output) != machine.RenderOutput(r2.Output) {
+			t.Errorf("%s: semantics changed by round trip: %v/%d/%q vs %v/%d/%q",
+				name, r1.Status, r1.Steps, machine.RenderOutput(r1.Output),
+				r2.Status, r2.Steps, machine.RenderOutput(r2.Output))
+		}
+	}
+	check("tcas", tcas.Program(), tcas.UpwardInput().Slice())
+	check("replace", replace.Program(), replace.Input("[a-c]x*", "<&>", "axx b cx"))
+	check("factorial", factorial.Plain(), []int64{6})
+}

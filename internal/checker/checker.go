@@ -1,0 +1,262 @@
+// Package checker implements SymPLFIED's bounded model checker (paper
+// Section 5.4): the analogue of Maude's search command. For each injection in
+// a fault class it concretely executes the program up to the injection
+// breakpoint (the paper's activation optimization), manifests the symbolic
+// error, then exhaustively explores the nondeterministic successor relation
+// breadth-first, classifying every terminal state and collecting those that
+// satisfy the user predicate ("errors that evade detection and potentially
+// lead to program failure").
+package checker
+
+import (
+	"fmt"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+// DefaultStateBudget bounds the states explored per injection when the spec
+// does not say otherwise. Budgets replace the paper's 30-minute wall-clock
+// task allotment so runs are deterministic.
+const DefaultStateBudget = 100_000
+
+// Predicate selects the final states a search is looking for, corresponding
+// to the "such that" clause of the paper's search command.
+type Predicate struct {
+	// Name describes the predicate in reports.
+	Name string
+	// Match examines a terminal state.
+	Match func(*symexec.State) bool
+}
+
+// Spec describes one search.
+type Spec struct {
+	Program   *isa.Program
+	Detectors *detector.Table
+	Input     []int64
+	// Injections is the fault class to sweep (one symbolic error per
+	// execution, as in the paper's experiments).
+	Injections []faults.Injection
+	// Exec configures the symbolic executor.
+	Exec symexec.Options
+	// Predicate selects interesting terminal states.
+	Predicate Predicate
+	// MaxFindings caps collected findings per injection; 0 means unlimited.
+	// (The paper capped each search task at 10 errors.)
+	MaxFindings int
+	// StateBudget bounds explored states per injection; 0 selects
+	// DefaultStateBudget.
+	StateBudget int
+	// Dedup enables visited-state deduplication. States are keyed on the
+	// full configuration including the step counter, so deduplication only
+	// merges genuinely identical interleavings and never masks hangs.
+	Dedup bool
+	// KeepStates retains the final state (with trace) on findings. Always
+	// on; present for future memory tuning.
+	KeepStates bool
+}
+
+// Finding is a terminal state matching the predicate, with provenance.
+type Finding struct {
+	Injection faults.Injection
+	State     *symexec.State
+}
+
+// Describe renders the finding for reports.
+func (f Finding) Describe() string {
+	return fmt.Sprintf("%s => outcome %s, output %q, symbolic state: %s",
+		f.Injection, f.State.Outcome(), f.State.OutputString(), f.State.Sym.Describe())
+}
+
+// InjectionReport records the exploration of one injection.
+type InjectionReport struct {
+	Injection faults.Injection
+	// Activated is false when the fault-free execution never reached the
+	// breakpoint, so the fault was never manifested.
+	Activated bool
+	// StatesExplored counts states expanded.
+	StatesExplored int
+	// TerminalStates counts terminal states classified.
+	TerminalStates int
+	// Outcomes tallies terminal states by outcome.
+	Outcomes map[symexec.Outcome]int
+	// Findings holds predicate matches (capped at MaxFindings).
+	Findings []Finding
+	// BudgetExhausted is true when the state budget expired before the
+	// frontier emptied; results are then a sound subset.
+	BudgetExhausted bool
+	// Truncated is true when a fork fan-out cap dropped successors.
+	Truncated bool
+}
+
+// Report aggregates a whole search.
+type Report struct {
+	Spec          *Spec
+	PerInjection  []InjectionReport
+	Findings      []Finding
+	Outcomes      map[symexec.Outcome]int
+	TotalStates   int
+	NotActivated  int
+	BudgetBlown   int
+	AnyTruncation bool
+}
+
+// Verdict is the framework's overall answer (paper Section 3.1, Outputs):
+// either a proof that the program (with its detectors) is resilient to the
+// error class, or the enumeration of the errors that evade detection.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictProven: the exhaustive search completed within budget without
+	// truncation and found no error satisfying the predicate — the paper's
+	// "proof that the program with the embedded detectors is resilient to
+	// the error class considered" (for the analyzed input).
+	VerdictProven Verdict = iota + 1
+	// VerdictRefuted: at least one error in the class satisfies the
+	// predicate; the findings enumerate them.
+	VerdictRefuted
+	// VerdictInconclusive: nothing was found, but a state budget expired or
+	// a fork fan-out cap truncated exploration, so absence is not proof.
+	VerdictInconclusive
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictProven:
+		return "proven resilient"
+	case VerdictRefuted:
+		return "refuted"
+	case VerdictInconclusive:
+		return "inconclusive"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Verdict classifies the report.
+func (r *Report) Verdict() Verdict {
+	if len(r.Findings) > 0 {
+		return VerdictRefuted
+	}
+	if r.BudgetBlown > 0 || r.AnyTruncation {
+		return VerdictInconclusive
+	}
+	return VerdictProven
+}
+
+// Run executes the search sequentially. See internal/cluster for the
+// decomposed parallel driver.
+func Run(spec Spec) (*Report, error) {
+	if spec.Program == nil {
+		return nil, fmt.Errorf("checker: nil program")
+	}
+	if spec.Predicate.Match == nil {
+		return nil, fmt.Errorf("checker: nil predicate")
+	}
+	rep := &Report{
+		Spec:         &spec,
+		PerInjection: make([]InjectionReport, 0, len(spec.Injections)),
+		Outcomes:     make(map[symexec.Outcome]int),
+	}
+	for _, inj := range spec.Injections {
+		ir, err := RunInjection(spec, inj)
+		if err != nil {
+			return nil, fmt.Errorf("checker: %s: %w", inj, err)
+		}
+		rep.PerInjection = append(rep.PerInjection, ir)
+		rep.Findings = append(rep.Findings, ir.Findings...)
+		rep.TotalStates += ir.StatesExplored
+		for o, n := range ir.Outcomes {
+			rep.Outcomes[o] += n
+		}
+		if !ir.Activated {
+			rep.NotActivated++
+		}
+		if ir.BudgetExhausted {
+			rep.BudgetBlown++
+		}
+		rep.AnyTruncation = rep.AnyTruncation || ir.Truncated
+	}
+	return rep, nil
+}
+
+// RunInjection explores a single injection and returns its report.
+func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
+	ir := InjectionReport{
+		Injection: inj,
+		Outcomes:  make(map[symexec.Outcome]int),
+	}
+	budget := spec.StateBudget
+	if budget <= 0 {
+		budget = DefaultStateBudget
+	}
+
+	// Concrete prefix up to the breakpoint.
+	m := machine.New(spec.Program, spec.Input, machine.Options{
+		Watchdog:  spec.Exec.Watchdog,
+		Detectors: spec.Detectors,
+	})
+	if !m.RunUntil(inj.PC, inj.Occurrence) {
+		return ir, nil // fault never activated
+	}
+	ir.Activated = true
+
+	st := symexec.FromMachine(m, spec.Detectors, spec.Exec)
+	if consumed := m.InputConsumed(); consumed < len(spec.Input) {
+		st.SetInput(spec.Input[consumed:])
+	}
+
+	initial, err := inj.Apply(st)
+	if err != nil {
+		return ir, err
+	}
+
+	// Breadth-first exhaustive exploration. Deterministic steps run in
+	// place (StepInPlace) so only genuine forks pay for a state clone; each
+	// executed step counts one state against the budget.
+	frontier := initial
+	var visited map[string]struct{}
+	if spec.Dedup {
+		visited = make(map[string]struct{}, 1024)
+	}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if visited != nil {
+			k := cur.Key()
+			if _, seen := visited[k]; seen {
+				continue
+			}
+			visited[k] = struct{}{}
+		}
+		for {
+			if ir.StatesExplored >= budget {
+				ir.BudgetExhausted = true
+				return ir, nil
+			}
+			ir.StatesExplored++
+			ir.Truncated = ir.Truncated || cur.Truncated
+
+			if !cur.Running() {
+				ir.TerminalStates++
+				ir.Outcomes[cur.Outcome()]++
+				if spec.Predicate.Match(cur) {
+					if spec.MaxFindings == 0 || len(ir.Findings) < spec.MaxFindings {
+						ir.Findings = append(ir.Findings, Finding{Injection: inj, State: cur})
+					}
+				}
+				break
+			}
+			if cur.StepInPlace() {
+				continue
+			}
+			frontier = append(frontier, cur.Successors()...)
+			break
+		}
+	}
+	return ir, nil
+}

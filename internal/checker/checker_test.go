@@ -1,0 +1,174 @@
+package checker
+
+import (
+	"testing"
+
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// TestFactorialEnumeration reproduces the paper's Section 4.1 example: a
+// transient error in register $3 (the loop counter) after the decrement, in
+// any loop iteration, makes the loop exit early — printing one of the
+// partial products — or propagate err to the output, or hang. SymPLFIED must
+// enumerate every such outcome.
+func TestFactorialEnumeration(t *testing.T) {
+	prog := factorial.Plain()
+	subiPC, ok := factorial.SubiPC(prog)
+	if !ok {
+		t.Fatal("no subi in factorial program")
+	}
+
+	// For input 5 the loop body executes four times ($3 = 5,4,3,2), so the
+	// decrement has four dynamic occurrences.
+	var injections []faults.Injection
+	for occ := 1; occ <= 4; occ++ {
+		injections = append(injections, faults.Injection{
+			Class:      faults.ClassRegister,
+			PC:         subiPC,
+			Occurrence: occ,
+			Loc:        isa.RegLoc(3),
+		})
+	}
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 400
+	rep, err := Run(Spec{
+		Program:    prog,
+		Input:      []int64{5},
+		Injections: injections,
+		Exec:       exec,
+		Predicate:  OutcomeIs(symexec.OutcomeNormal),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	concrete := make(map[int64]bool)
+	errPrinted := false
+	for _, f := range rep.Findings {
+		vals := f.State.OutputValues()
+		if len(vals) != 1 {
+			t.Fatalf("finding with %d printed values: %q", len(vals), f.State.OutputString())
+		}
+		if vals[0].IsErr() {
+			errPrinted = true
+			continue
+		}
+		v, _ := vals[0].Concrete()
+		concrete[v] = true
+	}
+
+	// The downward loop's partial products for input 5: exiting after k
+	// multiplications prints 5!/(5-k)!.
+	for _, want := range []int64{5, 20, 60, 120} {
+		if !concrete[want] {
+			t.Errorf("partial product %d not enumerated; got %v", want, concrete)
+		}
+	}
+	if !errPrinted {
+		t.Error("no outcome printing err was enumerated")
+	}
+	if rep.Outcomes[symexec.OutcomeHang] == 0 {
+		t.Error("no hang (timeout) outcome enumerated despite infinite erroneous loop")
+	}
+	if rep.NotActivated != 0 {
+		t.Errorf("%d injections not activated", rep.NotActivated)
+	}
+}
+
+// TestFactorialDetectorDerivation reproduces Section 4.2: with the Figure 3
+// detectors, the first check is subsumed by the loop-continuation constraint
+// and never fires, while the second check forks; the constraint solver
+// derives exactly which corrupted values are detected, and which escape.
+func TestFactorialDetectorDerivation(t *testing.T) {
+	prog, dets := factorial.WithDetectors()
+	subiPC, ok := factorial.SubiPC(prog)
+	if !ok {
+		t.Fatal("no subi in detector program")
+	}
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 400
+	ir, err := RunInjection(Spec{
+		Program:   prog,
+		Detectors: dets,
+		Input:     []int64{5},
+		Exec:      exec,
+		Predicate: OutcomeIs(symexec.OutcomeDetected),
+	}, faults.Injection{
+		Class: faults.ClassRegister,
+		PC:    subiPC,
+		Loc:   isa.RegLoc(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Activated {
+		t.Fatal("injection not activated")
+	}
+	if ir.Outcomes[symexec.OutcomeDetected] == 0 {
+		t.Fatal("no detection outcome found")
+	}
+
+	// The first detection (earliest fork) happens at detector 2 in the first
+	// loop iteration after the fault: the solver must have pinned the
+	// corrupted root to 3..5 — i.e. detected iff the corrupted counter is at
+	// most the original input but still continues the loop.
+	found := false
+	for _, f := range ir.Findings {
+		if f.State.Exc == nil || f.State.Exc.Kind != isa.ExcDetected {
+			continue
+		}
+		cons := f.State.Sym.RootConstraints(0)
+		if cons == nil {
+			continue
+		}
+		if cons.Admits(3) && cons.Admits(4) && cons.Admits(5) && !cons.Admits(2) && !cons.Admits(6) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		for _, f := range ir.Findings {
+			t.Logf("detected state: %s", f.State.Sym.Describe())
+		}
+		t.Error("no detection with the derived constraint root in [3,5]")
+	}
+
+	// Escaping errors must exist: normal terminations (early exit before the
+	// detectors see the error, or large corrupted values passing check 2).
+	if ir.Outcomes[symexec.OutcomeNormal] == 0 {
+		t.Error("no escaping (normal) outcome found")
+	}
+}
+
+// TestCheckerDetectsSubsumedFirstDetector asserts the paper's observation
+// that check ($4 < $3) can never fire once the loop-continuation constraint
+// is recorded: no detection exception may reference detector 1.
+func TestCheckerDetectsSubsumedFirstDetector(t *testing.T) {
+	prog, dets := factorial.WithDetectors()
+	subiPC, _ := factorial.SubiPC(prog)
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 400
+	ir, err := RunInjection(Spec{
+		Program:   prog,
+		Detectors: dets,
+		Input:     []int64{5},
+		Exec:      exec,
+		Predicate: OutcomeIs(symexec.OutcomeDetected),
+	}, faults.Injection{Class: faults.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ir.Findings {
+		if f.State.Exc != nil && f.State.Exc.Kind == isa.ExcDetected {
+			if got := f.State.Exc.Detail; len(got) >= 10 && got[:10] == "detector 1" {
+				t.Errorf("detector 1 fired despite constraint subsumption: %s", got)
+			}
+		}
+	}
+}

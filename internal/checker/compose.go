@@ -1,0 +1,93 @@
+package checker
+
+import (
+	"fmt"
+
+	"symplfied/internal/faults"
+)
+
+// Component names a code region analyzed separately — the paper's
+// hierarchical/compositional approach (Section 3.4): "if a certain code
+// component protected with detectors is proved to be resilient to all errors
+// of a particular class, then such errors can be ignored when considering
+// the space of errors that can occur in the system as a whole".
+type Component struct {
+	Name string
+	// Lo and Hi bound the component's instructions, inclusive.
+	Lo, Hi int
+}
+
+// Contains reports whether the injection's breakpoint lies in the component.
+func (c Component) Contains(inj faults.Injection) bool {
+	return inj.PC >= c.Lo && inj.PC <= c.Hi
+}
+
+// ComponentProof is the result of proving one component.
+type ComponentProof struct {
+	Component Component
+	Report    *Report
+	Verdict   Verdict
+}
+
+// ProveComponent runs the spec restricted to the injections inside the
+// component and reports the verdict. The spec's Injections field supplies
+// the full class; only the component's share is explored.
+func ProveComponent(spec Spec, c Component) (ComponentProof, error) {
+	if c.Lo > c.Hi {
+		return ComponentProof{}, fmt.Errorf("checker: component %q has empty range [%d, %d]", c.Name, c.Lo, c.Hi)
+	}
+	var local []faults.Injection
+	for _, inj := range spec.Injections {
+		if c.Contains(inj) {
+			local = append(local, inj)
+		}
+	}
+	spec.Injections = local
+	rep, err := Run(spec)
+	if err != nil {
+		return ComponentProof{}, fmt.Errorf("checker: component %q: %w", c.Name, err)
+	}
+	return ComponentProof{Component: c, Report: rep, Verdict: rep.Verdict()}, nil
+}
+
+// PruneProven removes the injections covered by proven components, shrinking
+// the whole-program search space. Components whose verdict is not
+// VerdictProven are ignored (their injections stay).
+func PruneProven(injs []faults.Injection, proofs []ComponentProof) []faults.Injection {
+	out := make([]faults.Injection, 0, len(injs))
+	for _, inj := range injs {
+		covered := false
+		for _, p := range proofs {
+			if p.Verdict == VerdictProven && p.Component.Contains(inj) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, inj)
+		}
+	}
+	return out
+}
+
+// RunComposed is the two-level analysis: prove each component in isolation,
+// prune the proven regions from the whole-program injection space, and run
+// the remaining search. The returned report covers the pruned space; the
+// proofs document the discharged regions.
+func RunComposed(spec Spec, components []Component) (*Report, []ComponentProof, error) {
+	proofs := make([]ComponentProof, 0, len(components))
+	for _, c := range components {
+		p, err := ProveComponent(spec, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		proofs = append(proofs, p)
+	}
+	pruned := spec
+	pruned.Injections = PruneProven(spec.Injections, proofs)
+	rep, err := Run(pruned)
+	if err != nil {
+		return nil, proofs, err
+	}
+	return rep, proofs, nil
+}

@@ -1,0 +1,114 @@
+package checker
+
+import (
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// composedProgram has a detector-protected component (the checked sum) and
+// an unprotected tail, so the compositional analysis discharges the first
+// region and localizes the escaping errors in the second.
+const composedProgram = `
+-- protected component: compute and check
+	li $1 3
+	li $2 4
+	add $3 $1 $2
+	check ($3 == 7)
+-- unprotected tail: scale and print
+	multi $4 $3 10
+	print $4
+	halt
+`
+
+func composedSpec(t *testing.T) (Spec, []faults.Injection) {
+	t.Helper()
+	u := asm.MustParse("composed", composedProgram)
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 100
+	injs := faults.RegisterInjections(u.Program, true)
+	return Spec{
+		Program:    u.Program,
+		Detectors:  u.Detectors,
+		Injections: injs,
+		Exec:       exec,
+		Predicate:  HaltedOutputOtherThan(70),
+	}, injs
+}
+
+func TestProveComponent(t *testing.T) {
+	spec, _ := composedSpec(t)
+	proof, err := ProveComponent(spec, Component{Name: "checked-sum", Lo: 0, Hi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.Verdict != VerdictProven {
+		for _, f := range proof.Report.Findings {
+			t.Logf("escaping: %s", f.Describe())
+		}
+		t.Fatalf("protected component verdict %v, want proven", proof.Verdict)
+	}
+
+	// The unprotected tail is refuted in isolation.
+	proof, err = ProveComponent(spec, Component{Name: "tail", Lo: 4, Hi: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.Verdict != VerdictRefuted {
+		t.Fatalf("unprotected tail verdict %v, want refuted", proof.Verdict)
+	}
+
+	if _, err := ProveComponent(spec, Component{Name: "bad", Lo: 5, Hi: 2}); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestRunComposedPrunes(t *testing.T) {
+	spec, injs := composedSpec(t)
+	rep, proofs, err := RunComposed(spec, []Component{{Name: "checked-sum", Lo: 0, Hi: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proofs) != 1 || proofs[0].Verdict != VerdictProven {
+		t.Fatalf("proofs %v", proofs)
+	}
+	// The composed run explores only the tail's injections.
+	var tail int
+	for _, inj := range injs {
+		if inj.PC >= 4 {
+			tail++
+		}
+	}
+	if got := len(rep.Spec.Injections); got != tail {
+		t.Errorf("composed run explored %d injections, want %d (tail only)", got, tail)
+	}
+	// Findings localize in the unprotected region.
+	if len(rep.Findings) == 0 {
+		t.Fatal("composed run found nothing in the unprotected tail")
+	}
+	for _, f := range rep.Findings {
+		if f.Injection.PC < 4 {
+			t.Errorf("finding in a discharged region: %s", f.Injection)
+		}
+	}
+}
+
+// TestPruneKeepsUnprovenComponents: a refuted component does not discharge
+// its injections.
+func TestPruneKeepsUnprovenComponents(t *testing.T) {
+	injs := []faults.Injection{
+		{Class: faults.ClassRegister, PC: 1, Loc: isa.RegLoc(1)},
+		{Class: faults.ClassRegister, PC: 5, Loc: isa.RegLoc(1)},
+	}
+	proofs := []ComponentProof{
+		{Component: Component{Lo: 0, Hi: 3}, Verdict: VerdictRefuted},
+		{Component: Component{Lo: 4, Hi: 9}, Verdict: VerdictProven},
+	}
+	out := PruneProven(injs, proofs)
+	if len(out) != 1 || out[0].PC != 1 {
+		t.Errorf("pruned set %v", out)
+	}
+}

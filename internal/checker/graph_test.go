@@ -1,0 +1,111 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+func exploreFactorialGraph(t *testing.T, maxNodes int) *Graph {
+	t.Helper()
+	prog := factorial.Plain()
+	subiPC, _ := factorial.SubiPC(prog)
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 200
+	g, err := ExploreGraph(Spec{
+		Program: prog,
+		Input:   []int64{3},
+		Exec:    exec,
+	}, faults.Injection{Class: faults.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3)}, maxNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExploreGraphStructure(t *testing.T) {
+	g := exploreFactorialGraph(t, 0)
+	if len(g.Nodes) == 0 || g.Truncated {
+		t.Fatalf("nodes %d truncated %v", len(g.Nodes), g.Truncated)
+	}
+	// Exactly one root (the single register injection).
+	roots := 0
+	for _, n := range g.Nodes {
+		if n.Parent == -1 {
+			roots++
+		}
+		if n.Parent >= n.ID {
+			t.Fatalf("node %d has a non-ancestor parent %d", n.ID, n.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%d roots, want 1", roots)
+	}
+	terms := g.Terminals()
+	if len(terms) == 0 {
+		t.Fatal("no terminal nodes")
+	}
+	// Every terminal path starts at a root and is strictly step-increasing.
+	for _, term := range terms {
+		path := g.Path(term.ID)
+		if g.Nodes[path[0]].Parent != -1 {
+			t.Fatalf("path does not start at a root: %v", path)
+		}
+		for i := 1; i < len(path); i++ {
+			if g.Nodes[path[i]].Steps < g.Nodes[path[i-1]].Steps {
+				t.Fatalf("steps decrease along path: %v", path)
+			}
+		}
+	}
+	// The early-exit outcome (printing the partial product 3) appears.
+	found := false
+	for _, term := range terms {
+		if term.Outcome == "normal" && strings.Contains(term.Output, "Factorial = 3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("early-exit terminal missing from the graph")
+	}
+}
+
+func TestExploreGraphTruncation(t *testing.T) {
+	g := exploreFactorialGraph(t, 5)
+	if !g.Truncated || len(g.Nodes) != 5 {
+		t.Fatalf("nodes %d truncated %v, want 5/true", len(g.Nodes), g.Truncated)
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	g := exploreFactorialGraph(t, 0)
+	dot := g.DOT()
+	for _, want := range []string{"digraph symplfied", "->", "register error", "fillcolor=palegreen"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output lacks %q", want)
+		}
+	}
+	// One edge per non-root node.
+	if got, want := strings.Count(dot, "->"), len(g.Nodes)-1; got != want {
+		t.Errorf("%d edges, want %d", got, want)
+	}
+}
+
+func TestExploreGraphErrors(t *testing.T) {
+	if _, err := ExploreGraph(Spec{}, faults.Injection{}, 0); err == nil {
+		t.Error("nil program accepted")
+	}
+	prog := factorial.Plain()
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 200
+	// Unreachable occurrence: never activated.
+	subiPC, _ := factorial.SubiPC(prog)
+	_, err := ExploreGraph(Spec{Program: prog, Input: []int64{3}, Exec: exec},
+		faults.Injection{Class: faults.ClassRegister, PC: subiPC, Occurrence: 99, Loc: isa.RegLoc(3)}, 0)
+	if err == nil {
+		t.Error("unreachable breakpoint accepted")
+	}
+}

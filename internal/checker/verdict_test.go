@@ -1,0 +1,233 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// TestVerdictProven: a program whose detector catches every manifestation of
+// the fault class is proven resilient — the paper's first output form
+// ("Proof that program is resistant to errors").
+func TestVerdictProven(t *testing.T) {
+	// The detector checks the result against the independently known golden
+	// value; an error in $1 or $2 before the add either trips the check or
+	// is benign (the corrupted value happened to equal the correct one).
+	// Note that a duplication-style check re-deriving "$1 + $2" would be
+	// tautological here: the corrupted source feeds both sides, the affine
+	// solver sees identical terms, and the check can never fire — the kind
+	// of detector weakness SymPLFIED exists to expose.
+	u := asm.MustParse("protected", `
+	li $1 3
+	li $2 4
+	add $3 $1 $2
+	check ($3 == 7)
+	print $3
+	halt
+`)
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 100
+	rep, err := Run(Spec{
+		Program:   u.Program,
+		Detectors: u.Detectors,
+		Injections: []faults.Injection{
+			{Class: faults.ClassRegister, PC: 2, Loc: isa.RegLoc(1)},
+			{Class: faults.ClassRegister, PC: 2, Loc: isa.RegLoc(2)},
+		},
+		Exec:      exec,
+		Predicate: HaltedOutputOtherThan(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Verdict(); got != VerdictProven {
+		for _, f := range rep.Findings {
+			t.Logf("finding: %s", f.Describe())
+		}
+		t.Fatalf("verdict %v, want proven (findings %d)", got, len(rep.Findings))
+	}
+}
+
+// TestVerdictRefuted: the unprotected variant is refuted with the escaping
+// errors enumerated.
+func TestVerdictRefuted(t *testing.T) {
+	u := asm.MustParse("unprotected", `
+	li $1 3
+	li $2 4
+	add $3 $1 $2
+	print $3
+	halt
+`)
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 100
+	rep, err := Run(Spec{
+		Program: u.Program,
+		Injections: []faults.Injection{
+			{Class: faults.ClassRegister, PC: 2, Loc: isa.RegLoc(1)},
+		},
+		Exec:      exec,
+		Predicate: HaltedOutputOtherThan(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict() != VerdictRefuted {
+		t.Fatalf("verdict %v, want refuted", rep.Verdict())
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("refuted without findings")
+	}
+}
+
+// TestVerdictInconclusive: a blown budget downgrades absence of findings.
+func TestVerdictInconclusive(t *testing.T) {
+	u := asm.MustParse("loopy", `
+	read $1
+loop:	subi $1 $1 1
+	bnei $1 0 loop
+	print $1
+	halt
+`)
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 100_000
+	rep, err := Run(Spec{
+		Program: u.Program,
+		Input:   []int64{1000},
+		Injections: []faults.Injection{
+			{Class: faults.ClassRegister, PC: 1, Loc: isa.RegLoc(1)},
+		},
+		Exec:        exec,
+		StateBudget: 100,
+		Predicate:   HaltedOutputOtherThan(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BudgetBlown == 0 {
+		t.Fatal("budget not blown as arranged")
+	}
+	if len(rep.Findings) == 0 && rep.Verdict() != VerdictInconclusive {
+		t.Fatalf("verdict %v, want inconclusive", rep.Verdict())
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for _, v := range []Verdict{VerdictProven, VerdictRefuted, VerdictInconclusive} {
+		if strings.HasPrefix(v.String(), "verdict(") {
+			t.Errorf("verdict %d lacks a name", int(v))
+		}
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	u := asm.MustParse("t", "\tprints \"x\"\n\thalt\n")
+	st := symexec.NewState(u.Program, nil, nil, symexec.DefaultOptions())
+	for st.Running() {
+		st.StepInPlace()
+	}
+
+	always := Predicate{Name: "always", Match: func(*symexec.State) bool { return true }}
+	never := Predicate{Name: "never", Match: func(*symexec.State) bool { return false }}
+
+	if !Any(never, always).Match(st) || Any(never, never).Match(st) {
+		t.Error("Any combinator wrong")
+	}
+	if All(always, never).Match(st) || !All(always, always).Match(st) {
+		t.Error("All combinator wrong")
+	}
+	if got := Any(never, always).Name; !strings.Contains(got, "or") {
+		t.Errorf("Any name %q", got)
+	}
+	if !Undetected(always).Match(st) {
+		t.Error("Undetected rejected a normal halt")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	mk := func(src string, input []int64) *symexec.State {
+		u := asm.MustParse("t", src)
+		s := symexec.NewState(u.Program, u.Detectors, input, symexec.DefaultOptions())
+		for s.Running() {
+			if !s.StepInPlace() {
+				t.Fatal("test program forked")
+			}
+		}
+		return s
+	}
+
+	normal := mk("\tli $1 5\n\tprint $1\n\thalt\n", nil)
+	if !HaltedOutputEquals(5).Match(normal) || HaltedOutputEquals(6).Match(normal) {
+		t.Error("HaltedOutputEquals wrong")
+	}
+	if !HaltedOutputOtherThan(6).Match(normal) || HaltedOutputOtherThan(5).Match(normal) {
+		t.Error("HaltedOutputOtherThan wrong")
+	}
+	if !IncorrectOutput("4").Match(normal) || IncorrectOutput("5").Match(normal) {
+		t.Error("IncorrectOutput wrong")
+	}
+	if OutputContainsErr().Match(normal) {
+		t.Error("OutputContainsErr matched a concrete output")
+	}
+
+	crash := mk("\tthrow \"x\"\n", nil)
+	if !OutcomeIs(symexec.OutcomeCrash).Match(crash) {
+		t.Error("OutcomeIs(crash) wrong")
+	}
+	if !ExceptionOfKind(isa.ExcThrow).Match(crash) || ExceptionOfKind(isa.ExcTimeout).Match(crash) {
+		t.Error("ExceptionOfKind wrong")
+	}
+	if Undetected(OutcomeIs(symexec.OutcomeCrash)).Match(crash) != true {
+		t.Error("Undetected over crash wrong")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Error("nil program accepted")
+	}
+	u := asm.MustParse("t", "\thalt\n")
+	if _, err := Run(Spec{Program: u.Program}); err == nil {
+		t.Error("nil predicate accepted")
+	}
+}
+
+// TestDedupReducesStates: visited-state deduplication merges identical
+// interleavings without changing findings.
+func TestDedupReducesStates(t *testing.T) {
+	u := asm.MustParse("t", `
+	read $1
+	beqi $1 0 a
+a:	print $1
+	halt
+`)
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 100
+	base := Spec{
+		Program: u.Program,
+		Input:   []int64{0},
+		Injections: []faults.Injection{
+			{Class: faults.ClassRegister, PC: 1, Loc: isa.RegLoc(1)},
+		},
+		Exec:      exec,
+		Predicate: OutcomeIs(symexec.OutcomeNormal),
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Dedup = true
+	deduped, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deduped.Findings) == 0 {
+		t.Fatal("dedup lost all findings")
+	}
+	if deduped.TotalStates > plain.TotalStates {
+		t.Errorf("dedup explored more states (%d > %d)", deduped.TotalStates, plain.TotalStates)
+	}
+}

@@ -1,0 +1,86 @@
+// Package cli holds helpers shared by the command-line tools: loading
+// programs (from assembly files, MIPS files, or the built-in benchmark
+// applications) and parsing input streams.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"symplfied"
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/apps/replace"
+	"symplfied/internal/apps/tcas"
+)
+
+// LoadUnit loads a program from -file/-app style options.
+func LoadUnit(file, app string, isMIPS bool) (*symplfied.Unit, error) {
+	switch {
+	case file != "" && app != "":
+		return nil, fmt.Errorf("use -file or -app, not both")
+	case app != "":
+		return BuiltinApp(app)
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if isMIPS {
+			prog, err := symplfied.TranslateMIPS(file, string(src))
+			if err != nil {
+				return nil, err
+			}
+			return &symplfied.Unit{Program: prog}, nil
+		}
+		return symplfied.Assemble(file, string(src))
+	}
+	return nil, fmt.Errorf("one of -file or -app is required")
+}
+
+// BuiltinApp returns one of the paper's benchmark applications.
+func BuiltinApp(app string) (*symplfied.Unit, error) {
+	switch app {
+	case "factorial":
+		return symplfied.Assemble("factorial", factorial.SourcePlain)
+	case "factorial-detectors":
+		return symplfied.Assemble("factorial-detectors", factorial.SourceDetectors)
+	case "tcas":
+		return &symplfied.Unit{Program: tcas.Program()}, nil
+	case "replace":
+		return &symplfied.Unit{Program: replace.Program()}, nil
+	}
+	return nil, fmt.Errorf("unknown app %q (want factorial, factorial-detectors, tcas, replace)", app)
+}
+
+// DefaultInput returns the canonical experiment input for a built-in app, or
+// nil when the app has none.
+func DefaultInput(app string) []int64 {
+	switch app {
+	case "factorial", "factorial-detectors":
+		return []int64{5}
+	case "tcas":
+		return tcas.UpwardInput().Slice()
+	case "replace":
+		return replace.Input("[a-c]x*", "<&>", "axx b cx")
+	}
+	return nil
+}
+
+// ParseInput parses a comma-separated integer stream.
+func ParseInput(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input element %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

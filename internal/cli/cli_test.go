@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseInput(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int64
+	}{
+		{"", nil},
+		{"  ", nil},
+		{"5", []int64{5}},
+		{"1,2,3", []int64{1, 2, 3}},
+		{" 1 , -2 , 3 ", []int64{1, -2, 3}},
+	}
+	for _, c := range cases {
+		got, err := ParseInput(c.in)
+		if err != nil || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseInput(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	for _, bad := range []string{"x", "1,,2", "1,y"} {
+		if _, err := ParseInput(bad); err == nil {
+			t.Errorf("ParseInput(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuiltinApps(t *testing.T) {
+	for _, app := range []string{"factorial", "factorial-detectors", "tcas", "replace"} {
+		u, err := BuiltinApp(app)
+		if err != nil || u.Program == nil {
+			t.Errorf("BuiltinApp(%q): %v", app, err)
+		}
+		if in := DefaultInput(app); len(in) == 0 {
+			t.Errorf("DefaultInput(%q) empty", app)
+		}
+	}
+	if _, err := BuiltinApp("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if DefaultInput("nope") != nil {
+		t.Error("unknown app has a default input")
+	}
+}
+
+func TestLoadUnitFromFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	symFile := filepath.Join(dir, "p.sym")
+	if err := os.WriteFile(symFile, []byte("\tli $1 1\n\tprint $1\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := LoadUnit(symFile, "", false)
+	if err != nil || u.Program.Len() != 3 {
+		t.Fatalf("LoadUnit sym: %v", err)
+	}
+
+	mipsFile := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(mipsFile, []byte("\t.text\nmain:\tli $v0, 10\n\tsyscall\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err = LoadUnit(mipsFile, "", true)
+	if err != nil || u.Program == nil {
+		t.Fatalf("LoadUnit mips: %v", err)
+	}
+
+	if _, err := LoadUnit("", "", false); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := LoadUnit(symFile, "tcas", false); err == nil {
+		t.Error("both -file and -app accepted")
+	}
+	if _, err := LoadUnit(filepath.Join(dir, "missing.sym"), "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+func sampleInjections(n int) []faults.Injection {
+	out := make([]faults.Injection, n)
+	for i := range out {
+		out[i] = faults.Injection{Class: faults.ClassRegister, PC: n - 1 - i, Loc: isa.RegLoc(1)}
+	}
+	return out
+}
+
+func TestSplitPartitions(t *testing.T) {
+	injs := sampleInjections(10)
+	tasks := Split(injs, 3)
+	if len(tasks) != 3 {
+		t.Fatalf("%d tasks", len(tasks))
+	}
+	total := 0
+	lastPC := -1
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Errorf("task %d has ID %d", i, task.ID)
+		}
+		if len(task.Injections) == 0 {
+			t.Errorf("task %d empty", i)
+		}
+		total += len(task.Injections)
+		for _, inj := range task.Injections {
+			if inj.PC < lastPC {
+				t.Error("tasks do not sweep contiguous code sections")
+			}
+			lastPC = inj.PC
+		}
+	}
+	if total != 10 {
+		t.Errorf("partition lost injections: %d", total)
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	if got := Split(nil, 5); len(got) != 0 {
+		t.Errorf("empty split: %v", got)
+	}
+	if got := Split(sampleInjections(2), 10); len(got) != 2 {
+		t.Errorf("more tasks than injections: %d tasks", len(got))
+	}
+	if got := Split(sampleInjections(4), 0); len(got) != 1 {
+		t.Errorf("zero task count: %d tasks", len(got))
+	}
+	// Split must not reorder the caller's slice.
+	injs := sampleInjections(5)
+	first := injs[0].PC
+	Split(injs, 2)
+	if injs[0].PC != first {
+		t.Error("Split mutated its input")
+	}
+}
+
+func factorialSpec(t *testing.T) checker.Spec {
+	t.Helper()
+	prog := factorial.Plain()
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 400
+	return checker.Spec{
+		Program:   prog,
+		Input:     []int64{5},
+		Exec:      exec,
+		Predicate: checker.OutcomeIs(symexec.OutcomeNormal),
+	}
+}
+
+func TestRunCollectsAllTasks(t *testing.T) {
+	spec := factorialSpec(t)
+	injs := faults.RegisterInjections(spec.Program, true)
+	tasks := Split(injs, 4)
+	reports := Run(spec, tasks, Config{Workers: 2})
+	if len(reports) != len(tasks) {
+		t.Fatalf("%d reports for %d tasks", len(reports), len(tasks))
+	}
+	sum := Summarize(reports)
+	if sum.Completed != len(tasks) {
+		t.Errorf("completed %d of %d with generous budget", sum.Completed, len(tasks))
+	}
+	if sum.TotalInjections != len(injs) {
+		t.Errorf("injections done %d, want %d", sum.TotalInjections, len(injs))
+	}
+	if len(sum.Findings) == 0 {
+		t.Error("no findings pooled")
+	}
+}
+
+func TestRunBudgetMarksIncomplete(t *testing.T) {
+	spec := factorialSpec(t)
+	injs := faults.RegisterInjections(spec.Program, true)
+	tasks := Split(injs, 1)
+	reports := Run(spec, tasks, Config{TaskStateBudget: 50})
+	if len(reports) != 1 {
+		t.Fatal("missing report")
+	}
+	if reports[0].Completed {
+		t.Error("task completed under a 50-state budget")
+	}
+	sum := Summarize(reports)
+	if sum.Incomplete != 1 {
+		t.Errorf("summary incomplete = %d", sum.Incomplete)
+	}
+}
+
+func TestRunFindingsCapCompletesTask(t *testing.T) {
+	spec := factorialSpec(t)
+	injs := faults.RegisterInjections(spec.Program, true)
+	tasks := Split(injs, 1)
+	reports := Run(spec, tasks, Config{MaxFindingsPerTask: 2})
+	if !reports[0].Completed {
+		t.Error("finding-capped task not counted completed (paper semantics)")
+	}
+	if len(reports[0].Findings) != 2 {
+		t.Errorf("findings %d, want cap 2", len(reports[0].Findings))
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	spec := factorialSpec(t)
+	// An injection with an invalid register triggers an infrastructure
+	// error inside the task.
+	bad := []faults.Injection{{Class: faults.ClassRegister, PC: 0, Loc: isa.RegLoc(0)}}
+	reports := Run(spec, []Task{{ID: 0, Injections: bad}}, Config{})
+	if reports[0].Err == nil {
+		t.Fatal("task error not reported")
+	}
+	if errors.Is(reports[0].Err, nil) {
+		t.Fatal("impossible")
+	}
+}
+
+func TestSummarizeBuckets(t *testing.T) {
+	reports := []TaskReport{
+		{TaskID: 0, Completed: true},
+		{TaskID: 1, Completed: true, Findings: []checker.Finding{{}}},
+		{TaskID: 2},
+	}
+	sum := Summarize(reports)
+	if sum.Tasks != 3 || sum.Completed != 2 || sum.CompletedEmpty != 1 ||
+		sum.CompletedWithFinds != 1 || sum.Incomplete != 1 {
+		t.Errorf("summary %+v", sum)
+	}
+}
+
+// TestRunDeterministic: the cluster harness must produce identical pooled
+// results regardless of worker count (per-task isolation).
+func TestRunDeterministic(t *testing.T) {
+	spec := factorialSpec(t)
+	injs := faults.RegisterInjections(spec.Program, true)
+	tasks := Split(injs, 4)
+	a := Summarize(Run(spec, tasks, Config{Workers: 1}))
+	b := Summarize(Run(spec, tasks, Config{Workers: 4}))
+	if a.TotalStates != b.TotalStates || len(a.Findings) != len(b.Findings) ||
+		a.Completed != b.Completed {
+		t.Errorf("worker count changed results: %+v vs %+v", a, b)
+	}
+}

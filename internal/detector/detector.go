@@ -1,0 +1,148 @@
+// Package detector implements SymPLFIED's detector model (paper Section 5.3):
+// executable checks, written outside the program and invoked in line through
+// CHECK annotations, that test whether a register or memory location
+// satisfies a comparison against an arithmetic expression. A failed check
+// throws an exception and halts the program ("detected").
+//
+// Detector execution is assumed error-free (the paper's assumption): the
+// evaluation of a detector expression never itself raises machine
+// exceptions. A detector spec whose expression divides by a concrete zero or
+// reads an undefined memory word is a specification error surfaced to the
+// caller, not a machine fault.
+package detector
+
+import (
+	"fmt"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/symbolic"
+)
+
+// Detector is one error detector:
+//
+//	det(ID, target, cmp, expr)
+//
+// The check passes when value(target) cmp value(expr) holds.
+type Detector struct {
+	ID     int64
+	Target isa.Loc
+	Cmp    isa.Cmp
+	Expr   Expr
+}
+
+// String renders the detector in the paper's det(...) syntax.
+func (d *Detector) String() string {
+	return fmt.Sprintf("det(%d, %s, %s, %s)", d.ID, d.Target, d.Cmp, d.Expr)
+}
+
+// Table holds the detectors available to a program, indexed by ID.
+type Table struct {
+	byID map[int64]*Detector
+	ids  []int64
+}
+
+// NewTable builds a table. Duplicate IDs are rejected.
+func NewTable(dets ...*Detector) (*Table, error) {
+	t := &Table{byID: make(map[int64]*Detector, len(dets))}
+	for _, d := range dets {
+		if err := t.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// EmptyTable returns a table with no detectors.
+func EmptyTable() *Table { return &Table{byID: make(map[int64]*Detector)} }
+
+// Add inserts a detector, rejecting duplicate IDs.
+func (t *Table) Add(d *Detector) error {
+	if d == nil {
+		return fmt.Errorf("nil detector")
+	}
+	if _, dup := t.byID[d.ID]; dup {
+		return fmt.Errorf("duplicate detector ID %d", d.ID)
+	}
+	t.byID[d.ID] = d
+	t.ids = append(t.ids, d.ID)
+	return nil
+}
+
+// NextID returns an ID not yet present in the table (used by the assembler's
+// inline-check sugar).
+func (t *Table) NextID() int64 {
+	id := int64(1)
+	for {
+		if _, taken := t.byID[id]; !taken {
+			return id
+		}
+		id++
+	}
+}
+
+// Lookup returns the detector with the given ID.
+func (t *Table) Lookup(id int64) (*Detector, bool) {
+	d, ok := t.byID[id]
+	return d, ok
+}
+
+// Len returns the number of detectors.
+func (t *Table) Len() int { return len(t.byID) }
+
+// All returns the detectors in insertion order.
+func (t *Table) All() []*Detector {
+	out := make([]*Detector, 0, len(t.ids))
+	for _, id := range t.ids {
+		out = append(out, t.byID[id])
+	}
+	return out
+}
+
+// Env provides operand values for expression evaluation. Both the concrete
+// machine and the symbolic executor implement it; the symbolic executor's
+// operands carry affine terms so that detector comparisons feed the
+// constraint solver (the paper's "execution of a detector also updates the
+// constraints ... in the ConstraintMap").
+type Env interface {
+	// RegOperand returns the current value of a register.
+	RegOperand(r isa.Reg) symbolic.Operand
+	// MemOperand returns the current value of a memory word; ok is false if
+	// the location is undefined.
+	MemOperand(addr int64) (op symbolic.Operand, ok bool)
+}
+
+// SpecError reports a malformed detector: an expression that cannot be
+// evaluated without faulting (divide by concrete zero, undefined memory).
+type SpecError struct {
+	Detector int64
+	Reason   string
+}
+
+// Error implements the error interface.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("detector %d specification error: %s", e.Detector, e.Reason)
+}
+
+var _ error = (*SpecError)(nil)
+
+// TargetOperand evaluates the detector's checked location in env.
+func (d *Detector) TargetOperand(env Env) (symbolic.Operand, error) {
+	if !d.Target.IsMem {
+		return env.RegOperand(d.Target.Reg), nil
+	}
+	op, ok := env.MemOperand(d.Target.Addr)
+	if !ok {
+		return symbolic.Operand{}, &SpecError{Detector: d.ID, Reason: fmt.Sprintf("undefined memory %s", d.Target)}
+	}
+	return op, nil
+}
+
+// EvalExpr evaluates the detector's expression in env. Affine term tracking
+// follows the affine flag (see symbolic.PropagateBin).
+func (d *Detector) EvalExpr(env Env, affine bool) (symbolic.Operand, error) {
+	op, err := d.Expr.eval(env, affine)
+	if err != nil {
+		return symbolic.Operand{}, &SpecError{Detector: d.ID, Reason: err.Error()}
+	}
+	return op, nil
+}

@@ -1,0 +1,232 @@
+package detector
+
+import (
+	"strings"
+	"testing"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/symbolic"
+)
+
+// mapEnv is a simple detector.Env for tests.
+type mapEnv struct {
+	regs map[isa.Reg]symbolic.Operand
+	mem  map[int64]symbolic.Operand
+}
+
+func (e *mapEnv) RegOperand(r isa.Reg) symbolic.Operand {
+	if op, ok := e.regs[r]; ok {
+		return op
+	}
+	return symbolic.ConcreteOperand(0)
+}
+
+func (e *mapEnv) MemOperand(addr int64) (symbolic.Operand, bool) {
+	op, ok := e.mem[addr]
+	return op, ok
+}
+
+var _ Env = (*mapEnv)(nil)
+
+func TestParseDetectorSpec(t *testing.T) {
+	d, err := Parse("det(4, $(5), ==, ($3) + *(1000))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != 4 || d.Target != isa.RegLoc(5) || d.Cmp != isa.CmpEq {
+		t.Fatalf("parsed %+v", d)
+	}
+	if got := d.Expr.String(); got != "($3 + *(1000))" {
+		t.Errorf("expr rendering %q", got)
+	}
+	// The paper's exact example renders back in det(...) syntax.
+	if got := d.String(); !strings.HasPrefix(got, "det(4, $5, ==,") {
+		t.Errorf("detector rendering %q", got)
+	}
+}
+
+func TestParseSpecVariants(t *testing.T) {
+	specs := []string{
+		"det(1, $3, >, 5)",
+		"det(2, *(100), <=, $4 * $5)",
+		"det(3, $1, =/=, 2 + 3 * 4)",
+		"det(4, $2, !=, (1 + 2) * 3)",
+		"det(5, $6, >=, *(10) - *20 / 2)",
+		"det (6, $7, <, -5)",
+	}
+	for _, s := range specs {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"check ($1 < $2)",
+		"det(1, $3, >)",
+		"det(x, $3, >, 5)",
+		"det(1, $99, >, 5)",
+		"det(1, $3, ~~, 5)",
+		"det(1, $3, >, )",
+		"det(1, $3, >, (1 + )",
+		"det(1, $3, >, 5",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	env := &mapEnv{
+		regs: map[isa.Reg]symbolic.Operand{1: symbolic.ConcreteOperand(10)},
+		mem:  map[int64]symbolic.Operand{5: symbolic.ConcreteOperand(100)},
+	}
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"20 / 2 - 3", 7},
+		{"20 - 6 / 3", 18},
+		{"$1 * 2 + 1", 21},
+		{"*(5) / $1", 10},
+		{"*5 + *(5)", 200},
+		{"-3 + 5", 2},
+		{"2 - 3 - 4", -5}, // left associative
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.expr)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.expr, err)
+			continue
+		}
+		op, err := e.eval(env, true)
+		if err != nil {
+			t.Errorf("eval(%q): %v", c.expr, err)
+			continue
+		}
+		if v, ok := op.Val.Concrete(); !ok || v != c.want {
+			t.Errorf("eval(%q) = %v, want %d", c.expr, op.Val, c.want)
+		}
+	}
+}
+
+func TestExprErrPropagation(t *testing.T) {
+	env := &mapEnv{
+		regs: map[isa.Reg]symbolic.Operand{
+			2: symbolic.ErrOperand(symbolic.FreshTerm(0)),
+			3: symbolic.ConcreteOperand(4),
+		},
+	}
+	d, err := Parse("det(1, $5, ==, $2 * $3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := d.EvalExpr(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Val.IsErr() || !op.HasTerm || op.Term.Coeff != 4 {
+		t.Fatalf("err lineage lost in expression: %+v", op)
+	}
+
+	// Multiplying by a zero register masks the error (err * 0 = 0).
+	d2, _ := Parse("det(1, $5, ==, $2 * $9)")
+	op, err = d2.EvalExpr(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := op.Val.Concrete(); !ok || v != 0 {
+		t.Fatalf("err * 0 = %v", op.Val)
+	}
+}
+
+func TestExprSpecErrors(t *testing.T) {
+	env := &mapEnv{regs: map[isa.Reg]symbolic.Operand{}}
+	d, _ := Parse("det(9, $1, ==, *(77))")
+	if _, err := d.EvalExpr(env, true); err == nil {
+		t.Error("undefined memory read in expression accepted")
+	} else {
+		var se *SpecError
+		if !asSpecError(err, &se) || se.Detector != 9 {
+			t.Errorf("error %v not a SpecError for detector 9", err)
+		}
+	}
+
+	d2, _ := Parse("det(9, $1, ==, 5 / 0)")
+	if _, err := d2.EvalExpr(env, true); err == nil {
+		t.Error("division by zero in expression accepted")
+	}
+
+	d3, _ := Parse("det(9, *(50), ==, 1)")
+	if _, err := d3.TargetOperand(env); err == nil {
+		t.Error("undefined memory target accepted")
+	}
+}
+
+func asSpecError(err error, out **SpecError) bool {
+	se, ok := err.(*SpecError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func TestInlineCheckParsing(t *testing.T) {
+	d, err := ParseInlineCheck(3, "$2 >= $6 * $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != 3 || d.Target != isa.RegLoc(2) || d.Cmp != isa.CmpGe {
+		t.Fatalf("parsed %+v", d)
+	}
+
+	d, err = ParseInlineCheck(1, "*(40) =/= $3 - 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != isa.MemLoc(40) || d.Cmp != isa.CmpNe {
+		t.Fatalf("parsed %+v", d)
+	}
+
+	if _, err := ParseInlineCheck(1, "$1 $2"); err == nil {
+		t.Error("missing comparison accepted")
+	}
+	if _, err := ParseInlineCheck(1, "5 < $3"); err == nil {
+		t.Error("non-location left-hand side accepted")
+	}
+}
+
+func TestTableSemantics(t *testing.T) {
+	d1, _ := Parse("det(1, $1, ==, 0)")
+	d2, _ := Parse("det(2, $2, ==, 0)")
+	tbl, err := NewTable(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(2); !ok {
+		t.Error("Lookup(2) failed")
+	}
+	if got := tbl.NextID(); got != 3 {
+		t.Errorf("NextID = %d", got)
+	}
+	dup, _ := Parse("det(1, $9, ==, 0)")
+	if err := tbl.Add(dup); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := tbl.Add(nil); err == nil {
+		t.Error("nil detector accepted")
+	}
+	all := tbl.All()
+	if len(all) != 2 || all[0].ID != 1 || all[1].ID != 2 {
+		t.Errorf("All = %v", all)
+	}
+}

@@ -1,0 +1,94 @@
+package detector
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/symbolic"
+)
+
+// Expr is a detector arithmetic expression, per the paper's grammar
+// (Section 5.3):
+//
+//	Expr ::= Expr + Expr | Expr - Expr | Expr * Expr | Expr / Expr
+//	       | (c) | (RegName) | *(memory address)
+type Expr interface {
+	fmt.Stringer
+	eval(env Env, affine bool) (symbolic.Operand, error)
+}
+
+// Const is an integer literal.
+type Const struct{ V int64 }
+
+// RegRef reads a register.
+type RegRef struct{ R isa.Reg }
+
+// MemRef reads a memory word at a fixed address.
+type MemRef struct{ Addr int64 }
+
+// BinExpr combines two subexpressions with an arithmetic operator.
+type BinExpr struct {
+	Op   isa.BinOp
+	L, R Expr
+}
+
+var (
+	_ Expr = Const{}
+	_ Expr = RegRef{}
+	_ Expr = MemRef{}
+	_ Expr = BinExpr{}
+)
+
+// String renders the literal.
+func (c Const) String() string { return strconv.FormatInt(c.V, 10) }
+
+// String renders the register reference.
+func (r RegRef) String() string { return r.R.String() }
+
+// String renders the memory reference in *(addr) syntax.
+func (m MemRef) String() string { return "*(" + strconv.FormatInt(m.Addr, 10) + ")" }
+
+// String renders the operation with explicit parentheses.
+func (b BinExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+func (c Const) eval(Env, bool) (symbolic.Operand, error) {
+	return symbolic.ConcreteOperand(c.V), nil
+}
+
+func (r RegRef) eval(env Env, _ bool) (symbolic.Operand, error) {
+	return env.RegOperand(r.R), nil
+}
+
+func (m MemRef) eval(env Env, _ bool) (symbolic.Operand, error) {
+	op, ok := env.MemOperand(m.Addr)
+	if !ok {
+		return symbolic.Operand{}, fmt.Errorf("undefined memory *(%d)", m.Addr)
+	}
+	return op, nil
+}
+
+func (b BinExpr) eval(env Env, affine bool) (symbolic.Operand, error) {
+	l, err := b.L.eval(env, affine)
+	if err != nil {
+		return symbolic.Operand{}, err
+	}
+	r, err := b.R.eval(env, affine)
+	if err != nil {
+		return symbolic.Operand{}, err
+	}
+	res := symbolic.PropagateBin(b.Op, l, r, affine)
+	switch {
+	case res.DivZero:
+		return symbolic.Operand{}, errors.New("division by zero in detector expression")
+	case res.ForkOnDivisor:
+		// Detectors are assumed error-free (Section 5.3): an erroneous
+		// divisor conservatively yields err without forking a div-zero case
+		// inside the detector itself.
+		return symbolic.Operand{Val: isa.Err()}, nil
+	}
+	return symbolic.Operand{Val: res.Val, Term: res.Term, HasTerm: res.HasTerm}, nil
+}

@@ -1,0 +1,70 @@
+package detector
+
+import (
+	"fmt"
+	"strings"
+
+	"symplfied/internal/isa"
+)
+
+// ParseInlineCheck parses the assembler's inline check sugar, the form used
+// in the paper's Figure 3:
+//
+//	check ($4 < $3)
+//	check ($2 >= $6 * $1)
+//
+// body is the text inside the outer parentheses ("$4 < $3"). The left-hand
+// side must be a checkable location (register or *(addr)); the right-hand
+// side is an arbitrary detector expression. The result is a detector with the
+// given ID.
+func ParseInlineCheck(id int64, body string) (*Detector, error) {
+	opPos, opLen, cmp, err := findTopLevelCmp(body)
+	if err != nil {
+		return nil, fmt.Errorf("inline check %q: %w", body, err)
+	}
+	lhs := strings.TrimSpace(body[:opPos])
+	rhs := strings.TrimSpace(body[opPos+opLen:])
+	// A parenthesized left-hand side like "($4)" is unwrapped; memory
+	// references keep their own parentheses ("*(40)").
+	for strings.HasPrefix(lhs, "(") && strings.HasSuffix(lhs, ")") {
+		lhs = strings.TrimSpace(lhs[1 : len(lhs)-1])
+	}
+	target, err := isa.ParseLoc(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("inline check %q: left-hand side must be a register or memory location: %w", body, err)
+	}
+	expr, err := ParseExpr(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("inline check %q: %w", body, err)
+	}
+	return &Detector{ID: id, Target: target, Cmp: cmp, Expr: expr}, nil
+}
+
+// findTopLevelCmp locates the comparison operator at parenthesis depth zero.
+func findTopLevelCmp(s string) (pos, length int, cmp isa.Cmp, err error) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+			continue
+		case ')':
+			depth--
+			continue
+		}
+		if depth != 0 {
+			continue
+		}
+		rest := s[i:]
+		for _, cand := range []string{"=/=", "!=", "==", ">=", "<=", ">", "<"} {
+			if strings.HasPrefix(rest, cand) {
+				c, ok := isa.CmpByName(cand)
+				if !ok {
+					continue
+				}
+				return i, len(cand), c, nil
+			}
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("no comparison operator found")
+}

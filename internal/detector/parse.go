@@ -1,0 +1,262 @@
+package detector
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"symplfied/internal/isa"
+)
+
+// Parse parses a detector specification in the paper's syntax, e.g.
+//
+//	det(4, $(5), ==, ($3) + *(1000))
+//
+// Registers may be written $N or $(N); memory references *(addr) or *addr;
+// the comparison is one of ==, =/=, !=, >, <, >=, <=.
+func Parse(spec string) (*Detector, error) {
+	s := strings.TrimSpace(spec)
+	if !strings.HasPrefix(s, "det") {
+		return nil, fmt.Errorf("detector spec %q: want det(...)", spec)
+	}
+	s = strings.TrimSpace(s[len("det"):])
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return nil, fmt.Errorf("detector spec %q: want det(ID, loc, cmp, expr)", spec)
+	}
+	body := s[1 : len(s)-1]
+
+	parts, err := splitTopLevel(body)
+	if err != nil {
+		return nil, fmt.Errorf("detector spec %q: %w", spec, err)
+	}
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("detector spec %q: want 4 arguments, got %d", spec, len(parts))
+	}
+	id, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("detector spec %q: bad ID: %w", spec, err)
+	}
+	target, err := isa.ParseLoc(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("detector spec %q: bad target: %w", spec, err)
+	}
+	cmp, ok := isa.CmpByName(strings.TrimSpace(parts[2]))
+	if !ok {
+		return nil, fmt.Errorf("detector spec %q: bad comparison %q", spec, strings.TrimSpace(parts[2]))
+	}
+	expr, err := ParseExpr(parts[3])
+	if err != nil {
+		return nil, fmt.Errorf("detector spec %q: bad expression: %w", spec, err)
+	}
+	return &Detector{ID: id, Target: target, Cmp: cmp, Expr: expr}, nil
+}
+
+// splitTopLevel splits on commas not nested inside parentheses.
+func splitTopLevel(s string) ([]string, error) {
+	var parts []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses")
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses")
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}
+
+// ParseExpr parses a detector arithmetic expression.
+func ParseExpr(src string) (Expr, error) {
+	p := &exprParser{src: src}
+	e, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseSum() (Expr, error) {
+	left, err := p.parseProduct()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			right, err := p.parseProduct()
+			if err != nil {
+				return nil, err
+			}
+			left = BinExpr{Op: isa.BinAdd, L: left, R: right}
+		case '-':
+			p.pos++
+			right, err := p.parseProduct()
+			if err != nil {
+				return nil, err
+			}
+			left = BinExpr{Op: isa.BinSub, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *exprParser) parseProduct() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.peek() == '*' && !p.isMemRefAhead():
+			p.pos++
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = BinExpr{Op: isa.BinMult, L: left, R: right}
+		case p.peek() == '/':
+			p.pos++
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = BinExpr{Op: isa.BinDiv, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// isMemRefAhead disambiguates binary '*' from a memory reference: after an
+// operator position, "*(" or "*123" begins a memory term only when it is the
+// start of a term, which parseProduct never confuses because it checks for
+// the operator between complete terms; a memory term directly after a
+// complete term would be "x *(...)", which we treat as multiplication by a
+// parenthesized expression only when followed by a second '*'. The simple
+// rule: "*" followed immediately (no space) by '(' or a digit directly after
+// another term is multiplication; this helper exists for the pathological
+// "a * *(100)" case, where the first '*' is the operator.
+func (p *exprParser) isMemRefAhead() bool {
+	// The '*' under the cursor is an operator if a term already parsed on the
+	// left; memory references are only recognized in parseTerm. So the
+	// operator interpretation always wins here.
+	return false
+}
+
+func (p *exprParser) parseTerm() (Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("unexpected end of expression")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '(':
+		p.pos++
+		e, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ')' at %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case c == '$':
+		p.pos++
+		body, err := p.parseMaybeParenNumber()
+		if err != nil {
+			return nil, fmt.Errorf("bad register: %w", err)
+		}
+		if body < 0 || body >= isa.NumRegs {
+			return nil, fmt.Errorf("register $%d out of range", body)
+		}
+		return RegRef{R: isa.Reg(body)}, nil
+	case c == '*':
+		p.pos++
+		addr, err := p.parseMaybeParenNumber()
+		if err != nil {
+			return nil, fmt.Errorf("bad memory reference: %w", err)
+		}
+		return MemRef{Addr: addr}, nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return Const{V: n}, nil
+	}
+	return nil, fmt.Errorf("unexpected %q at %d", p.src[p.pos], p.pos)
+}
+
+func (p *exprParser) parseMaybeParenNumber() (int64, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		n, err := p.parseNumber()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ')'")
+		}
+		p.pos++
+		return n, nil
+	}
+	return p.parseNumber()
+}
+
+func (p *exprParser) parseNumber() (int64, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && p.src[start] == '-') {
+		return 0, fmt.Errorf("expected number at %d", start)
+	}
+	return strconv.ParseInt(p.src[start:p.pos], 10, 64)
+}

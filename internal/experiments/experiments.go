@@ -1,0 +1,125 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 4 examples, Table 1, Table 2, the tcas study
+// of Section 6.2, and the replace study of Section 6.4). Each driver
+// regenerates the artifact's rows, checks the paper's qualitative shape
+// (who wins, what is found, what is never found), and is shared by the
+// bench harness (bench_test.go) and the cmd/benchrepro CLI.
+//
+// Absolute numbers are not expected to match the paper — the substrate is
+// this package's interpreter, not the authors' Maude setup or their Opteron
+// cluster — but the shape assertions encode the claims that must hold.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is a regenerated artifact.
+type Result struct {
+	// ID names the artifact: "fig2", "fig3", "table1", "tcas", "table2",
+	// "replace", "inventory".
+	ID string
+	// Title is the paper artifact being reproduced.
+	Title string
+	// Rows are the regenerated report lines (the table/figure contents).
+	Rows []string
+	// ShapeOK reports whether the paper's qualitative claims held.
+	ShapeOK bool
+	// ShapeChecks itemizes each claim and whether it held.
+	ShapeChecks []Check
+	// Notes records caveats (substitutions, scaling).
+	Notes []string
+}
+
+// Check is one qualitative claim from the paper.
+type Check struct {
+	Claim string
+	OK    bool
+	Got   string
+}
+
+func (r *Result) check(ok bool, claim, got string) {
+	r.ShapeChecks = append(r.ShapeChecks, Check{Claim: claim, OK: ok, Got: got})
+}
+
+func (r *Result) finalize() {
+	r.ShapeOK = true
+	for _, c := range r.ShapeChecks {
+		if !c.OK {
+			r.ShapeOK = false
+		}
+	}
+}
+
+func (r *Result) rowf(format string, args ...any) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the result for terminal output.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		b.WriteString("  ")
+		b.WriteString(row)
+		b.WriteString("\n")
+	}
+	for _, c := range r.ShapeChecks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s (%s)\n", mark, c.Claim, c.Got)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID   string
+	Run  func() (*Result, error)
+	Desc string
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{ID: "fig2", Desc: "Section 4.1 factorial outcome enumeration", Run: Fig2Factorial},
+		{ID: "fig3", Desc: "Section 4.2 factorial detector derivation", Run: Fig3Detectors},
+		{ID: "table1", Desc: "Table 1 computation-error manifestations", Run: Table1Manifestations},
+		{ID: "tcas", Desc: "Section 6.2 tcas symbolic study", Run: func() (*Result, error) { return TcasStudy(DefaultTcasConfig()) }},
+		{ID: "table2", Desc: "Table 2 SimpleScalar-style concrete campaigns", Run: func() (*Result, error) { return Table2Campaigns(DefaultTable2Config()) }},
+		{ID: "replace", Desc: "Section 6.4 replace study", Run: func() (*Result, error) { return ReplaceStudy(DefaultReplaceConfig()) }},
+		{ID: "inventory", Desc: "implementation inventory (paper Section 6 stats analogue)", Run: Inventory},
+		{ID: "hardening", Desc: "extension: canary hardening closes the tcas flip", Run: HardeningStudy},
+		{ID: "classes", Desc: "extension: memory/control/decode classes on tcas", Run: ClassesStudy},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+// The experiment drivers are the repository's reproduction contract: every
+// table and figure must regenerate with its paper-shape checks passing.
+
+func runExperiment(t *testing.T, id string) *Result {
+	t.Helper()
+	r, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if !res.ShapeOK {
+		t.Errorf("%s: shape checks failed:\n%s", id, res.Render())
+	}
+	return res
+}
+
+func TestFig2(t *testing.T)      { runExperiment(t, "fig2") }
+func TestFig3(t *testing.T)      { runExperiment(t, "fig3") }
+func TestTable1(t *testing.T)    { runExperiment(t, "table1") }
+func TestInventory(t *testing.T) { runExperiment(t, "inventory") }
+func TestHardening(t *testing.T) { runExperiment(t, "hardening") }
+
+func TestClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full class sweeps in -short mode")
+	}
+	res := runExperiment(t, "classes")
+	t.Log("\n" + res.Render())
+}
+
+func TestTcasStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	res := runExperiment(t, "tcas")
+	t.Log("\n" + res.Render())
+}
+
+func TestTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaigns in -short mode")
+	}
+	res := runExperiment(t, "table2")
+	t.Log("\n" + res.Render())
+}
+
+func TestReplaceStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	res := runExperiment(t, "replace")
+	t.Log("\n" + res.Render())
+}

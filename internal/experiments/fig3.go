@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// Fig3Detectors reproduces Section 4.2: the factorial program of Figure 3
+// with two embedded detectors, under the same loop-counter error. The
+// paper's claims: the first detector (check $4 < $3) is subsumed by the
+// loop-continuation constraint and never fires; the second detector forks,
+// and the constraint solver derives exactly which corrupted values are
+// caught — making the escaping errors explicit to the programmer.
+func Fig3Detectors() (*Result, error) {
+	res := &Result{ID: "fig3", Title: "Figure 3 / Section 4.2 detector analysis with constraint derivation"}
+	const input = 5
+
+	prog, dets := factorial.WithDetectors()
+	subiPC, ok := factorial.SubiPC(prog)
+	if !ok {
+		return nil, fmt.Errorf("fig3: decrement instruction not found")
+	}
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 400
+	ir, err := checker.RunInjection(checker.Spec{
+		Program:   prog,
+		Detectors: dets,
+		Input:     []int64{input},
+		Exec:      exec,
+		Predicate: checker.OutcomeIs(symexec.OutcomeDetected),
+	}, faults.Injection{Class: faults.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3)})
+	if err != nil {
+		return nil, err
+	}
+
+	det1Fired := false
+	derived := ""
+	derivedOK := false
+	for _, f := range ir.Findings {
+		if f.State.Exc == nil {
+			continue
+		}
+		if strings.HasPrefix(f.State.Exc.Detail, "detector 1") {
+			det1Fired = true
+		}
+		cons := f.State.Sym.RootConstraints(0)
+		if cons == nil {
+			continue
+		}
+		if derived == "" {
+			derived = cons.String()
+		}
+		if cons.Admits(3) && cons.Admits(4) && cons.Admits(5) && !cons.Admits(2) && !cons.Admits(6) {
+			derivedOK = true
+			derived = cons.String()
+		}
+	}
+
+	res.rowf("injection: err in $3 before the decrement, first loop iteration (input %d)", input)
+	res.rowf("outcomes: detected=%d normal=%d crash=%d hang=%d (states %d)",
+		ir.Outcomes[symexec.OutcomeDetected], ir.Outcomes[symexec.OutcomeNormal],
+		ir.Outcomes[symexec.OutcomeCrash], ir.Outcomes[symexec.OutcomeHang], ir.StatesExplored)
+	res.rowf("derived detection condition on the corrupted value x: %s", derived)
+
+	res.check(ir.Outcomes[symexec.OutcomeDetected] > 0, "detector 2 detects some corrupted values", fmt.Sprintf("%d detections", ir.Outcomes[symexec.OutcomeDetected]))
+	res.check(!det1Fired, "detector 1 never fires (subsumed by the loop-continuation constraint)", fmt.Sprintf("det1Fired=%v", det1Fired))
+	res.check(derivedOK, "solver pins detection to corrupted values in (2, input]", derived)
+	res.check(ir.Outcomes[symexec.OutcomeNormal] > 0, "escaping errors remain and are made explicit", fmt.Sprintf("%d escaping normal paths", ir.Outcomes[symexec.OutcomeNormal]))
+
+	res.notef("the paper's prose states the detected/escaped split with inconsistent direction (Section 4.2); the derivation here is the algebraically consistent one: the check $2 >= $6*$1 fails, i.e. detects, exactly when the corrupted counter is below the original input while still continuing the loop")
+	res.finalize()
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// HardeningStudy is an extension artifact (not a paper table): it closes the
+// paper's workflow on its own headline finding. The catastrophic tcas
+// advisory flip (Section 6.2) is first refuted on the unprotected program;
+// a return-address canary derived from the finding's constraints then turns
+// the same fault site into a proof of resilience, with the residual
+// single-instruction window between canary and jr quantified rather than
+// hidden.
+func HardeningStudy() (*Result, error) {
+	res := &Result{ID: "hardening", Title: "extension: detector hardening closes the tcas advisory flip"}
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 4000
+	input := tcas.UpwardInput().Slice()
+
+	searchAt := func(prog *isa.Program, dets *checker.Spec, pc int) (*checker.Report, error) {
+		spec := checker.Spec{
+			Program: prog,
+			Input:   input,
+			Injections: []faults.Injection{{
+				Class: faults.ClassRegister, PC: pc, Loc: isa.RegLoc(isa.RegRA),
+			}},
+			Exec:      exec,
+			Predicate: checker.HaltedOutputOtherThan(tcas.UpwardRA),
+		}
+		if dets != nil {
+			spec.Detectors = dets.Detectors
+		}
+		return checker.Run(spec)
+	}
+
+	// Unprotected program, corruption at NCBC's return.
+	plain := tcas.Program()
+	jrPC, err := tcas.ReturnJrPC(plain, "Non_Crossing_Biased_Climb")
+	if err != nil {
+		return nil, err
+	}
+	before, err := searchAt(plain, nil, jrPC)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hardened program, corruption at the canary (the same architectural
+	// moment: $31 erroneous as the return sequence begins).
+	hardProg, dets := tcas.Hardened()
+	checkPC := -1
+	for pc := 0; pc < hardProg.Len(); pc++ {
+		if in := hardProg.At(pc); in.Op == isa.OpCheck && in.Imm == 91 {
+			checkPC = pc
+			break
+		}
+	}
+	hardSpec := checker.Spec{Detectors: dets}
+	after, err := searchAt(hardProg, &hardSpec, checkPC)
+	if err != nil {
+		return nil, err
+	}
+
+	// The residue: corruption after the canary, before the jr.
+	hardJr, err := tcas.ReturnJrPC(hardProg, "Non_Crossing_Biased_Climb")
+	if err != nil {
+		return nil, err
+	}
+	residual, err := searchAt(hardProg, &hardSpec, hardJr)
+	if err != nil {
+		return nil, err
+	}
+
+	res.rowf("unprotected, err in $31 at NCBC return: verdict %s, %d escaping wrong advisories",
+		before.Verdict(), len(before.Findings))
+	res.rowf("hardened with %s:", dets.All()[0])
+	res.rowf("  same corruption at the canary: verdict %s, detections %d",
+		after.Verdict(), after.Outcomes[symexec.OutcomeDetected])
+	res.rowf("  residual window (canary..jr): verdict %s, %d escaping findings",
+		residual.Verdict(), len(residual.Findings))
+
+	res.check(before.Verdict() == checker.VerdictRefuted,
+		"the unprotected program is refuted", before.Verdict().String())
+	res.check(after.Verdict() == checker.VerdictProven,
+		"the hardened program is proven resilient at the fault site", after.Verdict().String())
+	res.check(after.Outcomes[symexec.OutcomeDetected] > 0,
+		"the canary fires symbolically", "")
+	res.check(residual.Verdict() == checker.VerdictRefuted,
+		"the residual window is made explicit (not claimed covered)", residual.Verdict().String())
+
+	res.notef("this artifact extends the paper: it executes the Section 4.2 prescription ('the programmer can then formulate a detector') on the Section 6.2 finding")
+	res.finalize()
+	return res, nil
+}

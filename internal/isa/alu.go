@@ -1,0 +1,296 @@
+package isa
+
+import "errors"
+
+// ErrDivideByZero is reported by EvalBin for division or modulus by zero.
+// The machine model converts it into a "div-zero" exception, matching the
+// paper's error-propagation equations (Section 5.2).
+var ErrDivideByZero = errors.New("divide by zero")
+
+// BinOp is a canonical binary arithmetic/logic operator. Register and
+// immediate instruction forms share one BinOp, so the concrete interpreter
+// and the symbolic executor implement each operator's semantics exactly once.
+type BinOp int
+
+// Canonical binary operators.
+const (
+	BinAdd BinOp = iota + 1
+	BinSub
+	BinMult
+	BinDiv
+	BinMod
+	BinAnd
+	BinOr
+	BinXor
+	BinNor
+	BinSll
+	BinSrl
+	BinSra
+)
+
+// String returns the operator's symbol.
+func (b BinOp) String() string {
+	switch b {
+	case BinAdd:
+		return "+"
+	case BinSub:
+		return "-"
+	case BinMult:
+		return "*"
+	case BinDiv:
+		return "/"
+	case BinMod:
+		return "%"
+	case BinAnd:
+		return "&"
+	case BinOr:
+		return "|"
+	case BinXor:
+		return "^"
+	case BinNor:
+		return "~|"
+	case BinSll:
+		return "<<"
+	case BinSrl:
+		return ">>>"
+	case BinSra:
+		return ">>"
+	}
+	return "?"
+}
+
+// ArithOp maps an arithmetic/logic opcode (register or immediate form) to its
+// canonical operator. ok is false for non-arithmetic opcodes.
+func ArithOp(op Op) (bin BinOp, immediate bool, ok bool) {
+	switch op {
+	case OpAdd:
+		return BinAdd, false, true
+	case OpSub:
+		return BinSub, false, true
+	case OpMult:
+		return BinMult, false, true
+	case OpDiv:
+		return BinDiv, false, true
+	case OpMod:
+		return BinMod, false, true
+	case OpAnd:
+		return BinAnd, false, true
+	case OpOr:
+		return BinOr, false, true
+	case OpXor:
+		return BinXor, false, true
+	case OpNor:
+		return BinNor, false, true
+	case OpSll:
+		return BinSll, false, true
+	case OpSrl:
+		return BinSrl, false, true
+	case OpSra:
+		return BinSra, false, true
+	case OpAddi:
+		return BinAdd, true, true
+	case OpSubi:
+		return BinSub, true, true
+	case OpMulti:
+		return BinMult, true, true
+	case OpDivi:
+		return BinDiv, true, true
+	case OpModi:
+		return BinMod, true, true
+	case OpAndi:
+		return BinAnd, true, true
+	case OpOri:
+		return BinOr, true, true
+	case OpXori:
+		return BinXor, true, true
+	case OpSlli:
+		return BinSll, true, true
+	case OpSrli:
+		return BinSrl, true, true
+	case OpSrai:
+		return BinSra, true, true
+	}
+	return 0, false, false
+}
+
+// EvalBin evaluates a binary operator on concrete integers. Shift amounts are
+// taken modulo 64; negative shift amounts shift by zero.
+func EvalBin(b BinOp, x, y int64) (int64, error) {
+	switch b {
+	case BinAdd:
+		return x + y, nil
+	case BinSub:
+		return x - y, nil
+	case BinMult:
+		return x * y, nil
+	case BinDiv:
+		if y == 0 {
+			return 0, ErrDivideByZero
+		}
+		return x / y, nil
+	case BinMod:
+		if y == 0 {
+			return 0, ErrDivideByZero
+		}
+		return x % y, nil
+	case BinAnd:
+		return x & y, nil
+	case BinOr:
+		return x | y, nil
+	case BinXor:
+		return x ^ y, nil
+	case BinNor:
+		return ^(x | y), nil
+	case BinSll:
+		return x << shiftAmount(y), nil
+	case BinSrl:
+		return int64(uint64(x) >> shiftAmount(y)), nil
+	case BinSra:
+		return x >> shiftAmount(y), nil
+	}
+	return 0, errors.New("unknown binary operator")
+}
+
+func shiftAmount(y int64) uint {
+	if y < 0 {
+		return 0
+	}
+	return uint(y) % 64
+}
+
+// Cmp is a comparison operator, shared by comparison-set instructions,
+// branches, and the detector expression language (Section 5.3).
+type Cmp int
+
+// Comparison operators.
+const (
+	CmpEq Cmp = iota + 1
+	CmpNe
+	CmpGt
+	CmpLt
+	CmpGe
+	CmpLe
+)
+
+// String returns the comparison's symbol in detector syntax.
+func (c Cmp) String() string {
+	switch c {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "=/="
+	case CmpGt:
+		return ">"
+	case CmpLt:
+		return "<"
+	case CmpGe:
+		return ">="
+	case CmpLe:
+		return "<="
+	}
+	return "?"
+}
+
+// Negate returns the comparison's logical negation.
+func (c Cmp) Negate() Cmp {
+	switch c {
+	case CmpEq:
+		return CmpNe
+	case CmpNe:
+		return CmpEq
+	case CmpGt:
+		return CmpLe
+	case CmpLt:
+		return CmpGe
+	case CmpGe:
+		return CmpLt
+	case CmpLe:
+		return CmpGt
+	}
+	return 0
+}
+
+// Swap returns the comparison with its operands exchanged: x c y == y Swap(c) x.
+func (c Cmp) Swap() Cmp {
+	switch c {
+	case CmpGt:
+		return CmpLt
+	case CmpLt:
+		return CmpGt
+	case CmpGe:
+		return CmpLe
+	case CmpLe:
+		return CmpGe
+	}
+	return c
+}
+
+// EvalCmp evaluates a comparison on concrete integers.
+func EvalCmp(c Cmp, x, y int64) bool {
+	switch c {
+	case CmpEq:
+		return x == y
+	case CmpNe:
+		return x != y
+	case CmpGt:
+		return x > y
+	case CmpLt:
+		return x < y
+	case CmpGe:
+		return x >= y
+	case CmpLe:
+		return x <= y
+	}
+	return false
+}
+
+// CmpForOp maps a comparison-set opcode to its comparison operator. ok is
+// false for other opcodes.
+func CmpForOp(op Op) (cmp Cmp, immediate bool, ok bool) {
+	switch op {
+	case OpSeteq:
+		return CmpEq, false, true
+	case OpSetne:
+		return CmpNe, false, true
+	case OpSetgt:
+		return CmpGt, false, true
+	case OpSetlt:
+		return CmpLt, false, true
+	case OpSetge:
+		return CmpGe, false, true
+	case OpSetle:
+		return CmpLe, false, true
+	case OpSeteqi:
+		return CmpEq, true, true
+	case OpSetnei:
+		return CmpNe, true, true
+	case OpSetgti:
+		return CmpGt, true, true
+	case OpSetlti:
+		return CmpLt, true, true
+	case OpSetgei:
+		return CmpGe, true, true
+	case OpSetlei:
+		return CmpLe, true, true
+	}
+	return 0, false, false
+}
+
+// CmpByName parses a comparison operator in detector syntax.
+func CmpByName(s string) (Cmp, bool) {
+	switch s {
+	case "==", "=":
+		return CmpEq, true
+	case "=/=", "!=":
+		return CmpNe, true
+	case ">":
+		return CmpGt, true
+	case "<":
+		return CmpLt, true
+	case ">=":
+		return CmpGe, true
+	case "<=":
+		return CmpLe, true
+	}
+	return 0, false
+}

@@ -1,0 +1,158 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalBinTable(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		x, y int64
+		want int64
+	}{
+		{BinAdd, 3, 4, 7},
+		{BinAdd, -3, 3, 0},
+		{BinSub, 3, 4, -1},
+		{BinMult, -3, 4, -12},
+		{BinDiv, 7, 2, 3},
+		{BinDiv, -7, 2, -3}, // truncated toward zero
+		{BinMod, 7, 2, 1},
+		{BinMod, -7, 2, -1},
+		{BinAnd, 0b1100, 0b1010, 0b1000},
+		{BinOr, 0b1100, 0b1010, 0b1110},
+		{BinXor, 0b1100, 0b1010, 0b0110},
+		{BinNor, 0, 0, -1},
+		{BinSll, 1, 4, 16},
+		{BinSrl, -1, 60, 15},
+		{BinSra, -16, 2, -4},
+		{BinSll, 1, 64, 1},  // shift amounts mod 64
+		{BinSll, 5, -3, 5},  // negative shift: shift by zero
+		{BinSrl, 16, 68, 1}, // 68 mod 64 = 4
+	}
+	for _, c := range cases {
+		got, err := EvalBin(c.op, c.x, c.y)
+		if err != nil {
+			t.Errorf("EvalBin(%v, %d, %d) error: %v", c.op, c.x, c.y, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalBin(%v, %d, %d) = %d, want %d", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinDivideByZero(t *testing.T) {
+	for _, op := range []BinOp{BinDiv, BinMod} {
+		if _, err := EvalBin(op, 5, 0); !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("EvalBin(%v, 5, 0) error = %v, want ErrDivideByZero", op, err)
+		}
+	}
+}
+
+func TestEvalCmpTable(t *testing.T) {
+	cases := []struct {
+		cmp  Cmp
+		x, y int64
+		want bool
+	}{
+		{CmpEq, 1, 1, true}, {CmpEq, 1, 2, false},
+		{CmpNe, 1, 2, true}, {CmpNe, 2, 2, false},
+		{CmpGt, 2, 1, true}, {CmpGt, 1, 1, false},
+		{CmpLt, 1, 2, true}, {CmpLt, 2, 2, false},
+		{CmpGe, 2, 2, true}, {CmpGe, 1, 2, false},
+		{CmpLe, 2, 2, true}, {CmpLe, 3, 2, false},
+	}
+	for _, c := range cases {
+		if got := EvalCmp(c.cmp, c.x, c.y); got != c.want {
+			t.Errorf("EvalCmp(%v, %d, %d) = %v, want %v", c.cmp, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+var allCmps = []Cmp{CmpEq, CmpNe, CmpGt, CmpLt, CmpGe, CmpLe}
+
+// Property: Negate is an involution and flips every evaluation.
+func TestCmpNegateProperty(t *testing.T) {
+	f := func(x, y int64) bool {
+		for _, c := range allCmps {
+			if c.Negate().Negate() != c {
+				return false
+			}
+			if EvalCmp(c, x, y) == EvalCmp(c.Negate(), x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Swap mirrors operands: x c y == y Swap(c) x.
+func TestCmpSwapProperty(t *testing.T) {
+	f := func(x, y int64) bool {
+		for _, c := range allCmps {
+			if EvalCmp(c, x, y) != EvalCmp(c.Swap(), y, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithOpCoversAllArithmeticOpcodes(t *testing.T) {
+	regForms := map[BinOp]Op{}
+	immForms := map[BinOp]Op{}
+	for _, op := range Ops() {
+		bin, imm, ok := ArithOp(op)
+		if !ok {
+			continue
+		}
+		if imm {
+			immForms[bin] = op
+		} else {
+			regForms[bin] = op
+		}
+	}
+	for _, bin := range []BinOp{BinAdd, BinSub, BinMult, BinDiv, BinMod, BinAnd, BinOr, BinXor, BinSll, BinSrl, BinSra} {
+		if _, ok := regForms[bin]; !ok {
+			t.Errorf("no register form for %v", bin)
+		}
+		if _, ok := immForms[bin]; !ok {
+			t.Errorf("no immediate form for %v", bin)
+		}
+	}
+}
+
+func TestCmpForOpCoversAllSetOpcodes(t *testing.T) {
+	count := 0
+	for _, op := range Ops() {
+		if _, _, ok := CmpForOp(op); ok {
+			count++
+		}
+	}
+	if count != 12 { // 6 comparisons x {register, immediate}
+		t.Errorf("CmpForOp covers %d opcodes, want 12", count)
+	}
+}
+
+func TestCmpByName(t *testing.T) {
+	for name, want := range map[string]Cmp{
+		"==": CmpEq, "=": CmpEq, "=/=": CmpNe, "!=": CmpNe,
+		">": CmpGt, "<": CmpLt, ">=": CmpGe, "<=": CmpLe,
+	} {
+		got, ok := CmpByName(name)
+		if !ok || got != want {
+			t.Errorf("CmpByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := CmpByName("<>"); ok {
+		t.Error("CmpByName accepted <>")
+	}
+}

@@ -1,0 +1,232 @@
+package isa
+
+import "fmt"
+
+// Builder constructs programs instruction by instruction with typed helper
+// methods. The applications in internal/apps (tcas, replace, factorial) are
+// assembled with it: the builder plays the role of the paper's
+// C-to-assembly toolchain while keeping every emitted instruction explicit.
+//
+// Errors (duplicate or undefined labels, bad registers) are accumulated and
+// reported by Build, so emission code stays linear.
+type Builder struct {
+	name   string
+	instrs []Instr
+	labels map[string]int
+	errs   []error
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far (the next PC).
+func (b *Builder) Len() int { return len(b.instrs) }
+
+// Label attaches a label to the next emitted instruction.
+func (b *Builder) Label(name string) {
+	if name == "" {
+		b.errs = append(b.errs, fmt.Errorf("empty label at @%d", len(b.instrs)))
+		return
+	}
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instr) {
+	for _, r := range []Reg{in.Rd, in.Rs, in.Rt} {
+		if !r.Valid() {
+			b.errs = append(b.errs, fmt.Errorf("@%d %s: invalid register %d", len(b.instrs), in.Op, r))
+		}
+	}
+	b.instrs = append(b.instrs, in)
+}
+
+func (b *Builder) emit3(op Op, rd, rs, rt Reg) { b.Emit(Instr{Op: op, Rd: rd, Rs: rs, Rt: rt}) }
+func (b *Builder) emit2i(op Op, rd, rs Reg, imm int64) {
+	b.Emit(Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Arithmetic and logic.
+
+// Add emits rd <- rs + rt.
+func (b *Builder) Add(rd, rs, rt Reg) { b.emit3(OpAdd, rd, rs, rt) }
+
+// Sub emits rd <- rs - rt.
+func (b *Builder) Sub(rd, rs, rt Reg) { b.emit3(OpSub, rd, rs, rt) }
+
+// Mult emits rd <- rs * rt.
+func (b *Builder) Mult(rd, rs, rt Reg) { b.emit3(OpMult, rd, rs, rt) }
+
+// Div emits rd <- rs / rt (truncated; divide by zero raises an exception).
+func (b *Builder) Div(rd, rs, rt Reg) { b.emit3(OpDiv, rd, rs, rt) }
+
+// Mod emits rd <- rs % rt.
+func (b *Builder) Mod(rd, rs, rt Reg) { b.emit3(OpMod, rd, rs, rt) }
+
+// And emits rd <- rs & rt.
+func (b *Builder) And(rd, rs, rt Reg) { b.emit3(OpAnd, rd, rs, rt) }
+
+// Or emits rd <- rs | rt.
+func (b *Builder) Or(rd, rs, rt Reg) { b.emit3(OpOr, rd, rs, rt) }
+
+// Xor emits rd <- rs ^ rt.
+func (b *Builder) Xor(rd, rs, rt Reg) { b.emit3(OpXor, rd, rs, rt) }
+
+// Nor emits rd <- ^(rs | rt).
+func (b *Builder) Nor(rd, rs, rt Reg) { b.emit3(OpNor, rd, rs, rt) }
+
+// Sll emits rd <- rs << rt.
+func (b *Builder) Sll(rd, rs, rt Reg) { b.emit3(OpSll, rd, rs, rt) }
+
+// Addi emits rd <- rs + imm.
+func (b *Builder) Addi(rd, rs Reg, imm int64) { b.emit2i(OpAddi, rd, rs, imm) }
+
+// Subi emits rd <- rs - imm.
+func (b *Builder) Subi(rd, rs Reg, imm int64) { b.emit2i(OpSubi, rd, rs, imm) }
+
+// Multi emits rd <- rs * imm.
+func (b *Builder) Multi(rd, rs Reg, imm int64) { b.emit2i(OpMulti, rd, rs, imm) }
+
+// Divi emits rd <- rs / imm.
+func (b *Builder) Divi(rd, rs Reg, imm int64) { b.emit2i(OpDivi, rd, rs, imm) }
+
+// Andi emits rd <- rs & imm.
+func (b *Builder) Andi(rd, rs Reg, imm int64) { b.emit2i(OpAndi, rd, rs, imm) }
+
+// Ori emits rd <- rs | imm.
+func (b *Builder) Ori(rd, rs Reg, imm int64) { b.emit2i(OpOri, rd, rs, imm) }
+
+// Xori emits rd <- rs ^ imm.
+func (b *Builder) Xori(rd, rs Reg, imm int64) { b.emit2i(OpXori, rd, rs, imm) }
+
+// Comparison-set.
+
+// Seteq emits rd <- (rs == rt).
+func (b *Builder) Seteq(rd, rs, rt Reg) { b.emit3(OpSeteq, rd, rs, rt) }
+
+// Setne emits rd <- (rs != rt).
+func (b *Builder) Setne(rd, rs, rt Reg) { b.emit3(OpSetne, rd, rs, rt) }
+
+// Setgt emits rd <- (rs > rt).
+func (b *Builder) Setgt(rd, rs, rt Reg) { b.emit3(OpSetgt, rd, rs, rt) }
+
+// Setlt emits rd <- (rs < rt).
+func (b *Builder) Setlt(rd, rs, rt Reg) { b.emit3(OpSetlt, rd, rs, rt) }
+
+// Setge emits rd <- (rs >= rt).
+func (b *Builder) Setge(rd, rs, rt Reg) { b.emit3(OpSetge, rd, rs, rt) }
+
+// Setle emits rd <- (rs <= rt).
+func (b *Builder) Setle(rd, rs, rt Reg) { b.emit3(OpSetle, rd, rs, rt) }
+
+// Seteqi emits rd <- (rs == imm).
+func (b *Builder) Seteqi(rd, rs Reg, imm int64) { b.emit2i(OpSeteqi, rd, rs, imm) }
+
+// Setnei emits rd <- (rs != imm).
+func (b *Builder) Setnei(rd, rs Reg, imm int64) { b.emit2i(OpSetnei, rd, rs, imm) }
+
+// Setgti emits rd <- (rs > imm).
+func (b *Builder) Setgti(rd, rs Reg, imm int64) { b.emit2i(OpSetgti, rd, rs, imm) }
+
+// Setlti emits rd <- (rs < imm).
+func (b *Builder) Setlti(rd, rs Reg, imm int64) { b.emit2i(OpSetlti, rd, rs, imm) }
+
+// Data movement.
+
+// Mov emits rd <- rs.
+func (b *Builder) Mov(rd, rs Reg) { b.Emit(Instr{Op: OpMov, Rd: rd, Rs: rs}) }
+
+// Li emits rd <- imm.
+func (b *Builder) Li(rd Reg, imm int64) { b.Emit(Instr{Op: OpLi, Rd: rd, Imm: imm}) }
+
+// Memory.
+
+// Ld emits rt <- M[R[rs] + off].
+func (b *Builder) Ld(rt Reg, off int64, rs Reg) {
+	b.Emit(Instr{Op: OpLd, Rt: rt, Rs: rs, Imm: off})
+}
+
+// St emits M[R[rs] + off] <- rt.
+func (b *Builder) St(rt Reg, off int64, rs Reg) {
+	b.Emit(Instr{Op: OpSt, Rt: rt, Rs: rs, Imm: off})
+}
+
+// Control flow.
+
+// Beq emits: branch to label if rs == rt.
+func (b *Builder) Beq(rs, rt Reg, label string) {
+	b.Emit(Instr{Op: OpBeq, Rs: rs, Rt: rt, Label: label})
+}
+
+// Bne emits: branch to label if rs != rt.
+func (b *Builder) Bne(rs, rt Reg, label string) {
+	b.Emit(Instr{Op: OpBne, Rs: rs, Rt: rt, Label: label})
+}
+
+// Beqi emits: branch to label if rs == imm.
+func (b *Builder) Beqi(rs Reg, imm int64, label string) {
+	b.Emit(Instr{Op: OpBeqi, Rs: rs, Imm: imm, Label: label})
+}
+
+// Bnei emits: branch to label if rs != imm.
+func (b *Builder) Bnei(rs Reg, imm int64, label string) {
+	b.Emit(Instr{Op: OpBnei, Rs: rs, Imm: imm, Label: label})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) { b.Emit(Instr{Op: OpJmp, Label: label}) }
+
+// Jal emits a call: RA <- pc+1, jump to label.
+func (b *Builder) Jal(label string) { b.Emit(Instr{Op: OpJal, Label: label}) }
+
+// Jr emits an indirect jump to the address in rs (function return).
+func (b *Builder) Jr(rs Reg) { b.Emit(Instr{Op: OpJr, Rs: rs}) }
+
+// I/O and special.
+
+// Read emits rd <- next input value.
+func (b *Builder) Read(rd Reg) { b.Emit(Instr{Op: OpRead, Rd: rd}) }
+
+// Print emits: append R[rd] to the output stream.
+func (b *Builder) Print(rd Reg) { b.Emit(Instr{Op: OpPrint, Rd: rd}) }
+
+// Prints emits: append the string literal to the output stream.
+func (b *Builder) Prints(s string) { b.Emit(Instr{Op: OpPrints, Str: s}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(Instr{Op: OpNop}) }
+
+// Halt emits program termination.
+func (b *Builder) Halt() { b.Emit(Instr{Op: OpHalt}) }
+
+// Throw emits an explicit exception with the given name.
+func (b *Builder) Throw(msg string) { b.Emit(Instr{Op: OpThrow, Str: msg}) }
+
+// Check emits a CHECK annotation invoking the detector with the given ID.
+func (b *Builder) Check(detectorID int64) { b.Emit(Instr{Op: OpCheck, Imm: detectorID}) }
+
+// Build resolves labels and returns the finished program. It fails if any
+// emission error was recorded or a referenced label is undefined.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("program %q: %d build errors, first: %w", b.name, len(b.errs), b.errs[0])
+	}
+	return NewProgram(b.name, b.instrs, b.labels)
+}
+
+// MustBuild is Build for statically known-good programs; it panics on error.
+// Intended for package-level program constructors in internal/apps whose
+// correctness is enforced by tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

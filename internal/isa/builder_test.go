@@ -1,0 +1,105 @@
+package isa
+
+import "testing"
+
+// TestBuilderEmitsEveryHelper exercises each typed emission helper and
+// checks the emitted opcode and operands.
+func TestBuilderEmitsEveryHelper(t *testing.T) {
+	b := NewBuilder("all")
+	b.Label("start")
+	b.Add(1, 2, 3)
+	b.Sub(1, 2, 3)
+	b.Mult(1, 2, 3)
+	b.Div(1, 2, 3)
+	b.Mod(1, 2, 3)
+	b.And(1, 2, 3)
+	b.Or(1, 2, 3)
+	b.Xor(1, 2, 3)
+	b.Nor(1, 2, 3)
+	b.Sll(1, 2, 3)
+	b.Addi(1, 2, 4)
+	b.Subi(1, 2, 4)
+	b.Multi(1, 2, 4)
+	b.Divi(1, 2, 4)
+	b.Andi(1, 2, 4)
+	b.Ori(1, 2, 4)
+	b.Xori(1, 2, 4)
+	b.Seteq(1, 2, 3)
+	b.Setne(1, 2, 3)
+	b.Setgt(1, 2, 3)
+	b.Setlt(1, 2, 3)
+	b.Setge(1, 2, 3)
+	b.Setle(1, 2, 3)
+	b.Seteqi(1, 2, 4)
+	b.Setnei(1, 2, 4)
+	b.Setgti(1, 2, 4)
+	b.Setlti(1, 2, 4)
+	b.Mov(1, 2)
+	b.Li(1, 9)
+	b.Ld(1, 8, 2)
+	b.St(1, 8, 2)
+	b.Beq(1, 2, "start")
+	b.Bne(1, 2, "start")
+	b.Beqi(1, 0, "start")
+	b.Bnei(1, 0, "start")
+	b.Jmp("start")
+	b.Jal("start")
+	b.Jr(RegRA)
+	b.Read(1)
+	b.Print(1)
+	b.Prints("s")
+	b.Nop()
+	b.Throw("t")
+	b.Check(2)
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{
+		OpAdd, OpSub, OpMult, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpNor, OpSll,
+		OpAddi, OpSubi, OpMulti, OpDivi, OpAndi, OpOri, OpXori,
+		OpSeteq, OpSetne, OpSetgt, OpSetlt, OpSetge, OpSetle,
+		OpSeteqi, OpSetnei, OpSetgti, OpSetlti,
+		OpMov, OpLi, OpLd, OpSt,
+		OpBeq, OpBne, OpBeqi, OpBnei, OpJmp, OpJal, OpJr,
+		OpRead, OpPrint, OpPrints, OpNop, OpThrow, OpCheck, OpHalt,
+	}
+	if p.Len() != len(wantOps) {
+		t.Fatalf("emitted %d instructions, want %d", p.Len(), len(wantOps))
+	}
+	for i, want := range wantOps {
+		if got := p.At(i).Op; got != want {
+			t.Errorf("instr %d: op %v, want %v", i, got, want)
+		}
+	}
+	// Memory operand wiring: Ld(rt, off, rs).
+	ld := p.At(29)
+	if ld.Rt != 1 || ld.Imm != 8 || ld.Rs != 2 {
+		t.Errorf("Ld wiring: %v", ld)
+	}
+	// Branch resolution to the label.
+	if p.At(31).Target != 0 {
+		t.Errorf("Beq target %d", p.At(31).Target)
+	}
+}
+
+func TestExceptionRendering(t *testing.T) {
+	e := &Exception{Kind: ExcIllegalAddr, PC: 5, Detail: "load from 9"}
+	if got := e.Error(); got != "illegal addr (load from 9) at @5" {
+		t.Errorf("Error() = %q", got)
+	}
+	e = &Exception{Kind: ExcTimeout, PC: 2}
+	if got := e.Error(); got != "timed out at @2" {
+		t.Errorf("Error() = %q", got)
+	}
+	kinds := []ExceptionKind{ExcIllegalInstr, ExcIllegalAddr, ExcDivZero, ExcTimeout, ExcDetected, ExcThrow}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if seen[k.String()] {
+			t.Errorf("duplicate kind name %q", k.String())
+		}
+		seen[k.String()] = true
+	}
+}

@@ -1,0 +1,60 @@
+package isa
+
+import "fmt"
+
+// ExceptionKind classifies the exceptions the machine model can raise
+// (Section 5.1 assumptions plus the detector and watchdog mechanisms).
+type ExceptionKind int
+
+// Exception kinds.
+const (
+	// ExcIllegalInstr: fetch from an invalid code address.
+	ExcIllegalInstr ExceptionKind = iota + 1
+	// ExcIllegalAddr: load from an undefined memory location or other
+	// invalid memory access.
+	ExcIllegalAddr
+	// ExcDivZero: division or modulus by zero.
+	ExcDivZero
+	// ExcTimeout: watchdog instruction bound exceeded (a hang, Section 5.4).
+	ExcTimeout
+	// ExcDetected: an error detector fired (CHECK failed, Section 5.3).
+	ExcDetected
+	// ExcThrow: an explicit throw instruction.
+	ExcThrow
+)
+
+// String renders the kind in the paper's exception vocabulary.
+func (k ExceptionKind) String() string {
+	switch k {
+	case ExcIllegalInstr:
+		return "illegal instruction"
+	case ExcIllegalAddr:
+		return "illegal addr"
+	case ExcDivZero:
+		return "div-zero"
+	case ExcTimeout:
+		return "timed out"
+	case ExcDetected:
+		return "detected"
+	case ExcThrow:
+		return "throw"
+	}
+	return fmt.Sprintf("exception(%d)", int(k))
+}
+
+// Exception records an abnormal program termination.
+type Exception struct {
+	Kind   ExceptionKind
+	PC     int    // program counter at which the exception was raised
+	Detail string // free-form detail (thrown message, detector ID, address)
+}
+
+// Error implements the error interface.
+func (e *Exception) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%s at @%d", e.Kind, e.PC)
+	}
+	return fmt.Sprintf("%s (%s) at @%d", e.Kind, e.Detail, e.PC)
+}
+
+var _ error = (*Exception)(nil)

@@ -1,0 +1,163 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Instr is one decoded instruction. Fields are interpreted according to the
+// opcode's Format; unused fields are zero.
+type Instr struct {
+	Op Op
+
+	Rd Reg // destination (R3/R2I/R2/RI/R1 destination forms)
+	Rs Reg // first source / base register / branch LHS
+	Rt Reg // second source / branch RHS / memory data register
+
+	Imm int64 // immediate operand (also detector ID for OpCheck)
+
+	Label  string // symbolic branch/jump target (before resolution)
+	Target int    // resolved instruction index of Label
+
+	Str string // string literal for prints/throw
+
+	Line int // 1-based source line in the original assembly text, 0 if built
+}
+
+// SrcRegs returns the registers read by the instruction, in operand order,
+// excluding the hardwired zero register. This is the set the fault model uses
+// to pick activated injection targets (paper Section 6.1: "only the
+// register(s) used by the instruction was injected").
+func (in Instr) SrcRegs() []Reg {
+	var regs []Reg
+	add := func(r Reg) {
+		if r == RegZero {
+			return
+		}
+		for _, have := range regs {
+			if have == r {
+				return
+			}
+		}
+		regs = append(regs, r)
+	}
+	switch in.Op.Format() {
+	case FormatR3:
+		add(in.Rs)
+		add(in.Rt)
+	case FormatR2I:
+		add(in.Rs)
+	case FormatR2:
+		add(in.Rs)
+	case FormatMem:
+		add(in.Rs)
+		if in.Op == OpSt {
+			add(in.Rt)
+		}
+	case FormatBranch:
+		add(in.Rs)
+		add(in.Rt)
+	case FormatBranchI:
+		add(in.Rs)
+	case FormatJumpR:
+		add(in.Rs)
+	case FormatR1:
+		if in.Op == OpPrint {
+			add(in.Rd)
+		}
+	}
+	return regs
+}
+
+// DstRegs returns the registers written by the instruction, excluding the
+// hardwired zero register.
+func (in Instr) DstRegs() []Reg {
+	switch in.Op.Format() {
+	case FormatR3, FormatR2I, FormatR2, FormatRI:
+		if in.Rd != RegZero {
+			return []Reg{in.Rd}
+		}
+	case FormatMem:
+		if in.Op == OpLd && in.Rt != RegZero {
+			return []Reg{in.Rt}
+		}
+	case FormatJump:
+		if in.Op == OpJal {
+			return []Reg{RegRA}
+		}
+	case FormatR1:
+		if in.Op == OpRead && in.Rd != RegZero {
+			return []Reg{in.Rd}
+		}
+	}
+	return nil
+}
+
+// UsedRegs returns the union of SrcRegs and DstRegs.
+func (in Instr) UsedRegs() []Reg {
+	regs := in.SrcRegs()
+	for _, d := range in.DstRegs() {
+		dup := false
+		for _, have := range regs {
+			if have == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			regs = append(regs, d)
+		}
+	}
+	return regs
+}
+
+// IsBranch reports whether the instruction can transfer control to a label.
+func (in Instr) IsBranch() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBeqi, OpBnei, OpJmp, OpJal:
+		return true
+	}
+	return false
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op.Format() {
+	case FormatNone:
+	case FormatR3:
+		fmt.Fprintf(&b, " %s %s %s", in.Rd, in.Rs, in.Rt)
+	case FormatR2I:
+		fmt.Fprintf(&b, " %s %s #%d", in.Rd, in.Rs, in.Imm)
+	case FormatR2:
+		fmt.Fprintf(&b, " %s %s", in.Rd, in.Rs)
+	case FormatRI:
+		fmt.Fprintf(&b, " %s #%d", in.Rd, in.Imm)
+	case FormatMem:
+		fmt.Fprintf(&b, " %s %d(%s)", in.Rt, in.Imm, in.Rs)
+	case FormatBranch:
+		fmt.Fprintf(&b, " %s %s %s", in.Rs, in.Rt, in.targetName())
+	case FormatBranchI:
+		fmt.Fprintf(&b, " %s #%d %s", in.Rs, in.Imm, in.targetName())
+	case FormatJump:
+		fmt.Fprintf(&b, " %s", in.targetName())
+	case FormatJumpR:
+		fmt.Fprintf(&b, " %s", in.Rs)
+	case FormatR1:
+		fmt.Fprintf(&b, " %s", in.Rd)
+	case FormatStr:
+		fmt.Fprintf(&b, " %s", strconv.Quote(in.Str))
+	case FormatCheck:
+		fmt.Fprintf(&b, " #%d", in.Imm)
+	}
+	return b.String()
+}
+
+func (in Instr) targetName() string {
+	if in.Label != "" {
+		return in.Label
+	}
+	return "@" + strconv.Itoa(in.Target)
+}

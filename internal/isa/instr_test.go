@@ -1,0 +1,112 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for _, op := range Ops() {
+		if op.String() == "" || op.Format() == 0 {
+			t.Errorf("opcode %d lacks name or format", int(op))
+		}
+		if got := OpByName(op.String()); got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if OpByName("bogus") != OpInvalid {
+		t.Error("OpByName accepted bogus mnemonic")
+	}
+	if OpInvalid.Valid() || Op(9999).Valid() {
+		t.Error("invalid opcodes classified valid")
+	}
+}
+
+func TestSrcDstRegs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		src  []Reg
+		dst  []Reg
+		used []Reg
+	}{
+		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, []Reg{2, 3}, []Reg{1}, []Reg{2, 3, 1}},
+		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 2}, []Reg{2}, []Reg{1}, []Reg{2, 1}},
+		{Instr{Op: OpAddi, Rd: 1, Rs: 2, Imm: 5}, []Reg{2}, []Reg{1}, []Reg{2, 1}},
+		{Instr{Op: OpAdd, Rd: 0, Rs: 0, Rt: 0}, nil, nil, nil},
+		{Instr{Op: OpMov, Rd: 4, Rs: 5}, []Reg{5}, []Reg{4}, []Reg{5, 4}},
+		{Instr{Op: OpLi, Rd: 4, Imm: 9}, nil, []Reg{4}, []Reg{4}},
+		{Instr{Op: OpLd, Rt: 6, Rs: 29, Imm: 1}, []Reg{29}, []Reg{6}, []Reg{29, 6}},
+		{Instr{Op: OpSt, Rt: 6, Rs: 29, Imm: 1}, []Reg{29, 6}, nil, []Reg{29, 6}},
+		{Instr{Op: OpLd, Rt: 6, Rs: 0, Imm: 100}, nil, []Reg{6}, []Reg{6}},
+		{Instr{Op: OpBeq, Rs: 1, Rt: 2}, []Reg{1, 2}, nil, []Reg{1, 2}},
+		{Instr{Op: OpBeqi, Rs: 1, Imm: 0}, []Reg{1}, nil, []Reg{1}},
+		{Instr{Op: OpJmp}, nil, nil, nil},
+		{Instr{Op: OpJal}, nil, []Reg{RegRA}, []Reg{RegRA}},
+		{Instr{Op: OpJr, Rs: RegRA}, []Reg{RegRA}, nil, []Reg{RegRA}},
+		{Instr{Op: OpRead, Rd: 7}, nil, []Reg{7}, []Reg{7}},
+		{Instr{Op: OpPrint, Rd: 7}, []Reg{7}, nil, []Reg{7}},
+		{Instr{Op: OpPrints, Str: "x"}, nil, nil, nil},
+		{Instr{Op: OpNop}, nil, nil, nil},
+		{Instr{Op: OpHalt}, nil, nil, nil},
+		{Instr{Op: OpCheck, Imm: 1}, nil, nil, nil},
+	}
+	for _, c := range cases {
+		if got := c.in.SrcRegs(); !reflect.DeepEqual(got, c.src) {
+			t.Errorf("%v SrcRegs = %v, want %v", c.in, got, c.src)
+		}
+		if got := c.in.DstRegs(); !reflect.DeepEqual(got, c.dst) {
+			t.Errorf("%v DstRegs = %v, want %v", c.in, got, c.dst)
+		}
+		if got := c.in.UsedRegs(); !reflect.DeepEqual(got, c.used) {
+			t.Errorf("%v UsedRegs = %v, want %v", c.in, got, c.used)
+		}
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	branching := map[Op]bool{
+		OpBeq: true, OpBne: true, OpBeqi: true, OpBnei: true, OpJmp: true, OpJal: true,
+	}
+	for _, op := range Ops() {
+		in := Instr{Op: op}
+		if got := in.IsBranch(); got != branching[op] {
+			t.Errorf("%v IsBranch = %v, want %v", op, got, branching[op])
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, "add $1 $2 $3"},
+		{Instr{Op: OpAddi, Rd: 1, Rs: 2, Imm: -5}, "addi $1 $2 #-5"},
+		{Instr{Op: OpMov, Rd: 4, Rs: 5}, "mov $4 $5"},
+		{Instr{Op: OpLi, Rd: 4, Imm: 7}, "li $4 #7"},
+		{Instr{Op: OpLd, Rt: 6, Rs: 29, Imm: 2}, "ld $6 2($29)"},
+		{Instr{Op: OpSt, Rt: 6, Rs: 0, Imm: 100}, "st $6 100($0)"},
+		{Instr{Op: OpBeqi, Rs: 5, Imm: 0, Label: "exit"}, "beqi $5 #0 exit"},
+		{Instr{Op: OpBeq, Rs: 5, Rt: 6, Target: 3}, "beq $5 $6 @3"},
+		{Instr{Op: OpJmp, Label: "loop"}, "jmp loop"},
+		{Instr{Op: OpJr, Rs: 31}, "jr $31"},
+		{Instr{Op: OpPrints, Str: "a\"b"}, `prints "a\"b"`},
+		{Instr{Op: OpThrow, Str: "bad"}, `throw "bad"`},
+		{Instr{Op: OpCheck, Imm: 2}, "check #2"},
+		{Instr{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if RegRA.String() != "$31" || RegZero.String() != "$0" {
+		t.Errorf("register rendering broken: %s %s", RegRA, RegZero)
+	}
+	if !Reg(31).Valid() || Reg(32).Valid() {
+		t.Error("register validity broken")
+	}
+}

@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Loc names an architectural state location that can hold a value: a
+// general-purpose register or a memory word. The error model injects err into
+// Locs, and the constraint map (paper Section 5.2) is keyed by Loc.
+type Loc struct {
+	IsMem bool
+	Reg   Reg   // valid when !IsMem
+	Addr  int64 // valid when IsMem
+}
+
+// RegLoc returns the location of register r.
+func RegLoc(r Reg) Loc { return Loc{Reg: r} }
+
+// MemLoc returns the location of the memory word at addr.
+func MemLoc(addr int64) Loc { return Loc{IsMem: true, Addr: addr} }
+
+// String renders the location: "$7" or "*(1000)".
+func (l Loc) String() string {
+	if l.IsMem {
+		return "*(" + strconv.FormatInt(l.Addr, 10) + ")"
+	}
+	return l.Reg.String()
+}
+
+// ParseLoc parses a location in detector syntax: $N, $(N), *(addr) or *addr.
+func ParseLoc(s string) (Loc, error) {
+	if len(s) == 0 {
+		return Loc{}, fmt.Errorf("empty location")
+	}
+	switch s[0] {
+	case '$':
+		body := trimParens(s[1:])
+		n, err := strconv.ParseUint(body, 10, 8)
+		if err != nil || n >= NumRegs {
+			return Loc{}, fmt.Errorf("bad register %q", s)
+		}
+		return RegLoc(Reg(n)), nil
+	case '*':
+		body := trimParens(s[1:])
+		a, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return Loc{}, fmt.Errorf("bad memory address %q", s)
+		}
+		return MemLoc(a), nil
+	}
+	return Loc{}, fmt.Errorf("bad location %q (want $N or *(addr))", s)
+}
+
+func trimParens(s string) string {
+	if len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,231 @@
+package isa
+
+import "fmt"
+
+// Op identifies an instruction opcode in the generic assembly language.
+type Op int
+
+// Opcodes. The set follows the paper's instruction classes (Section 5.1):
+// arithmetic, branches, loads/stores, input/output, and special instructions
+// (halt, throw, check), plus the comparison-set family (setgt et al.) used by
+// the running factorial example.
+const (
+	OpInvalid Op = iota
+
+	// Arithmetic and logic, register-register-register.
+	OpAdd
+	OpSub
+	OpMult
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSll
+	OpSrl
+	OpSra
+
+	// Arithmetic and logic, register-register-immediate.
+	OpAddi
+	OpSubi
+	OpMulti
+	OpDivi
+	OpModi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+
+	// Comparison-set, register-register-register: rd <- (rs ? rt) as 0/1.
+	OpSeteq
+	OpSetne
+	OpSetgt
+	OpSetlt
+	OpSetge
+	OpSetle
+
+	// Comparison-set, register-register-immediate.
+	OpSeteqi
+	OpSetnei
+	OpSetgti
+	OpSetlti
+	OpSetgei
+	OpSetlei
+
+	// Data movement.
+	OpMov // rd <- rs
+	OpLi  // rd <- imm
+	OpLui // rd <- imm << 16
+
+	// Memory. Addresses are word-granular: ld rt, imm(rs) reads M[R[rs]+imm].
+	OpLd
+	OpSt
+
+	// Control flow. Branches compare a register against either a register
+	// (OpBeq/OpBne) or an immediate (OpBeqi/OpBnei), as in the paper's
+	// "beq rs v l" form.
+	OpBeq
+	OpBne
+	OpBeqi
+	OpBnei
+	OpJmp
+	OpJal // jump and link: RA <- pc+1
+	OpJr  // jump to register
+
+	// Input/output, supported natively since the OS is not modeled.
+	OpRead   // rd <- next input value
+	OpPrint  // append R[rs] to the output stream
+	OpPrints // append a string literal to the output stream
+
+	// Special.
+	OpNop
+	OpHalt
+	OpThrow // raise a named exception and stop
+	OpCheck // invoke error detector by ID (paper's CHECK annotation)
+
+	numOps // sentinel
+)
+
+// Format describes an opcode's operand shape; the assembler, disassembler,
+// builder, and fault model all key off it.
+type Format int
+
+// Operand formats.
+const (
+	FormatNone    Format = iota + 1
+	FormatR3             // op rd, rs, rt
+	FormatR2I            // op rd, rs, #imm
+	FormatR2             // op rd, rs
+	FormatRI             // op rd, #imm
+	FormatMem            // op rt, imm(rs)
+	FormatBranch         // op rs, rt, label
+	FormatBranchI        // op rs, #imm, label
+	FormatJump           // op label
+	FormatJumpR          // op rs
+	FormatR1             // op rd   (read) / op rs (print, jr)
+	FormatStr            // op "literal"
+	FormatCheck          // op #detectorID
+)
+
+type opInfo struct {
+	name   string
+	format Format
+}
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {"invalid", FormatNone},
+
+	OpAdd:  {"add", FormatR3},
+	OpSub:  {"sub", FormatR3},
+	OpMult: {"mult", FormatR3},
+	OpDiv:  {"div", FormatR3},
+	OpMod:  {"mod", FormatR3},
+	OpAnd:  {"and", FormatR3},
+	OpOr:   {"or", FormatR3},
+	OpXor:  {"xor", FormatR3},
+	OpNor:  {"nor", FormatR3},
+	OpSll:  {"sll", FormatR3},
+	OpSrl:  {"srl", FormatR3},
+	OpSra:  {"sra", FormatR3},
+
+	OpAddi:  {"addi", FormatR2I},
+	OpSubi:  {"subi", FormatR2I},
+	OpMulti: {"multi", FormatR2I},
+	OpDivi:  {"divi", FormatR2I},
+	OpModi:  {"modi", FormatR2I},
+	OpAndi:  {"andi", FormatR2I},
+	OpOri:   {"ori", FormatR2I},
+	OpXori:  {"xori", FormatR2I},
+	OpSlli:  {"slli", FormatR2I},
+	OpSrli:  {"srli", FormatR2I},
+	OpSrai:  {"srai", FormatR2I},
+
+	OpSeteq: {"seteq", FormatR3},
+	OpSetne: {"setne", FormatR3},
+	OpSetgt: {"setgt", FormatR3},
+	OpSetlt: {"setlt", FormatR3},
+	OpSetge: {"setge", FormatR3},
+	OpSetle: {"setle", FormatR3},
+
+	OpSeteqi: {"seteqi", FormatR2I},
+	OpSetnei: {"setnei", FormatR2I},
+	OpSetgti: {"setgti", FormatR2I},
+	OpSetlti: {"setlti", FormatR2I},
+	OpSetgei: {"setgei", FormatR2I},
+	OpSetlei: {"setlei", FormatR2I},
+
+	OpMov: {"mov", FormatR2},
+	OpLi:  {"li", FormatRI},
+	OpLui: {"lui", FormatRI},
+
+	OpLd: {"ld", FormatMem},
+	OpSt: {"st", FormatMem},
+
+	OpBeq:  {"beq", FormatBranch},
+	OpBne:  {"bne", FormatBranch},
+	OpBeqi: {"beqi", FormatBranchI},
+	OpBnei: {"bnei", FormatBranchI},
+	OpJmp:  {"jmp", FormatJump},
+	OpJal:  {"jal", FormatJump},
+	OpJr:   {"jr", FormatJumpR},
+
+	OpRead:   {"read", FormatR1},
+	OpPrint:  {"print", FormatR1},
+	OpPrints: {"prints", FormatStr},
+
+	OpNop:   {"nop", FormatNone},
+	OpHalt:  {"halt", FormatNone},
+	OpThrow: {"throw", FormatStr},
+	OpCheck: {"check", FormatCheck},
+}
+
+// Valid reports whether op names a real opcode.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// String returns the assembly mnemonic for op.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+	return opTable[op].name
+}
+
+// Format returns the operand format of op.
+func (op Op) Format() Format {
+	if !op.Valid() {
+		return FormatNone
+	}
+	return opTable[op].format
+}
+
+// OpByName returns the opcode with the given mnemonic, or OpInvalid.
+func OpByName(name string) Op {
+	op, ok := opsByName[name]
+	if !ok {
+		return OpInvalid
+	}
+	return op
+}
+
+var opsByName = buildOpsByName()
+
+func buildOpsByName() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := OpInvalid + 1; op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}
+
+// Ops returns every valid opcode, in declaration order. The slice is fresh on
+// each call, so callers may modify it.
+func Ops() []Op {
+	out := make([]Op, 0, int(numOps)-1)
+	for op := OpInvalid + 1; op < numOps; op++ {
+		out = append(out, op)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("sample")
+	b.Label("main")
+	b.Li(1, 10)
+	b.Label("loop")
+	b.Subi(1, 1, 1)
+	b.Bnei(1, 0, "loop")
+	b.Jal("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Jr(RegRA)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProgramBasics(t *testing.T) {
+	p := buildSample(t)
+	if p.Len() != 6 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if !p.ValidPC(0) || !p.ValidPC(5) || p.ValidPC(6) || p.ValidPC(-1) {
+		t.Error("ValidPC wrong")
+	}
+	if p.Labels["loop"] != 1 || p.Labels["fn"] != 5 {
+		t.Errorf("labels %v", p.Labels)
+	}
+	if got := p.At(1).Op; got != OpSubi {
+		t.Errorf("At(1).Op = %v", got)
+	}
+	// Branch target resolution.
+	if p.At(2).Target != 1 {
+		t.Errorf("bnei target %d, want 1", p.At(2).Target)
+	}
+	if p.At(3).Target != 5 {
+		t.Errorf("jal target %d, want 5", p.At(3).Target)
+	}
+}
+
+func TestProgramLocate(t *testing.T) {
+	p := buildSample(t)
+	if got := p.Locate(1); !strings.Contains(got, "loop") {
+		t.Errorf("Locate(1) = %q", got)
+	}
+	if got := p.Locate(2); !strings.Contains(got, "loop+1") {
+		t.Errorf("Locate(2) = %q", got)
+	}
+	if got := p.Locate(99); !strings.Contains(got, "invalid") {
+		t.Errorf("Locate(99) = %q", got)
+	}
+	if l, off, ok := p.LabelFor(4); !ok || l != "loop" || off != 3 {
+		t.Errorf("LabelFor(4) = %q+%d, %v", l, off, ok)
+	}
+}
+
+func TestProgramLabelsAt(t *testing.T) {
+	p := buildSample(t)
+	if got := p.LabelsAt(0); len(got) != 1 || got[0] != "main" {
+		t.Errorf("LabelsAt(0) = %v", got)
+	}
+	if got := p.LabelsAt(3); got != nil {
+		t.Errorf("LabelsAt(3) = %v", got)
+	}
+}
+
+func TestNewProgramErrors(t *testing.T) {
+	// Undefined label.
+	_, err := NewProgram("p", []Instr{{Op: OpJmp, Label: "nowhere"}}, nil)
+	if err == nil {
+		t.Error("undefined label accepted")
+	}
+	// Out-of-range absolute target.
+	_, err = NewProgram("p", []Instr{{Op: OpJmp, Target: 7}}, nil)
+	if err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	// Label outside code.
+	_, err = NewProgram("p", []Instr{{Op: OpNop}}, map[string]int{"x": 9})
+	if err == nil {
+		t.Error("label outside code accepted")
+	}
+	// Invalid opcode.
+	_, err = NewProgram("p", []Instr{{}}, nil)
+	if err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Label("dup")
+	b.Nop()
+	b.Label("dup")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+
+	b = NewBuilder("bad2")
+	b.Emit(Instr{Op: OpAdd, Rd: 40})
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("invalid register accepted")
+	}
+
+	b = NewBuilder("bad3")
+	b.Label("")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on bad program")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Jmp("nowhere")
+	b.MustBuild()
+}
+
+func TestParseLoc(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Loc
+	}{
+		{"$5", RegLoc(5)},
+		{"$(5)", RegLoc(5)},
+		{"$31", RegLoc(31)},
+		{"*(1000)", MemLoc(1000)},
+		{"*1000", MemLoc(1000)},
+		{"*(-4)", MemLoc(-4)},
+	}
+	for _, c := range cases {
+		got, err := ParseLoc(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLoc(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "$32", "$x", "*(x)", "5", "$-1"} {
+		if _, err := ParseLoc(bad); err == nil {
+			t.Errorf("ParseLoc(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLocString(t *testing.T) {
+	if RegLoc(7).String() != "$7" || MemLoc(12).String() != "*(12)" {
+		t.Error("Loc rendering broken")
+	}
+}

@@ -1,0 +1,35 @@
+package isa
+
+import "strconv"
+
+// NumRegs is the number of general-purpose registers in the machine model.
+// The paper's case study uses a 32-register MIPS-like machine (Section 6.1).
+const NumRegs = 32
+
+// Reg names a general-purpose register, $0 through $31. Register $0 is
+// hardwired to zero: writes to it are discarded and reads always return 0.
+type Reg uint8
+
+// Software conventions used by the program builder and the MIPS front end.
+// The ISA itself does not enforce them (any register may be read or written),
+// but the applications in internal/apps follow them, and the catastrophic
+// tcas scenario in the paper depends on the return address living in a
+// general-purpose register (RegRA) where a transient error can corrupt it.
+const (
+	RegZero Reg = 0  // hardwired zero
+	RegV0   Reg = 2  // function result
+	RegV1   Reg = 3  // secondary result
+	RegA0   Reg = 4  // first argument
+	RegA1   Reg = 5  // second argument
+	RegA2   Reg = 6  // third argument
+	RegA3   Reg = 7  // fourth argument
+	RegSP   Reg = 29 // stack pointer
+	RegFP   Reg = 30 // frame pointer
+	RegRA   Reg = 31 // return address (written by jal)
+)
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String renders the register in assembly syntax, e.g. "$7".
+func (r Reg) String() string { return "$" + strconv.Itoa(int(r)) }

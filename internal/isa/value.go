@@ -1,0 +1,72 @@
+// Package isa defines the generic assembly language used by the SymPLFIED
+// framework: the value domain (concrete integers plus the single symbolic
+// error value err), the register file shape, the instruction set, program
+// representation, and a typed program builder.
+//
+// The language mirrors the paper's generic RISC abstraction (Section 3.1 and
+// Section 5.1): integer-only arithmetic, explicit I/O instructions so that
+// programs can be analyzed independently of an operating system, and a CHECK
+// instruction for invoking error detectors in line with the program.
+package isa
+
+import "strconv"
+
+// Value is a machine word: either a concrete 64-bit integer or the symbolic
+// error value err. Following the paper (Section 3.2), a single symbol
+// represents all erroneous values; program states are distinguished by where
+// errors reside, not by the erroneous bit patterns themselves.
+//
+// The zero Value is the concrete integer 0.
+type Value struct {
+	sym bool
+	n   int64
+}
+
+// Int returns a concrete integer value.
+func Int(n int64) Value { return Value{n: n} }
+
+// Err returns the symbolic error value.
+func Err() Value { return Value{sym: true} }
+
+// IsErr reports whether v is the symbolic error value.
+func (v Value) IsErr() bool { return v.sym }
+
+// IsConcrete reports whether v is a concrete integer.
+func (v Value) IsConcrete() bool { return !v.sym }
+
+// Concrete returns the concrete integer held by v. The boolean is false when
+// v is the symbolic error value, in which case the integer is meaningless.
+func (v Value) Concrete() (int64, bool) {
+	if v.sym {
+		return 0, false
+	}
+	return v.n, true
+}
+
+// MustConcrete returns the concrete integer held by v, or 0 for err. It is
+// intended for rendering paths where err has already been ruled out.
+func (v Value) MustConcrete() int64 {
+	if v.sym {
+		return 0
+	}
+	return v.n
+}
+
+// Equal reports structural equality: two concrete values are equal when their
+// integers match; err is structurally equal only to err. Note that structural
+// equality of two err values does NOT mean the underlying erroneous machine
+// words would be equal; comparison instructions must treat err specially.
+func (v Value) Equal(w Value) bool {
+	if v.sym || w.sym {
+		return v.sym == w.sym
+	}
+	return v.n == w.n
+}
+
+// String renders the value: a decimal integer or the literal "err".
+func (v Value) String() string {
+	if v.sym {
+		return "err"
+	}
+	return strconv.FormatInt(v.n, 10)
+}

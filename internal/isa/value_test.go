@@ -1,0 +1,78 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBasics(t *testing.T) {
+	v := Int(42)
+	if v.IsErr() || !v.IsConcrete() {
+		t.Fatal("Int(42) classified as err")
+	}
+	if n, ok := v.Concrete(); !ok || n != 42 {
+		t.Fatalf("Concrete() = %d, %v", n, ok)
+	}
+	if v.String() != "42" {
+		t.Fatalf("String() = %q", v.String())
+	}
+	if v.MustConcrete() != 42 {
+		t.Fatalf("MustConcrete() = %d", v.MustConcrete())
+	}
+
+	e := Err()
+	if !e.IsErr() || e.IsConcrete() {
+		t.Fatal("Err() classified as concrete")
+	}
+	if _, ok := e.Concrete(); ok {
+		t.Fatal("Err().Concrete() ok")
+	}
+	if e.String() != "err" {
+		t.Fatalf("String() = %q", e.String())
+	}
+	if e.MustConcrete() != 0 {
+		t.Fatalf("Err().MustConcrete() = %d", e.MustConcrete())
+	}
+}
+
+func TestValueZeroIsConcreteZero(t *testing.T) {
+	var v Value
+	if v.IsErr() {
+		t.Fatal("zero Value is err")
+	}
+	if n, _ := v.Concrete(); n != 0 {
+		t.Fatalf("zero Value = %d", n)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(0), Err(), false},
+		{Err(), Int(0), false},
+		{Err(), Err(), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Int is injective up to Equal, and never err.
+func TestValueIntProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.IsErr() || vb.IsErr() {
+			return false
+		}
+		return va.Equal(vb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

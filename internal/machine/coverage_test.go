@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+)
+
+func TestComparisonSetSemantics(t *testing.T) {
+	res := runSrc(t, `
+	li $1 5
+	li $2 5
+	seteq $3 $1 $2
+	print $3        -- 1
+	setne $3 $1 $2
+	print $3        -- 0
+	setgt $3 $1 $2
+	print $3        -- 0
+	setge $3 $1 $2
+	print $3        -- 1
+	setlt $3 $1 4
+	print $3        -- 0  (immediate form)
+	setle $3 $1 5
+	print $3        -- 1
+	seteq $3 $1 9
+	print $3        -- 0
+	halt
+`, nil, Options{})
+	wantOutput(t, res, "1001010")
+}
+
+func TestLuiAndImmediateLogic(t *testing.T) {
+	res := runSrc(t, `
+	lui $1 2
+	print $1        -- 131072
+	li $2 12
+	xori $3 $2 10
+	print $3        -- 6
+	andi $3 $2 10
+	print $3        -- 8
+	modi $3 $2 5
+	print $3        -- 2
+	divi $3 $2 5
+	print $3        -- 2
+	multi $3 $2 3
+	print $3        -- 36
+	srl $4 $2 2
+	print $4        -- 3
+	sra $4 $2 1
+	print $4        -- 6
+	halt
+`, nil, Options{})
+	wantOutput(t, res, "13107268223636")
+}
+
+func TestAccessorsAndHooks(t *testing.T) {
+	u := asm.MustParse("t", "\tnop\n\tnop\n\thalt\n")
+	m := New(u.Program, nil, Options{})
+	if m.Program() != u.Program {
+		t.Error("Program accessor wrong")
+	}
+	m.Step()
+	if m.Steps() != 1 || m.PC() != 1 {
+		t.Errorf("Steps/PC = %d/%d", m.Steps(), m.PC())
+	}
+	if m.Exception() != nil {
+		t.Error("spurious exception")
+	}
+
+	// SetMem and SetPC from a hook: skip directly to the halt.
+	m2 := New(u.Program, nil, Options{
+		PreStep: func(m *Machine, step int) {
+			if step == 0 {
+				m.SetMem(5, isa.Int(42))
+				m.SetPC(2)
+			}
+		},
+	})
+	res := m2.Run()
+	if res.Status != StatusHalted || res.Steps != 1 {
+		t.Fatalf("redirected run: %v after %d steps", res.Status, res.Steps)
+	}
+	if v, ok := m2.Mem(5); !ok || !v.Equal(isa.Int(42)) {
+		t.Error("SetMem lost")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for _, s := range []Status{StatusRunning, StatusHalted, StatusExcepted} {
+		if s.String() == "" || s.String()[0] == 's' && s.String() == "status(0)" {
+			t.Errorf("status %d lacks a name", int(s))
+		}
+	}
+	if Status(99).String() != "status(99)" {
+		t.Error("unknown status rendering")
+	}
+}
+
+func TestErrOperandsRaise(t *testing.T) {
+	// A hook that plants the symbolic err into the concrete machine makes
+	// the next use raise (the concrete model has no symbolic semantics).
+	cases := []string{
+		"\tadd $3 $1 $2\n\thalt\n",
+		"\tseteq $3 $1 $2\n\thalt\n",
+		"\tld $3 0($1)\n\thalt\n",
+		"\tst $3 0($1)\n\thalt\n",
+		"\tbeqi $1 0 x\nx:\thalt\n",
+		"\tjr $1\n\thalt\n",
+	}
+	for _, src := range cases {
+		u := asm.MustParse("t", src)
+		m := New(u.Program, nil, Options{
+			PreStep: func(m *Machine, step int) {
+				if step == 0 {
+					m.SetReg(1, isa.Err())
+				}
+			},
+		})
+		res := m.Run()
+		if res.Status != StatusExcepted {
+			t.Errorf("%q: err operand did not raise (status %v)", src, res.Status)
+		}
+	}
+}
+
+func TestDetectorErrOperandDetects(t *testing.T) {
+	u := asm.MustParse("t", "\tdet(1, $1, ==, 5)\n\tcheck #1\n\thalt\n")
+	m := New(u.Program, nil, Options{
+		Detectors: u.Detectors,
+		PreStep: func(m *Machine, step int) {
+			if step == 0 {
+				m.SetReg(1, isa.Err())
+			}
+		},
+	})
+	res := m.Run()
+	if res.Status != StatusExcepted || res.Exception.Kind != isa.ExcDetected {
+		t.Fatalf("err at detector: %v (%v)", res.Status, res.Exception)
+	}
+}
+
+func TestJrToNegativeAddress(t *testing.T) {
+	res := runSrc(t, "\tli $1 -5\n\tjr $1\n", nil, Options{})
+	if res.Status != StatusExcepted || res.Exception.Kind != isa.ExcIllegalInstr {
+		t.Fatalf("negative jr: %v (%v)", res.Status, res.Exception)
+	}
+}
+
+func TestStepAfterTermination(t *testing.T) {
+	u := asm.MustParse("t", "\thalt\n")
+	m := New(u.Program, nil, Options{})
+	m.Run()
+	before := m.Steps()
+	m.Step() // no-op
+	if m.Steps() != before {
+		t.Error("Step advanced a terminated machine")
+	}
+	res := m.Run() // idempotent
+	if res.Status != StatusHalted {
+		t.Error("re-Run changed status")
+	}
+}

@@ -1,0 +1,512 @@
+// Package machine implements SymPLFIED's concrete machine model (paper
+// Section 5.1): a deterministic interpreter for the generic assembly
+// language, with native input/output, exceptions for invalid fetches,
+// undefined memory reads and division by zero, a watchdog instruction bound
+// (the paper's timeout), and CHECK-annotated error detectors.
+//
+// The machine corresponds to the equational part of the paper's Maude
+// specification: for a given instruction sequence the final state is uniquely
+// determined in the absence of errors. The nondeterministic error semantics
+// live in internal/symexec.
+//
+// For the concrete fault-injection baseline (internal/simplescalar) the
+// machine exposes a pre-step hook that can mutate architectural state at a
+// chosen dynamic instruction, emulating the paper's augmented SimpleScalar.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+	"symplfied/internal/symbolic"
+)
+
+// DefaultWatchdog is the default instruction bound. It must be conservative:
+// larger than any correct execution of the analyzed programs (Section 5.4).
+const DefaultWatchdog = 1_000_000
+
+// OutItem is one element of the output stream: a printed value or a printed
+// string literal.
+type OutItem struct {
+	IsStr bool
+	Str   string
+	Val   isa.Value
+}
+
+// String renders the item as it would appear on the program's output.
+func (o OutItem) String() string {
+	if o.IsStr {
+		return o.Str
+	}
+	return o.Val.String()
+}
+
+// RenderOutput renders a whole output stream.
+func RenderOutput(out []OutItem) string {
+	var b strings.Builder
+	for _, o := range out {
+		b.WriteString(o.String())
+	}
+	return b.String()
+}
+
+// OutputValues extracts just the printed values (ignoring string literals).
+func OutputValues(out []OutItem) []isa.Value {
+	var vs []isa.Value
+	for _, o := range out {
+		if !o.IsStr {
+			vs = append(vs, o.Val)
+		}
+	}
+	return vs
+}
+
+// Status describes where an execution ended up.
+type Status int
+
+// Execution statuses.
+const (
+	StatusRunning Status = iota + 1
+	StatusHalted         // executed halt
+	StatusExcepted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusHalted:
+		return "halted"
+	case StatusExcepted:
+		return "excepted"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Options configures a machine run.
+type Options struct {
+	// Watchdog bounds the number of executed instructions; 0 selects
+	// DefaultWatchdog.
+	Watchdog int
+	// Detectors supplies the detector table for CHECK instructions; nil
+	// means CHECK raises a specification error.
+	Detectors *detector.Table
+	// PreStep, if non-nil, runs before each instruction executes. It is the
+	// fault-injection hook: step is the 0-based dynamic instruction index
+	// about to execute. The hook may mutate the machine.
+	PreStep func(m *Machine, step int)
+}
+
+// Machine is a concrete interpreter instance. Create one with New, then call
+// Run (or Step in a loop).
+type Machine struct {
+	prog     *isa.Program
+	regs     [isa.NumRegs]isa.Value
+	mem      map[int64]isa.Value
+	pc       int
+	in       []isa.Value
+	inPos    int
+	out      []OutItem
+	steps    int
+	status   Status
+	exc      *isa.Exception
+	watchdog int
+	dets     *detector.Table
+	preStep  func(m *Machine, step int)
+}
+
+// New creates a machine for prog with the given input stream.
+func New(prog *isa.Program, input []int64, opts Options) *Machine {
+	m := &Machine{
+		prog:     prog,
+		mem:      make(map[int64]isa.Value),
+		in:       make([]isa.Value, len(input)),
+		status:   StatusRunning,
+		watchdog: opts.Watchdog,
+		dets:     opts.Detectors,
+		preStep:  opts.PreStep,
+	}
+	for i, v := range input {
+		m.in[i] = isa.Int(v)
+	}
+	if m.watchdog <= 0 {
+		m.watchdog = DefaultWatchdog
+	}
+	if m.dets == nil {
+		m.dets = detector.EmptyTable()
+	}
+	return m
+}
+
+// Program returns the program being executed.
+func (m *Machine) Program() *isa.Program { return m.prog }
+
+// PC returns the current program counter.
+func (m *Machine) PC() int { return m.pc }
+
+// Steps returns the number of instructions executed so far.
+func (m *Machine) Steps() int { return m.steps }
+
+// Status returns the execution status.
+func (m *Machine) Status() Status { return m.status }
+
+// Exception returns the terminating exception, if any.
+func (m *Machine) Exception() *isa.Exception { return m.exc }
+
+// InputConsumed returns how many input values have been read so far.
+func (m *Machine) InputConsumed() int { return m.inPos }
+
+// RunUntil executes until the machine is about to execute the instruction at
+// pc for the occurrence-th time (1-based), or until it stops. It returns true
+// if the breakpoint was reached with the machine still running.
+func (m *Machine) RunUntil(pc, occurrence int) bool {
+	if occurrence <= 0 {
+		occurrence = 1
+	}
+	seen := 0
+	for m.status == StatusRunning {
+		if m.pc == pc {
+			seen++
+			if seen >= occurrence {
+				return true
+			}
+		}
+		m.Step()
+	}
+	return false
+}
+
+// Output returns the output stream produced so far. The slice is a copy.
+func (m *Machine) Output() []OutItem {
+	out := make([]OutItem, len(m.out))
+	copy(out, m.out)
+	return out
+}
+
+// Reg returns the value of register r ($0 always reads 0).
+func (m *Machine) Reg(r isa.Reg) isa.Value {
+	if r == isa.RegZero {
+		return isa.Int(0)
+	}
+	return m.regs[r]
+}
+
+// SetReg writes register r; writes to $0 are discarded. It is exported for
+// the fault-injection hook.
+func (m *Machine) SetReg(r isa.Reg, v isa.Value) {
+	if r == isa.RegZero {
+		return
+	}
+	m.regs[r] = v
+}
+
+// Mem returns the memory word at addr; ok is false for undefined locations.
+func (m *Machine) Mem(addr int64) (isa.Value, bool) {
+	v, ok := m.mem[addr]
+	return v, ok
+}
+
+// SetMem writes the memory word at addr, defining it if needed. Exported for
+// the fault-injection hook and program loaders.
+func (m *Machine) SetMem(addr int64, v isa.Value) { m.mem[addr] = v }
+
+// SetPC repositions the program counter. Exported for the fault-injection
+// hook (PC errors). An invalid target raises "illegal instruction" at the
+// next step.
+func (m *Machine) SetPC(pc int) { m.pc = pc }
+
+// MemSnapshot returns a copy of the defined memory.
+func (m *Machine) MemSnapshot() map[int64]isa.Value {
+	out := make(map[int64]isa.Value, len(m.mem))
+	for a, v := range m.mem {
+		out[a] = v
+	}
+	return out
+}
+
+// RegOperand implements detector.Env.
+func (m *Machine) RegOperand(r isa.Reg) symbolic.Operand {
+	v := m.Reg(r)
+	if n, ok := v.Concrete(); ok {
+		return symbolic.ConcreteOperand(n)
+	}
+	return symbolic.Operand{Val: isa.Err()}
+}
+
+// MemOperand implements detector.Env.
+func (m *Machine) MemOperand(addr int64) (symbolic.Operand, bool) {
+	v, ok := m.mem[addr]
+	if !ok {
+		return symbolic.Operand{}, false
+	}
+	if n, okc := v.Concrete(); okc {
+		return symbolic.ConcreteOperand(n), true
+	}
+	return symbolic.Operand{Val: isa.Err()}, true
+}
+
+var _ detector.Env = (*Machine)(nil)
+
+// Result summarizes a finished run.
+type Result struct {
+	Status    Status
+	Exception *isa.Exception
+	Output    []OutItem
+	Steps     int
+}
+
+// Run executes until halt, exception, or watchdog expiry, and returns the
+// summary. Calling Run on a finished machine returns the existing result.
+func (m *Machine) Run() Result {
+	for m.status == StatusRunning {
+		m.Step()
+	}
+	return Result{Status: m.status, Exception: m.exc, Output: m.Output(), Steps: m.steps}
+}
+
+func (m *Machine) raise(kind isa.ExceptionKind, detail string) {
+	m.status = StatusExcepted
+	m.exc = &isa.Exception{Kind: kind, PC: m.pc, Detail: detail}
+}
+
+// Step executes one instruction. It is a no-op once the machine has stopped.
+func (m *Machine) Step() {
+	if m.status != StatusRunning {
+		return
+	}
+	if m.steps >= m.watchdog {
+		m.raise(isa.ExcTimeout, fmt.Sprintf("watchdog after %d instructions", m.steps))
+		return
+	}
+	if m.preStep != nil {
+		m.preStep(m, m.steps)
+		if m.status != StatusRunning {
+			return
+		}
+	}
+	if !m.prog.ValidPC(m.pc) {
+		m.raise(isa.ExcIllegalInstr, fmt.Sprintf("fetch from %d", m.pc))
+		return
+	}
+	in := m.prog.At(m.pc)
+	m.steps++
+	m.exec(in)
+}
+
+// concreteReg fetches a register and reports whether it held a concrete
+// value; the concrete machine treats a (hook-injected) err as an illegal
+// operand, since the concrete model has no symbolic semantics.
+func (m *Machine) concreteReg(r isa.Reg) (int64, bool) {
+	return m.Reg(r).Concrete()
+}
+
+func (m *Machine) exec(in isa.Instr) {
+	if bin, imm, ok := isa.ArithOp(in.Op); ok {
+		m.execArith(in, bin, imm)
+		return
+	}
+	if cmp, imm, ok := isa.CmpForOp(in.Op); ok {
+		m.execSetCmp(in, cmp, imm)
+		return
+	}
+	switch in.Op {
+	case isa.OpMov:
+		m.SetReg(in.Rd, m.Reg(in.Rs))
+		m.pc++
+	case isa.OpLi:
+		m.SetReg(in.Rd, isa.Int(in.Imm))
+		m.pc++
+	case isa.OpLui:
+		m.SetReg(in.Rd, isa.Int(in.Imm<<16))
+		m.pc++
+	case isa.OpLd:
+		m.execLoad(in)
+	case isa.OpSt:
+		m.execStore(in)
+	case isa.OpBeq, isa.OpBne, isa.OpBeqi, isa.OpBnei:
+		m.execBranch(in)
+	case isa.OpJmp:
+		m.pc = in.Target
+	case isa.OpJal:
+		m.SetReg(isa.RegRA, isa.Int(int64(m.pc+1)))
+		m.pc = in.Target
+	case isa.OpJr:
+		m.execJr(in)
+	case isa.OpRead:
+		m.execRead(in)
+	case isa.OpPrint:
+		m.out = append(m.out, OutItem{Val: m.Reg(in.Rd)})
+		m.pc++
+	case isa.OpPrints:
+		m.out = append(m.out, OutItem{IsStr: true, Str: in.Str})
+		m.pc++
+	case isa.OpNop:
+		m.pc++
+	case isa.OpHalt:
+		m.status = StatusHalted
+	case isa.OpThrow:
+		m.raise(isa.ExcThrow, in.Str)
+	case isa.OpCheck:
+		m.execCheck(in)
+	default:
+		m.raise(isa.ExcIllegalInstr, fmt.Sprintf("unsupported opcode %s", in.Op))
+	}
+}
+
+func (m *Machine) execArith(in isa.Instr, bin isa.BinOp, imm bool) {
+	x, okX := m.concreteReg(in.Rs)
+	if !okX {
+		m.raise(isa.ExcIllegalAddr, "erroneous operand in concrete machine")
+		return
+	}
+	var y int64
+	if imm {
+		y = in.Imm
+	} else {
+		var okY bool
+		y, okY = m.concreteReg(in.Rt)
+		if !okY {
+			m.raise(isa.ExcIllegalAddr, "erroneous operand in concrete machine")
+			return
+		}
+	}
+	v, err := isa.EvalBin(bin, x, y)
+	if err != nil {
+		m.raise(isa.ExcDivZero, "")
+		return
+	}
+	m.SetReg(in.Rd, isa.Int(v))
+	m.pc++
+}
+
+func (m *Machine) execSetCmp(in isa.Instr, cmp isa.Cmp, imm bool) {
+	x, okX := m.concreteReg(in.Rs)
+	var (
+		y   int64
+		okY = true
+	)
+	if imm {
+		y = in.Imm
+	} else {
+		y, okY = m.concreteReg(in.Rt)
+	}
+	if !okX || !okY {
+		m.raise(isa.ExcIllegalAddr, "erroneous operand in concrete machine")
+		return
+	}
+	res := int64(0)
+	if isa.EvalCmp(cmp, x, y) {
+		res = 1
+	}
+	m.SetReg(in.Rd, isa.Int(res))
+	m.pc++
+}
+
+func (m *Machine) execLoad(in isa.Instr) {
+	base, ok := m.concreteReg(in.Rs)
+	if !ok {
+		m.raise(isa.ExcIllegalAddr, "erroneous address in concrete machine")
+		return
+	}
+	addr := base + in.Imm
+	v, defined := m.mem[addr]
+	if !defined {
+		m.raise(isa.ExcIllegalAddr, fmt.Sprintf("load from undefined %d", addr))
+		return
+	}
+	m.SetReg(in.Rt, v)
+	m.pc++
+}
+
+func (m *Machine) execStore(in isa.Instr) {
+	base, ok := m.concreteReg(in.Rs)
+	if !ok {
+		m.raise(isa.ExcIllegalAddr, "erroneous address in concrete machine")
+		return
+	}
+	m.mem[base+in.Imm] = m.Reg(in.Rt)
+	m.pc++
+}
+
+func (m *Machine) execBranch(in isa.Instr) {
+	x, okX := m.concreteReg(in.Rs)
+	var (
+		y   int64
+		okY = true
+	)
+	switch in.Op {
+	case isa.OpBeq, isa.OpBne:
+		y, okY = m.concreteReg(in.Rt)
+	default:
+		y = in.Imm
+	}
+	if !okX || !okY {
+		m.raise(isa.ExcIllegalAddr, "erroneous operand in concrete machine")
+		return
+	}
+	equal := x == y
+	taken := equal
+	if in.Op == isa.OpBne || in.Op == isa.OpBnei {
+		taken = !equal
+	}
+	if taken {
+		m.pc = in.Target
+	} else {
+		m.pc++
+	}
+}
+
+func (m *Machine) execJr(in isa.Instr) {
+	target, ok := m.concreteReg(in.Rs)
+	if !ok {
+		m.raise(isa.ExcIllegalInstr, "erroneous jump target in concrete machine")
+		return
+	}
+	m.pc = int(target)
+	// Validity is checked at the next fetch, mirroring the paper's "attempt
+	// to fetch an instruction from an invalid code address" exception.
+}
+
+func (m *Machine) execRead(in isa.Instr) {
+	if m.inPos >= len(m.in) {
+		m.raise(isa.ExcThrow, "end of input")
+		return
+	}
+	m.SetReg(in.Rd, m.in[m.inPos])
+	m.inPos++
+	m.pc++
+}
+
+func (m *Machine) execCheck(in isa.Instr) {
+	det, ok := m.dets.Lookup(in.Imm)
+	if !ok {
+		m.raise(isa.ExcThrow, fmt.Sprintf("unknown detector %d", in.Imm))
+		return
+	}
+	target, err := det.TargetOperand(m)
+	if err != nil {
+		m.raise(isa.ExcThrow, err.Error())
+		return
+	}
+	expr, err := det.EvalExpr(m, false)
+	if err != nil {
+		m.raise(isa.ExcThrow, err.Error())
+		return
+	}
+	tc, okT := target.Val.Concrete()
+	ec, okE := expr.Val.Concrete()
+	if !okT || !okE {
+		// A hook-injected err reached a detector in the concrete machine:
+		// conservatively detect.
+		m.raise(isa.ExcDetected, fmt.Sprintf("detector %d (erroneous operand)", det.ID))
+		return
+	}
+	if !isa.EvalCmp(det.Cmp, tc, ec) {
+		m.raise(isa.ExcDetected, fmt.Sprintf("detector %d: %s", det.ID, det))
+		return
+	}
+	m.pc++
+}

@@ -1,0 +1,237 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+
+	"symplfied/internal/machine"
+)
+
+func outputValues(t *testing.T, res machine.Result) []int64 {
+	t.Helper()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("status %v (%v)", res.Status, res.Exception)
+	}
+	vals := machine.OutputValues(res.Output)
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		c, ok := v.Concrete()
+		if !ok {
+			t.Fatalf("non-concrete output %v", v)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func wantOutputs(t *testing.T, src string, input []int64, want ...int64) {
+	t.Helper()
+	res := runMIPS(t, src, input)
+	got := outputValues(t, res)
+	if len(got) != len(want) {
+		t.Fatalf("printed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %d, want %d (%v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+func TestShiftAndVariableShift(t *testing.T) {
+	wantOutputs(t, `
+	.text
+main:
+	li $t0, 3
+	sll $t1, $t0, 4      # 48
+	move $a0, $t1
+	li $v0, 1
+	syscall
+	li $t2, 2
+	sllv $t3, $t0, $t2   # 12
+	move $a0, $t3
+	li $v0, 1
+	syscall
+	srl $a0, $t1, 3      # 6
+	li $v0, 1
+	syscall
+	li $t4, -16
+	sra $a0, $t4, 2      # -4
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`, nil, 48, 12, 6, -4)
+}
+
+func TestSetPseudosAndRem(t *testing.T) {
+	wantOutputs(t, `
+	.text
+main:
+	li $t0, 7
+	li $t1, 3
+	seq $a0, $t0, $t1    # 0
+	li $v0, 1
+	syscall
+	sne $a0, $t0, $t1    # 1
+	li $v0, 1
+	syscall
+	sgt $a0, $t0, $t1    # 1
+	li $v0, 1
+	syscall
+	sle $a0, $t0, $t1    # 0
+	li $v0, 1
+	syscall
+	sge $a0, $t0, 7      # 1
+	li $v0, 1
+	syscall
+	rem $a0, $t0, $t1    # 1
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`, nil, 0, 1, 1, 0, 1, 1)
+}
+
+func TestLuiNorSpaceHex(t *testing.T) {
+	wantOutputs(t, `
+	.data
+buf:	.space 2
+	.text
+main:
+	lui $t0, 0x2         # 2 << 16
+	move $a0, $t0
+	li $v0, 1
+	syscall
+	nor $a0, $zero, $zero  # -1
+	li $v0, 1
+	syscall
+	la $t1, buf
+	lw $a0, 0($t1)       # .space zero-initialized
+	li $v0, 1
+	syscall
+	li $t2, -0x10        # negative hex
+	move $a0, $t2
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`, nil, 131072, -1, 0, -16)
+}
+
+func TestBareBaseAndLabelAddressing(t *testing.T) {
+	wantOutputs(t, `
+	.data
+v:	.word 11, 22
+	.text
+main:
+	la $t0, v
+	lw $a0, ($t0)        # bare (base)
+	li $v0, 1
+	syscall
+	lw $a0, v            # absolute label
+	li $v0, 1
+	syscall
+	li $t1, 33
+	sw $t1, v            # absolute store
+	lw $a0, v
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`, nil, 11, 11, 33)
+}
+
+func TestBranchWithImmediateAndZeroForms(t *testing.T) {
+	wantOutputs(t, `
+	.text
+main:
+	li $t0, 5
+	beq $t0, 5, ok       # immediate beq
+	li $a0, 0
+	j print
+ok:
+	li $a0, 1
+print:
+	li $v0, 1
+	syscall
+	li $t1, -1
+	bltz $t1, neg
+	li $a0, 0
+	j print2
+neg:
+	li $a0, 2
+print2:
+	li $v0, 1
+	syscall
+	ble $t0, 5, done     # pseudo with immediate
+	li $a0, 9
+	li $v0, 1
+	syscall
+done:
+	li $v0, 10
+	syscall
+`, nil, 1, 2)
+}
+
+func TestFallthroughHalts(t *testing.T) {
+	// A program without an exit syscall halts at the synthesized epilogue
+	// instead of fetching invalid code.
+	res := runMIPS(t, "\t.text\nmain:\n\tli $t0, 1\n", nil)
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("fallthrough: %v (%v)", res.Status, res.Exception)
+	}
+}
+
+func TestUnsupportedSyscallThrows(t *testing.T) {
+	res := runMIPS(t, "\t.text\nmain:\n\tli $v0, 99\n\tsyscall\n", nil)
+	if res.Status != machine.StatusExcepted {
+		t.Fatal("unsupported syscall did not throw")
+	}
+	if !strings.Contains(res.Exception.Detail, "syscall") {
+		t.Errorf("detail %q", res.Exception.Detail)
+	}
+}
+
+func TestMoreTranslateErrors(t *testing.T) {
+	cases := []string{
+		"\t.text\nmain:\n\tadd $t0, $t1\n",         // operand count
+		"\t.text\nmain:\n\tadd $t0, $t1, $zz\n",    // bad register
+		"\t.text\nmain:\n\tlw $t0, 4($nope)\n",     // bad base
+		"\t.text\nmain:\n\tjr 5\n",                 // non-register jr
+		"\t.text\nmain:\n\tnor $t0, $t1, 5\n",      // nor has no immediate form
+		"\t.text\nmain:\n\tdiv $t0\n",              // div operand count
+		"\t.data\nx:\t.space -1\n\t.text\nmain:\n", // bad .space
+		"\t.data\nx:\t.asciiz noquote\n",           // bad string
+		"\t.text\nmain:\n\tbeq $t0, nolabel2, x\n", // bad immediate/label
+	}
+	for _, src := range cases {
+		if _, err := Translate("bad", src); err == nil {
+			t.Errorf("Translate(%q) succeeded", src)
+		}
+	}
+}
+
+func TestTranslateErrorType(t *testing.T) {
+	_, err := Translate("bad", "\t.text\nmain:\n\tfoo $t0\n")
+	te, ok := err.(*TranslateError)
+	if !ok {
+		t.Fatalf("error %T, want *TranslateError", err)
+	}
+	if te.Line != 3 {
+		t.Errorf("line %d, want 3", te.Line)
+	}
+}
+
+func TestRegisterNamesNumericAndSymbolic(t *testing.T) {
+	wantOutputs(t, `
+	.text
+main:
+	li $8, 42            # numeric == $t0
+	move $a0, $8
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`, nil, 42)
+}

@@ -1,0 +1,444 @@
+package mips
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"symplfied/internal/isa"
+)
+
+// regNames maps MIPS register names to numbers.
+var regNames = map[string]isa.Reg{
+	"zero": 0, "at": 1,
+	"v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25,
+	"k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "s8": 30, "ra": 31,
+}
+
+func (t *translator) reg(line int, s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, t.errf(line, "want register, got %q", s)
+	}
+	body := s[1:]
+	if r, ok := regNames[strings.ToLower(body)]; ok {
+		return r, nil
+	}
+	n, err := strconv.ParseUint(body, 10, 8)
+	if err != nil || n >= isa.NumRegs {
+		return 0, t.errf(line, "bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// immOrLabel resolves an immediate literal or a data-segment label address.
+func (t *translator) immOrLabel(line int, s string) (int64, error) {
+	if v, err := parseImm(s); err == nil {
+		return v, nil
+	}
+	if addr, ok := t.dataLabels[strings.TrimSpace(s)]; ok {
+		return addr, nil
+	}
+	return 0, t.errf(line, "bad immediate or data label %q", s)
+}
+
+// memOperand parses off(base), (base), label, or label+off.
+func (t *translator) memOperand(line int, s string) (off int64, base isa.Reg, err error) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return 0, 0, t.errf(line, "bad memory operand %q", s)
+		}
+		base, err = t.reg(line, s[i+1:len(s)-1])
+		if err != nil {
+			return 0, 0, err
+		}
+		head := strings.TrimSpace(s[:i])
+		if head == "" {
+			return 0, base, nil
+		}
+		off, err = t.immOrLabel(line, head)
+		return off, base, err
+	}
+	off, err = t.immOrLabel(line, s)
+	return off, isa.RegZero, err
+}
+
+type binSpec struct {
+	regOp isa.Op
+	immOp isa.Op
+}
+
+var threeOps = map[string]binSpec{
+	"add": {isa.OpAdd, isa.OpAddi}, "addu": {isa.OpAdd, isa.OpAddi},
+	"addi": {0, isa.OpAddi}, "addiu": {0, isa.OpAddi},
+	"sub": {isa.OpSub, isa.OpSubi}, "subu": {isa.OpSub, isa.OpSubi},
+	"mul":  {isa.OpMult, isa.OpMulti},
+	"and":  {isa.OpAnd, isa.OpAndi},
+	"andi": {0, isa.OpAndi},
+	"or":   {isa.OpOr, isa.OpOri},
+	"ori":  {0, isa.OpOri},
+	"xor":  {isa.OpXor, isa.OpXori},
+	"xori": {0, isa.OpXori},
+	"nor":  {isa.OpNor, 0},
+	"slt":  {isa.OpSetlt, isa.OpSetlti}, "sltu": {isa.OpSetlt, isa.OpSetlti},
+	"slti": {0, isa.OpSetlti}, "sltiu": {0, isa.OpSetlti},
+	"seq":  {isa.OpSeteq, isa.OpSeteqi},
+	"sne":  {isa.OpSetne, isa.OpSetnei},
+	"sgt":  {isa.OpSetgt, isa.OpSetgti},
+	"sge":  {isa.OpSetge, isa.OpSetgei},
+	"sle":  {isa.OpSetle, isa.OpSetlei},
+	"sllv": {isa.OpSll, isa.OpSlli}, "sll": {isa.OpSll, isa.OpSlli},
+	"srlv": {isa.OpSrl, isa.OpSrli}, "srl": {isa.OpSrl, isa.OpSrli},
+	"srav": {isa.OpSra, isa.OpSrai}, "sra": {isa.OpSra, isa.OpSrai},
+	"rem": {isa.OpMod, isa.OpModi},
+}
+
+var condBranches = map[string]isa.Cmp{
+	"bge": isa.CmpGe, "bgt": isa.CmpGt, "ble": isa.CmpLe, "blt": isa.CmpLt,
+	"bgez": isa.CmpGe, "bgtz": isa.CmpGt, "blez": isa.CmpLe, "bltz": isa.CmpLt,
+}
+
+func (t *translator) emit(s stmt) error {
+	b := t.b
+	n := len(s.args)
+	need := func(k int) error {
+		if n != k {
+			return t.errf(s.line, "%s: want %d operands, got %d", s.op, k, n)
+		}
+		return nil
+	}
+
+	if spec, ok := threeOps[s.op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := t.reg(s.line, s.args[1])
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(strings.TrimSpace(s.args[2]), "$") {
+			if spec.regOp == 0 {
+				return t.errf(s.line, "%s: register form unsupported", s.op)
+			}
+			rt, err := t.reg(s.line, s.args[2])
+			if err != nil {
+				return err
+			}
+			b.Emit(isa.Instr{Op: spec.regOp, Rd: rd, Rs: rs, Rt: rt})
+			return nil
+		}
+		if spec.immOp == 0 {
+			return t.errf(s.line, "%s: immediate form unsupported", s.op)
+		}
+		imm, err := t.immOrLabel(s.line, s.args[2])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: spec.immOp, Rd: rd, Rs: rs, Imm: imm})
+		return nil
+	}
+
+	if cmp, ok := condBranches[s.op]; ok {
+		zeroForm := strings.HasSuffix(s.op, "z")
+		wantArgs := 3
+		if zeroForm {
+			wantArgs = 2
+		}
+		if err := need(wantArgs); err != nil {
+			return err
+		}
+		rs, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		label := s.args[wantArgs-1]
+		// Compare into $at, then branch on it: bge rs,rt,l =>
+		// setge $at, rs, rt; bne $at, 0, l.
+		if zeroForm {
+			b.Emit(isa.Instr{Op: setCmpImmOp(cmp), Rd: 1, Rs: rs, Imm: 0})
+		} else if strings.HasPrefix(strings.TrimSpace(s.args[1]), "$") {
+			rt, err := t.reg(s.line, s.args[1])
+			if err != nil {
+				return err
+			}
+			b.Emit(isa.Instr{Op: setCmpRegOp(cmp), Rd: 1, Rs: rs, Rt: rt})
+		} else {
+			imm, err := t.immOrLabel(s.line, s.args[1])
+			if err != nil {
+				return err
+			}
+			b.Emit(isa.Instr{Op: setCmpImmOp(cmp), Rd: 1, Rs: rs, Imm: imm})
+		}
+		b.Bnei(1, 0, label)
+		return nil
+	}
+
+	switch s.op {
+	case "nop":
+		b.Nop()
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := t.immOrLabel(s.line, s.args[1])
+		if err != nil {
+			return err
+		}
+		b.Li(rd, imm)
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		addr, ok := t.dataLabels[strings.TrimSpace(s.args[1])]
+		if !ok {
+			return t.errf(s.line, "la: unknown data label %q", s.args[1])
+		}
+		b.Li(rd, addr)
+	case "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := t.immOrLabel(s.line, s.args[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: isa.OpLui, Rd: rd, Imm: imm})
+	case "move":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := t.reg(s.line, s.args[1])
+		if err != nil {
+			return err
+		}
+		b.Mov(rd, rs)
+	case "lw", "sw":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := t.memOperand(s.line, s.args[1])
+		if err != nil {
+			return err
+		}
+		if s.op == "lw" {
+			b.Ld(rt, off, base)
+		} else {
+			b.St(rt, off, base)
+		}
+	case "mult", "multu":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		rt, err := t.reg(s.line, s.args[1])
+		if err != nil {
+			return err
+		}
+		// LO <- rs*rt; HI is not modeled (the 64-bit word holds it all).
+		b.Mult(1, rs, rt)
+		b.St(1, scratchLO, isa.RegZero)
+		b.St(isa.RegZero, scratchHI, isa.RegZero)
+	case "div", "divu":
+		switch n {
+		case 2: // div rs, rt -> LO=quot, HI=rem
+			rs, err := t.reg(s.line, s.args[0])
+			if err != nil {
+				return err
+			}
+			rt, err := t.reg(s.line, s.args[1])
+			if err != nil {
+				return err
+			}
+			b.Div(1, rs, rt)
+			b.St(1, scratchLO, isa.RegZero)
+			b.Mod(1, rs, rt)
+			b.St(1, scratchHI, isa.RegZero)
+		case 3: // pseudo div rd, rs, rt
+			rd, err := t.reg(s.line, s.args[0])
+			if err != nil {
+				return err
+			}
+			rs, err := t.reg(s.line, s.args[1])
+			if err != nil {
+				return err
+			}
+			rt, err := t.reg(s.line, s.args[2])
+			if err != nil {
+				return err
+			}
+			b.Div(rd, rs, rt)
+		default:
+			return t.errf(s.line, "div: want 2 or 3 operands")
+		}
+	case "mflo", "mfhi":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		addr := int64(scratchLO)
+		if s.op == "mfhi" {
+			addr = scratchHI
+		}
+		b.Ld(rd, addr, isa.RegZero)
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(strings.TrimSpace(s.args[1]), "$") {
+			rt, err := t.reg(s.line, s.args[1])
+			if err != nil {
+				return err
+			}
+			if s.op == "beq" {
+				b.Beq(rs, rt, s.args[2])
+			} else {
+				b.Bne(rs, rt, s.args[2])
+			}
+			return nil
+		}
+		imm, err := t.immOrLabel(s.line, s.args[1])
+		if err != nil {
+			return err
+		}
+		if s.op == "beq" {
+			b.Beqi(rs, imm, s.args[2])
+		} else {
+			b.Bnei(rs, imm, s.args[2])
+		}
+	case "b", "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jmp(s.args[0])
+	case "jal":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jal(s.args[0])
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := t.reg(s.line, s.args[0])
+		if err != nil {
+			return err
+		}
+		b.Jr(rs)
+	case "syscall":
+		t.emitSyscall()
+	default:
+		return t.errf(s.line, "unsupported instruction %q", s.op)
+	}
+	return nil
+}
+
+func setCmpRegOp(c isa.Cmp) isa.Op {
+	switch c {
+	case isa.CmpGe:
+		return isa.OpSetge
+	case isa.CmpGt:
+		return isa.OpSetgt
+	case isa.CmpLe:
+		return isa.OpSetle
+	case isa.CmpLt:
+		return isa.OpSetlt
+	}
+	return isa.OpSeteq
+}
+
+func setCmpImmOp(c isa.Cmp) isa.Op {
+	switch c {
+	case isa.CmpGe:
+		return isa.OpSetgei
+	case isa.CmpGt:
+		return isa.OpSetgti
+	case isa.CmpLe:
+		return isa.OpSetlei
+	case isa.CmpLt:
+		return isa.OpSetlti
+	}
+	return isa.OpSeteqi
+}
+
+// emitSyscall expands a SPIM syscall into an inline dispatch on $v0.
+func (t *translator) emitSyscall() {
+	b := t.b
+	k := t.sysCount
+	t.sysCount++
+	pfx := fmt.Sprintf("__sys%d", k)
+
+	b.Beqi(2, 1, pfx+"_pint")   // print_int($a0)
+	b.Beqi(2, 4, pfx+"_pstr")   // print_string(*$a0..)
+	b.Beqi(2, 5, pfx+"_rint")   // $v0 = read_int()
+	b.Beqi(2, 10, pfx+"_exit")  // exit
+	b.Beqi(2, 11, pfx+"_pchar") // print_char($a0)
+	b.Throw("unsupported syscall")
+
+	b.Label(pfx + "_pint")
+	b.Print(4)
+	b.Jmp(pfx + "_done")
+
+	b.Label(pfx + "_pstr")
+	b.St(4, scratchSysA0, isa.RegZero) // save $a0
+	b.Label(pfx + "_ploop")
+	b.Ld(1, 0, 4)
+	b.Beqi(1, 0, pfx+"_pdone")
+	b.Print(1)
+	b.Addi(4, 4, 1)
+	b.Jmp(pfx + "_ploop")
+	b.Label(pfx + "_pdone")
+	b.Ld(4, scratchSysA0, isa.RegZero) // restore $a0
+	b.Jmp(pfx + "_done")
+
+	b.Label(pfx + "_rint")
+	b.Read(2)
+	b.Jmp(pfx + "_done")
+
+	b.Label(pfx + "_exit")
+	b.Halt()
+
+	b.Label(pfx + "_pchar")
+	b.Print(4)
+
+	b.Label(pfx + "_done")
+}

@@ -1,0 +1,284 @@
+// Package mips implements SymPLFIED's architecture front end (paper
+// Section 5, "Supporting Tools"): a translator from MIPS-syntax assembly to
+// the framework's generic assembly language. The paper supports "only the
+// MIPS instruction set" through a custom translator; this package does the
+// same for a word-addressed MIPS dialect:
+//
+//   - the usual register names ($zero, $v0..$v1, $a0..$a3, $t0..$t9,
+//     $s0..$s7, $sp, $fp, $ra, or numeric);
+//   - .text/.data sections, .word/.asciiz/.space directives (the data
+//     segment is placed at DataBase and materialized by an initialization
+//     preamble, per the machine model's "loader initializes all locations"
+//     assumption);
+//   - the common integer instruction subset plus pseudo-instructions
+//     (li, la, move, mul, b, bge/bgt/ble/blt, blez/bgtz/bltz/bgez);
+//   - mult/div with HI/LO via mfhi/mflo (HI of mult is not modeled — the
+//     64-bit machine word holds the full product in LO);
+//   - SPIM-style syscalls: 1 print_int, 4 print_string, 5 read_int,
+//     10 exit, 11 print_char.
+//
+// Addressing is word-granular, matching the machine model: memory operands
+// count words, not bytes. $at ($1) is reserved for translation temporaries,
+// as a real MIPS assembler reserves it.
+package mips
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"symplfied/internal/isa"
+)
+
+// DataBase is where the .data segment is placed in the word-addressed
+// memory.
+const DataBase = 4096
+
+// Scratch memory words used by translated syscalls and div/mult.
+const (
+	scratchLO     = 90
+	scratchHI     = 91
+	scratchSysA0  = 93
+	scratchUnused = 94
+)
+
+// TranslateError reports a translation failure with its source line.
+type TranslateError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *TranslateError) Error() string {
+	return fmt.Sprintf("mips:%d: %s", e.Line, e.Msg)
+}
+
+var _ error = (*TranslateError)(nil)
+
+// Translate converts MIPS-dialect source into a program named name.
+func Translate(name, src string) (*isa.Program, error) {
+	t := &translator{
+		b:          isa.NewBuilder(name),
+		dataLabels: make(map[string]int64),
+		nextData:   DataBase,
+	}
+	if err := t.run(src); err != nil {
+		return nil, err
+	}
+	return t.b.Build()
+}
+
+type dataItem struct {
+	addr  int64
+	value int64
+}
+
+type translator struct {
+	b          *isa.Builder
+	dataLabels map[string]int64
+	nextData   int64
+	data       []dataItem
+	inData     bool
+	sysCount   int
+	errLine    int
+}
+
+func (t *translator) errf(line int, format string, args ...any) error {
+	return &TranslateError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type stmt struct {
+	line   int
+	labels []string
+	op     string
+	args   []string
+}
+
+func (t *translator) run(src string) error {
+	stmts, err := t.scan(src)
+	if err != nil {
+		return err
+	}
+
+	// Data initialization preamble: the "loader" materialized as code.
+	t.b.Label("__init_data")
+	for _, d := range t.data {
+		if d.value == 0 {
+			t.b.St(isa.RegZero, d.addr, isa.RegZero)
+			continue
+		}
+		t.b.Li(1, d.value)
+		t.b.St(1, d.addr, isa.RegZero)
+	}
+
+	for _, s := range stmts {
+		for _, l := range s.labels {
+			t.b.Label(l)
+		}
+		if s.op == "" {
+			continue
+		}
+		if err := t.emit(s); err != nil {
+			return err
+		}
+	}
+	// A fallthrough off the end halts rather than fetching invalid code.
+	t.b.Halt()
+	return nil
+}
+
+// scan tokenizes the source, processes sections and data directives, and
+// returns the text-section statements in order.
+func (t *translator) scan(src string) ([]stmt, error) {
+	var stmts []stmt
+	var pendingData []string // data labels waiting for a directive
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		var labels []string
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 || strings.ContainsAny(line[:i], " \t\"(,") {
+				break
+			}
+			labels = append(labels, strings.TrimSpace(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+		}
+
+		if line == "" {
+			if t.inData {
+				pendingData = append(pendingData, labels...)
+			} else if len(labels) > 0 {
+				stmts = append(stmts, stmt{line: lineNo + 1, labels: labels})
+			}
+			continue
+		}
+
+		fields := strings.Fields(line)
+		op := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+
+		switch op {
+		case ".text":
+			t.inData = false
+			continue
+		case ".data":
+			t.inData = true
+			pendingData = append(pendingData, labels...)
+			continue
+		case ".globl", ".global", ".align", ".ent", ".end", ".frame", ".set":
+			continue
+		}
+
+		if t.inData {
+			all := append(pendingData, labels...)
+			pendingData = nil
+			for _, l := range all {
+				t.dataLabels[l] = t.nextData
+			}
+			if err := t.dataDirective(lineNo+1, op, rest); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		args := splitArgs(rest)
+		stmts = append(stmts, stmt{line: lineNo + 1, labels: labels, op: op, args: args})
+	}
+	return stmts, nil
+}
+
+func (t *translator) dataDirective(line int, op, rest string) error {
+	switch op {
+	case ".word":
+		for _, f := range splitArgs(rest) {
+			v, err := parseImm(f)
+			if err != nil {
+				return t.errf(line, ".word: %v", err)
+			}
+			t.data = append(t.data, dataItem{addr: t.nextData, value: v})
+			t.nextData++
+		}
+	case ".space":
+		n, err := parseImm(strings.TrimSpace(rest))
+		if err != nil || n < 0 {
+			return t.errf(line, ".space: bad size %q", rest)
+		}
+		for i := int64(0); i < n; i++ {
+			t.data = append(t.data, dataItem{addr: t.nextData})
+			t.nextData++
+		}
+	case ".asciiz", ".ascii":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return t.errf(line, "%s: bad string %q", op, rest)
+		}
+		for _, r := range s {
+			t.data = append(t.data, dataItem{addr: t.nextData, value: int64(r)})
+			t.nextData++
+		}
+		if op == ".asciiz" {
+			t.data = append(t.data, dataItem{addr: t.nextData})
+			t.nextData++
+		}
+	default:
+		return t.errf(line, "unsupported data directive %q", op)
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	var args []string
+	depth := 0
+	start := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" {
+		args = append(args, tail)
+	}
+	return args
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
+		neg := strings.HasPrefix(s, "-")
+		hex := strings.TrimPrefix(strings.TrimPrefix(s, "-"), "0x")
+		v, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			return 0, err
+		}
+		out := int64(v)
+		if neg {
+			out = -out
+		}
+		return out, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

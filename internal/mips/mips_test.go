@@ -1,0 +1,205 @@
+package mips
+
+import (
+	"testing"
+
+	"symplfied/internal/machine"
+)
+
+// factorialMIPS computes n! reading n from stdin and printing the result —
+// the paper's running example, authored in the MIPS dialect.
+const factorialMIPS = `
+	.text
+main:
+	li   $v0, 5          # read_int
+	syscall
+	move $t0, $v0        # n
+	li   $t1, 1          # product
+loop:
+	ble  $t0, 1, done
+	mul  $t1, $t1, $t0
+	addi $t0, $t0, -1
+	j    loop
+done:
+	move $a0, $t1
+	li   $v0, 1          # print_int
+	syscall
+	li   $v0, 10         # exit
+	syscall
+`
+
+func runMIPS(t *testing.T, src string, input []int64) machine.Result {
+	t.Helper()
+	prog, err := Translate("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(prog, input, machine.Options{})
+	return m.Run()
+}
+
+func wantSingleOutput(t *testing.T, res machine.Result, want int64) {
+	t.Helper()
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("status %v (%v)", res.Status, res.Exception)
+	}
+	vals := machine.OutputValues(res.Output)
+	if len(vals) != 1 {
+		t.Fatalf("printed %v, want one value", vals)
+	}
+	if v, ok := vals[0].Concrete(); !ok || v != want {
+		t.Fatalf("printed %v, want %d", vals[0], want)
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	for _, c := range []struct{ n, want int64 }{{0, 1}, {1, 1}, {5, 120}, {10, 3628800}} {
+		wantSingleOutput(t, runMIPS(t, factorialMIPS, []int64{c.n}), c.want)
+	}
+}
+
+func TestDataSegmentAndPrintString(t *testing.T) {
+	src := `
+	.data
+msg:	.asciiz "hi"
+val:	.word 42
+arr:	.word 1, 2, 3
+	.text
+main:
+	la   $a0, msg
+	li   $v0, 4          # print_string
+	syscall
+	lw   $a0, val
+	li   $v0, 1
+	syscall
+	la   $t0, arr
+	lw   $a0, 2($t0)     # arr[2] (word-addressed)
+	li   $v0, 1
+	syscall
+	li   $v0, 10
+	syscall
+`
+	res := runMIPS(t, src, nil)
+	if res.Status != machine.StatusHalted {
+		t.Fatalf("status %v (%v)", res.Status, res.Exception)
+	}
+	vals := machine.OutputValues(res.Output)
+	want := []int64{'h', 'i', 42, 3}
+	if len(vals) != len(want) {
+		t.Fatalf("printed %v, want %v", vals, want)
+	}
+	for i, w := range want {
+		if v, ok := vals[i].Concrete(); !ok || v != w {
+			t.Fatalf("output[%d] = %v, want %d", i, vals[i], w)
+		}
+	}
+}
+
+func TestCallAndStack(t *testing.T) {
+	// sum(a,b) through a call with a stack frame; checks jal/jr and sw/lw.
+	src := `
+	.text
+main:
+	li   $sp, 1000
+	li   $a0, 30
+	li   $a1, 12
+	jal  sum
+	move $a0, $v0
+	li   $v0, 1
+	syscall
+	li   $v0, 10
+	syscall
+sum:
+	addi $sp, $sp, -1
+	sw   $ra, 0($sp)
+	add  $v0, $a0, $a1
+	lw   $ra, 0($sp)
+	addi $sp, $sp, 1
+	jr   $ra
+`
+	wantSingleOutput(t, runMIPS(t, src, nil), 42)
+}
+
+func TestDivMultHiLo(t *testing.T) {
+	src := `
+	.text
+main:
+	li   $t0, 47
+	li   $t1, 5
+	div  $t0, $t1        # LO = 9, HI = 2
+	mflo $a0
+	li   $v0, 1
+	syscall
+	mfhi $a0
+	li   $v0, 1
+	syscall
+	mult $t0, $t1        # LO = 235
+	mflo $a0
+	li   $v0, 1
+	syscall
+	li   $v0, 10
+	syscall
+`
+	res := runMIPS(t, src, nil)
+	vals := machine.OutputValues(res.Output)
+	want := []int64{9, 2, 235}
+	if len(vals) != 3 {
+		t.Fatalf("printed %v, want %v", vals, want)
+	}
+	for i, w := range want {
+		if v, ok := vals[i].Concrete(); !ok || v != w {
+			t.Fatalf("output[%d] = %v, want %d", i, vals[i], w)
+		}
+	}
+}
+
+func TestBranchPseudos(t *testing.T) {
+	src := `
+	.text
+main:
+	li   $t0, 3
+	li   $t1, 7
+	blt  $t0, $t1, less
+	li   $a0, 0
+	j    print
+less:
+	li   $a0, 1
+print:
+	li   $v0, 1
+	syscall
+	bgez $zero, ok
+	li   $v0, 10
+	syscall
+ok:
+	li   $a0, 2
+	li   $v0, 1
+	syscall
+	li   $v0, 10
+	syscall
+`
+	res := runMIPS(t, src, nil)
+	vals := machine.OutputValues(res.Output)
+	if len(vals) != 2 {
+		t.Fatalf("printed %v", vals)
+	}
+	if v, _ := vals[0].Concrete(); v != 1 {
+		t.Errorf("blt path printed %v, want 1", vals[0])
+	}
+	if v, _ := vals[1].Concrete(); v != 2 {
+		t.Errorf("bgez path printed %v, want 2", vals[1])
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := []string{
+		"\t.text\nmain:\n\tfoo $t0, $t1\n",
+		"\t.text\nmain:\n\tlw $t0\n",
+		"\t.text\nmain:\n\tla $t0, nolabel\n",
+		"\t.data\nx:\t.double 1.5\n",
+	}
+	for _, src := range cases {
+		if _, err := Translate("bad", src); err == nil {
+			t.Errorf("Translate(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package query is SymPLFIED's query generator (paper Section 5, "Supporting
+// Tools"): it turns predefined hardware-error categories into ready-to-run
+// search specifications, so that "programmers can verify the resilience of
+// their programs without having to write complex specifications (or any
+// specifications)".
+package query
+
+import (
+	"fmt"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/detector"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+// Goal selects what the generated search looks for.
+type Goal int
+
+// Goals.
+const (
+	// GoalErrOutput: executions printing the symbolic err (the paper's
+	// example search command, Section 5.4).
+	GoalErrOutput Goal = iota + 1
+	// GoalIncorrectOutput: normal terminations whose output differs from
+	// the fault-free run (computed automatically by a concrete reference
+	// execution).
+	GoalIncorrectOutput
+	// GoalWrongAdvisory: normal terminations printing a single value other
+	// than the fault-free run's value (the tcas study's query).
+	GoalWrongAdvisory
+	// GoalCrash: exceptional terminations.
+	GoalCrash
+	// GoalHang: watchdog timeouts.
+	GoalHang
+	// GoalDetected: terminations where a detector fired — used to read off
+	// the derived detection conditions (Section 4.2).
+	GoalDetected
+)
+
+// String names the goal.
+func (g Goal) String() string {
+	switch g {
+	case GoalErrOutput:
+		return "err-output"
+	case GoalIncorrectOutput:
+		return "incorrect-output"
+	case GoalWrongAdvisory:
+		return "wrong-advisory"
+	case GoalCrash:
+		return "crash"
+	case GoalHang:
+		return "hang"
+	case GoalDetected:
+		return "detected"
+	}
+	return fmt.Sprintf("goal(%d)", int(g))
+}
+
+// GoalByName parses a goal name as used by the CLI.
+func GoalByName(s string) (Goal, bool) {
+	switch s {
+	case "err-output":
+		return GoalErrOutput, true
+	case "incorrect-output":
+		return GoalIncorrectOutput, true
+	case "wrong-advisory":
+		return GoalWrongAdvisory, true
+	case "crash":
+		return GoalCrash, true
+	case "hang":
+		return GoalHang, true
+	case "detected":
+		return GoalDetected, true
+	}
+	return 0, false
+}
+
+// ClassByName parses an error-class name as used by the CLI.
+func ClassByName(s string) (faults.Class, bool) {
+	switch s {
+	case "register":
+		return faults.ClassRegister, true
+	case "memory":
+		return faults.ClassMemory, true
+	case "control":
+		return faults.ClassControl, true
+	case "decode":
+		return faults.ClassDecode, true
+	}
+	return 0, false
+}
+
+// Query describes a predefined verification question.
+type Query struct {
+	Class faults.Class
+	Goal  Goal
+	// Exec overrides executor options; zero-value fields take defaults.
+	Exec symexec.Options
+}
+
+// Build generates the checker spec for the query against a program. For
+// output-comparing goals it first runs the program concretely to obtain the
+// fault-free reference output.
+func (q Query) Build(prog *isa.Program, dets *detector.Table, input []int64) (checker.Spec, error) {
+	// A zero Watchdog marks Exec as "unset": defaults apply (including
+	// affine tracking) while the fan-out caps are preserved. Callers that
+	// set Watchdog explicitly control every field, including disabling
+	// affine tracking for ablation.
+	exec := q.Exec
+	if exec.Watchdog <= 0 {
+		base := symexec.DefaultOptions()
+		base.MaxControlTargets = exec.MaxControlTargets
+		base.MaxMemTargets = exec.MaxMemTargets
+		base.SymbolicMem = exec.SymbolicMem
+		exec = base
+	}
+
+	spec := checker.Spec{
+		Program:    prog,
+		Detectors:  dets,
+		Input:      input,
+		Injections: faults.ForClass(q.Class, prog),
+		Exec:       exec,
+	}
+
+	switch q.Goal {
+	case GoalErrOutput:
+		spec.Predicate = checker.OutputContainsErr()
+	case GoalCrash:
+		spec.Predicate = checker.OutcomeIs(symexec.OutcomeCrash)
+	case GoalHang:
+		spec.Predicate = checker.OutcomeIs(symexec.OutcomeHang)
+	case GoalDetected:
+		spec.Predicate = checker.OutcomeIs(symexec.OutcomeDetected)
+	case GoalIncorrectOutput, GoalWrongAdvisory:
+		ref := machine.New(prog, input, machine.Options{
+			Watchdog:  exec.Watchdog,
+			Detectors: dets,
+		})
+		res := ref.Run()
+		if res.Status != machine.StatusHalted {
+			return checker.Spec{}, fmt.Errorf("query: fault-free reference run did not halt (%v)", res.Exception)
+		}
+		if q.Goal == GoalIncorrectOutput {
+			spec.Predicate = checker.IncorrectOutput(machine.RenderOutput(res.Output))
+			break
+		}
+		vals := machine.OutputValues(res.Output)
+		if len(vals) != 1 {
+			return checker.Spec{}, fmt.Errorf("query: wrong-advisory goal needs a single printed value, reference printed %d", len(vals))
+		}
+		want, ok := vals[0].Concrete()
+		if !ok {
+			return checker.Spec{}, fmt.Errorf("query: reference output not concrete")
+		}
+		spec.Predicate = checker.HaltedOutputOtherThan(want)
+	default:
+		return checker.Spec{}, fmt.Errorf("query: unknown goal %v", q.Goal)
+	}
+	return spec, nil
+}

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"testing"
+
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/symexec"
+)
+
+func TestGoalAndClassNames(t *testing.T) {
+	goals := []Goal{GoalErrOutput, GoalIncorrectOutput, GoalWrongAdvisory, GoalCrash, GoalHang, GoalDetected}
+	for _, g := range goals {
+		name := g.String()
+		back, ok := GoalByName(name)
+		if !ok || back != g {
+			t.Errorf("goal %v round trip failed (%q)", g, name)
+		}
+	}
+	if _, ok := GoalByName("nope"); ok {
+		t.Error("bogus goal accepted")
+	}
+	for _, c := range []string{"register", "memory", "control", "decode"} {
+		if _, ok := ClassByName(c); !ok {
+			t.Errorf("class %q not recognized", c)
+		}
+	}
+	if _, ok := ClassByName("quantum"); ok {
+		t.Error("bogus class accepted")
+	}
+}
+
+func TestBuildGoals(t *testing.T) {
+	prog := factorial.Plain()
+	for _, g := range []Goal{GoalErrOutput, GoalIncorrectOutput, GoalCrash, GoalHang, GoalDetected} {
+		spec, err := (Query{Class: faults.ClassRegister, Goal: g}).Build(prog, nil, []int64{5})
+		if err != nil {
+			t.Errorf("Build(%v): %v", g, err)
+			continue
+		}
+		if spec.Predicate.Match == nil || len(spec.Injections) == 0 {
+			t.Errorf("Build(%v): incomplete spec", g)
+		}
+		if !spec.Exec.AffineTracking {
+			t.Errorf("Build(%v): defaults lost affine tracking", g)
+		}
+	}
+}
+
+func TestBuildWrongAdvisoryNeedsSingleOutput(t *testing.T) {
+	prog := factorial.Plain()
+	// Factorial prints one value: wrong-advisory builds fine.
+	if _, err := (Query{Class: faults.ClassRegister, Goal: GoalWrongAdvisory}).Build(prog, nil, []int64{3}); err != nil {
+		t.Errorf("wrong-advisory on single-output program: %v", err)
+	}
+}
+
+func TestBuildReferenceRunFailure(t *testing.T) {
+	// With no input the reference run throws (end of input): output goals
+	// must refuse to build.
+	prog := factorial.Plain()
+	if _, err := (Query{Class: faults.ClassRegister, Goal: GoalIncorrectOutput}).Build(prog, nil, nil); err == nil {
+		t.Error("failing reference run accepted")
+	}
+}
+
+func TestBuildUnknownGoal(t *testing.T) {
+	if _, err := (Query{Class: faults.ClassRegister, Goal: Goal(99)}).Build(factorial.Plain(), nil, []int64{3}); err == nil {
+		t.Error("unknown goal accepted")
+	}
+}
+
+// TestBuiltSpecRuns: a generated spec is directly runnable and its
+// incorrect-output predicate excludes the correct output.
+func TestBuiltSpecRuns(t *testing.T) {
+	prog := factorial.Plain()
+	q := Query{Class: faults.ClassRegister, Goal: GoalIncorrectOutput,
+		Exec: symexec.Options{Watchdog: 400, AffineTracking: true}}
+	spec, err := q.Build(prog, nil, []int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := checker.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.State.OutputString() == "Factorial = 24" {
+			t.Fatal("correct output matched the incorrect-output predicate")
+		}
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("no incorrect outcomes found")
+	}
+}

@@ -1,0 +1,209 @@
+// Package simplescalar reproduces the paper's concrete fault-injection
+// baseline (Sections 6.1 and 6.3): the authors augmented the SimpleScalar
+// simulator "with the capability to inject errors into the source and
+// destination registers of all instructions, one at a time", injecting for
+// each register "three extreme values in the integer range as well as three
+// random values". Here the same campaign runs on the concrete machine model:
+// identical fault selection policy, deterministic seeded randomness, and the
+// same outcome classification (program output vs. crash vs. hang).
+//
+// The point of the baseline — and of Table 2 — is that random/extreme
+// concrete injection fails to find outcomes that require a *specific*
+// corrupted value, which SymPLFIED's symbolic enumeration finds easily.
+package simplescalar
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+)
+
+// Point is one static injection site: err is injected into Reg just before
+// the first dynamic execution of the instruction at PC.
+type Point struct {
+	PC  int
+	Reg isa.Reg
+	// Dst marks destination-register sites (injected before the write, so
+	// usually masked — the paper injected them anyway).
+	Dst bool
+}
+
+// EnumeratePoints lists the campaign's injection sites: for every instruction
+// of prog, each source and destination register (the paper's policy).
+func EnumeratePoints(prog *isa.Program) []Point {
+	var pts []Point
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		for _, r := range in.SrcRegs() {
+			pts = append(pts, Point{PC: pc, Reg: r})
+		}
+		for _, r := range in.DstRegs() {
+			pts = append(pts, Point{PC: pc, Reg: r, Dst: true})
+		}
+	}
+	return pts
+}
+
+// Injection is one concrete experiment: write Value into Point.Reg at the
+// first dynamic occurrence of Point.PC.
+type Injection struct {
+	Point Point
+	Value int64
+}
+
+// Classifier maps a finished run to an outcome label. Crash/hang
+// classification is shared; the label for normal terminations is
+// application-specific (e.g. the tcas advisory value).
+type Classifier func(res machine.Result) string
+
+// Labels shared by classifiers.
+const (
+	LabelCrash = "crash"
+	LabelHang  = "hang"
+	LabelOther = "other"
+)
+
+// SingleValueClassifier labels normal runs by their single printed value
+// when it is one of the allowed values, and "other" otherwise — the Table 2
+// buckets for tcas (0, 1, 2, other, crash, hang).
+func SingleValueClassifier(allowed ...int64) Classifier {
+	ok := make(map[int64]bool, len(allowed))
+	for _, v := range allowed {
+		ok[v] = true
+	}
+	return func(res machine.Result) string {
+		switch res.Status {
+		case machine.StatusExcepted:
+			if res.Exception != nil && res.Exception.Kind == isa.ExcTimeout {
+				return LabelHang
+			}
+			return LabelCrash
+		case machine.StatusHalted:
+			vals := machine.OutputValues(res.Output)
+			if len(vals) != 1 {
+				return LabelOther
+			}
+			v, conc := vals[0].Concrete()
+			if !conc || !ok[v] {
+				return LabelOther
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		return LabelOther
+	}
+}
+
+// Config describes a campaign.
+type Config struct {
+	Program   *isa.Program
+	Input     []int64
+	Detectors *detector.Table
+	Watchdog  int
+	Classify  Classifier
+	// Seed makes the random value choices reproducible.
+	Seed int64
+	// RandomPerReg is the number of random values injected per site, on top
+	// of the three extremes (0, MaxInt64, MinInt64). The paper used 3 for
+	// the 6253-fault campaign and scaled it up for the 41082-fault one.
+	RandomPerReg int
+	// MaxInjections caps the campaign size; 0 means the full cross product.
+	MaxInjections int
+}
+
+// Report aggregates a campaign, Table 2 style.
+type Report struct {
+	Total  int
+	Counts map[string]int
+	// Examples holds one injection per label for inspection.
+	Examples map[string]Injection
+}
+
+// Percent returns the share of label in the campaign (0..100).
+func (r *Report) Percent(label string) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[label]) / float64(r.Total)
+}
+
+// Labels returns the observed labels, sorted.
+func (r *Report) Labels() []string {
+	ls := make([]string, 0, len(r.Counts))
+	for l := range r.Counts {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// extremes are the paper's "three extreme values in the integer range".
+var extremes = []int64{0, int64(^uint64(0) >> 1), -int64(^uint64(0)>>1) - 1}
+
+// Enumerate builds the campaign's injection list deterministically.
+func Enumerate(cfg Config) []Injection {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	randomPer := cfg.RandomPerReg
+	if randomPer <= 0 {
+		randomPer = 3
+	}
+	pts := EnumeratePoints(cfg.Program)
+	injs := make([]Injection, 0, len(pts)*(len(extremes)+randomPer))
+	for _, pt := range pts {
+		for _, v := range extremes {
+			injs = append(injs, Injection{Point: pt, Value: v})
+		}
+		for i := 0; i < randomPer; i++ {
+			injs = append(injs, Injection{Point: pt, Value: int64(rng.Uint64())})
+		}
+	}
+	if cfg.MaxInjections > 0 && len(injs) > cfg.MaxInjections {
+		injs = injs[:cfg.MaxInjections]
+	}
+	return injs
+}
+
+// RunOne executes a single concrete injection experiment.
+func RunOne(cfg Config, inj Injection) machine.Result {
+	injected := false
+	m := machine.New(cfg.Program, cfg.Input, machine.Options{
+		Watchdog:  cfg.Watchdog,
+		Detectors: cfg.Detectors,
+		PreStep: func(m *machine.Machine, _ int) {
+			if !injected && m.PC() == inj.Point.PC {
+				m.SetReg(inj.Point.Reg, isa.Int(inj.Value))
+				injected = true
+			}
+		},
+	})
+	return m.Run()
+}
+
+// Run executes the whole campaign and tallies outcomes.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("simplescalar: nil program")
+	}
+	classify := cfg.Classify
+	if classify == nil {
+		return nil, fmt.Errorf("simplescalar: nil classifier")
+	}
+	injs := Enumerate(cfg)
+	rep := &Report{
+		Counts:   make(map[string]int),
+		Examples: make(map[string]Injection),
+	}
+	for _, inj := range injs {
+		res := RunOne(cfg, inj)
+		label := classify(res)
+		rep.Counts[label]++
+		rep.Total++
+		if _, seen := rep.Examples[label]; !seen {
+			rep.Examples[label] = inj
+		}
+	}
+	return rep, nil
+}

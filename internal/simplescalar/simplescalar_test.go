@@ -1,0 +1,165 @@
+package simplescalar
+
+import (
+	"reflect"
+	"testing"
+
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+)
+
+func TestEnumeratePoints(t *testing.T) {
+	u := asm.MustParse("t", `
+	li $1 5
+	add $2 $1 $1
+	st $2 10($0)
+	halt
+`)
+	pts := EnumeratePoints(u.Program)
+	// li: dst $1; add: src $1, dst $2; st: src $2; halt: none.
+	if len(pts) != 4 {
+		t.Fatalf("%d points: %v", len(pts), pts)
+	}
+	dsts := 0
+	for _, p := range pts {
+		if p.Dst {
+			dsts++
+		}
+	}
+	if dsts != 2 {
+		t.Errorf("%d destination points, want 2", dsts)
+	}
+}
+
+func TestEnumerateDeterministicAndSized(t *testing.T) {
+	cfg := Config{Program: tcas.Program(), Seed: 42, RandomPerReg: 3}
+	a := Enumerate(cfg)
+	b := Enumerate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("enumeration not deterministic for a fixed seed")
+	}
+	cfg.Seed = 43
+	c := Enumerate(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical random values")
+	}
+	cfg.MaxInjections = 100
+	if got := Enumerate(cfg); len(got) != 100 {
+		t.Fatalf("cap ignored: %d", len(got))
+	}
+}
+
+func TestExtremeValuesPresent(t *testing.T) {
+	cfg := Config{Program: tcas.Program(), Seed: 1, RandomPerReg: 1}
+	injs := Enumerate(cfg)
+	seen := map[int64]bool{}
+	for _, inj := range injs[:4] {
+		seen[inj.Value] = true
+	}
+	for _, want := range []int64{0, int64(^uint64(0) >> 1), -int64(^uint64(0)>>1) - 1} {
+		if !seen[want] {
+			t.Errorf("extreme value %d missing from the first site's injections", want)
+		}
+	}
+}
+
+func TestRunOneInjectsOnce(t *testing.T) {
+	u := asm.MustParse("t", `
+loop:	addi $1 $1 1
+	print $1
+	beqi $1 3 done
+	jmp loop
+done:	halt
+`)
+	// Inject 10 into $1 before the first execution of the addi only: the
+	// output starts from 11 and the loop runs to... never reaches 3: bounded
+	// by watchdog.
+	res := RunOne(Config{
+		Program:  u.Program,
+		Watchdog: 100,
+		Classify: SingleValueClassifier(),
+	}, Injection{Point: Point{PC: 0, Reg: 1}, Value: 10})
+	if res.Status != machine.StatusExcepted || res.Exception.Kind != isa.ExcTimeout {
+		t.Fatalf("status %v (%v)", res.Status, res.Exception)
+	}
+	vals := machine.OutputValues(res.Output)
+	if len(vals) == 0 {
+		t.Fatal("no output")
+	}
+	if v, _ := vals[0].Concrete(); v != 11 {
+		t.Errorf("first printed value %v, want 11 (single injection at first occurrence)", vals[0])
+	}
+}
+
+func TestSingleValueClassifier(t *testing.T) {
+	classify := SingleValueClassifier(0, 1, 2)
+	mk := func(status machine.Status, exc *isa.Exception, vals ...isa.Value) machine.Result {
+		out := make([]machine.OutItem, len(vals))
+		for i, v := range vals {
+			out[i] = machine.OutItem{Val: v}
+		}
+		return machine.Result{Status: status, Exception: exc, Output: out}
+	}
+	cases := []struct {
+		res  machine.Result
+		want string
+	}{
+		{mk(machine.StatusHalted, nil, isa.Int(1)), "1"},
+		{mk(machine.StatusHalted, nil, isa.Int(2)), "2"},
+		{mk(machine.StatusHalted, nil, isa.Int(7)), LabelOther},
+		{mk(machine.StatusHalted, nil, isa.Int(1), isa.Int(1)), LabelOther},
+		{mk(machine.StatusHalted, nil), LabelOther},
+		{mk(machine.StatusExcepted, &isa.Exception{Kind: isa.ExcIllegalAddr}), LabelCrash},
+		{mk(machine.StatusExcepted, &isa.Exception{Kind: isa.ExcTimeout}), LabelHang},
+	}
+	for i, c := range cases {
+		if got := classify(c.res); got != c.want {
+			t.Errorf("case %d: %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestRunCampaignReport(t *testing.T) {
+	rep, err := Run(Config{
+		Program:       tcas.Program(),
+		Input:         tcas.UpwardInput().Slice(),
+		Watchdog:      50_000,
+		Classify:      SingleValueClassifier(0, 1, 2),
+		Seed:          7,
+		MaxInjections: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 300 {
+		t.Fatalf("total %d", rep.Total)
+	}
+	sum := 0
+	for _, l := range rep.Labels() {
+		sum += rep.Counts[l]
+		if _, ok := rep.Examples[l]; !ok {
+			t.Errorf("no example for label %q", l)
+		}
+	}
+	if sum != rep.Total {
+		t.Errorf("counts sum %d != total %d", sum, rep.Total)
+	}
+	pctSum := 0.0
+	for _, l := range rep.Labels() {
+		pctSum += rep.Percent(l)
+	}
+	if pctSum < 99.9 || pctSum > 100.1 {
+		t.Errorf("percentages sum to %f", pctSum)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := Run(Config{Program: tcas.Program()}); err == nil {
+		t.Error("nil classifier accepted")
+	}
+}

@@ -1,0 +1,254 @@
+package symbolic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"symplfied/internal/isa"
+)
+
+func TestConstraintsBasics(t *testing.T) {
+	c := NewConstraints()
+	if !c.Satisfiable() || !c.Unconstrained() {
+		t.Fatal("fresh constraints wrong")
+	}
+	if !c.AddCmp(isa.CmpGt, 1) {
+		t.Fatal("x > 1 unsatisfiable")
+	}
+	if !c.AddCmp(isa.CmpLe, 5) {
+		t.Fatal("x > 1 && x <= 5 unsatisfiable")
+	}
+	for v, want := range map[int64]bool{1: false, 2: true, 5: true, 6: false} {
+		if got := c.Admits(v); got != want {
+			t.Errorf("Admits(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if w, ok := c.Witness(); !ok || !c.Admits(w) {
+		t.Errorf("witness %d invalid", w)
+	}
+}
+
+func TestConstraintsEquality(t *testing.T) {
+	c := NewConstraints()
+	c.AddCmp(isa.CmpEq, 7)
+	if v, ok := c.Exact(); !ok || v != 7 {
+		t.Fatalf("Exact = %d, %v", v, ok)
+	}
+	if c.AddCmp(isa.CmpNe, 7) {
+		t.Fatal("x == 7 && x != 7 satisfiable")
+	}
+}
+
+func TestConstraintsContradictions(t *testing.T) {
+	cases := []struct {
+		atoms []struct {
+			cmp isa.Cmp
+			v   int64
+		}
+	}{
+		{[]struct {
+			cmp isa.Cmp
+			v   int64
+		}{{isa.CmpGt, 5}, {isa.CmpLt, 5}}},
+		{[]struct {
+			cmp isa.Cmp
+			v   int64
+		}{{isa.CmpGe, 10}, {isa.CmpLe, 9}}},
+		{[]struct {
+			cmp isa.Cmp
+			v   int64
+		}{{isa.CmpEq, 1}, {isa.CmpEq, 2}}},
+		{[]struct {
+			cmp isa.Cmp
+			v   int64
+		}{{isa.CmpGe, 3}, {isa.CmpLe, 3}, {isa.CmpNe, 3}}},
+	}
+	for i, tc := range cases {
+		c := NewConstraints()
+		sat := true
+		for _, a := range tc.atoms {
+			sat = c.AddCmp(a.cmp, a.v)
+		}
+		if sat || c.Satisfiable() {
+			t.Errorf("case %d: contradiction not detected: %s", i, c)
+		}
+	}
+}
+
+// TestConstraintsBoundaryNormalization: disequalities at interval end points
+// tighten the bounds (the solver's redundancy elimination).
+func TestConstraintsBoundaryNormalization(t *testing.T) {
+	c := NewConstraints()
+	c.AddCmp(isa.CmpGe, 3)
+	c.AddCmp(isa.CmpLe, 5)
+	c.AddCmp(isa.CmpNe, 3)
+	c.AddCmp(isa.CmpNe, 5)
+	if v, ok := c.Exact(); !ok || v != 4 {
+		t.Fatalf("normalization: Exact = %d, %v (%s)", v, ok, c)
+	}
+	if c.AddCmp(isa.CmpNe, 4) {
+		t.Fatal("excluding the last remaining value stayed satisfiable")
+	}
+}
+
+func TestConstraintsExtremeBounds(t *testing.T) {
+	c := NewConstraints()
+	if c.AddCmp(isa.CmpGt, maxInt64) {
+		t.Error("x > MaxInt64 satisfiable")
+	}
+	c = NewConstraints()
+	if c.AddCmp(isa.CmpLt, minInt64) {
+		t.Error("x < MinInt64 satisfiable")
+	}
+	c = NewConstraints()
+	if !c.AddCmp(isa.CmpGe, maxInt64) {
+		t.Error("x >= MaxInt64 unsatisfiable")
+	}
+	if v, ok := c.Exact(); ok && v != maxInt64 {
+		t.Errorf("Exact = %d", v)
+	}
+}
+
+func TestConstraintsClone(t *testing.T) {
+	c := NewConstraints()
+	c.AddCmp(isa.CmpGe, 1)
+	c.AddCmp(isa.CmpNe, 3)
+	d := c.Clone()
+	d.AddCmp(isa.CmpLe, 2)
+	if !c.Admits(5) {
+		t.Error("clone mutation leaked into original")
+	}
+	if d.Admits(5) {
+		t.Error("clone missing added constraint")
+	}
+}
+
+func TestConstraintsKeyCanonical(t *testing.T) {
+	a := NewConstraints()
+	a.AddCmp(isa.CmpNe, 2)
+	a.AddCmp(isa.CmpNe, 9)
+	b := NewConstraints()
+	b.AddCmp(isa.CmpNe, 9)
+	b.AddCmp(isa.CmpNe, 2)
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ for equal sets: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+// randomAtoms generates a bounded random conjunction.
+func randomAtoms(r *rand.Rand) []struct {
+	cmp isa.Cmp
+	v   int64
+} {
+	n := r.Intn(6)
+	atoms := make([]struct {
+		cmp isa.Cmp
+		v   int64
+	}, n)
+	cmps := []isa.Cmp{isa.CmpEq, isa.CmpNe, isa.CmpGt, isa.CmpLt, isa.CmpGe, isa.CmpLe}
+	for i := range atoms {
+		atoms[i].cmp = cmps[r.Intn(len(cmps))]
+		atoms[i].v = int64(r.Intn(21) - 10)
+	}
+	return atoms
+}
+
+// Property: Admits agrees with direct evaluation of every added atom, and
+// Witness (when satisfiable) admits.
+func TestConstraintsSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 3000; iter++ {
+		atoms := randomAtoms(r)
+		c := NewConstraints()
+		for _, a := range atoms {
+			c.AddCmp(a.cmp, a.v)
+		}
+		evalAll := func(x int64) bool {
+			for _, a := range atoms {
+				if !isa.EvalCmp(a.cmp, x, a.v) {
+					return false
+				}
+			}
+			return true
+		}
+		// Check agreement over a window covering all atom constants.
+		for x := int64(-12); x <= 12; x++ {
+			if c.Admits(x) != evalAll(x) {
+				t.Fatalf("iter %d: Admits(%d) = %v, direct = %v, atoms %v, set %s",
+					iter, x, c.Admits(x), evalAll(x), atoms, c)
+			}
+		}
+		if w, ok := c.Witness(); ok {
+			if !c.Admits(w) {
+				t.Fatalf("iter %d: witness %d not admitted (%s)", iter, w, c)
+			}
+			if !evalAll(w) {
+				t.Fatalf("iter %d: witness %d fails direct evaluation", iter, w)
+			}
+		} else {
+			// Unsatisfiable: no x in the window may satisfy all atoms.
+			for x := int64(-12); x <= 12; x++ {
+				if evalAll(x) {
+					t.Fatalf("iter %d: claimed unsat but %d satisfies %v", iter, x, atoms)
+				}
+			}
+		}
+	}
+}
+
+// Property: AddCmp order does not change the admitted set (confluence of the
+// rewrite system, mirroring the paper's Maude coherence requirement).
+func TestConstraintsOrderIndependenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 1500; iter++ {
+		atoms := randomAtoms(r)
+		c1 := NewConstraints()
+		for _, a := range atoms {
+			c1.AddCmp(a.cmp, a.v)
+		}
+		c2 := NewConstraints()
+		for i := len(atoms) - 1; i >= 0; i-- {
+			c2.AddCmp(atoms[i].cmp, atoms[i].v)
+		}
+		for x := int64(-12); x <= 12; x++ {
+			if c1.Admits(x) != c2.Admits(x) {
+				t.Fatalf("iter %d: order dependence at %d: %s vs %s", iter, x, c1, c2)
+			}
+		}
+		if c1.Satisfiable() != c2.Satisfiable() {
+			t.Fatalf("iter %d: satisfiability order dependence", iter)
+		}
+	}
+}
+
+// Property (testing/quick): an equality pin admits exactly that value.
+func TestConstraintsEqPinProperty(t *testing.T) {
+	f := func(v int64, probe int64) bool {
+		c := NewConstraints()
+		c.AddCmp(isa.CmpEq, v)
+		return c.Admits(probe) == (probe == v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstraintsString(t *testing.T) {
+	c := NewConstraints()
+	if c.String() != "any" {
+		t.Errorf("unconstrained String = %q", c.String())
+	}
+	c.AddCmp(isa.CmpEq, 3)
+	if c.String() != "x == 3" {
+		t.Errorf("pinned String = %q", c.String())
+	}
+	c.MarkUnsat()
+	if c.String() != "unsatisfiable" {
+		t.Errorf("unsat String = %q", c.String())
+	}
+	if !reflect.DeepEqual(c.Key(), "⊥") {
+		t.Errorf("unsat Key = %q", c.Key())
+	}
+}

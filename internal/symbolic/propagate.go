@@ -1,0 +1,231 @@
+package symbolic
+
+import "symplfied/internal/isa"
+
+// Operand is a value together with its symbolic term when the value is err.
+// HasTerm is false for an err of unknown lineage (the executor then mints a
+// fresh root).
+type Operand struct {
+	Val     isa.Value
+	Term    Term
+	HasTerm bool
+}
+
+// ConcreteOperand wraps a concrete integer.
+func ConcreteOperand(n int64) Operand { return Operand{Val: isa.Int(n)} }
+
+// ErrOperand wraps err with a known term.
+func ErrOperand(t Term) Operand { return Operand{Val: isa.Err(), Term: t, HasTerm: true} }
+
+// BinResult describes the outcome of propagating a binary operation over
+// possibly-erroneous operands, following the paper's error-propagation
+// equations (Section 5.2).
+type BinResult struct {
+	// Val is the result value: concrete, or err.
+	Val isa.Value
+	// Term is the affine term for an err result; HasTerm is false when the
+	// result is err of no trackable lineage (the executor mints a root).
+	Term    Term
+	HasTerm bool
+	// DivZero reports a definite division by zero (concrete zero divisor):
+	// the machine raises the "div-zero" exception unconditionally.
+	DivZero bool
+	// ForkOnDivisor reports that the divisor is err, so execution must fork:
+	// one successor raises "div-zero" under the constraint divisor == 0, the
+	// other continues with an err result under divisor != 0 (the paper's
+	// "eq I / err = if isEqual(err, 0) then throw ... else err").
+	ForkOnDivisor bool
+	// Divisor is the err divisor operand when ForkOnDivisor is set.
+	Divisor Operand
+}
+
+// PropagateBin evaluates op over x and y. When affine is true, results that
+// are affine functions of a single root keep a term (enabling the constraint
+// solver to translate later comparisons back to the root); when false, every
+// erroneous result loses lineage, reproducing the paper's coarser model.
+func PropagateBin(op isa.BinOp, x, y Operand, affine bool) BinResult {
+	xc, xConc := x.Val.Concrete()
+	yc, yConc := y.Val.Concrete()
+
+	if xConc && yConc {
+		v, err := isa.EvalBin(op, xc, yc)
+		if err != nil {
+			return BinResult{DivZero: true}
+		}
+		return BinResult{Val: isa.Int(v)}
+	}
+
+	switch op {
+	case isa.BinAdd:
+		return propagateAdd(x, y, xc, yc, xConc, yConc, affine, false)
+	case isa.BinSub:
+		return propagateAdd(x, y, xc, yc, xConc, yConc, affine, true)
+	case isa.BinMult:
+		return propagateMult(x, y, xc, yc, xConc, yConc, affine)
+	case isa.BinDiv, isa.BinMod:
+		return propagateDiv(x, y, yc, yConc)
+	case isa.BinAnd:
+		// err & 0 == 0 regardless of the erroneous bits.
+		if (xConc && xc == 0) || (yConc && yc == 0) {
+			return BinResult{Val: isa.Int(0)}
+		}
+		return errResult()
+	case isa.BinSll, isa.BinSrl, isa.BinSra:
+		// 0 shifted by anything is 0.
+		if xConc && xc == 0 {
+			return BinResult{Val: isa.Int(0)}
+		}
+		return errResult()
+	default:
+		return errResult()
+	}
+}
+
+// errResult is an err of no trackable lineage.
+func errResult() BinResult { return BinResult{Val: isa.Err()} }
+
+func propagateAdd(x, y Operand, xc, yc int64, xConc, yConc, affine, sub bool) BinResult {
+	if !affine {
+		return errResult()
+	}
+	switch {
+	case xConc: // concrete ± err
+		if !y.HasTerm {
+			return errResult()
+		}
+		if sub {
+			// xc - t = (-t) + xc
+			nt, ok := y.Term.Neg()
+			if !ok {
+				return errResult()
+			}
+			return termOrErr(nt.AddConst(xc))
+		}
+		return termOrErr(y.Term.AddConst(xc))
+	case yConc: // err ± concrete
+		if !x.HasTerm {
+			return errResult()
+		}
+		if sub {
+			return termOrErr(x.Term.AddConst(-yc))
+		}
+		return termOrErr(x.Term.AddConst(yc))
+	default: // err ± err
+		if !x.HasTerm || !y.HasTerm || x.Term.Root != y.Term.Root {
+			return errResult()
+		}
+		var (
+			out     Term
+			c       int64
+			isConst bool
+			ok      bool
+		)
+		if sub {
+			out, c, isConst, ok = x.Term.SubTerm(y.Term)
+		} else {
+			out, c, isConst, ok = x.Term.AddTerm(y.Term)
+		}
+		if !ok {
+			return errResult()
+		}
+		if isConst {
+			return BinResult{Val: isa.Int(c)}
+		}
+		return BinResult{Val: isa.Err(), Term: out, HasTerm: true}
+	}
+}
+
+func propagateMult(x, y Operand, xc, yc int64, xConc, yConc, affine bool) BinResult {
+	// The paper's "err * I = if I == 0 then 0 else err" applies in both
+	// affine and strict modes.
+	if (xConc && xc == 0) || (yConc && yc == 0) {
+		return BinResult{Val: isa.Int(0)}
+	}
+	if !affine {
+		return errResult()
+	}
+	switch {
+	case xConc:
+		if !y.HasTerm {
+			return errResult()
+		}
+		return termMulOrErr(y.Term, xc)
+	case yConc:
+		if !x.HasTerm {
+			return errResult()
+		}
+		return termMulOrErr(x.Term, yc)
+	default:
+		// err * err is not affine in a single root.
+		return errResult()
+	}
+}
+
+func propagateDiv(x, y Operand, yc int64, yConc bool) BinResult {
+	if yConc {
+		if yc == 0 {
+			return BinResult{DivZero: true}
+		}
+		// err / nonzero-concrete: integer division is not affine; err.
+		return errResult()
+	}
+	// The divisor is err: fork on divisor == 0.
+	return BinResult{ForkOnDivisor: true, Divisor: y, Val: isa.Err()}
+}
+
+func termOrErr(t Term, ok bool) BinResult {
+	if !ok {
+		return errResult()
+	}
+	return BinResult{Val: isa.Err(), Term: t, HasTerm: true}
+}
+
+func termMulOrErr(t Term, c int64) BinResult {
+	out, isZero, ok := t.MulConst(c)
+	if !ok {
+		return errResult()
+	}
+	if isZero {
+		return BinResult{Val: isa.Int(0)}
+	}
+	return BinResult{Val: isa.Err(), Term: out, HasTerm: true}
+}
+
+// CmpDecision classifies a comparison over possibly-erroneous operands.
+type CmpDecision int
+
+// Comparison decisions.
+const (
+	// CmpTrue / CmpFalse: the comparison is determined without forking.
+	CmpTrue CmpDecision = iota + 1
+	CmpFalse
+	// CmpFork: the comparison involves err and both outcomes are possible;
+	// the executor forks and records path constraints (the paper's rewrite
+	// rules "rl isEqual(I, err) => true" / "=> false").
+	CmpFork
+)
+
+// DecideCmp decides cmp over x and y. Two operands carrying the *same*
+// affine term denote the same machine word, so reflexive comparisons resolve
+// deterministically — a refinement over the paper's single-symbol model that
+// removes a class of false positives (e.g. "beq $r $r l" after injection).
+func DecideCmp(cmp isa.Cmp, x, y Operand) CmpDecision {
+	xc, xConc := x.Val.Concrete()
+	yc, yConc := y.Val.Concrete()
+	if xConc && yConc {
+		if isa.EvalCmp(cmp, xc, yc) {
+			return CmpTrue
+		}
+		return CmpFalse
+	}
+	if x.HasTerm && y.HasTerm && x.Term.Equal(y.Term) {
+		// Identical symbolic value: v cmp v.
+		switch cmp {
+		case isa.CmpEq, isa.CmpGe, isa.CmpLe:
+			return CmpTrue
+		default:
+			return CmpFalse
+		}
+	}
+	return CmpFork
+}

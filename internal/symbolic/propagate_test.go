@@ -1,0 +1,154 @@
+package symbolic
+
+import (
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+// TestPropagationPaperEquations pins the paper's Section 5.2 error
+// propagation equations:
+//
+//	err + I = err, I + err = err, err - I = err, I - err = err
+//	err * I = err unless I == 0 (then 0); I * err symmetric
+//	I / err forks on the divisor; err / 0 is div-zero
+func TestPropagationPaperEquations(t *testing.T) {
+	errOp := Operand{Val: isa.Err()} // no lineage: paper-strict either way
+	five := ConcreteOperand(5)
+	zero := ConcreteOperand(0)
+
+	for _, affine := range []bool{true, false} {
+		for _, c := range []struct {
+			name string
+			res  BinResult
+			want string // "err", "0", "divzero", "fork"
+		}{
+			{"err+I", PropagateBin(isa.BinAdd, errOp, five, affine), "err"},
+			{"I+err", PropagateBin(isa.BinAdd, five, errOp, affine), "err"},
+			{"err-I", PropagateBin(isa.BinSub, errOp, five, affine), "err"},
+			{"I-err", PropagateBin(isa.BinSub, five, errOp, affine), "err"},
+			{"err*I", PropagateBin(isa.BinMult, errOp, five, affine), "err"},
+			{"err*0", PropagateBin(isa.BinMult, errOp, zero, affine), "0"},
+			{"0*err", PropagateBin(isa.BinMult, zero, errOp, affine), "0"},
+			{"err/I", PropagateBin(isa.BinDiv, errOp, five, affine), "err"},
+			{"err/0", PropagateBin(isa.BinDiv, errOp, zero, affine), "divzero"},
+			{"I/err", PropagateBin(isa.BinDiv, five, errOp, affine), "fork"},
+			{"err/err", PropagateBin(isa.BinDiv, errOp, errOp, affine), "fork"},
+			{"err%0", PropagateBin(isa.BinMod, errOp, zero, affine), "divzero"},
+			{"err&0", PropagateBin(isa.BinAnd, errOp, zero, affine), "0"},
+			{"err&I", PropagateBin(isa.BinAnd, errOp, five, affine), "err"},
+			{"err|I", PropagateBin(isa.BinOr, errOp, five, affine), "err"},
+			{"0<<err", PropagateBin(isa.BinSll, zero, errOp, affine), "0"},
+			{"I<<err", PropagateBin(isa.BinSll, five, errOp, affine), "err"},
+		} {
+			got := classify(c.res)
+			if got != c.want {
+				t.Errorf("affine=%v %s: got %s, want %s", affine, c.name, got, c.want)
+			}
+		}
+	}
+}
+
+func classify(r BinResult) string {
+	switch {
+	case r.DivZero:
+		return "divzero"
+	case r.ForkOnDivisor:
+		return "fork"
+	case r.Val.IsErr():
+		return "err"
+	default:
+		if v, _ := r.Val.Concrete(); v == 0 {
+			return "0"
+		}
+		return "concrete"
+	}
+}
+
+// TestAffineLineage: with affine tracking, arithmetic over err with one
+// concrete operand preserves the root relationship exactly.
+func TestAffineLineage(t *testing.T) {
+	x := ErrOperand(FreshTerm(0)) // x = e0
+
+	r := PropagateBin(isa.BinAdd, x, ConcreteOperand(5), true)
+	if !r.HasTerm || r.Term.Coeff != 1 || r.Term.Off != 5 {
+		t.Fatalf("e0+5: %+v", r)
+	}
+	r = PropagateBin(isa.BinSub, ConcreteOperand(10), x, true)
+	if !r.HasTerm || r.Term.Coeff != -1 || r.Term.Off != 10 {
+		t.Fatalf("10-e0: %+v", r)
+	}
+	r = PropagateBin(isa.BinMult, ConcreteOperand(3), x, true)
+	if !r.HasTerm || r.Term.Coeff != 3 || r.Term.Off != 0 {
+		t.Fatalf("3*e0: %+v", r)
+	}
+
+	// Same-root cancellation: (e0+5) - e0 = 5.
+	y := ErrOperand(Term{Root: 0, Coeff: 1, Off: 5})
+	r = PropagateBin(isa.BinSub, y, x, true)
+	if r.Val.IsErr() {
+		t.Fatalf("(e0+5)-e0 stayed err: %+v", r)
+	}
+	if v, _ := r.Val.Concrete(); v != 5 {
+		t.Fatalf("(e0+5)-e0 = %d, want 5", v)
+	}
+
+	// Same-root doubling: e0 + e0 = 2*e0.
+	r = PropagateBin(isa.BinAdd, x, x, true)
+	if !r.HasTerm || r.Term.Coeff != 2 {
+		t.Fatalf("e0+e0: %+v", r)
+	}
+
+	// err*err is never affine.
+	r = PropagateBin(isa.BinMult, x, x, true)
+	if !r.Val.IsErr() || r.HasTerm {
+		t.Fatalf("e0*e0: %+v", r)
+	}
+
+	// With affine tracking off, lineage is always dropped.
+	r = PropagateBin(isa.BinAdd, x, ConcreteOperand(5), false)
+	if !r.Val.IsErr() || r.HasTerm {
+		t.Fatalf("strict mode kept lineage: %+v", r)
+	}
+}
+
+func TestDecideCmp(t *testing.T) {
+	e0 := ErrOperand(FreshTerm(0))
+	e0Copy := ErrOperand(FreshTerm(0))
+	e1 := ErrOperand(FreshTerm(1))
+	five := ConcreteOperand(5)
+
+	cases := []struct {
+		name string
+		cmp  isa.Cmp
+		x, y Operand
+		want CmpDecision
+	}{
+		{"concrete true", isa.CmpLt, ConcreteOperand(1), five, CmpTrue},
+		{"concrete false", isa.CmpGt, ConcreteOperand(1), five, CmpFalse},
+		{"err vs concrete", isa.CmpEq, e0, five, CmpFork},
+		{"concrete vs err", isa.CmpEq, five, e0, CmpFork},
+		{"same term eq", isa.CmpEq, e0, e0Copy, CmpTrue},
+		{"same term ne", isa.CmpNe, e0, e0Copy, CmpFalse},
+		{"same term ge", isa.CmpGe, e0, e0Copy, CmpTrue},
+		{"same term gt", isa.CmpGt, e0, e0Copy, CmpFalse},
+		{"different roots", isa.CmpEq, e0, e1, CmpFork},
+		{"unknown lineage", isa.CmpEq, Operand{Val: isa.Err()}, five, CmpFork},
+	}
+	for _, c := range cases {
+		if got := DecideCmp(c.cmp, c.x, c.y); got != c.want {
+			t.Errorf("%s: DecideCmp = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPropagateBinConcrete(t *testing.T) {
+	r := PropagateBin(isa.BinAdd, ConcreteOperand(2), ConcreteOperand(3), true)
+	if v, ok := r.Val.Concrete(); !ok || v != 5 {
+		t.Fatalf("2+3: %+v", r)
+	}
+	r = PropagateBin(isa.BinDiv, ConcreteOperand(2), ConcreteOperand(0), true)
+	if !r.DivZero {
+		t.Fatalf("2/0: %+v", r)
+	}
+}

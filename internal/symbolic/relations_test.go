@@ -1,0 +1,146 @@
+package symbolic
+
+import (
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+func twoRoots(t *testing.T) (*Store, Term, Term) {
+	t.Helper()
+	s := NewStore()
+	x := FreshTerm(s.NewRoot())
+	y := FreshTerm(s.NewRoot())
+	return s, x, y
+}
+
+func TestAddRelContradiction(t *testing.T) {
+	s, x, y := twoRoots(t)
+	handled, sat := s.AddRel(x, isa.CmpLt, y) // x < y
+	if !handled || !sat {
+		t.Fatalf("x < y: handled=%v sat=%v", handled, sat)
+	}
+	handled, sat = s.AddRel(x, isa.CmpGt, y) // x > y: contradiction
+	if !handled {
+		t.Fatal("x > y not handled")
+	}
+	if sat {
+		t.Fatal("x < y && x > y satisfiable")
+	}
+	if s.Satisfiable() {
+		t.Fatal("store satisfiable after contradiction")
+	}
+}
+
+func TestAddRelTransitivity(t *testing.T) {
+	s := NewStore()
+	x := FreshTerm(s.NewRoot())
+	y := FreshTerm(s.NewRoot())
+	z := FreshTerm(s.NewRoot())
+	for _, step := range []struct {
+		a   Term
+		cmp isa.Cmp
+		b   Term
+	}{
+		{x, isa.CmpLt, y},
+		{y, isa.CmpLt, z},
+	} {
+		if handled, sat := s.AddRel(step.a, step.cmp, step.b); !handled || !sat {
+			t.Fatalf("chain step rejected: handled=%v sat=%v", handled, sat)
+		}
+	}
+	// z < x closes a negative cycle.
+	if _, sat := s.AddRel(z, isa.CmpLt, x); sat {
+		t.Fatal("x < y < z < x satisfiable")
+	}
+}
+
+func TestAddRelEquality(t *testing.T) {
+	s, x, y := twoRoots(t)
+	if handled, sat := s.AddRel(x, isa.CmpEq, y); !handled || !sat {
+		t.Fatal("x == y rejected")
+	}
+	// x < y now contradicts.
+	if _, sat := s.AddRel(x, isa.CmpLt, y); sat {
+		t.Fatal("x == y && x < y satisfiable")
+	}
+}
+
+func TestAddRelWithOffsets(t *testing.T) {
+	s, x, y := twoRoots(t)
+	// (x + 5) <= (y + 2)  <=>  x - y <= -3.
+	xo, _ := x.AddConst(5)
+	yo, _ := y.AddConst(2)
+	if handled, sat := s.AddRel(xo, isa.CmpLe, yo); !handled || !sat {
+		t.Fatal("offset relation rejected")
+	}
+	// y <= x - 4  <=>  y - x <= -4; combined: x <= y - 3 <= x - 7: cycle.
+	yo2 := y
+	xo2, _ := x.AddConst(-4)
+	if _, sat := s.AddRel(yo2, isa.CmpLe, xo2); sat {
+		t.Fatal("cyclic offset relations satisfiable")
+	}
+}
+
+func TestAddRelCombinesWithBounds(t *testing.T) {
+	s, x, y := twoRoots(t)
+	// x > y, y >= 10, x <= 9: infeasible only through the bounds.
+	if handled, sat := s.AddRel(x, isa.CmpGt, y); !handled || !sat {
+		t.Fatal("x > y rejected")
+	}
+	if !s.Constraints(y.Root).AddCmp(isa.CmpGe, 10) {
+		t.Fatal("y >= 10 rejected")
+	}
+	if !s.Constraints(x.Root).AddCmp(isa.CmpLe, 9) {
+		t.Fatal("x <= 9 rejected per-root (expected: intervals alone allow it)")
+	}
+	if s.Satisfiable() {
+		t.Fatal("x > y && y >= 10 && x <= 9 satisfiable")
+	}
+}
+
+func TestAddRelOutsideFragment(t *testing.T) {
+	s, x, y := twoRoots(t)
+	// Non-unit coefficient: not handled, nothing recorded.
+	x2, _, _ := x.MulConst(2)
+	if handled, sat := s.AddRel(x2, isa.CmpLt, y); handled || !sat {
+		t.Fatalf("non-unit coeff: handled=%v sat=%v", handled, sat)
+	}
+	// Same root: not handled here (the affine difference path covers it).
+	if handled, _ := s.AddRel(x, isa.CmpLt, x); handled {
+		t.Fatal("same-root relation handled by difference logic")
+	}
+	// Disequality: outside the fragment.
+	if handled, _ := s.AddRel(x, isa.CmpNe, y); handled {
+		t.Fatal("disequality handled by difference logic")
+	}
+}
+
+func TestRelsCloneAndKey(t *testing.T) {
+	s, x, y := twoRoots(t)
+	s.AddRel(x, isa.CmpLt, y)
+	c := s.Clone()
+	if _, sat := c.AddRel(x, isa.CmpGt, y); sat {
+		t.Fatal("clone missed the relation")
+	}
+	if !s.Satisfiable() {
+		t.Fatal("clone contradiction leaked into original")
+	}
+	if s.Key() == NewStore().Key() {
+		t.Fatal("relations missing from the state key")
+	}
+}
+
+func TestAddRelTightestEdgeWins(t *testing.T) {
+	s, x, y := twoRoots(t)
+	xo, _ := x.AddConst(0)
+	s.AddRel(xo, isa.CmpLe, y) // x - y <= 0
+	xo5, _ := x.AddConst(5)
+	s.AddRel(xo5, isa.CmpLe, y) // x - y <= -5 (tighter)
+	// y <= x + 4 => y - x <= 4; with x - y <= -5 the cycle is -1: infeasible.
+	yo := y
+	xo4, _ := x.AddConst(4)
+	if _, sat := s.AddRel(yo, isa.CmpLe, xo4); sat {
+		t.Fatal("tightest edge not kept")
+	}
+}

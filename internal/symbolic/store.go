@@ -1,0 +1,231 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"symplfied/internal/isa"
+)
+
+// Store is the ConstraintMap of the paper (Section 5.2): it maps each
+// register or memory location that currently holds err to the symbolic term
+// describing its value, and each root variable to the constraints learned
+// about it from comparisons, branches, and detectors along the current path.
+//
+// A Store belongs to exactly one symbolic state; forking a state clones it.
+type Store struct {
+	terms map[isa.Loc]Term
+	cons  map[RootID]*Constraints
+	rels  []diffEdge // difference constraints between roots (relations.go)
+	next  RootID
+}
+
+// NewStore returns an empty constraint map.
+func NewStore() *Store {
+	return &Store{
+		terms: make(map[isa.Loc]Term),
+		cons:  make(map[RootID]*Constraints),
+	}
+}
+
+// Clone returns a deep copy, used when forking execution.
+func (s *Store) Clone() *Store {
+	out := &Store{
+		terms: make(map[isa.Loc]Term, len(s.terms)),
+		cons:  make(map[RootID]*Constraints, len(s.cons)),
+		next:  s.next,
+	}
+	for l, t := range s.terms {
+		out.terms[l] = t
+	}
+	for r, c := range s.cons {
+		out.cons[r] = c.Clone()
+	}
+	if len(s.rels) > 0 {
+		out.rels = make([]diffEdge, len(s.rels))
+		copy(out.rels, s.rels)
+	}
+	return out
+}
+
+// NewRoot introduces a fresh, unconstrained erroneous quantity.
+func (s *Store) NewRoot() RootID {
+	r := s.next
+	s.next++
+	s.cons[r] = NewConstraints()
+	return r
+}
+
+// SetTerm records that loc holds err with symbolic value t.
+func (s *Store) SetTerm(loc isa.Loc, t Term) { s.terms[loc] = t }
+
+// Inject marks loc as holding a freshly injected err and returns its root.
+func (s *Store) Inject(loc isa.Loc) RootID {
+	r := s.NewRoot()
+	s.SetTerm(loc, FreshTerm(r))
+	return r
+}
+
+// Clear removes loc's term: the location was overwritten with a concrete
+// value, so any constraint bookkeeping for it no longer applies. Root
+// constraints are retained: they describe the erroneous quantity itself,
+// which other locations may still reference.
+func (s *Store) Clear(loc isa.Loc) { delete(s.terms, loc) }
+
+// Term returns loc's symbolic term, if it holds err.
+func (s *Store) Term(loc isa.Loc) (Term, bool) {
+	t, ok := s.terms[loc]
+	return t, ok
+}
+
+// TermOrFresh returns loc's term, minting a fresh root if the location holds
+// err but no term was recorded (e.g. err stored through an unknown pointer).
+func (s *Store) TermOrFresh(loc isa.Loc) Term {
+	if t, ok := s.terms[loc]; ok {
+		return t
+	}
+	t := FreshTerm(s.NewRoot())
+	s.terms[loc] = t
+	return t
+}
+
+// Constraints returns the constraint set for a root, creating it if needed.
+func (s *Store) Constraints(r RootID) *Constraints {
+	c, ok := s.cons[r]
+	if !ok {
+		c = NewConstraints()
+		s.cons[r] = c
+	}
+	return c
+}
+
+// ConstrainTerm conjoins "t cmp rhs" by inverting the affine map onto t's
+// root. It returns false when the path becomes infeasible (caller prunes).
+func (s *Store) ConstrainTerm(t Term, cmp isa.Cmp, rhs int64) bool {
+	rootCmp, rootVal, tautology, ok := t.InvertCmp(cmp, rhs)
+	if !ok {
+		s.Constraints(t.Root).MarkUnsat()
+		return false
+	}
+	if tautology {
+		return true
+	}
+	return s.Constraints(t.Root).AddCmp(rootCmp, rootVal)
+}
+
+// ExactValue reports whether the constraints pin t to a single concrete
+// value, enabling the executor to concretize the location.
+func (s *Store) ExactValue(t Term) (int64, bool) {
+	c, ok := s.cons[t.Root]
+	if !ok {
+		return 0, false
+	}
+	root, ok := c.Exact()
+	if !ok {
+		return 0, false
+	}
+	coeff, ok1 := mulOvf(t.Coeff, root)
+	if !ok1 {
+		return 0, false
+	}
+	v, ok2 := addOvf(coeff, t.Off)
+	if !ok2 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Satisfiable reports whether every root's constraint set is satisfiable.
+// Terms are affine in a single root each, so per-root satisfiability implies
+// global satisfiability.
+func (s *Store) Satisfiable() bool {
+	for _, c := range s.cons {
+		if !c.Satisfiable() {
+			return false
+		}
+	}
+	return s.relsSatisfiable()
+}
+
+// Roots returns the roots in increasing order.
+func (s *Store) Roots() []RootID {
+	out := make([]RootID, 0, len(s.cons))
+	for r := range s.cons {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RootConstraints returns the constraint set recorded for r, or nil.
+func (s *Store) RootConstraints(r RootID) *Constraints { return s.cons[r] }
+
+// Locs returns the locations currently holding err, registers first, both
+// groups sorted.
+func (s *Store) Locs() []isa.Loc {
+	out := make([]isa.Loc, 0, len(s.terms))
+	for l := range s.terms {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return locLess(out[i], out[j]) })
+	return out
+}
+
+func locLess(a, b isa.Loc) bool {
+	if a.IsMem != b.IsMem {
+		return !a.IsMem
+	}
+	if a.IsMem {
+		return a.Addr < b.Addr
+	}
+	return a.Reg < b.Reg
+}
+
+// Key returns a canonical encoding of the store for state hashing.
+func (s *Store) Key() string {
+	var b strings.Builder
+	for _, l := range s.Locs() {
+		t := s.terms[l]
+		fmt.Fprintf(&b, "%s=%s;", l, t)
+	}
+	for _, r := range s.Roots() {
+		c := s.cons[r]
+		if c.Unconstrained() {
+			continue
+		}
+		fmt.Fprintf(&b, "e#%d:%s;", r, c.Key())
+	}
+	b.WriteString(s.RelsKey())
+	return b.String()
+}
+
+// Describe renders the store for reports: which locations hold err and what
+// is known about each erroneous quantity.
+func (s *Store) Describe() string {
+	locs := s.Locs()
+	if len(locs) == 0 && len(s.cons) == 0 {
+		return "no symbolic state"
+	}
+	var b strings.Builder
+	for i, l := range locs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", l, s.terms[l])
+	}
+	for _, r := range s.Roots() {
+		c := s.cons[r]
+		if c.Unconstrained() {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "e#%d: %s", r, strings.ReplaceAll(c.String(), "x", fmt.Sprintf("e#%d", r)))
+	}
+	if b.Len() == 0 {
+		return "no symbolic state"
+	}
+	return b.String()
+}

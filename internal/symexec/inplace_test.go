@@ -1,0 +1,96 @@
+package symexec
+
+import (
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+)
+
+// progWithEverything exercises every deterministic instruction shape plus
+// fork points, for the in-place/clone equivalence check.
+const progWithEverything = `
+	li $8 7
+	li $9 3
+	add $10 $8 $9
+	sub $11 $8 $9
+	mult $12 $8 $9
+	div $13 $8 $9
+	mod $14 $8 $9
+	and $15 $8 $9
+	or $16 $8 $9
+	xor $17 $8 $9
+	seteq $18 $8 $9
+	setgt $19 $8 $9
+	mov $20 $10
+	st $10 50($0)
+	ld $21 50($0)
+	read $22
+	beqi $22 5 taken
+	prints "not taken "
+taken:	print $10
+	jal fn
+	jmp end
+fn:	addi $23 $23 1
+	jr $31
+end:	halt
+`
+
+// TestStepInPlaceAgreesWithSuccessors locks the fast path to the forking
+// path: running a fault-free program via StepInPlace and via Successors
+// must visit identical states.
+func TestStepInPlaceAgreesWithSuccessors(t *testing.T) {
+	u := asm.MustParse("everything", progWithEverything)
+	input := []int64{5}
+
+	inPlace := NewState(u.Program, u.Detectors, input, DefaultOptions())
+	cloned := NewState(u.Program, u.Detectors, input, DefaultOptions())
+
+	for step := 0; ; step++ {
+		if inPlace.Key() != cloned.Key() {
+			t.Fatalf("step %d: states diverge\n in-place: %s\n cloned:   %s", step, inPlace.Key(), cloned.Key())
+		}
+		if !inPlace.Running() {
+			break
+		}
+		if !inPlace.StepInPlace() {
+			t.Fatalf("step %d: fault-free execution refused in-place step at pc %d", step, inPlace.PC)
+		}
+		succs := cloned.Successors()
+		if len(succs) != 1 {
+			t.Fatalf("step %d: fault-free execution forked (%d successors)", step, len(succs))
+		}
+		cloned = succs[0]
+	}
+	if inPlace.Outcome() != OutcomeNormal {
+		t.Fatalf("outcome %v (%v)", inPlace.Outcome(), inPlace.Exc)
+	}
+}
+
+// TestStepInPlaceRefusesForks ensures the fast path declines exactly where
+// nondeterminism begins and leaves the state unmodified.
+func TestStepInPlaceRefusesForks(t *testing.T) {
+	u := asm.MustParse("forky", `
+	read $8
+	beqi $8 0 zero
+	halt
+zero:	halt
+`)
+	st := NewState(u.Program, u.Detectors, []int64{1}, DefaultOptions())
+	if !st.StepInPlace() {
+		t.Fatal("read refused in-place step")
+	}
+	// Make the branch operand erroneous: the branch must refuse.
+	st.Inject(isa.RegLoc(8))
+	before := st.Key()
+	if st.StepInPlace() {
+		t.Fatal("branch on err executed in place")
+	}
+	if st.Key() != before {
+		t.Fatal("refused step mutated the state")
+	}
+	succs := st.Successors()
+	if len(succs) != 2 {
+		t.Fatalf("branch on err: %d successors, want 2", len(succs))
+	}
+}

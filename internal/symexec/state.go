@@ -1,0 +1,448 @@
+// Package symexec implements SymPLFIED's symbolic execution engine: the
+// nondeterministic part of the paper's model (Sections 3.2 and 5.2). A State
+// is one node of the search graph explored by the model checker; Successors
+// computes its rewrite successors, forking at comparisons over err, at loads
+// and stores through erroneous pointers, at control transfers to erroneous
+// targets, and at divisions by erroneous divisors, while the constraint store
+// prunes infeasible forks.
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symbolic"
+	"symplfied/internal/trace"
+)
+
+// Options configures symbolic execution. The zero value is NOT valid; use
+// DefaultOptions.
+type Options struct {
+	// Watchdog bounds executed instructions per path (the paper's timeout,
+	// Section 5.4). Exceeding it raises the "timed out" exception.
+	Watchdog int
+	// AffineTracking enables the refined constraint solver that tracks
+	// propagated err values as affine terms of their root (see package
+	// symbolic). Disabling it reproduces the paper's coarser single-symbol
+	// model, for ablation.
+	AffineTracking bool
+	// MaxControlTargets caps the fork fan-out when a control transfer target
+	// is err (paper: "jumps to an arbitrary but valid code location"). 0
+	// means every valid code location. When the cap truncates enumeration,
+	// the state is annotated so reports never silently under-count.
+	MaxControlTargets int
+	// MaxMemTargets caps the fork fan-out when a load/store address is err
+	// (paper: "retrieves/overwrites the contents of an arbitrary memory
+	// location"). 0 means every defined location.
+	MaxMemTargets int
+	// SymbolicMem, when true, models a load through an erroneous pointer as
+	// returning a fresh err instead of enumerating defined locations. This
+	// is a sound over-approximation that trades precision for state count.
+	SymbolicMem bool
+}
+
+// DefaultOptions returns the options used throughout the paper reproduction.
+func DefaultOptions() Options {
+	return Options{
+		Watchdog:       machine.DefaultWatchdog,
+		AffineTracking: true,
+	}
+}
+
+// State is one symbolic machine state: the paper's "soup" of PC, register
+// file, memory, input/output streams, plus the ConstraintMap and the
+// decision trace. States are persistent: Successors never mutates its
+// receiver.
+type State struct {
+	Prog *isa.Program
+	Dets *detector.Table
+	Opts Options
+
+	PC    int
+	Regs  [isa.NumRegs]isa.Value
+	Mem   map[int64]isa.Value
+	Sym   *symbolic.Store
+	In    []isa.Value // shared, immutable
+	InPos int
+	Out   []machine.OutItem
+	Steps int
+
+	// Stuck marks locations with a permanent (stuck-at) fault: the cell
+	// holds an unknown-but-fixed erroneous value, so writes to it are
+	// discarded and every read observes the same symbolic root. Transient
+	// errors (the paper's primary model) never populate this; permanent
+	// errors are the paper's future-work extension (2).
+	Stuck map[isa.Loc]struct{}
+
+	Status machine.Status
+	Exc    *isa.Exception
+	Trace  *trace.Node
+
+	// Truncated is set when a fork fan-out cap dropped successors, so the
+	// search report can flag incomplete coverage instead of silently
+	// under-counting.
+	Truncated bool
+}
+
+// NewState builds an initial symbolic state at PC 0 with the given input.
+func NewState(prog *isa.Program, dets *detector.Table, input []int64, opts Options) *State {
+	if dets == nil {
+		dets = detector.EmptyTable()
+	}
+	if opts.Watchdog <= 0 {
+		opts.Watchdog = machine.DefaultWatchdog
+	}
+	in := make([]isa.Value, len(input))
+	for i, v := range input {
+		in[i] = isa.Int(v)
+	}
+	return &State{
+		Prog:   prog,
+		Dets:   dets,
+		Opts:   opts,
+		Mem:    make(map[int64]isa.Value),
+		Sym:    symbolic.NewStore(),
+		In:     in,
+		Status: machine.StatusRunning,
+	}
+}
+
+// FromMachine lifts a concrete machine's current state into a symbolic state,
+// used by the checker after concretely executing the prefix up to the
+// injection breakpoint (the paper's optimization of injecting just before the
+// instruction that uses the target register, Section 6.2).
+func FromMachine(m *machine.Machine, dets *detector.Table, opts Options) *State {
+	if dets == nil {
+		dets = detector.EmptyTable()
+	}
+	if opts.Watchdog <= 0 {
+		opts.Watchdog = machine.DefaultWatchdog
+	}
+	st := &State{
+		Prog:   m.Program(),
+		Dets:   dets,
+		Opts:   opts,
+		PC:     m.PC(),
+		Mem:    m.MemSnapshot(),
+		Sym:    symbolic.NewStore(),
+		Out:    m.Output(),
+		Steps:  m.Steps(),
+		Status: machine.StatusRunning,
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		st.Regs[r] = m.Reg(r)
+	}
+	// Remaining input: the machine consumed a prefix; re-derive the tail is
+	// not observable from outside, so FromMachine callers must pass the full
+	// input via SetInput if the program reads after the breakpoint.
+	return st
+}
+
+// SetInput installs the remaining input stream (already-consumed values
+// excluded).
+func (s *State) SetInput(vals []int64) {
+	s.In = make([]isa.Value, len(vals))
+	for i, v := range vals {
+		s.In[i] = isa.Int(v)
+	}
+	s.InPos = 0
+}
+
+// Clone returns a deep copy sharing only immutable pieces (program, detector
+// table, input stream, trace prefix).
+func (s *State) Clone() *State {
+	out := &State{
+		Prog:      s.Prog,
+		Dets:      s.Dets,
+		Opts:      s.Opts,
+		PC:        s.PC,
+		Regs:      s.Regs,
+		Mem:       make(map[int64]isa.Value, len(s.Mem)),
+		Sym:       s.Sym.Clone(),
+		In:        s.In,
+		InPos:     s.InPos,
+		Out:       make([]machine.OutItem, len(s.Out)),
+		Steps:     s.Steps,
+		Status:    s.Status,
+		Exc:       s.Exc,
+		Trace:     s.Trace,
+		Truncated: s.Truncated,
+	}
+	for a, v := range s.Mem {
+		out.Mem[a] = v
+	}
+	copy(out.Out, s.Out)
+	if len(s.Stuck) > 0 {
+		out.Stuck = make(map[isa.Loc]struct{}, len(s.Stuck))
+		for l := range s.Stuck {
+			out.Stuck[l] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Running reports whether the state can still take a step.
+func (s *State) Running() bool { return s.Status == machine.StatusRunning }
+
+// note appends a trace event.
+func (s *State) note(kind trace.Kind, format string, args ...any) {
+	s.Trace = s.Trace.Append(trace.Event{
+		Kind: kind,
+		Step: s.Steps,
+		PC:   s.PC,
+		Text: fmt.Sprintf(format, args...),
+	})
+}
+
+// Note appends a trace event; exported for the fault model and the checker.
+func (s *State) Note(kind trace.Kind, format string, args ...any) {
+	s.note(kind, format, args...)
+}
+
+// Inject places err into loc and returns the fresh root, recording the event.
+func (s *State) Inject(loc isa.Loc) symbolic.RootID {
+	root := s.Sym.Inject(loc)
+	if loc.IsMem {
+		s.Mem[loc.Addr] = isa.Err()
+	} else if loc.Reg != isa.RegZero {
+		s.Regs[loc.Reg] = isa.Err()
+	}
+	s.note(trace.KindInject, "err (e#%d) injected into %s at %s", root, loc, s.Prog.Locate(s.PC))
+	return root
+}
+
+// regOperand reads register r as a propagation operand.
+func (s *State) regOperand(r isa.Reg) symbolic.Operand {
+	v := s.Regs[r]
+	if r == isa.RegZero {
+		v = isa.Int(0)
+	}
+	if n, ok := v.Concrete(); ok {
+		return symbolic.ConcreteOperand(n)
+	}
+	if t, ok := s.Sym.Term(isa.RegLoc(r)); ok {
+		return symbolic.ErrOperand(t)
+	}
+	return symbolic.Operand{Val: isa.Err()}
+}
+
+// memOperand reads the memory word at addr as a propagation operand.
+func (s *State) memOperand(addr int64) (symbolic.Operand, bool) {
+	v, ok := s.Mem[addr]
+	if !ok {
+		return symbolic.Operand{}, false
+	}
+	if n, okc := v.Concrete(); okc {
+		return symbolic.ConcreteOperand(n), true
+	}
+	if t, okt := s.Sym.Term(isa.MemLoc(addr)); okt {
+		return symbolic.ErrOperand(t), true
+	}
+	return symbolic.Operand{Val: isa.Err()}, true
+}
+
+// RegOperand implements detector.Env.
+func (s *State) RegOperand(r isa.Reg) symbolic.Operand { return s.regOperand(r) }
+
+// MemOperand implements detector.Env.
+func (s *State) MemOperand(addr int64) (symbolic.Operand, bool) { return s.memOperand(addr) }
+
+var _ detector.Env = (*State)(nil)
+
+// InjectPermanent places a stuck-at fault into loc: the location reads as
+// the same unknown erroneous value forever, and writes to it are discarded.
+func (s *State) InjectPermanent(loc isa.Loc) symbolic.RootID {
+	root := s.Inject(loc)
+	if s.Stuck == nil {
+		s.Stuck = make(map[isa.Loc]struct{}, 1)
+	}
+	s.Stuck[loc] = struct{}{}
+	s.note(trace.KindNote, "fault in %s is permanent (stuck-at)", loc)
+	return root
+}
+
+// stuck reports whether loc carries a permanent fault.
+func (s *State) stuck(loc isa.Loc) bool {
+	_, ok := s.Stuck[loc]
+	return ok
+}
+
+// setReg writes a propagation result into register r, maintaining the
+// invariant that every err-holding location has a term in the store.
+// Writes to a permanently faulty register are discarded.
+func (s *State) setReg(r isa.Reg, val isa.Value, term symbolic.Term, hasTerm bool) {
+	if r == isa.RegZero {
+		return
+	}
+	if s.stuck(isa.RegLoc(r)) {
+		return
+	}
+	s.Regs[r] = val
+	loc := isa.RegLoc(r)
+	if val.IsErr() {
+		if hasTerm {
+			s.Sym.SetTerm(loc, term)
+		} else {
+			s.Sym.SetTerm(loc, symbolic.FreshTerm(s.Sym.NewRoot()))
+		}
+	} else {
+		s.Sym.Clear(loc)
+	}
+}
+
+// setMem writes a propagation result into memory, maintaining the term
+// invariant. Writes to a permanently faulty word are discarded.
+func (s *State) setMem(addr int64, val isa.Value, term symbolic.Term, hasTerm bool) {
+	if s.stuck(isa.MemLoc(addr)) {
+		return
+	}
+	s.Mem[addr] = val
+	loc := isa.MemLoc(addr)
+	if val.IsErr() {
+		if hasTerm {
+			s.Sym.SetTerm(loc, term)
+		} else {
+			s.Sym.SetTerm(loc, symbolic.FreshTerm(s.Sym.NewRoot()))
+		}
+	} else {
+		s.Sym.Clear(loc)
+	}
+}
+
+// concretize sweeps err-holding locations whose constraints now pin their
+// term to a single value and rewrites them as concrete (the paper's "the
+// location being compared can be updated with the value it is being compared
+// to", generalized through the affine map).
+func (s *State) concretize() {
+	for _, loc := range s.Sym.Locs() {
+		t, ok := s.Sym.Term(loc)
+		if !ok {
+			continue
+		}
+		v, exact := s.Sym.ExactValue(t)
+		if !exact {
+			continue
+		}
+		if loc.IsMem {
+			s.Mem[loc.Addr] = isa.Int(v)
+		} else if loc.Reg != isa.RegZero {
+			s.Regs[loc.Reg] = isa.Int(v)
+		}
+		s.Sym.Clear(loc)
+	}
+}
+
+// raise terminates the state with an exception.
+func (s *State) raise(kind isa.ExceptionKind, detail string) {
+	s.Status = machine.StatusExcepted
+	s.Exc = &isa.Exception{Kind: kind, PC: s.PC, Detail: detail}
+	s.note(trace.KindException, "%s", s.Exc.Error())
+}
+
+// OutputString renders the output stream.
+func (s *State) OutputString() string { return machine.RenderOutput(s.Out) }
+
+// OutputValues returns printed values (no string literals).
+func (s *State) OutputValues() []isa.Value { return machine.OutputValues(s.Out) }
+
+// OutputContainsErr reports whether any printed value is err.
+func (s *State) OutputContainsErr() bool {
+	for _, o := range s.Out {
+		if !o.IsStr && o.Val.IsErr() {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical encoding of the state for visited-set dedup.
+func (s *State) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pc%d|s%d|i%d|", s.PC, s.Steps, s.InPos)
+	for r := 0; r < isa.NumRegs; r++ {
+		b.WriteString(s.Regs[r].String())
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	addrs := make([]int64, 0, len(s.Mem))
+	for a := range s.Mem {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		b.WriteString(strconv.FormatInt(a, 10))
+		b.WriteByte('=')
+		b.WriteString(s.Mem[a].String())
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(s.Sym.Key())
+	b.WriteByte('|')
+	b.WriteString(s.OutputString())
+	fmt.Fprintf(&b, "|%d", s.Status)
+	if len(s.Stuck) > 0 {
+		locs := make([]string, 0, len(s.Stuck))
+		for l := range s.Stuck {
+			locs = append(locs, l.String())
+		}
+		sort.Strings(locs)
+		b.WriteString("|stuck:")
+		for _, l := range locs {
+			b.WriteString(l)
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// Outcome classifies a terminated state in the paper's failure vocabulary.
+type Outcome int
+
+// Outcomes.
+const (
+	OutcomeNormal   Outcome = iota + 1 // halted via halt
+	OutcomeCrash                       // exception (illegal instr/addr, div-zero, throw)
+	OutcomeHang                        // watchdog timeout
+	OutcomeDetected                    // a detector fired
+	OutcomeRunning                     // not terminated yet
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNormal:
+		return "normal"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeRunning:
+		return "running"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Outcome classifies the state.
+func (s *State) Outcome() Outcome {
+	switch s.Status {
+	case machine.StatusHalted:
+		return OutcomeNormal
+	case machine.StatusExcepted:
+		switch s.Exc.Kind {
+		case isa.ExcTimeout:
+			return OutcomeHang
+		case isa.ExcDetected:
+			return OutcomeDetected
+		default:
+			return OutcomeCrash
+		}
+	}
+	return OutcomeRunning
+}

@@ -1,0 +1,119 @@
+// Package trace records the decision history of a symbolic execution path:
+// where the error was injected, which way each nondeterministic fork went,
+// which constraints were learned, and how the path terminated. The paper
+// (Section 5.4) highlights that showing "an execution trace of how the error
+// evaded detection and led to the failure" is what makes findings actionable.
+//
+// Traces are persistent singly-linked lists so that forking a state shares
+// the common prefix at zero cost.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds.
+const (
+	KindInject     Kind = iota + 1 // fault injection performed
+	KindFork                       // nondeterministic choice taken
+	KindConstraint                 // path constraint learned
+	KindDetect                     // detector fired
+	KindCheckPass                  // detector evaluated and passed
+	KindException                  // exception raised
+	KindHalt                       // program halted normally
+	KindOutput                     // value appended to the output stream
+	KindControl                    // control transferred through an erroneous target
+	KindNote                       // free-form annotation
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInject:
+		return "inject"
+	case KindFork:
+		return "fork"
+	case KindConstraint:
+		return "constraint"
+	case KindDetect:
+		return "detect"
+	case KindCheckPass:
+		return "check-pass"
+	case KindException:
+		return "exception"
+	case KindHalt:
+		return "halt"
+	case KindOutput:
+		return "output"
+	case KindControl:
+		return "control"
+	case KindNote:
+		return "note"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded decision.
+type Event struct {
+	Kind Kind
+	Step int    // dynamic instruction count when the event occurred
+	PC   int    // program counter at the event
+	Text string // human-readable description
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("[step %d @%d] %s: %s", e.Step, e.PC, e.Kind, e.Text)
+}
+
+// Node is an immutable trace cell. A nil *Node is the empty trace.
+type Node struct {
+	parent *Node
+	ev     Event
+	depth  int
+}
+
+// Append extends the trace with ev, returning the new head. The receiver is
+// unmodified, so sibling forks share their prefix.
+func (n *Node) Append(ev Event) *Node {
+	d := 1
+	if n != nil {
+		d = n.depth + 1
+	}
+	return &Node{parent: n, ev: ev, depth: d}
+}
+
+// Len returns the number of events.
+func (n *Node) Len() int {
+	if n == nil {
+		return 0
+	}
+	return n.depth
+}
+
+// Events returns the events oldest-first.
+func (n *Node) Events() []Event {
+	if n == nil {
+		return nil
+	}
+	out := make([]Event, n.depth)
+	for cur := n; cur != nil; cur = cur.parent {
+		out[cur.depth-1] = cur.ev
+	}
+	return out
+}
+
+// Render formats the whole trace, one event per line, oldest first.
+func (n *Node) Render() string {
+	evs := n.Events()
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmptyTrace(t *testing.T) {
+	var n *Node
+	if n.Len() != 0 {
+		t.Errorf("empty Len = %d", n.Len())
+	}
+	if n.Events() != nil {
+		t.Errorf("empty Events = %v", n.Events())
+	}
+	if n.Render() != "" {
+		t.Errorf("empty Render = %q", n.Render())
+	}
+}
+
+func TestAppendAndOrder(t *testing.T) {
+	var n *Node
+	n = n.Append(Event{Kind: KindInject, Step: 1, Text: "a"})
+	n = n.Append(Event{Kind: KindFork, Step: 2, Text: "b"})
+	n = n.Append(Event{Kind: KindHalt, Step: 3, Text: "c"})
+	if n.Len() != 3 {
+		t.Fatalf("Len = %d", n.Len())
+	}
+	evs := n.Events()
+	if evs[0].Text != "a" || evs[1].Text != "b" || evs[2].Text != "c" {
+		t.Fatalf("order wrong: %v", evs)
+	}
+}
+
+func TestForkSharing(t *testing.T) {
+	var base *Node
+	base = base.Append(Event{Kind: KindInject, Text: "shared"})
+	left := base.Append(Event{Kind: KindFork, Text: "left"})
+	right := base.Append(Event{Kind: KindFork, Text: "right"})
+
+	if base.Len() != 1 {
+		t.Error("base mutated by fork appends")
+	}
+	le, re := left.Events(), right.Events()
+	if le[0].Text != "shared" || re[0].Text != "shared" {
+		t.Error("shared prefix lost")
+	}
+	if le[1].Text != "left" || re[1].Text != "right" {
+		t.Error("branch events wrong")
+	}
+}
+
+func TestRender(t *testing.T) {
+	var n *Node
+	n = n.Append(Event{Kind: KindConstraint, Step: 4, PC: 7, Text: "x > 1"})
+	out := n.Render()
+	for _, want := range []string{"step 4", "@7", "constraint", "x > 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render %q lacks %q", out, want)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	kinds := []Kind{
+		KindInject, KindFork, KindConstraint, KindDetect, KindCheckPass,
+		KindException, KindHalt, KindOutput, KindControl, KindNote,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if strings.HasPrefix(name, "kind(") {
+			t.Errorf("kind %d lacks a name", int(k))
+		}
+		if seen[name] {
+			t.Errorf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+}

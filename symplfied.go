@@ -1,0 +1,340 @@
+// Package symplfied is a Go implementation of SymPLFIED — the Symbolic
+// Program-Level Fault Injection and Error Detection framework of
+// Pattabiraman, Nakka, Kalbarczyk and Iyer (DSN 2008).
+//
+// SymPLFIED takes a program in a generic assembly language, optionally
+// protected with error detectors, and a class of transient hardware errors,
+// and exhaustively enumerates the errors in that class that evade the
+// detectors and lead to program failure (crash, hang, or incorrect output).
+// Erroneous values are abstracted by a single symbolic value err; a
+// constraint solver prunes infeasible forks; bounded model checking explores
+// every nondeterministic resolution.
+//
+// The top-level API covers the full workflow:
+//
+//	u, _ := symplfied.Assemble("factorial", src)       // or TranslateMIPS
+//	res := symplfied.Execute(u.Program, []int64{5}, symplfied.ExecConfig{})
+//	rep, _ := symplfied.Search(symplfied.SearchSpec{   // symbolic search
+//	    Unit:  u,
+//	    Input: []int64{5},
+//	    Class: symplfied.ClassRegister,
+//	    Goal:  symplfied.GoalIncorrectOutput,
+//	})
+//	camp, _ := symplfied.Campaign(symplfied.CampaignSpec{...}) // concrete baseline
+//
+// Subsystem packages under internal/ implement the machine model, error
+// model, detector model, constraint solver, model checker, cluster harness,
+// MIPS front end, and the paper's benchmark applications.
+package symplfied
+
+import (
+	"fmt"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/checker"
+	"symplfied/internal/cluster"
+	"symplfied/internal/detector"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/mips"
+	"symplfied/internal/query"
+	"symplfied/internal/simplescalar"
+	"symplfied/internal/symexec"
+)
+
+// Core vocabulary, re-exported.
+type (
+	// Program is an assembled program in the generic assembly language.
+	Program = isa.Program
+	// Instr is one decoded instruction.
+	Instr = isa.Instr
+	// Reg names a general-purpose register.
+	Reg = isa.Reg
+	// Value is a machine word: a concrete integer or the symbolic err.
+	Value = isa.Value
+	// Loc names a register or memory word.
+	Loc = isa.Loc
+	// Exception records an abnormal termination.
+	Exception = isa.Exception
+	// Detector is one error detector (det(ID, loc, cmp, expr)).
+	Detector = detector.Detector
+	// DetectorTable holds a program's detectors.
+	DetectorTable = detector.Table
+	// Unit is an assembled program plus its detectors.
+	Unit = asm.Unit
+	// Injection is one injectable fault.
+	Injection = faults.Injection
+	// ErrorClass selects a fault class.
+	ErrorClass = faults.Class
+	// Goal selects what a search looks for.
+	Goal = query.Goal
+	// Finding is a terminal state matching a search goal.
+	Finding = checker.Finding
+	// Report aggregates a sequential search.
+	Report = checker.Report
+	// State is a symbolic machine state (findings carry their final state,
+	// including the decision trace and constraint store).
+	State = symexec.State
+	// Outcome classifies a terminated execution.
+	Outcome = symexec.Outcome
+	// TaskReport is the result of one cluster task.
+	TaskReport = cluster.TaskReport
+	// StudySummary pools cluster task reports.
+	StudySummary = cluster.Summary
+	// CampaignReport tallies a concrete fault-injection campaign.
+	CampaignReport = simplescalar.Report
+	// Component names a code region for compositional analysis.
+	Component = checker.Component
+	// ComponentProof records a component's isolated verdict.
+	ComponentProof = checker.ComponentProof
+	// Verdict is the framework's overall answer: proven resilient,
+	// refuted (with findings), or inconclusive.
+	Verdict = checker.Verdict
+)
+
+// Verdicts.
+const (
+	VerdictProven       = checker.VerdictProven
+	VerdictRefuted      = checker.VerdictRefuted
+	VerdictInconclusive = checker.VerdictInconclusive
+)
+
+// Error classes (paper Sections 3.3 and 5.2).
+const (
+	ClassRegister = faults.ClassRegister
+	ClassMemory   = faults.ClassMemory
+	ClassControl  = faults.ClassControl
+	ClassDecode   = faults.ClassDecode
+)
+
+// Search goals (predefined queries, paper Section 5's query generator).
+const (
+	GoalErrOutput       = query.GoalErrOutput
+	GoalIncorrectOutput = query.GoalIncorrectOutput
+	GoalWrongAdvisory   = query.GoalWrongAdvisory
+	GoalCrash           = query.GoalCrash
+	GoalHang            = query.GoalHang
+	GoalDetected        = query.GoalDetected
+)
+
+// Outcomes.
+const (
+	OutcomeNormal   = symexec.OutcomeNormal
+	OutcomeCrash    = symexec.OutcomeCrash
+	OutcomeHang     = symexec.OutcomeHang
+	OutcomeDetected = symexec.OutcomeDetected
+)
+
+// Assemble parses a program in SymPLFIED's assembly syntax (see package
+// internal/asm for the grammar), returning the program and any detector
+// specifications found in the source.
+func Assemble(name, src string) (*Unit, error) { return asm.Parse(name, src) }
+
+// ParseDetector parses a det(ID, loc, cmp, expr) specification.
+func ParseDetector(spec string) (*Detector, error) { return detector.Parse(spec) }
+
+// TranslateMIPS translates MIPS-dialect assembly (see package internal/mips
+// for the supported subset) into a program.
+func TranslateMIPS(name, src string) (*Program, error) { return mips.Translate(name, src) }
+
+// ExecConfig configures a concrete execution.
+type ExecConfig struct {
+	// Watchdog bounds executed instructions (0: a conservative default).
+	Watchdog int
+	// Detectors supplies CHECK targets.
+	Detectors *DetectorTable
+}
+
+// ExecResult summarizes a concrete execution.
+type ExecResult struct {
+	// Halted is true for a normal termination.
+	Halted bool
+	// Exception is the terminating exception for abnormal ones.
+	Exception *Exception
+	// Output is the rendered output stream.
+	Output string
+	// Values are the printed values.
+	Values []Value
+	// Steps counts executed instructions.
+	Steps int
+}
+
+// Execute runs a program concretely on the machine model.
+func Execute(prog *Program, input []int64, cfg ExecConfig) ExecResult {
+	m := machine.New(prog, input, machine.Options{
+		Watchdog:  cfg.Watchdog,
+		Detectors: cfg.Detectors,
+	})
+	res := m.Run()
+	return ExecResult{
+		Halted:    res.Status == machine.StatusHalted,
+		Exception: res.Exception,
+		Output:    machine.RenderOutput(res.Output),
+		Values:    machine.OutputValues(res.Output),
+		Steps:     res.Steps,
+	}
+}
+
+// SearchSpec describes a symbolic fault-injection search.
+type SearchSpec struct {
+	// Unit is the program under analysis (with its detectors).
+	Unit *Unit
+	// Input is the program input.
+	Input []int64
+	// Class selects the fault class to enumerate; ignored when Injections
+	// is non-empty.
+	Class ErrorClass
+	// Injections overrides the enumerated fault class with an explicit set.
+	Injections []Injection
+	// Goal selects the search predicate.
+	Goal Goal
+	// Watchdog bounds each symbolic path (0: default).
+	Watchdog int
+	// StateBudget bounds explored states per injection (0: default).
+	StateBudget int
+	// MaxFindings caps findings per injection (0: unlimited).
+	MaxFindings int
+	// DisableAffineSolver reverts to the paper's coarser constraint model
+	// (every propagated err loses lineage) for ablation.
+	DisableAffineSolver bool
+	// Permanent turns every register/memory injection into a stuck-at
+	// fault (the paper's future-work extension: permanent errors).
+	Permanent bool
+}
+
+func (s SearchSpec) build() (checker.Spec, error) {
+	if s.Unit == nil || s.Unit.Program == nil {
+		return checker.Spec{}, fmt.Errorf("symplfied: SearchSpec.Unit is required")
+	}
+	exec := symexec.DefaultOptions()
+	if s.Watchdog > 0 {
+		exec.Watchdog = s.Watchdog
+	}
+	exec.AffineTracking = !s.DisableAffineSolver
+	q := query.Query{Class: s.Class, Goal: s.Goal, Exec: exec}
+	spec, err := q.Build(s.Unit.Program, s.Unit.Detectors, s.Input)
+	if err != nil {
+		return checker.Spec{}, err
+	}
+	if len(s.Injections) > 0 {
+		spec.Injections = s.Injections
+	}
+	if s.Permanent {
+		spec.Injections = faults.PermanentVariant(spec.Injections)
+	}
+	spec.StateBudget = s.StateBudget
+	spec.MaxFindings = s.MaxFindings
+	return spec, nil
+}
+
+// Search runs a symbolic fault-injection search sequentially and returns the
+// checker report: every enumerated error in the class that satisfies the
+// goal, with decision traces and derived constraints.
+func Search(s SearchSpec) (*Report, error) {
+	spec, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	return checker.Run(spec)
+}
+
+// StudyConfig configures a decomposed (cluster-style) search, the paper's
+// Section 6 experiment harness.
+type StudyConfig struct {
+	// Tasks is the decomposition width (paper: 150 for tcas, 312 for
+	// replace).
+	Tasks int
+	// TaskStateBudget bounds each task (the analogue of the paper's
+	// 30-minute allotment). 0 selects a default.
+	TaskStateBudget int
+	// MaxFindingsPerTask caps findings per task (paper: 10).
+	MaxFindingsPerTask int
+	// Workers sizes the worker pool (0: GOMAXPROCS).
+	Workers int
+}
+
+// Study runs a symbolic search decomposed into independent tasks over a
+// worker pool and returns the per-task reports plus their pooled summary.
+func Study(s SearchSpec, cfg StudyConfig) ([]TaskReport, StudySummary, error) {
+	spec, err := s.build()
+	if err != nil {
+		return nil, StudySummary{}, err
+	}
+	tasks := cluster.Split(spec.Injections, cfg.Tasks)
+	reports := cluster.Run(spec, tasks, cluster.Config{
+		Workers:            cfg.Workers,
+		TaskStateBudget:    cfg.TaskStateBudget,
+		MaxFindingsPerTask: cfg.MaxFindingsPerTask,
+	})
+	return reports, cluster.Summarize(reports), nil
+}
+
+// SearchGraph is the explored search graph of one injection (paper
+// Section 5.4's "print out the search graph" facility), renderable as
+// Graphviz DOT.
+type SearchGraph = checker.Graph
+
+// ExploreSearchGraph explores one injection breadth-first, recording every
+// state and its parent, up to maxNodes (0: a default bound).
+func ExploreSearchGraph(s SearchSpec, inj Injection, maxNodes int) (*SearchGraph, error) {
+	spec, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	return checker.ExploreGraph(spec, inj, maxNodes)
+}
+
+// SearchComposed runs the paper's hierarchical analysis (Section 3.4): each
+// component is proved in isolation; injections inside proven components are
+// pruned from the whole-program search.
+func SearchComposed(s SearchSpec, components []Component) (*Report, []ComponentProof, error) {
+	spec, err := s.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return checker.RunComposed(spec, components)
+}
+
+// EnumerateInjections lists the injections of a class over a program with
+// the paper's activation policy.
+func EnumerateInjections(class ErrorClass, prog *Program) []Injection {
+	return faults.ForClass(class, prog)
+}
+
+// CampaignSpec describes a concrete (SimpleScalar-style) fault-injection
+// campaign, the paper's baseline.
+type CampaignSpec struct {
+	Unit  *Unit
+	Input []int64
+	// Faults is the campaign size (0: the full site cross product).
+	Faults int
+	// Seed drives random value selection (deterministic).
+	Seed int64
+	// RandomPerReg is the number of random values per site on top of the
+	// three extremes (0: 3, the paper's choice).
+	RandomPerReg int
+	// Watchdog bounds each run.
+	Watchdog int
+	// AllowedOutputs classifies normal runs by their single printed value
+	// when it is among these (e.g. 0, 1, 2 for tcas); others are "other".
+	AllowedOutputs []int64
+}
+
+// Campaign runs the concrete baseline campaign and tallies outcomes into
+// Table 2's buckets.
+func Campaign(c CampaignSpec) (*CampaignReport, error) {
+	if c.Unit == nil || c.Unit.Program == nil {
+		return nil, fmt.Errorf("symplfied: CampaignSpec.Unit is required")
+	}
+	return simplescalar.Run(simplescalar.Config{
+		Program:       c.Unit.Program,
+		Input:         c.Input,
+		Detectors:     c.Unit.Detectors,
+		Watchdog:      c.Watchdog,
+		Classify:      simplescalar.SingleValueClassifier(c.AllowedOutputs...),
+		Seed:          c.Seed,
+		RandomPerReg:  c.RandomPerReg,
+		MaxInjections: c.Faults,
+	})
+}

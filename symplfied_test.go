@@ -1,0 +1,255 @@
+package symplfied_test
+
+import (
+	"testing"
+
+	"symplfied"
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/isa"
+)
+
+func TestAssembleAndExecute(t *testing.T) {
+	u, err := symplfied.Assemble("factorial", factorial.SourcePlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := symplfied.Execute(u.Program, []int64{6}, symplfied.ExecConfig{})
+	if !res.Halted {
+		t.Fatalf("not halted: %v", res.Exception)
+	}
+	if res.Output != "Factorial = 720" {
+		t.Fatalf("output %q", res.Output)
+	}
+	if len(res.Values) != 1 || res.Values[0].MustConcrete() != 720 {
+		t.Fatalf("values %v", res.Values)
+	}
+}
+
+func TestSearchEnumeratesFactorialOutcomes(t *testing.T) {
+	u, err := symplfied.Assemble("factorial", factorial.SourcePlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subiPC, _ := factorial.SubiPC(u.Program)
+	rep, err := symplfied.Search(symplfied.SearchSpec{
+		Unit:  u,
+		Input: []int64{5},
+		Injections: []symplfied.Injection{{
+			Class: symplfied.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3),
+		}},
+		Goal:     symplfied.GoalIncorrectOutput,
+		Watchdog: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no incorrect outcomes enumerated")
+	}
+	seen5 := false
+	for _, f := range rep.Findings {
+		if f.State.OutputString() == "Factorial = 5" {
+			seen5 = true
+		}
+	}
+	if !seen5 {
+		t.Error("early-exit partial product not enumerated")
+	}
+}
+
+func TestSearchWrongAdvisoryFindsFlip(t *testing.T) {
+	u := &symplfied.Unit{Program: tcas.Program()}
+	jrPC, err := tcas.ReturnJrPC(u.Program, "Non_Crossing_Biased_Climb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := symplfied.Search(symplfied.SearchSpec{
+		Unit:  u,
+		Input: tcas.UpwardInput().Slice(),
+		Injections: []symplfied.Injection{{
+			Class: symplfied.ClassRegister, PC: jrPC, Loc: isa.RegLoc(isa.RegRA),
+		}},
+		Goal:     symplfied.GoalWrongAdvisory,
+		Watchdog: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := false
+	for _, f := range rep.Findings {
+		vals := f.State.OutputValues()
+		if len(vals) == 1 && vals[0].Equal(isa.Int(2)) {
+			flip = true
+		}
+	}
+	if !flip {
+		t.Fatal("catastrophic advisory flip not found through the public API")
+	}
+}
+
+func TestStudyDecomposes(t *testing.T) {
+	u := &symplfied.Unit{Program: tcas.Program()}
+	reports, sum, err := symplfied.Study(symplfied.SearchSpec{
+		Unit:     u,
+		Input:    tcas.UpwardInput().Slice(),
+		Class:    symplfied.ClassRegister,
+		Goal:     symplfied.GoalWrongAdvisory,
+		Watchdog: 4000,
+	}, symplfied.StudyConfig{Tasks: 16, TaskStateBudget: 20_000, MaxFindingsPerTask: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 16 {
+		t.Fatalf("%d task reports, want 16", len(reports))
+	}
+	if sum.Completed == 0 {
+		t.Error("no task completed")
+	}
+	if len(sum.Findings) == 0 {
+		t.Error("study found nothing")
+	}
+}
+
+func TestCampaignNeverFindsTheFlip(t *testing.T) {
+	u := &symplfied.Unit{Program: tcas.Program()}
+	rep, err := symplfied.Campaign(symplfied.CampaignSpec{
+		Unit:           u,
+		Input:          tcas.UpwardInput().Slice(),
+		Faults:         1000,
+		Seed:           1,
+		Watchdog:       50_000,
+		AllowedOutputs: []int64{0, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 1000 {
+		t.Fatalf("campaign size %d", rep.Total)
+	}
+	if rep.Counts["2"] != 0 {
+		t.Fatalf("concrete campaign found %d outcome-2 cases; the paper's point is that it finds none", rep.Counts["2"])
+	}
+	if rep.Counts["1"] == 0 || rep.Counts["crash"] == 0 {
+		t.Fatalf("distribution lacks benign or crash buckets: %v", rep.Counts)
+	}
+}
+
+func TestTranslateMIPSPublic(t *testing.T) {
+	prog, err := symplfied.TranslateMIPS("fact", `
+	.text
+main:
+	li $v0, 5
+	syscall
+	move $t0, $v0
+	li $t1, 1
+loop:	ble $t0, 1, done
+	mul $t1, $t1, $t0
+	addi $t0, $t0, -1
+	j loop
+done:	move $a0, $t1
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := symplfied.Execute(prog, []int64{4}, symplfied.ExecConfig{})
+	if !res.Halted || res.Output != "24" {
+		t.Fatalf("halted=%v output=%q", res.Halted, res.Output)
+	}
+}
+
+func TestParseDetectorPublic(t *testing.T) {
+	d, err := symplfied.ParseDetector("det(4, $(5), ==, ($3) + *(1000))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != 4 || d.Target != isa.RegLoc(5) {
+		t.Fatalf("parsed %v", d)
+	}
+}
+
+func TestPermanentSearchPublic(t *testing.T) {
+	u, err := symplfied.Assemble("factorial", factorial.SourcePlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subiPC, _ := factorial.SubiPC(u.Program)
+	rep, err := symplfied.Search(symplfied.SearchSpec{
+		Unit:  u,
+		Input: []int64{5},
+		Injections: []symplfied.Injection{{
+			Class: symplfied.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3),
+		}},
+		Goal:      symplfied.GoalHang,
+		Watchdog:  400,
+		Permanent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stuck counter loops forever whenever its value keeps the loop
+	// condition true: a hang must be enumerated.
+	if len(rep.Findings) == 0 {
+		t.Fatal("permanent fault produced no hang")
+	}
+}
+
+func TestSearchComposedPublic(t *testing.T) {
+	u, err := symplfied.Assemble("composed", `
+	li $1 3
+	li $2 4
+	add $3 $1 $2
+	check ($3 == 7)
+	multi $4 $3 10
+	print $4
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, proofs, err := symplfied.SearchComposed(symplfied.SearchSpec{
+		Unit:     u,
+		Input:    nil,
+		Class:    symplfied.ClassRegister,
+		Goal:     symplfied.GoalErrOutput,
+		Watchdog: 100,
+	}, []symplfied.Component{{Name: "checked-sum", Lo: 0, Hi: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proofs) != 1 || proofs[0].Verdict != symplfied.VerdictProven {
+		t.Fatalf("component proof %+v", proofs)
+	}
+	for _, f := range rep.Findings {
+		if f.Injection.PC <= 3 {
+			t.Errorf("finding inside discharged component: %s", f.Injection)
+		}
+	}
+}
+
+func TestExploreSearchGraphPublic(t *testing.T) {
+	u, err := symplfied.Assemble("factorial", factorial.SourcePlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subiPC, _ := factorial.SubiPC(u.Program)
+	g, err := symplfied.ExploreSearchGraph(symplfied.SearchSpec{
+		Unit:     u,
+		Input:    []int64{3},
+		Goal:     symplfied.GoalErrOutput,
+		Watchdog: 200,
+	}, symplfied.Injection{Class: symplfied.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3)}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) == 0 || len(g.Terminals()) == 0 {
+		t.Fatalf("graph nodes %d terminals %d", len(g.Nodes), len(g.Terminals()))
+	}
+	if len(g.DOT()) == 0 {
+		t.Fatal("empty DOT")
+	}
+}
