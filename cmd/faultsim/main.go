@@ -7,25 +7,36 @@
 //
 //	faultsim -app tcas -n 6253
 //	faultsim -app tcas -n 41082 -seed 7
+//	faultsim -app tcas -n 41082 -checkpoint tcas.jsonl -resume
+//
+// -timeout bounds the campaign's wall clock, -checkpoint journals each
+// completed run to a JSON-lines file, and -resume skips journaled runs.
+// SIGINT stops the campaign gracefully, flushing the journal and printing
+// the partial tallies.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"symplfied"
 	"symplfied/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	var (
 		file     = fs.String("file", "", "assembly file to inject into")
@@ -37,6 +48,9 @@ func run(args []string) error {
 		randomN  = fs.Int("random-per-site", 0, "random values per injection site (0: scale to reach -n)")
 		watchdog = fs.Int("watchdog", 50_000, "instruction bound per run")
 		allowed  = fs.String("outputs", "0,1,2", "allowed single-output values for classification")
+		timeout  = fs.Duration("timeout", 0, "wall-clock bound for the whole campaign (0: none)")
+		ckpt     = fs.String("checkpoint", "", "journal completed runs to this JSON-lines file")
+		resume   = fs.Bool("resume", false, "skip runs already recorded in -checkpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +81,13 @@ func run(args []string) error {
 		}
 	}
 
-	rep, err := symplfied.Campaign(symplfied.CampaignSpec{
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	rep, err := symplfied.CampaignCtx(ctx, symplfied.CampaignSpec{
 		Unit:           unit,
 		Input:          in,
 		Faults:         *n,
@@ -75,15 +95,28 @@ func run(args []string) error {
 		RandomPerReg:   randomPer,
 		Watchdog:       *watchdog,
 		AllowedOutputs: outs,
+	}, symplfied.CampaignResilience{
+		Checkpoint: *ckpt,
+		Resume:     *resume,
 	})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("campaign: %d concrete injections (seed %d)\n", rep.Total, *seed)
+	if rep.Resumed > 0 {
+		fmt.Printf("resumed: %d runs restored from %s\n", rep.Resumed, *ckpt)
+	}
 	fmt.Printf("%-10s %10s %9s\n", "outcome", "count", "percent")
 	for _, label := range rep.Labels() {
 		fmt.Printf("%-10s %10d %8.2f%%\n", label, rep.Counts[label], rep.Percent(label))
+	}
+	if rep.Interrupted {
+		fmt.Printf("interrupted: tallies cover the completed prefix")
+		if *ckpt != "" {
+			fmt.Printf("; re-run with -resume to continue from %s", *ckpt)
+		}
+		fmt.Println()
 	}
 	return nil
 }

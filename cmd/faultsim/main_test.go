@@ -1,15 +1,42 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"os"
+	"testing"
+)
 
 func TestCampaign(t *testing.T) {
-	if err := run([]string{"-app", "tcas", "-n", "200"}); err != nil {
+	if err := run(context.Background(), []string{"-app", "tcas", "-n", "200"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCampaignExplicitRandomPerSite(t *testing.T) {
-	if err := run([]string{"-app", "tcas", "-n", "100", "-random-per-site", "2", "-seed", "9"}); err != nil {
+	if err := run(context.Background(), []string{"-app", "tcas", "-n", "100", "-random-per-site", "2", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignCheckpointAndResume(t *testing.T) {
+	journal := t.TempDir() + "/faultsim.jsonl"
+	args := []string{"-app", "tcas", "-n", "100", "-checkpoint", journal}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("checkpoint journal not written: %v", err)
+	}
+	if err := run(context.Background(), append(args, "-resume")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A pre-cancelled campaign prints the (empty) prefix tallies, no error.
+	if err := run(ctx, []string{"-app", "tcas", "-n", "100", "-timeout", "1m"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,8 +46,9 @@ func TestCampaignErrors(t *testing.T) {
 		{"-app", "bogus"},
 		{"-app", "tcas", "-input", "x"},
 		{"-app", "tcas", "-outputs", "a,b"},
+		{"-app", "tcas", "-resume"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
 	}

@@ -11,12 +11,22 @@
 //
 // With -tasks > 1 the search is decomposed cluster-style (paper Section 6.1)
 // over a worker pool; otherwise it runs sequentially.
+//
+// Long campaigns can be hardened operationally: -timeout bounds the whole
+// run, -per-injection-timeout bounds each injection, -checkpoint journals
+// completed injections to a JSON-lines file, -resume skips journaled ones,
+// and -retries re-runs transient failures with degraded budgets. SIGINT
+// stops the search gracefully, flushing the journal and printing the partial
+// report, so the campaign can be resumed later.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"symplfied"
 	"symplfied/internal/cli"
@@ -24,13 +34,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "symplfied:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("symplfied", flag.ContinueOnError)
 	var (
 		file      = fs.String("file", "", "assembly file to analyze")
@@ -48,6 +60,11 @@ func run(args []string) error {
 		noAffine  = fs.Bool("no-affine", false, "disable the affine constraint solver (paper-strict propagation)")
 		graphOut  = fs.String("graph", "", "write the search graph of the first finding's injection to this Graphviz file")
 		graphMax  = fs.Int("graph-nodes", 0, "node cap for -graph (0: default)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock bound for the whole search (0: none)")
+		injTO     = fs.Duration("per-injection-timeout", 0, "wall-clock bound per injection (0: none)")
+		ckpt      = fs.String("checkpoint", "", "journal completed injections to this JSON-lines file")
+		resume    = fs.Bool("resume", false, "skip injections already recorded in -checkpoint")
+		retries   = fs.Int("retries", 0, "retry transiently failed injections up to N times with degraded budgets")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +90,15 @@ func run(args []string) error {
 		return fmt.Errorf("unknown goal %q", *goalName)
 	}
 
+	if (*ckpt != "" || *resume) && *tasks > 1 {
+		return fmt.Errorf("-checkpoint/-resume run the single-process campaign runner and cannot be combined with -tasks > 1")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	spec := symplfied.SearchSpec{
 		Unit:                unit,
 		Input:               in,
@@ -82,11 +108,12 @@ func run(args []string) error {
 		StateBudget:         *budget,
 		MaxFindings:         *findings,
 		DisableAffineSolver: *noAffine,
+		PerInjectionTimeout: *injTO,
 	}
 
 	var found []symplfied.Finding
 	if *tasks > 1 {
-		reports, sum, err := symplfied.Study(spec, symplfied.StudyConfig{
+		reports, sum, err := symplfied.StudyCtx(ctx, spec, symplfied.StudyConfig{
 			Tasks:              *tasks,
 			TaskStateBudget:    *budget,
 			MaxFindingsPerTask: *findings,
@@ -98,6 +125,12 @@ func run(args []string) error {
 		fmt.Printf("tasks: %d launched, %d completed (%d empty, %d with findings), %d incomplete\n",
 			sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
 		fmt.Printf("states explored: %d over %d injections\n", sum.TotalStates, sum.TotalInjections)
+		if sum.Interrupted > 0 {
+			fmt.Printf("interrupted: %d tasks were cut short (partial results above)\n", sum.Interrupted)
+		}
+		if sum.Panics > 0 {
+			fmt.Printf("warning: %d injections panicked and were isolated\n", sum.Panics)
+		}
 		for _, r := range reports {
 			if r.Err != nil {
 				return fmt.Errorf("task %d: %w", r.TaskID, r.Err)
@@ -105,15 +138,37 @@ func run(args []string) error {
 		}
 		found = sum.Findings
 	} else {
-		rep, err := symplfied.Search(spec)
+		rep, stats, err := symplfied.SearchResilient(ctx, spec, symplfied.RunnerConfig{
+			Checkpoint: *ckpt,
+			Resume:     *resume,
+			Retries:    *retries,
+			Workers:    *workers,
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("injections: %d (%d not activated), states explored: %d\n",
 			len(rep.Spec.Injections), rep.NotActivated, rep.TotalStates)
 		fmt.Printf("terminal outcomes: %v\n", rep.Outcomes)
+		if stats.Resumed > 0 {
+			fmt.Printf("resumed: %d injections restored from %s, %d executed\n", stats.Resumed, *ckpt, stats.Executed)
+		}
+		if stats.Retried > 0 {
+			fmt.Printf("retries: %d degraded re-runs\n", stats.Retried)
+		}
 		if rep.BudgetBlown > 0 {
 			fmt.Printf("warning: %d injections exhausted their state budget (findings are a sound subset)\n", rep.BudgetBlown)
+		}
+		if rep.Panics > 0 || rep.TimedOuts > 0 || rep.Errors > 0 {
+			fmt.Printf("warning: %d panicked, %d timed out, %d errored (isolated; verdict downgraded)\n",
+				rep.Panics, rep.TimedOuts, rep.Errors)
+		}
+		if rep.Interrupted {
+			fmt.Printf("interrupted: %d injections not attempted", stats.NotAttempted)
+			if *ckpt != "" {
+				fmt.Printf("; re-run with -resume to continue from %s", *ckpt)
+			}
+			fmt.Println()
 		}
 		found = rep.Findings
 	}

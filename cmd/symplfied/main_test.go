@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
 )
 
 func TestSequentialSearch(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-app", "factorial", "-input", "5",
 		"-class", "register", "-goal", "err-output",
 		"-watchdog", "400", "-findings", "2", "-traces", "1",
@@ -18,7 +19,7 @@ func TestSequentialSearch(t *testing.T) {
 }
 
 func TestDecomposedStudy(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-app", "factorial", "-input", "5",
 		"-class", "register", "-goal", "incorrect-output",
 		"-watchdog", "400", "-tasks", "4", "-budget", "20000",
@@ -29,7 +30,7 @@ func TestDecomposedStudy(t *testing.T) {
 }
 
 func TestDetectedGoal(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-app", "factorial-detectors", "-input", "5",
 		"-class", "register", "-goal", "detected", "-watchdog", "400",
 	})
@@ -39,7 +40,7 @@ func TestDetectedGoal(t *testing.T) {
 }
 
 func TestNoAffineAblation(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-app", "factorial", "-input", "5",
 		"-class", "register", "-goal", "err-output",
 		"-watchdog", "400", "-no-affine", "-findings", "1",
@@ -51,7 +52,7 @@ func TestNoAffineAblation(t *testing.T) {
 
 func TestGraphOutput(t *testing.T) {
 	dot := t.TempDir() + "/g.dot"
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-app", "factorial", "-input", "3",
 		"-class", "register", "-goal", "err-output",
 		"-watchdog", "200", "-findings", "1",
@@ -69,15 +70,65 @@ func TestGraphOutput(t *testing.T) {
 	}
 }
 
+func TestCheckpointedSearchAndResume(t *testing.T) {
+	journal := t.TempDir() + "/search.jsonl"
+	args := []string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "err-output",
+		"-watchdog", "400", "-findings", "2",
+		"-checkpoint", journal,
+	}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("checkpoint journal not written: %v", err)
+	}
+	// Resume against the completed journal: every injection is restored.
+	if err := run(context.Background(), append(args, "-resume")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResilienceFlags(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "err-output",
+		"-watchdog", "400", "-findings", "1",
+		"-timeout", "1m", "-per-injection-timeout", "10s", "-retries", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSearchErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-app", "factorial", "-class", "quantum"},
 		{"-app", "factorial", "-goal", "nonsense"},
 		{"-app", "bogus"},
 		{"-app", "factorial", "-input", "zz"},
+		// Checkpointing runs the single-process campaign runner.
+		{"-app", "factorial", "-checkpoint", "x.jsonl", "-tasks", "4"},
+		// Resume without a journal path.
+		{"-app", "factorial", "-resume"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+func TestCancelledSearchReportsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Pre-cancelled context: the search must still return cleanly with an
+	// interrupted (empty) report rather than an error.
+	err := run(ctx, []string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "err-output", "-watchdog", "400",
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

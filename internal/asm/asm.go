@@ -67,7 +67,11 @@ func Parse(name, src string) (*Unit, error) {
 	return &Unit{Program: prog, Detectors: p.dets}, nil
 }
 
-// MustParse is Parse for statically known-good sources; it panics on error.
+// MustParse is Parse for statically known-good sources; it panics on any
+// parse or program-construction error. Intended only for embedded sources
+// (internal/apps, tests) whose validity is enforced by tests. Code parsing
+// external files must call Parse and handle the error; campaign
+// infrastructure deliberately does not recover from this panic.
 func MustParse(name, src string) *Unit {
 	u, err := Parse(name, src)
 	if err != nil {

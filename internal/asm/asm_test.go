@@ -212,3 +212,23 @@ exit:	prints "done"
 		}
 	}
 }
+
+// TestMustParsePanicContract pins the documented contract of MustParse: a
+// valid embedded source parses without panicking, and a malformed one panics
+// with the Parse error. Campaign code never recovers this panic — it is an
+// assertion on embedded sources, not a runtime error path.
+func TestMustParsePanicContract(t *testing.T) {
+	if u := MustParse("good", "li $1 #1\nhalt\n"); u == nil || u.Program.Len() != 2 {
+		t.Fatalf("MustParse of a valid source: %v", u)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustParse of a malformed source did not panic")
+		}
+		if _, ok := r.(error); !ok {
+			t.Errorf("MustParse panicked with %T, want the Parse error", r)
+		}
+	}()
+	MustParse("bad", "frobnicate $1 $2\n")
+}

@@ -6,10 +6,22 @@
 // breadth-first, classifying every terminal state and collecting those that
 // satisfy the user predicate ("errors that evade detection and potentially
 // lead to program failure").
+//
+// The checker is hardened for long campaigns (the paper ran its searches as
+// cluster tasks with a 30-minute wall-clock allotment precisely because big
+// symbolic searches die, hang and blow memory): RunCtx and RunInjectionCtx
+// honor context cancellation and per-injection wall-clock deadlines, and a
+// recover boundary isolates a panicking injection into its report instead of
+// killing the whole campaign. See internal/campaign for the checkpointing
+// runner built on top, and internal/cluster for the decomposed parallel
+// driver.
 package checker
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"symplfied/internal/detector"
 	"symplfied/internal/faults"
@@ -22,6 +34,11 @@ import (
 // does not say otherwise. Budgets replace the paper's 30-minute wall-clock
 // task allotment so runs are deterministic.
 const DefaultStateBudget = 100_000
+
+// ctxCheckMask gates how often the breadth-first loop polls ctx.Err(): every
+// (ctxCheckMask+1) explored states. Polling is cheap but not free; 64 states
+// keeps cancellation latency far below any human-visible delay.
+const ctxCheckMask = 63
 
 // Predicate selects the final states a search is looking for, corresponding
 // to the "such that" clause of the paper's search command.
@@ -50,25 +67,59 @@ type Spec struct {
 	// StateBudget bounds explored states per injection; 0 selects
 	// DefaultStateBudget.
 	StateBudget int
+	// PerInjectionTimeout bounds the wall clock spent on a single injection,
+	// the analogue of the paper's per-task time allotment alongside the
+	// deterministic state budget. 0 means no wall-clock deadline. An expired
+	// deadline marks the injection report TimedOut (and Interrupted); results
+	// collected up to that point are a sound subset.
+	PerInjectionTimeout time.Duration
 	// Dedup enables visited-state deduplication. States are keyed on the
 	// full configuration including the step counter, so deduplication only
 	// merges genuinely identical interleavings and never masks hangs.
 	Dedup bool
-	// KeepStates retains the final state (with trace) on findings. Always
-	// on; present for future memory tuning.
-	KeepStates bool
+	// DiscardStates drops the terminal *symexec.State from findings once the
+	// finding's summary fields (Outcome, Output, Sym) are captured, bounding
+	// campaign memory: a retained state pins its memory image, constraint
+	// store and trace. Leave false to keep full states for trace printing
+	// and search-graph rendering.
+	DiscardStates bool
 }
 
-// Finding is a terminal state matching the predicate, with provenance.
+// Finding is a terminal state matching the predicate, with provenance. The
+// summary fields are captured when the finding is recorded, so a finding
+// stays self-describing after its State is discarded (Spec.DiscardStates) or
+// when it is reloaded from a campaign checkpoint journal.
 type Finding struct {
 	Injection faults.Injection
-	State     *symexec.State
+	// Outcome classifies the terminal state.
+	Outcome symexec.Outcome
+	// Output is the rendered output stream at termination.
+	Output string
+	// Sym describes the symbolic state (constraint store) at termination.
+	Sym string
+	// State is the full terminal state with its decision trace. Nil when the
+	// spec set DiscardStates or the finding came from a checkpoint journal.
+	State *symexec.State `json:"-"`
+}
+
+// newFinding captures a finding from a live terminal state.
+func newFinding(inj faults.Injection, st *symexec.State, discard bool) Finding {
+	f := Finding{
+		Injection: inj,
+		Outcome:   st.Outcome(),
+		Output:    st.OutputString(),
+		Sym:       st.Sym.Describe(),
+	}
+	if !discard {
+		f.State = st
+	}
+	return f
 }
 
 // Describe renders the finding for reports.
 func (f Finding) Describe() string {
 	return fmt.Sprintf("%s => outcome %s, output %q, symbolic state: %s",
-		f.Injection, f.State.Outcome(), f.State.OutputString(), f.State.Sym.Describe())
+		f.Injection, f.Outcome, f.Output, f.Sym)
 }
 
 // InjectionReport records the exploration of one injection.
@@ -90,6 +141,28 @@ type InjectionReport struct {
 	BudgetExhausted bool
 	// Truncated is true when a fork fan-out cap dropped successors.
 	Truncated bool
+	// Interrupted is true when the context was cancelled (or a deadline
+	// expired) before the frontier emptied; results are a sound subset.
+	Interrupted bool
+	// TimedOut refines Interrupted: the wall-clock deadline (per-injection
+	// or inherited) expired, as opposed to an explicit cancellation.
+	TimedOut bool
+	// Panicked is true when exploring this injection panicked; the panic was
+	// isolated here instead of killing the campaign. Tallies reflect the
+	// states explored before the panic.
+	Panicked bool
+	// PanicValue carries the recovered panic value when Panicked.
+	PanicValue string
+	// Error records an infrastructure failure (e.g. a malformed injection
+	// spec) when a resilient runner chose to keep going instead of aborting.
+	// Empty for clean explorations.
+	Error string
+}
+
+// Failed reports whether the injection ended abnormally (panic, deadline,
+// cancellation or infrastructure error) rather than completing its sweep.
+func (ir InjectionReport) Failed() bool {
+	return ir.Panicked || ir.Interrupted || ir.Error != ""
 }
 
 // Report aggregates a whole search.
@@ -102,6 +175,56 @@ type Report struct {
 	NotActivated  int
 	BudgetBlown   int
 	AnyTruncation bool
+	// Interrupted is true when the search was cancelled or deadlined before
+	// sweeping every injection: the report is a sound partial result.
+	Interrupted bool
+	// TimedOuts counts injections whose wall-clock deadline expired.
+	TimedOuts int
+	// Panics counts injections that panicked and were isolated.
+	Panics int
+	// Errors counts injections recorded with an infrastructure error by a
+	// resilient runner.
+	Errors int
+}
+
+// NewReport returns an empty report ready for Add.
+func NewReport(spec *Spec) *Report {
+	return &Report{
+		Spec:         spec,
+		PerInjection: make([]InjectionReport, 0, len(spec.Injections)),
+		Outcomes:     make(map[symexec.Outcome]int),
+	}
+}
+
+// Add merges one injection report into the aggregate. Exported so resilient
+// runners (internal/campaign) can rebuild a merged report from journaled
+// per-injection reports.
+func (r *Report) Add(ir InjectionReport) {
+	r.PerInjection = append(r.PerInjection, ir)
+	r.Findings = append(r.Findings, ir.Findings...)
+	r.TotalStates += ir.StatesExplored
+	for o, n := range ir.Outcomes {
+		r.Outcomes[o] += n
+	}
+	if !ir.Activated && !ir.Failed() {
+		r.NotActivated++
+	}
+	if ir.BudgetExhausted {
+		r.BudgetBlown++
+	}
+	r.AnyTruncation = r.AnyTruncation || ir.Truncated
+	if ir.Interrupted {
+		r.Interrupted = true
+	}
+	if ir.TimedOut {
+		r.TimedOuts++
+	}
+	if ir.Panicked {
+		r.Panics++
+	}
+	if ir.Error != "" {
+		r.Errors++
+	}
 }
 
 // Verdict is the framework's overall answer (paper Section 3.1, Outputs):
@@ -119,8 +242,10 @@ const (
 	// VerdictRefuted: at least one error in the class satisfies the
 	// predicate; the findings enumerate them.
 	VerdictRefuted
-	// VerdictInconclusive: nothing was found, but a state budget expired or
-	// a fork fan-out cap truncated exploration, so absence is not proof.
+	// VerdictInconclusive: nothing was found, but exploration was incomplete
+	// — a state budget expired, a fork fan-out cap truncated exploration,
+	// the search was interrupted or deadlined, or an injection panicked —
+	// so absence is not proof.
 	VerdictInconclusive
 )
 
@@ -137,59 +262,89 @@ func (v Verdict) String() string {
 	return fmt.Sprintf("verdict(%d)", int(v))
 }
 
-// Verdict classifies the report.
+// Verdict classifies the report. Any incompleteness — blown budgets,
+// truncation, interruption, deadlines, isolated panics or recorded errors —
+// downgrades an empty result to inconclusive: a partial sweep cannot prove
+// resilience.
 func (r *Report) Verdict() Verdict {
 	if len(r.Findings) > 0 {
 		return VerdictRefuted
 	}
-	if r.BudgetBlown > 0 || r.AnyTruncation {
+	if r.BudgetBlown > 0 || r.AnyTruncation || r.Interrupted ||
+		r.TimedOuts > 0 || r.Panics > 0 || r.Errors > 0 {
 		return VerdictInconclusive
 	}
 	return VerdictProven
 }
 
-// Run executes the search sequentially. See internal/cluster for the
-// decomposed parallel driver.
+// Run executes the search sequentially. See RunCtx for cancellation and
+// internal/cluster for the decomposed parallel driver.
 func Run(spec Spec) (*Report, error) {
+	return RunCtx(context.Background(), spec)
+}
+
+// RunCtx executes the search sequentially, honoring ctx: when ctx is
+// cancelled (or its deadline expires) mid-sweep, the partial report collected
+// so far is returned with Interrupted set rather than discarded.
+func RunCtx(ctx context.Context, spec Spec) (*Report, error) {
 	if spec.Program == nil {
 		return nil, fmt.Errorf("checker: nil program")
 	}
 	if spec.Predicate.Match == nil {
 		return nil, fmt.Errorf("checker: nil predicate")
 	}
-	rep := &Report{
-		Spec:         &spec,
-		PerInjection: make([]InjectionReport, 0, len(spec.Injections)),
-		Outcomes:     make(map[symexec.Outcome]int),
-	}
+	rep := NewReport(&spec)
 	for _, inj := range spec.Injections {
-		ir, err := RunInjection(spec, inj)
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
+		ir, err := RunInjectionCtx(ctx, spec, inj)
 		if err != nil {
 			return nil, fmt.Errorf("checker: %s: %w", inj, err)
 		}
-		rep.PerInjection = append(rep.PerInjection, ir)
-		rep.Findings = append(rep.Findings, ir.Findings...)
-		rep.TotalStates += ir.StatesExplored
-		for o, n := range ir.Outcomes {
-			rep.Outcomes[o] += n
-		}
-		if !ir.Activated {
-			rep.NotActivated++
-		}
-		if ir.BudgetExhausted {
-			rep.BudgetBlown++
-		}
-		rep.AnyTruncation = rep.AnyTruncation || ir.Truncated
+		rep.Add(ir)
 	}
 	return rep, nil
 }
 
 // RunInjection explores a single injection and returns its report.
 func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
-	ir := InjectionReport{
+	return RunInjectionCtx(context.Background(), spec, inj)
+}
+
+// RunInjectionCtx explores a single injection under ctx, additionally bounded
+// by spec.PerInjectionTimeout when set. It never propagates a panic from the
+// symbolic executor or the user predicate: a panic is recovered and recorded
+// on the report (Panicked/PanicValue) so one poisoned injection cannot kill
+// a campaign of thousands.
+func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (ir InjectionReport, err error) {
+	ir = InjectionReport{
 		Injection: inj,
 		Outcomes:  make(map[symexec.Outcome]int),
 	}
+	if spec.PerInjectionTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.PerInjectionTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			// Keep the tallies gathered before the panic: they are a sound
+			// subset, same as a budget- or deadline-bounded exploration.
+			ir.Panicked = true
+			ir.PanicValue = fmt.Sprint(rec)
+			err = nil
+		}
+	}()
+	err = exploreInjection(ctx, spec, inj, &ir)
+	return ir, err
+}
+
+// exploreInjection runs the concrete prefix and the breadth-first symbolic
+// exploration, mutating ir as it goes so partial tallies survive a panic or
+// an interruption.
+func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *InjectionReport) error {
 	budget := spec.StateBudget
 	if budget <= 0 {
 		budget = DefaultStateBudget
@@ -201,7 +356,7 @@ func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
 		Detectors: spec.Detectors,
 	})
 	if !m.RunUntil(inj.PC, inj.Occurrence) {
-		return ir, nil // fault never activated
+		return nil // fault never activated
 	}
 	ir.Activated = true
 
@@ -212,20 +367,32 @@ func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
 
 	initial, err := inj.Apply(st)
 	if err != nil {
-		return ir, err
+		return err
 	}
 
 	// Breadth-first exhaustive exploration. Deterministic steps run in
 	// place (StepInPlace) so only genuine forks pay for a state clone; each
 	// executed step counts one state against the budget.
+	//
+	// The frontier is a head-indexed queue: popping advances head and nils
+	// the slot so explored states are released to the GC immediately instead
+	// of being pinned by the backing array for the whole search, and the
+	// live window is compacted to the front once the dead prefix dominates.
 	frontier := initial
+	head := 0
 	var visited map[string]struct{}
 	if spec.Dedup {
 		visited = make(map[string]struct{}, 1024)
 	}
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
+	for head < len(frontier) {
+		cur := frontier[head]
+		frontier[head] = nil
+		head++
+		if head >= 1024 && head*2 >= len(frontier) {
+			n := copy(frontier, frontier[head:])
+			frontier = frontier[:n]
+			head = 0
+		}
 		if visited != nil {
 			k := cur.Key()
 			if _, seen := visited[k]; seen {
@@ -236,7 +403,14 @@ func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
 		for {
 			if ir.StatesExplored >= budget {
 				ir.BudgetExhausted = true
-				return ir, nil
+				return nil
+			}
+			if ir.StatesExplored&ctxCheckMask == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					ir.Interrupted = true
+					ir.TimedOut = errors.Is(cerr, context.DeadlineExceeded)
+					return nil
+				}
 			}
 			ir.StatesExplored++
 			ir.Truncated = ir.Truncated || cur.Truncated
@@ -246,7 +420,7 @@ func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
 				ir.Outcomes[cur.Outcome()]++
 				if spec.Predicate.Match(cur) {
 					if spec.MaxFindings == 0 || len(ir.Findings) < spec.MaxFindings {
-						ir.Findings = append(ir.Findings, Finding{Injection: inj, State: cur})
+						ir.Findings = append(ir.Findings, newFinding(inj, cur, spec.DiscardStates))
 					}
 				}
 				break
@@ -258,5 +432,5 @@ func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
 			break
 		}
 	}
-	return ir, nil
+	return nil
 }

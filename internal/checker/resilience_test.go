@@ -1,0 +1,210 @@
+package checker
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// loopProgram counts r1 from 0 up to bound and prints it. An err injected
+// into r1 makes the exit comparison fork every iteration, so the symbolic
+// exploration is large (roughly proportional to the watchdog) with terminal
+// states appearing early and throughout — the shape needed to observe
+// cancellation and deadlines mid-frontier.
+func loopProgram(t *testing.T, bound int64) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("loop")
+	b.Li(2, bound)
+	b.Li(1, 0)
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Print(1)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// loopSpec injects err into the loop counter on its first increment.
+func loopSpec(t *testing.T, bound int64, watchdog int) Spec {
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = watchdog
+	return Spec{
+		Program: loopProgram(t, bound),
+		Injections: []faults.Injection{{
+			Class: faults.ClassRegister,
+			PC:    2, // the addi
+			Loc:   isa.RegLoc(1),
+		}},
+		Exec:      exec,
+		Predicate: OutputContainsErr(),
+	}
+}
+
+// TestCancelMidFrontier proves cancelling the context while the frontier is
+// still populated stops the exploration at the next poll and returns the
+// partial tallies marked Interrupted (not TimedOut: this was an explicit
+// cancellation).
+func TestCancelMidFrontier(t *testing.T) {
+	spec := loopSpec(t, 1000, 5_000)
+	spec.StateBudget = 5_000
+
+	ref, err := RunInjection(spec, spec.Injections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Interrupted || ref.StatesExplored < 1000 {
+		t.Fatalf("reference exploration too small to observe a mid-frontier cancel: %+v", ref)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base := spec.Predicate.Match
+	spec.Predicate.Match = func(s *symexec.State) bool {
+		cancel() // fires on the first terminal state, mid-frontier
+		return base(s)
+	}
+	ir, err := RunInjectionCtx(ctx, spec, spec.Injections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Interrupted {
+		t.Fatal("cancelled exploration not marked Interrupted")
+	}
+	if ir.TimedOut {
+		t.Error("explicit cancellation misreported as a deadline expiry")
+	}
+	if ir.StatesExplored == 0 || ir.StatesExplored >= ref.StatesExplored {
+		t.Errorf("cancelled exploration explored %d states, reference %d: not a strict partial",
+			ir.StatesExplored, ref.StatesExplored)
+	}
+	if ir.Failed() != true {
+		t.Error("interrupted report must count as failed")
+	}
+
+	// At the report level the partial sweep downgrades an empty result.
+	rep := NewReport(&spec)
+	rep.Add(InjectionReport{Injection: spec.Injections[0], Activated: true,
+		Interrupted: true, Outcomes: map[symexec.Outcome]int{}})
+	if rep.Verdict() != VerdictInconclusive {
+		t.Errorf("interrupted empty report verdict = %s", rep.Verdict())
+	}
+}
+
+// TestPerInjectionDeadline proves the per-injection wall-clock bound: a huge
+// exploration under a tiny deadline stops with TimedOut (and Interrupted)
+// set, with whatever was swept retained.
+func TestPerInjectionDeadline(t *testing.T) {
+	spec := loopSpec(t, 5_000_000, 50_000_000)
+	spec.StateBudget = 50_000_000 // would take far longer than the deadline
+	spec.PerInjectionTimeout = 5 * time.Millisecond
+
+	ir, err := RunInjection(spec, spec.Injections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.TimedOut || !ir.Interrupted {
+		t.Fatalf("deadline-bounded exploration: TimedOut=%v Interrupted=%v (%d states)",
+			ir.TimedOut, ir.Interrupted, ir.StatesExplored)
+	}
+	if ir.BudgetExhausted {
+		t.Error("deadline expiry misreported as budget exhaustion")
+	}
+	if ir.StatesExplored == 0 {
+		t.Error("no states explored before the deadline")
+	}
+}
+
+// TestRunCtxPreCancelled proves a cancelled search returns an empty report
+// marked Interrupted, not an error.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunCtx(ctx, loopSpec(t, 100, 5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Error("pre-cancelled search not marked Interrupted")
+	}
+	if len(rep.PerInjection) != 0 {
+		t.Errorf("pre-cancelled search explored %d injections", len(rep.PerInjection))
+	}
+	if rep.Verdict() != VerdictInconclusive {
+		t.Errorf("verdict = %s", rep.Verdict())
+	}
+}
+
+// TestPanicIsolated proves a panic inside the exploration (here the user
+// predicate) is recovered onto the report instead of propagating, keeping
+// the tallies gathered before the panic.
+func TestPanicIsolated(t *testing.T) {
+	spec := loopSpec(t, 100, 5_000)
+	spec.Predicate.Match = func(*symexec.State) bool { panic("predicate bomb") }
+
+	ir, err := RunInjectionCtx(context.Background(), spec, spec.Injections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Panicked {
+		t.Fatal("panic was not recorded")
+	}
+	if ir.PanicValue != "predicate bomb" {
+		t.Errorf("PanicValue = %q", ir.PanicValue)
+	}
+	if ir.StatesExplored == 0 {
+		t.Error("tallies gathered before the panic were lost")
+	}
+	if !ir.Failed() {
+		t.Error("panicked report must count as failed")
+	}
+}
+
+// TestDiscardStates proves the memory-bounding knob: findings keep their
+// captured summaries (and Describe keeps working) but drop the live state.
+func TestDiscardStates(t *testing.T) {
+	spec := loopSpec(t, 20, 2_000)
+	// Every terminal is a finding: the exit paths concretize the counter, so
+	// an output-based predicate would be empty here.
+	spec.Predicate = Predicate{Name: "any terminal", Match: func(*symexec.State) bool { return true }}
+	spec.DiscardStates = true
+	spec.MaxFindings = 3
+
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings to inspect")
+	}
+	for _, f := range rep.Findings {
+		if f.State != nil {
+			t.Fatal("DiscardStates kept a live state")
+		}
+		if f.Output == "" || f.Sym == "" {
+			t.Errorf("discarded finding lost its summary: %+v", f)
+		}
+		if !strings.Contains(f.Describe(), "outcome") {
+			t.Errorf("Describe() broken without a state: %q", f.Describe())
+		}
+	}
+
+	spec.DiscardStates = false
+	rep, err = Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.State == nil {
+			t.Fatal("default spec must keep states (callers print traces from them)")
+		}
+	}
+}

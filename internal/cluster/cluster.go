@@ -5,9 +5,16 @@
 // pool), each task is capped in findings (the paper used 10) and in budget
 // (the paper used 30 minutes wall-clock; we use a deterministic state
 // budget), and the results are pooled.
+//
+// RunCtx propagates context cancellation to every worker: an interrupted
+// study returns the partial pooled results gathered so far — with the
+// affected tasks marked Interrupted — rather than nothing, mirroring how the
+// paper's cluster runs salvaged the tasks that finished inside their
+// allotment.
 package cluster
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -73,6 +80,12 @@ type TaskReport struct {
 	// budget. The paper reports completed tasks separately (85 of 150 for
 	// tcas, 202 of 312 for replace).
 	Completed bool
+	// Interrupted is true when the study's context was cancelled before or
+	// while this task ran; its tallies are a sound partial subset.
+	Interrupted bool
+	// Panics counts injections within the task that panicked and were
+	// isolated by the checker's recover boundary.
+	Panics int
 	// InjectionsDone counts injections fully explored.
 	InjectionsDone int
 	// StatesExplored counts symbolic states expanded by the task.
@@ -92,6 +105,15 @@ func (r TaskReport) FoundErrors() bool { return len(r.Findings) > 0 }
 // by task ID. The spec's Injections field is ignored; each task supplies its
 // own slice.
 func Run(spec checker.Spec, tasks []Task, cfg Config) []TaskReport {
+	return RunCtx(context.Background(), spec, tasks, cfg)
+}
+
+// RunCtx executes the tasks on a worker pool under ctx. Cancellation stops
+// dispatching new tasks and interrupts running ones at their next frontier
+// poll; every task that did not complete is returned marked Interrupted with
+// whatever partial tallies it gathered, so a killed study still pools the
+// work already done.
+func RunCtx(ctx context.Context, spec checker.Spec, tasks []Task, cfg Config) []TaskReport {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -105,6 +127,7 @@ func Run(spec checker.Spec, tasks []Task, cfg Config) []TaskReport {
 	}
 
 	reports := make([]TaskReport, len(tasks))
+	started := make([]bool, len(tasks))
 	var (
 		wg   sync.WaitGroup
 		next = make(chan int)
@@ -114,25 +137,44 @@ func Run(spec checker.Spec, tasks []Task, cfg Config) []TaskReport {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				reports[idx] = runTask(spec, tasks[idx], budget, cfg.MaxFindingsPerTask)
+				reports[idx] = runTask(ctx, spec, tasks[idx], budget, cfg.MaxFindingsPerTask)
 			}
 		}()
 	}
+dispatch:
 	for i := range tasks {
-		next <- i
+		select {
+		case next <- i:
+			started[i] = true
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	for i := range tasks {
+		if !started[i] {
+			reports[i] = TaskReport{
+				TaskID:      tasks[i].ID,
+				Interrupted: true,
+				Outcomes:    make(map[symexec.Outcome]int),
+			}
+		}
+	}
 	return reports
 }
 
-func runTask(spec checker.Spec, task Task, budget, maxFindings int) TaskReport {
+func runTask(ctx context.Context, spec checker.Spec, task Task, budget, maxFindings int) TaskReport {
 	rep := TaskReport{
 		TaskID:   task.ID,
 		Outcomes: make(map[symexec.Outcome]int),
 	}
 	remaining := budget
 	for _, inj := range task.Injections {
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			return rep
+		}
 		if remaining <= 0 {
 			return rep // budget exhausted before sweeping everything
 		}
@@ -141,7 +183,7 @@ func runTask(spec checker.Spec, task Task, budget, maxFindings int) TaskReport {
 		if maxFindings > 0 {
 			injSpec.MaxFindings = maxFindings - len(rep.Findings)
 		}
-		ir, err := checker.RunInjection(injSpec, inj)
+		ir, err := checker.RunInjectionCtx(ctx, injSpec, inj)
 		if err != nil {
 			rep.Err = err
 			return rep
@@ -152,6 +194,16 @@ func runTask(spec checker.Spec, task Task, budget, maxFindings int) TaskReport {
 			rep.Outcomes[o] += n
 		}
 		rep.Findings = append(rep.Findings, ir.Findings...)
+		if ir.Panicked {
+			// The checker isolated a panic inside this injection; count it
+			// and keep sweeping the task's remaining injections.
+			rep.Panics++
+			continue
+		}
+		if ir.Interrupted {
+			rep.Interrupted = true
+			return rep // partial tallies pooled, task marked interrupted
+		}
 		if ir.BudgetExhausted {
 			return rep // this injection alone blew the budget: incomplete
 		}
@@ -163,7 +215,7 @@ func runTask(spec checker.Spec, task Task, budget, maxFindings int) TaskReport {
 			return rep
 		}
 	}
-	rep.Completed = true
+	rep.Completed = len(task.Injections) == rep.InjectionsDone
 	return rep
 }
 
@@ -174,10 +226,15 @@ type Summary struct {
 	CompletedEmpty     int // completed without findings (benign or crash)
 	CompletedWithFinds int
 	Incomplete         int
-	TotalStates        int
-	TotalInjections    int
-	Findings           []checker.Finding
-	Outcomes           map[symexec.Outcome]int
+	// Interrupted counts tasks cut short by cancellation (a subset of
+	// Incomplete).
+	Interrupted int
+	// Panics counts isolated panicking injections across all tasks.
+	Panics          int
+	TotalStates     int
+	TotalInjections int
+	Findings        []checker.Finding
+	Outcomes        map[symexec.Outcome]int
 }
 
 // Summarize aggregates reports.
@@ -187,6 +244,7 @@ func Summarize(reports []TaskReport) Summary {
 		s.TotalStates += r.StatesExplored
 		s.TotalInjections += r.InjectionsDone
 		s.Findings = append(s.Findings, r.Findings...)
+		s.Panics += r.Panics
 		for o, n := range r.Outcomes {
 			s.Outcomes[o] += n
 		}
@@ -199,6 +257,9 @@ func Summarize(reports []TaskReport) Summary {
 			s.CompletedEmpty++
 		default:
 			s.Incomplete++
+		}
+		if r.Interrupted {
+			s.Interrupted++
 		}
 	}
 	return s

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"symplfied/internal/apps/factorial"
@@ -167,5 +169,88 @@ func TestRunDeterministic(t *testing.T) {
 	if a.TotalStates != b.TotalStates || len(a.Findings) != len(b.Findings) ||
 		a.Completed != b.Completed {
 		t.Errorf("worker count changed results: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunCtxPreCancelledMarksEveryTask proves a cancelled study returns all
+// its tasks marked Interrupted (no work silently dropped, no hang) and the
+// summary counts them.
+func TestRunCtxPreCancelledMarksEveryTask(t *testing.T) {
+	spec := factorialSpec(t)
+	injs := faults.RegisterInjections(spec.Program, true)
+	tasks := Split(injs, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reports := RunCtx(ctx, spec, tasks, Config{Workers: 2})
+	if len(reports) != len(tasks) {
+		t.Fatalf("%d reports for %d tasks", len(reports), len(tasks))
+	}
+	for _, r := range reports {
+		if !r.Interrupted {
+			t.Errorf("task %d not marked Interrupted", r.TaskID)
+		}
+		if r.Err != nil {
+			t.Errorf("task %d: cancellation surfaced as an error: %v", r.TaskID, r.Err)
+		}
+	}
+	sum := Summarize(reports)
+	if sum.Interrupted != len(tasks) {
+		t.Errorf("summary counts %d interrupted tasks, want %d", sum.Interrupted, len(tasks))
+	}
+	if sum.Completed != 0 {
+		t.Errorf("cancelled study claims %d completed tasks", sum.Completed)
+	}
+}
+
+// TestRunCtxCancelMidStudy cancels after the first finding lands: the pooled
+// summary keeps the partial work and at least one task is cut short.
+func TestRunCtxCancelMidStudy(t *testing.T) {
+	spec := factorialSpec(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base := spec.Predicate.Match
+	spec.Predicate.Match = func(s *symexec.State) bool {
+		cancel()
+		return base(s)
+	}
+	injs := faults.RegisterInjections(spec.Program, true)
+	tasks := Split(injs, 4)
+	sum := Summarize(RunCtx(ctx, spec, tasks, Config{Workers: 1}))
+	if sum.Interrupted == 0 {
+		t.Error("no task marked interrupted after a mid-study cancel")
+	}
+	if sum.TotalStates == 0 {
+		t.Error("partial work was discarded instead of pooled")
+	}
+}
+
+// TestRunIsolatesPanickingInjection proves a panic inside one injection is
+// absorbed by the checker's recover boundary: the task keeps sweeping, the
+// panic is counted, and no other task is affected.
+func TestRunIsolatesPanickingInjection(t *testing.T) {
+	spec := factorialSpec(t)
+	base := spec.Predicate.Match
+	var calls int32
+	spec.Predicate.Match = func(s *symexec.State) bool {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			panic("poisoned predicate")
+		}
+		return base(s)
+	}
+	injs := faults.RegisterInjections(spec.Program, true)
+	tasks := Split(injs, 2)
+	reports := Run(spec, tasks, Config{Workers: 1})
+	sum := Summarize(reports)
+	if sum.Panics != 1 {
+		t.Fatalf("summary counts %d panics, want 1", sum.Panics)
+	}
+	if sum.TotalInjections == 0 {
+		t.Error("panic stopped the sweep instead of being isolated")
+	}
+	for _, r := range reports {
+		if r.Err != nil {
+			t.Errorf("task %d: panic surfaced as an infrastructure error: %v", r.TaskID, r.Err)
+		}
 	}
 }

@@ -220,9 +220,13 @@ func (b *Builder) Build() (*Program, error) {
 	return NewProgram(b.name, b.instrs, b.labels)
 }
 
-// MustBuild is Build for statically known-good programs; it panics on error.
-// Intended for package-level program constructors in internal/apps whose
-// correctness is enforced by tests.
+// MustBuild is Build for statically known-good programs; it panics on error
+// (a malformed emission or an undefined label). Intended only for
+// package-level program constructors in internal/apps whose correctness is
+// enforced by tests — the panic is a compile-time-style assertion, not a
+// runtime error path. Code building programs from external input (files,
+// flags, generated faults) must call Build and handle the error; campaign
+// infrastructure deliberately does not recover from this panic.
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {

@@ -103,3 +103,31 @@ func TestExceptionRendering(t *testing.T) {
 		seen[k.String()] = true
 	}
 }
+
+// TestMustBuildPanicContract pins the documented contract of MustBuild: a
+// known-good program builds without panicking, and a program with an
+// undefined branch target panics (instead of silently producing a bad
+// program). Campaign code never recovers this panic — it is an assertion on
+// embedded programs, not a runtime error path.
+func TestMustBuildPanicContract(t *testing.T) {
+	good := NewBuilder("good")
+	good.Li(1, 1)
+	good.Halt()
+	if p := good.MustBuild(); p == nil || p.Len() != 2 {
+		t.Fatalf("MustBuild of a valid program: %v", p)
+	}
+
+	bad := NewBuilder("bad")
+	bad.Jmp("nowhere")
+	bad.Halt()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustBuild of a program with an undefined label did not panic")
+		}
+		if _, ok := r.(error); !ok {
+			t.Errorf("MustBuild panicked with %T, want the Build error", r)
+		}
+	}()
+	bad.MustBuild()
+}

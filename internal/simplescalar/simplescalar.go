@@ -13,10 +13,15 @@
 package simplescalar
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"symplfied/internal/campaign"
 	"symplfied/internal/detector"
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
@@ -65,6 +70,9 @@ const (
 	LabelCrash = "crash"
 	LabelHang  = "hang"
 	LabelOther = "other"
+	// LabelPanic buckets runs whose interpreter (or classifier) panicked;
+	// the panic is isolated per run so the campaign survives.
+	LabelPanic = "panic"
 )
 
 // SingleValueClassifier labels normal runs by their single printed value
@@ -120,6 +128,12 @@ type Report struct {
 	Counts map[string]int
 	// Examples holds one injection per label for inspection.
 	Examples map[string]Injection
+	// Interrupted is true when the campaign was cancelled before running
+	// every injection; the tallies cover the completed prefix.
+	Interrupted bool
+	// Resumed counts injections restored from a checkpoint journal instead
+	// of re-executed.
+	Resumed int
 }
 
 // Percent returns the share of label in the campaign (0..100).
@@ -184,6 +198,51 @@ func RunOne(cfg Config, inj Injection) machine.Result {
 
 // Run executes the whole campaign and tallies outcomes.
 func Run(cfg Config) (*Report, error) {
+	return RunResilient(context.Background(), cfg, Resilience{})
+}
+
+// Resilience configures the operational hardening of a concrete campaign:
+// checkpointing completed runs to a journal and resuming from one.
+type Resilience struct {
+	// Checkpoint is the journal file path; empty disables checkpointing.
+	Checkpoint string
+	// Resume skips injections the journal already records. Requires
+	// Checkpoint; a missing journal file starts the campaign fresh.
+	Resume bool
+}
+
+// journalKind tags journals written by the concrete runner, so symbolic and
+// concrete checkpoints can never be confused.
+const journalKind = "concrete"
+
+// runRecord is the journaled outcome of one concrete injection.
+type runRecord struct {
+	Label string `json:"label"`
+}
+
+// fingerprint hashes the campaign identity: program text, input, fault
+// selection policy and watchdog. Classifier labels are not hashed (functions
+// have no canonical form); resuming with a different classifier mixes label
+// vocabularies but never mixes programs or fault lists.
+func fingerprint(cfg Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "program\n%s\n", cfg.Program.String())
+	fmt.Fprintf(h, "input %v\n", cfg.Input)
+	fmt.Fprintf(h, "watchdog %d seed %d randomPerReg %d max %d\n",
+		cfg.Watchdog, cfg.Seed, cfg.RandomPerReg, cfg.MaxInjections)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// key is the journal key of a concrete injection.
+func key(inj Injection) string {
+	return fmt.Sprintf("@%d %s dst=%v val=%d", inj.Point.PC, inj.Point.Reg, inj.Point.Dst, inj.Value)
+}
+
+// RunResilient executes the campaign under ctx with checkpoint/resume
+// support. Cancellation returns the partial tallies with Interrupted set; a
+// run that panics is isolated into the LabelPanic bucket instead of killing
+// the campaign.
+func RunResilient(ctx context.Context, cfg Config, res Resilience) (*Report, error) {
 	if cfg.Program == nil {
 		return nil, fmt.Errorf("simplescalar: nil program")
 	}
@@ -191,19 +250,73 @@ func Run(cfg Config) (*Report, error) {
 	if classify == nil {
 		return nil, fmt.Errorf("simplescalar: nil classifier")
 	}
+	if res.Resume && res.Checkpoint == "" {
+		return nil, fmt.Errorf("simplescalar: Resume requires a Checkpoint path")
+	}
 	injs := Enumerate(cfg)
+	fp := fingerprint(cfg)
+
+	journaled := map[string]json.RawMessage{}
+	if res.Resume {
+		var err error
+		journaled, err = campaign.LoadJournal(res.Checkpoint, journalKind, fp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var journal *campaign.Journal
+	if res.Checkpoint != "" {
+		var err error
+		journal, err = campaign.OpenJournal(res.Checkpoint, journalKind, fp)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
 	rep := &Report{
 		Counts:   make(map[string]int),
 		Examples: make(map[string]Injection),
 	}
-	for _, inj := range injs {
-		res := RunOne(cfg, inj)
-		label := classify(res)
+	tally := func(inj Injection, label string) {
 		rep.Counts[label]++
 		rep.Total++
 		if _, seen := rep.Examples[label]; !seen {
 			rep.Examples[label] = inj
 		}
 	}
+	for _, inj := range injs {
+		k := key(inj)
+		if raw, ok := journaled[k]; ok {
+			var rec runRecord
+			if err := json.Unmarshal(raw, &rec); err == nil {
+				tally(inj, rec.Label)
+				rep.Resumed++
+				continue
+			}
+		}
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
+		label := runOneIsolated(cfg, inj, classify)
+		tally(inj, label)
+		if journal != nil {
+			if err := journal.Append(k, runRecord{Label: label}); err != nil {
+				return rep, err
+			}
+		}
+	}
 	return rep, nil
+}
+
+// runOneIsolated executes one injection with a recover boundary, so a
+// panicking interpreter run is one bad bucket entry, not a dead campaign.
+func runOneIsolated(cfg Config, inj Injection, classify Classifier) (label string) {
+	defer func() {
+		if r := recover(); r != nil {
+			label = LabelPanic
+		}
+	}()
+	return classify(RunOne(cfg, inj))
 }

@@ -1,0 +1,48 @@
+package symexec
+
+// degradedInitialCap is the fork fan-out cap introduced on the first
+// degraded retry when the options had none. It is generous enough to keep
+// most searches exact while bounding the pathological fan-outs (a control
+// transfer through err forks once per code location) that make an injection
+// blow its wall-clock allotment.
+const degradedInitialCap = 64
+
+// Degraded returns a copy of the options tightened for a graceful-degradation
+// retry (attempt is 1-based; attempt <= 0 returns the options unchanged).
+// Campaign runners re-run an injection that panicked or exceeded its deadline
+// with Degraded options and a reduced state budget, trading precision for
+// the chance of completing at all:
+//
+//   - Fork fan-out caps (MaxControlTargets, MaxMemTargets) are introduced if
+//     absent and halved per attempt. Truncated fan-out is flagged on the
+//     state, so reports still refuse to claim proof (VerdictInconclusive).
+//   - From the second attempt on, SymbolicMem replaces the enumeration of
+//     loads through erroneous pointers with a fresh err — the sound
+//     over-approximation documented on Options.
+//
+// The Watchdog is deliberately preserved: shrinking it would reclassify slow
+// paths as hangs and corrupt the outcome tallies rather than degrade them.
+func (o Options) Degraded(attempt int) Options {
+	if attempt <= 0 {
+		return o
+	}
+	o.MaxControlTargets = degradeCap(o.MaxControlTargets, attempt)
+	o.MaxMemTargets = degradeCap(o.MaxMemTargets, attempt)
+	if attempt >= 2 {
+		o.SymbolicMem = true
+	}
+	return o
+}
+
+// degradeCap introduces a cap when cur is 0 (unlimited) and halves it per
+// attempt, bottoming out at 1.
+func degradeCap(cur, attempt int) int {
+	if cur <= 0 {
+		cur = degradedInitialCap
+	}
+	cur >>= attempt - 1
+	if cur < 1 {
+		cur = 1
+	}
+	return cur
+}

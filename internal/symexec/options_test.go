@@ -1,0 +1,42 @@
+package symexec
+
+import "testing"
+
+func TestDegradedIntroducesAndHalvesCaps(t *testing.T) {
+	o := DefaultOptions() // no caps, SymbolicMem off
+
+	d1 := o.Degraded(1)
+	if d1.MaxControlTargets != degradedInitialCap || d1.MaxMemTargets != degradedInitialCap {
+		t.Errorf("attempt 1: caps = %d/%d, want %d", d1.MaxControlTargets, d1.MaxMemTargets, degradedInitialCap)
+	}
+	if d1.SymbolicMem {
+		t.Error("attempt 1 must not switch to symbolic memory yet")
+	}
+	if d1.Watchdog != o.Watchdog {
+		t.Errorf("degradation must preserve the watchdog (got %d, want %d)", d1.Watchdog, o.Watchdog)
+	}
+
+	d2 := o.Degraded(2)
+	if d2.MaxControlTargets != degradedInitialCap/2 {
+		t.Errorf("attempt 2: cap = %d, want %d", d2.MaxControlTargets, degradedInitialCap/2)
+	}
+	if !d2.SymbolicMem {
+		t.Error("attempt 2 must enable the symbolic-memory over-approximation")
+	}
+
+	// Existing caps are halved, never raised, and bottom out at 1.
+	o.MaxControlTargets = 4
+	if got := o.Degraded(1).MaxControlTargets; got != 4 {
+		t.Errorf("attempt 1 with cap 4: got %d, want 4", got)
+	}
+	if got := o.Degraded(10).MaxControlTargets; got != 1 {
+		t.Errorf("deep degradation must bottom out at 1, got %d", got)
+	}
+}
+
+func TestDegradedZeroAttemptIsIdentity(t *testing.T) {
+	o := DefaultOptions()
+	if o.Degraded(0) != o {
+		t.Error("Degraded(0) must return the options unchanged")
+	}
+}

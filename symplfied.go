@@ -28,9 +28,12 @@
 package symplfied
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"symplfied/internal/asm"
+	"symplfied/internal/campaign"
 	"symplfied/internal/checker"
 	"symplfied/internal/cluster"
 	"symplfied/internal/detector"
@@ -201,6 +204,16 @@ type SearchSpec struct {
 	// Permanent turns every register/memory injection into a stuck-at
 	// fault (the paper's future-work extension: permanent errors).
 	Permanent bool
+	// PerInjectionTimeout bounds the wall clock spent on any single
+	// injection, the analogue of the paper's per-task cluster allotment
+	// alongside the deterministic state budget (0: none). An expired
+	// deadline marks that injection's report TimedOut and downgrades an
+	// otherwise-empty verdict to inconclusive.
+	PerInjectionTimeout time.Duration
+	// DiscardStates drops terminal symbolic states from findings once their
+	// summaries are captured, bounding memory on huge campaigns. Findings
+	// then have State == nil; Describe still works.
+	DiscardStates bool
 }
 
 func (s SearchSpec) build() (checker.Spec, error) {
@@ -225,6 +238,8 @@ func (s SearchSpec) build() (checker.Spec, error) {
 	}
 	spec.StateBudget = s.StateBudget
 	spec.MaxFindings = s.MaxFindings
+	spec.PerInjectionTimeout = s.PerInjectionTimeout
+	spec.DiscardStates = s.DiscardStates
 	return spec, nil
 }
 
@@ -232,11 +247,41 @@ func (s SearchSpec) build() (checker.Spec, error) {
 // checker report: every enumerated error in the class that satisfies the
 // goal, with decision traces and derived constraints.
 func Search(s SearchSpec) (*Report, error) {
+	return SearchCtx(context.Background(), s)
+}
+
+// SearchCtx is Search under a context: cancellation (or an expired deadline)
+// returns the partial report gathered so far, marked Interrupted, instead of
+// discarding completed work.
+func SearchCtx(ctx context.Context, s SearchSpec) (*Report, error) {
 	spec, err := s.build()
 	if err != nil {
 		return nil, err
 	}
-	return checker.Run(spec)
+	return checker.RunCtx(ctx, spec)
+}
+
+// RunnerConfig configures the resilient campaign runner (SearchResilient):
+// checkpoint journaling, resume, transient-failure retries with graceful
+// degradation, and worker-pool parallelism.
+type RunnerConfig = campaign.Config
+
+// RunnerStats reports what the resilient runner did: injections resumed from
+// the journal vs executed, retries, isolated panics, deadline expiries.
+type RunnerStats = campaign.Stats
+
+// SearchResilient runs a symbolic search through the checkpointing campaign
+// runner: completed injections are journaled as they finish, a killed run
+// resumes from the journal (skipping already-explored injections after a
+// spec-fingerprint check), injections that panic or exceed the per-injection
+// deadline are retried with reduced budgets, and the merged report equals an
+// uninterrupted run's. See internal/campaign.
+func SearchResilient(ctx context.Context, s SearchSpec, cfg RunnerConfig) (*Report, RunnerStats, error) {
+	spec, err := s.build()
+	if err != nil {
+		return nil, RunnerStats{}, err
+	}
+	return campaign.Run(ctx, spec, cfg)
 }
 
 // StudyConfig configures a decomposed (cluster-style) search, the paper's
@@ -257,12 +302,19 @@ type StudyConfig struct {
 // Study runs a symbolic search decomposed into independent tasks over a
 // worker pool and returns the per-task reports plus their pooled summary.
 func Study(s SearchSpec, cfg StudyConfig) ([]TaskReport, StudySummary, error) {
+	return StudyCtx(context.Background(), s, cfg)
+}
+
+// StudyCtx is Study under a context. Cancellation propagates to every
+// worker; the pooled summary covers the partial results, with cut-short
+// tasks marked Interrupted, rather than returning nothing.
+func StudyCtx(ctx context.Context, s SearchSpec, cfg StudyConfig) ([]TaskReport, StudySummary, error) {
 	spec, err := s.build()
 	if err != nil {
 		return nil, StudySummary{}, err
 	}
 	tasks := cluster.Split(spec.Injections, cfg.Tasks)
-	reports := cluster.Run(spec, tasks, cluster.Config{
+	reports := cluster.RunCtx(ctx, spec, tasks, cluster.Config{
 		Workers:            cfg.Workers,
 		TaskStateBudget:    cfg.TaskStateBudget,
 		MaxFindingsPerTask: cfg.MaxFindingsPerTask,
@@ -324,10 +376,21 @@ type CampaignSpec struct {
 // Campaign runs the concrete baseline campaign and tallies outcomes into
 // Table 2's buckets.
 func Campaign(c CampaignSpec) (*CampaignReport, error) {
+	return CampaignCtx(context.Background(), c, CampaignResilience{})
+}
+
+// CampaignResilience configures checkpoint/resume for a concrete campaign.
+type CampaignResilience = simplescalar.Resilience
+
+// CampaignCtx runs the concrete baseline campaign under a context with
+// optional checkpointing: completed injections are journaled as they finish
+// and a killed campaign resumes from the journal. Cancellation returns the
+// partial tallies marked Interrupted.
+func CampaignCtx(ctx context.Context, c CampaignSpec, r CampaignResilience) (*CampaignReport, error) {
 	if c.Unit == nil || c.Unit.Program == nil {
 		return nil, fmt.Errorf("symplfied: CampaignSpec.Unit is required")
 	}
-	return simplescalar.Run(simplescalar.Config{
+	return simplescalar.RunResilient(ctx, simplescalar.Config{
 		Program:       c.Unit.Program,
 		Input:         c.Input,
 		Detectors:     c.Unit.Detectors,
@@ -336,5 +399,5 @@ func Campaign(c CampaignSpec) (*CampaignReport, error) {
 		Seed:          c.Seed,
 		RandomPerReg:  c.RandomPerReg,
 		MaxInjections: c.Faults,
-	})
+	}, r)
 }
