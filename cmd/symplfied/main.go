@@ -12,6 +12,16 @@
 // With -tasks > 1 the search is decomposed cluster-style (paper Section 6.1)
 // over a worker pool; otherwise it runs sequentially.
 //
+// With -serve the process becomes a distributed campaign coordinator
+// instead of running the search itself: it partitions the injection space
+// into -tasks tasks and serves them over HTTP to symworker processes (the
+// paper's 150-node cluster harness, networked). -checkpoint/-resume then
+// journal completed tasks so a killed coordinator restarts without
+// re-running finished work:
+//
+//	symplfied -serve :8080 -app tcas -class register -goal wrong-advisory -tasks 150 -checkpoint tasks.jsonl
+//	symworker -coordinator http://host:8080   (on each worker machine)
+//
 // Long campaigns can be hardened operationally: -timeout bounds the whole
 // run, -per-injection-timeout bounds each injection, -checkpoint journals
 // completed injections to a JSON-lines file, -resume skips journaled ones,
@@ -24,12 +34,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"symplfied"
 	"symplfied/internal/cli"
+	"symplfied/internal/dist"
 	"symplfied/internal/query"
 )
 
@@ -62,24 +76,57 @@ func run(ctx context.Context, args []string) error {
 		graphMax  = fs.Int("graph-nodes", 0, "node cap for -graph (0: default)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock bound for the whole search (0: none)")
 		injTO     = fs.Duration("per-injection-timeout", 0, "wall-clock bound per injection (0: none)")
-		ckpt      = fs.String("checkpoint", "", "journal completed injections to this JSON-lines file")
-		resume    = fs.Bool("resume", false, "skip injections already recorded in -checkpoint")
+		ckpt      = fs.String("checkpoint", "", "journal completed injections (or, with -serve, completed tasks) to this JSON-lines file")
+		resume    = fs.Bool("resume", false, "skip injections/tasks already recorded in -checkpoint")
 		retries   = fs.Int("retries", 0, "retry transiently failed injections up to N times with degraded budgets")
+		serve     = fs.String("serve", "", "serve the campaign to symworker processes on this address (e.g. :8080) instead of searching locally")
+		lease     = fs.Duration("lease", 0, "task lease duration for -serve; a worker silent this long loses its task (0: 30s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	unit, err := cli.LoadUnit(*file, *app, *isMIPS)
-	if err != nil {
-		return err
-	}
 	in, err := cli.ParseInput(*input)
 	if err != nil {
 		return err
 	}
 	if in == nil {
 		in = cli.DefaultInput(*app)
+	}
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *serve != "" {
+		doc := dist.SpecDoc{
+			Name:                *app,
+			App:                 *app,
+			Input:               in,
+			Class:               *className,
+			Goal:                *goalName,
+			Watchdog:            *watchdog,
+			Tasks:               *tasks,
+			TaskStateBudget:     *budget,
+			MaxFindingsPerTask:  *findings,
+			PerInjectionTimeout: *injTO,
+			DisableAffineSolver: *noAffine,
+		}
+		if *file != "" {
+			src, err := os.ReadFile(*file)
+			if err != nil {
+				return err
+			}
+			doc.Name, doc.Source, doc.MIPS = *file, string(src), *isMIPS
+		}
+		return serveCampaign(ctx, *serve, doc, *lease, *ckpt, *resume, *traces)
+	}
+
+	unit, err := cli.LoadUnit(*file, *app, *isMIPS)
+	if err != nil {
+		return err
 	}
 	class, ok := query.ClassByName(*className)
 	if !ok {
@@ -92,11 +139,6 @@ func run(ctx context.Context, args []string) error {
 
 	if (*ckpt != "" || *resume) && *tasks > 1 {
 		return fmt.Errorf("-checkpoint/-resume run the single-process campaign runner and cannot be combined with -tasks > 1")
-	}
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
 	}
 
 	spec := symplfied.SearchSpec{
@@ -174,15 +216,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	fmt.Printf("findings (%s, goal %s): %d\n", class, goal, len(found))
-	for i, f := range found {
-		fmt.Printf("  [%d] %s\n", i+1, f.Describe())
-		if i < *traces {
-			fmt.Println("      trace:")
-			for _, e := range f.State.Trace.Events() {
-				fmt.Printf("        %s\n", e)
-			}
-		}
-	}
+	printFindings(found, *traces)
 
 	if *graphOut != "" && len(found) > 0 {
 		g, err := symplfied.ExploreSearchGraph(spec, found[0].Injection, *graphMax)
@@ -195,5 +229,109 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("search graph (%d states, truncated=%v) written to %s\n",
 			len(g.Nodes), g.Truncated, *graphOut)
 	}
+	return nil
+}
+
+// printFindings lists findings, with decision traces for the first n.
+func printFindings(found []symplfied.Finding, n int) {
+	for i, f := range found {
+		fmt.Printf("  [%d] %s\n", i+1, f.Describe())
+		if i < n {
+			fmt.Println("      trace:")
+			for _, e := range f.TraceEvents() {
+				fmt.Printf("        %s\n", e)
+			}
+		}
+	}
+}
+
+// serveCampaign runs the distributed-campaign coordinator: it partitions the
+// injection space, serves tasks to symworker processes over HTTP, and prints
+// the merged report once every task settles. SIGINT shuts the server down
+// gracefully; with -checkpoint the settled tasks are journaled so a restart
+// with -resume re-serves only the unfinished ones.
+func serveCampaign(ctx context.Context, addr string, doc dist.SpecDoc, lease time.Duration,
+	ckpt string, resume bool, traces int) error {
+
+	// Bind before building the coordinator: restoring a large task journal
+	// can take a while, and workers started in that window should queue in
+	// the accept backlog rather than get connection-refused.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Doc:        doc,
+		Lease:      lease,
+		Checkpoint: ckpt,
+		Resume:     resume,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer coord.Close()
+	srv := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	st := coord.Status()
+	fmt.Printf("coordinator on %s: %d tasks (%d already settled), lease %s\n",
+		ln.Addr(), st.Total, st.Done, coord.SpecResponse().Lease)
+	fmt.Printf("point workers here: symworker -coordinator http://%s\n", ln.Addr())
+
+	interrupted := false
+	select {
+	case <-coord.Done():
+		// Drain window: workers whose next claim raced the final completion
+		// must hear Done (and exit cleanly) before the listener goes away.
+		select {
+		case <-time.After(2 * time.Second):
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+		interrupted = true
+	case err := <-serveErr:
+		return err
+	}
+
+	// A completed campaign may still have a straggler mid-upload of a
+	// duplicate result (large completion posts take minutes). Shutdown
+	// waits for in-flight requests and returns as soon as the last one
+	// finishes, so the generous deadline costs nothing in the common case;
+	// deriving it from ctx lets an interrupt cut the wait short. An
+	// interrupted run shuts down fast — its workers are being interrupted
+	// too and abandon their tasks.
+	parent := ctx
+	grace := 10 * time.Minute
+	if interrupted {
+		parent = context.Background()
+		grace = 5 * time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(parent, grace)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	if err := coord.Close(); err != nil {
+		return err
+	}
+
+	merged := coord.Report()
+	sum := merged.Summary
+	fmt.Printf("tasks: %d launched, %d completed (%d empty, %d with findings), %d incomplete\n",
+		sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
+	fmt.Printf("states explored: %d over %d injections\n", sum.TotalStates, sum.TotalInjections)
+	if sum.Panics > 0 {
+		fmt.Printf("warning: %d injections panicked and were isolated\n", sum.Panics)
+	}
+	if interrupted && !merged.Complete {
+		st := coord.Status()
+		fmt.Printf("interrupted: %d tasks unfinished", st.Queued+st.Leased)
+		if ckpt != "" {
+			fmt.Printf("; re-run with -resume to serve only those from %s", ckpt)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("findings (%s, goal %s): %d\n", doc.Class, doc.Goal, len(sum.Findings))
+	printFindings(sum.Findings, traces)
 	return nil
 }

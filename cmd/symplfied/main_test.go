@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSequentialSearch(t *testing.T) {
@@ -116,6 +117,46 @@ func TestSearchErrors(t *testing.T) {
 		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	for _, args := range [][]string{
+		// Spec document errors surface before the server starts.
+		{"-serve", "127.0.0.1:0", "-app", "factorial", "-class", "quantum"},
+		{"-serve", "127.0.0.1:0", "-app", "bogus"},
+		{"-serve", "127.0.0.1:0", "-app", "factorial", "-resume"},
+		// Unusable listen address.
+		{"-serve", "256.256.256.256:99999", "-app", "factorial"},
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestServeShutsDownOnSignal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-serve", "127.0.0.1:0",
+			"-app", "factorial", "-input", "5",
+			"-class", "register", "-goal", "incorrect-output",
+			"-watchdog", "400", "-tasks", "4",
+		})
+	}()
+	time.Sleep(200 * time.Millisecond) // let the listener come up
+	cancel()                           // stands in for SIGINT via signal.NotifyContext
+	select {
+	case err := <-done:
+		// No workers joined: the interrupted coordinator must still exit
+		// cleanly with a partial (all-incomplete) merged report.
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not shut down on cancellation")
 	}
 }
 

@@ -1,0 +1,77 @@
+// Command symworker is a pull-based campaign worker: it joins a coordinator
+// started with `symplfied -serve`, claims injection tasks under renewable
+// leases, sweeps them symbolically, and posts the per-injection reports back.
+// Any number of workers can join and leave; a worker killed mid-task simply
+// stops heartbeating and its task is re-served elsewhere.
+//
+// Usage:
+//
+//	symworker -coordinator http://host:8080
+//	symworker -coordinator http://host:8080 -id node42 -poll 2s
+//
+// SIGINT abandons the current sweep (its lease lapses and the coordinator
+// re-serves it) and exits cleanly with the stats so far.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"symplfied/internal/dist"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "symworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("symworker", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (required), e.g. http://host:8080")
+		id          = fs.String("id", "", "worker name in leases and fleet status (default: host-pid)")
+		poll        = fs.Duration("poll", 0, "wait between claims when every remaining task is leased (0: 500ms)")
+		quiet       = fs.Bool("quiet", false, "suppress per-task progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordinator == "" {
+		return fmt.Errorf("-coordinator is required (where is `symplfied -serve` running?)")
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	var onTask func(event string, task int)
+	if !*quiet {
+		onTask = func(event string, task int) {
+			fmt.Printf("task %d: %s\n", task, event)
+		}
+	}
+	stats, err := dist.RunWorker(ctx, dist.WorkerConfig{
+		Coordinator: strings.TrimRight(*coordinator, "/"),
+		ID:          *id,
+		Poll:        *poll,
+		OnTask:      onTask,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %s: %d claimed, %d completed, %d duplicate, %d abandoned\n",
+		*id, stats.Claimed, stats.Completed, stats.Duplicates, stats.Abandoned)
+	return nil
+}

@@ -129,8 +129,8 @@ func readHeader(path string) (Header, error) {
 	return h, nil
 }
 
-// maxJournalLine bounds a single journal line (reports with many findings
-// can get long).
+// maxJournalLine bounds the header line only; entry lines are read without a
+// cap (a distributed task's pooled result can run to gigabytes).
 const maxJournalLine = 16 << 20
 
 // Append journals one record under key and flushes it to the file. The write
@@ -180,16 +180,18 @@ func LoadJournal(path, kind, fingerprint string) (map[string]json.RawMessage, er
 	}
 	defer f.Close()
 
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), maxJournalLine)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("campaign: journal %s: %w", path, err)
+	// Entry lines are unbounded (a distributed task's pooled result can run
+	// to gigabytes), so read with ReadBytes rather than a capped Scanner.
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdrLine, rerr := r.ReadBytes('\n')
+	if len(bytes.TrimSpace(hdrLine)) == 0 {
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return nil, fmt.Errorf("campaign: journal %s: %w", path, rerr)
 		}
 		return nil, fmt.Errorf("campaign: journal %s: empty or unreadable header", path)
 	}
 	var h Header
-	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+	if err := json.Unmarshal(hdrLine, &h); err != nil {
 		return nil, fmt.Errorf("campaign: journal %s: bad header: %w", path, err)
 	}
 	if err := h.check(kind, fingerprint); err != nil {
@@ -197,29 +199,29 @@ func LoadJournal(path, kind, fingerprint string) (map[string]json.RawMessage, er
 	}
 
 	entries := make(map[string]json.RawMessage)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, rerr := r.ReadBytes('\n')
+		atEOF := errors.Is(rerr, io.EOF)
+		if rerr != nil && !atEOF {
+			return nil, fmt.Errorf("campaign: journal %s: %w", path, rerr)
 		}
-		var e entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			// A torn trailing line from a killed run is expected; anything
-			// torn mid-file means corruption worth surfacing.
-			if moreLines(sc) {
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			// Appends are whole '\n'-terminated lines, so an unterminated
+			// final line is the expected torn tail of a killed run and is
+			// skipped; a terminated line that fails to decode is corruption.
+			torn := atEOF && (len(line) == 0 || line[len(line)-1] != '\n')
+			var e entry
+			if err := json.Unmarshal(trimmed, &e); err != nil {
+				if torn {
+					break
+				}
 				return nil, fmt.Errorf("campaign: journal %s: corrupt entry: %w", path, err)
 			}
+			entries[e.Key] = e.Data
+		}
+		if atEOF {
 			break
 		}
-		entries[e.Key] = e.Data
-	}
-	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
-		return nil, fmt.Errorf("campaign: journal %s: %w", path, err)
 	}
 	return entries, nil
-}
-
-// moreLines reports whether the scanner has at least one more line.
-func moreLines(sc *bufio.Scanner) bool {
-	return sc.Scan()
 }

@@ -28,6 +28,7 @@ import (
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
 	"symplfied/internal/symexec"
+	"symplfied/internal/trace"
 )
 
 // DefaultStateBudget bounds the states explored per injection when the spec
@@ -97,6 +98,11 @@ type Finding struct {
 	Output string
 	// Sym describes the symbolic state (constraint store) at termination.
 	Sym string
+	// Trace is the decision trace of the terminal state, captured when the
+	// finding is recorded so it survives JSON transport (checkpoint journals,
+	// the distributed wire protocol) where the live State cannot travel. The
+	// paper calls this trace what makes findings actionable (Section 5.4).
+	Trace []trace.Event `json:",omitempty"`
 	// State is the full terminal state with its decision trace. Nil when the
 	// spec set DiscardStates or the finding came from a checkpoint journal.
 	State *symexec.State `json:"-"`
@@ -109,11 +115,25 @@ func newFinding(inj faults.Injection, st *symexec.State, discard bool) Finding {
 		Outcome:   st.Outcome(),
 		Output:    st.OutputString(),
 		Sym:       st.Sym.Describe(),
+		Trace:     st.Trace.Events(),
 	}
 	if !discard {
 		f.State = st
 	}
 	return f
+}
+
+// TraceEvents returns the finding's decision trace: the serialized capture
+// when present, falling back to the live state's trace for findings recorded
+// before traces were captured (old checkpoint journals).
+func (f Finding) TraceEvents() []trace.Event {
+	if len(f.Trace) > 0 {
+		return f.Trace
+	}
+	if f.State != nil {
+		return f.State.Trace.Events()
+	}
+	return nil
 }
 
 // Describe renders the finding for reports.

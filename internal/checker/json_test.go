@@ -1,0 +1,103 @@
+package checker
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// stripStates nils the live terminal states, which are deliberately excluded
+// from serialization (`json:"-"`); everything else must survive.
+func stripStates(ir InjectionReport) InjectionReport {
+	out := ir
+	out.Findings = append([]Finding(nil), ir.Findings...)
+	for i := range out.Findings {
+		out.Findings[i].State = nil
+	}
+	return out
+}
+
+// TestInjectionReportJSONRoundTrip proves the wire protocol's core
+// assumption: an InjectionReport — injection identity, outcome tallies,
+// findings with their decision traces — round-trips through encoding/json
+// without loss (modulo the live State, which is excluded by design and whose
+// information content is captured in the summary fields and Trace).
+func TestInjectionReportJSONRoundTrip(t *testing.T) {
+	prog := factorial.Plain()
+	subiPC, ok := factorial.SubiPC(prog)
+	if !ok {
+		t.Fatal("no subi in factorial program")
+	}
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 400
+	spec := Spec{
+		Program:   prog,
+		Input:     []int64{5},
+		Exec:      exec,
+		Predicate: OutcomeIs(symexec.OutcomeNormal),
+	}
+	inj := faults.Injection{Class: faults.ClassRegister, PC: subiPC, Occurrence: 2, Loc: isa.RegLoc(3)}
+	ir, err := RunInjection(spec, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.Findings) == 0 || len(ir.Outcomes) == 0 {
+		t.Fatalf("exploration produced no material to round-trip: %+v", ir)
+	}
+	for _, f := range ir.Findings {
+		if len(f.Trace) == 0 {
+			t.Fatalf("finding recorded without a captured trace: %+v", f)
+		}
+	}
+
+	data, err := json.Marshal(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got InjectionReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := stripStates(ir); !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip lost information:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Outcome map keys travel by name, not by constant ordinal, so the wire
+	// format survives reordering of the Outcome constants.
+	if !strings.Contains(string(data), `"normal"`) {
+		t.Errorf("outcome keys not named on the wire: %s", data)
+	}
+
+	// A finding reloaded from JSON has no live state but keeps its trace.
+	if len(got.Findings) > 0 {
+		f := got.Findings[0]
+		if f.State != nil {
+			t.Error("live state travelled through JSON")
+		}
+		if len(f.TraceEvents()) == 0 {
+			t.Error("reloaded finding lost its decision trace")
+		}
+	}
+}
+
+// TestOutcomeTextCompat: journals written before outcomes were named used
+// bare integer keys; they must still decode.
+func TestOutcomeTextCompat(t *testing.T) {
+	var m map[symexec.Outcome]int
+	if err := json.Unmarshal([]byte(`{"2": 3, "normal": 1}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m[symexec.OutcomeCrash] != 3 || m[symexec.OutcomeNormal] != 1 {
+		t.Errorf("legacy outcome keys decoded wrong: %v", m)
+	}
+	var o symexec.Outcome
+	if err := o.UnmarshalText([]byte("gibberish")); err == nil {
+		t.Error("unknown outcome name accepted")
+	}
+}

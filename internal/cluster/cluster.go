@@ -30,10 +30,16 @@ type Task struct {
 	Injections []faults.Injection
 }
 
-// Split partitions injections into at most n tasks sweeping contiguous code
-// sections (injections are ordered by breakpoint PC first). Every returned
-// task is non-empty; fewer than n tasks are returned when there are fewer
-// injections.
+// Split partitions injections into at most n tasks balanced two ways: by
+// injection count (task sizes differ by at most one) and by code position —
+// injections are ordered by breakpoint PC and dealt round-robin, so every
+// task sweeps an interleaved sample of the whole program instead of one
+// contiguous section. Contiguous slicing hands one task all the late-program
+// breakpoints, whose injections are the expensive ones (a long concrete
+// prefix before every symbolic exploration), and that task straggles the
+// study; interleaving spreads the cost. Each task's injections remain
+// PC-ordered. Every returned task is non-empty; fewer than n tasks are
+// returned when there are fewer injections.
 func Split(injections []faults.Injection, n int) []Task {
 	if n <= 0 {
 		n = 1
@@ -47,12 +53,14 @@ func Split(injections []faults.Injection, n int) []Task {
 	}
 	tasks := make([]Task, 0, n)
 	for i := 0; i < n; i++ {
-		lo := i * len(ordered) / n
-		hi := (i + 1) * len(ordered) / n
-		if lo == hi {
+		var part []faults.Injection
+		for j := i; j < len(ordered); j += n {
+			part = append(part, ordered[j])
+		}
+		if len(part) == 0 {
 			continue
 		}
-		tasks = append(tasks, Task{ID: len(tasks), Injections: ordered[lo:hi]})
+		tasks = append(tasks, Task{ID: len(tasks), Injections: part})
 	}
 	return tasks
 }
@@ -94,8 +102,12 @@ type TaskReport struct {
 	Findings []checker.Finding
 	// Outcomes tallies terminal states by outcome over the whole task.
 	Outcomes map[symexec.Outcome]int
-	// Err reports an infrastructure failure (not a program failure).
-	Err error
+	// Err reports an infrastructure failure (not a program failure). Errors
+	// do not survive JSON transport; Failure carries the text.
+	Err error `json:"-"`
+	// Failure mirrors Err as text so task reports round-trip through the
+	// distributed wire protocol and checkpoint journals.
+	Failure string `json:",omitempty"`
 }
 
 // FoundErrors reports whether the task found any predicate match.
@@ -165,38 +177,95 @@ dispatch:
 }
 
 func runTask(ctx context.Context, spec checker.Spec, task Task, budget, maxFindings int) TaskReport {
-	rep := TaskReport{
-		TaskID:   task.ID,
-		Outcomes: make(map[symexec.Outcome]int),
+	rep, _ := RunTaskCtx(ctx, spec, task, budget, maxFindings)
+	return rep
+}
+
+// RunTaskCtx executes one task: each injection is explored through
+// checker.RunInjectionCtx under the task's shared state budget and finding
+// cap, with the checker's per-injection timeout and panic isolation intact.
+// It returns the task report together with the per-injection reports the
+// sweep produced, in execution order — the serializable task result the
+// distributed harness (internal/dist) ships from worker to coordinator. The
+// report always satisfies rep == PoolReports(task, irs, maxFindings) plus the
+// entry-interruption and infrastructure-error marks only the executing side
+// can observe, so pooling the shipped reports remotely reconstructs the
+// identical TaskReport.
+func RunTaskCtx(ctx context.Context, spec checker.Spec, task Task, budget, maxFindings int) (TaskReport, []checker.InjectionReport) {
+	if budget <= 0 {
+		budget = DefaultTaskStateBudget
 	}
-	remaining := budget
+	var (
+		irs         []checker.InjectionReport
+		remaining   = budget
+		findings    = 0
+		interrupted = false
+		taskErr     error
+	)
 	for _, inj := range task.Injections {
 		if ctx.Err() != nil {
-			rep.Interrupted = true
-			return rep
+			interrupted = true
+			break
 		}
 		if remaining <= 0 {
-			return rep // budget exhausted before sweeping everything
+			break // budget exhausted before sweeping everything
 		}
 		injSpec := spec
 		injSpec.StateBudget = remaining
 		if maxFindings > 0 {
-			injSpec.MaxFindings = maxFindings - len(rep.Findings)
+			injSpec.MaxFindings = maxFindings - findings
 		}
 		ir, err := checker.RunInjectionCtx(ctx, injSpec, inj)
 		if err != nil {
-			rep.Err = err
-			return rep
+			taskErr = err
+			break
 		}
-		rep.StatesExplored += ir.StatesExplored
+		irs = append(irs, ir)
 		remaining -= ir.StatesExplored
+		findings += len(ir.Findings)
+		if ir.Panicked {
+			// The checker isolated a panic inside this injection; keep
+			// sweeping the task's remaining injections.
+			continue
+		}
+		if ir.Interrupted || ir.BudgetExhausted {
+			break
+		}
+		if maxFindings > 0 && findings >= maxFindings {
+			break
+		}
+	}
+	rep := PoolReports(task, irs, maxFindings)
+	if interrupted {
+		rep.Interrupted = true
+	}
+	if taskErr != nil {
+		rep.Err = taskErr
+		rep.Failure = taskErr.Error()
+	}
+	return rep, irs
+}
+
+// PoolReports folds a task's per-injection reports (in execution order) into
+// its TaskReport, replaying runTask's accounting: tallies accumulate, a
+// panicked injection is counted and skipped, an interrupted or
+// budget-exhausted injection ends the task incomplete, and the finding cap
+// counts the task completed (the paper counts finding-capped tasks as
+// completed — they returned results). It is a pure function of its inputs,
+// so a coordinator pooling reports posted by a remote worker derives the
+// same TaskReport the worker's own RunTaskCtx did.
+func PoolReports(task Task, irs []checker.InjectionReport, maxFindings int) TaskReport {
+	rep := TaskReport{
+		TaskID:   task.ID,
+		Outcomes: make(map[symexec.Outcome]int),
+	}
+	for _, ir := range irs {
+		rep.StatesExplored += ir.StatesExplored
 		for o, n := range ir.Outcomes {
 			rep.Outcomes[o] += n
 		}
 		rep.Findings = append(rep.Findings, ir.Findings...)
 		if ir.Panicked {
-			// The checker isolated a panic inside this injection; count it
-			// and keep sweeping the task's remaining injections.
 			rep.Panics++
 			continue
 		}
@@ -209,8 +278,6 @@ func runTask(ctx context.Context, spec checker.Spec, task Task, budget, maxFindi
 		}
 		rep.InjectionsDone++
 		if maxFindings > 0 && len(rep.Findings) >= maxFindings {
-			// Task reached its finding cap: the paper counts such tasks as
-			// completed (they returned results).
 			rep.Completed = true
 			return rep
 		}

@@ -28,7 +28,6 @@ func TestSplitPartitions(t *testing.T) {
 		t.Fatalf("%d tasks", len(tasks))
 	}
 	total := 0
-	lastPC := -1
 	for i, task := range tasks {
 		if task.ID != i {
 			t.Errorf("task %d has ID %d", i, task.ID)
@@ -37,15 +36,81 @@ func TestSplitPartitions(t *testing.T) {
 			t.Errorf("task %d empty", i)
 		}
 		total += len(task.Injections)
+		lastPC := -1
 		for _, inj := range task.Injections {
 			if inj.PC < lastPC {
-				t.Error("tasks do not sweep contiguous code sections")
+				t.Errorf("task %d injections not PC-ordered", i)
 			}
 			lastPC = inj.PC
 		}
 	}
 	if total != 10 {
 		t.Errorf("partition lost injections: %d", total)
+	}
+}
+
+// TestSplitBalance asserts the two balance properties the decomposition
+// promises: task sizes differ by at most one injection, and breakpoint-PC
+// ranges are interleaved so no task sweeps only the expensive late-program
+// section. With PCs 0..29 split 4 ways, every task must hold injections from
+// both the low and the high half of the program.
+func TestSplitBalance(t *testing.T) {
+	injs := sampleInjections(30)
+	tasks := Split(injs, 4)
+	if len(tasks) != 4 {
+		t.Fatalf("%d tasks", len(tasks))
+	}
+	minSize, maxSize := len(injs), 0
+	for _, task := range tasks {
+		if n := len(task.Injections); n < minSize {
+			minSize = n
+		}
+		if n := len(task.Injections); n > maxSize {
+			maxSize = n
+		}
+		low, high := false, false
+		for _, inj := range task.Injections {
+			if inj.PC < 15 {
+				low = true
+			} else {
+				high = true
+			}
+		}
+		if !low || !high {
+			t.Errorf("task %d sweeps only one half of the program (low=%v high=%v): PC range not interleaved",
+				task.ID, low, high)
+		}
+	}
+	if maxSize-minSize > 1 {
+		t.Errorf("task sizes unbalanced: min %d, max %d", minSize, maxSize)
+	}
+}
+
+// TestRunTaskPoolEquivalence proves the distributed harness's core identity:
+// pooling the per-injection reports RunTaskCtx shipped reconstructs the
+// exact TaskReport the executing side computed, for a clean sweep, a
+// budget-bounded sweep, and a finding-capped sweep.
+func TestRunTaskPoolEquivalence(t *testing.T) {
+	spec := factorialSpec(t)
+	injs := faults.RegisterInjections(spec.Program, true)
+	task := Split(injs, 1)[0]
+	for _, tc := range []struct {
+		name             string
+		budget, findings int
+	}{
+		{"clean", 0, 0},
+		{"budget-bounded", 120, 0},
+		{"finding-capped", 0, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, irs := RunTaskCtx(context.Background(), spec, task, tc.budget, tc.findings)
+			pooled := PoolReports(task, irs, tc.findings)
+			if rep.Completed != pooled.Completed || rep.Interrupted != pooled.Interrupted ||
+				rep.InjectionsDone != pooled.InjectionsDone || rep.StatesExplored != pooled.StatesExplored ||
+				rep.Panics != pooled.Panics || len(rep.Findings) != len(pooled.Findings) {
+				t.Errorf("pooled report diverges:\n ran    %+v\n pooled %+v", rep, pooled)
+			}
+		})
 	}
 }
 

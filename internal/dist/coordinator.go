@@ -1,0 +1,469 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"symplfied/internal/campaign"
+	"symplfied/internal/checker"
+	"symplfied/internal/cluster"
+	"symplfied/internal/symexec"
+)
+
+// distVars publishes the coordinator's counters process-wide so the HTTP
+// mux's /debug/vars gives fleet observability with zero dependencies beyond
+// the standard library.
+var distVars = expvar.NewMap("symplfied_dist")
+
+// DefaultLease is the task lease duration when the config does not set one.
+// A worker heartbeats every Lease/3, so three missed heartbeats lose the
+// task.
+const DefaultLease = 30 * time.Second
+
+// ErrLeaseLost is returned by Heartbeat when the caller no longer holds the
+// task: its lease expired and the task was reassigned (or completed by
+// someone else).
+var ErrLeaseLost = errors.New("dist: lease lost")
+
+// CoordinatorConfig configures a campaign coordinator.
+type CoordinatorConfig struct {
+	// Doc is the campaign to run.
+	Doc SpecDoc
+	// Lease is the task lease duration (0: DefaultLease).
+	Lease time.Duration
+	// Checkpoint is the task journal path; empty disables checkpointing.
+	Checkpoint string
+	// Resume loads the journal before serving and marks journaled tasks
+	// done. Requires Checkpoint.
+	Resume bool
+	// Now is the clock, injectable for tests (nil: time.Now).
+	Now func() time.Time
+}
+
+// lease records who holds a task and until when.
+type lease struct {
+	worker  string
+	expires time.Time
+}
+
+// workerInfo tracks one worker's liveness and load.
+type workerInfo struct {
+	lastSeen  time.Time
+	leased    map[int]bool
+	completed int
+}
+
+// Coordinator owns a campaign: the task queue, the leases, the pooled
+// results and the journal. All exported methods are safe for concurrent use;
+// the HTTP layer in Handler is a thin JSON shim over them.
+type Coordinator struct {
+	doc         SpecDoc
+	spec        checker.Spec
+	fingerprint string
+	leaseDur    time.Duration
+	now         func() time.Time
+	tasks       []cluster.Task
+
+	mu       sync.Mutex
+	leases   map[int]lease
+	results  []*cluster.TaskReport // folded reports, indexed by task ID; nil = not done
+	workers  map[string]*workerInfo
+	journal  *campaign.Journal
+	counters Counters
+	doneN    int
+	doneCh   chan struct{}
+}
+
+// journalKind pins a journal to this campaign's decomposition width as well
+// as (via the fingerprint) its spec: a journal written under a different
+// -tasks split records different task boundaries and must be rejected.
+func journalKind(tasks int) string { return fmt.Sprintf("dist-tasks-%d", tasks) }
+
+func taskKey(id int) string { return fmt.Sprintf("task:%d", id) }
+
+// NewCoordinator builds the campaign: lowers the spec document, partitions
+// the injection space, and (when configured) opens the task journal,
+// restoring completed tasks from it under Resume.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	spec, err := cfg.Doc.Build()
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Injections) == 0 {
+		return nil, fmt.Errorf("dist: campaign enumerates no injections")
+	}
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return nil, fmt.Errorf("dist: Resume requires a Checkpoint path")
+	}
+	width := cfg.Doc.Tasks
+	if width <= 0 {
+		width = 1
+	}
+	tasks := cluster.Split(spec.Injections, width)
+	c := &Coordinator{
+		doc:         cfg.Doc,
+		spec:        spec,
+		fingerprint: campaign.Fingerprint(spec),
+		leaseDur:    cfg.Lease,
+		now:         cfg.Now,
+		tasks:       tasks,
+		leases:      make(map[int]lease),
+		results:     make([]*cluster.TaskReport, len(tasks)),
+		workers:     make(map[string]*workerInfo),
+		doneCh:      make(chan struct{}),
+	}
+	if c.leaseDur <= 0 {
+		c.leaseDur = DefaultLease
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+
+	kind := journalKind(len(tasks))
+	if cfg.Resume {
+		entries, err := campaign.LoadJournal(cfg.Checkpoint, kind, c.fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		for id := range tasks {
+			raw, ok := entries[taskKey(id)]
+			if !ok {
+				continue
+			}
+			var res TaskResult
+			if err := json.Unmarshal(raw, &res); err != nil {
+				continue // an undecodable entry is re-run rather than trusted
+			}
+			c.settleLocked(id, res)
+		}
+	}
+	if cfg.Checkpoint != "" {
+		j, err := campaign.OpenJournal(cfg.Checkpoint, kind, c.fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+	}
+	return c, nil
+}
+
+// settleLocked folds a task result into its report and marks the task done.
+// Callers hold c.mu (or, in NewCoordinator, exclusive access).
+func (c *Coordinator) settleLocked(id int, res TaskResult) {
+	rep := cluster.PoolReports(c.tasks[id], res.Reports, c.doc.MaxFindingsPerTask)
+	if res.Failure != "" {
+		rep.Failure = res.Failure
+		rep.Err = errors.New(res.Failure)
+	}
+	c.results[id] = &rep
+	delete(c.leases, id)
+	c.doneN++
+	if c.doneN == len(c.tasks) {
+		close(c.doneCh)
+	}
+}
+
+// reapLocked expires lapsed leases, returning their tasks to the queue.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.After(l.expires) {
+			delete(c.leases, id)
+			if w := c.workers[l.worker]; w != nil {
+				delete(w.leased, id)
+			}
+			c.counters.TasksReassigned++
+			distVars.Add("tasks_reassigned", 1)
+		}
+	}
+}
+
+// touchLocked records that a worker spoke.
+func (c *Coordinator) touchLocked(worker string, now time.Time) *workerInfo {
+	w := c.workers[worker]
+	if w == nil {
+		w = &workerInfo{leased: make(map[int]bool)}
+		c.workers[worker] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// Claim leases the lowest-numbered pending task to worker. When every task
+// is done the response says so (the worker should exit); when all remaining
+// tasks are currently leased the response carries no task (the worker should
+// poll again).
+func (c *Coordinator) Claim(worker string) ClaimResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+	w := c.touchLocked(worker, now)
+	if c.doneN == len(c.tasks) {
+		return ClaimResponse{Done: true}
+	}
+	for id := range c.tasks {
+		if c.results[id] != nil {
+			continue
+		}
+		if _, held := c.leases[id]; held {
+			continue
+		}
+		c.leases[id] = lease{worker: worker, expires: now.Add(c.leaseDur)}
+		w.leased[id] = true
+		c.counters.TasksServed++
+		distVars.Add("tasks_served", 1)
+		return ClaimResponse{
+			Task:  &TaskAssignment{ID: c.tasks[id].ID, Injections: c.tasks[id].Injections},
+			Lease: c.leaseDur,
+		}
+	}
+	return ClaimResponse{} // all in flight: poll again
+}
+
+// Heartbeat renews worker's lease on task. ErrLeaseLost means the worker no
+// longer holds it (expiry and reassignment, or completion by another
+// worker): the worker must abandon the task.
+func (c *Coordinator) Heartbeat(worker string, task int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+	c.touchLocked(worker, now)
+	c.counters.Heartbeats++
+	distVars.Add("heartbeats", 1)
+	l, held := c.leases[task]
+	if !held || l.worker != worker {
+		return ErrLeaseLost
+	}
+	c.leases[task] = lease{worker: worker, expires: now.Add(c.leaseDur)}
+	return nil
+}
+
+// Complete settles a task with a worker's posted result. The first
+// completion wins regardless of who currently holds the lease; a completion
+// for an already-settled task (a re-claimed task's earlier owner posting
+// late) is counted and dropped.
+func (c *Coordinator) Complete(worker string, task int, res TaskResult) (CompleteResponse, error) {
+	c.mu.Lock()
+	if task < 0 || task >= len(c.tasks) {
+		c.mu.Unlock()
+		return CompleteResponse{}, fmt.Errorf("dist: no such task %d", task)
+	}
+	now := c.now()
+	w := c.touchLocked(worker, now)
+	if c.results[task] != nil {
+		c.counters.DuplicateCompletions++
+		done := c.doneN == len(c.tasks)
+		c.mu.Unlock()
+		distVars.Add("duplicate_completions", 1)
+		return CompleteResponse{Duplicate: true, Done: done}, nil
+	}
+	if l, held := c.leases[task]; held {
+		if prev := c.workers[l.worker]; prev != nil {
+			delete(prev.leased, task)
+		}
+	}
+	c.settleLocked(task, res)
+	delete(w.leased, task)
+	w.completed++
+	c.counters.TasksCompleted++
+	c.counters.ReportsPooled += int64(len(res.Reports))
+	journal := c.journal
+	done := c.doneN == len(c.tasks)
+	c.mu.Unlock()
+	distVars.Add("tasks_completed", 1)
+	distVars.Add("reports_pooled", int64(len(res.Reports)))
+	// Journal outside the coordinator lock: a huge task result (gigabytes
+	// under unlimited findings) must not stall heartbeats and claims while
+	// it is serialized to disk. Journal.Append serializes appends itself.
+	if journal != nil {
+		if err := journal.Append(taskKey(task), res); err != nil {
+			// The result is pooled; only checkpoint durability is compromised.
+			return CompleteResponse{Accepted: true, Done: done}, fmt.Errorf("dist: journal: %w", err)
+		}
+	}
+	return CompleteResponse{Accepted: true, Done: done}, nil
+}
+
+// Done is closed once every task has settled.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Fingerprint returns the campaign fingerprint workers verify against.
+func (c *Coordinator) Fingerprint() string { return c.fingerprint }
+
+// SpecResponse returns the campaign document handed to workers.
+func (c *Coordinator) SpecResponse() SpecResponse {
+	return SpecResponse{Spec: c.doc, Fingerprint: c.fingerprint, Lease: c.leaseDur}
+}
+
+// Status snapshots the fleet.
+func (c *Coordinator) Status() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+	st := StatusResponse{
+		Total:    len(c.tasks),
+		Done:     c.doneN,
+		Leased:   len(c.leases),
+		Counters: c.counters,
+	}
+	st.Queued = st.Total - st.Done - st.Leased
+	for _, rep := range c.results {
+		if rep == nil {
+			continue
+		}
+		st.Findings += len(rep.Findings)
+		st.States += rep.StatesExplored
+	}
+	st.Verdict = c.verdictLocked()
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		leased := make([]int, 0, len(w.leased))
+		for t := range w.leased {
+			leased = append(leased, t)
+		}
+		sort.Ints(leased)
+		age := now.Sub(w.lastSeen)
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:        id,
+			LastSeen:  age,
+			Live:      age <= c.leaseDur,
+			Leased:    leased,
+			Completed: w.completed,
+		})
+	}
+	return st
+}
+
+// verdictLocked pools the verdict over the tasks done so far.
+func (c *Coordinator) verdictLocked() string {
+	for _, rep := range c.results {
+		if rep != nil && len(rep.Findings) > 0 {
+			return checker.VerdictRefuted.String()
+		}
+	}
+	if c.doneN < len(c.tasks) {
+		return "open"
+	}
+	for _, rep := range c.results {
+		if !rep.Completed || rep.Panics > 0 {
+			return checker.VerdictInconclusive.String()
+		}
+	}
+	return checker.VerdictProven.String()
+}
+
+// Report pools the campaign. Settled tasks carry their folded reports; a
+// task still open appears Interrupted with empty tallies, exactly how
+// cluster.RunCtx reports tasks a cancelled study never started. When
+// Complete is true the report is identical to a single-process cluster.Run
+// over the same spec and split.
+func (c *Coordinator) Report() MergedReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := MergedReport{Complete: c.doneN == len(c.tasks)}
+	out.Tasks = make([]cluster.TaskReport, len(c.tasks))
+	for id := range c.tasks {
+		if rep := c.results[id]; rep != nil {
+			out.Tasks[id] = *rep
+			continue
+		}
+		out.Tasks[id] = cluster.TaskReport{
+			TaskID:      c.tasks[id].ID,
+			Interrupted: true,
+			Outcomes:    map[symexec.Outcome]int{},
+		}
+	}
+	out.Summary = cluster.Summarize(out.Tasks)
+	return out
+}
+
+// Close flushes and closes the task journal, if any.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	err := c.journal.Close()
+	c.journal = nil
+	return err
+}
+
+// Handler is the coordinator's HTTP API (see protocol.go), including expvar
+// under /debug/vars.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathSpec, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.SpecResponse())
+	})
+	mux.HandleFunc(PathClaim, func(w http.ResponseWriter, r *http.Request) {
+		var req ClaimRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.Claim(req.Worker))
+	})
+	mux.HandleFunc(PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := c.Heartbeat(req.Worker, req.Task); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc(PathComplete, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, err := c.Complete(req.Worker, req.Task, req.Result)
+		if err != nil && !resp.Accepted {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc(PathReport, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Report())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,293 @@
+package dist
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/symexec"
+)
+
+// testDoc is a small real campaign: the factorial benchmark's register-error
+// study, decomposed into 4 tasks.
+func testDoc() SpecDoc {
+	return SpecDoc{
+		Name:               "factorial-register",
+		App:                "factorial",
+		Input:              []int64{5},
+		Class:              "register",
+		Goal:               "incorrect-output",
+		Watchdog:           400,
+		Tasks:              4,
+		MaxFindingsPerTask: 10,
+	}
+}
+
+// fakeClock is a manually-advanced clock for lease tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestCoordinator(t *testing.T, clock *fakeClock, lease time.Duration) *Coordinator {
+	t.Helper()
+	cfg := CoordinatorConfig{Doc: testDoc(), Lease: lease}
+	if clock != nil {
+		cfg.Now = clock.Now
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// syntheticResult fabricates a minimal but well-formed task result whose
+// StatesExplored marker identifies which poster it came from.
+func syntheticResult(marker int) TaskResult {
+	return TaskResult{Reports: []checker.InjectionReport{{
+		Activated:      true,
+		StatesExplored: marker,
+		Outcomes:       map[symexec.Outcome]int{symexec.OutcomeNormal: 1},
+	}}}
+}
+
+// TestLeaseLifecycle is the lease state machine, table-driven over a fake
+// clock: claims, heartbeats, expiry-driven reassignment, and de-duplication
+// of completions from re-claimed tasks.
+func TestLeaseLifecycle(t *testing.T) {
+	const lease = 30 * time.Second
+	for _, tc := range []struct {
+		name string
+		run  func(t *testing.T, c *Coordinator, clock *fakeClock)
+	}{
+		{"silent worker loses its task and the duplicate completion is dropped", func(t *testing.T, c *Coordinator, clock *fakeClock) {
+			a := c.Claim("a")
+			if a.Task == nil || a.Task.ID != 0 {
+				t.Fatalf("first claim: %+v", a)
+			}
+			// Worker a goes silent: no heartbeat for a full lease.
+			clock.Advance(lease + time.Second)
+			b := c.Claim("b")
+			if b.Task == nil || b.Task.ID != 0 {
+				t.Fatalf("expired task not re-served first: %+v", b.Task)
+			}
+			if got := c.Status().Counters.TasksReassigned; got != 1 {
+				t.Errorf("reassigned counter %d, want 1", got)
+			}
+			// b finishes; the zombie a posts afterwards.
+			if resp, err := c.Complete("b", 0, syntheticResult(200)); err != nil || !resp.Accepted {
+				t.Fatalf("live completion rejected: %+v, %v", resp, err)
+			}
+			resp, err := c.Complete("a", 0, syntheticResult(100))
+			if err != nil || !resp.Duplicate || resp.Accepted {
+				t.Fatalf("zombie completion not dropped as duplicate: %+v, %v", resp, err)
+			}
+			if got := c.Report().Tasks[0].StatesExplored; got != 200 {
+				t.Errorf("pooled result came from the zombie (states %d, want 200)", got)
+			}
+			if got := c.Status().Counters.DuplicateCompletions; got != 1 {
+				t.Errorf("duplicate counter %d, want 1", got)
+			}
+		}},
+		{"zombie that posts before the reclaimer wins (first completion settles)", func(t *testing.T, c *Coordinator, clock *fakeClock) {
+			c.Claim("a")
+			clock.Advance(lease + time.Second)
+			c.Claim("b") // task 0 re-leased to b
+			// a's full result arrives first: it is the task's real sweep, so
+			// it settles the task; b's later post is the duplicate.
+			if resp, _ := c.Complete("a", 0, syntheticResult(100)); !resp.Accepted {
+				t.Fatal("first completion not accepted")
+			}
+			if resp, _ := c.Complete("b", 0, syntheticResult(200)); !resp.Duplicate {
+				t.Fatal("second completion not deduplicated")
+			}
+			if got := c.Report().Tasks[0].StatesExplored; got != 100 {
+				t.Errorf("pooled states %d, want the first poster's 100", got)
+			}
+		}},
+		{"heartbeats keep the lease alive past its nominal duration", func(t *testing.T, c *Coordinator, clock *fakeClock) {
+			c.Claim("a")
+			for i := 0; i < 4; i++ {
+				clock.Advance(lease / 2)
+				if err := c.Heartbeat("a", 0); err != nil {
+					t.Fatalf("heartbeat %d under a live lease: %v", i, err)
+				}
+			}
+			// Two lease durations have elapsed, but the renewals held task 0.
+			if b := c.Claim("b"); b.Task == nil || b.Task.ID == 0 {
+				t.Fatalf("heartbeated task was re-served: %+v", b.Task)
+			}
+		}},
+		{"heartbeat after expiry reports the lost lease", func(t *testing.T, c *Coordinator, clock *fakeClock) {
+			c.Claim("a")
+			clock.Advance(lease + time.Second)
+			if err := c.Heartbeat("a", 0); !errors.Is(err, ErrLeaseLost) {
+				t.Fatalf("heartbeat on an expired lease: %v, want ErrLeaseLost", err)
+			}
+		}},
+		{"heartbeat for a task the worker never held reports the lost lease", func(t *testing.T, c *Coordinator, clock *fakeClock) {
+			c.Claim("a")
+			if err := c.Heartbeat("b", 0); !errors.Is(err, ErrLeaseLost) {
+				t.Fatalf("foreign heartbeat: %v, want ErrLeaseLost", err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newFakeClock()
+			tc.run(t, newTestCoordinator(t, clock, lease), clock)
+		})
+	}
+}
+
+// TestClaimDrainsToDone walks a single worker through the whole queue.
+func TestClaimDrainsToDone(t *testing.T) {
+	c := newTestCoordinator(t, nil, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		resp := c.Claim("w")
+		if resp.Task == nil {
+			t.Fatalf("claim %d served nothing", i)
+		}
+		if seen[resp.Task.ID] {
+			t.Fatalf("task %d served twice under a live lease", resp.Task.ID)
+		}
+		seen[resp.Task.ID] = true
+		cr, err := c.Complete("w", resp.Task.ID, syntheticResult(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantDone := i == 3; cr.Done != wantDone {
+			t.Errorf("completion %d: Done = %v, want %v", i, cr.Done, wantDone)
+		}
+	}
+	final := c.Claim("w")
+	if !final.Done {
+		t.Errorf("claim after all tasks settled: %+v, want Done", final)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Error("Done channel not closed after the last completion")
+	}
+	st := c.Status()
+	if st.Done != 4 || st.Queued != 0 || st.Leased != 0 {
+		t.Errorf("status %+v", st)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Completed != 4 || !st.Workers[0].Live {
+		t.Errorf("worker status %+v", st.Workers)
+	}
+}
+
+// TestCoordinatorResume: a restarted coordinator with Resume re-serves only
+// unfinished tasks; journaled completions are not re-run.
+func TestCoordinatorResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tasks.jsonl")
+	cfg := CoordinatorConfig{Doc: testDoc(), Checkpoint: path}
+	c1, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 2} {
+		if resp := c1.Claim("w"); resp.Task == nil {
+			t.Fatal("claim failed")
+		}
+		if _, err := c1.Complete("w", id, syntheticResult(10*(id+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	c2, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st := c2.Status()
+	if st.Done != 2 || st.Queued != 2 {
+		t.Fatalf("resumed status %+v, want 2 done / 2 queued", st)
+	}
+	served := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		resp := c2.Claim("w2")
+		if resp.Task == nil {
+			t.Fatal("resumed coordinator served nothing")
+		}
+		if resp.Task.ID == 0 || resp.Task.ID == 2 {
+			t.Fatalf("journaled task %d re-served", resp.Task.ID)
+		}
+		served[resp.Task.ID] = true
+	}
+	if !served[1] || !served[3] {
+		t.Fatalf("unfinished tasks not re-served: %v", served)
+	}
+	// Journaled results survived intact.
+	if got := c2.Report().Tasks[0].StatesExplored; got != 10 {
+		t.Errorf("restored task 0 states %d, want 10", got)
+	}
+}
+
+// TestResumeRejectsForeignJournal: a journal written by a different campaign
+// spec (or decomposition width) must be refused, not merged.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tasks.jsonl")
+	c1, err := NewCoordinator(CoordinatorConfig{Doc: testDoc(), Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	other := testDoc()
+	other.Input = []int64{6} // different search space
+	if _, err := NewCoordinator(CoordinatorConfig{Doc: other, Checkpoint: path, Resume: true}); err == nil {
+		t.Error("foreign-spec journal accepted")
+	}
+	rewidth := testDoc()
+	rewidth.Tasks = 2 // different task boundaries
+	if _, err := NewCoordinator(CoordinatorConfig{Doc: rewidth, Checkpoint: path, Resume: true}); err == nil {
+		t.Error("journal with a different decomposition width accepted")
+	}
+}
+
+// TestSpecDocValidation covers the document's failure modes.
+func TestSpecDocValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*SpecDoc)
+	}{
+		{"no program", func(d *SpecDoc) { d.App = "" }},
+		{"both app and source", func(d *SpecDoc) { d.Source = "halt" }},
+		{"unknown app", func(d *SpecDoc) { d.App = "nonesuch" }},
+		{"unknown class", func(d *SpecDoc) { d.Class = "cosmic-ray" }},
+		{"unknown goal", func(d *SpecDoc) { d.Goal = "world-peace" }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := testDoc()
+			tc.mut(&doc)
+			if _, err := doc.Build(); err == nil {
+				t.Error("bad spec document accepted")
+			}
+		})
+	}
+}

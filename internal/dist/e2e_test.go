@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"symplfied/internal/cluster"
+)
+
+// TestEndToEndDeterminism is the subsystem's acceptance check: a coordinator
+// plus two workers over loopback HTTP — with a third "worker" that claims a
+// task and dies, forcing a lease expiry and reassignment — must pool a
+// merged report byte-identical (under encoding/json) to a single-process
+// cluster.Run over the same spec and split. The zombie's late completion
+// must be dropped as a duplicate.
+func TestEndToEndDeterminism(t *testing.T) {
+	doc := testDoc()
+
+	// Single-process reference: same document, same lowering, same split.
+	spec, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := cluster.Split(spec.Injections, doc.Tasks)
+	refReports := cluster.Run(spec, tasks, cluster.Config{
+		Workers:            2,
+		TaskStateBudget:    doc.TaskStateBudget,
+		MaxFindingsPerTask: doc.MaxFindingsPerTask,
+	})
+	want, err := json.Marshal(MergedReport{
+		Complete: true,
+		Tasks:    refReports,
+		Summary:  cluster.Summarize(refReports),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed run. A short lease keeps the kill-and-reassign path fast.
+	coord, err := NewCoordinator(CoordinatorConfig{Doc: doc, Lease: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// The zombie claims a task and goes silent: a worker killed mid-task.
+	// Its lease must lapse and the task be re-served to a live worker.
+	zombie := coord.Claim("zombie")
+	if zombie.Task == nil {
+		t.Fatal("zombie claimed nothing")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		stats = map[string]WorkerStats{}
+		errs  = map[string]error{}
+	)
+	for _, id := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			s, err := RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL,
+				ID:          id,
+				Poll:        50 * time.Millisecond,
+			})
+			mu.Lock()
+			stats[id], errs[id] = s, err
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %s: %v", id, err)
+		}
+	}
+
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("workers exited but the campaign is not done")
+	}
+	if got := coord.Status().Counters.TasksReassigned; got < 1 {
+		t.Errorf("killed worker's task was never reassigned (reassigned=%d)", got)
+	}
+
+	// The zombie rises and posts its stale claim: dropped as a duplicate.
+	resp, err := coord.Complete("zombie", zombie.Task.ID, syntheticResult(1))
+	if err != nil || !resp.Duplicate {
+		t.Errorf("zombie completion not deduplicated: %+v, %v", resp, err)
+	}
+
+	// The merged report over HTTP is byte-identical to the reference.
+	httpResp, err := srv.Client().Get(srv.URL + PathReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged MergedReport
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(httpResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	got := bytes.TrimSpace(body.Bytes())
+	if err := json.Unmarshal(got, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Complete {
+		t.Fatal("merged report not marked complete")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed report differs from single-process cluster.Run:\n got  %s\n want %s", got, want)
+	}
+	if merged.Summary.Tasks != len(tasks) || len(merged.Summary.Findings) == 0 {
+		t.Errorf("merged summary implausible: %+v", merged.Summary)
+	}
+
+	// Both live workers did real work.
+	totalDone := 0
+	for id, s := range stats {
+		if s.Claimed == 0 {
+			t.Errorf("worker %s never claimed a task", id)
+		}
+		totalDone += s.Completed
+	}
+	if totalDone != len(tasks) {
+		t.Errorf("workers completed %d tasks, campaign has %d", totalDone, len(tasks))
+	}
+
+	// Fleet status over HTTP sees all three workers and a settled verdict.
+	stResp, err := srv.Client().Get(srv.URL + PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	if len(st.Workers) != 3 {
+		t.Errorf("status lists %d workers, want 3 (w1, w2, zombie): %+v", len(st.Workers), st.Workers)
+	}
+	if st.Verdict != "refuted" {
+		t.Errorf("verdict %q, want refuted (factorial register errors are findable)", st.Verdict)
+	}
+
+	// The expvar page is served on the same mux.
+	dv, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Dist map[string]int64 `json:"symplfied_dist"`
+	}
+	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	dv.Body.Close()
+	if vars.Dist["tasks_completed"] == 0 || vars.Dist["tasks_served"] == 0 {
+		t.Errorf("expvar counters not published: %v", vars.Dist)
+	}
+}
+
+// TestWorkerRejectsForeignFingerprint: a worker whose locally-lowered spec
+// fingerprints differently from the coordinator's must refuse to serve.
+func TestWorkerRejectsForeignFingerprint(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{Doc: testDoc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// Corrupt the fingerprint the coordinator hands out.
+	sr := coord.SpecResponse()
+	sr.Fingerprint = "not-the-real-fingerprint"
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathSpec, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(sr)
+	})
+	mux.Handle("/", coord.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, ID: "w"}); err == nil {
+		t.Error("worker served a campaign with a mismatched fingerprint")
+	}
+}

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"time"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/cluster"
+	"symplfied/internal/faults"
+)
+
+// The coordinator's JSON HTTP API. All bodies are JSON; errors are plain
+// text with a non-2xx status.
+//
+//	GET  /spec       -> SpecResponse     campaign document + fingerprint
+//	POST /claim      ClaimRequest -> ClaimResponse
+//	POST /heartbeat  HeartbeatRequest -> 204 (409 when the lease is lost)
+//	POST /complete   CompleteRequest -> CompleteResponse
+//	GET  /status     -> StatusResponse   live fleet status
+//	GET  /report     -> MergedReport     pooled report so far
+//	GET  /debug/vars -> expvar counters
+const (
+	PathSpec      = "/spec"
+	PathClaim     = "/claim"
+	PathHeartbeat = "/heartbeat"
+	PathComplete  = "/complete"
+	PathStatus    = "/status"
+	PathReport    = "/report"
+)
+
+// SpecResponse hands a worker everything it needs to rebuild the campaign.
+type SpecResponse struct {
+	Spec SpecDoc
+	// Fingerprint is campaign.Fingerprint of the coordinator's lowered spec.
+	// A worker that lowers the document to a different fingerprint must not
+	// serve: it would pool results from a different search.
+	Fingerprint string
+	// Lease is the task lease duration; a worker must heartbeat well within
+	// it (Lease/3 is the convention) or its task is reassigned.
+	Lease time.Duration
+}
+
+// ClaimRequest asks for a task.
+type ClaimRequest struct {
+	Worker string
+}
+
+// TaskAssignment is one leased task.
+type TaskAssignment struct {
+	ID int
+	// Injections is the task's slice of the injection space, exactly as
+	// cluster.Split partitioned it.
+	Injections []faults.Injection
+}
+
+// ClaimResponse answers a claim.
+type ClaimResponse struct {
+	// Done is true when every task is complete: the worker should exit.
+	Done bool
+	// Task is nil (with Done false) when all remaining tasks are currently
+	// leased: the worker should poll again shortly.
+	Task *TaskAssignment `json:",omitempty"`
+	// Lease echoes the lease duration for this assignment.
+	Lease time.Duration `json:",omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker string
+	Task   int
+}
+
+// TaskResult is what a worker posts back: the serialized per-injection
+// reports its sweep produced, in execution order, plus the infrastructure
+// failure text if the task died on one. The coordinator folds the reports
+// with cluster.PoolReports, reconstructing the exact TaskReport the worker's
+// cluster.RunTaskCtx computed.
+type TaskResult struct {
+	Reports []checker.InjectionReport
+	Failure string `json:",omitempty"`
+}
+
+// CompleteRequest posts a finished task.
+type CompleteRequest struct {
+	Worker string
+	Task   int
+	Result TaskResult
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	// Accepted is true when this completion settled the task.
+	Accepted bool
+	// Duplicate is true when the task was already complete (a re-claimed
+	// task's earlier owner posted late); the posted result was dropped.
+	Duplicate bool
+	// Done is true when the campaign has no unsettled tasks left. A worker
+	// hearing Done exits without claiming again: the coordinator may
+	// already be shutting down, and a post-completion claim would fail.
+	Done bool
+}
+
+// WorkerStatus describes one worker the coordinator has heard from.
+type WorkerStatus struct {
+	ID string
+	// LastSeen is how long ago the worker last spoke (claim, heartbeat or
+	// completion).
+	LastSeen time.Duration
+	// Live is true when the worker spoke within a lease duration.
+	Live bool
+	// Leased lists the task IDs the worker currently holds.
+	Leased []int `json:",omitempty"`
+	// Completed counts tasks this worker settled.
+	Completed int
+}
+
+// Counters are the coordinator's monotonic event counts (also published via
+// expvar under symplfied_dist).
+type Counters struct {
+	TasksServed          int64
+	TasksCompleted       int64
+	TasksReassigned      int64
+	Heartbeats           int64
+	ReportsPooled        int64
+	DuplicateCompletions int64
+}
+
+// StatusResponse is the live fleet status.
+type StatusResponse struct {
+	// Queued, Leased, Done partition the Total tasks.
+	Queued, Leased, Done, Total int
+	// Verdict is the pooled verdict over the tasks done so far: "refuted" as
+	// soon as any finding pooled, "proven resilient" only when every task
+	// completed cleanly, "inconclusive" for a finished campaign with
+	// incomplete tasks, "open" while tasks remain.
+	Verdict string
+	// Findings and States tally the pooled results so far.
+	Findings int
+	States   int
+	Workers  []WorkerStatus
+	Counters Counters
+}
+
+// MergedReport is the pooled campaign result: per-task reports in task-ID
+// order plus their summary. For a complete campaign it is identical — byte
+// for byte under encoding/json — to pooling a single-process cluster.Run
+// over the same spec and split. Tasks not yet settled appear Interrupted
+// with empty tallies, mirroring how cluster.RunCtx reports tasks a cancelled
+// study never started.
+type MergedReport struct {
+	Complete bool
+	Tasks    []cluster.TaskReport
+	Summary  cluster.Summary
+}

@@ -1,0 +1,126 @@
+// Package dist is the networked tier of the paper's experiment harness: the
+// paper ran each SymPLFIED study by splitting the search into independent
+// tasks dispatched to a 150-node Opteron cluster (Section 6.1).
+// internal/cluster reproduces the decomposition on one machine's cores; this
+// package spans machines. A coordinator loads a campaign spec, partitions
+// the injection space with cluster.Split, and serves tasks over a JSON HTTP
+// API to pull-based workers; each worker claims a task under a renewable
+// lease, sweeps it with cluster.RunTaskCtx (keeping the checker's
+// per-injection timeout and panic isolation), and posts back the serialized
+// per-injection reports. The coordinator journals completed tasks through
+// internal/campaign's JSONL journal so a killed coordinator resumes without
+// re-running finished work, reassigns tasks whose lease heartbeats lapse,
+// drops duplicate completions from re-claimed tasks, and pools the results
+// into a merged report identical to a single-process cluster.Run.
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"symplfied"
+	"symplfied/internal/checker"
+	"symplfied/internal/cli"
+	"symplfied/internal/query"
+)
+
+// SpecDoc is the declarative, serializable description of one distributed
+// campaign. It deliberately carries sources and names rather than built
+// values: the coordinator and every worker lower the same document through
+// symplfied.SearchSpec.CheckerSpec, so all parties construct the identical
+// search (program, detectors, predicate, injection enumeration), and the
+// campaign fingerprint verifies they did.
+type SpecDoc struct {
+	// Name labels the campaign (reports, program name for -file sources).
+	Name string
+	// App selects a built-in benchmark application; mutually exclusive with
+	// Source.
+	App string `json:",omitempty"`
+	// Source is the program text (SymPLFIED assembly, or MIPS dialect when
+	// MIPS is set) when the campaign analyzes a file.
+	Source string `json:",omitempty"`
+	// MIPS marks Source as MIPS-dialect assembly.
+	MIPS bool `json:",omitempty"`
+	// Input is the program input stream.
+	Input []int64 `json:",omitempty"`
+	// Class names the error class to enumerate (register | memory | control
+	// | decode).
+	Class string
+	// Goal names the search goal (err-output | incorrect-output |
+	// wrong-advisory | crash | hang | detected).
+	Goal string
+	// Watchdog bounds each symbolic path (0: default).
+	Watchdog int `json:",omitempty"`
+	// Tasks is the decomposition width (paper: 150 for tcas, 312 for
+	// replace). 0 means one task.
+	Tasks int
+	// TaskStateBudget bounds each task's explored states (the analogue of
+	// the paper's 30-minute allotment). 0 selects the cluster default.
+	TaskStateBudget int `json:",omitempty"`
+	// MaxFindingsPerTask caps findings per task (paper: 10). 0 is unlimited.
+	MaxFindingsPerTask int `json:",omitempty"`
+	// PerInjectionTimeout bounds the wall clock of a single injection
+	// (0: none). Note that wall-clock outcomes are machine-dependent; leave
+	// zero when bit-identical pooled reports matter.
+	PerInjectionTimeout time.Duration `json:",omitempty"`
+	// DisableAffineSolver reverts to the paper's coarser constraint model.
+	DisableAffineSolver bool `json:",omitempty"`
+	// Permanent turns every register/memory injection into a stuck-at fault.
+	Permanent bool `json:",omitempty"`
+}
+
+// Build lowers the document to the internal checker spec. Every party of a
+// distributed campaign calls exactly this, so equal documents yield equal
+// specs — and equal campaign fingerprints.
+func (d SpecDoc) Build() (checker.Spec, error) {
+	var (
+		unit *symplfied.Unit
+		err  error
+	)
+	switch {
+	case d.App != "" && d.Source != "":
+		return checker.Spec{}, fmt.Errorf("dist: spec has both App and Source")
+	case d.App != "":
+		unit, err = cli.BuiltinApp(d.App)
+	case d.MIPS:
+		var prog *symplfied.Program
+		prog, err = symplfied.TranslateMIPS(d.name(), d.Source)
+		if err == nil {
+			unit = &symplfied.Unit{Program: prog}
+		}
+	case d.Source != "":
+		unit, err = symplfied.Assemble(d.name(), d.Source)
+	default:
+		return checker.Spec{}, fmt.Errorf("dist: spec has neither App nor Source")
+	}
+	if err != nil {
+		return checker.Spec{}, fmt.Errorf("dist: load program: %w", err)
+	}
+	class, ok := query.ClassByName(d.Class)
+	if !ok {
+		return checker.Spec{}, fmt.Errorf("dist: unknown error class %q", d.Class)
+	}
+	goal, ok := query.GoalByName(d.Goal)
+	if !ok {
+		return checker.Spec{}, fmt.Errorf("dist: unknown goal %q", d.Goal)
+	}
+	return symplfied.SearchSpec{
+		Unit:                unit,
+		Input:               d.Input,
+		Class:               class,
+		Goal:                goal,
+		Watchdog:            d.Watchdog,
+		StateBudget:         d.TaskStateBudget,
+		MaxFindings:         d.MaxFindingsPerTask,
+		DisableAffineSolver: d.DisableAffineSolver,
+		Permanent:           d.Permanent,
+		PerInjectionTimeout: d.PerInjectionTimeout,
+	}.CheckerSpec()
+}
+
+func (d SpecDoc) name() string {
+	if d.Name != "" {
+		return d.Name
+	}
+	return "campaign"
+}

@@ -1,0 +1,322 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"symplfied/internal/campaign"
+	"symplfied/internal/checker"
+	"symplfied/internal/cluster"
+)
+
+// WorkerConfig configures a pull-based campaign worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8080).
+	Coordinator string
+	// ID names this worker in leases and fleet status. Required.
+	ID string
+	// Client is the HTTP client (nil: a client with a sane timeout).
+	Client *http.Client
+	// Poll is how long to wait between claims when every remaining task is
+	// leased elsewhere (0: 500ms).
+	Poll time.Duration
+	// OnTask, if set, is called when a task is claimed and again when it
+	// settles (posted, abandoned, or lost), for CLI progress output.
+	OnTask func(event string, task int)
+}
+
+// WorkerStats summarizes one worker's run.
+type WorkerStats struct {
+	// Claimed counts tasks leased to this worker.
+	Claimed int
+	// Completed counts results the coordinator accepted.
+	Completed int
+	// Duplicates counts results the coordinator dropped as already settled.
+	Duplicates int
+	// Abandoned counts tasks dropped mid-sweep (cancellation or lost lease).
+	Abandoned int
+}
+
+// RunWorker serves one worker until the campaign completes or ctx is
+// cancelled. It fetches the campaign spec, lowers it locally, verifies the
+// fingerprint against the coordinator's, then loops: claim a task, sweep it
+// with cluster.RunTaskCtx under a renewable lease (heartbeats every lease/3;
+// a lost lease cancels the sweep), and post the per-injection reports back.
+// Cancellation mid-task abandons the task — its lease lapses and the
+// coordinator re-serves it — and returns cleanly with the stats so far.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	var stats WorkerStats
+	if cfg.ID == "" {
+		return stats, fmt.Errorf("dist: worker needs an ID")
+	}
+	// No global client timeout: completion posts carry whole task results
+	// (every finding with its trace) and can legitimately take minutes.
+	// Small control requests get per-call deadlines instead.
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+
+	sr, err := fetchSpec(ctx, client, cfg.Coordinator)
+	if err != nil {
+		return stats, err
+	}
+	spec, err := sr.Spec.Build()
+	if err != nil {
+		return stats, fmt.Errorf("dist: worker cannot build campaign spec: %w", err)
+	}
+	if fp := campaign.Fingerprint(spec); fp != sr.Fingerprint {
+		return stats, fmt.Errorf("dist: spec fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
+			sr.Fingerprint, fp)
+	}
+	heartbeatEvery := sr.Lease / 3
+	if heartbeatEvery <= 0 {
+		heartbeatEvery = time.Second
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return stats, nil
+		}
+		var claim ClaimResponse
+		if err := postJSONTimeout(ctx, client, cfg.Coordinator+PathClaim,
+			ClaimRequest{Worker: cfg.ID}, &claim, controlTimeout); err != nil {
+			return stats, err
+		}
+		if claim.Done {
+			return stats, nil
+		}
+		if claim.Task == nil {
+			if !sleepCtx(ctx, poll) {
+				return stats, nil
+			}
+			continue
+		}
+		stats.Claimed++
+		if cfg.OnTask != nil {
+			cfg.OnTask("claimed", claim.Task.ID)
+		}
+		outcome, done, err := runOneTask(ctx, client, cfg, spec, sr, *claim.Task, heartbeatEvery)
+		if err != nil {
+			return stats, err
+		}
+		switch outcome {
+		case "completed":
+			stats.Completed++
+		case "duplicate":
+			stats.Duplicates++
+		default:
+			stats.Abandoned++
+		}
+		if cfg.OnTask != nil {
+			cfg.OnTask(outcome, claim.Task.ID)
+		}
+		if done {
+			// The campaign settled with this post; the coordinator may be
+			// shutting down already, so do not claim again.
+			return stats, nil
+		}
+	}
+}
+
+const (
+	// controlTimeout bounds the small control requests (spec, claim,
+	// heartbeat) so a wedged coordinator cannot hang a worker forever.
+	controlTimeout = 30 * time.Second
+	// completeTimeout bounds the completion post, which carries the whole
+	// task result (every finding with its trace) and can be large.
+	completeTimeout = 10 * time.Minute
+)
+
+// runOneTask sweeps one leased task under a heartbeat loop. The returned
+// outcome is "completed", "duplicate" or "abandoned"; done reports that the
+// campaign has no unsettled tasks left; an error means the coordinator is
+// unreachable for posting a finished result.
+func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec checker.Spec,
+	sr SpecResponse, assignment TaskAssignment, heartbeatEvery time.Duration) (string, bool, error) {
+
+	task := cluster.Task{ID: assignment.ID, Injections: assignment.Injections}
+	taskCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat until the result is posted (large completion posts take a
+	// while; the lease must not lapse under them). A lost lease (409) is
+	// decisive and cancels the sweep so the worker stops burning states on a
+	// task someone else now owns; transient failures (a coordinator busy
+	// decoding another worker's huge result can miss a deadline) are retried
+	// and only repeated consecutive failures abandon the task.
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(heartbeatEvery)
+		defer t.Stop()
+		fails := 0
+		for {
+			select {
+			case <-taskCtx.Done():
+				return
+			case <-t.C:
+				err := postJSONTimeout(taskCtx, client, cfg.Coordinator+PathHeartbeat,
+					HeartbeatRequest{Worker: cfg.ID, Task: task.ID}, nil, controlTimeout)
+				switch {
+				case err == nil:
+					fails = 0
+				case taskCtx.Err() != nil:
+					return
+				default:
+					var he *httpError
+					if errors.As(err, &he) {
+						// The coordinator answered: the lease is gone (409)
+						// or the request is unservable. No point continuing.
+						cancel()
+						return
+					}
+					if fails++; fails >= 3 {
+						cancel()
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	rep, irs := cluster.RunTaskCtx(taskCtx, spec, task, sr.Spec.TaskStateBudget, sr.Spec.MaxFindingsPerTask)
+	if taskCtx.Err() != nil || rep.Interrupted {
+		// Cancelled (worker shutdown) or lease lost mid-sweep: the partial
+		// result must not be posted — the coordinator will re-serve the task
+		// in full, keeping the pooled report deterministic.
+		cancel()
+		hb.Wait()
+		return "abandoned", false, nil
+	}
+	var resp CompleteResponse
+	err := postJSONTimeout(ctx, client, cfg.Coordinator+PathComplete, CompleteRequest{
+		Worker: cfg.ID,
+		Task:   task.ID,
+		Result: TaskResult{Reports: irs, Failure: rep.Failure},
+	}, &resp, completeTimeout)
+	cancel()
+	hb.Wait()
+	if err != nil {
+		if ctx.Err() != nil {
+			return "abandoned", false, nil
+		}
+		return "", false, fmt.Errorf("dist: post completion of task %d: %w", task.ID, err)
+	}
+	if resp.Duplicate {
+		return "duplicate", resp.Done, nil
+	}
+	return "completed", resp.Done, nil
+}
+
+// fetchSpec retrieves the campaign document, retrying briefly so a worker
+// started moments before its coordinator still connects.
+func fetchSpec(ctx context.Context, client *http.Client, base string) (SpecResponse, error) {
+	var sr SpecResponse
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 && !sleepCtx(ctx, 300*time.Millisecond) {
+			break
+		}
+		err := func() error {
+			reqCtx, cancel := context.WithTimeout(ctx, controlTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, base+PathSpec, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			return decodeResponse(resp, &sr)
+		}()
+		if err == nil {
+			return sr, nil
+		}
+		lastErr = err
+	}
+	if ctx.Err() != nil {
+		return sr, ctx.Err()
+	}
+	return sr, fmt.Errorf("dist: fetch campaign spec from %s: %w", base, lastErr)
+}
+
+// postJSONTimeout is postJSON under a per-call deadline (0: none).
+func postJSONTimeout(ctx context.Context, client *http.Client, url string, body, out any, d time.Duration) error {
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return postJSON(ctx, client, url, body, out)
+}
+
+// postJSON posts body and decodes the JSON reply into out (out may be nil
+// for replies without a body). Non-2xx statuses are errors carrying the
+// server's text.
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// httpError is a non-2xx reply from the coordinator — the coordinator spoke,
+// as opposed to a transport failure where it may not have heard us at all.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &httpError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(msg)),
+		}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps for d, returning false when ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

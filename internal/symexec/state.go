@@ -412,6 +412,30 @@ const (
 	OutcomeRunning                     // not terminated yet
 )
 
+// MarshalText renders the outcome by name. encoding/json consults
+// TextMarshaler for map keys, so outcome-keyed tallies (checker reports,
+// cluster task reports) serialize with readable, order-independent keys
+// instead of bare integers.
+func (o Outcome) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
+
+// UnmarshalText parses an outcome name; bare integers are accepted for
+// compatibility with journals written before outcomes were named on the wire.
+func (o *Outcome) UnmarshalText(text []byte) error {
+	s := string(text)
+	for cand := OutcomeNormal; cand <= OutcomeRunning; cand++ {
+		if cand.String() == s {
+			*o = cand
+			return nil
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("symexec: unknown outcome %q", s)
+	}
+	*o = Outcome(n)
+	return nil
+}
+
 // String names the outcome.
 func (o Outcome) String() string {
 	switch o {

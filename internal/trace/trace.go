@@ -10,6 +10,7 @@ package trace
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -29,6 +30,28 @@ const (
 	KindControl                    // control transferred through an erroneous target
 	KindNote                       // free-form annotation
 )
+
+// MarshalText renders the kind by name so serialized traces stay readable
+// and stable across reorderings of the Kind constants.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name; bare integers are accepted for
+// compatibility with records written before kinds were named on the wire.
+func (k *Kind) UnmarshalText(text []byte) error {
+	s := string(text)
+	for cand := KindInject; cand <= KindNote; cand++ {
+		if cand.String() == s {
+			*k = cand
+			return nil
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("trace: unknown event kind %q", s)
+	}
+	*k = Kind(n)
+	return nil
+}
 
 // String names the kind.
 func (k Kind) String() string {

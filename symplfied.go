@@ -243,6 +243,13 @@ func (s SearchSpec) build() (checker.Spec, error) {
 	return spec, nil
 }
 
+// CheckerSpec lowers the search description to the internal checker spec.
+// The distributed harness (internal/dist) lowers the same declarative spec
+// document through this single path on both the coordinator and every
+// worker, so all parties provably build the identical search — the campaign
+// fingerprint (internal/campaign.Fingerprint) then verifies the agreement.
+func (s SearchSpec) CheckerSpec() (checker.Spec, error) { return s.build() }
+
 // Search runs a symbolic fault-injection search sequentially and returns the
 // checker report: every enumerated error in the class that satisfies the
 // goal, with decision traces and derived constraints.
