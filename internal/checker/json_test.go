@@ -100,4 +100,11 @@ func TestOutcomeTextCompat(t *testing.T) {
 	if err := o.UnmarshalText([]byte("gibberish")); err == nil {
 		t.Error("unknown outcome name accepted")
 	}
+	// Integers outside the defined range (a corrupt or hand-edited journal)
+	// must be rejected, not deserialized into a nameless tally bucket.
+	for _, bad := range []string{"0", "-1", "99"} {
+		if err := o.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("out-of-range outcome %q accepted", bad)
+		}
+	}
 }

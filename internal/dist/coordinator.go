@@ -5,6 +5,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"sync"
@@ -284,7 +285,17 @@ func (c *Coordinator) Complete(worker string, task int, res TaskResult) (Complet
 	// it is serialized to disk. Journal.Append serializes appends itself.
 	if journal != nil {
 		if err := journal.Append(taskKey(task), res); err != nil {
-			// The result is pooled; only checkpoint durability is compromised.
+			// The result is pooled; only checkpoint durability is
+			// compromised, so the completion is still acknowledged Accepted.
+			// That very acknowledgement hides the failure from the worker, so
+			// surface it here: log it and count it (Counters.JournalErrors,
+			// expvar journal_errors) — an operator relying on -resume must
+			// learn checkpointing is failing before the restart that needs it.
+			log.Printf("dist: journal append for task %d failed: %v", task, err)
+			c.mu.Lock()
+			c.counters.JournalErrors++
+			c.mu.Unlock()
+			distVars.Add("journal_errors", 1)
 			return CompleteResponse{Accepted: true, Done: done}, fmt.Errorf("dist: journal: %w", err)
 		}
 	}

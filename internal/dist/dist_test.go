@@ -2,6 +2,8 @@ package dist
 
 import (
 	"errors"
+	"fmt"
+	"net/http"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -155,6 +157,62 @@ func TestLeaseLifecycle(t *testing.T) {
 			clock := newFakeClock()
 			tc.run(t, newTestCoordinator(t, clock, lease), clock)
 		})
+	}
+}
+
+// TestLeaseLostDecisiveness: only a 409 from the coordinator proves the
+// lease is gone. A 5xx from a reverse proxy in front of the coordinator, or
+// a transport failure, says nothing about the lease and must be retried
+// instead of aborting a long sweep and throwing its work away.
+func TestLeaseLostDecisiveness(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"409 conflict", &httpError{status: http.StatusConflict, msg: "409 Conflict: dist: lease lost"}, true},
+		{"wrapped 409", fmt.Errorf("heartbeat: %w", &httpError{status: http.StatusConflict}), true},
+		{"proxy 502", &httpError{status: http.StatusBadGateway, msg: "502 Bad Gateway"}, false},
+		{"overload 503", &httpError{status: http.StatusServiceUnavailable, msg: "503 Service Unavailable"}, false},
+		{"coordinator 400", &httpError{status: http.StatusBadRequest, msg: "400 Bad Request"}, false},
+		{"transport failure", errors.New("dial tcp: connection refused"), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := leaseLost(tc.err); got != tc.want {
+				t.Errorf("leaseLost(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestJournalErrorSurfaced: a completion that pools but fails to checkpoint
+// must still be Accepted, but the failure must be visible server-side — the
+// operator relying on -resume has to learn checkpointing is broken before
+// the restart that depends on it.
+func TestJournalErrorSurfaced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tasks.jsonl")
+	c, err := NewCoordinator(CoordinatorConfig{Doc: testDoc(), Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if resp := c.Claim("w"); resp.Task == nil {
+		t.Fatal("claim failed")
+	}
+	// The checkpoint file goes bad mid-campaign.
+	c.journal.Close()
+	resp, err := c.Complete("w", 0, syntheticResult(1))
+	if err == nil {
+		t.Fatal("journal failure not reported")
+	}
+	if !resp.Accepted {
+		t.Error("result no longer pooled on a journal failure")
+	}
+	if got := c.Status().Counters.JournalErrors; got != 1 {
+		t.Errorf("JournalErrors counter %d, want 1", got)
+	}
+	if got := c.Report().Tasks[0].StatesExplored; got != 1 {
+		t.Errorf("pooled states %d, want 1 (result must survive the journal failure)", got)
 	}
 }
 

@@ -173,6 +173,57 @@ func TestEndToEndDeterminism(t *testing.T) {
 	}
 }
 
+// TestTimedOutTaskSettles guards against a fleet livelock: a sweep cut short
+// by the per-injection wall-clock timeout reports Interrupted while the
+// task's context is still live. The worker must post that partial result —
+// it is exactly what a single-process cluster.Run records before finishing —
+// not abandon the task, or the coordinator would re-lease it, the next worker
+// would time out the same injection, and the campaign would never complete.
+func TestTimedOutTaskSettles(t *testing.T) {
+	doc := testDoc()
+	// Every activated injection deadlines before exploring a single state.
+	doc.PerInjectionTimeout = time.Nanosecond
+
+	coord, err := NewCoordinator(CoordinatorConfig{Doc: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stats, err := RunWorker(ctx, WorkerConfig{
+		Coordinator: srv.URL,
+		ID:          "w",
+		Poll:        20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("campaign with timed-out injections never settled (tasks abandoned instead of posted)")
+	}
+	if stats.Abandoned != 0 {
+		t.Errorf("timed-out tasks abandoned %d times, want 0", stats.Abandoned)
+	}
+	rep := coord.Report()
+	if !rep.Complete {
+		t.Fatal("merged report not complete")
+	}
+	if stats.Completed != len(rep.Tasks) {
+		t.Errorf("worker completed %d of %d tasks", stats.Completed, len(rep.Tasks))
+	}
+	// The timeouts are recorded, not hidden: the pooled report marks the
+	// deadlined tasks Interrupted, just as cluster.Run would.
+	if rep.Summary.Interrupted == 0 {
+		t.Error("no task marked Interrupted despite per-injection timeouts")
+	}
+}
+
 // TestWorkerRejectsForeignFingerprint: a worker whose locally-lowered spec
 // fingerprints differently from the coordinator's must refuse to serve.
 func TestWorkerRejectsForeignFingerprint(t *testing.T) {

@@ -122,6 +122,10 @@ type Counters struct {
 	Heartbeats           int64
 	ReportsPooled        int64
 	DuplicateCompletions int64
+	// JournalErrors counts completions that pooled but failed to checkpoint:
+	// nonzero means a -resume of this coordinator would re-run tasks the
+	// operator believed journaled.
+	JournalErrors int64
 }
 
 // StatusResponse is the live fleet status.

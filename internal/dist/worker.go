@@ -176,13 +176,17 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 				case taskCtx.Err() != nil:
 					return
 				default:
-					var he *httpError
-					if errors.As(err, &he) {
-						// The coordinator answered: the lease is gone (409)
-						// or the request is unservable. No point continuing.
+					if leaseLost(err) {
+						// The coordinator itself answered 409: the lease
+						// expired and was reassigned (or the task completed
+						// elsewhere). No point continuing the sweep.
 						cancel()
 						return
 					}
+					// Anything else — a transport failure, or a 5xx from a
+					// proxy or an overloaded coordinator — may be transient
+					// and says nothing about the lease; only repeated
+					// consecutive failures abandon the task.
 					if fails++; fails >= 3 {
 						cancel()
 						return
@@ -193,7 +197,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 	}()
 
 	rep, irs := cluster.RunTaskCtx(taskCtx, spec, task, sr.Spec.TaskStateBudget, sr.Spec.MaxFindingsPerTask)
-	if taskCtx.Err() != nil || rep.Interrupted {
+	if taskCtx.Err() != nil {
 		// Cancelled (worker shutdown) or lease lost mid-sweep: the partial
 		// result must not be posted — the coordinator will re-serve the task
 		// in full, keeping the pooled report deterministic.
@@ -201,6 +205,14 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 		hb.Wait()
 		return "abandoned", false, nil
 	}
+	// A sweep the per-injection wall-clock timeout cut short (rep.Interrupted
+	// with a live taskCtx) is a settled result, not an abandonment: the
+	// single-process cluster.Run records such a task Interrupted and moves
+	// on, so the worker must post it the same way. Abandoning instead would
+	// livelock the campaign — every worker re-claims the task, times out the
+	// same injection, and abandons again. The Interrupted/TimedOut marks
+	// travel inside the per-injection reports, and the coordinator's
+	// cluster.PoolReports reconstructs the identical interrupted TaskReport.
 	var resp CompleteResponse
 	err := postJSONTimeout(ctx, client, cfg.Coordinator+PathComplete, CompleteRequest{
 		Worker: cfg.ID,
@@ -292,6 +304,16 @@ type httpError struct {
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+// leaseLost reports whether a heartbeat error is decisive: the coordinator
+// itself refused with 409 Conflict (ErrLeaseLost on its side). Transport
+// failures and other statuses — a proxy's 502/503, a coordinator busy
+// decoding another worker's result — do not prove the lease is gone and must
+// be retried, not acted on.
+func leaseLost(err error) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.status == http.StatusConflict
+}
 
 func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()

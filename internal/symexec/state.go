@@ -418,8 +418,10 @@ const (
 // instead of bare integers.
 func (o Outcome) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
 
-// UnmarshalText parses an outcome name; bare integers are accepted for
-// compatibility with journals written before outcomes were named on the wire.
+// UnmarshalText parses an outcome name; bare integers in the defined range
+// are accepted for compatibility with journals written before outcomes were
+// named on the wire. Out-of-range integers (a corrupt or hand-edited journal)
+// are rejected rather than smuggled in as nameless tally buckets.
 func (o *Outcome) UnmarshalText(text []byte) error {
 	s := string(text)
 	for cand := OutcomeNormal; cand <= OutcomeRunning; cand++ {
@@ -429,7 +431,7 @@ func (o *Outcome) UnmarshalText(text []byte) error {
 		}
 	}
 	n, err := strconv.Atoi(s)
-	if err != nil {
+	if err != nil || n < int(OutcomeNormal) || n > int(OutcomeRunning) {
 		return fmt.Errorf("symexec: unknown outcome %q", s)
 	}
 	*o = Outcome(n)

@@ -35,8 +35,10 @@ const (
 // and stable across reorderings of the Kind constants.
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
-// UnmarshalText parses a kind name; bare integers are accepted for
-// compatibility with records written before kinds were named on the wire.
+// UnmarshalText parses a kind name; bare integers in the defined range are
+// accepted for compatibility with records written before kinds were named on
+// the wire. Out-of-range integers (a corrupt or hand-edited record) are
+// rejected rather than decoded into a kind String() cannot name.
 func (k *Kind) UnmarshalText(text []byte) error {
 	s := string(text)
 	for cand := KindInject; cand <= KindNote; cand++ {
@@ -46,7 +48,7 @@ func (k *Kind) UnmarshalText(text []byte) error {
 		}
 	}
 	n, err := strconv.Atoi(s)
-	if err != nil {
+	if err != nil || n < int(KindInject) || n > int(KindNote) {
 		return fmt.Errorf("trace: unknown event kind %q", s)
 	}
 	*k = Kind(n)

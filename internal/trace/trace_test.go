@@ -61,6 +61,25 @@ func TestRender(t *testing.T) {
 	}
 }
 
+// TestKindTextCompat: records written before kinds were named on the wire
+// carried bare integers, which must still decode — but only inside the
+// defined range. A corrupt or hand-edited record must be rejected, not
+// decoded into a kind String() cannot name.
+func TestKindTextCompat(t *testing.T) {
+	var k Kind
+	if err := k.UnmarshalText([]byte("2")); err != nil || k != KindFork {
+		t.Errorf("legacy in-range integer: got %v, %v", k, err)
+	}
+	if err := k.UnmarshalText([]byte("halt")); err != nil || k != KindHalt {
+		t.Errorf("named kind: got %v, %v", k, err)
+	}
+	for _, bad := range []string{"0", "-1", "99", "gibberish"} {
+		if err := k.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("invalid kind %q accepted", bad)
+		}
+	}
+}
+
 func TestKindNames(t *testing.T) {
 	kinds := []Kind{
 		KindInject, KindFork, KindConstraint, KindDetect, KindCheckPass,
