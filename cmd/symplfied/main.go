@@ -28,6 +28,11 @@
 // and -retries re-runs transient failures with degraded budgets. SIGINT
 // stops the search gracefully, flushing the journal and printing the partial
 // report, so the campaign can be resumed later.
+//
+// Observability: -metrics-addr serves /metrics (Prometheus text),
+// /debug/vars (expvar) and /debug/pprof on a side port, and -progress logs a
+// one-line report (states/s, frontier, findings, ETA) at the given interval.
+// In -serve mode the coordinator's own address also serves these endpoints.
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"symplfied"
 	"symplfied/internal/cli"
 	"symplfied/internal/dist"
+	"symplfied/internal/obs"
 	"symplfied/internal/query"
 )
 
@@ -81,10 +87,24 @@ func run(ctx context.Context, args []string) error {
 		retries   = fs.Int("retries", 0, "retry transiently failed injections up to N times with degraded budgets")
 		serve     = fs.String("serve", "", "serve the campaign to symworker processes on this address (e.g. :8080) instead of searching locally")
 		lease     = fs.Duration("lease", 0, "task lease duration for -serve; a worker silent this long loses its task (0: 30s)")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or :0)")
+		progress  = fs.Duration("progress", 0, "log a one-line progress report at this interval (e.g. 2s; 0: off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *metrics != "" {
+		bound, closeMetrics, err := obs.Serve(*metrics)
+		if err != nil {
+			return err
+		}
+		defer closeMetrics()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+	}
+	obs.StartProgress(ctx, obs.Default(), *progress, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
 
 	in, err := cli.ParseInput(*input)
 	if err != nil {

@@ -8,6 +8,11 @@
 //
 //	symworker -coordinator http://host:8080
 //	symworker -coordinator http://host:8080 -id node42 -poll 2s
+//	symworker -coordinator http://host:8080 -metrics-addr :9091 -progress 5s
+//
+// -metrics-addr serves /metrics, /debug/vars and /debug/pprof for this
+// worker (lease/heartbeat/upload health plus the search-engine counters);
+// -progress logs a one-line states/s report at the given interval.
 //
 // SIGINT abandons the current sweep (its lease lapses and the coordinator
 // re-serves it) and exits cleanly with the stats so far.
@@ -23,6 +28,7 @@ import (
 	"syscall"
 
 	"symplfied/internal/dist"
+	"symplfied/internal/obs"
 )
 
 func main() {
@@ -41,6 +47,8 @@ func run(ctx context.Context, args []string) error {
 		id          = fs.String("id", "", "worker name in leases and fleet status (default: host-pid)")
 		poll        = fs.Duration("poll", 0, "wait between claims when every remaining task is leased (0: 500ms)")
 		quiet       = fs.Bool("quiet", false, "suppress per-task progress lines")
+		metrics     = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9091 or :0)")
+		progress    = fs.Duration("progress", 0, "log a one-line progress report at this interval (0: off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +56,17 @@ func run(ctx context.Context, args []string) error {
 	if *coordinator == "" {
 		return fmt.Errorf("-coordinator is required (where is `symplfied -serve` running?)")
 	}
+	if *metrics != "" {
+		bound, closeMetrics, err := obs.Serve(*metrics)
+		if err != nil {
+			return err
+		}
+		defer closeMetrics()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+	}
+	obs.StartProgress(ctx, obs.Default(), *progress, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
 	if *id == "" {
 		host, err := os.Hostname()
 		if err != nil || host == "" {

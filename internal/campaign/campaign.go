@@ -30,6 +30,7 @@ import (
 
 	"symplfied/internal/checker"
 	"symplfied/internal/faults"
+	"symplfied/internal/obs"
 )
 
 // KindSymbolic is the journal kind written by this runner.
@@ -167,12 +168,31 @@ func Run(ctx context.Context, spec checker.Spec, cfg Config) (*checker.Report, S
 		workers = injTotal
 	}
 
+	// Decomposition-progress gauges: the campaign's unit of work is one
+	// injection. Deltas, not Set, so a concurrently-running cluster study on
+	// the same process stays additive; the defer retires this campaign's
+	// contribution when it returns.
+	var (
+		reg        = obs.Default()
+		tasksTotal = reg.Gauge(obs.MTasksTotal)
+		tasksDone  = reg.Gauge(obs.MTasksDone)
+	)
+	tasksTotal.Add(int64(injTotal))
+	defer func() {
+		mu.Lock()
+		retire := int64(done)
+		mu.Unlock()
+		tasksTotal.Add(-int64(injTotal))
+		tasksDone.Add(-retire)
+	}()
+
 	settle := func(i int, ir checker.InjectionReport, resumed bool, retried int) {
 		results[i] = ir
 		settled[i] = true
 		mu.Lock()
 		defer mu.Unlock()
 		done++
+		tasksDone.Add(1)
 		stats.Retried += retried
 		if resumed {
 			stats.Resumed++

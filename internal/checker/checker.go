@@ -27,8 +27,22 @@ import (
 	"symplfied/internal/faults"
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
+	"symplfied/internal/obs"
 	"symplfied/internal/symexec"
 	"symplfied/internal/trace"
+)
+
+// Live instruments on the default registry, resolved once so the BFS hot
+// loop pays one atomic op per event, not a registry lookup. These feed
+// -metrics-addr scrapes and the -progress line; the deterministic tallies
+// that travel inside reports live in InjectionReport.Exec instead.
+var (
+	liveStates      = obs.Default().Counter(obs.MStates)
+	liveFindings    = obs.Default().Counter(obs.MFindings)
+	liveFrontier    = obs.Default().Gauge(obs.MFrontier)
+	liveInjections  = obs.Default().Counter(obs.MInjections)
+	liveInjTimeouts = obs.Default().Counter(obs.MInjTimeouts)
+	liveInjPanics   = obs.Default().Counter(obs.MInjPanics)
 )
 
 // DefaultStateBudget bounds the states explored per injection when the spec
@@ -177,6 +191,12 @@ type InjectionReport struct {
 	// spec) when a resilient runner chose to keep going instead of aborting.
 	// Empty for clean explorations.
 	Error string
+	// Exec tallies how the exploration spent its budget (forks by kind,
+	// solver prunes, dedup hits, frontier/depth high-water marks). The
+	// tally is deterministic — derived from the search order, never the
+	// wall clock — so journals, resume and the distributed protocol merge
+	// it exactly like findings.
+	Exec obs.ExecStats
 }
 
 // Failed reports whether the injection ended abnormally (panic, deadline,
@@ -205,6 +225,9 @@ type Report struct {
 	// Errors counts injections recorded with an infrastructure error by a
 	// resilient runner.
 	Errors int
+	// Exec is the merged per-injection exploration tally (Add folds each
+	// InjectionReport.Exec in; counters sum, high-water marks take the max).
+	Exec obs.ExecStats
 }
 
 // NewReport returns an empty report ready for Add.
@@ -245,6 +268,7 @@ func (r *Report) Add(ir InjectionReport) {
 	if ir.Error != "" {
 		r.Errors++
 	}
+	r.Exec.Merge(ir.Exec)
 }
 
 // Verdict is the framework's overall answer (paper Section 3.1, Outputs):
@@ -356,6 +380,16 @@ func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (ir I
 			ir.PanicValue = fmt.Sprint(rec)
 			err = nil
 		}
+		// Flush this injection's deterministic tally into the live registry
+		// so mid-campaign scrapes reflect completed injections.
+		liveInjections.Inc()
+		if ir.TimedOut {
+			liveInjTimeouts.Inc()
+		}
+		if ir.Panicked {
+			liveInjPanics.Inc()
+		}
+		ir.Exec.Publish(obs.Default())
 	}()
 	err = exploreInjection(ctx, spec, inj, &ir)
 	return ir, err
@@ -381,6 +415,7 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 	ir.Activated = true
 
 	st := symexec.FromMachine(m, spec.Detectors, spec.Exec)
+	st.Stats = &ir.Exec // shared by every forked state in this search
 	if consumed := m.InputConsumed(); consumed < len(spec.Input) {
 		st.SetInput(spec.Input[consumed:])
 	}
@@ -404,6 +439,18 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 	if spec.Dedup {
 		visited = make(map[string]struct{}, 1024)
 	}
+	// The live frontier gauge carries this search's current width; sweeps
+	// running in parallel each add their contribution, and the deferred
+	// drain removes it however the exploration exits (including panics).
+	var published int64
+	defer func() { liveFrontier.Add(-published) }()
+	syncFrontier := func() {
+		width := int64(len(frontier) - head)
+		ir.Exec.ObserveFrontier(len(frontier) - head)
+		liveFrontier.Add(width - published)
+		published = width
+	}
+	syncFrontier()
 	for head < len(frontier) {
 		cur := frontier[head]
 		frontier[head] = nil
@@ -416,6 +463,7 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 		if visited != nil {
 			k := cur.Key()
 			if _, seen := visited[k]; seen {
+				ir.Exec.CountDedup()
 				continue
 			}
 			visited[k] = struct{}{}
@@ -433,14 +481,17 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 				}
 			}
 			ir.StatesExplored++
+			liveStates.Inc()
 			ir.Truncated = ir.Truncated || cur.Truncated
 
 			if !cur.Running() {
 				ir.TerminalStates++
 				ir.Outcomes[cur.Outcome()]++
+				ir.Exec.ObserveDepth(int64(cur.Steps))
 				if spec.Predicate.Match(cur) {
 					if spec.MaxFindings == 0 || len(ir.Findings) < spec.MaxFindings {
 						ir.Findings = append(ir.Findings, newFinding(inj, cur, spec.DiscardStates))
+						liveFindings.Inc()
 					}
 				}
 				break
@@ -448,9 +499,11 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 			if cur.StepInPlace() {
 				continue
 			}
+			ir.Exec.ObserveDepth(int64(cur.Steps))
 			frontier = append(frontier, cur.Successors()...)
 			break
 		}
+		syncFrontier()
 	}
 	return nil
 }

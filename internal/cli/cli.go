@@ -1,6 +1,11 @@
 // Package cli holds helpers shared by the command-line tools: loading
 // programs (from assembly files, MIPS files, or the built-in benchmark
 // applications) and parsing input streams.
+//
+// It has no direct paper counterpart — it is the glue between the paper's
+// "supporting tools" (§5: the translator, the query generator) and the
+// benchmark applications of §6, so each cmd/ binary resolves -app/-file/
+// -input identically.
 package cli
 
 import (

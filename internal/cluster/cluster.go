@@ -18,9 +18,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"symplfied/internal/checker"
 	"symplfied/internal/faults"
+	"symplfied/internal/obs"
 	"symplfied/internal/symexec"
 )
 
@@ -108,6 +111,11 @@ type TaskReport struct {
 	// Failure mirrors Err as text so task reports round-trip through the
 	// distributed wire protocol and checkpoint journals.
 	Failure string `json:",omitempty"`
+	// Exec merges the task's per-injection exploration tallies (see
+	// checker.InjectionReport.Exec). Deterministic, so the distributed
+	// coordinator pooling shipped injection reports derives the identical
+	// value.
+	Exec obs.ExecStats
 }
 
 // FoundErrors reports whether the task found any predicate match.
@@ -138,6 +146,24 @@ func RunCtx(ctx context.Context, spec checker.Spec, tasks []Task, cfg Config) []
 		budget = DefaultTaskStateBudget
 	}
 
+	// Pool utilization and decomposition-progress gauges for -metrics-addr
+	// scrapes and the -progress ETA. Gauges use deltas, not Set, so nested
+	// pools (a dist worker running its own cluster sweep) stay additive.
+	reg := obs.Default()
+	poolWorkers := reg.Gauge(obs.MWorkers)
+	busyWorkers := reg.Gauge(obs.MBusyWorkers)
+	tasksTotal := reg.Gauge(obs.MTasksTotal)
+	tasksDone := reg.Gauge(obs.MTasksDone)
+	taskSeconds := reg.Histogram(obs.MTaskSeconds, nil)
+	poolWorkers.Add(int64(workers))
+	tasksTotal.Add(int64(len(tasks)))
+	var doneCount atomic.Int64
+	defer func() {
+		poolWorkers.Add(-int64(workers))
+		tasksTotal.Add(-int64(len(tasks)))
+		tasksDone.Add(-doneCount.Load()) // retire this study's contribution
+	}()
+
 	reports := make([]TaskReport, len(tasks))
 	started := make([]bool, len(tasks))
 	var (
@@ -149,7 +175,13 @@ func RunCtx(ctx context.Context, spec checker.Spec, tasks []Task, cfg Config) []
 		go func() {
 			defer wg.Done()
 			for idx := range next {
+				busyWorkers.Add(1)
+				start := time.Now()
 				reports[idx] = runTask(ctx, spec, tasks[idx], budget, cfg.MaxFindingsPerTask)
+				taskSeconds.Observe(time.Since(start).Seconds())
+				busyWorkers.Add(-1)
+				tasksDone.Add(1)
+				doneCount.Add(1)
 			}
 		}()
 	}
@@ -261,6 +293,7 @@ func PoolReports(task Task, irs []checker.InjectionReport, maxFindings int) Task
 	}
 	for _, ir := range irs {
 		rep.StatesExplored += ir.StatesExplored
+		rep.Exec.Merge(ir.Exec)
 		for o, n := range ir.Outcomes {
 			rep.Outcomes[o] += n
 		}
@@ -302,6 +335,8 @@ type Summary struct {
 	TotalInjections int
 	Findings        []checker.Finding
 	Outcomes        map[symexec.Outcome]int
+	// Exec merges every task's exploration tally.
+	Exec obs.ExecStats
 }
 
 // Summarize aggregates reports.
@@ -312,6 +347,7 @@ func Summarize(reports []TaskReport) Summary {
 		s.TotalInjections += r.InjectionsDone
 		s.Findings = append(s.Findings, r.Findings...)
 		s.Panics += r.Panics
+		s.Exec.Merge(r.Exec)
 		for o, n := range r.Outcomes {
 			s.Outcomes[o] += n
 		}

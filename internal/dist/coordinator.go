@@ -3,7 +3,6 @@ package dist
 import (
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"log"
 	"net/http"
@@ -14,13 +13,28 @@ import (
 	"symplfied/internal/campaign"
 	"symplfied/internal/checker"
 	"symplfied/internal/cluster"
+	"symplfied/internal/obs"
 	"symplfied/internal/symexec"
 )
 
-// distVars publishes the coordinator's counters process-wide so the HTTP
-// mux's /debug/vars gives fleet observability with zero dependencies beyond
-// the standard library.
-var distVars = expvar.NewMap("symplfied_dist")
+// Coordinator-side live metrics on the shared obs registry (scraped via
+// /metrics and /debug/vars on the coordinator's own mux — Handler mounts
+// obs.RegisterOps). These mirror the Counters struct served in
+// StatusResponse; the struct stays authoritative for the wire protocol, the
+// registry feeds scrapers and the -progress line.
+var (
+	mTasksServed     = obs.Default().Counter(obs.MDistTasksServed)
+	mTasksCompleted  = obs.Default().Counter(obs.MDistTasksCompleted)
+	mTasksReassigned = obs.Default().Counter(obs.MDistTasksReassigned)
+	mHeartbeats      = obs.Default().Counter(obs.MDistHeartbeats)
+	mReportsPooled   = obs.Default().Counter(obs.MDistReportsPooled)
+	mDuplicates      = obs.Default().Counter(obs.MDistDuplicates)
+	mJournalErrors   = obs.Default().Counter(obs.MDistJournalErrors)
+	mWorkersLive     = obs.Default().Gauge(obs.MDistWorkersLive)
+	mCoordTasksTotal = obs.Default().Gauge(obs.MTasksTotal)
+	mCoordTasksDone  = obs.Default().Gauge(obs.MTasksDone)
+	mCoordFindings   = obs.Default().Counter(obs.MFindings)
+)
 
 // DefaultLease is the task lease duration when the config does not set one.
 // A worker heartbeats every Lease/3, so three missed heartbeats lose the
@@ -119,6 +133,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		workers:     make(map[string]*workerInfo),
 		doneCh:      make(chan struct{}),
 	}
+	mCoordTasksTotal.Add(int64(len(tasks)))
 	if c.leaseDur <= 0 {
 		c.leaseDur = DefaultLease
 	}
@@ -165,12 +180,19 @@ func (c *Coordinator) settleLocked(id int, res TaskResult) {
 	c.results[id] = &rep
 	delete(c.leases, id)
 	c.doneN++
+	mCoordTasksDone.Add(1)
+	// Findings land on the coordinator's live counter so its -progress line
+	// and /metrics reflect pooled results. (In a process hosting both a
+	// coordinator and an in-process worker — tests — the worker's checker
+	// also counts findings; the live counter is operational, not a report.)
+	mCoordFindings.Add(int64(len(rep.Findings)))
 	if c.doneN == len(c.tasks) {
 		close(c.doneCh)
 	}
 }
 
-// reapLocked expires lapsed leases, returning their tasks to the queue.
+// reapLocked expires lapsed leases, returning their tasks to the queue, and
+// refreshes the live-worker gauge.
 func (c *Coordinator) reapLocked(now time.Time) {
 	for id, l := range c.leases {
 		if now.After(l.expires) {
@@ -179,9 +201,16 @@ func (c *Coordinator) reapLocked(now time.Time) {
 				delete(w.leased, id)
 			}
 			c.counters.TasksReassigned++
-			distVars.Add("tasks_reassigned", 1)
+			mTasksReassigned.Inc()
 		}
 	}
+	live := int64(0)
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.leaseDur {
+			live++
+		}
+	}
+	mWorkersLive.Set(live)
 }
 
 // touchLocked records that a worker spoke.
@@ -218,7 +247,7 @@ func (c *Coordinator) Claim(worker string) ClaimResponse {
 		c.leases[id] = lease{worker: worker, expires: now.Add(c.leaseDur)}
 		w.leased[id] = true
 		c.counters.TasksServed++
-		distVars.Add("tasks_served", 1)
+		mTasksServed.Inc()
 		return ClaimResponse{
 			Task:  &TaskAssignment{ID: c.tasks[id].ID, Injections: c.tasks[id].Injections},
 			Lease: c.leaseDur,
@@ -237,7 +266,7 @@ func (c *Coordinator) Heartbeat(worker string, task int) error {
 	c.reapLocked(now)
 	c.touchLocked(worker, now)
 	c.counters.Heartbeats++
-	distVars.Add("heartbeats", 1)
+	mHeartbeats.Inc()
 	l, held := c.leases[task]
 	if !held || l.worker != worker {
 		return ErrLeaseLost
@@ -262,7 +291,7 @@ func (c *Coordinator) Complete(worker string, task int, res TaskResult) (Complet
 		c.counters.DuplicateCompletions++
 		done := c.doneN == len(c.tasks)
 		c.mu.Unlock()
-		distVars.Add("duplicate_completions", 1)
+		mDuplicates.Inc()
 		return CompleteResponse{Duplicate: true, Done: done}, nil
 	}
 	if l, held := c.leases[task]; held {
@@ -278,8 +307,8 @@ func (c *Coordinator) Complete(worker string, task int, res TaskResult) (Complet
 	journal := c.journal
 	done := c.doneN == len(c.tasks)
 	c.mu.Unlock()
-	distVars.Add("tasks_completed", 1)
-	distVars.Add("reports_pooled", int64(len(res.Reports)))
+	mTasksCompleted.Inc()
+	mReportsPooled.Add(int64(len(res.Reports)))
 	// Journal outside the coordinator lock: a huge task result (gigabytes
 	// under unlimited findings) must not stall heartbeats and claims while
 	// it is serialized to disk. Journal.Append serializes appends itself.
@@ -295,7 +324,7 @@ func (c *Coordinator) Complete(worker string, task int, res TaskResult) (Complet
 			c.mu.Lock()
 			c.counters.JournalErrors++
 			c.mu.Unlock()
-			distVars.Add("journal_errors", 1)
+			mJournalErrors.Inc()
 			return CompleteResponse{Accepted: true, Done: done}, fmt.Errorf("dist: journal: %w", err)
 		}
 	}
@@ -413,8 +442,9 @@ func (c *Coordinator) Close() error {
 	return err
 }
 
-// Handler is the coordinator's HTTP API (see protocol.go), including expvar
-// under /debug/vars.
+// Handler is the coordinator's HTTP API (see protocol.go), plus the obs
+// operational endpoints: /metrics (Prometheus text), /debug/vars (expvar
+// JSON carrying the full "symplfied" snapshot) and /debug/pprof/.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathSpec, func(w http.ResponseWriter, r *http.Request) {
@@ -456,7 +486,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathReport, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Report())
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
+	obs.RegisterOps(mux)
 	return mux
 }
 

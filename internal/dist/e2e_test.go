@@ -127,6 +127,18 @@ func TestEndToEndDeterminism(t *testing.T) {
 		t.Errorf("merged summary implausible: %+v", merged.Summary)
 	}
 
+	// The pooled exploration counters equal the single-process ones exactly
+	// (they are deterministic tallies merged like findings), and they are not
+	// trivially zero — the factorial sweep must fork at comparisons.
+	refSummary := cluster.Summarize(refReports)
+	if merged.Summary.Exec != refSummary.Exec {
+		t.Errorf("pooled exec counters differ from single-process cluster.Run:\n got  %+v\n want %+v",
+			merged.Summary.Exec, refSummary.Exec)
+	}
+	if refSummary.Exec.Forks() == 0 || refSummary.Exec.MaxFrontier == 0 {
+		t.Errorf("reference exec counters implausibly zero: %+v", refSummary.Exec)
+	}
+
 	// Both live workers did real work.
 	totalDone := 0
 	for id, s := range stats {
@@ -156,20 +168,34 @@ func TestEndToEndDeterminism(t *testing.T) {
 		t.Errorf("verdict %q, want refuted (factorial register errors are findable)", st.Verdict)
 	}
 
-	// The expvar page is served on the same mux.
+	// The obs operational endpoints are served on the same mux: /debug/vars
+	// carries the registry snapshot under "symplfied", and /metrics serves
+	// the Prometheus text exposition.
 	dv, err := srv.Client().Get(srv.URL + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var vars struct {
-		Dist map[string]int64 `json:"symplfied_dist"`
+		Snap map[string]any `json:"symplfied"`
 	}
 	if err := json.NewDecoder(dv.Body).Decode(&vars); err != nil {
 		t.Fatal(err)
 	}
 	dv.Body.Close()
-	if vars.Dist["tasks_completed"] == 0 || vars.Dist["tasks_served"] == 0 {
-		t.Errorf("expvar counters not published: %v", vars.Dist)
+	for _, name := range []string{"symplfied_dist_tasks_completed_total", "symplfied_dist_tasks_served_total"} {
+		if v, _ := vars.Snap[name].(float64); v == 0 {
+			t.Errorf("registry counter %s not published at /debug/vars: %v", name, vars.Snap[name])
+		}
+	}
+	pm, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promText := new(bytes.Buffer)
+	promText.ReadFrom(pm.Body)
+	pm.Body.Close()
+	if !bytes.Contains(promText.Bytes(), []byte("symplfied_dist_tasks_completed_total")) {
+		t.Errorf("/metrics missing coordinator counters:\n%s", promText.String())
 	}
 }
 

@@ -14,6 +14,24 @@ import (
 	"symplfied/internal/campaign"
 	"symplfied/internal/checker"
 	"symplfied/internal/cluster"
+	"symplfied/internal/obs"
+)
+
+// Worker-side live metrics on the shared obs registry, served by the
+// symworker binary's -metrics-addr endpoint. Lease and heartbeat health is
+// the fleet's early-warning signal: rising heartbeat failures or lost leases
+// mean the coordinator (or the network) is struggling before any task
+// visibly fails.
+var (
+	wClaimed    = obs.Default().Counter(obs.MWorkerClaimed)
+	wCompleted  = obs.Default().Counter(obs.MWorkerCompleted)
+	wDuplicates = obs.Default().Counter(obs.MWorkerDuplicates)
+	wAbandoned  = obs.Default().Counter(obs.MWorkerAbandoned)
+	wHeartbeats = obs.Default().Counter(obs.MWorkerHeartbeats)
+	wHBFailures = obs.Default().Counter(obs.MWorkerHBFailures)
+	wLeasesLost = obs.Default().Counter(obs.MWorkerLeasesLost)
+	wPostBytes  = obs.Default().Counter(obs.MWorkerPostBytes)
+	wUploadSecs = obs.Default().Histogram(obs.MWorkerUploadSecond, nil)
 )
 
 // WorkerConfig configures a pull-based campaign worker.
@@ -104,6 +122,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 			continue
 		}
 		stats.Claimed++
+		wClaimed.Inc()
 		if cfg.OnTask != nil {
 			cfg.OnTask("claimed", claim.Task.ID)
 		}
@@ -114,10 +133,13 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 		switch outcome {
 		case "completed":
 			stats.Completed++
+			wCompleted.Inc()
 		case "duplicate":
 			stats.Duplicates++
+			wDuplicates.Inc()
 		default:
 			stats.Abandoned++
+			wAbandoned.Inc()
 		}
 		if cfg.OnTask != nil {
 			cfg.OnTask(outcome, claim.Task.ID)
@@ -170,13 +192,16 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 			case <-t.C:
 				err := postJSONTimeout(taskCtx, client, cfg.Coordinator+PathHeartbeat,
 					HeartbeatRequest{Worker: cfg.ID, Task: task.ID}, nil, controlTimeout)
+				wHeartbeats.Inc()
 				switch {
 				case err == nil:
 					fails = 0
 				case taskCtx.Err() != nil:
 					return
 				default:
+					wHBFailures.Inc()
 					if leaseLost(err) {
+						wLeasesLost.Inc()
 						// The coordinator itself answered 409: the lease
 						// expired and was reassigned (or the task completed
 						// elsewhere). No point continuing the sweep.
@@ -214,11 +239,13 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 	// travel inside the per-injection reports, and the coordinator's
 	// cluster.PoolReports reconstructs the identical interrupted TaskReport.
 	var resp CompleteResponse
+	uploadStart := time.Now()
 	err := postJSONTimeout(ctx, client, cfg.Coordinator+PathComplete, CompleteRequest{
 		Worker: cfg.ID,
 		Task:   task.ID,
 		Result: TaskResult{Reports: irs, Failure: rep.Failure},
 	}, &resp, completeTimeout)
+	wUploadSecs.Observe(time.Since(uploadStart).Seconds())
 	cancel()
 	hb.Wait()
 	if err != nil {
@@ -284,6 +311,7 @@ func postJSON(ctx context.Context, client *http.Client, url string, body, out an
 	if err != nil {
 		return err
 	}
+	wPostBytes.Add(int64(len(data)))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
 	if err != nil {
 		return err

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge and one histogram
+// from many goroutines and checks nothing is lost (run under -race in CI).
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			g := r.Gauge("g")
+			h := r.Histogram("h_seconds", nil)
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	const want = goroutines * perG
+	if got := r.Counter("c_total").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("g").Value(); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	h := r.Histogram("h_seconds", nil)
+	if h.Count() != want {
+		t.Errorf("histogram count = %d, want %d", h.Count(), want)
+	}
+	if diff := h.Sum() - float64(want)*0.001; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), float64(want)*0.001)
+	}
+}
+
+// TestSnapshotDeterminism: two registries populated in different orders must
+// snapshot to identical bytes, in JSON and in Prometheus text.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func(order []int) *Registry {
+		r := NewRegistry()
+		ops := []func(){
+			func() { r.Counter(MStates).Add(42) },
+			func() { r.Counter(MForks, L("kind", ForkCmp)).Add(7) },
+			func() { r.Counter(MForks, L("kind", ForkLoad)).Add(3) },
+			func() { r.Gauge(MFrontier).Set(9) },
+			func() { r.Histogram(MTaskSeconds, []float64{1, 10}).Observe(2.5) },
+		}
+		for _, i := range order {
+			ops[i]()
+		}
+		return r
+	}
+	a := build([]int{0, 1, 2, 3, 4})
+	b := build([]int{4, 3, 2, 1, 0})
+
+	aj, _ := json.Marshal(a.Snapshot().ExpvarMap())
+	bj, _ := json.Marshal(b.Snapshot().ExpvarMap())
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("expvar JSON differs by registration order:\n%s\n%s", aj, bj)
+	}
+
+	var ap, bp bytes.Buffer
+	if err := a.Snapshot().WritePrometheus(&ap); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WritePrometheus(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if ap.String() != bp.String() {
+		t.Errorf("Prometheus text differs by registration order:\n%s\n%s", ap.String(), bp.String())
+	}
+
+	// Repeated snapshots of an unchanged registry are identical too.
+	cj, _ := json.Marshal(a.Snapshot().ExpvarMap())
+	if !bytes.Equal(aj, cj) {
+		t.Error("repeated snapshot differs")
+	}
+}
+
+// TestPrometheusText checks the exposition format details: TYPE lines once
+// per family, label rendering, histogram _bucket/_sum/_count, and the
+// backslash/quote/newline escaping rules.
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MForks, L("kind", ForkCmp)).Add(5)
+	r.Counter(MForks, L("kind", ForkStore)).Add(2)
+	r.Gauge(MFrontier).Set(3)
+	r.Histogram(MTaskSeconds, []float64{0.5, 5}).Observe(1.25)
+	r.Counter("weird_total", L("path", "a\\b\"c\nd")).Inc()
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	for _, want := range []string{
+		"# TYPE symplfied_forks_total counter\n",
+		`symplfied_forks_total{kind="cmp"} 5` + "\n",
+		`symplfied_forks_total{kind="store"} 2` + "\n",
+		"# TYPE symplfied_frontier_states gauge\n",
+		"symplfied_frontier_states 3\n",
+		"# TYPE symplfied_task_seconds histogram\n",
+		`symplfied_task_seconds_bucket{le="0.5"} 0` + "\n",
+		`symplfied_task_seconds_bucket{le="5"} 1` + "\n",
+		`symplfied_task_seconds_bucket{le="+Inf"} 1` + "\n",
+		"symplfied_task_seconds_sum 1.25\n",
+		"symplfied_task_seconds_count 1\n",
+		`weird_total{path="a\\b\"c\nd"} 1` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE symplfied_forks_total"); n != 1 {
+		t.Errorf("TYPE line for forks family appears %d times, want 1", n)
+	}
+}
+
+// TestExecStatsMerge: merging is order-independent and matches summing by
+// hand, with max semantics on the high-water marks.
+func TestExecStatsMerge(t *testing.T) {
+	a := ExecStats{ForksCmp: 3, SolverPrunes: 2, DedupHits: 1, MaxFrontier: 10, MaxDepth: 5}
+	b := ExecStats{ForksCmp: 1, ForksLoad: 4, WatchdogTruncations: 2, MaxFrontier: 7, MaxDepth: 9}
+
+	ab, ba := a, b
+	ab.Merge(b)
+	ba.Merge(a)
+	if ab != ba {
+		t.Errorf("merge not commutative: %+v vs %+v", ab, ba)
+	}
+	want := ExecStats{ForksCmp: 4, ForksLoad: 4, SolverPrunes: 2, DedupHits: 1,
+		WatchdogTruncations: 2, MaxFrontier: 10, MaxDepth: 9}
+	if ab != want {
+		t.Errorf("merge = %+v, want %+v", ab, want)
+	}
+	if got := ab.Forks(); got != 8 {
+		t.Errorf("Forks() = %d, want 8", got)
+	}
+	if !(ExecStats{}).IsZero() || ab.IsZero() {
+		t.Error("IsZero misclassifies")
+	}
+}
+
+// TestExecStatsNilSafe: all counting methods must be no-ops on nil.
+func TestExecStatsNilSafe(t *testing.T) {
+	var s *ExecStats
+	s.CountFork(ForkCmp)
+	s.CountPrune()
+	s.CountDedup()
+	s.CountWatchdog()
+	s.CountFanout()
+	s.ObserveFrontier(10)
+	s.ObserveDepth(10)
+	if s.Forks() != 0 {
+		t.Error("nil stats not zero")
+	}
+}
+
+// TestExecStatsPublish: publishing a tally lands on the expected registry
+// instruments.
+func TestExecStatsPublish(t *testing.T) {
+	r := NewRegistry()
+	s := ExecStats{ForksCmp: 2, ForksDetector: 1, SolverPrunes: 3, MaxFrontier: 11}
+	s.Publish(r)
+	s.Publish(r) // counters accumulate, gauge stays at the max
+	if got := r.Counter(MForks, L("kind", ForkCmp)).Value(); got != 4 {
+		t.Errorf("cmp forks = %d, want 4", got)
+	}
+	if got := r.Counter(MSolverPrunes).Value(); got != 6 {
+		t.Errorf("prunes = %d, want 6", got)
+	}
+	if got := r.Gauge(MFrontierMax).Value(); got != 11 {
+		t.Errorf("frontier max = %d, want 11", got)
+	}
+}
+
+// TestServeEndpoints boots the ops server on :0 and checks /metrics,
+// /debug/vars and /debug/pprof/ all answer.
+func TestServeEndpoints(t *testing.T) {
+	Default().Counter(MStates).Add(1)
+	addr, closer, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+
+	get := func(path string) (string, int) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.String(), resp.StatusCode
+	}
+
+	if body, code := get("/metrics"); code != 200 || !strings.Contains(body, MStates) {
+		t.Errorf("/metrics: code %d, body %q", code, body)
+	}
+	if body, code := get("/debug/vars"); code != 200 || !strings.Contains(body, `"symplfied"`) {
+		t.Errorf("/debug/vars: code %d, missing symplfied map in %q", code, body)
+	}
+	if _, code := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}
+
+// TestProgressLine: the reader computes rates and ETA from the registry and
+// renders the documented one-line format.
+func TestProgressLine(t *testing.T) {
+	r := NewRegistry()
+	rd := NewReader(r)
+	r.Counter(MStates).Add(1000)
+	r.Counter(MFindings).Add(2)
+	r.Gauge(MFrontier).Set(40)
+	r.Gauge(MTasksTotal).Set(10)
+	r.Gauge(MTasksDone).Set(5)
+	time.Sleep(10 * time.Millisecond)
+
+	p := rd.Read()
+	if p.States != 1000 || p.Findings != 2 || p.Frontier != 40 {
+		t.Errorf("bad reading: %+v", p)
+	}
+	if p.StatesPerSec <= 0 {
+		t.Errorf("states/s = %g, want > 0", p.StatesPerSec)
+	}
+	if p.ETA <= 0 {
+		t.Errorf("ETA = %s, want > 0 with 5/10 tasks done", p.ETA)
+	}
+	line := p.String()
+	for _, want := range []string{"progress ", "states=1000", "findings=2", "frontier=40", "tasks=5/10", "eta="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line missing %q: %s", want, line)
+		}
+	}
+
+	// StartProgress emits through logf and stops on cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	lines := make(chan string, 16)
+	StartProgress(ctx, r, 5*time.Millisecond, func(format string, args ...any) {
+		select {
+		case lines <- fmt.Sprintf(format, args...):
+		default:
+		}
+	})
+	select {
+	case l := <-lines:
+		if !strings.HasPrefix(l, "progress ") {
+			t.Errorf("unexpected progress line %q", l)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no progress line emitted")
+	}
+	cancel()
+}
+
+// TestSanitize covers metric-name sanitization for non-conforming runes.
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name:x":  "ok_name:x",
+		"1starts":    "_starts",
+		"has space":  "has_space",
+		"dash-name":  "dash_name",
+		"":           "_",
+		"utf8_éclat": "utf8__clat",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

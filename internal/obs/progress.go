@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Progress is one periodic reading of a running campaign, assembled from
+// the registry's live counters and gauges.
+type Progress struct {
+	// Elapsed is the time since the reporter started.
+	Elapsed time.Duration
+	// States is the cumulative state count; StatesPerSec its rate over the
+	// last interval.
+	States       int64
+	StatesPerSec float64
+	// Frontier is the current summed frontier width across live searches.
+	Frontier int64
+	// Findings is the cumulative finding count.
+	Findings int64
+	// TasksDone / TasksTotal track campaign decomposition progress; zero
+	// TasksTotal means the run is not task-structured (single injection
+	// sweep) and ETA is unavailable.
+	TasksDone, TasksTotal int64
+	// ETA extrapolates remaining wall time from the task completion rate;
+	// zero when unknown.
+	ETA time.Duration
+}
+
+// String renders the canonical one-line progress report, e.g.
+//
+//	progress elapsed=1m30s states=123456 states/s=1371 frontier=42 findings=3 tasks=5/16 eta=4m57s
+func (p Progress) String() string {
+	s := fmt.Sprintf("progress elapsed=%s states=%d states/s=%.0f frontier=%d findings=%d",
+		p.Elapsed.Round(time.Second), p.States, p.StatesPerSec, p.Frontier, p.Findings)
+	if p.TasksTotal > 0 {
+		s += fmt.Sprintf(" tasks=%d/%d", p.TasksDone, p.TasksTotal)
+		if p.ETA > 0 {
+			s += fmt.Sprintf(" eta=%s", p.ETA.Round(time.Second))
+		}
+	}
+	return s
+}
+
+// Reader reads the progress-relevant instruments from a registry. Keeping
+// the instrument handles avoids re-locking the registry map every tick.
+type Reader struct {
+	start    time.Time
+	states   *Counter
+	findings *Counter
+	frontier *Gauge
+	done     *Gauge
+	total    *Gauge
+
+	lastStates int64
+	lastDone   int64
+	lastAt     time.Time
+}
+
+// NewReader prepares a progress reader over r.
+func NewReader(r *Registry) *Reader {
+	now := time.Now()
+	return &Reader{
+		start:    now,
+		lastAt:   now,
+		states:   r.Counter(MStates),
+		findings: r.Counter(MFindings),
+		frontier: r.Gauge(MFrontier),
+		done:     r.Gauge(MTasksDone),
+		total:    r.Gauge(MTasksTotal),
+	}
+}
+
+// Read samples the instruments and computes rates since the previous Read.
+func (rd *Reader) Read() Progress {
+	now := time.Now()
+	dt := now.Sub(rd.lastAt).Seconds()
+	states := rd.states.Value()
+	done := rd.done.Value()
+	total := rd.total.Value()
+
+	p := Progress{
+		Elapsed:    now.Sub(rd.start),
+		States:     states,
+		Frontier:   rd.frontier.Value(),
+		Findings:   rd.findings.Value(),
+		TasksDone:  done,
+		TasksTotal: total,
+	}
+	if dt > 0 {
+		p.StatesPerSec = float64(states-rd.lastStates) / dt
+	}
+	// ETA from the overall task completion rate: remaining / (done/elapsed).
+	if total > 0 && done > 0 && done < total {
+		perTask := now.Sub(rd.start) / time.Duration(done)
+		p.ETA = perTask * time.Duration(total-done)
+	}
+	rd.lastStates, rd.lastDone, rd.lastAt = states, done, now
+	return p
+}
+
+// StartProgress logs a one-line progress report every interval until ctx is
+// cancelled, via logf (log.Printf-compatible). It returns immediately; the
+// reporting runs in a background goroutine. A non-positive interval
+// disables reporting.
+func StartProgress(ctx context.Context, r *Registry, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 || logf == nil {
+		return
+	}
+	rd := NewReader(r)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				logf("%s", rd.Read())
+			}
+		}
+	}()
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards expvar.Publish, which panics on duplicate names.
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry's snapshot under the expvar
+// name "symplfied", so any /debug/vars page (including one mounted by the
+// dist coordinator's mux) carries the full metric set. Safe to call many
+// times.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("symplfied", expvar.Func(func() any {
+			return Default().Snapshot().ExpvarMap()
+		}))
+	})
+}
+
+// RegisterOps mounts the operational endpoints on mux:
+//
+//	/metrics      - Prometheus text exposition of the default registry
+//	/debug/vars   - expvar JSON (includes the "symplfied" snapshot map)
+//	/debug/pprof/ - net/http/pprof profiles
+func RegisterOps(mux *http.ServeMux) {
+	PublishExpvar()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default().Snapshot().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve binds addr (":0" picks a free port) and serves the operational
+// endpoints in a background goroutine. It returns the bound address and a
+// closer; callers log the address so `-metrics-addr :0` is usable.
+func Serve(addr string) (bound string, closer func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	RegisterOps(mux)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// SnapshotJSON renders the default registry's expvar map as JSON, for
+// embedding in logs or test output.
+func SnapshotJSON() []byte {
+	b, _ := json.Marshal(Default().Snapshot().ExpvarMap())
+	return b
+}

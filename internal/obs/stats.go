@@ -1,0 +1,178 @@
+package obs
+
+// ExecStats is the deterministic per-exploration tally that travels inside
+// reports: how the BFS spent its budget, in the same vocabulary as the
+// paper's evaluation tables (forks created, forks the affine solver pruned,
+// frontier growth). The checker attaches one to each injection's search
+// (shared by every forked State via a pointer), folds it into
+// checker.Report, and the cluster/dist layers merge it exactly the way they
+// merge findings — so a resumed or distributed campaign reproduces the
+// single-process counters byte for byte.
+//
+// Everything here is derived from the search's own deterministic order;
+// wall-clock readings never appear (they live only in the live Registry).
+// All counting methods are nil-safe so instrumented code paths need no
+// guards when no stats are being collected.
+type ExecStats struct {
+	// ForksCmp counts two-way forks at symbolic comparisons (slt/beq/bne
+	// and friends) where both branches were satisfiable.
+	ForksCmp int64 `json:",omitempty"`
+	// ForksDivisor counts forks enumerating feasible symbolic divisors.
+	ForksDivisor int64 `json:",omitempty"`
+	// ForksLoad counts forks enumerating erroneous load addresses.
+	ForksLoad int64 `json:",omitempty"`
+	// ForksStore counts forks enumerating erroneous store addresses.
+	ForksStore int64 `json:",omitempty"`
+	// ForksControl counts forks enumerating corrupted control-flow targets.
+	ForksControl int64 `json:",omitempty"`
+	// ForksDetector counts forks introduced by detector CHECK comparisons.
+	ForksDetector int64 `json:",omitempty"`
+	// SolverPrunes counts candidate successors the affine constraint store
+	// proved infeasible (the paper's "pruned by the solver" column).
+	SolverPrunes int64 `json:",omitempty"`
+	// DedupHits counts successors dropped because an identical state was
+	// already visited in this injection's search.
+	DedupHits int64 `json:",omitempty"`
+	// WatchdogTruncations counts states cut off by the watchdog step bound
+	// (the paper's bounded-depth `search` limit).
+	WatchdogTruncations int64 `json:",omitempty"`
+	// FanoutTruncations counts enumeration points clipped by
+	// MaxMemTargets/MaxControlTargets.
+	FanoutTruncations int64 `json:",omitempty"`
+	// MaxFrontier is the high-water BFS frontier width.
+	MaxFrontier int64 `json:",omitempty"`
+	// MaxDepth is the deepest state (in executed steps) the search reached.
+	MaxDepth int64 `json:",omitempty"`
+}
+
+// Fork kinds, used as the `kind` label value on the MForks counter.
+const (
+	ForkCmp      = "cmp"
+	ForkDivisor  = "divisor"
+	ForkLoad     = "load"
+	ForkStore    = "store"
+	ForkControl  = "control"
+	ForkDetector = "detector"
+)
+
+// CountFork records one fork of the given kind. Nil-safe.
+func (s *ExecStats) CountFork(kind string) {
+	if s == nil {
+		return
+	}
+	switch kind {
+	case ForkCmp:
+		s.ForksCmp++
+	case ForkDivisor:
+		s.ForksDivisor++
+	case ForkLoad:
+		s.ForksLoad++
+	case ForkStore:
+		s.ForksStore++
+	case ForkControl:
+		s.ForksControl++
+	case ForkDetector:
+		s.ForksDetector++
+	}
+}
+
+// CountPrune records one solver-infeasible candidate. Nil-safe.
+func (s *ExecStats) CountPrune() {
+	if s != nil {
+		s.SolverPrunes++
+	}
+}
+
+// CountDedup records one visited-set hit. Nil-safe.
+func (s *ExecStats) CountDedup() {
+	if s != nil {
+		s.DedupHits++
+	}
+}
+
+// CountWatchdog records one watchdog truncation. Nil-safe.
+func (s *ExecStats) CountWatchdog() {
+	if s != nil {
+		s.WatchdogTruncations++
+	}
+}
+
+// CountFanout records one fan-out truncation. Nil-safe.
+func (s *ExecStats) CountFanout() {
+	if s != nil {
+		s.FanoutTruncations++
+	}
+}
+
+// ObserveFrontier raises the frontier high-water mark. Nil-safe.
+func (s *ExecStats) ObserveFrontier(width int) {
+	if s != nil && int64(width) > s.MaxFrontier {
+		s.MaxFrontier = int64(width)
+	}
+}
+
+// ObserveDepth raises the depth high-water mark. Nil-safe.
+func (s *ExecStats) ObserveDepth(depth int64) {
+	if s != nil && depth > s.MaxDepth {
+		s.MaxDepth = depth
+	}
+}
+
+// Forks sums the per-kind fork counts.
+func (s *ExecStats) Forks() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ForksCmp + s.ForksDivisor + s.ForksLoad + s.ForksStore +
+		s.ForksControl + s.ForksDetector
+}
+
+// Merge folds other into s: counters add, high-water marks take the max.
+// Merging is commutative and associative, so journals, task pools and the
+// distributed coordinator can fold reports in any grouping and agree.
+func (s *ExecStats) Merge(other ExecStats) {
+	s.ForksCmp += other.ForksCmp
+	s.ForksDivisor += other.ForksDivisor
+	s.ForksLoad += other.ForksLoad
+	s.ForksStore += other.ForksStore
+	s.ForksControl += other.ForksControl
+	s.ForksDetector += other.ForksDetector
+	s.SolverPrunes += other.SolverPrunes
+	s.DedupHits += other.DedupHits
+	s.WatchdogTruncations += other.WatchdogTruncations
+	s.FanoutTruncations += other.FanoutTruncations
+	if other.MaxFrontier > s.MaxFrontier {
+		s.MaxFrontier = other.MaxFrontier
+	}
+	if other.MaxDepth > s.MaxDepth {
+		s.MaxDepth = other.MaxDepth
+	}
+}
+
+// IsZero reports whether no counter has fired (used to keep JSON compact).
+func (s ExecStats) IsZero() bool { return s == ExecStats{} }
+
+// Publish adds the tally to the registry's live counters and raises its
+// gauges, so a snapshot scraped mid-campaign reflects completed injections.
+func (s ExecStats) Publish(r *Registry) {
+	if r == nil || s.IsZero() {
+		return
+	}
+	for _, kv := range []struct {
+		kind string
+		n    int64
+	}{
+		{ForkCmp, s.ForksCmp}, {ForkDivisor, s.ForksDivisor},
+		{ForkLoad, s.ForksLoad}, {ForkStore, s.ForksStore},
+		{ForkControl, s.ForksControl}, {ForkDetector, s.ForksDetector},
+	} {
+		if kv.n > 0 {
+			r.Counter(MForks, L("kind", kv.kind)).Add(kv.n)
+		}
+	}
+	r.Counter(MSolverPrunes).Add(s.SolverPrunes)
+	r.Counter(MDedupHits).Add(s.DedupHits)
+	r.Counter(MWatchdogTrunc).Add(s.WatchdogTruncations)
+	r.Counter(MFanoutTrunc).Add(s.FanoutTruncations)
+	r.Gauge(MFrontierMax).SetMax(s.MaxFrontier)
+}

@@ -25,6 +25,7 @@ func (s *State) StepInPlace() bool {
 	}
 	if s.Steps >= s.Opts.Watchdog {
 		s.raise(isa.ExcTimeout, fmt.Sprintf("watchdog after %d instructions", s.Steps))
+		s.Stats.CountWatchdog()
 		return true
 	}
 	if !s.Prog.ValidPC(s.PC) {

@@ -16,6 +16,7 @@ import (
 	"symplfied/internal/detector"
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
+	"symplfied/internal/obs"
 	"symplfied/internal/symbolic"
 	"symplfied/internal/trace"
 )
@@ -87,6 +88,14 @@ type State struct {
 	// search report can flag incomplete coverage instead of silently
 	// under-counting.
 	Truncated bool
+
+	// Stats, when non-nil, tallies fork/prune/truncation events for the
+	// observability layer. The pointer is shared by every state forked from
+	// the same search (Clone propagates it), so one injection's whole BFS
+	// accumulates into a single ExecStats. It deliberately lives here and
+	// not in Options: Options participates in the campaign fingerprint,
+	// and a pointer there would hash its address.
+	Stats *obs.ExecStats
 }
 
 // NewState builds an initial symbolic state at PC 0 with the given input.
@@ -172,6 +181,7 @@ func (s *State) Clone() *State {
 		Exc:       s.Exc,
 		Trace:     s.Trace,
 		Truncated: s.Truncated,
+		Stats:     s.Stats,
 	}
 	for a, v := range s.Mem {
 		out.Mem[a] = v

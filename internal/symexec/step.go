@@ -5,6 +5,7 @@ import (
 
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
+	"symplfied/internal/obs"
 	"symplfied/internal/symbolic"
 	"symplfied/internal/trace"
 )
@@ -22,6 +23,7 @@ func (s *State) Successors() []*State {
 	if s.Steps >= s.Opts.Watchdog {
 		c := s.Clone()
 		c.raise(isa.ExcTimeout, fmt.Sprintf("watchdog after %d instructions", s.Steps))
+		s.Stats.CountWatchdog()
 		return []*State{c}
 	}
 	if !s.Prog.ValidPC(s.PC) {
@@ -178,8 +180,9 @@ func (s *State) applyCmp(cmp isa.Cmp, x, y symbolic.Operand, why string) bool {
 }
 
 // forkCmp resolves "x cmp y", producing the surviving true- and false-case
-// states (either may be nil after pruning).
-func (s *State) forkCmp(cmp isa.Cmp, x, y symbolic.Operand, why string) (tState, fState *State) {
+// states (either may be nil after pruning). kind tags the fork in ExecStats
+// (obs.ForkCmp for ordinary comparisons, obs.ForkDetector for CHECKs).
+func (s *State) forkCmp(kind string, cmp isa.Cmp, x, y symbolic.Operand, why string) (tState, fState *State) {
 	switch symbolic.DecideCmp(cmp, x, y) {
 	case symbolic.CmpTrue:
 		return s.fork(), nil
@@ -190,11 +193,16 @@ func (s *State) forkCmp(cmp isa.Cmp, x, y symbolic.Operand, why string) (tState,
 	t.note(trace.KindFork, "%s: assume %s", why, cmp)
 	if !t.applyCmp(cmp, x, y, why) {
 		t = nil
+		s.Stats.CountPrune()
 	}
 	f := s.fork()
 	f.note(trace.KindFork, "%s: assume %s", why, cmp.Negate())
 	if !f.applyCmp(cmp.Negate(), x, y, why) {
 		f = nil
+		s.Stats.CountPrune()
+	}
+	if t != nil && f != nil {
+		s.Stats.CountFork(kind)
 	}
 	return t, f
 }
@@ -225,6 +233,8 @@ func (s *State) stepArith(in isa.Instr, bin isa.BinOp, imm bool) []*State {
 		if zero.constrainOperand(res.Divisor, isa.CmpEq, 0, "div-zero case") {
 			zero.raise(isa.ExcDivZero, "erroneous divisor assumed zero")
 			out = append(out, zero)
+		} else {
+			s.Stats.CountPrune()
 		}
 		nz := s.fork()
 		nz.note(trace.KindFork, "divisor err: assume != 0")
@@ -232,6 +242,11 @@ func (s *State) stepArith(in isa.Instr, bin isa.BinOp, imm bool) []*State {
 			nz.setReg(in.Rd, isa.Err(), symbolic.Term{}, false)
 			nz.PC++
 			out = append(out, nz)
+		} else {
+			s.Stats.CountPrune()
+		}
+		if len(out) == 2 {
+			s.Stats.CountFork(obs.ForkDivisor)
 		}
 		return out
 	default:
@@ -245,7 +260,7 @@ func (s *State) stepArith(in isa.Instr, bin isa.BinOp, imm bool) []*State {
 func (s *State) stepSetCmp(in isa.Instr, cmp isa.Cmp, imm bool) []*State {
 	x, y := s.operandPair(in, imm)
 	why := fmt.Sprintf("%s at %s", in.Op, s.Prog.Locate(s.PC))
-	t, f := s.forkCmp(cmp, x, y, why)
+	t, f := s.forkCmp(obs.ForkCmp, cmp, x, y, why)
 	var out []*State
 	if t != nil {
 		t.setReg(in.Rd, isa.Int(1), symbolic.Term{}, false)
@@ -274,7 +289,7 @@ func (s *State) stepBranch(in isa.Instr) []*State {
 		cmp = isa.CmpNe
 	}
 	why := fmt.Sprintf("%s at %s", in.Op, s.Prog.Locate(s.PC))
-	t, f := s.forkCmp(cmp, x, y, why)
+	t, f := s.forkCmp(obs.ForkCmp, cmp, x, y, why)
 	var out []*State
 	if t != nil {
 		t.PC = in.Target
@@ -337,6 +352,8 @@ func (s *State) stepLoad(in isa.Instr) []*State {
 	if feasible {
 		exc.raise(isa.ExcIllegalAddr, "load through erroneous pointer")
 		out = append(out, exc)
+	} else {
+		s.Stats.CountPrune()
 	}
 
 	if s.Opts.SymbolicMem {
@@ -344,7 +361,9 @@ func (s *State) stepLoad(in isa.Instr) []*State {
 		c.note(trace.KindFork, "load through erroneous pointer: symbolic result")
 		c.setReg(in.Rt, isa.Err(), symbolic.Term{}, false)
 		c.PC++
-		return append(out, c)
+		out = append(out, c)
+		s.countFan(obs.ForkLoad, len(out))
+		return out
 	}
 
 	addrs := s.definedAddrsSorted()
@@ -356,6 +375,7 @@ func (s *State) stepLoad(in isa.Instr) []*State {
 	for _, a := range addrs {
 		c := s.fork()
 		if !c.constrainOperand(base, isa.CmpEq, a-in.Imm, "load resolves") {
+			s.Stats.CountPrune()
 			continue
 		}
 		c.note(trace.KindFork, "load through erroneous pointer resolved to %d", a)
@@ -366,11 +386,21 @@ func (s *State) stepLoad(in isa.Instr) []*State {
 		out = append(out, c)
 	}
 	if truncated {
+		s.Stats.CountFanout()
 		for _, c := range out {
 			c.Truncated = true
 		}
 	}
+	s.countFan(obs.ForkLoad, len(out))
 	return out
+}
+
+// countFan records an n-way fan-out as n-1 forks of the given kind (so a
+// plain two-way fork and a two-successor enumeration weigh the same).
+func (s *State) countFan(kind string, n int) {
+	for i := 1; i < n; i++ {
+		s.Stats.CountFork(kind)
+	}
 }
 
 func (s *State) stepStore(in isa.Instr) []*State {
@@ -396,6 +426,7 @@ func (s *State) stepStore(in isa.Instr) []*State {
 	for _, a := range enumAddrs {
 		c := s.fork()
 		if !c.constrainOperand(base, isa.CmpEq, a-in.Imm, "store resolves") {
+			s.Stats.CountPrune()
 			continue
 		}
 		c.note(trace.KindFork, "store through erroneous pointer resolved to %d", a)
@@ -421,12 +452,16 @@ func (s *State) stepStore(in isa.Instr) []*State {
 		fresh.PC++
 		fresh.Truncated = fresh.Truncated || truncated
 		out = append(out, fresh)
+	} else {
+		s.Stats.CountPrune()
 	}
 	if truncated {
+		s.Stats.CountFanout()
 		for _, c := range out {
 			c.Truncated = true
 		}
 	}
+	s.countFan(obs.ForkStore, len(out))
 	return out
 }
 
@@ -451,6 +486,7 @@ func (s *State) stepJr(in isa.Instr) []*State {
 	for pc := 0; pc < limit; pc++ {
 		c := s.fork()
 		if !c.constrainOperand(target, isa.CmpEq, int64(pc), "control target resolves") {
+			s.Stats.CountPrune()
 			continue
 		}
 		c.note(trace.KindControl, "control transferred through erroneous target to %s", s.Prog.Locate(pc))
@@ -463,6 +499,10 @@ func (s *State) stepJr(in isa.Instr) []*State {
 	exc.raise(isa.ExcIllegalInstr, "jump through erroneous target")
 	exc.Truncated = truncated
 	out = append(out, exc)
+	if truncated {
+		s.Stats.CountFanout()
+	}
+	s.countFan(obs.ForkControl, len(out))
 	return out
 }
 
@@ -503,7 +543,7 @@ func (s *State) stepCheck(in isa.Instr) []*State {
 		return one(c)
 	}
 	why := fmt.Sprintf("detector %d at %s", det.ID, s.Prog.Locate(s.PC))
-	pass, fail := s.forkCmp(det.Cmp, target, expr, why)
+	pass, fail := s.forkCmp(obs.ForkDetector, det.Cmp, target, expr, why)
 	var out []*State
 	if pass != nil {
 		pass.note(trace.KindCheckPass, "detector %d passed: %s", det.ID, det)

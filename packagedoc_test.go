@@ -1,0 +1,60 @@
+package symplfied
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDocComment walks every Go package in the module and
+// fails if any lacks a package doc comment. The package comments double as
+// the map from code to paper sections (each internal package states its
+// paper counterpart), so a missing one is a documentation regression, not a
+// style nit. CI runs this test on every push.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, perr := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if perr != nil {
+			t.Errorf("%s: %v", path, perr)
+			return nil
+		}
+		for pkgName, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("package %s (%s) has no package doc comment", pkgName, rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
