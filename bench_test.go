@@ -347,3 +347,41 @@ func BenchmarkAblationActivatedPolicy(b *testing.B) { benchActivationPolicy(b, t
 
 // BenchmarkAblationExhaustivePolicy: the raw instructions x registers space.
 func BenchmarkAblationExhaustivePolicy(b *testing.B) { benchActivationPolicy(b, false) }
+
+// benchParallelSweep runs the tcas register sweep through checker.RunCtx at
+// the given parallelism. ns/op is the wall clock; states/op and findings/op
+// must not move between the sequential and parallel variants — the sweep
+// explores the identical space, only faster.
+func benchParallelSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	prog := tcas.Program()
+	injections := faults.RegisterInjectionsUsed(prog)
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 4000
+	spec := checker.Spec{
+		Program:     prog,
+		Input:       tcas.UpwardInput().Slice(),
+		Injections:  injections,
+		Exec:        exec,
+		Predicate:   checker.HaltedOutputOtherThan(1),
+		StateBudget: 2000,
+		Parallelism: parallelism,
+	}
+	states, findings := 0, 0
+	for i := 0; i < b.N; i++ {
+		rep, err := checker.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = rep.TotalStates
+		findings = len(rep.Findings)
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(findings), "findings/op")
+}
+
+// BenchmarkParallelSweepSequential is the single-core baseline.
+func BenchmarkParallelSweepSequential(b *testing.B) { benchParallelSweep(b, 1) }
+
+// BenchmarkParallelSweepAllCores fans the same sweep across every core.
+func BenchmarkParallelSweepAllCores(b *testing.B) { benchParallelSweep(b, 0) }

@@ -1,0 +1,127 @@
+package symplfied_test
+
+import (
+	"testing"
+	"time"
+
+	"symplfied"
+	"symplfied/internal/apps/factorial"
+	"symplfied/internal/isa"
+)
+
+// TestBuildNilUnit: lowering without a program must fail up front, not deep
+// inside the checker.
+func TestBuildNilUnit(t *testing.T) {
+	if _, err := (symplfied.SearchSpec{}).CheckerSpec(); err == nil {
+		t.Error("nil Unit lowered without error")
+	}
+	if _, err := (symplfied.SearchSpec{Unit: &symplfied.Unit{}}).CheckerSpec(); err == nil {
+		t.Error("Unit with nil Program lowered without error")
+	}
+}
+
+// TestBuildInjectionsOverride: an explicit injection set replaces the
+// enumerated class entirely.
+func TestBuildInjectionsOverride(t *testing.T) {
+	unit := &symplfied.Unit{Program: factorial.Plain()}
+	want := []symplfied.Injection{{
+		Class: symplfied.ClassRegister,
+		PC:    2,
+		Loc:   isa.RegLoc(3),
+	}}
+	spec, err := symplfied.SearchSpec{
+		Unit:       unit,
+		Input:      []int64{5},
+		Class:      symplfied.ClassRegister, // would enumerate many more
+		Goal:       symplfied.GoalIncorrectOutput,
+		Injections: want,
+	}.CheckerSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Injections) != 1 || spec.Injections[0] != want[0] {
+		t.Errorf("explicit Injections not honored: got %v", spec.Injections)
+	}
+}
+
+// TestBuildPermanentExpansion: Permanent turns every injection into its
+// stuck-at variant, whether enumerated or explicit.
+func TestBuildPermanentExpansion(t *testing.T) {
+	unit := &symplfied.Unit{Program: factorial.Plain()}
+	spec, err := symplfied.SearchSpec{
+		Unit:      unit,
+		Input:     []int64{5},
+		Class:     symplfied.ClassRegister,
+		Goal:      symplfied.GoalIncorrectOutput,
+		Permanent: true,
+	}.CheckerSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Injections) == 0 {
+		t.Fatal("no injections enumerated")
+	}
+	for _, inj := range spec.Injections {
+		if !inj.Permanent {
+			t.Fatalf("injection %s not marked permanent", inj)
+		}
+	}
+}
+
+// TestBuildLimitsAndParallelism: the embedded Limits knobs and the
+// Parallelism knob lower onto the checker spec; the flat selectors are
+// promotion aliases for the embedded fields.
+func TestBuildLimitsAndParallelism(t *testing.T) {
+	unit := &symplfied.Unit{Program: factorial.Plain()}
+	s := symplfied.SearchSpec{
+		Unit:  unit,
+		Input: []int64{5},
+		Class: symplfied.ClassRegister,
+		Goal:  symplfied.GoalIncorrectOutput,
+		Limits: symplfied.Limits{
+			Watchdog:            123,
+			StateBudget:         456,
+			MaxFindings:         7,
+			PerInjectionTimeout: 8 * time.Second,
+		},
+		Parallelism: 3,
+	}
+
+	// Field promotion: the historical flat names read and write the
+	// embedded fields.
+	if s.Watchdog != 123 || s.StateBudget != 456 || s.MaxFindings != 7 {
+		t.Fatalf("flat selectors do not alias Limits: %+v", s.Limits)
+	}
+	s.StateBudget = 500
+
+	spec, err := s.CheckerSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Exec.Watchdog != 123 {
+		t.Errorf("Watchdog: got %d, want 123", spec.Exec.Watchdog)
+	}
+	if spec.StateBudget != 500 {
+		t.Errorf("StateBudget: got %d, want 500", spec.StateBudget)
+	}
+	if spec.MaxFindings != 7 {
+		t.Errorf("MaxFindings: got %d, want 7", spec.MaxFindings)
+	}
+	if spec.PerInjectionTimeout != 8*time.Second {
+		t.Errorf("PerInjectionTimeout: got %v, want 8s", spec.PerInjectionTimeout)
+	}
+	if spec.Parallelism != 3 {
+		t.Errorf("Parallelism: got %d, want 3", spec.Parallelism)
+	}
+
+	// The default: an unset knob stays zero in the lowered spec, which the
+	// checker resolves to GOMAXPROCS at run time.
+	s.Parallelism = 0
+	spec, err = s.CheckerSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Parallelism != 0 {
+		t.Errorf("unset Parallelism lowered to %d, want 0 (checker default)", spec.Parallelism)
+	}
+}

@@ -76,6 +76,7 @@ func run(ctx context.Context, args []string) error {
 		findings  = fs.Int("findings", 10, "findings cap per injection/task (0: unlimited)")
 		tasks     = fs.Int("tasks", 1, "decompose into N cluster-style tasks")
 		workers   = fs.Int("workers", 0, "worker pool size for -tasks (0: GOMAXPROCS)")
+		parallel  = fs.Int("parallel", 0, "cores to fan the injection sweep across (0: all cores, 1: sequential; the report is identical either way)")
 		traces    = fs.Int("traces", 0, "print the decision trace of the first N findings")
 		noAffine  = fs.Bool("no-affine", false, "disable the affine constraint solver (paper-strict propagation)")
 		graphOut  = fs.String("graph", "", "write the search graph of the first finding's injection to this Graphviz file")
@@ -162,15 +163,18 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	spec := symplfied.SearchSpec{
-		Unit:                unit,
-		Input:               in,
-		Class:               class,
-		Goal:                goal,
-		Watchdog:            *watchdog,
-		StateBudget:         *budget,
-		MaxFindings:         *findings,
+		Unit:  unit,
+		Input: in,
+		Class: class,
+		Goal:  goal,
+		Limits: symplfied.Limits{
+			Watchdog:            *watchdog,
+			StateBudget:         *budget,
+			MaxFindings:         *findings,
+			PerInjectionTimeout: *injTO,
+		},
+		Parallelism:         *parallel,
 		DisableAffineSolver: *noAffine,
-		PerInjectionTimeout: *injTO,
 	}
 
 	var found []symplfied.Finding
@@ -180,6 +184,7 @@ func run(ctx context.Context, args []string) error {
 			TaskStateBudget:    *budget,
 			MaxFindingsPerTask: *findings,
 			Workers:            *workers,
+			Parallelism:        *parallel,
 		})
 		if err != nil {
 			return err

@@ -49,6 +49,7 @@ func run(ctx context.Context, args []string) error {
 		quiet       = fs.Bool("quiet", false, "suppress per-task progress lines")
 		metrics     = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9091 or :0)")
 		progress    = fs.Duration("progress", 0, "log a one-line progress report at this interval (0: off)")
+		parallel    = fs.Int("parallel", 0, "cores to fan each leased task's injection sweep across (0: all cores, 1: sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +87,7 @@ func run(ctx context.Context, args []string) error {
 		ID:          *id,
 		Poll:        *poll,
 		OnTask:      onTask,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		return err

@@ -40,10 +40,10 @@ func run() error {
 		return err
 	}
 	spec := symplfied.SearchSpec{
-		Unit:     unit,
-		Class:    symplfied.ClassRegister,
-		Goal:     symplfied.GoalIncorrectOutput,
-		Watchdog: 100,
+		Unit:   unit,
+		Class:  symplfied.ClassRegister,
+		Goal:   symplfied.GoalIncorrectOutput,
+		Limits: symplfied.Limits{Watchdog: 100},
 	}
 
 	// Flat analysis: the whole injection space at once.

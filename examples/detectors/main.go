@@ -49,7 +49,7 @@ func run() error {
 		Input:      []int64{5},
 		Injections: []symplfied.Injection{injection},
 		Goal:       symplfied.GoalDetected,
-		Watchdog:   400,
+		Limits:     symplfied.Limits{Watchdog: 400},
 	})
 	if err != nil {
 		return err
@@ -71,7 +71,7 @@ func run() error {
 		Input:      []int64{5},
 		Injections: []symplfied.Injection{injection},
 		Goal:       symplfied.GoalErrOutput,
-		Watchdog:   400,
+		Limits:     symplfied.Limits{Watchdog: 400},
 	})
 	if err != nil {
 		return err

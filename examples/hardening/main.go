@@ -37,8 +37,8 @@ func searchAt(unit *symplfied.Unit, pc int) (*symplfied.Report, error) {
 			PC:    pc,
 			Loc:   isa.RegLoc(isa.RegRA),
 		}},
-		Goal:     symplfied.GoalWrongAdvisory,
-		Watchdog: 4000,
+		Goal:   symplfied.GoalWrongAdvisory,
+		Limits: symplfied.Limits{Watchdog: 4000},
 	})
 }
 

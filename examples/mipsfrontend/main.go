@@ -62,12 +62,11 @@ func run() error {
 	// make gcd print a wrong value without crashing?
 	unit := &symplfied.Unit{Program: prog}
 	rep, err := symplfied.Search(symplfied.SearchSpec{
-		Unit:        unit,
-		Input:       []int64{252, 105},
-		Class:       symplfied.ClassRegister,
-		Goal:        symplfied.GoalIncorrectOutput,
-		Watchdog:    2000,
-		MaxFindings: 3,
+		Unit:   unit,
+		Input:  []int64{252, 105},
+		Class:  symplfied.ClassRegister,
+		Goal:   symplfied.GoalIncorrectOutput,
+		Limits: symplfied.Limits{Watchdog: 2000, MaxFindings: 3},
 	})
 	if err != nil {
 		return err

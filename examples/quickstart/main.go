@@ -47,11 +47,11 @@ func run() error {
 	// lead to an incorrect output. One symbolic err per run stands for
 	// every possible corrupted value — no 2^64 value sweep.
 	rep, err := symplfied.Search(symplfied.SearchSpec{
-		Unit:     unit,
-		Input:    []int64{5},
-		Class:    symplfied.ClassRegister,
-		Goal:     symplfied.GoalIncorrectOutput,
-		Watchdog: 400,
+		Unit:   unit,
+		Input:  []int64{5},
+		Class:  symplfied.ClassRegister,
+		Goal:   symplfied.GoalIncorrectOutput,
+		Limits: symplfied.Limits{Watchdog: 400},
 	})
 	if err != nil {
 		return err

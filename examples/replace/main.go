@@ -45,8 +45,8 @@ func run() error {
 			PC:    callPC,
 			Loc:   isa.RegLoc(4), // the delimiter argument register
 		}},
-		Goal:     symplfied.GoalIncorrectOutput,
-		Watchdog: 200_000,
+		Goal:   symplfied.GoalIncorrectOutput,
+		Limits: symplfied.Limits{Watchdog: 200_000},
 	})
 	if err != nil {
 		return err

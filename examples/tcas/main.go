@@ -44,8 +44,8 @@ func run() error {
 			PC:    jrPC,
 			Loc:   isa.RegLoc(isa.RegRA),
 		}},
-		Goal:     symplfied.GoalWrongAdvisory,
-		Watchdog: 4000,
+		Goal:   symplfied.GoalWrongAdvisory,
+		Limits: symplfied.Limits{Watchdog: 4000},
 	})
 	if err != nil {
 		return err
@@ -66,11 +66,11 @@ func run() error {
 
 	// 2. The full study, decomposed cluster-style.
 	_, sum, err := symplfied.Study(symplfied.SearchSpec{
-		Unit:     unit,
-		Input:    input.Slice(),
-		Class:    symplfied.ClassRegister,
-		Goal:     symplfied.GoalWrongAdvisory,
-		Watchdog: 4000,
+		Unit:   unit,
+		Input:  input.Slice(),
+		Class:  symplfied.ClassRegister,
+		Goal:   symplfied.GoalWrongAdvisory,
+		Limits: symplfied.Limits{Watchdog: 4000},
 	}, symplfied.StudyConfig{Tasks: 32, TaskStateBudget: 25_000, MaxFindingsPerTask: 10})
 	if err != nil {
 		return err

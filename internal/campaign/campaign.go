@@ -26,6 +26,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"symplfied/internal/checker"
@@ -50,7 +51,10 @@ type Config struct {
 	// the per-injection deadline) up to this many additional times, halving
 	// the state budget and degrading the executor options each attempt.
 	Retries int
-	// Workers sizes the worker pool; <= 1 runs sequentially.
+	// Workers sizes the worker pool; 0 (or the spec's Parallelism, when
+	// Workers is unset) follows checker.Spec.Parallelism semantics: 0 means
+	// GOMAXPROCS, 1 runs sequentially. Like Parallelism, Workers is
+	// operational only — it never enters the campaign fingerprint.
 	Workers int
 	// OnInjection, if set, is called after each injection settles (resumed
 	// or explored) with the number settled so far and the campaign total.
@@ -161,8 +165,13 @@ func Run(ctx context.Context, spec checker.Spec, cfg Config) (*checker.Report, S
 		workers  = cfg.Workers
 		injTotal = len(spec.Injections)
 	)
-	if workers <= 1 {
-		workers = 1
+	if workers <= 0 {
+		// Inherit the spec's Parallelism knob (0: GOMAXPROCS), so a
+		// context-first caller sets one field and every engine respects it.
+		workers = spec.Parallelism
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > injTotal {
 		workers = injTotal

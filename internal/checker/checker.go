@@ -21,6 +21,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"symplfied/internal/detector"
@@ -90,8 +92,22 @@ type Spec struct {
 	PerInjectionTimeout time.Duration
 	// Dedup enables visited-state deduplication. States are keyed on the
 	// full configuration including the step counter, so deduplication only
-	// merges genuinely identical interleavings and never masks hangs.
+	// merges genuinely identical interleavings and never masks hangs. Keys
+	// are 64-bit hashes of the canonical state encoding (see
+	// symexec.State.KeyHash); set symexec.CheckKeyCollisions to audit them
+	// against the full encodings.
 	Dedup bool
+	// Parallelism sizes the worker pool RunCtx fans the injection sweep
+	// across: 0 selects GOMAXPROCS, 1 forces the sequential sweep, and the
+	// pool never exceeds the injection count. The merged report of an
+	// uninterrupted parallel run is byte-identical to the sequential run's
+	// (injection reports and findings in injection order, ExecStats merged
+	// commutatively); only wall-clock-dependent outcomes (an expired
+	// PerInjectionTimeout) can differ, exactly as they already do between
+	// two sequential runs on different machines. Parallelism is an
+	// operational knob: it never changes what is explored, and is therefore
+	// excluded from the campaign fingerprint.
+	Parallelism int
 	// DiscardStates drops the terminal *symexec.State from findings once the
 	// finding's summary fields (Outcome, Output, Sym) are captured, bounding
 	// campaign memory: a retained state pins its memory image, constraint
@@ -321,21 +337,28 @@ func (r *Report) Verdict() Verdict {
 	return VerdictProven
 }
 
-// Run executes the search sequentially. See RunCtx for cancellation and
-// internal/cluster for the decomposed parallel driver.
+// Run executes the search with an un-cancellable context. See RunCtx.
 func Run(spec Spec) (*Report, error) {
 	return RunCtx(context.Background(), spec)
 }
 
-// RunCtx executes the search sequentially, honoring ctx: when ctx is
-// cancelled (or its deadline expires) mid-sweep, the partial report collected
-// so far is returned with Interrupted set rather than discarded.
+// RunCtx executes the search, fanning the injection sweep across a worker
+// pool sized by spec.Parallelism (0: GOMAXPROCS; injections are independent,
+// so the sweep is embarrassingly parallel). The merged report is
+// deterministic: injection reports and findings appear in injection order
+// and the counters merge commutatively, so an uninterrupted parallel run is
+// byte-identical to a sequential one. When ctx is cancelled (or its deadline
+// expires) mid-sweep, the reports of the injections that were swept are
+// returned with Interrupted set rather than discarded.
 func RunCtx(ctx context.Context, spec Spec) (*Report, error) {
 	if spec.Program == nil {
 		return nil, fmt.Errorf("checker: nil program")
 	}
 	if spec.Predicate.Match == nil {
 		return nil, fmt.Errorf("checker: nil predicate")
+	}
+	if workers := poolSize(spec.Parallelism, len(spec.Injections)); workers > 1 {
+		return runParallel(ctx, spec, workers)
 	}
 	rep := NewReport(&spec)
 	for _, inj := range spec.Injections {
@@ -348,6 +371,81 @@ func RunCtx(ctx context.Context, spec Spec) (*Report, error) {
 			return nil, fmt.Errorf("checker: %s: %w", inj, err)
 		}
 		rep.Add(ir)
+	}
+	return rep, nil
+}
+
+// poolSize resolves a Parallelism knob against the amount of independent
+// work: 0 means GOMAXPROCS, and a pool never exceeds the work count.
+func poolSize(parallelism, work int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > work {
+		parallelism = work
+	}
+	return parallelism
+}
+
+// runParallel is the parallel injection sweep behind RunCtx. Workers pull
+// injection indexes from a channel and write each report into its index
+// slot; the merge then folds the slots in injection order, so worker
+// interleaving never shows in the report. Cancellation stops dispatch, and
+// the injections never started leave the report marked Interrupted — the
+// parallel analogue of the sequential sweep stopping mid-list.
+func runParallel(ctx context.Context, spec Spec, workers int) (*Report, error) {
+	// Pool-utilization gauges, shared with the cluster harness so one
+	// -metrics-addr scrape shows every pool's width and busyness additively.
+	reg := obs.Default()
+	poolWorkers := reg.Gauge(obs.MWorkers)
+	busyWorkers := reg.Gauge(obs.MBusyWorkers)
+	poolWorkers.Add(int64(workers))
+	defer poolWorkers.Add(-int64(workers))
+
+	var (
+		results = make([]InjectionReport, len(spec.Injections))
+		errs    = make([]error, len(spec.Injections))
+		settled = make([]bool, len(spec.Injections))
+		next    = make(chan int)
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				busyWorkers.Add(1)
+				results[i], errs[i] = RunInjectionCtx(ctx, spec, spec.Injections[i])
+				settled[i] = true
+				busyWorkers.Add(-1)
+			}
+		}()
+	}
+dispatch:
+	for i := range spec.Injections {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	rep := NewReport(&spec)
+	for i := range spec.Injections {
+		if !settled[i] {
+			rep.Interrupted = true
+			continue
+		}
+		if errs[i] != nil {
+			// Same contract as the sequential sweep: an infrastructure
+			// error (e.g. a malformed injection) aborts the search. The
+			// lowest-index error wins, which is what a sequential sweep
+			// would have reported.
+			return nil, fmt.Errorf("checker: %s: %w", spec.Injections[i], errs[i])
+		}
+		rep.Add(results[i])
 	}
 	return rep, nil
 }
@@ -435,9 +533,15 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 	// live window is compacted to the front once the dead prefix dominates.
 	frontier := initial
 	head := 0
-	var visited map[string]struct{}
+	// Visited states are keyed by a 64-bit incremental hash of the canonical
+	// encoding rather than the rendered Key() string — no sorting, no string
+	// building in the hot loop. The Keyer audits hashes against the full
+	// encodings when symexec.CheckKeyCollisions is set.
+	var visited map[uint64]struct{}
+	var keyer *symexec.Keyer
 	if spec.Dedup {
-		visited = make(map[string]struct{}, 1024)
+		visited = make(map[uint64]struct{}, 1024)
+		keyer = symexec.NewKeyer()
 	}
 	// The live frontier gauge carries this search's current width; sweeps
 	// running in parallel each add their contribution, and the deferred
@@ -461,7 +565,7 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 			head = 0
 		}
 		if visited != nil {
-			k := cur.Key()
+			k := keyer.Hash(cur)
 			if _, seen := visited[k]; seen {
 				ir.Exec.CountDedup()
 				continue

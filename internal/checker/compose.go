@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 
 	"symplfied/internal/faults"
@@ -29,10 +30,18 @@ type ComponentProof struct {
 	Verdict   Verdict
 }
 
-// ProveComponent runs the spec restricted to the injections inside the
-// component and reports the verdict. The spec's Injections field supplies
-// the full class; only the component's share is explored.
+// ProveComponent proves a component with an un-cancellable context. See
+// ProveComponentCtx.
 func ProveComponent(spec Spec, c Component) (ComponentProof, error) {
+	return ProveComponentCtx(context.Background(), spec, c)
+}
+
+// ProveComponentCtx runs the spec restricted to the injections inside the
+// component and reports the verdict. The spec's Injections field supplies
+// the full class; only the component's share is explored. An interrupted
+// search yields an interrupted report, whose verdict degrades to
+// inconclusive rather than claiming a proof it did not finish.
+func ProveComponentCtx(ctx context.Context, spec Spec, c Component) (ComponentProof, error) {
 	if c.Lo > c.Hi {
 		return ComponentProof{}, fmt.Errorf("checker: component %q has empty range [%d, %d]", c.Name, c.Lo, c.Hi)
 	}
@@ -43,7 +52,7 @@ func ProveComponent(spec Spec, c Component) (ComponentProof, error) {
 		}
 	}
 	spec.Injections = local
-	rep, err := Run(spec)
+	rep, err := RunCtx(ctx, spec)
 	if err != nil {
 		return ComponentProof{}, fmt.Errorf("checker: component %q: %w", c.Name, err)
 	}
@@ -70,14 +79,22 @@ func PruneProven(injs []faults.Injection, proofs []ComponentProof) []faults.Inje
 	return out
 }
 
-// RunComposed is the two-level analysis: prove each component in isolation,
-// prune the proven regions from the whole-program injection space, and run
-// the remaining search. The returned report covers the pruned space; the
-// proofs document the discharged regions.
+// RunComposed is the two-level analysis with an un-cancellable context. See
+// RunComposedCtx.
 func RunComposed(spec Spec, components []Component) (*Report, []ComponentProof, error) {
+	return RunComposedCtx(context.Background(), spec, components)
+}
+
+// RunComposedCtx is the two-level analysis: prove each component in
+// isolation, prune the proven regions from the whole-program injection
+// space, and run the remaining search. The returned report covers the pruned
+// space; the proofs document the discharged regions. Cancellation interrupts
+// whichever search is running; an interrupted component proof is
+// inconclusive, so it never prunes anything it did not fully cover.
+func RunComposedCtx(ctx context.Context, spec Spec, components []Component) (*Report, []ComponentProof, error) {
 	proofs := make([]ComponentProof, 0, len(components))
 	for _, c := range components {
-		p, err := ProveComponent(spec, c)
+		p, err := ProveComponentCtx(ctx, spec, c)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -85,7 +102,7 @@ func RunComposed(spec Spec, components []Component) (*Report, []ComponentProof, 
 	}
 	pruned := spec
 	pruned.Injections = PruneProven(spec.Injections, proofs)
-	rep, err := Run(pruned)
+	rep, err := RunCtx(ctx, pruned)
 	if err != nil {
 		return nil, proofs, err
 	}

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,11 +35,17 @@ type GraphNode struct {
 	Output string
 }
 
-// ExploreGraph explores the injection breadth-first, recording every state
-// and its parent. Unlike RunInjection it does not use the in-place fast
-// path, so every intermediate state appears as a node. maxNodes bounds the
-// graph (0 selects 10_000).
+// ExploreGraph explores with an un-cancellable context. See ExploreGraphCtx.
 func ExploreGraph(spec Spec, inj faults.Injection, maxNodes int) (*Graph, error) {
+	return ExploreGraphCtx(context.Background(), spec, inj, maxNodes)
+}
+
+// ExploreGraphCtx explores the injection breadth-first, recording every
+// state and its parent. Unlike RunInjectionCtx it does not use the in-place
+// fast path, so every intermediate state appears as a node. maxNodes bounds
+// the graph (0 selects 10_000). Cancellation stops the exploration and
+// returns the partial graph marked Truncated, like an exhausted node bound.
+func ExploreGraphCtx(ctx context.Context, spec Spec, inj faults.Injection, maxNodes int) (*Graph, error) {
 	if spec.Program == nil {
 		return nil, fmt.Errorf("checker: nil program")
 	}
@@ -73,6 +80,10 @@ func ExploreGraph(spec Spec, inj faults.Injection, maxNodes int) (*Graph, error)
 	}
 	for len(frontier) > 0 {
 		if len(g.Nodes) >= maxNodes {
+			g.Truncated = true
+			break
+		}
+		if len(g.Nodes)&ctxCheckMask == 0 && ctx.Err() != nil {
 			g.Truncated = true
 			break
 		}

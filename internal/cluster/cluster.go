@@ -141,6 +141,13 @@ func RunCtx(ctx context.Context, spec checker.Spec, tasks []Task, cfg Config) []
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	if workers > 1 {
+		// The task pool is the parallelism here; letting every task also fan
+		// its injections across spec.Parallelism workers would oversubscribe
+		// the cores. Intra-task parallelism still applies when the pool
+		// degenerates to one task at a time — the dist-worker shape.
+		spec.Parallelism = 1
+	}
 	budget := cfg.TaskStateBudget
 	if budget <= 0 {
 		budget = DefaultTaskStateBudget
@@ -223,9 +230,18 @@ func runTask(ctx context.Context, spec checker.Spec, task Task, budget, maxFindi
 // entry-interruption and infrastructure-error marks only the executing side
 // can observe, so pooling the shipped reports remotely reconstructs the
 // identical TaskReport.
+//
+// When spec.Parallelism allows more than one worker, the sweep runs
+// speculatively in parallel and replays the shared-budget accounting
+// sequentially (see runTaskParallel); the returned report and reports are
+// identical to the sequential sweep's for everything except
+// wall-clock-dependent outcomes (an expired PerInjectionTimeout).
 func RunTaskCtx(ctx context.Context, spec checker.Spec, task Task, budget, maxFindings int) (TaskReport, []checker.InjectionReport) {
 	if budget <= 0 {
 		budget = DefaultTaskStateBudget
+	}
+	if workers := taskPoolSize(spec.Parallelism, len(task.Injections)); workers > 1 {
+		return runTaskParallel(ctx, spec, task, budget, maxFindings, workers)
 	}
 	var (
 		irs         []checker.InjectionReport
@@ -258,6 +274,149 @@ func RunTaskCtx(ctx context.Context, spec checker.Spec, task Task, budget, maxFi
 		if ir.Panicked {
 			// The checker isolated a panic inside this injection; keep
 			// sweeping the task's remaining injections.
+			continue
+		}
+		if ir.Interrupted || ir.BudgetExhausted {
+			break
+		}
+		if maxFindings > 0 && findings >= maxFindings {
+			break
+		}
+	}
+	rep := PoolReports(task, irs, maxFindings)
+	if interrupted {
+		rep.Interrupted = true
+	}
+	if taskErr != nil {
+		rep.Err = taskErr
+		rep.Failure = taskErr.Error()
+	}
+	return rep, irs
+}
+
+// taskPoolSize resolves checker.Spec.Parallelism against a task's injection
+// count: 0 means GOMAXPROCS, and the pool never exceeds the work.
+func taskPoolSize(parallelism, work int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > work {
+		parallelism = work
+	}
+	return parallelism
+}
+
+// runTaskParallel is the parallel variant of RunTaskCtx's sweep. The shared
+// state budget makes injections sequentially dependent (each one's budget is
+// what its predecessors left over), so the sweep speculates: every injection
+// runs concurrently with the FULL task budget and finding cap, and a
+// sequential replay then re-imposes the real accounting in injection order.
+// Two facts make the replay exact:
+//
+//   - StateBudget only matters once it binds. A speculative run that explored
+//     no more states than the budget remaining at its turn is byte-identical
+//     to the run the sequential sweep would have made; the first injection
+//     whose speculative run overran its remaining budget — the one injection
+//     where the sweep actually ends — is re-run with the clipped budget.
+//   - MaxFindings truncates the recorded findings but never stops
+//     exploration, so clipping a speculative run's findings to the cap
+//     remaining at its turn reproduces the sequential report exactly.
+//
+// The cost of speculation is burnt work past the budget cutoff (bounded by
+// one full-budget run per worker), traded for using every core on one task —
+// the dist-worker shape, where a node holds a single lease at a time.
+func runTaskParallel(ctx context.Context, spec checker.Spec, task Task, budget, maxFindings, workers int) (TaskReport, []checker.InjectionReport) {
+	specSpec := spec
+	specSpec.StateBudget = budget
+	specSpec.MaxFindings = maxFindings
+
+	reg := obs.Default()
+	poolWorkers := reg.Gauge(obs.MWorkers)
+	busyWorkers := reg.Gauge(obs.MBusyWorkers)
+	poolWorkers.Add(int64(workers))
+	defer poolWorkers.Add(-int64(workers))
+
+	type slot struct {
+		ir      checker.InjectionReport
+		err     error
+		settled bool
+	}
+	slots := make([]slot, len(task.Injections))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				busyWorkers.Add(1)
+				ir, err := checker.RunInjectionCtx(ctx, specSpec, task.Injections[i])
+				slots[i] = slot{ir: ir, err: err, settled: true}
+				busyWorkers.Add(-1)
+			}
+		}()
+	}
+dispatch:
+	for i := range task.Injections {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	// Sequential replay: walk the speculative results in injection order,
+	// mirroring the sequential sweep's loop exactly.
+	var (
+		irs         []checker.InjectionReport
+		remaining   = budget
+		findings    = 0
+		interrupted = false
+		taskErr     error
+	)
+	for i := range task.Injections {
+		if !slots[i].settled {
+			// Dispatch stopped before this injection started: the sequential
+			// sweep's ctx check would have fired here.
+			interrupted = true
+			break
+		}
+		if remaining <= 0 {
+			break
+		}
+		if slots[i].err != nil {
+			taskErr = slots[i].err
+			break
+		}
+		ir := slots[i].ir
+		if ir.StatesExplored > remaining {
+			// The shared budget cuts this injection short, so its speculative
+			// full-budget run is the wrong exploration. Re-run with the
+			// clipped budget — exploration is deterministic, so this yields
+			// exactly the sequential sweep's budget-exhausted report, and the
+			// sweep ends right after it.
+			injSpec := spec
+			injSpec.StateBudget = remaining
+			if maxFindings > 0 {
+				injSpec.MaxFindings = maxFindings - findings
+			}
+			rerun, err := checker.RunInjectionCtx(ctx, injSpec, task.Injections[i])
+			if err != nil {
+				taskErr = err
+				break
+			}
+			ir = rerun
+		} else if maxFindings > 0 {
+			if left := maxFindings - findings; len(ir.Findings) > left {
+				ir.Findings = ir.Findings[:left]
+			}
+		}
+		irs = append(irs, ir)
+		remaining -= ir.StatesExplored
+		findings += len(ir.Findings)
+		if ir.Panicked {
 			continue
 		}
 		if ir.Interrupted || ir.BudgetExhausted {

@@ -105,16 +105,18 @@ func (d SpecDoc) Build() (checker.Spec, error) {
 		return checker.Spec{}, fmt.Errorf("dist: unknown goal %q", d.Goal)
 	}
 	return symplfied.SearchSpec{
-		Unit:                unit,
-		Input:               d.Input,
-		Class:               class,
-		Goal:                goal,
-		Watchdog:            d.Watchdog,
-		StateBudget:         d.TaskStateBudget,
-		MaxFindings:         d.MaxFindingsPerTask,
+		Unit:  unit,
+		Input: d.Input,
+		Class: class,
+		Goal:  goal,
+		Limits: symplfied.Limits{
+			Watchdog:            d.Watchdog,
+			StateBudget:         d.TaskStateBudget,
+			MaxFindings:         d.MaxFindingsPerTask,
+			PerInjectionTimeout: d.PerInjectionTimeout,
+		},
 		DisableAffineSolver: d.DisableAffineSolver,
 		Permanent:           d.Permanent,
-		PerInjectionTimeout: d.PerInjectionTimeout,
 	}.CheckerSpec()
 }
 

@@ -48,6 +48,13 @@ type WorkerConfig struct {
 	// OnTask, if set, is called when a task is claimed and again when it
 	// settles (posted, abandoned, or lost), for CLI progress output.
 	OnTask func(event string, task int)
+	// Parallelism fans each leased task's injection sweep across this many
+	// cores (checker.Spec.Parallelism semantics: 0 selects GOMAXPROCS, 1 is
+	// sequential). A worker holds one lease at a time, so this is how a node
+	// uses all its cores on one task. Per-node and operational: it is not
+	// part of the campaign spec and never enters the fingerprint, so a fleet
+	// may mix parallelism levels freely.
+	Parallelism int
 }
 
 // WorkerStats summarizes one worker's run.
@@ -221,6 +228,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 		}
 	}()
 
+	spec.Parallelism = cfg.Parallelism
 	rep, irs := cluster.RunTaskCtx(taskCtx, spec, task, sr.Spec.TaskStateBudget, sr.Spec.MaxFindingsPerTask)
 	if taskCtx.Err() != nil {
 		// Cancelled (worker shutdown) or lease lost mid-sweep: the partial

@@ -1,0 +1,111 @@
+package symbolic
+
+import (
+	"strconv"
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+// TestDecimalMatchesFormatInt checks the allocation-free decimal feed hashes
+// the exact characters strconv renders, across sign and extreme values.
+func TestDecimalMatchesFormatInt(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 9, 10, -10, 5_000_000_000, -5_000_000_000,
+		1<<63 - 1, -1 << 63} {
+		want := NewHash64()
+		want.Str(strconv.FormatInt(n, 10))
+		got := NewHash64()
+		got.Decimal(n)
+		if got.Sum() != want.Sum() {
+			t.Errorf("Decimal(%d) hashed %#x, rendered digits hash %#x", n, got.Sum(), want.Sum())
+		}
+	}
+}
+
+// TestStoreKeyHashInsertionOrderIndependent checks the commutative folds: two
+// stores holding the same content built in different orders must render the
+// same Key and produce the same hash.
+func TestStoreKeyHashInsertionOrderIndependent(t *testing.T) {
+	build := func(order []int) *Store {
+		s := NewStore()
+		roots := map[int]RootID{}
+		for i := 0; i < 3; i++ {
+			roots[i] = s.NewRoot()
+		}
+		for _, i := range order {
+			s.SetTerm(isa.RegLoc(isa.Reg(i+1)), FreshTerm(roots[i]))
+			s.ConstrainTerm(FreshTerm(roots[i]), isa.CmpGt, int64(i*10))
+		}
+		return s
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	if a.Key() != b.Key() {
+		t.Fatalf("stores with equal content render different keys:\n  %q\n  %q", a.Key(), b.Key())
+	}
+	ha, hb := NewHash64(), NewHash64()
+	a.KeyHash(&ha)
+	b.KeyHash(&hb)
+	if ha.Sum() != hb.Sum() {
+		t.Errorf("stores with equal keys hash differently: %#x vs %#x", ha.Sum(), hb.Sum())
+	}
+}
+
+// TestStoreCloneCopyOnWrite checks the lazy Clone: mutating either side after
+// a clone must not show through to the other, for terms, constraints, and
+// difference relations alike.
+func TestStoreCloneCopyOnWrite(t *testing.T) {
+	s := NewStore()
+	r1 := s.NewRoot()
+	r2 := s.NewRoot()
+	s.SetTerm(isa.RegLoc(1), FreshTerm(r1))
+	s.SetTerm(isa.RegLoc(2), FreshTerm(r2))
+	s.ConstrainTerm(FreshTerm(r1), isa.CmpLe, 100)
+	s.AddRel(FreshTerm(r1), isa.CmpLt, FreshTerm(r2))
+	key := s.Key() + "|" + s.RelsKey()
+
+	c := s.Clone()
+	if got := c.Key() + "|" + c.RelsKey(); got != key {
+		t.Fatalf("fresh clone differs from parent:\n  %q\n  %q", key, got)
+	}
+
+	// Mutate the clone three ways; the parent must be untouched.
+	c.ConstrainTerm(FreshTerm(r1), isa.CmpGe, 50)
+	c.SetTerm(isa.RegLoc(3), FreshTerm(c.NewRoot()))
+	c.AddRel(FreshTerm(r2), isa.CmpLt, FreshTerm(r1))
+	if got := s.Key() + "|" + s.RelsKey(); got != key {
+		t.Errorf("clone mutations leaked into parent:\n  was %q\n  now %q", key, got)
+	}
+
+	// And the other direction.
+	base := c.Key() + "|" + c.RelsKey()
+	s.Clear(isa.RegLoc(1))
+	s.ConstrainTerm(FreshTerm(r2), isa.CmpEq, 7)
+	if got := c.Key() + "|" + c.RelsKey(); got != base {
+		t.Errorf("parent mutations leaked into clone:\n  was %q\n  now %q", base, got)
+	}
+}
+
+// TestStoreCloneChainCopyOnWrite exercises clone-of-clone sharing, the shape
+// a BFS frontier produces: one materialization must not disturb siblings.
+func TestStoreCloneChainCopyOnWrite(t *testing.T) {
+	s := NewStore()
+	r := s.NewRoot()
+	s.SetTerm(isa.RegLoc(1), FreshTerm(r))
+	a := s.Clone()
+	b := a.Clone()
+	keyA := a.Key()
+
+	b.ConstrainTerm(FreshTerm(r), isa.CmpLt, 3)
+	if a.Key() != keyA {
+		t.Error("grandchild mutation leaked into child")
+	}
+	if s.Key() != keyA {
+		t.Error("grandchild mutation leaked into root")
+	}
+	keyB := b.Key()
+	a.ConstrainTerm(FreshTerm(r), isa.CmpGt, 9)
+	if b.Key() != keyB {
+		t.Error("child mutation leaked into already-materialized grandchild")
+	}
+}

@@ -82,6 +82,7 @@ func negOvf(v int64) (int64, bool) {
 }
 
 func (s *Store) addEdge(from, to RootID, weight int64) {
+	s.materialize()
 	// Keep only the tightest edge per pair.
 	for i, e := range s.rels {
 		if e.from == from && e.to == to {

@@ -19,6 +19,14 @@ type Store struct {
 	cons  map[RootID]*Constraints
 	rels  []diffEdge // difference constraints between roots (relations.go)
 	next  RootID
+	// cow marks the maps (and the *Constraints values inside cons, and the
+	// rels backing array) as possibly shared with another Store after a
+	// Clone; the first mutation copies them (materialize). Most forked
+	// states never touch their constraint map again — a control-flow fork
+	// constrains only the root involved, and plenty of successors terminate
+	// without learning anything new — so sharing until first write removes
+	// the dominant Clone allocation from the search hot path.
+	cow bool
 }
 
 // NewStore returns an empty constraint map.
@@ -29,28 +37,49 @@ func NewStore() *Store {
 	}
 }
 
-// Clone returns a deep copy, used when forking execution.
+// Clone returns a logically independent copy, used when forking execution.
+// The copy is lazy (copy-on-write): both stores share the underlying maps
+// until one of them mutates, at which point the mutating side copies first.
+// A Store belongs to exactly one symbolic state and states of one search are
+// explored by one goroutine, so the sharing needs no synchronization.
 func (s *Store) Clone() *Store {
-	out := &Store{
-		terms: make(map[isa.Loc]Term, len(s.terms)),
-		cons:  make(map[RootID]*Constraints, len(s.cons)),
+	s.cow = true
+	return &Store{
+		terms: s.terms,
+		cons:  s.cons,
+		rels:  s.rels,
 		next:  s.next,
+		cow:   true,
 	}
+}
+
+// materialize copies the shared structures before the first mutation after a
+// Clone. The *Constraints values are deep-copied too: callers mutate them in
+// place through Constraints().
+func (s *Store) materialize() {
+	if !s.cow {
+		return
+	}
+	terms := make(map[isa.Loc]Term, len(s.terms)+1)
 	for l, t := range s.terms {
-		out.terms[l] = t
+		terms[l] = t
 	}
+	cons := make(map[RootID]*Constraints, len(s.cons)+1)
 	for r, c := range s.cons {
-		out.cons[r] = c.Clone()
+		cons[r] = c.Clone()
 	}
+	var rels []diffEdge
 	if len(s.rels) > 0 {
-		out.rels = make([]diffEdge, len(s.rels))
-		copy(out.rels, s.rels)
+		rels = make([]diffEdge, len(s.rels))
+		copy(rels, s.rels)
 	}
-	return out
+	s.terms, s.cons, s.rels = terms, cons, rels
+	s.cow = false
 }
 
 // NewRoot introduces a fresh, unconstrained erroneous quantity.
 func (s *Store) NewRoot() RootID {
+	s.materialize()
 	r := s.next
 	s.next++
 	s.cons[r] = NewConstraints()
@@ -58,7 +87,10 @@ func (s *Store) NewRoot() RootID {
 }
 
 // SetTerm records that loc holds err with symbolic value t.
-func (s *Store) SetTerm(loc isa.Loc, t Term) { s.terms[loc] = t }
+func (s *Store) SetTerm(loc isa.Loc, t Term) {
+	s.materialize()
+	s.terms[loc] = t
+}
 
 // Inject marks loc as holding a freshly injected err and returns its root.
 func (s *Store) Inject(loc isa.Loc) RootID {
@@ -71,7 +103,13 @@ func (s *Store) Inject(loc isa.Loc) RootID {
 // value, so any constraint bookkeeping for it no longer applies. Root
 // constraints are retained: they describe the erroneous quantity itself,
 // which other locations may still reference.
-func (s *Store) Clear(loc isa.Loc) { delete(s.terms, loc) }
+func (s *Store) Clear(loc isa.Loc) {
+	if _, ok := s.terms[loc]; !ok {
+		return
+	}
+	s.materialize()
+	delete(s.terms, loc)
+}
 
 // Term returns loc's symbolic term, if it holds err.
 func (s *Store) Term(loc isa.Loc) (Term, bool) {
@@ -85,13 +123,16 @@ func (s *Store) TermOrFresh(loc isa.Loc) Term {
 	if t, ok := s.terms[loc]; ok {
 		return t
 	}
-	t := FreshTerm(s.NewRoot())
+	t := FreshTerm(s.NewRoot()) // NewRoot materialized
 	s.terms[loc] = t
 	return t
 }
 
 // Constraints returns the constraint set for a root, creating it if needed.
+// Callers mutate the returned set in place, so a shared (copy-on-write)
+// store materializes here even when the set already exists.
 func (s *Store) Constraints(r RootID) *Constraints {
+	s.materialize()
 	c, ok := s.cons[r]
 	if !ok {
 		c = NewConstraints()

@@ -64,10 +64,13 @@ type State struct {
 	Dets *detector.Table
 	Opts Options
 
-	PC    int
-	Regs  [isa.NumRegs]isa.Value
-	Mem   map[int64]isa.Value
-	Sym   *symbolic.Store
+	PC   int
+	Regs [isa.NumRegs]isa.Value
+	// Mem is the memory image. After a Clone it may be shared copy-on-write
+	// with the state it was forked from; mutate it only through the State's
+	// methods (which materialize a private copy first), never directly.
+	Mem map[int64]isa.Value
+	Sym *symbolic.Store
 	In    []isa.Value // shared, immutable
 	InPos int
 	Out   []machine.OutItem
@@ -88,6 +91,12 @@ type State struct {
 	// search report can flag incomplete coverage instead of silently
 	// under-counting.
 	Truncated bool
+
+	// memShared marks Mem as possibly shared with another state after a
+	// Clone; the first write copies it (materializeMem). Forks at
+	// comparisons and control transfers never touch memory before the next
+	// store instruction, so most clones never pay for the copy.
+	memShared bool
 
 	// Stats, when non-nil, tallies fork/prune/truncation events for the
 	// observability layer. The pointer is shared by every state forked from
@@ -162,16 +171,21 @@ func (s *State) SetInput(vals []int64) {
 	s.InPos = 0
 }
 
-// Clone returns a deep copy sharing only immutable pieces (program, detector
-// table, input stream, trace prefix).
+// Clone returns a logically independent copy sharing immutable pieces
+// (program, detector table, input stream, trace prefix) eagerly and the
+// mutable memory image and constraint store copy-on-write: both sides keep
+// referencing the same map until one of them writes, which copies first.
+// States of one search belong to one goroutine, so the sharing needs no
+// synchronization.
 func (s *State) Clone() *State {
+	s.memShared = true
 	out := &State{
 		Prog:      s.Prog,
 		Dets:      s.Dets,
 		Opts:      s.Opts,
 		PC:        s.PC,
 		Regs:      s.Regs,
-		Mem:       make(map[int64]isa.Value, len(s.Mem)),
+		Mem:       s.Mem,
 		Sym:       s.Sym.Clone(),
 		In:        s.In,
 		InPos:     s.InPos,
@@ -181,10 +195,8 @@ func (s *State) Clone() *State {
 		Exc:       s.Exc,
 		Trace:     s.Trace,
 		Truncated: s.Truncated,
+		memShared: true,
 		Stats:     s.Stats,
-	}
-	for a, v := range s.Mem {
-		out.Mem[a] = v
 	}
 	copy(out.Out, s.Out)
 	if len(s.Stuck) > 0 {
@@ -194,6 +206,20 @@ func (s *State) Clone() *State {
 		}
 	}
 	return out
+}
+
+// materializeMem copies the shared memory image before the first write after
+// a Clone.
+func (s *State) materializeMem() {
+	if !s.memShared {
+		return
+	}
+	mem := make(map[int64]isa.Value, len(s.Mem)+1)
+	for a, v := range s.Mem {
+		mem[a] = v
+	}
+	s.Mem = mem
+	s.memShared = false
 }
 
 // Running reports whether the state can still take a step.
@@ -218,6 +244,7 @@ func (s *State) Note(kind trace.Kind, format string, args ...any) {
 func (s *State) Inject(loc isa.Loc) symbolic.RootID {
 	root := s.Sym.Inject(loc)
 	if loc.IsMem {
+		s.materializeMem()
 		s.Mem[loc.Addr] = isa.Err()
 	} else if loc.Reg != isa.RegZero {
 		s.Regs[loc.Reg] = isa.Err()
@@ -311,6 +338,7 @@ func (s *State) setMem(addr int64, val isa.Value, term symbolic.Term, hasTerm bo
 	if s.stuck(isa.MemLoc(addr)) {
 		return
 	}
+	s.materializeMem()
 	s.Mem[addr] = val
 	loc := isa.MemLoc(addr)
 	if val.IsErr() {
@@ -339,6 +367,7 @@ func (s *State) concretize() {
 			continue
 		}
 		if loc.IsMem {
+			s.materializeMem()
 			s.Mem[loc.Addr] = isa.Int(v)
 		} else if loc.Reg != isa.RegZero {
 			s.Regs[loc.Reg] = isa.Int(v)

@@ -10,17 +10,28 @@
 // constraint solver prunes infeasible forks; bounded model checking explores
 // every nondeterministic resolution.
 //
-// The top-level API covers the full workflow:
+// The API is context-first: every engine entry point is a Ctx function that
+// honors cancellation and deadlines by returning the partial results
+// gathered so far (marked Interrupted) instead of discarding completed work.
+// The un-suffixed names (Search, Study, Campaign, ...) are one-line
+// conveniences over their Ctx twins with an un-cancellable context. A
+// typical workflow:
 //
 //	u, _ := symplfied.Assemble("factorial", src)       // or TranslateMIPS
 //	res := symplfied.Execute(u.Program, []int64{5}, symplfied.ExecConfig{})
-//	rep, _ := symplfied.Search(symplfied.SearchSpec{   // symbolic search
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	rep, _ := symplfied.SearchCtx(ctx, symplfied.SearchSpec{ // symbolic search
 //	    Unit:  u,
 //	    Input: []int64{5},
 //	    Class: symplfied.ClassRegister,
 //	    Goal:  symplfied.GoalIncorrectOutput,
+//	    Limits: symplfied.Limits{StateBudget: 50_000},
+//	    Parallelism: 0, // 0: all cores; the merged report is identical either way
 //	})
-//	camp, _ := symplfied.Campaign(symplfied.CampaignSpec{...}) // concrete baseline
+//	camp, _ := symplfied.CampaignCtx(ctx, symplfied.CampaignSpec{...},
+//	    symplfied.CampaignResilience{}) // concrete baseline
 //
 // Subsystem packages under internal/ implement the machine model, error
 // model, detector model, constraint solver, model checker, cluster harness,
@@ -179,6 +190,33 @@ func Execute(prog *Program, input []int64, cfg ExecConfig) ExecResult {
 	}
 }
 
+// Limits gathers the budget knobs shared by every search-shaped entry point:
+// SearchSpec embeds it for the per-injection limits of a flat search, and
+// StudyConfig embeds it for the per-task limits of a decomposed study. The
+// fields promote, so the historical flat names keep working as aliases —
+// s.StateBudget reads and writes s.Limits.StateBudget.
+type Limits struct {
+	// Watchdog bounds each symbolic path in executed instructions
+	// (0: default). It is the hang detector: a path that exceeds the
+	// watchdog terminates with OutcomeHang.
+	Watchdog int
+	// StateBudget bounds explored states — per injection under SearchSpec,
+	// per task under StudyConfig (0: defaults; see checker.DefaultStateBudget
+	// and cluster.DefaultTaskStateBudget).
+	StateBudget int
+	// MaxFindings caps collected findings per injection (SearchSpec) or per
+	// task (StudyConfig); 0 means unlimited. The cap truncates what is
+	// recorded, never what is explored, so tallies and outcomes are
+	// unaffected.
+	MaxFindings int
+	// PerInjectionTimeout bounds the wall clock spent on any single
+	// injection, the analogue of the paper's per-task cluster allotment
+	// alongside the deterministic state budget (0: none). An expired
+	// deadline marks that injection's report TimedOut and downgrades an
+	// otherwise-empty verdict to inconclusive.
+	PerInjectionTimeout time.Duration
+}
+
 // SearchSpec describes a symbolic fault-injection search.
 type SearchSpec struct {
 	// Unit is the program under analysis (with its detectors).
@@ -192,24 +230,22 @@ type SearchSpec struct {
 	Injections []Injection
 	// Goal selects the search predicate.
 	Goal Goal
-	// Watchdog bounds each symbolic path (0: default).
-	Watchdog int
-	// StateBudget bounds explored states per injection (0: default).
-	StateBudget int
-	// MaxFindings caps findings per injection (0: unlimited).
-	MaxFindings int
+	// Limits holds the per-injection budget knobs (Watchdog, StateBudget,
+	// MaxFindings, PerInjectionTimeout). The fields promote: the flat
+	// selectors predating the Limits extraction (s.Watchdog, s.StateBudget,
+	// ...) are aliases for the embedded fields and keep working unchanged.
+	Limits
+	// Parallelism fans the injection sweep across a worker pool: 0 selects
+	// all cores (GOMAXPROCS), 1 forces the sequential sweep. The merged
+	// report of an uninterrupted run is byte-identical at any parallelism;
+	// like all operational knobs it never enters the campaign fingerprint.
+	Parallelism int
 	// DisableAffineSolver reverts to the paper's coarser constraint model
 	// (every propagated err loses lineage) for ablation.
 	DisableAffineSolver bool
 	// Permanent turns every register/memory injection into a stuck-at
 	// fault (the paper's future-work extension: permanent errors).
 	Permanent bool
-	// PerInjectionTimeout bounds the wall clock spent on any single
-	// injection, the analogue of the paper's per-task cluster allotment
-	// alongside the deterministic state budget (0: none). An expired
-	// deadline marks that injection's report TimedOut and downgrades an
-	// otherwise-empty verdict to inconclusive.
-	PerInjectionTimeout time.Duration
 	// DiscardStates drops terminal symbolic states from findings once their
 	// summaries are captured, bounding memory on huge campaigns. Findings
 	// then have State == nil; Describe still works.
@@ -239,6 +275,7 @@ func (s SearchSpec) build() (checker.Spec, error) {
 	spec.StateBudget = s.StateBudget
 	spec.MaxFindings = s.MaxFindings
 	spec.PerInjectionTimeout = s.PerInjectionTimeout
+	spec.Parallelism = s.Parallelism
 	spec.DiscardStates = s.DiscardStates
 	return spec, nil
 }
@@ -250,16 +287,16 @@ func (s SearchSpec) build() (checker.Spec, error) {
 // fingerprint (internal/campaign.Fingerprint) then verifies the agreement.
 func (s SearchSpec) CheckerSpec() (checker.Spec, error) { return s.build() }
 
-// Search runs a symbolic fault-injection search sequentially and returns the
-// checker report: every enumerated error in the class that satisfies the
-// goal, with decision traces and derived constraints.
-func Search(s SearchSpec) (*Report, error) {
-	return SearchCtx(context.Background(), s)
-}
+// Search is SearchCtx with an un-cancellable context.
+func Search(s SearchSpec) (*Report, error) { return SearchCtx(context.Background(), s) }
 
-// SearchCtx is Search under a context: cancellation (or an expired deadline)
-// returns the partial report gathered so far, marked Interrupted, instead of
-// discarding completed work.
+// SearchCtx runs a symbolic fault-injection search and returns the checker
+// report: every enumerated error in the class that satisfies the goal, with
+// decision traces and derived constraints. The sweep fans across
+// s.Parallelism cores (0: all); the merged report is deterministic
+// regardless. Cancellation (or an expired deadline) returns the partial
+// report gathered so far, marked Interrupted, instead of discarding
+// completed work.
 func SearchCtx(ctx context.Context, s SearchSpec) (*Report, error) {
 	spec, err := s.build()
 	if err != nil {
@@ -297,34 +334,65 @@ type StudyConfig struct {
 	// Tasks is the decomposition width (paper: 150 for tcas, 312 for
 	// replace).
 	Tasks int
-	// TaskStateBudget bounds each task (the analogue of the paper's
-	// 30-minute allotment). 0 selects a default.
+	// Limits holds the per-task budget knobs under their shared names:
+	// StateBudget bounds each task (the analogue of the paper's 30-minute
+	// allotment; 0 selects a default) and MaxFindings caps findings per task
+	// (paper: 10). Watchdog and PerInjectionTimeout, when set, override the
+	// SearchSpec's for the study.
+	Limits
+	// TaskStateBudget is the historical alias for Limits.StateBudget; when
+	// both are set the alias wins.
 	TaskStateBudget int
-	// MaxFindingsPerTask caps findings per task (paper: 10).
+	// MaxFindingsPerTask is the historical alias for Limits.MaxFindings;
+	// when both are set the alias wins.
 	MaxFindingsPerTask int
-	// Workers sizes the worker pool (0: GOMAXPROCS).
+	// Workers sizes the task pool (0: GOMAXPROCS).
 	Workers int
+	// Parallelism fans each task's own injection sweep across cores
+	// (checker.Spec.Parallelism semantics). It only takes effect when the
+	// task pool is not already saturating the machine — i.e. a single-task
+	// study or Workers: 1 — since cluster.RunCtx keeps a multi-task pool
+	// from oversubscribing the cores.
+	Parallelism int
 }
 
-// Study runs a symbolic search decomposed into independent tasks over a
-// worker pool and returns the per-task reports plus their pooled summary.
+// Study is StudyCtx with an un-cancellable context.
 func Study(s SearchSpec, cfg StudyConfig) ([]TaskReport, StudySummary, error) {
 	return StudyCtx(context.Background(), s, cfg)
 }
 
-// StudyCtx is Study under a context. Cancellation propagates to every
-// worker; the pooled summary covers the partial results, with cut-short
-// tasks marked Interrupted, rather than returning nothing.
+// StudyCtx runs a symbolic search decomposed into independent tasks over a
+// worker pool and returns the per-task reports plus their pooled summary.
+// Cancellation propagates to every worker; the pooled summary covers the
+// partial results, with cut-short tasks marked Interrupted, rather than
+// returning nothing.
 func StudyCtx(ctx context.Context, s SearchSpec, cfg StudyConfig) ([]TaskReport, StudySummary, error) {
 	spec, err := s.build()
 	if err != nil {
 		return nil, StudySummary{}, err
 	}
+	if cfg.Limits.Watchdog > 0 {
+		spec.Exec.Watchdog = cfg.Limits.Watchdog
+	}
+	if cfg.Limits.PerInjectionTimeout > 0 {
+		spec.PerInjectionTimeout = cfg.Limits.PerInjectionTimeout
+	}
+	if cfg.Parallelism != 0 {
+		spec.Parallelism = cfg.Parallelism
+	}
+	budget := cfg.TaskStateBudget
+	if budget == 0 {
+		budget = cfg.Limits.StateBudget
+	}
+	findings := cfg.MaxFindingsPerTask
+	if findings == 0 {
+		findings = cfg.Limits.MaxFindings
+	}
 	tasks := cluster.Split(spec.Injections, cfg.Tasks)
 	reports := cluster.RunCtx(ctx, spec, tasks, cluster.Config{
 		Workers:            cfg.Workers,
-		TaskStateBudget:    cfg.TaskStateBudget,
-		MaxFindingsPerTask: cfg.MaxFindingsPerTask,
+		TaskStateBudget:    budget,
+		MaxFindingsPerTask: findings,
 	})
 	return reports, cluster.Summarize(reports), nil
 }
@@ -334,25 +402,38 @@ func StudyCtx(ctx context.Context, s SearchSpec, cfg StudyConfig) ([]TaskReport,
 // Graphviz DOT.
 type SearchGraph = checker.Graph
 
-// ExploreSearchGraph explores one injection breadth-first, recording every
-// state and its parent, up to maxNodes (0: a default bound).
+// ExploreSearchGraph is ExploreSearchGraphCtx with an un-cancellable context.
 func ExploreSearchGraph(s SearchSpec, inj Injection, maxNodes int) (*SearchGraph, error) {
+	return ExploreSearchGraphCtx(context.Background(), s, inj, maxNodes)
+}
+
+// ExploreSearchGraphCtx explores one injection breadth-first, recording
+// every state and its parent, up to maxNodes (0: a default bound).
+// Cancellation returns the partial graph marked Truncated.
+func ExploreSearchGraphCtx(ctx context.Context, s SearchSpec, inj Injection, maxNodes int) (*SearchGraph, error) {
 	spec, err := s.build()
 	if err != nil {
 		return nil, err
 	}
-	return checker.ExploreGraph(spec, inj, maxNodes)
+	return checker.ExploreGraphCtx(ctx, spec, inj, maxNodes)
 }
 
-// SearchComposed runs the paper's hierarchical analysis (Section 3.4): each
-// component is proved in isolation; injections inside proven components are
-// pruned from the whole-program search.
+// SearchComposed is SearchComposedCtx with an un-cancellable context.
 func SearchComposed(s SearchSpec, components []Component) (*Report, []ComponentProof, error) {
+	return SearchComposedCtx(context.Background(), s, components)
+}
+
+// SearchComposedCtx runs the paper's hierarchical analysis (Section 3.4):
+// each component is proved in isolation; injections inside proven components
+// are pruned from the whole-program search. Cancellation interrupts the
+// running search; an interrupted component proof is inconclusive and never
+// prunes injections it did not fully cover.
+func SearchComposedCtx(ctx context.Context, s SearchSpec, components []Component) (*Report, []ComponentProof, error) {
 	spec, err := s.build()
 	if err != nil {
 		return nil, nil, err
 	}
-	return checker.RunComposed(spec, components)
+	return checker.RunComposedCtx(ctx, spec, components)
 }
 
 // EnumerateInjections lists the injections of a class over a program with
@@ -380,8 +461,8 @@ type CampaignSpec struct {
 	AllowedOutputs []int64
 }
 
-// Campaign runs the concrete baseline campaign and tallies outcomes into
-// Table 2's buckets.
+// Campaign is CampaignCtx with an un-cancellable context and no
+// checkpointing.
 func Campaign(c CampaignSpec) (*CampaignReport, error) {
 	return CampaignCtx(context.Background(), c, CampaignResilience{})
 }
@@ -389,10 +470,10 @@ func Campaign(c CampaignSpec) (*CampaignReport, error) {
 // CampaignResilience configures checkpoint/resume for a concrete campaign.
 type CampaignResilience = simplescalar.Resilience
 
-// CampaignCtx runs the concrete baseline campaign under a context with
-// optional checkpointing: completed injections are journaled as they finish
-// and a killed campaign resumes from the journal. Cancellation returns the
-// partial tallies marked Interrupted.
+// CampaignCtx runs the concrete baseline campaign, tallying outcomes into
+// Table 2's buckets, with optional checkpointing: completed injections are
+// journaled as they finish and a killed campaign resumes from the journal.
+// Cancellation returns the partial tallies marked Interrupted.
 func CampaignCtx(ctx context.Context, c CampaignSpec, r CampaignResilience) (*CampaignReport, error) {
 	if c.Unit == nil || c.Unit.Program == nil {
 		return nil, fmt.Errorf("symplfied: CampaignSpec.Unit is required")

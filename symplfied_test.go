@@ -38,8 +38,8 @@ func TestSearchEnumeratesFactorialOutcomes(t *testing.T) {
 		Injections: []symplfied.Injection{{
 			Class: symplfied.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3),
 		}},
-		Goal:     symplfied.GoalIncorrectOutput,
-		Watchdog: 400,
+		Goal:   symplfied.GoalIncorrectOutput,
+		Limits: symplfied.Limits{Watchdog: 400},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,8 +70,8 @@ func TestSearchWrongAdvisoryFindsFlip(t *testing.T) {
 		Injections: []symplfied.Injection{{
 			Class: symplfied.ClassRegister, PC: jrPC, Loc: isa.RegLoc(isa.RegRA),
 		}},
-		Goal:     symplfied.GoalWrongAdvisory,
-		Watchdog: 4000,
+		Goal:   symplfied.GoalWrongAdvisory,
+		Limits: symplfied.Limits{Watchdog: 4000},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,11 +91,11 @@ func TestSearchWrongAdvisoryFindsFlip(t *testing.T) {
 func TestStudyDecomposes(t *testing.T) {
 	u := &symplfied.Unit{Program: tcas.Program()}
 	reports, sum, err := symplfied.Study(symplfied.SearchSpec{
-		Unit:     u,
-		Input:    tcas.UpwardInput().Slice(),
-		Class:    symplfied.ClassRegister,
-		Goal:     symplfied.GoalWrongAdvisory,
-		Watchdog: 4000,
+		Unit:   u,
+		Input:  tcas.UpwardInput().Slice(),
+		Class:  symplfied.ClassRegister,
+		Goal:   symplfied.GoalWrongAdvisory,
+		Limits: symplfied.Limits{Watchdog: 4000},
 	}, symplfied.StudyConfig{Tasks: 16, TaskStateBudget: 20_000, MaxFindingsPerTask: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestPermanentSearchPublic(t *testing.T) {
 			Class: symplfied.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3),
 		}},
 		Goal:      symplfied.GoalHang,
-		Watchdog:  400,
+		Limits:    symplfied.Limits{Watchdog: 400},
 		Permanent: true,
 	})
 	if err != nil {
@@ -212,11 +212,11 @@ func TestSearchComposedPublic(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep, proofs, err := symplfied.SearchComposed(symplfied.SearchSpec{
-		Unit:     u,
-		Input:    nil,
-		Class:    symplfied.ClassRegister,
-		Goal:     symplfied.GoalErrOutput,
-		Watchdog: 100,
+		Unit:   u,
+		Input:  nil,
+		Class:  symplfied.ClassRegister,
+		Goal:   symplfied.GoalErrOutput,
+		Limits: symplfied.Limits{Watchdog: 100},
 	}, []symplfied.Component{{Name: "checked-sum", Lo: 0, Hi: 3}})
 	if err != nil {
 		t.Fatal(err)
@@ -238,10 +238,10 @@ func TestExploreSearchGraphPublic(t *testing.T) {
 	}
 	subiPC, _ := factorial.SubiPC(u.Program)
 	g, err := symplfied.ExploreSearchGraph(symplfied.SearchSpec{
-		Unit:     u,
-		Input:    []int64{3},
-		Goal:     symplfied.GoalErrOutput,
-		Watchdog: 200,
+		Unit:   u,
+		Input:  []int64{3},
+		Goal:   symplfied.GoalErrOutput,
+		Limits: symplfied.Limits{Watchdog: 200},
 	}, symplfied.Injection{Class: symplfied.ClassRegister, PC: subiPC, Loc: isa.RegLoc(3)}, 2000)
 	if err != nil {
 		t.Fatal(err)
