@@ -12,6 +12,7 @@ package symplfied_test
 // visible.
 
 import (
+	"context"
 	"testing"
 
 	"symplfied"
@@ -33,7 +34,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := r.Run()
+		res, err := r.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

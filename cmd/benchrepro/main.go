@@ -9,21 +9,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"symplfied/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("benchrepro", flag.ContinueOnError)
 	var (
 		exp  = fs.String("exp", "all", "experiment id (fig2, fig3, table1, tcas, table2, replace, inventory) or all")
@@ -51,7 +56,7 @@ func run(args []string) error {
 
 	allOK := true
 	for _, r := range runners {
-		res, err := r.Run()
+		res, err := r.Run(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.ID, err)
 		}

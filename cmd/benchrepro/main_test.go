@@ -1,23 +1,26 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSingleExperiment(t *testing.T) {
 	for _, exp := range []string{"fig2", "fig3", "table1", "inventory"} {
-		if err := run([]string{"-exp", exp}); err != nil {
+		if err := run(context.Background(), []string{"-exp", exp}); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "table99"}); err == nil {
+	if err := run(context.Background(), []string{"-exp", "table99"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

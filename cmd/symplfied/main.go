@@ -37,6 +37,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"symplfied"
+	"symplfied/internal/analysis"
 	"symplfied/internal/cli"
 	"symplfied/internal/dist"
 	"symplfied/internal/obs"
@@ -66,6 +68,9 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("symplfied", flag.ContinueOnError)
 	var (
 		file      = fs.String("file", "", "assembly file to analyze")
+		analyze   = fs.Bool("analyze", false, "statically analyze the program (CFG, liveness, detector coverage) and print diagnostics instead of searching; exits nonzero on error-severity findings")
+		jsonOut   = fs.Bool("json", false, "with -analyze, print diagnostics as JSON")
+		pruneDead = fs.Bool("prune-dead", false, "elide explorations of register injections a liveness proof shows benign (verdicts unchanged; see SYMPLFIED_CHECK_PRUNING)")
 		app       = fs.String("app", "", "built-in application: factorial | factorial-detectors | tcas | replace")
 		isMIPS    = fs.Bool("mips", false, "treat -file as MIPS-dialect assembly")
 		input     = fs.String("input", "", "comma-separated input stream (default: the app's canonical input)")
@@ -119,6 +124,14 @@ func run(ctx context.Context, args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *analyze {
+		unit, err := cli.LoadUnit(*file, *app, *isMIPS)
+		if err != nil {
+			return err
+		}
+		return runAnalyze(unit, *jsonOut)
 	}
 
 	if *serve != "" {
@@ -175,16 +188,18 @@ func run(ctx context.Context, args []string) error {
 		},
 		Parallelism:         *parallel,
 		DisableAffineSolver: *noAffine,
+		PruneDeadInjections: *pruneDead,
 	}
 
 	var found []symplfied.Finding
 	if *tasks > 1 {
 		reports, sum, err := symplfied.StudyCtx(ctx, spec, symplfied.StudyConfig{
-			Tasks:              *tasks,
-			TaskStateBudget:    *budget,
-			MaxFindingsPerTask: *findings,
-			Workers:            *workers,
-			Parallelism:        *parallel,
+			Tasks:               *tasks,
+			TaskStateBudget:     *budget,
+			MaxFindingsPerTask:  *findings,
+			Workers:             *workers,
+			Parallelism:         *parallel,
+			PruneDeadInjections: *pruneDead,
 		})
 		if err != nil {
 			return err
@@ -217,6 +232,10 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("injections: %d (%d not activated), states explored: %d\n",
 			len(rep.Spec.Injections), rep.NotActivated, rep.TotalStates)
 		fmt.Printf("terminal outcomes: %v\n", rep.Outcomes)
+		if rep.PrunedInjections > 0 {
+			fmt.Printf("pruned: %d injections proven benign by liveness (explorations elided; verdicts unchanged)\n",
+				rep.PrunedInjections)
+		}
 		if stats.Resumed > 0 {
 			fmt.Printf("resumed: %d injections restored from %s, %d executed\n", stats.Resumed, *ckpt, stats.Executed)
 		}
@@ -244,7 +263,7 @@ func run(ctx context.Context, args []string) error {
 	printFindings(found, *traces)
 
 	if *graphOut != "" && len(found) > 0 {
-		g, err := symplfied.ExploreSearchGraph(spec, found[0].Injection, *graphMax)
+		g, err := symplfied.ExploreSearchGraphCtx(ctx, spec, found[0].Injection, *graphMax)
 		if err != nil {
 			return fmt.Errorf("graph: %w", err)
 		}
@@ -253,6 +272,42 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("search graph (%d states, truncated=%v) written to %s\n",
 			len(g.Nodes), g.Truncated, *graphOut)
+	}
+	return nil
+}
+
+// runAnalyze is the -analyze mode: CFG + liveness + detector-coverage lint
+// (internal/analysis) over the loaded program, printed human-readably or as
+// JSON. Error-severity findings (unreachable detectors, unknown detector
+// IDs, control falling off the end, invalid branch targets) make the exit
+// status nonzero, so the lint gates CI the way `go vet` does.
+func runAnalyze(unit *symplfied.Unit, jsonOut bool) error {
+	diags := analysis.Lint(unit.Program, unit.Detectors)
+	errs, warns := analysis.Summary(diags)
+	reg := obs.Default()
+	reg.Counter(obs.MLintDiags, obs.L("severity", "error")).Add(int64(errs))
+	reg.Counter(obs.MLintDiags, obs.L("severity", "warning")).Add(int64(warns))
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Program     string
+			Errors      int
+			Warnings    int
+			Diagnostics []analysis.Diag
+		}{unit.Program.Name, errs, warns, diags}); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", unit.Program.Name, d)
+		}
+		fmt.Printf("%s: %d instructions analyzed, %d errors, %d warnings\n",
+			unit.Program.Name, unit.Program.Len(), errs, warns)
+	}
+	if errs > 0 {
+		return fmt.Errorf("analysis found %d error-severity finding(s)", errs)
 	}
 	return nil
 }

@@ -8,6 +8,53 @@ import (
 	"time"
 )
 
+func TestAnalyzeCleanApp(t *testing.T) {
+	for _, args := range [][]string{
+		{"-analyze", "-app", "tcas"},
+		{"-analyze", "-json", "-app", "replace"},
+	} {
+		if err := run(context.Background(), args); err != nil {
+			t.Errorf("run(%v): %v (benchmark apps lint clean)", args, err)
+		}
+	}
+}
+
+func TestAnalyzeFlagsUnreachableDetector(t *testing.T) {
+	// The acceptance example: a deliberately unreachable detector is an
+	// error-severity finding, so -analyze must exit nonzero.
+	err := run(context.Background(), []string{
+		"-analyze", "-file", "../../examples/analyze/unreachable-detector.sym",
+	})
+	if err == nil {
+		t.Fatal("-analyze accepted a program with an unreachable detector")
+	}
+	if !strings.Contains(err.Error(), "error-severity") {
+		t.Errorf("unexpected -analyze failure: %v", err)
+	}
+}
+
+func TestPruneDeadSearch(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "err-output",
+		"-watchdog", "400", "-findings", "2", "-prune-dead",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneDeadStudy(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-app", "factorial", "-input", "5",
+		"-class", "register", "-goal", "incorrect-output",
+		"-watchdog", "400", "-tasks", "4", "-budget", "20000", "-prune-dead",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSequentialSearch(t *testing.T) {
 	err := run(context.Background(), []string{
 		"-app", "factorial", "-input", "5",

@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string) error {
 		metrics     = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9091 or :0)")
 		progress    = fs.Duration("progress", 0, "log a one-line progress report at this interval (0: off)")
 		parallel    = fs.Int("parallel", 0, "cores to fan each leased task's injection sweep across (0: all cores, 1: sequential)")
+		pruneDead   = fs.Bool("prune-dead", false, "elide explorations of register injections a liveness proof shows benign (verdicts unchanged)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +89,7 @@ func run(ctx context.Context, args []string) error {
 		Poll:        *poll,
 		OnTask:      onTask,
 		Parallelism: *parallel,
+		PruneDead:   *pruneDead,
 	})
 	if err != nil {
 		return err

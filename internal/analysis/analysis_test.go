@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+)
+
+// mustParse assembles src for tests.
+func mustParse(t *testing.T, src string) *asm.Unit {
+	t.Helper()
+	return asm.MustParse("t", src)
+}
+
+// analyzeSrc assembles src and analyzes it with its own detector table.
+func analyzeSrc(t *testing.T, src string) *Analysis {
+	t.Helper()
+	u := mustParse(t, src)
+	return Analyze(u.Program, u.Detectors)
+}
+
+func regset(rs ...isa.Reg) RegSet {
+	var s RegSet
+	for _, r := range rs {
+		s = s.Add(r)
+	}
+	return s
+}
+
+func TestRegSetBasics(t *testing.T) {
+	var s RegSet
+	if s.Has(1) || s.Len() != 0 {
+		t.Fatalf("empty set misbehaves: %v", s)
+	}
+	s = s.Add(1).Add(5).Add(31).Add(isa.RegZero)
+	if s.Has(isa.RegZero) {
+		t.Errorf("RegZero must never be a member")
+	}
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := s.String(); got != "{$1 $5 $31}" {
+		t.Errorf("String = %q", got)
+	}
+	if AllRegs.Len() != isa.NumRegs-1 || AllRegs.Has(isa.RegZero) {
+		t.Errorf("AllRegs wrong: %v", AllRegs)
+	}
+	if s.Remove(5).Has(5) {
+		t.Errorf("Remove failed")
+	}
+}
+
+// TestLivenessStraightLine checks the kill/gen transfer on a straight-line
+// program: a value is live from its definition's successors back to its use,
+// and dead after its last read.
+func TestLivenessStraightLine(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $1 #3
+	addi $2 $1 #1
+	print $2
+	halt
+`)
+	want := []struct {
+		pc      int
+		in, out RegSet
+	}{
+		{0, regset(), regset(1)},
+		{1, regset(1), regset(2)},
+		{2, regset(2), regset()},
+		{3, regset(), regset()},
+	}
+	for _, w := range want {
+		if a.LiveIn[w.pc] != w.in || a.LiveOut[w.pc] != w.out {
+			t.Errorf("@%d: LiveIn=%v LiveOut=%v, want %v/%v",
+				w.pc, a.LiveIn[w.pc], a.LiveOut[w.pc], w.in, w.out)
+		}
+	}
+	if !a.DeadAt(0, 1) || a.DeadAt(1, 1) {
+		t.Errorf("DeadAt wrong for $1: in=%v", a.LiveIn[1])
+	}
+	// $5 is never touched: dead everywhere.
+	for pc := 0; pc < 4; pc++ {
+		if !a.DeadAt(pc, 5) {
+			t.Errorf("untouched $5 should be dead at @%d", pc)
+		}
+	}
+}
+
+// TestLivenessBranchJoin checks the union over a diamond: a register read on
+// only one arm is live before the branch.
+func TestLivenessBranchJoin(t *testing.T) {
+	a := analyzeSrc(t, `
+	read $1
+	beq $1 0 else     -- @1
+	print $2          -- @2 then-arm reads $2
+	jmp done
+	else:
+	print $3          -- @4 else-arm reads $3
+	done:
+	halt
+`)
+	if got := a.LiveIn[1]; got != regset(1, 2, 3) {
+		t.Errorf("LiveIn at branch = %v, want {$1 $2 $3}", got)
+	}
+	// After the branch decides, only the taken arm's register is live.
+	if got := a.LiveIn[2]; got != regset(2) {
+		t.Errorf("LiveIn at then-arm = %v, want {$2}", got)
+	}
+	if got := a.LiveIn[4]; got != regset(3) {
+		t.Errorf("LiveIn at else-arm = %v, want {$3}", got)
+	}
+}
+
+// TestLivenessLoop checks the fixpoint over a back edge: the counter and the
+// accumulator stay live around the loop, and the loop-carried read keeps a
+// redefined register live at its own definition's input.
+func TestLivenessLoop(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $1 #5          -- @0 counter
+	li $2 #0          -- @1 acc
+	loop:
+	add $2 $2 $1      -- @2
+	subi $1 $1 #1     -- @3
+	bne $1 0 loop     -- @4
+	print $2          -- @5
+	halt
+`)
+	// Around the loop both $1 and $2 are live.
+	for pc := 2; pc <= 4; pc++ {
+		if !a.LiveIn[pc].Has(1) || !a.LiveIn[pc].Has(2) {
+			t.Errorf("LiveIn@%d = %v, want $1 and $2 live", pc, a.LiveIn[pc])
+		}
+	}
+	// Before the counter init, nothing is live; before the acc init, $1 is.
+	if got := a.LiveIn[0]; got != regset() {
+		t.Errorf("LiveIn@0 = %v, want {}", got)
+	}
+	if got := a.LiveIn[1]; got != regset(1) {
+		t.Errorf("LiveIn@1 = %v, want {$1}", got)
+	}
+	// After the loop exits only $2 (printed) is live.
+	if got := a.LiveIn[5]; got != regset(2) {
+		t.Errorf("LiveIn@5 = %v, want {$2}", got)
+	}
+}
+
+// TestLivenessDetectorReads checks that a CHECK counts its detector's target
+// and expression registers as uses — the soundness condition for pruning
+// injections the paper's Section 5.3 detectors would have caught.
+func TestLivenessDetectorReads(t *testing.T) {
+	a := analyzeSrc(t, `
+	det(7, $4, ==, $5 + $6)
+	li $4 #1          -- @0
+	li $5 #2          -- @1
+	li $6 #3          -- @2
+	check #7          -- @3
+	halt              -- @4
+`)
+	if got := a.Uses(3); got != regset(4, 5, 6) {
+		t.Errorf("check uses = %v, want {$4 $5 $6}", got)
+	}
+	if got := a.LiveIn[2]; !got.Has(4) || !got.Has(5) {
+		t.Errorf("detector regs not live before their defs complete: %v", got)
+	}
+	if a.DeadAt(3, 4) || a.DeadAt(3, 5) || a.DeadAt(3, 6) {
+		t.Errorf("detector-read registers must be live at the check")
+	}
+}
+
+// TestLivenessUnknownDetectorTerminal checks that a CHECK naming an unknown
+// detector is terminal: it throws before reading anything, so nothing is
+// live out of it.
+func TestLivenessUnknownDetectorTerminal(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $1 #1
+	check #9
+	print $1
+	halt
+`)
+	if got := a.LiveOut[1]; got != regset() {
+		t.Errorf("LiveOut of unknown-detector check = %v, want {}", got)
+	}
+	if !a.CFG.Reachable[1] || a.CFG.Reachable[2] {
+		t.Errorf("reachability past a throwing check is wrong: %v", a.CFG.Reachable)
+	}
+}
+
+// TestLivenessJrConservative checks the dynamic-jump convention: a jr may
+// reach any instruction, so every register any instruction reads is live
+// across it.
+func TestLivenessJrConservative(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $31 #3
+	jr $31            -- @1
+	print $7          -- @2
+	halt
+`)
+	if got := a.LiveOut[1]; !got.Has(7) {
+		t.Errorf("LiveOut of jr = %v, want $7 live (jr may land on the print)", got)
+	}
+	if !a.LiveIn[1].Has(31) {
+		t.Errorf("jr's own target register must be live: %v", a.LiveIn[1])
+	}
+	// With a jr present, everything is conservatively reachable.
+	for pc, r := range a.CFG.Reachable {
+		if !r {
+			t.Errorf("@%d unreachable despite dynamic jump", pc)
+		}
+	}
+}
+
+// TestCFGBlocksAndReachability checks block boundaries and that code after
+// an unconditional jump with no inbound label is unreachable.
+func TestCFGBlocksAndReachability(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $1 #1
+	jmp done          -- @1
+	li $2 #2          -- @2 unreachable
+	li $3 #3          -- @3 unreachable, same block
+	done:
+	halt              -- @4
+`)
+	g := a.CFG
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d (%+v), want 3", len(g.Blocks), g.Blocks)
+	}
+	if g.Reachable[2] || g.Reachable[3] {
+		t.Errorf("dead block marked reachable")
+	}
+	if !g.Reachable[0] || !g.Reachable[4] {
+		t.Errorf("live blocks marked unreachable")
+	}
+	if g.BlockOf[2] != g.BlockOf[3] {
+		t.Errorf("straight-line dead code split across blocks")
+	}
+	b0 := g.Blocks[g.BlockOf[0]]
+	if len(b0.Succs) != 1 || g.Blocks[b0.Succs[0]].Start != 4 {
+		t.Errorf("entry block successors = %+v", b0)
+	}
+}
+
+// TestNeverWritten checks the forward must-pass: a register written on no
+// path is flagged, one defined on even a single path to the read is not.
+func TestNeverWritten(t *testing.T) {
+	a := analyzeSrc(t, `
+	read $1
+	beq $1 0 skip     -- @1
+	li $2 #1          -- @2 defines $2 on one arm
+	skip:
+	print $2          -- @3 $2 written on a path: not "never written"
+	print $3          -- @4 $3 written nowhere
+	halt
+`)
+	if a.NeverWritten[3].Has(2) {
+		t.Errorf("$2 is defined on one path; must-analysis should clear it")
+	}
+	if !a.NeverWritten[4].Has(3) {
+		t.Errorf("$3 is written nowhere; should be flagged at its read")
+	}
+	if a.NeverWritten[1].Has(1) {
+		t.Errorf("$1 defined before the branch, wrongly in NeverWritten")
+	}
+}
+
+// TestAnalyzeNilDetectors checks Analyze tolerates a nil table.
+func TestAnalyzeNilDetectors(t *testing.T) {
+	u := asm.MustParse("t", "\tli $1 #1\n\thalt\n")
+	a := Analyze(u.Program, nil)
+	if a.Detectors == nil || len(a.LiveIn) != 2 {
+		t.Fatalf("nil-table analysis broken")
+	}
+}
+
+// TestAnalyzeEmptyProgram checks the degenerate empty program.
+func TestAnalyzeEmptyProgram(t *testing.T) {
+	prog, err := isa.NewProgram("empty", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(prog, nil)
+	if len(a.LiveIn) != 0 || len(a.CFG.Blocks) != 0 {
+		t.Fatalf("empty program analysis: %+v", a)
+	}
+	if a.DeadAt(0, 1) {
+		t.Errorf("out-of-range pc must not report dead")
+	}
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// CFG is the control-flow graph of a program at instruction granularity,
+// grouped into basic blocks. Successor edges follow the machine semantics
+// (internal/machine, internal/symexec):
+//
+//   - halt and throw are terminal;
+//   - a CHECK whose detector exists falls through on pass (a failing check
+//     throws, which is terminal); a CHECK naming an unknown detector always
+//     throws and is terminal;
+//   - conditional branches go to the resolved target and fall through;
+//   - jmp/jal go to the target only (jal links RA but does not fall through);
+//   - jr computes its target from a register, so it may reach any
+//     instruction (the machine raises a terminal illegal-instruction
+//     exception for out-of-range targets);
+//   - running past the last instruction is a terminal illegal-instruction
+//     exception, not an edge.
+type CFG struct {
+	Prog *isa.Program
+
+	// Blocks lists the basic blocks in address order.
+	Blocks []Block
+	// BlockOf maps each pc to the index of its containing block.
+	BlockOf []int
+	// Reachable[pc] reports whether any path from entry (pc 0) reaches pc.
+	Reachable []bool
+	// HasDynamicJump is true when the program contains a jr: every
+	// instruction is then conservatively reachable once any jr is.
+	HasDynamicJump bool
+}
+
+// Block is a maximal straight-line run of instructions [Start, End) entered
+// only at Start and left only at End-1.
+type Block struct {
+	Start, End int
+	// Succs lists successor block indices in ascending order. A jr block
+	// has DynamicSucc set instead of materializing an edge to every block.
+	Succs []int
+	// DynamicSucc marks a block ending in jr: its successors are every block.
+	DynamicSucc bool
+}
+
+// succsOf returns the static successor pcs of the instruction at pc, with
+// dynamic=true for jr (whose successors are every valid pc). The slice is
+// appended to buf to avoid per-call allocation in the dataflow loops.
+func succsOf(prog *isa.Program, dets *detector.Table, pc int, buf []int) (succs []int, dynamic bool) {
+	in := prog.At(pc)
+	succs = buf[:0]
+	fall := func() {
+		if pc+1 < prog.Len() {
+			succs = append(succs, pc+1)
+		}
+	}
+	switch in.Op {
+	case isa.OpHalt, isa.OpThrow:
+		return succs, false
+	case isa.OpJr:
+		return succs, true
+	case isa.OpJmp, isa.OpJal:
+		succs = append(succs, in.Target)
+		return succs, false
+	case isa.OpBeq, isa.OpBne, isa.OpBeqi, isa.OpBnei:
+		succs = append(succs, in.Target)
+		if pc+1 < prog.Len() && in.Target != pc+1 {
+			succs = append(succs, pc+1)
+		}
+		return succs, false
+	case isa.OpCheck:
+		if _, ok := dets.Lookup(in.Imm); !ok {
+			return succs, false // unknown detector: the check throws
+		}
+		fall()
+		return succs, false
+	default:
+		fall()
+		return succs, false
+	}
+}
+
+// buildCFG constructs the block graph and reachability for prog.
+func buildCFG(prog *isa.Program, dets *detector.Table) *CFG {
+	n := prog.Len()
+	g := &CFG{
+		Prog:      prog,
+		BlockOf:   make([]int, n),
+		Reachable: make([]bool, n),
+	}
+	if n == 0 {
+		return g
+	}
+
+	// Block leaders: entry, branch targets, and instructions after a
+	// control transfer or terminal.
+	leader := make([]bool, n)
+	leader[0] = true
+	var buf [2]int
+	for pc := 0; pc < n; pc++ {
+		succs, dynamic := succsOf(prog, dets, pc, buf[:0])
+		if dynamic {
+			g.HasDynamicJump = true
+		}
+		in := prog.At(pc)
+		transfers := dynamic || in.IsBranch() || len(succs) == 0
+		for _, s := range succs {
+			if s != pc+1 {
+				leader[s] = true
+			}
+		}
+		if transfers && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, Block{Start: pc})
+		}
+		g.BlockOf[pc] = len(g.Blocks) - 1
+	}
+	for i := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			g.Blocks[i].End = g.Blocks[i+1].Start
+		} else {
+			g.Blocks[i].End = n
+		}
+	}
+
+	// Block successors from the last instruction of each block.
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := b.End - 1
+		succs, dynamic := succsOf(prog, dets, last, buf[:0])
+		if dynamic {
+			b.DynamicSucc = true
+			continue
+		}
+		seen := map[int]bool{}
+		for _, s := range succs {
+			sb := g.BlockOf[s]
+			if !seen[sb] {
+				seen[sb] = true
+				b.Succs = append(b.Succs, sb)
+			}
+		}
+		sortInts(b.Succs)
+	}
+
+	// Reachability over blocks from the entry block. A reachable jr makes
+	// every block reachable (its target is a register value).
+	reached := make([]bool, len(g.Blocks))
+	work := []int{0}
+	reached[0] = true
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := g.Blocks[bi]
+		if b.DynamicSucc {
+			for j := range reached {
+				if !reached[j] {
+					reached[j] = true
+					work = append(work, j)
+				}
+			}
+			continue
+		}
+		for _, s := range b.Succs {
+			if !reached[s] {
+				reached[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for pc := 0; pc < n; pc++ {
+		g.Reachable[pc] = reached[g.BlockOf[pc]]
+	}
+	return g
+}
+
+// sortInts sorts a small int slice in place (insertion sort; successor lists
+// have at most a handful of entries).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"symplfied/internal/apps/replace"
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+)
+
+// FuzzAnalyze feeds arbitrary assembly source through the real front end:
+// anything internal/asm accepts must analyze without panicking — CFG
+// construction, both dataflow passes, Lint, and a liveness query at every
+// pc. The seed corpus reuses the asm fuzzer's domain: the benchmark
+// applications plus rendered random programs over every instruction format
+// (branches at the boundaries, jr, checks with dangling detector IDs).
+func FuzzAnalyze(f *testing.F) {
+	f.Add("\thalt\n")
+	f.Add("")                                                  // empty program
+	f.Add("\tli $1 #1\n\tprint $1\n")                          // falls off the end
+	f.Add("loop:\tsubi $1 $1 #1\n\tbne $1 0 loop\n\thalt\n")   // back edge
+	f.Add("\tjr $31\n")                                        // dynamic jump
+	f.Add("\tdet(1, $2, ==, $3 + *(8))\n\tcheck #1\n\thalt\n") // detector reads
+	f.Add("\tcheck #99\n\thalt\n")                             // unknown detector
+	f.Add("\tjmp end\n\tli $1 #1\nend:\thalt\nafter_end:\n")   // unreachable + end label
+	f.Add(tcas.Program().String())
+	f.Add(replace.Program().String())
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 12; i++ {
+		f.Add(randomSource(r))
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := asm.Parse("fuzz", src)
+		if err != nil {
+			return // not assemblable: out of scope
+		}
+		a := Analyze(u.Program, u.Detectors)
+		diags := a.Lint()
+		_ = HasErrors(diags)
+		for _, d := range diags {
+			_ = d.String()
+		}
+		for pc := 0; pc < u.Program.Len(); pc++ {
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				a.DeadAt(pc, r)
+			}
+			if !a.CFG.Reachable[pc] && a.CFG.BlockOf[pc] < 0 {
+				t.Fatalf("pc %d has no block", pc)
+			}
+		}
+	})
+}
+
+// randomSource renders a random valid program the same way the asm fuzz
+// round-trip test builds its corpus.
+func randomSource(r *rand.Rand) string {
+	n := 3 + r.Intn(30)
+	instrs := make([]isa.Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		instrs = append(instrs, randomInstr(r, n+1))
+	}
+	instrs = append(instrs, isa.Instr{Op: isa.OpHalt})
+	labels := map[string]int{}
+	for k := r.Intn(4); k > 0; k-- {
+		labels["L"+strconv.Itoa(r.Intn(100))] = r.Intn(n + 1)
+	}
+	prog, err := isa.NewProgram("fuzz", instrs, labels)
+	if err != nil {
+		return "\thalt\n"
+	}
+	return prog.String()
+}
+
+// randomInstr mirrors the generator in internal/asm's fuzz round-trip test:
+// one random instruction of any renderable format, branch targets within
+// [0, progLen).
+func randomInstr(r *rand.Rand, progLen int) isa.Instr {
+	ops := isa.Ops()
+	for {
+		op := ops[r.Intn(len(ops))]
+		in := isa.Instr{Op: op}
+		reg := func() isa.Reg { return isa.Reg(r.Intn(isa.NumRegs)) }
+		imm := func() int64 { return int64(r.Intn(2001) - 1000) }
+		switch op.Format() {
+		case isa.FormatNone:
+			if op == isa.OpHalt {
+				continue // emitted explicitly at the end
+			}
+		case isa.FormatR3:
+			in.Rd, in.Rs, in.Rt = reg(), reg(), reg()
+		case isa.FormatR2I:
+			in.Rd, in.Rs, in.Imm = reg(), reg(), imm()
+		case isa.FormatR2:
+			in.Rd, in.Rs = reg(), reg()
+		case isa.FormatRI:
+			in.Rd, in.Imm = reg(), imm()
+		case isa.FormatMem:
+			in.Rt, in.Rs, in.Imm = reg(), reg(), imm()
+		case isa.FormatBranch:
+			in.Rs, in.Rt, in.Target = reg(), reg(), r.Intn(progLen)
+		case isa.FormatBranchI:
+			in.Rs, in.Imm, in.Target = reg(), imm(), r.Intn(progLen)
+		case isa.FormatJump:
+			in.Target = r.Intn(progLen)
+		case isa.FormatJumpR:
+			in.Rs = reg()
+		case isa.FormatR1:
+			in.Rd = reg()
+		case isa.FormatStr:
+			n := r.Intn(8)
+			s := make([]byte, 0, n)
+			alphabet := `abc "\-;/()#$*123 	`
+			for i := 0; i < n; i++ {
+				s = append(s, alphabet[r.Intn(len(alphabet))])
+			}
+			in.Str = string(s)
+		case isa.FormatCheck:
+			in.Imm = int64(r.Intn(10))
+		}
+		return in
+	}
+}

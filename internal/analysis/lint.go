@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severities. Errors are defects that break the fault-tolerance argument
+// (a detector that cannot fire, control running off the program); warnings
+// are likely-bug smells that do not invalidate a campaign by themselves.
+const (
+	SeverityWarning Severity = iota + 1
+	SeverityError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalText renders the severity for JSON diagnostics.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Diagnostic codes.
+const (
+	CodeUnreachableCode     = "unreachable-code"
+	CodeUnreachableDetector = "unreachable-detector"
+	CodeUnknownDetector     = "unknown-detector"
+	CodeUnusedDetector      = "unused-detector"
+	CodeDeadGuard           = "dead-guard"
+	CodeFallsOffEnd         = "falls-off-end"
+	CodeBadBranchTarget     = "bad-branch-target"
+	CodeUninitRead          = "uninitialized-read"
+	CodeDeadStore           = "dead-store"
+)
+
+// Diag is one diagnostic from the lint pass.
+type Diag struct {
+	// Severity ranks the finding; Code is its stable machine-readable kind.
+	Severity Severity
+	Code     string
+	// PC is the instruction the diagnostic anchors to, -1 for program-level
+	// findings (e.g. a detector no CHECK references).
+	PC int
+	// Where is the human-readable location for PC (label+offset).
+	Where string `json:",omitempty"`
+	// Reg is the register involved, if any.
+	Reg *isa.Reg `json:",omitempty"`
+	// DetectorID is the detector involved, if any.
+	DetectorID *int64 `json:",omitempty"`
+	// Message explains the finding.
+	Message string
+}
+
+// String renders the diagnostic as "severity code @pc: message".
+func (d Diag) String() string {
+	loc := "-"
+	if d.PC >= 0 {
+		loc = fmt.Sprintf("@%d", d.PC)
+		if d.Where != "" {
+			loc = d.Where
+		}
+	}
+	return fmt.Sprintf("%s %s %s: %s", d.Severity, d.Code, loc, d.Message)
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diag) bool {
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// Lint analyzes prog (with dets) and returns its diagnostics, sorted by
+// anchor PC then code. It reports:
+//
+//   - unreachable code (warning; one per basic block);
+//   - control that can run past the last instruction (error);
+//   - branch targets outside the program (error; defense in depth — the
+//     assembler rejects these at build time);
+//   - CHECKs naming a detector the table does not define (error: the check
+//     always throws) and CHECKs that can never execute (error: the
+//     detector's coverage is an illusion, paper Section 5.3);
+//   - detectors no CHECK references (warning) and detectors guarding a
+//     register that is dead immediately after the check (warning: the check
+//     validates a value nothing reads);
+//   - reads of registers no path from entry ever writes (warning) and
+//     stores into registers that are dead afterwards (warning).
+func Lint(prog *isa.Program, dets *detector.Table) []Diag {
+	return Analyze(prog, dets).Lint()
+}
+
+// Lint derives the diagnostics from the computed analysis. See the package
+// function Lint for the catalogue.
+func (a *Analysis) Lint() []Diag {
+	var diags []Diag
+	prog, g := a.Prog, a.CFG
+	add := func(d Diag) {
+		if d.PC >= 0 {
+			d.Where = prog.Locate(d.PC)
+		}
+		diags = append(diags, d)
+	}
+
+	// Unreachable blocks (one diagnostic per block, anchored at its start).
+	for _, b := range g.Blocks {
+		if !g.Reachable[b.Start] {
+			add(Diag{
+				Severity: SeverityWarning, Code: CodeUnreachableCode, PC: b.Start,
+				Message: fmt.Sprintf("instructions @%d..@%d are unreachable from entry", b.Start, b.End-1),
+			})
+		}
+	}
+
+	// Control flow off the end, and (defensively) wild branch targets.
+	var buf [2]int
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		if in.IsBranch() && (in.Target < 0 || in.Target >= prog.Len()) {
+			add(Diag{
+				Severity: SeverityError, Code: CodeBadBranchTarget, PC: pc,
+				Message: fmt.Sprintf("%s targets @%d, outside the program", in.Op, in.Target),
+			})
+			continue
+		}
+		if pc != prog.Len()-1 || !g.Reachable[pc] {
+			continue
+		}
+		if succs, dynamic := succsOf(prog, a.Detectors, pc, buf[:0]); !dynamic && len(succs) == 0 {
+			switch in.Op {
+			case isa.OpHalt, isa.OpThrow:
+			case isa.OpCheck:
+				// A trailing check falls through past the end when it passes.
+				if _, ok := a.Detectors.Lookup(in.Imm); ok {
+					add(Diag{
+						Severity: SeverityError, Code: CodeFallsOffEnd, PC: pc,
+						Message: "a passing check falls off the end of the program (illegal instruction)",
+					})
+				}
+			default:
+				add(Diag{
+					Severity: SeverityError, Code: CodeFallsOffEnd, PC: pc,
+					Message: fmt.Sprintf("control falls off the end of the program after %s (illegal instruction)", in.Op),
+				})
+			}
+		}
+	}
+
+	// Detector coverage: walk every CHECK site, then the table.
+	checkSites := map[int64][]int{} // detector ID -> check pcs
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		if in.Op != isa.OpCheck {
+			continue
+		}
+		id := in.Imm
+		checkSites[id] = append(checkSites[id], pc)
+		d, known := a.Detectors.Lookup(id)
+		if !known {
+			if g.Reachable[pc] {
+				add(Diag{
+					Severity: SeverityError, Code: CodeUnknownDetector, PC: pc, DetectorID: &in.Imm,
+					Message: fmt.Sprintf("check references detector %d, which is not defined: the check always throws", id),
+				})
+			}
+			continue
+		}
+		if !g.Reachable[pc] {
+			add(Diag{
+				Severity: SeverityError, Code: CodeUnreachableDetector, PC: pc, DetectorID: &in.Imm,
+				Message: fmt.Sprintf("detector %d can never fire: its check is unreachable", id),
+			})
+			continue
+		}
+		if !d.Target.IsMem && d.Target.Reg != isa.RegZero && !a.LiveOut[pc].Has(d.Target.Reg) {
+			r := d.Target.Reg
+			add(Diag{
+				Severity: SeverityWarning, Code: CodeDeadGuard, PC: pc, Reg: &r, DetectorID: &in.Imm,
+				Message: fmt.Sprintf("detector %d guards %s, but %s is dead after the check: nothing reads the validated value", id, r, r),
+			})
+		}
+	}
+	for _, d := range a.Detectors.All() {
+		if len(checkSites[d.ID]) == 0 {
+			id := d.ID
+			add(Diag{
+				Severity: SeverityWarning, Code: CodeUnusedDetector, PC: -1, DetectorID: &id,
+				Message: fmt.Sprintf("detector %d is defined but no check references it", id),
+			})
+		}
+	}
+
+	// Dataflow smells on reachable code: uninitialized reads and dead
+	// stores. Reads through detectors count (Uses includes them).
+	for pc := 0; pc < prog.Len(); pc++ {
+		if !g.Reachable[pc] {
+			continue
+		}
+		for _, r := range a.Uses(pc).Regs() {
+			if a.NeverWritten[pc].Has(r) {
+				r := r
+				add(Diag{
+					Severity: SeverityWarning, Code: CodeUninitRead, PC: pc, Reg: &r,
+					Message: fmt.Sprintf("%s is read here but never written on any path from entry", r),
+				})
+			}
+		}
+		in := prog.At(pc)
+		if isPureDef(in) {
+			for _, r := range a.Defs(pc).Regs() {
+				if !a.LiveOut[pc].Has(r) {
+					r := r
+					add(Diag{
+						Severity: SeverityWarning, Code: CodeDeadStore, PC: pc, Reg: &r,
+						Message: fmt.Sprintf("value written to %s is never read (dead store)", r),
+					})
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].PC != diags[j].PC {
+			return diags[i].PC < diags[j].PC
+		}
+		return diags[i].Code < diags[j].Code
+	})
+	return diags
+}
+
+// isPureDef reports whether the instruction's only observable effect is the
+// register it writes, making an unread result a dead store. Loads can fault
+// (and model the memory read), reads consume input, and jal links a return
+// address as part of transferring control — none of those writes is "dead"
+// in a way worth flagging.
+func isPureDef(in isa.Instr) bool {
+	switch in.Op.Format() {
+	case isa.FormatR3, isa.FormatR2I, isa.FormatR2, isa.FormatRI:
+		switch in.Op {
+		case isa.OpDiv, isa.OpDivi, isa.OpMod, isa.OpModi:
+			// May raise divide-by-zero: executed for effect, never flagged.
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// Summary tallies diagnostics by severity for reports and obs counters.
+func Summary(diags []Diag) (errors, warnings int) {
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return errors, warnings
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"symplfied/internal/apps/replace"
+	"symplfied/internal/apps/tcas"
+)
+
+// diagStrings renders diagnostics for golden comparison.
+func diagStrings(diags []Diag) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// TestLintGoldenApps pins the lint output of the benchmark applications: the
+// paper's case studies are clean — every detector reachable, no dead control
+// flow, no boot-value reads — so their golden diagnostic list is empty. A
+// regression here means either an app edit introduced a real defect or an
+// analysis change started reporting spurious findings on known-good code.
+func TestLintGoldenApps(t *testing.T) {
+	progHardened, detsHardened := tcas.Hardened()
+	cases := []struct {
+		name  string
+		diags []Diag
+		want  []string
+	}{
+		{"tcas", Lint(tcas.Program(), nil), nil},
+		{"tcas-hardened", Lint(progHardened, detsHardened), nil},
+		{"replace", Lint(replace.Program(), nil), nil},
+	}
+	for _, tc := range cases {
+		got := diagStrings(tc.diags)
+		if strings.Join(got, "\n") != strings.Join(tc.want, "\n") {
+			t.Errorf("%s: lint diagnostics changed:\n%s", tc.name, strings.Join(got, "\n"))
+		}
+		if HasErrors(tc.diags) {
+			t.Errorf("%s: error-severity findings on a known-good program", tc.name)
+		}
+	}
+}
+
+// TestLintGoldenDefective pins the full diagnostic list for a program
+// exercising every diagnostic code at once.
+func TestLintGoldenDefective(t *testing.T) {
+	u := mustParse(t, `
+	det(1, $5, ==, 42)
+	det(2, $6, >, $7)
+	det(9, $1, ==, 0)
+	li $5 #42         -- @0
+	li $9 #7          -- @1 dead store: $9 never read
+	check #1          -- @2 ok, but $5 dead after (dead guard)
+	print $3          -- @3 $3 never written
+	jmp end           -- @4
+	check #2          -- @5 unreachable check: detector 2 cannot fire
+	li $1 #1          -- @6 unreachable code
+	end:
+	check #8          -- @7 unknown detector: always throws
+	halt              -- @8
+`)
+	got := diagStrings(Lint(u.Program, u.Detectors))
+	want := []string{
+		"warning unused-detector -: detector 9 is defined but no check references it",
+		"warning dead-store @1: value written to $9 is never read (dead store)",
+		"warning dead-guard @2: detector 1 guards $5, but $5 is dead after the check: nothing reads the validated value",
+		"warning uninitialized-read @3: $3 is read here but never written on any path from entry",
+		"warning unreachable-code @5: instructions @5..@6 are unreachable from entry",
+		"error unreachable-detector @5: detector 2 can never fire: its check is unreachable",
+		"error unknown-detector end (@7): check references detector 8, which is not defined: the check always throws",
+		// The trailing halt is dead: the unknown-detector check throws.
+		"warning unreachable-code end+1 (@8): instructions @8..@8 are unreachable from entry",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("diagnostics differ.\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+	errs, warns := Summary(Lint(u.Program, u.Detectors))
+	if errs != 2 || warns != 6 {
+		t.Errorf("Summary = %d errors %d warnings, want 2/6", errs, warns)
+	}
+}
+
+// TestLintFallsOffEnd checks the end-of-program diagnostics.
+func TestLintFallsOffEnd(t *testing.T) {
+	u := mustParse(t, "\tli $1 #1\n\tprint $1\n")
+	diags := Lint(u.Program, u.Detectors)
+	if !HasErrors(diags) {
+		t.Fatalf("no error for control falling off the end: %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeFallsOffEnd && d.PC == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing falls-off-end at @1: %v", diags)
+	}
+
+	// A trailing passing check also runs off the end.
+	u = mustParse(t, "\tdet(1, $1, ==, 0)\n\tcheck #1\n")
+	diags = Lint(u.Program, u.Detectors)
+	if !HasErrors(diags) {
+		t.Errorf("trailing check not flagged: %v", diags)
+	}
+
+	// A trailing halt, throw, jmp or jr is fine.
+	for _, src := range []string{"\thalt\n", "\tthrow \"x\"\n", "loop:\tjmp loop\n", "\tjr $31\n"} {
+		u = mustParse(t, src)
+		for _, d := range Lint(u.Program, u.Detectors) {
+			if d.Code == CodeFallsOffEnd {
+				t.Errorf("%q wrongly flagged falls-off-end", src)
+			}
+		}
+	}
+}
+
+// TestLintJSON checks the machine-readable form carries severity names and
+// optional fields only when set.
+func TestLintJSON(t *testing.T) {
+	u := mustParse(t, "\tprint $3\n\thalt\n")
+	diags := Lint(u.Program, u.Detectors)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v", diags)
+	}
+	raw, err := json.Marshal(diags[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"Severity":"warning"`, `"Code":"uninitialized-read"`, `"Reg":3`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON %s missing %s", s, want)
+		}
+	}
+	if strings.Contains(s, "DetectorID") {
+		t.Errorf("unset DetectorID serialized: %s", s)
+	}
+}

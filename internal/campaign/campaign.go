@@ -134,6 +134,11 @@ func Run(ctx context.Context, spec checker.Spec, cfg Config) (*checker.Report, S
 
 	stats := Stats{Total: len(spec.Injections)}
 	fingerprint := Fingerprint(spec)
+	// One pruning context for the whole campaign, shared by every worker's
+	// spec copy (pruning is operational, like Parallelism: it is absent from
+	// the fingerprint, and a resumed pruned campaign merges with an unpruned
+	// journal because the reports are identical modulo the Pruned marker).
+	spec.EnsurePrune()
 
 	journaled := map[string]json.RawMessage{}
 	if cfg.Resume {

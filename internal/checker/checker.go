@@ -114,6 +114,26 @@ type Spec struct {
 	// store and trace. Leave false to keep full states for trace printing
 	// and search-graph rendering.
 	DiscardStates bool
+	// PruneDeadInjections turns on liveness-based pruning of the injection
+	// space (internal/analysis): a transient register injection into a
+	// register proven dead at the breakpoint — every path writes it before
+	// reading it — cannot propagate, so its exploration is the fault-free
+	// continuation. The checker explores one representative per breakpoint
+	// and reuses its report for the other dead registers there, marking every
+	// such report Pruned. This generalizes the paper's Section 6.1 syntactic
+	// pruning (inject only into registers the instruction uses) with a
+	// dataflow proof, and changes no verdict: a pruned run's report is the
+	// unpruned run's report plus Pruned markers. Set SYMPLFIED_CHECK_PRUNING
+	// to have every reuse re-explored and asserted identical. Like
+	// Parallelism, this is an operational knob excluded from the campaign
+	// fingerprint.
+	PruneDeadInjections bool
+	// Prune carries the shared analysis and representative memo for a pruned
+	// sweep. RunCtx populates it when PruneDeadInjections is set; callers
+	// orchestrating their own sweeps (internal/cluster, internal/campaign)
+	// install one PruneContext across all their task specs so representatives
+	// are shared process-wide. Never serialized.
+	Prune *PruneContext `json:"-"`
 }
 
 // Finding is a terminal state matching the predicate, with provenance. The
@@ -207,6 +227,13 @@ type InjectionReport struct {
 	// spec) when a resilient runner chose to keep going instead of aborting.
 	// Empty for clean explorations.
 	Error string
+	// Pruned is true when liveness proved this injection lands in a dead
+	// register (Spec.PruneDeadInjections). The tallies are those of the
+	// site's representative exploration — byte-identical to what exploring
+	// this injection would have produced — so pruned and unpruned reports
+	// stay comparable; the elided work shows up only in the live
+	// symplfied_pruned_injections_total counter.
+	Pruned bool `json:",omitempty"`
 	// Exec tallies how the exploration spent its budget (forks by kind,
 	// solver prunes, dedup hits, frontier/depth high-water marks). The
 	// tally is deterministic — derived from the search order, never the
@@ -241,6 +268,9 @@ type Report struct {
 	// Errors counts injections recorded with an infrastructure error by a
 	// resilient runner.
 	Errors int
+	// PrunedInjections counts injections classified benign by the liveness
+	// proof (Spec.PruneDeadInjections) instead of a fresh exploration.
+	PrunedInjections int
 	// Exec is the merged per-injection exploration tally (Add folds each
 	// InjectionReport.Exec in; counters sum, high-water marks take the max).
 	Exec obs.ExecStats
@@ -283,6 +313,9 @@ func (r *Report) Add(ir InjectionReport) {
 	}
 	if ir.Error != "" {
 		r.Errors++
+	}
+	if ir.Pruned {
+		r.PrunedInjections++
 	}
 	r.Exec.Merge(ir.Exec)
 }
@@ -357,6 +390,10 @@ func RunCtx(ctx context.Context, spec Spec) (*Report, error) {
 	if spec.Predicate.Match == nil {
 		return nil, fmt.Errorf("checker: nil predicate")
 	}
+	// Resolve the pruning context once so every injection in the sweep —
+	// sequential or parallel — shares one analysis and one representative
+	// memo per breakpoint.
+	spec.EnsurePrune()
 	if workers := poolSize(spec.Parallelism, len(spec.Injections)); workers > 1 {
 		return runParallel(ctx, spec, workers)
 	}
@@ -460,7 +497,43 @@ func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
 // symbolic executor or the user predicate: a panic is recovered and recorded
 // on the report (Panicked/PanicValue) so one poisoned injection cannot kill
 // a campaign of thousands.
-func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (ir InjectionReport, err error) {
+//
+// When spec.PruneDeadInjections is set and liveness proves the injection
+// benign (see PruneContext), the site's representative report is reused
+// instead of exploring — the exploration is elided entirely, and the
+// returned report (marked Pruned) is what the exploration would have
+// produced.
+func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (InjectionReport, error) {
+	if prune := spec.EnsurePrune(); prune.Prunable(inj) {
+		budget := spec.effectiveBudget()
+		if reused, ok := prune.reuse(inj, budget); ok {
+			reused.Pruned = true
+			livePruned.Inc()
+			liveInjections.Inc() // the injection is classified, just not explored
+			if checkPruning {
+				checkPrunedReuse(ctx, spec, inj, reused)
+			}
+			return reused, nil
+		}
+		// First dead injection at this site: explore it for real and memoize
+		// the result as the site's representative.
+		ir, err := runInjectionReal(ctx, spec, inj, true)
+		if err == nil {
+			ir.Pruned = true
+			prune.store(inj, ir, budget)
+		}
+		return ir, err
+	}
+	return runInjectionReal(ctx, spec, inj, true)
+}
+
+// runInjectionReal performs the actual exploration behind RunInjectionCtx.
+// publish gates the per-injection live-registry flush (injection counters
+// and ExecStats): the SYMPLFIED_CHECK_PRUNING shadow exploration runs with
+// publish=false so an audited pruned run keeps its injection accounting
+// (the per-state counters still tick in the shadow — cross-checking is a
+// debug mode, not a metrics-neutral one).
+func runInjectionReal(ctx context.Context, spec Spec, inj faults.Injection, publish bool) (ir InjectionReport, err error) {
 	ir = InjectionReport{
 		Injection: inj,
 		Outcomes:  make(map[symexec.Outcome]int),
@@ -480,14 +553,16 @@ func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (ir I
 		}
 		// Flush this injection's deterministic tally into the live registry
 		// so mid-campaign scrapes reflect completed injections.
-		liveInjections.Inc()
-		if ir.TimedOut {
-			liveInjTimeouts.Inc()
+		if publish {
+			liveInjections.Inc()
+			if ir.TimedOut {
+				liveInjTimeouts.Inc()
+			}
+			if ir.Panicked {
+				liveInjPanics.Inc()
+			}
+			ir.Exec.Publish(obs.Default())
 		}
-		if ir.Panicked {
-			liveInjPanics.Inc()
-		}
-		ir.Exec.Publish(obs.Default())
 	}()
 	err = exploreInjection(ctx, spec, inj, &ir)
 	return ir, err
@@ -497,10 +572,7 @@ func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (ir I
 // exploration, mutating ir as it goes so partial tallies survive a panic or
 // an interruption.
 func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *InjectionReport) error {
-	budget := spec.StateBudget
-	if budget <= 0 {
-		budget = DefaultStateBudget
-	}
+	budget := spec.effectiveBudget()
 
 	// Concrete prefix up to the breakpoint.
 	m := machine.New(spec.Program, spec.Input, machine.Options{

@@ -1,0 +1,223 @@
+package checker
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+
+	"symplfied/internal/analysis"
+	"symplfied/internal/detector"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/obs"
+	"symplfied/internal/symexec"
+)
+
+// livePruned counts explorations elided by a liveness proof: the real
+// savings knob, deliberately separate from the deterministic report
+// contents (a reused report carries its representative's tallies so pruned
+// and unpruned reports stay comparable; the live counter measures work that
+// did not happen).
+var livePruned = obs.Default().Counter(obs.MPrunedInjections)
+
+// CheckPruningEnv names the environment variable that turns every reused
+// pruned report into an assertion: the injection is explored anyway and the
+// run panics if the exploration differs from the reused report (in
+// particular, if a "provably benign" injection produced findings). The
+// paper's Section 6.1 prunes syntactically — by registers the instruction
+// reads — and cannot be wrong; dataflow pruning has a proof obligation, and
+// this mode discharges it dynamically, like SYMPLFIED_CHECK_KEY_COLLISIONS
+// does for the hashed dedup keys.
+const CheckPruningEnv = "SYMPLFIED_CHECK_PRUNING"
+
+var checkPruning = os.Getenv(CheckPruningEnv) != ""
+
+// SetCheckPruning arms (or disarms) the cross-check mode programmatically —
+// the same switch CheckPruningEnv flips at process start — and returns a
+// function restoring the previous setting. It lets a test assert the pruning
+// proof over a whole study without re-execing the process. Not safe to flip
+// concurrently with a running sweep.
+func SetCheckPruning(on bool) (restore func()) {
+	prev := checkPruning
+	checkPruning = on
+	return func() { checkPruning = prev }
+}
+
+// PruneContext carries the static analysis and the per-site memo a pruned
+// sweep shares across injections (and, via cluster/campaign, across tasks
+// and workers in one process). Create one with NewPruneContext and place it
+// in Spec.Prune, or just set Spec.PruneDeadInjections and let RunCtx build
+// it. The zero value is not usable. PruneContext is safe for concurrent use.
+//
+// Pruning rests on a liveness proof (see internal/analysis): if register r
+// is dead just before pc — every path writes r before reading it — then err
+// in r at pc can never propagate, so the exploration is exactly the
+// fault-free continuation, whichever dead register was corrupted. The
+// checker therefore explores one representative per breakpoint and reuses
+// its report for the other dead registers at the same site, rewriting only
+// the injection identity. A reused report is byte-identical to what the
+// elided exploration would have produced, so pruned campaigns merge to the
+// unpruned verdicts (asserted by SYMPLFIED_CHECK_PRUNING).
+//
+// Only transient register injections are ever pruned: a permanent
+// (stuck-at) fault discards future writes, so the kill half of the liveness
+// argument does not apply to it.
+type PruneContext struct {
+	analysis *analysis.Analysis
+
+	mu   sync.Mutex
+	memo map[pruneSite]pruneMemo
+}
+
+// pruneSite keys the memo: dead registers at the same breakpoint share the
+// fault-free continuation.
+type pruneSite struct {
+	pc, occurrence int
+}
+
+// pruneMemo is one representative exploration plus the knobs it ran under;
+// reuse is only exact when the current knobs cannot change the exploration.
+type pruneMemo struct {
+	rep    InjectionReport
+	budget int
+}
+
+// NewPruneContext analyzes prog (with dets, whose CHECK reads count as
+// uses) and returns a context ready to classify injections.
+func NewPruneContext(prog *isa.Program, dets *detector.Table) *PruneContext {
+	return &PruneContext{
+		analysis: analysis.Analyze(prog, dets),
+		memo:     make(map[pruneSite]pruneMemo),
+	}
+}
+
+// Analysis exposes the underlying dataflow results (for diagnostics and
+// tests).
+func (p *PruneContext) Analysis() *analysis.Analysis { return p.analysis }
+
+// Prunable reports whether liveness proves the injection benign: a
+// transient register error into a register dead at the breakpoint.
+func (p *PruneContext) Prunable(inj faults.Injection) bool {
+	if p == nil || inj.Class != faults.ClassRegister || inj.Permanent || inj.Loc.IsMem {
+		return false
+	}
+	return p.analysis.DeadAt(inj.PC, inj.Loc.Reg)
+}
+
+// site returns the memo key for inj.
+func site(inj faults.Injection) pruneSite {
+	occ := inj.Occurrence
+	if occ == 0 {
+		occ = 1
+	}
+	return pruneSite{pc: inj.PC, occurrence: occ}
+}
+
+// reuse returns a report for inj derived from the site's memoized
+// representative, when reuse is provably exact under the current budget.
+// Reuse declines (forcing a real exploration) when the memo:
+//
+//   - ended abnormally (interrupted, timed out, panicked, errored) — those
+//     outcomes are wall-clock- or environment-dependent;
+//   - recorded findings — a finding's trace and symbolic state name the
+//     injected location, so only the site's own exploration reproduces them
+//     (this only happens when the fault-free continuation itself satisfies
+//     the predicate);
+//   - ran to budget exhaustion under a different budget than the current
+//     one, or completed using more states than the current budget allows
+//     (the cluster's shared task budget shrinks per injection).
+func (p *PruneContext) reuse(inj faults.Injection, budget int) (InjectionReport, bool) {
+	p.mu.Lock()
+	m, ok := p.memo[site(inj)]
+	p.mu.Unlock()
+	if !ok {
+		return InjectionReport{}, false
+	}
+	rep := m.rep
+	switch {
+	case rep.Interrupted || rep.TimedOut || rep.Panicked || rep.Error != "":
+		return InjectionReport{}, false
+	case len(rep.Findings) > 0:
+		return InjectionReport{}, false
+	case rep.BudgetExhausted && m.budget != budget:
+		return InjectionReport{}, false
+	case !rep.BudgetExhausted && rep.StatesExplored > budget:
+		return InjectionReport{}, false
+	}
+	rep.Injection = inj
+	out := make(map[symexec.Outcome]int, len(m.rep.Outcomes))
+	for o, n := range m.rep.Outcomes {
+		out[o] = n
+	}
+	rep.Outcomes = out
+	return rep, true
+}
+
+// store memoizes a representative exploration for inj's site.
+func (p *PruneContext) store(inj faults.Injection, rep InjectionReport, budget int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.memo[site(inj)]; !dup {
+		p.memo[site(inj)] = pruneMemo{rep: rep, budget: budget}
+	}
+}
+
+// EnsurePrune resolves the spec's pruning configuration: nil when pruning
+// is off, the shared context when one is installed, or a freshly built one
+// (installed on the spec) when PruneDeadInjections is set. Drivers that fan
+// spec copies across their own pools (internal/cluster, internal/campaign)
+// call this once up front so every copy shares the analysis and the
+// representative memo; a lone RunInjectionCtx call on a bare spec gets a
+// private context that classifies correctly but cannot share
+// representatives.
+func (spec *Spec) EnsurePrune() *PruneContext {
+	if !spec.PruneDeadInjections || spec.Program == nil {
+		return nil
+	}
+	if spec.Prune == nil {
+		spec.Prune = NewPruneContext(spec.Program, spec.Detectors)
+	}
+	return spec.Prune
+}
+
+// effectiveBudget resolves the spec's per-injection state budget.
+func (spec Spec) effectiveBudget() int {
+	if spec.StateBudget > 0 {
+		return spec.StateBudget
+	}
+	return DefaultStateBudget
+}
+
+// checkPrunedReuse is the SYMPLFIED_CHECK_PRUNING assertion: explore the
+// injection for real and panic on any divergence from the reused report.
+// It runs outside RunInjectionCtx's recover boundary on purpose: a failed
+// proof obligation must abort the process, not become one more isolated
+// injection panic in the report.
+func checkPrunedReuse(ctx context.Context, spec Spec, inj faults.Injection, reused InjectionReport) {
+	explored, err := runInjectionReal(ctx, spec, inj, false)
+	if err != nil {
+		panic(fmt.Sprintf("pruning cross-check: %s: exploration failed: %v", inj, err))
+	}
+	if len(explored.Findings) > 0 {
+		panic(fmt.Sprintf("pruning cross-check: %s was classified benign but exploring it found %d finding(s): %s",
+			inj, len(explored.Findings), explored.Findings[0].Describe()))
+	}
+	explored.Pruned = reused.Pruned // the marker is the one legitimate difference
+	if !reflect.DeepEqual(normalizeForCheck(explored), normalizeForCheck(reused)) {
+		panic(fmt.Sprintf("pruning cross-check: %s: reused report diverges from exploration:\nreused:   %+v\nexplored: %+v",
+			inj, reused, explored))
+	}
+}
+
+// normalizeForCheck strips the fields DeepEqual cannot compare meaningfully
+// across two explorations (live state pointers never travel in findings
+// here — findings force a real exploration — but Outcomes maps need nil/
+// empty normalization).
+func normalizeForCheck(ir InjectionReport) InjectionReport {
+	if len(ir.Outcomes) == 0 {
+		ir.Outcomes = nil
+	}
+	return ir
+}

@@ -99,6 +99,11 @@ type TaskReport struct {
 	Panics int
 	// InjectionsDone counts injections fully explored.
 	InjectionsDone int
+	// Pruned counts injections classified benign by a liveness proof
+	// (checker.InjectionReport.Pruned): one explored representative per dead
+	// site plus every elided reuse. Zero unless the spec enables
+	// PruneDeadInjections.
+	Pruned int `json:",omitempty"`
 	// StatesExplored counts symbolic states expanded by the task.
 	StatesExplored int
 	// Findings are the predicate matches, capped by MaxFindingsPerTask.
@@ -152,6 +157,10 @@ func RunCtx(ctx context.Context, spec checker.Spec, tasks []Task, cfg Config) []
 	if budget <= 0 {
 		budget = DefaultTaskStateBudget
 	}
+	// Resolve the pruning context once so every task in the study shares one
+	// liveness analysis and one representative exploration per breakpoint;
+	// without this, each task-spec copy would rebuild its own memo.
+	spec.EnsurePrune()
 
 	// Pool utilization and decomposition-progress gauges for -metrics-addr
 	// scrapes and the -progress ETA. Gauges use deltas, not Set, so nested
@@ -240,6 +249,9 @@ func RunTaskCtx(ctx context.Context, spec checker.Spec, task Task, budget, maxFi
 	if budget <= 0 {
 		budget = DefaultTaskStateBudget
 	}
+	// Share one pruning context across this task's injections (a caller that
+	// installed spec.Prune — RunCtx, a dist worker — shares it wider).
+	spec.EnsurePrune()
 	if workers := taskPoolSize(spec.Parallelism, len(task.Injections)); workers > 1 {
 		return runTaskParallel(ctx, spec, task, budget, maxFindings, workers)
 	}
@@ -453,6 +465,9 @@ func PoolReports(task Task, irs []checker.InjectionReport, maxFindings int) Task
 	for _, ir := range irs {
 		rep.StatesExplored += ir.StatesExplored
 		rep.Exec.Merge(ir.Exec)
+		if ir.Pruned {
+			rep.Pruned++
+		}
 		for o, n := range ir.Outcomes {
 			rep.Outcomes[o] += n
 		}
@@ -489,7 +504,10 @@ type Summary struct {
 	// Incomplete).
 	Interrupted int
 	// Panics counts isolated panicking injections across all tasks.
-	Panics          int
+	Panics int
+	// Pruned counts injections across all tasks that a liveness proof
+	// classified benign instead of (or alongside) exploring.
+	Pruned          int
 	TotalStates     int
 	TotalInjections int
 	Findings        []checker.Finding
@@ -504,6 +522,7 @@ func Summarize(reports []TaskReport) Summary {
 	for _, r := range reports {
 		s.TotalStates += r.StatesExplored
 		s.TotalInjections += r.InjectionsDone
+		s.Pruned += r.Pruned
 		s.Findings = append(s.Findings, r.Findings...)
 		s.Panics += r.Panics
 		s.Exec.Merge(r.Exec)

@@ -55,6 +55,16 @@ type WorkerConfig struct {
 	// part of the campaign spec and never enters the fingerprint, so a fleet
 	// may mix parallelism levels freely.
 	Parallelism int
+	// PruneDead enables liveness-based injection pruning
+	// (checker.Spec.PruneDeadInjections) on this worker. Like Parallelism it
+	// is per-node and operational — absent from the campaign spec and the
+	// fingerprint — because a pruned task result is identical to an unpruned
+	// one apart from the Pruned markers, so a fleet may mix pruning and
+	// non-pruning workers: the pooled verdicts and tallies are unchanged,
+	// and only the markers record which node proved what. The node builds
+	// one liveness analysis at startup and shares the representative memo
+	// across every task it leases.
+	PruneDead bool
 }
 
 // WorkerStats summarizes one worker's run.
@@ -104,6 +114,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	if fp := campaign.Fingerprint(spec); fp != sr.Fingerprint {
 		return stats, fmt.Errorf("dist: spec fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
 			sr.Fingerprint, fp)
+	}
+	if cfg.PruneDead {
+		// One analysis and one representative memo for the whole campaign on
+		// this node, shared by every task it leases.
+		spec.PruneDeadInjections = true
+		spec.EnsurePrune()
 	}
 	heartbeatEvery := sr.Lease / 3
 	if heartbeatEvery <= 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symplfied/internal/apps/tcas"
@@ -16,7 +17,7 @@ import (
 // 5.2). This study runs each remaining class over tcas through the same
 // cluster harness and checks that each uncovers undetected incorrect
 // advisories — i.e. the fault model is live end-to-end, not just defined.
-func ClassesStudy() (*Result, error) {
+func ClassesStudy(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "classes", Title: "extension: memory/control/decode error classes on tcas"}
 
 	prog := tcas.Program()
@@ -44,7 +45,7 @@ func ClassesStudy() (*Result, error) {
 	for _, c := range classes {
 		injections := faults.ForClass(c.class, prog)
 		tasks := cluster.Split(injections, c.tasks)
-		reports := cluster.Run(spec, tasks, cluster.Config{
+		reports := cluster.RunCtx(ctx, spec, tasks, cluster.Config{
 			TaskStateBudget:    c.budget,
 			MaxFindingsPerTask: 10,
 		})

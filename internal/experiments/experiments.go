@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,10 +84,13 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Runner is a named experiment entry point.
+// Runner is a named experiment entry point. Run observes ctx the way the
+// study harnesses do: cancellation stops the underlying sweeps, which
+// surface partial tallies, and the driver's shape checks then report what
+// the truncated artifact failed to show.
 type Runner struct {
 	ID   string
-	Run  func() (*Result, error)
+	Run  func(ctx context.Context) (*Result, error)
 	Desc string
 }
 
@@ -96,9 +100,9 @@ func All() []Runner {
 		{ID: "fig2", Desc: "Section 4.1 factorial outcome enumeration", Run: Fig2Factorial},
 		{ID: "fig3", Desc: "Section 4.2 factorial detector derivation", Run: Fig3Detectors},
 		{ID: "table1", Desc: "Table 1 computation-error manifestations", Run: Table1Manifestations},
-		{ID: "tcas", Desc: "Section 6.2 tcas symbolic study", Run: func() (*Result, error) { return TcasStudy(DefaultTcasConfig()) }},
-		{ID: "table2", Desc: "Table 2 SimpleScalar-style concrete campaigns", Run: func() (*Result, error) { return Table2Campaigns(DefaultTable2Config()) }},
-		{ID: "replace", Desc: "Section 6.4 replace study", Run: func() (*Result, error) { return ReplaceStudy(DefaultReplaceConfig()) }},
+		{ID: "tcas", Desc: "Section 6.2 tcas symbolic study", Run: func(ctx context.Context) (*Result, error) { return TcasStudy(ctx, DefaultTcasConfig()) }},
+		{ID: "table2", Desc: "Table 2 SimpleScalar-style concrete campaigns", Run: func(ctx context.Context) (*Result, error) { return Table2Campaigns(ctx, DefaultTable2Config()) }},
+		{ID: "replace", Desc: "Section 6.4 replace study", Run: func(ctx context.Context) (*Result, error) { return ReplaceStudy(ctx, DefaultReplaceConfig()) }},
 		{ID: "inventory", Desc: "implementation inventory (paper Section 6 stats analogue)", Run: Inventory},
 		{ID: "hardening", Desc: "extension: canary hardening closes the tcas flip", Run: HardeningStudy},
 		{ID: "classes", Desc: "extension: memory/control/decode classes on tcas", Run: ClassesStudy},

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The experiment drivers are the repository's reproduction contract: every
 // table and figure must regenerate with its paper-shape checks passing.
@@ -11,7 +14,7 @@ func runExperiment(t *testing.T, id string) *Result {
 	if !ok {
 		t.Fatalf("unknown experiment %q", id)
 	}
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,7 +20,7 @@ import (
 // 5!/(5-k)!), the continuing forks eventually print err, and unterminated
 // forks time out — at most n+1 cases per injection instead of the 2^k value
 // space a concrete injector would face.
-func Fig2Factorial() (*Result, error) {
+func Fig2Factorial(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "fig2", Title: "Figure 2 / Section 4.1 factorial outcome enumeration"}
 	const input = 5
 
@@ -38,7 +39,7 @@ func Fig2Factorial() (*Result, error) {
 
 	exec := symexec.DefaultOptions()
 	exec.Watchdog = 400
-	rep, err := checker.Run(checker.Spec{
+	rep, err := checker.RunCtx(ctx, checker.Spec{
 		Program:    prog,
 		Input:      []int64{input},
 		Injections: injections,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,7 +18,7 @@ import (
 // loop-continuation constraint and never fires; the second detector forks,
 // and the constraint solver derives exactly which corrupted values are
 // caught — making the escaping errors explicit to the programmer.
-func Fig3Detectors() (*Result, error) {
+func Fig3Detectors(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "fig3", Title: "Figure 3 / Section 4.2 detector analysis with constraint derivation"}
 	const input = 5
 
@@ -29,7 +30,7 @@ func Fig3Detectors() (*Result, error) {
 
 	exec := symexec.DefaultOptions()
 	exec.Watchdog = 400
-	ir, err := checker.RunInjection(checker.Spec{
+	ir, err := checker.RunInjectionCtx(ctx, checker.Spec{
 		Program:   prog,
 		Detectors: dets,
 		Input:     []int64{input},

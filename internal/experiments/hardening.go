@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"symplfied/internal/apps/tcas"
 	"symplfied/internal/checker"
 	"symplfied/internal/faults"
@@ -15,7 +17,7 @@ import (
 // the same fault site into a proof of resilience, with the residual
 // single-instruction window between canary and jr quantified rather than
 // hidden.
-func HardeningStudy() (*Result, error) {
+func HardeningStudy(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "hardening", Title: "extension: detector hardening closes the tcas advisory flip"}
 
 	exec := symexec.DefaultOptions()
@@ -35,7 +37,7 @@ func HardeningStudy() (*Result, error) {
 		if dets != nil {
 			spec.Detectors = dets.Detectors
 		}
-		return checker.Run(spec)
+		return checker.RunCtx(ctx, spec)
 	}
 
 	// Unprotected program, corruption at NCBC's return.

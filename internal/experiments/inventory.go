@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symplfied/internal/apps/replace"
@@ -14,7 +15,7 @@ import (
 // this reproduction's analogues: deterministic instruction semantics play
 // the role of equations, and explicit nondeterministic fork points play the
 // role of rewrite rules.
-func Inventory() (*Result, error) {
+func Inventory(_ context.Context) (*Result, error) {
 	res := &Result{ID: "inventory", Title: "implementation inventory vs. the paper's model statistics"}
 
 	ops := isa.Ops()

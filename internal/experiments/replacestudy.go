@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symplfied/internal/apps/replace"
@@ -48,7 +49,7 @@ func DefaultReplaceConfig() ReplaceConfig {
 // completed; most completed tasks saw only benign errors or crashes, while a
 // nonempty subset found errors leading to incorrect output (the example
 // scenario being the corrupted dodash delimiter).
-func ReplaceStudy(cfg ReplaceConfig) (*Result, error) {
+func ReplaceStudy(ctx context.Context, cfg ReplaceConfig) (*Result, error) {
 	res := &Result{ID: "replace", Title: "Section 6.4 replace symbolic register-error study"}
 
 	prog := replace.Program()
@@ -73,7 +74,7 @@ func ReplaceStudy(cfg ReplaceConfig) (*Result, error) {
 		Predicate: checker.IncorrectOutput(expected),
 	}
 	tasks := cluster.Split(injections, cfg.Tasks)
-	reports := cluster.Run(spec, tasks, cluster.Config{
+	reports := cluster.RunCtx(ctx, spec, tasks, cluster.Config{
 		Workers:            cfg.Workers,
 		TaskStateBudget:    cfg.TaskStateBudget,
 		MaxFindingsPerTask: cfg.MaxFindingsPerTask,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symplfied/internal/apps/tcas"
@@ -15,7 +16,7 @@ import (
 // placed in the category's target locations, or the PC redirected to an
 // arbitrary valid code location. The experiment enumerates each category
 // over the tcas program and verifies the manifestation of a sample of each.
-func Table1Manifestations() (*Result, error) {
+func Table1Manifestations(_ context.Context) (*Result, error) {
 	res := &Result{ID: "table1", Title: "Table 1 computation-error categories and manifestations"}
 
 	prog := tcas.Program()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symplfied/internal/apps/tcas"
@@ -34,7 +35,7 @@ func DefaultTable2Config() Table2Config {
 // headline shape: even 41082 concrete injections find ZERO catastrophic
 // outcome-2 cases, while the symbolic study (Section 6.2) finds them with
 // ease.
-func Table2Campaigns(cfg Table2Config) (*Result, error) {
+func Table2Campaigns(ctx context.Context, cfg Table2Config) (*Result, error) {
 	res := &Result{ID: "table2", Title: "Table 2 concrete fault-injection outcome distribution"}
 
 	prog := tcas.Program()
@@ -64,7 +65,7 @@ func Table2Campaigns(cfg Table2Config) (*Result, error) {
 		if randomPer < 3 {
 			randomPer = 3
 		}
-		rep, err := simplescalar.Run(simplescalar.Config{
+		rep, err := simplescalar.RunResilient(ctx, simplescalar.Config{
 			Program:       prog,
 			Input:         input,
 			Watchdog:      cfg.Watchdog,
@@ -72,7 +73,7 @@ func Table2Campaigns(cfg Table2Config) (*Result, error) {
 			Seed:          cfg.Seed,
 			RandomPerReg:  randomPer,
 			MaxInjections: n,
-		})
+		}, simplescalar.Resilience{})
 		if err != nil {
 			return nil, err
 		}

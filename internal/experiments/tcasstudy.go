@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symplfied/internal/apps/tcas"
@@ -23,6 +24,12 @@ type TcasConfig struct {
 	Workers int
 	// Watchdog bounds each symbolic path.
 	Watchdog int
+	// PruneDead classifies injections into liveness-dead registers benign by
+	// proof instead of exploring each (checker.Spec.PruneDeadInjections).
+	// The study's verdicts are unchanged; the paper's own Section 6.2 sweep
+	// already applies the coarser syntactic version of this optimization by
+	// enumerating only the registers each instruction uses.
+	PruneDead bool
 }
 
 // DefaultTcasConfig reproduces the paper's setup at full scale.
@@ -42,7 +49,7 @@ func DefaultTcasConfig() TcasConfig {
 // catastrophic 1->2 flip is found (via the corrupted return address in
 // Non_Crossing_Biased_Climb), along with 1->0 and out-of-range outcomes;
 // some tasks complete, a subset of those hold findings.
-func TcasStudy(cfg TcasConfig) (*Result, error) {
+func TcasStudy(ctx context.Context, cfg TcasConfig) (*Result, error) {
 	res := &Result{ID: "tcas", Title: "Section 6.2 tcas symbolic register-error study"}
 
 	prog := tcas.Program()
@@ -56,13 +63,14 @@ func TcasStudy(cfg TcasConfig) (*Result, error) {
 	exec.Watchdog = cfg.Watchdog
 
 	spec := checker.Spec{
-		Program:   prog,
-		Input:     input.Slice(),
-		Exec:      exec,
-		Predicate: checker.HaltedOutputOtherThan(tcas.UpwardRA),
+		Program:             prog,
+		Input:               input.Slice(),
+		Exec:                exec,
+		Predicate:           checker.HaltedOutputOtherThan(tcas.UpwardRA),
+		PruneDeadInjections: cfg.PruneDead,
 	}
 	tasks := cluster.Split(injections, cfg.Tasks)
-	reports := cluster.Run(spec, tasks, cluster.Config{
+	reports := cluster.RunCtx(ctx, spec, tasks, cluster.Config{
 		Workers:            cfg.Workers,
 		TaskStateBudget:    cfg.TaskStateBudget,
 		MaxFindingsPerTask: cfg.MaxFindingsPerTask,
@@ -101,6 +109,9 @@ func TcasStudy(cfg TcasConfig) (*Result, error) {
 	res.rowf("tasks: %d launched, %d completed, %d completed empty, %d completed with findings, %d incomplete",
 		sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
 	res.rowf("states explored: %d; terminal outcomes: %v", sum.TotalStates, renderOutcomes(sum.Outcomes))
+	if cfg.PruneDead {
+		res.rowf("liveness pruning: %d injections classified benign by proof (verdicts unchanged)", sum.Pruned)
+	}
 	res.rowf("undetected incorrect advisories: 1->2 (catastrophic): %d, 1->0 (unresolved): %d, out-of-range/multi: %d, err printed: %d",
 		flips, zeros, outOfRange, errOut)
 	if flip != nil {
@@ -127,7 +138,7 @@ func TcasStudy(cfg TcasConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ncbc, err := checker.RunInjection(spec, faults.Injection{
+	ncbc, err := checker.RunInjectionCtx(ctx, spec, faults.Injection{
 		Class: faults.ClassRegister, PC: jrPC, Loc: isa.RegLoc(isa.RegRA),
 	})
 	if err != nil {

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"symplfied/internal/checker"
+)
+
+// TestTcasStudyPruned re-runs the Section 6.2 study (scaled down) with
+// liveness pruning enabled and checker.SetCheckPruning armed: any elided
+// exploration is shadow-explored and the process panics on divergence, so a
+// passing run discharges the pruning proof over the whole study. The pruned
+// artifact must match the unpruned one row for row — same findings, same
+// states, same task split — except for the pruning tally itself.
+func TestTcasStudyPruned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled study in -short mode")
+	}
+	cfg := DefaultTcasConfig()
+	cfg.Tasks = 40
+	cfg.TaskStateBudget = 12_000
+
+	plain, err := TcasStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer checker.SetCheckPruning(true)()
+	cfg.PruneDead = true
+	pruned, err := TcasStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.ShapeOK {
+		t.Errorf("pruned study shape checks failed:\n%s", pruned.Render())
+	}
+
+	prunedCount := -1
+	var kept []string
+	for _, row := range pruned.Rows {
+		if strings.HasPrefix(row, "liveness pruning:") {
+			if _, err := fmt.Sscanf(row, "liveness pruning: %d", &prunedCount); err != nil {
+				t.Fatalf("unparsable pruning row %q: %v", row, err)
+			}
+			continue
+		}
+		kept = append(kept, row)
+	}
+	if prunedCount <= 0 {
+		t.Fatalf("no injections classified by the liveness proof (row reported %d)", prunedCount)
+	}
+	if len(kept) != len(plain.Rows) {
+		t.Fatalf("row count diverges with pruning: %d vs %d\nplain:\n%s\npruned:\n%s",
+			len(plain.Rows), len(kept), plain.Render(), pruned.Render())
+	}
+	for i := range kept {
+		if kept[i] != plain.Rows[i] {
+			t.Errorf("row %d diverges with pruning:\n  plain:  %s\n  pruned: %s", i, plain.Rows[i], kept[i])
+		}
+	}
+}

@@ -298,3 +298,40 @@ func TestControlInjectionStrings(t *testing.T) {
 		t.Errorf("String() = %q", dec)
 	}
 }
+
+// TestEnumerationsNeverDuplicateSites asserts every register enumeration
+// yields each (PC, location, occurrence) site at most once, including over
+// instructions whose operands alias the same register — a duplicate would
+// double-charge the site's exploration against study budgets and skew every
+// per-injection tally.
+func TestEnumerationsNeverDuplicateSites(t *testing.T) {
+	aliased := asm.MustParse("aliased", `
+main:	read $1
+	add $1 $1 $1
+	mov $2 $2
+	st $2 8($2)
+	print $1
+	halt
+`).Program
+	for _, tc := range []struct {
+		name string
+		injs []Injection
+	}{
+		{"used/sample", RegisterInjectionsUsed(sampleProgram(t))},
+		{"used/aliased", RegisterInjectionsUsed(aliased)},
+		{"sources/aliased", RegisterInjections(aliased, true)},
+		{"exhaustive/aliased", RegisterInjections(aliased, false)},
+		{"pruned/aliased", RegisterInjectionsPruned(aliased, nil)},
+	} {
+		seen := map[Injection]bool{}
+		for _, inj := range tc.injs {
+			if seen[inj] {
+				t.Errorf("%s: duplicate injection site %s", tc.name, inj)
+			}
+			seen[inj] = true
+		}
+		if len(tc.injs) == 0 {
+			t.Errorf("%s: empty enumeration", tc.name)
+		}
+	}
+}

@@ -31,6 +31,14 @@ func TestSrcDstRegs(t *testing.T) {
 	}{
 		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, []Reg{2, 3}, []Reg{1}, []Reg{2, 3, 1}},
 		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 2}, []Reg{2}, []Reg{1}, []Reg{2, 1}},
+		// Aliased source and destination: UsedRegs must not repeat a
+		// register, or downstream enumeration (RegisterInjectionsUsed,
+		// liveness use/def sets) would double-count the site.
+		{Instr{Op: OpAdd, Rd: 1, Rs: 1, Rt: 2}, []Reg{1, 2}, []Reg{1}, []Reg{1, 2}},
+		{Instr{Op: OpAdd, Rd: 1, Rs: 1, Rt: 1}, []Reg{1}, []Reg{1}, []Reg{1}},
+		{Instr{Op: OpMov, Rd: 4, Rs: 4}, []Reg{4}, []Reg{4}, []Reg{4}},
+		{Instr{Op: OpSt, Rt: 29, Rs: 29, Imm: 1}, []Reg{29}, nil, []Reg{29}},
+		{Instr{Op: OpLd, Rt: 29, Rs: 29, Imm: 1}, []Reg{29}, []Reg{29}, []Reg{29}},
 		{Instr{Op: OpAddi, Rd: 1, Rs: 2, Imm: 5}, []Reg{2}, []Reg{1}, []Reg{2, 1}},
 		{Instr{Op: OpAdd, Rd: 0, Rs: 0, Rt: 0}, nil, nil, nil},
 		{Instr{Op: OpMov, Rd: 4, Rs: 5}, []Reg{5}, []Reg{4}, []Reg{5, 4}},
@@ -59,6 +67,33 @@ func TestSrcDstRegs(t *testing.T) {
 		}
 		if got := c.in.UsedRegs(); !reflect.DeepEqual(got, c.used) {
 			t.Errorf("%v UsedRegs = %v, want %v", c.in, got, c.used)
+		}
+	}
+}
+
+// TestRegListsNeverDuplicate sweeps every opcode over aliased register
+// assignments: SrcRegs, DstRegs and UsedRegs are sets in operand order, so a
+// register may appear at most once however the operands alias.
+func TestRegListsNeverDuplicate(t *testing.T) {
+	assignments := [][3]Reg{
+		{1, 2, 3}, {1, 1, 2}, {1, 2, 1}, {1, 2, 2}, {1, 1, 1},
+		{RegRA, RegRA, RegRA}, {0, 1, 1},
+	}
+	for _, op := range Ops() {
+		for _, regs := range assignments {
+			in := Instr{Op: op, Rd: regs[0], Rs: regs[1], Rt: regs[2]}
+			for _, list := range [][]Reg{in.SrcRegs(), in.DstRegs(), in.UsedRegs()} {
+				seen := map[Reg]bool{}
+				for _, r := range list {
+					if seen[r] {
+						t.Errorf("%v: register %v repeated in %v", in, r, list)
+					}
+					seen[r] = true
+					if r == RegZero {
+						t.Errorf("%v: hardwired zero register listed in %v", in, list)
+					}
+				}
+			}
 		}
 	}
 }

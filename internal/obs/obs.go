@@ -44,6 +44,10 @@ const (
 	MFrontier      = "symplfied_frontier_states"     // gauge: live frontier width (summed over workers)
 	MFrontierMax   = "symplfied_frontier_max_states" // gauge: high-water frontier width
 
+	// Static analysis (internal/analysis) and liveness-based pruning.
+	MPrunedInjections = "symplfied_pruned_injections_total" // explorations elided by a liveness proof
+	MLintDiags        = "symplfied_lint_diagnostics_total"  // label severity: error|warning
+
 	// Cluster / campaign harness.
 	MTasksTotal  = "symplfied_tasks_total" // gauge: campaign decomposition width
 	MTasksDone   = "symplfied_tasks_done"  // gauge: tasks (or injections) settled so far

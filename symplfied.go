@@ -250,6 +250,16 @@ type SearchSpec struct {
 	// summaries are captured, bounding memory on huge campaigns. Findings
 	// then have State == nil; Describe still works.
 	DiscardStates bool
+	// PruneDeadInjections elides explorations a liveness proof shows are
+	// redundant: a transient register error injected into a register that
+	// every path overwrites before reading cannot propagate, so one
+	// representative exploration per breakpoint stands in for all dead
+	// registers there (each such report is marked Pruned). Verdicts are
+	// identical to an unpruned run's; like Parallelism this is an
+	// operational knob, excluded from the campaign fingerprint. See
+	// internal/analysis, and SYMPLFIED_CHECK_PRUNING to audit the proof on
+	// a live run.
+	PruneDeadInjections bool
 }
 
 func (s SearchSpec) build() (checker.Spec, error) {
@@ -277,6 +287,7 @@ func (s SearchSpec) build() (checker.Spec, error) {
 	spec.PerInjectionTimeout = s.PerInjectionTimeout
 	spec.Parallelism = s.Parallelism
 	spec.DiscardStates = s.DiscardStates
+	spec.PruneDeadInjections = s.PruneDeadInjections
 	return spec, nil
 }
 
@@ -354,6 +365,12 @@ type StudyConfig struct {
 	// study or Workers: 1 — since cluster.RunCtx keeps a multi-task pool
 	// from oversubscribing the cores.
 	Parallelism int
+	// PruneDeadInjections enables the liveness-based pruning of
+	// SearchSpec.PruneDeadInjections for the whole study: one shared proof
+	// context spans every task, so a breakpoint's representative exploration
+	// is reused across task boundaries. Task reports and the pooled summary
+	// are identical to the unpruned study's apart from the Pruned markers.
+	PruneDeadInjections bool
 }
 
 // Study is StudyCtx with an un-cancellable context.
@@ -379,6 +396,9 @@ func StudyCtx(ctx context.Context, s SearchSpec, cfg StudyConfig) ([]TaskReport,
 	}
 	if cfg.Parallelism != 0 {
 		spec.Parallelism = cfg.Parallelism
+	}
+	if cfg.PruneDeadInjections {
+		spec.PruneDeadInjections = true
 	}
 	budget := cfg.TaskStateBudget
 	if budget == 0 {

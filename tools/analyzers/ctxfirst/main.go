@@ -1,0 +1,237 @@
+// Command ctxfirst enforces the repository's context-first convention:
+//
+//   - The primary form of every blocking entry point takes a context.Context
+//     first ("RunCtx"); the un-suffixed name is a one-line convenience
+//     wrapper that forwards context.Background(). Wrappers exist for
+//     examples and external callers only.
+//   - Library and command code inside the repository must call the
+//     ctx-taking form: a search, study or campaign reached through a
+//     wrapper is uncancellable, which silently breaks -timeout, SIGINT
+//     lease abandonment and coordinator shutdown.
+//   - Library code (the root package and internal/...) must not mint its
+//     own root context: context.Background() belongs in the wrappers
+//     themselves, in main functions, and in tests.
+//
+// The checker is deliberately syntactic — stdlib go/parser only, no type
+// information — which the repository's layout makes sound enough: package
+// names are unique, and every import of repository code uses the module
+// path prefix. Test files, examples/ and tools/ are exempt.
+//
+// Usage:
+//
+//	ctxfirst [module root]
+//
+// Exit status 1 if any violation is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const modulePath = "symplfied"
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctxfirst:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ctxfirst: %d violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// parsedFile is one repository source file plus its import-name resolution.
+type parsedFile struct {
+	path string // slash path relative to the module root
+	file *ast.File
+	fset *token.FileSet
+}
+
+// check walks the module rooted at root and returns one formatted finding
+// per convention violation, sorted by position.
+func check(root string) ([]string, error) {
+	files, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: find the wrappers. A wrapper is a top-level function whose
+	// body is exactly one return statement of a single same-package call
+	// whose first argument is context.Background().
+	wrappers := map[string]bool{} // "pkgname.Func"
+	pkgNames := map[string]bool{} // package names seen in the repo
+	for _, pf := range files {
+		pkgNames[pf.file.Name.Name] = true
+		for _, decl := range pf.file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && isWrapper(fd) {
+				wrappers[pf.file.Name.Name+"."+fd.Name.Name] = true
+			}
+		}
+	}
+
+	var findings []string
+	report := func(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+
+	// Pass 2: flag wrapper calls and stray root contexts.
+	for _, pf := range files {
+		if exempt(pf.path) {
+			continue
+		}
+		pkg := pf.file.Name.Name
+		repoImports := repoImportNames(pf.file)
+		libraryFile := isLibrary(pf.path)
+		for _, decl := range pf.file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inWrapper := fd.Recv == nil && isWrapper(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if !inWrapper && wrappers[pkg+"."+fun.Name] {
+						report(pf.fset, call.Pos(),
+							"call to convenience wrapper %s from inside its own package; call the ctx-taking form", fun.Name)
+					}
+				case *ast.SelectorExpr:
+					x, ok := fun.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if repoImports[x.Name] && wrappers[x.Name+"."+fun.Sel.Name] {
+						report(pf.fset, call.Pos(),
+							"call to convenience wrapper %s.%s from repository code; call the ctx-taking form", x.Name, fun.Sel.Name)
+					}
+					if libraryFile && !inWrapper && x.Name == "context" && fun.Sel.Name == "Background" {
+						report(pf.fset, call.Pos(),
+							"context.Background() in library code outside a convenience wrapper; accept a ctx parameter instead")
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// parseTree parses every non-generated .go file under root, skipping
+// version-control and vendored trees.
+func parseTree(root string) ([]parsedFile, error) {
+	var files []parsedFile
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		files = append(files, parsedFile{path: filepath.ToSlash(rel), file: f, fset: fset})
+		return nil
+	})
+	return files, err
+}
+
+// exempt reports whether a file is outside the convention's scope: tests
+// call whichever form reads best, examples demonstrate the wrapper API,
+// and this tool is not its own subject.
+func exempt(path string) bool {
+	return strings.HasSuffix(path, "_test.go") ||
+		strings.HasPrefix(path, "examples/") ||
+		strings.HasPrefix(path, "tools/")
+}
+
+// isLibrary reports whether a file is library code for the purposes of the
+// context.Background() rule: the root package and internal packages. main
+// packages legitimately mint the process root context.
+func isLibrary(path string) bool {
+	return strings.HasPrefix(path, "internal/") || !strings.Contains(path, "/")
+}
+
+// isWrapper reports whether fd is a one-line convenience wrapper: a single
+// return statement whose only expression is a call with context.Background()
+// as its first argument.
+func isWrapper(fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	argCall, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := argCall.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "context" && sel.Sel.Name == "Background"
+}
+
+// repoImportNames maps the local names under which a file imports
+// repository packages (module-path imports) to true.
+func repoImportNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if path == modulePath {
+			name = modulePath
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		names[name] = true
+	}
+	return names
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a synthetic module; files only need to parse.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const checkerSrc = `package checker
+
+import "context"
+
+func RunCtx(ctx context.Context, n int) (int, error) { return n, nil }
+
+func Run(n int) (int, error) { return RunCtx(context.Background(), n) }
+`
+
+func TestFlagsWrapperCallThroughImport(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/checker/checker.go": checkerSrc,
+		"internal/experiments/e.go": `package experiments
+
+import "symplfied/internal/checker"
+
+func Study() (int, error) { return checker.Run(5) }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "checker.Run") {
+		t.Errorf("want one checker.Run finding, got %v", findings)
+	}
+}
+
+func TestFlagsWrapperCallInOwnPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/checker/checker.go": checkerSrc,
+		"internal/checker/extra.go": `package checker
+
+func Sweep() (int, error) { x, err := Run(5); return x, err }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "wrapper Run") {
+		t.Errorf("want one same-package Run finding, got %v", findings)
+	}
+}
+
+func TestFlagsRootContextInLibrary(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/cluster/cluster.go": `package cluster
+
+import "context"
+
+func Split() context.Context { ctx := context.Background(); return ctx }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "context.Background()") {
+		t.Errorf("want one context.Background finding, got %v", findings)
+	}
+}
+
+func TestExemptions(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/checker/checker.go": checkerSrc,
+		// Tests, examples and the convenience wrapper itself call whatever
+		// reads best; main packages mint the process root context.
+		"internal/checker/checker_test.go": `package checker
+
+import "context"
+
+func helper() (int, error) { _ = context.Background(); return Run(5) }
+`,
+		"examples/demo/main.go": `package main
+
+import "symplfied/internal/checker"
+
+func main() { checker.Run(5) }
+`,
+		"cmd/tool/main.go": `package main
+
+import (
+	"context"
+
+	"symplfied/internal/checker"
+)
+
+func main() {
+	ctx := context.Background()
+	checker.RunCtx(ctx, 5)
+}
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("exempt files flagged: %v", findings)
+	}
+}
+
+func TestFlagsWrapperCallFromCommand(t *testing.T) {
+	// Commands have a signal-scoped ctx in hand; going through the wrapper
+	// would sever it, so cmd/ is in scope for the wrapper rule.
+	root := writeTree(t, map[string]string{
+		"internal/checker/checker.go": checkerSrc,
+		"cmd/tool/main.go": `package main
+
+import "symplfied/internal/checker"
+
+func main() { checker.Run(5) }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "checker.Run") {
+		t.Errorf("want one cmd finding, got %v", findings)
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The repository itself must satisfy its own convention. The module
+	// root is two directories up from this tool.
+	findings, err := check(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("repository violates the context-first convention:\n%s", strings.Join(findings, "\n"))
+	}
+}
