@@ -91,6 +91,10 @@ func run(ctx context.Context, args []string) error {
 		ckpt      = fs.String("checkpoint", "", "journal completed injections (or, with -serve, completed tasks) to this JSON-lines file")
 		resume    = fs.Bool("resume", false, "skip injections/tasks already recorded in -checkpoint")
 		retries   = fs.Int("retries", 0, "retry transiently failed injections up to N times with degraded budgets")
+		xval      = fs.Bool("crossval", false, "cross-validate the symbolic engine against concrete injection (differential testing; -class/-goal unused); exits nonzero on a conclusive SymbolicMiss")
+		xvalSeed  = fs.Int64("crossval-seed", 2008, "seed for -crossval's per-site random value derivation")
+		xvalRand  = fs.Int("crossval-random", 3, "random values per site for -crossval, on top of the three extremes")
+		xvalOut   = fs.String("crossval-report", "", "write the full -crossval mismatch report (JSON) to this file")
 		serve     = fs.String("serve", "", "serve the campaign to symworker processes on this address (e.g. :8080) instead of searching locally")
 		lease     = fs.Duration("lease", 0, "task lease duration for -serve; a worker silent this long loses its task (0: 30s)")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or :0)")
@@ -148,6 +152,11 @@ func run(ctx context.Context, args []string) error {
 			PerInjectionTimeout: *injTO,
 			DisableAffineSolver: *noAffine,
 		}
+		if *xval {
+			doc.Crossval = true
+			doc.Seed = *xvalSeed
+			doc.RandomPerReg = *xvalRand
+		}
 		if *file != "" {
 			src, err := os.ReadFile(*file)
 			if err != nil {
@@ -155,7 +164,33 @@ func run(ctx context.Context, args []string) error {
 			}
 			doc.Name, doc.Source, doc.MIPS = *file, string(src), *isMIPS
 		}
-		return serveCampaign(ctx, *serve, doc, *lease, *ckpt, *resume, *traces)
+		return serveCampaign(ctx, *serve, doc, *lease, *ckpt, *resume, *traces, *xvalOut)
+	}
+
+	if *xval {
+		unit, err := cli.LoadUnit(*file, *app, *isMIPS)
+		if err != nil {
+			return err
+		}
+		rep, err := symplfied.CrossValidateCtx(ctx, symplfied.CrossvalSpec{
+			Program:         unit.Program,
+			Detectors:       unit.Detectors,
+			Input:           in,
+			Watchdog:        *watchdog,
+			Seed:            *xvalSeed,
+			RandomPerReg:    *xvalRand,
+			StateBudget:     *budget,
+			PerTrialTimeout: *injTO,
+			Retries:         *retries,
+		}, symplfied.CrossvalConfig{
+			Parallelism: *parallel,
+			Checkpoint:  *ckpt,
+			Resume:      *resume,
+		})
+		if err != nil {
+			return err
+		}
+		return reportCrossval(rep, *xvalOut, *ckpt)
 	}
 
 	unit, err := cli.LoadUnit(*file, *app, *isMIPS)
@@ -312,6 +347,46 @@ func runAnalyze(unit *symplfied.Unit, jsonOut bool) error {
 	return nil
 }
 
+// reportCrossval prints a cross-validation report, optionally writes the full
+// JSON, and makes a conclusive SymbolicMiss the exit status.
+func reportCrossval(rep *symplfied.CrossvalReport, out, ckpt string) error {
+	fmt.Println(rep.Summary())
+	if rep.Resumed > 0 {
+		fmt.Printf("resumed: %d points restored from %s\n", rep.Resumed, ckpt)
+	}
+	if rep.Interrupted {
+		fmt.Printf("interrupted: partial report")
+		if ckpt != "" {
+			fmt.Printf("; re-run with -resume to continue from %s", ckpt)
+		}
+		fmt.Println()
+	}
+	for i := range rep.Mismatches {
+		m := &rep.Mismatches[i]
+		if m.Class == symplfied.CrossvalSymbolicMiss {
+			status := "CONCLUSIVE"
+			if m.Inconclusive {
+				status = "inconclusive (symbolic exploration incomplete)"
+			}
+			fmt.Printf("  symbolic-miss [%s]: %s\n", status, m.Repro)
+		}
+	}
+	if out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("full report written to %s\n", out)
+	}
+	if !rep.Sound() {
+		return fmt.Errorf("cross-validation found conclusive SymbolicMiss mismatches: the symbolic engine is unsound on this campaign")
+	}
+	return nil
+}
+
 // printFindings lists findings, with decision traces for the first n.
 func printFindings(found []symplfied.Finding, n int) {
 	for i, f := range found {
@@ -331,7 +406,7 @@ func printFindings(found []symplfied.Finding, n int) {
 // gracefully; with -checkpoint the settled tasks are journaled so a restart
 // with -resume re-serves only the unfinished ones.
 func serveCampaign(ctx context.Context, addr string, doc dist.SpecDoc, lease time.Duration,
-	ckpt string, resume bool, traces int) error {
+	ckpt string, resume bool, traces int, xvalOut string) error {
 
 	// Bind before building the coordinator: restoring a large task journal
 	// can take a while, and workers started in that window should queue in
@@ -399,6 +474,11 @@ func serveCampaign(ctx context.Context, addr string, doc dist.SpecDoc, lease tim
 	sum := merged.Summary
 	fmt.Printf("tasks: %d launched, %d completed (%d empty, %d with findings), %d incomplete\n",
 		sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
+	if merged.Crossval != nil {
+		// Cross-validation campaign: the pooled crossval report carries the
+		// per-point interruption/soundness story, so hand off wholesale.
+		return reportCrossval(merged.Crossval, xvalOut, ckpt)
+	}
 	fmt.Printf("states explored: %d over %d injections\n", sum.TotalStates, sum.TotalInjections)
 	if sum.Panics > 0 {
 		fmt.Printf("warning: %d injections panicked and were isolated\n", sum.Panics)

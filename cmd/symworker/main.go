@@ -4,6 +4,11 @@
 // Any number of workers can join and leave; a worker killed mid-task simply
 // stops heartbeating and its task is re-served elsewhere.
 //
+// The campaign kind is the coordinator's choice: against a `symplfied -serve
+// -crossval` coordinator the claimed tasks carry injection points instead of
+// injections and the worker runs the concrete-vs-symbolic cross-validation
+// sweep for them — no flags change on this side.
+//
 // Usage:
 //
 //	symworker -coordinator http://host:8080

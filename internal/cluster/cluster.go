@@ -24,6 +24,7 @@ import (
 	"symplfied/internal/checker"
 	"symplfied/internal/faults"
 	"symplfied/internal/obs"
+	"symplfied/internal/simplescalar"
 	"symplfied/internal/symexec"
 )
 
@@ -64,6 +65,45 @@ func Split(injections []faults.Injection, n int) []Task {
 			continue
 		}
 		tasks = append(tasks, Task{ID: len(tasks), Injections: part})
+	}
+	return tasks
+}
+
+// PointTask is one independent slice of a concrete↔symbolic cross-validation
+// sweep (internal/crossval): a set of injection sites rather than symbolic
+// injections. It is the crossval analogue of Task and is split the same way.
+type PointTask struct {
+	ID     int
+	Points []simplescalar.Point
+}
+
+// SplitPoints partitions cross-validation sites into at most n tasks with the
+// same policy as Split: PC-ordered, dealt round-robin so every task sweeps an
+// interleaved sample of the program, sizes differing by at most one, every
+// returned task non-empty. Because crossval point verdicts are deterministic
+// and merged canonically (crossval.Merge), any partitioning produced here
+// yields a byte-identical merged report.
+func SplitPoints(points []simplescalar.Point, n int) []PointTask {
+	if n <= 0 {
+		n = 1
+	}
+	ordered := make([]simplescalar.Point, len(points))
+	copy(ordered, points)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].PC < ordered[j].PC })
+
+	if n > len(ordered) {
+		n = len(ordered)
+	}
+	tasks := make([]PointTask, 0, n)
+	for i := 0; i < n; i++ {
+		var part []simplescalar.Point
+		for j := i; j < len(ordered); j += n {
+			part = append(part, ordered[j])
+		}
+		if len(part) == 0 {
+			continue
+		}
+		tasks = append(tasks, PointTask{ID: len(tasks), Points: part})
 	}
 	return tasks
 }

@@ -10,6 +10,7 @@ import (
 	"symplfied/internal/checker"
 	"symplfied/internal/faults"
 	"symplfied/internal/isa"
+	"symplfied/internal/simplescalar"
 	"symplfied/internal/symexec"
 )
 
@@ -317,5 +318,44 @@ func TestRunIsolatesPanickingInjection(t *testing.T) {
 		if r.Err != nil {
 			t.Errorf("task %d: panic surfaced as an infrastructure error: %v", r.TaskID, r.Err)
 		}
+	}
+}
+
+// TestSplitPoints: the crossval-site split keeps the same partition contract
+// as Split — complete, non-empty, PC-ordered, round-robin interleaved.
+func TestSplitPoints(t *testing.T) {
+	pts := make([]simplescalar.Point, 10)
+	for i := range pts {
+		pts[i] = simplescalar.Point{PC: 9 - i, Reg: isa.Reg(1), Dst: i%2 == 0}
+	}
+	tasks := SplitPoints(pts, 3)
+	if len(tasks) != 3 {
+		t.Fatalf("%d tasks", len(tasks))
+	}
+	total := 0
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Errorf("task %d has ID %d", i, task.ID)
+		}
+		if len(task.Points) == 0 {
+			t.Errorf("task %d empty", i)
+		}
+		total += len(task.Points)
+		lastPC := -1
+		for _, pt := range task.Points {
+			if pt.PC < lastPC {
+				t.Errorf("task %d points not PC-ordered", i)
+			}
+			lastPC = pt.PC
+		}
+	}
+	if total != len(pts) {
+		t.Errorf("partition lost points: %d of %d", total, len(pts))
+	}
+	if got := SplitPoints(nil, 4); len(got) != 0 {
+		t.Errorf("empty input produced %d tasks", len(got))
+	}
+	if got := SplitPoints(pts[:2], 5); len(got) != 2 {
+		t.Errorf("2 points split 5 ways produced %d tasks", len(got))
 	}
 }

@@ -1,0 +1,459 @@
+// Package crossval is the concrete↔symbolic differential-testing harness:
+// it runs the randomized concrete injection campaign of the paper's
+// SimpleScalar baseline (Section 6.3 — extreme and seeded random values into
+// every source and destination register) and continuously diffs each
+// concrete outcome against the symbolic verdict for the same
+// (program, pc, reg, value) point.
+//
+// The paper's core claim (Tables 2-4) is that symbolic enumeration of err
+// dominates concrete injection: every outcome a concrete value can produce
+// corresponds to a terminal state of the symbolic exploration of the same
+// site. Cross-validation checks that claim mechanically, so any disagreement
+// is an engine bug or an unsound pruning:
+//
+//   - SymbolicMiss: the concrete run halted with an output no symbolic
+//     terminal covers — the symbolic engine claimed that corruption was
+//     impossible. This is unsoundness and fails CI.
+//   - ConcreteMiss: a symbolic outcome class no concrete trial produced —
+//     expected, the symbolic engine is strictly stronger (Table 2's point).
+//   - ClassDrift: the concrete crash/hang/detect class is absent from the
+//     symbolic terminal set, or the two engines disagree on whether the
+//     injection point was even reached.
+//
+// Mismatches recorded while the symbolic exploration was incomplete (budget
+// exhausted, fan-out truncated, deadline expired) are flagged Inconclusive:
+// the terminal set is a sound subset, so absence of coverage proves nothing.
+//
+// Everything is deterministic by construction: random values are derived by
+// hashing (seed, site, index) — see simplescalar.PointValues — per-point
+// state budgets replace wall clocks, and reports merge in canonical point
+// order, so a single process and a distributed fleet produce byte-identical
+// reports for the same spec.
+package crossval
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/simplescalar"
+	"symplfied/internal/symexec"
+)
+
+// Spec describes one cross-validation campaign. The zero values of the
+// knobs resolve to the paper's baseline policy: three extremes plus three
+// random values per site, the shared default watchdog, and the checker's
+// default per-injection state budget.
+type Spec struct {
+	Program   *isa.Program
+	Detectors *detector.Table
+	Input     []int64
+	// Watchdog is the instruction budget shared verbatim by both engines
+	// (hang classification agrees by construction); 0 selects
+	// machine.DefaultWatchdog.
+	Watchdog int
+	// Seed drives the per-site random value derivation.
+	Seed int64
+	// RandomPerReg is the number of seeded random values per site on top of
+	// the three extremes; <= 0 selects the paper's 3.
+	RandomPerReg int
+	// StateBudget bounds the symbolic exploration of each injection point;
+	// 0 selects checker.DefaultStateBudget. Unlike the cluster's shared task
+	// budgets this is per-point, so partitioning a campaign cannot change
+	// any point's verdict.
+	StateBudget int
+	// PerTrialTimeout is the wall-clock deadline for one concrete trial
+	// (killed runs are classified Hang) and for one symbolic exploration
+	// (expired explorations are Inconclusive). 0 disables the wall clock,
+	// which is also what byte-identical distributed runs require.
+	PerTrialTimeout time.Duration
+	// Retries bounds re-runs of transiently failed work (panics, expired
+	// symbolic deadlines), mirroring the campaign runner's policy.
+	Retries int
+	// MaxPoints caps the campaign size; 0 sweeps every site.
+	MaxPoints int
+}
+
+func (s Spec) watchdog() int {
+	if s.Watchdog <= 0 {
+		return machine.DefaultWatchdog
+	}
+	return s.Watchdog
+}
+
+func (s Spec) randomPer() int {
+	if s.RandomPerReg <= 0 {
+		return 3
+	}
+	return s.RandomPerReg
+}
+
+func (s Spec) budget() int {
+	if s.StateBudget <= 0 {
+		return checker.DefaultStateBudget
+	}
+	return s.StateBudget
+}
+
+// Points enumerates the campaign's injection sites (every source and
+// destination register of every instruction, capped by MaxPoints).
+func (s Spec) Points() []simplescalar.Point {
+	pts := simplescalar.EnumeratePoints(s.Program)
+	if s.MaxPoints > 0 && len(pts) > s.MaxPoints {
+		pts = pts[:s.MaxPoints]
+	}
+	return pts
+}
+
+// Fingerprint hashes the campaign identity: everything that determines
+// verdicts. Operational knobs (parallelism, wall clocks, retries) are
+// excluded, so a resumed or distributed run validates against the same
+// fingerprint.
+func Fingerprint(s Spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "crossval\nprogram\n%s\n", s.Program.String())
+	if s.Detectors != nil {
+		for _, d := range s.Detectors.All() {
+			fmt.Fprintf(h, "det %s\n", d)
+		}
+	}
+	fmt.Fprintf(h, "input %v\n", s.Input)
+	fmt.Fprintf(h, "watchdog %d seed %d randomPerReg %d budget %d maxPoints %d\n",
+		s.watchdog(), s.Seed, s.randomPer(), s.budget(), s.MaxPoints)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Class discriminates mismatch kinds.
+type Class int
+
+// Mismatch classes.
+const (
+	// SymbolicMiss: concrete corruption the symbolic terminal set does not
+	// cover — unsoundness.
+	SymbolicMiss Class = iota + 1
+	// ConcreteMiss: a symbolic outcome no concrete trial reproduced —
+	// expected (symbolic is strictly stronger).
+	ConcreteMiss
+	// ClassDrift: crash/hang/detect (or activation) disagreement between
+	// the engines.
+	ClassDrift
+)
+
+// String names the class as it appears in reports and metric labels.
+func (c Class) String() string {
+	switch c {
+	case SymbolicMiss:
+		return "symbolic-miss"
+	case ConcreteMiss:
+		return "concrete-miss"
+	case ClassDrift:
+		return "class-drift"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// MarshalText puts the class name on the wire.
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses a class name.
+func (c *Class) UnmarshalText(b []byte) error {
+	for _, k := range []Class{SymbolicMiss, ConcreteMiss, ClassDrift} {
+		if string(b) == k.String() {
+			*c = k
+			return nil
+		}
+	}
+	return fmt.Errorf("crossval: unknown mismatch class %q", b)
+}
+
+// ConcreteOutcome maps a concrete machine result into the symbolic outcome
+// vocabulary, mirroring symexec.State.Outcome exactly.
+func ConcreteOutcome(res machine.Result) symexec.Outcome {
+	switch res.Status {
+	case machine.StatusHalted:
+		return symexec.OutcomeNormal
+	case machine.StatusExcepted:
+		if res.Exception != nil {
+			switch res.Exception.Kind {
+			case isa.ExcTimeout:
+				return symexec.OutcomeHang
+			case isa.ExcDetected:
+				return symexec.OutcomeDetected
+			}
+		}
+		return symexec.OutcomeCrash
+	}
+	return symexec.OutcomeRunning
+}
+
+// outputCovers reports whether a symbolic output stream covers a concrete
+// one: same shape, string items equal, value items equal — with a symbolic
+// err item abstracting every concrete value.
+func outputCovers(sym, conc []machine.OutItem) bool {
+	if len(sym) != len(conc) {
+		return false
+	}
+	for i := range sym {
+		s, c := sym[i], conc[i]
+		if s.IsStr != c.IsStr {
+			return false
+		}
+		if s.IsStr {
+			if s.Str != c.Str {
+				return false
+			}
+			continue
+		}
+		if s.Val.IsErr() {
+			continue
+		}
+		sv, _ := s.Val.Concrete()
+		cv, ok := c.Val.Concrete()
+		if !ok || sv != cv {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcreteEvidence is the concrete half of a mismatch repro.
+type ConcreteEvidence struct {
+	Outcome   symexec.Outcome
+	Output    string
+	Exception string `json:",omitempty"`
+	Steps     int
+	// TraceTail holds the last program counters executed, oldest first.
+	TraceTail []int `json:",omitempty"`
+	// Killed marks a trial stopped at the wall-clock deadline.
+	Killed bool `json:",omitempty"`
+}
+
+// SymbolicEvidence is the symbolic half of a mismatch repro.
+type SymbolicEvidence struct {
+	// Injection is the canonical rendering of the symbolic fault.
+	Injection string
+	// Outcomes tallies the symbolic terminal states by class.
+	Outcomes map[symexec.Outcome]int
+	States   int
+	// Complete reports whether the terminal set is exhaustive (no budget,
+	// fan-out or deadline truncation). Incomplete sets make absence of
+	// coverage inconclusive.
+	Complete bool
+	// Finding is one exemplar terminal description (outcome, output,
+	// constraint store) when one is relevant to the mismatch.
+	Finding string `json:",omitempty"`
+}
+
+// Mismatch is one disagreement between the engines, carrying the full repro.
+type Mismatch struct {
+	Class Class
+	Point simplescalar.Point
+	// Seed and Value (with its index into PointValues) reproduce the
+	// concrete trial; ConcreteMiss entries have no trial and omit them.
+	Seed       int64
+	Value      int64 `json:",omitempty"`
+	ValueIndex int   `json:",omitempty"`
+	// Inconclusive marks a disagreement recorded while the symbolic terminal
+	// set was incomplete: the mismatch is worth triaging but proves nothing.
+	Inconclusive bool              `json:",omitempty"`
+	Concrete     *ConcreteEvidence `json:",omitempty"`
+	Symbolic     SymbolicEvidence
+	// Repro is a human-oriented reproduction hint.
+	Repro string
+}
+
+// TrialRecord is the journaled outcome of one concrete value trial.
+type TrialRecord struct {
+	Value   int64
+	Outcome symexec.Outcome
+	Output  string
+	// Covered reports agreement: the symbolic terminal set accounts for
+	// this concrete outcome.
+	Covered  bool
+	Killed   bool `json:",omitempty"`
+	Panicked bool `json:",omitempty"`
+	Retries  int  `json:",omitempty"`
+}
+
+// SymVerdict summarizes the symbolic exploration of one point.
+type SymVerdict struct {
+	Complete bool
+	States   int
+	Outcomes map[symexec.Outcome]int
+	Retries  int `json:",omitempty"`
+}
+
+// PointReport is the cross-validation verdict for one injection site.
+type PointReport struct {
+	Point     simplescalar.Point
+	Activated bool
+	// Skipped carries the infrastructure failure that prevented
+	// classification of this point (exhausted retries); empty otherwise.
+	Skipped    string        `json:",omitempty"`
+	Sym        SymVerdict    `json:",omitempty"`
+	Trials     []TrialRecord `json:",omitempty"`
+	Mismatches []Mismatch    `json:",omitempty"`
+	// Killed and Retries count wall-clock kills and transient re-runs
+	// across this point's concrete trials.
+	Killed  int `json:",omitempty"`
+	Retries int `json:",omitempty"`
+	// Interrupted marks a point abandoned mid-sweep by cancellation; it is
+	// never journaled or merged.
+	Interrupted bool `json:"-"`
+}
+
+// pointLess is the canonical point order every merge path uses, so sweep
+// partitioning can never reorder a report.
+func pointLess(a, b simplescalar.Point) bool {
+	if a.PC != b.PC {
+		return a.PC < b.PC
+	}
+	if a.Dst != b.Dst {
+		return !a.Dst // source sites before destination sites
+	}
+	return a.Reg < b.Reg
+}
+
+// trialRun pairs a value with its executed trial.
+type trialRun struct {
+	Value   int64
+	Index   int
+	Trial   simplescalar.Trial
+	Retries int
+}
+
+// diffPoint classifies every concrete trial of one point against the
+// symbolic summary, producing the point's verdict and mismatches.
+func diffPoint(spec Spec, pt simplescalar.Point, sum *symSummary, trials []trialRun) PointReport {
+	pr := PointReport{
+		Point:     pt,
+		Activated: sum.Activated,
+		Sym: SymVerdict{
+			Complete: sum.Complete,
+			States:   sum.States,
+			Outcomes: sum.Outcomes,
+			Retries:  sum.Retries,
+		},
+	}
+	symEvidence := func(outcome symexec.Outcome) SymbolicEvidence {
+		return SymbolicEvidence{
+			Injection: symInjection(pt).String(),
+			Outcomes:  sum.Outcomes,
+			States:    sum.States,
+			Complete:  sum.Complete,
+			Finding:   sum.Exemplars[outcome],
+		}
+	}
+	seen := make(map[symexec.Outcome]bool)
+	for _, tr := range trials {
+		rec := TrialRecord{
+			Value:    tr.Value,
+			Outcome:  ConcreteOutcome(tr.Trial.Result),
+			Output:   machine.RenderOutput(tr.Trial.Result.Output),
+			Killed:   tr.Trial.Killed,
+			Panicked: tr.Trial.Panicked,
+			Retries:  tr.Retries,
+		}
+		if tr.Trial.Killed {
+			pr.Killed++
+		}
+		pr.Retries += tr.Retries
+		if tr.Trial.Panicked {
+			// Persistent interpreter panic: infrastructure, not a verdict.
+			pr.Trials = append(pr.Trials, rec)
+			continue
+		}
+		seen[rec.Outcome] = true
+
+		var mismatch *Mismatch
+		switch {
+		case tr.Trial.Activated != sum.Activated:
+			// The engines share the fault-free prefix, so activation drift
+			// is an engine bug regardless of exploration completeness.
+			mismatch = &Mismatch{Class: ClassDrift}
+		case !sum.Activated:
+			// Fault never manifested in either engine: nothing to diff.
+			rec.Covered = true
+		case rec.Outcome == symexec.OutcomeNormal:
+			for _, out := range sum.NormalOutputs {
+				if outputCovers(out, tr.Trial.Result.Output) {
+					rec.Covered = true
+					break
+				}
+			}
+			if !rec.Covered {
+				mismatch = &Mismatch{Class: SymbolicMiss, Inconclusive: !sum.Complete}
+			}
+		default:
+			rec.Covered = sum.Outcomes[rec.Outcome] > 0
+			if !rec.Covered {
+				mismatch = &Mismatch{Class: ClassDrift, Inconclusive: !sum.Complete}
+			}
+		}
+		if mismatch != nil {
+			mismatch.Point = pt
+			mismatch.Seed = spec.Seed
+			mismatch.Value = tr.Value
+			mismatch.ValueIndex = tr.Index
+			mismatch.Concrete = &ConcreteEvidence{
+				Outcome:   rec.Outcome,
+				Output:    rec.Output,
+				Steps:     tr.Trial.Result.Steps,
+				TraceTail: tr.Trial.TraceTail,
+				Killed:    tr.Trial.Killed,
+			}
+			if exc := tr.Trial.Result.Exception; exc != nil {
+				mismatch.Concrete.Exception = exc.Error()
+			}
+			mismatch.Symbolic = symEvidence(rec.Outcome)
+			mismatch.Repro = repro(spec, pt, tr.Value, tr.Index)
+			pr.Mismatches = append(pr.Mismatches, *mismatch)
+		}
+		pr.Trials = append(pr.Trials, rec)
+	}
+
+	// Symbolic outcome classes no concrete trial reproduced: expected, the
+	// symbolic engine is strictly stronger — recorded as ConcreteMiss.
+	if sum.Activated {
+		for _, outcome := range sortedOutcomes(sum.Outcomes) {
+			if seen[outcome] {
+				continue
+			}
+			pr.Mismatches = append(pr.Mismatches, Mismatch{
+				Class:    ConcreteMiss,
+				Point:    pt,
+				Seed:     spec.Seed,
+				Symbolic: symEvidence(outcome),
+				Repro:    repro(spec, pt, 0, -1),
+			})
+		}
+	}
+	return pr
+}
+
+// sortedOutcomes orders an outcome tally's keys deterministically.
+func sortedOutcomes(m map[symexec.Outcome]int) []symexec.Outcome {
+	out := make([]symexec.Outcome, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// repro renders the human-oriented reproduction hint of a mismatch.
+func repro(spec Spec, pt simplescalar.Point, value int64, index int) string {
+	site := fmt.Sprintf("@%d %s dst=%v", pt.PC, pt.Reg, pt.Dst)
+	if index < 0 {
+		return fmt.Sprintf("symplfied -crossval -crossval-seed %d (program %s, point %s: no concrete trial hit this symbolic outcome)",
+			spec.Seed, spec.Program.Name, site)
+	}
+	return fmt.Sprintf("symplfied -crossval -crossval-seed %d (program %s, point %s, value %d = PointValues[%d])",
+		spec.Seed, spec.Program.Name, site, value, index)
+}

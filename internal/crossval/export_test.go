@@ -1,0 +1,15 @@
+package crossval
+
+import (
+	"symplfied/internal/simplescalar"
+	"symplfied/internal/symexec"
+)
+
+// SetDropTerminalForTest installs a terminal filter that discards symbolic
+// terminal states before coverage is computed, simulating an unsound pruning
+// bug in the engine. It returns a restore function; callers must defer it.
+func SetDropTerminalForTest(f func(pt simplescalar.Point, st *symexec.State) bool) (restore func()) {
+	old := dropTerminal
+	dropTerminal = f
+	return func() { dropTerminal = old }
+}

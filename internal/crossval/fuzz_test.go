@@ -1,0 +1,120 @@
+package crossval
+
+import (
+	"fmt"
+	"testing"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+// fuzzWatchdog bounds fuzz programs that loop: both engines must classify
+// them as the same hang at the same step.
+const fuzzWatchdog = 10_000
+
+// buildFuzzProgram decodes a byte string into a syntactically valid program.
+// Every instruction slot carries a label so branch targets always resolve;
+// the program ends in an unconditional halt. Backward jumps are allowed —
+// the watchdog turns runaway loops into classifiable hangs.
+func buildFuzzProgram(data []byte) *isa.Program {
+	b := isa.NewBuilder("fuzz")
+	n := len(data)
+	if n > 48 {
+		n = 48
+	}
+	at := func(j int) byte {
+		if len(data) == 0 {
+			return 0
+		}
+		return data[j%len(data)]
+	}
+	reg := func(j int) isa.Reg { return isa.Reg(1 + at(j)%5) }
+	for i := 0; i < n; i++ {
+		b.Label(fmt.Sprintf("L%d", i))
+		op := at(i) % 16
+		imm := int64(int8(at(i*7 + 1)))
+		r1, r2, r3 := reg(i*3+1), reg(i*3+2), reg(i*3+3)
+		// Branch targets may point anywhere in [0, n], including backward.
+		target := fmt.Sprintf("L%d", int(at(i*5+2))%(n+1))
+		switch op {
+		case 0:
+			b.Li(r1, imm)
+		case 1:
+			b.Add(r1, r2, r3)
+		case 2:
+			b.Sub(r1, r2, r3)
+		case 3:
+			b.Mult(r1, r2, r3)
+		case 4:
+			b.Div(r1, r2, r3) // divide-by-zero parity included
+		case 5:
+			b.Addi(r1, r2, imm)
+		case 6:
+			b.Seteq(r1, r2, r3)
+		case 7:
+			b.Setgt(r1, r2, r3)
+		case 8:
+			b.Read(r1) // end-of-input exception parity included
+		case 9:
+			b.Print(r1)
+		case 10:
+			b.Prints(fmt.Sprintf("s%d", at(i*7+3)%10))
+		case 11:
+			b.Beqi(r1, imm, target)
+		case 12:
+			b.Bne(r1, r2, target)
+		case 13:
+			b.St(r1, int64(at(i*11+4)%16), isa.Reg(0))
+		case 14:
+			b.Ld(r1, int64(at(i*11+4)%16), isa.Reg(0)) // illegal-address parity included
+		default:
+			b.Jmp(target)
+		}
+	}
+	b.Label(fmt.Sprintf("L%d", n))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// FuzzConcreteSymbolicParity (satellite): on fault-free programs the symbolic
+// engine must behave exactly like the concrete machine — never fork, execute
+// the same number of steps, and reach the same termination class and output.
+// Any divergence here is an interpreter bug, not an abstraction artifact.
+func FuzzConcreteSymbolicParity(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("\x08\x09\x0b\x05\x0f\x02")) // read/print/branch/jump mix
+	f.Add([]byte{4, 4, 4, 3, 3, 1})           // arithmetic incl. div
+	f.Add([]byte{15, 15, 15})                 // jump-only (loops)
+	f.Add([]byte{13, 14, 13, 14, 9})          // memory traffic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := buildFuzzProgram(data)
+		input := []int64{3, -7, 0, 1 << 40}
+
+		m := machine.New(prog, input, machine.Options{Watchdog: fuzzWatchdog})
+		res := m.Run()
+
+		st := symexec.NewState(prog, nil, input, symexec.Options{Watchdog: fuzzWatchdog, AffineTracking: true})
+		for st.Running() {
+			if !st.StepInPlace() {
+				t.Fatalf("symbolic engine forked on a fault-free program at pc %d", st.PC)
+			}
+		}
+
+		if got, want := st.Outcome(), ConcreteOutcome(res); got != want {
+			t.Errorf("outcome drift: symbolic %v, concrete %v (%v)", got, want, res.Exception)
+		}
+		if res.Status == machine.StatusExcepted {
+			if st.Exc == nil || st.Exc.Kind != res.Exception.Kind {
+				t.Errorf("exception drift: symbolic %v, concrete %v", st.Exc, res.Exception)
+			}
+		}
+		if got, want := st.OutputString(), machine.RenderOutput(res.Output); got != want {
+			t.Errorf("output drift:\nsymbolic %q\nconcrete %q", got, want)
+		}
+		if st.Steps != res.Steps {
+			t.Errorf("step-count drift: symbolic %d, concrete %d", st.Steps, res.Steps)
+		}
+	})
+}

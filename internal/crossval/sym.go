@@ -1,0 +1,210 @@
+package crossval
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/simplescalar"
+	"symplfied/internal/symexec"
+)
+
+// maxNormalOutputs bounds the unique normal-termination outputs collected
+// per point. Overflowing the bound marks the summary incomplete, so coverage
+// claims degrade to Inconclusive instead of false alarms.
+const maxNormalOutputs = 8192
+
+// dropTerminal is a test-only hook that discards terminal states from the
+// symbolic summary before coverage is computed, simulating an unsound
+// pruning. The acceptance test for the harness sets it (via export_test.go)
+// and asserts the resulting SymbolicMiss carries a full repro. Always nil in
+// production.
+var dropTerminal func(pt simplescalar.Point, st *symexec.State) bool
+
+// symSummary is the digest of one point's symbolic exploration that the
+// differ needs: the terminal outcome tally, the set of coverable normal
+// outputs, and whether the terminal set is exhaustive.
+type symSummary struct {
+	Activated bool
+	// Complete is true when every terminal of the injection was enumerated:
+	// no budget exhaustion, fan-out truncation, deadline expiry, panic or
+	// output-set overflow. Only then can a missing coverage convict.
+	Complete bool
+	States   int
+	Outcomes map[symexec.Outcome]int
+	// NormalOutputs holds the distinct output streams of normally-halted
+	// terminals; a symbolic err item abstracts any concrete value.
+	NormalOutputs [][]machine.OutItem
+	// Exemplars holds one rendered terminal description per outcome class.
+	Exemplars map[symexec.Outcome]string
+	Retries   int
+}
+
+// symInjection is the symbolic fault equivalent to a concrete trial at pt:
+// err into the register just before the first dynamic execution of the
+// instruction. Source and destination sites at the same (pc, reg) are the
+// same symbolic experiment.
+func symInjection(pt simplescalar.Point) faults.Injection {
+	return faults.Injection{
+		Class:      faults.ClassRegister,
+		PC:         pt.PC,
+		Occurrence: 1,
+		Loc:        isa.RegLoc(pt.Reg),
+	}
+}
+
+// exploreSymbolic enumerates the symbolic terminal set of one point, with
+// the campaign runner's transient-failure policy: a panicked or deadlined
+// exploration is retried up to spec.Retries times with Degraded options and
+// a halved state budget.
+func exploreSymbolic(ctx context.Context, spec Spec, pt simplescalar.Point) (*symSummary, error) {
+	inj := symInjection(pt)
+	budget := spec.budget()
+	var lastErr error
+	for attempt := 0; attempt <= spec.Retries; attempt++ {
+		sum := &symSummary{
+			Outcomes:  make(map[symexec.Outcome]int),
+			Exemplars: make(map[symexec.Outcome]string),
+		}
+		seenOutputs := make(map[string]bool)
+		overflow := false
+		collect := func(st *symexec.State) bool {
+			if dropTerminal != nil && dropTerminal(pt, st) {
+				return false
+			}
+			o := st.Outcome()
+			sum.Outcomes[o]++
+			if _, ok := sum.Exemplars[o]; !ok {
+				sum.Exemplars[o] = fmt.Sprintf("%s → %s output=%q sym=%s", inj, o, st.OutputString(), st.Sym.Describe())
+			}
+			if o == symexec.OutcomeNormal {
+				key := renderKey(st.Out)
+				if !seenOutputs[key] {
+					if len(sum.NormalOutputs) >= maxNormalOutputs {
+						overflow = true
+					} else {
+						seenOutputs[key] = true
+						sum.NormalOutputs = append(sum.NormalOutputs, copyOut(st.Out))
+					}
+				}
+			}
+			return false
+		}
+		cs := checker.Spec{
+			Program:   spec.Program,
+			Detectors: spec.Detectors,
+			Input:     spec.Input,
+			Exec: symexec.Options{
+				Watchdog:       spec.watchdog(),
+				AffineTracking: true,
+			}.Degraded(attempt),
+			Predicate:           checker.Predicate{Name: "crossval-collect", Match: collect},
+			StateBudget:         budget,
+			PerInjectionTimeout: spec.PerTrialTimeout,
+			DiscardStates:       true,
+		}
+		ir, err := checker.RunInjectionCtx(ctx, cs, inj)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		transient := ir.Panicked || (ir.TimedOut && ir.Error == "")
+		if transient && attempt < spec.Retries {
+			budget = budget / 2
+			if budget < 1 {
+				budget = 1
+			}
+			liveRetries.Inc()
+			lastErr = fmt.Errorf("crossval: symbolic exploration of %s transiently failed (panicked=%v timedOut=%v)", inj, ir.Panicked, ir.TimedOut)
+			continue
+		}
+		if ir.Panicked {
+			return nil, fmt.Errorf("crossval: symbolic exploration of %s panicked: %s", inj, ir.PanicValue)
+		}
+		if ir.Error != "" {
+			return nil, fmt.Errorf("crossval: symbolic exploration of %s failed: %s", inj, ir.Error)
+		}
+		sum.Activated = ir.Activated
+		sum.States = ir.StatesExplored
+		sum.Complete = ir.Activated &&
+			!ir.BudgetExhausted && !ir.Truncated && !ir.Interrupted &&
+			!ir.TimedOut && !overflow && attempt == 0
+		if !ir.Activated {
+			sum.Complete = true // no terminals to enumerate: trivially exhaustive
+		}
+		sum.Retries = attempt
+		return sum, nil
+	}
+	return nil, lastErr
+}
+
+// renderKey is the dedup key of a normal output stream: the rendered text
+// plus an err marker per item, so "print err" and "print 0" never collide.
+func renderKey(out []machine.OutItem) string {
+	key := make([]byte, 0, 32)
+	for _, o := range out {
+		if o.IsStr {
+			key = append(key, 's')
+			key = append(key, o.Str...)
+		} else if o.Val.IsErr() {
+			key = append(key, 'e')
+		} else {
+			key = append(key, 'v')
+			key = append(key, o.Val.String()...)
+		}
+		key = append(key, 0)
+	}
+	return string(key)
+}
+
+// copyOut snapshots an output stream (clones may share backing arrays).
+func copyOut(out []machine.OutItem) []machine.OutItem {
+	cp := make([]machine.OutItem, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// symMemo shares symbolic summaries between source and destination sites of
+// the same (pc, reg) within one sweep: the symbolic experiment is identical,
+// so exploring it twice would only burn budget. Exploration is deterministic,
+// so memoization cannot change any verdict.
+type symMemo struct {
+	mu sync.Mutex
+	m  map[symMemoKey]*symMemoEntry
+}
+
+type symMemoKey struct {
+	pc  int
+	reg isa.Reg
+}
+
+type symMemoEntry struct {
+	once sync.Once
+	sum  *symSummary
+	err  error
+}
+
+func newSymMemo() *symMemo {
+	return &symMemo{m: make(map[symMemoKey]*symMemoEntry)}
+}
+
+func (mm *symMemo) explore(ctx context.Context, spec Spec, pt simplescalar.Point) (*symSummary, error) {
+	key := symMemoKey{pc: pt.PC, reg: pt.Reg}
+	mm.mu.Lock()
+	entry, ok := mm.m[key]
+	if !ok {
+		entry = &symMemoEntry{}
+		mm.m[key] = entry
+	}
+	mm.mu.Unlock()
+	entry.once.Do(func() {
+		entry.sum, entry.err = exploreSymbolic(ctx, spec, pt)
+	})
+	return entry.sum, entry.err
+}

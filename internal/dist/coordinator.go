@@ -13,6 +13,7 @@ import (
 	"symplfied/internal/campaign"
 	"symplfied/internal/checker"
 	"symplfied/internal/cluster"
+	"symplfied/internal/crossval"
 	"symplfied/internal/obs"
 	"symplfied/internal/symexec"
 )
@@ -85,9 +86,17 @@ type Coordinator struct {
 	now         func() time.Time
 	tasks       []cluster.Task
 
+	// Crossval campaigns replace the symbolic search: tasks are slices of
+	// injection sites, results are per-site crossval verdicts. The lease,
+	// journal and completion machinery is shared; tasks holds placeholder
+	// entries so the task indexing is uniform.
+	xspec  crossval.Spec
+	xtasks []cluster.PointTask
+
 	mu       sync.Mutex
 	leases   map[int]lease
 	results  []*cluster.TaskReport // folded reports, indexed by task ID; nil = not done
+	xresults [][]crossval.PointReport
 	workers  map[string]*workerInfo
 	journal  *campaign.Journal
 	counters Counters
@@ -95,10 +104,19 @@ type Coordinator struct {
 	doneCh   chan struct{}
 }
 
+func (c *Coordinator) crossval() bool { return c.doc.Crossval }
+
 // journalKind pins a journal to this campaign's decomposition width as well
 // as (via the fingerprint) its spec: a journal written under a different
 // -tasks split records different task boundaries and must be rejected.
-func journalKind(tasks int) string { return fmt.Sprintf("dist-tasks-%d", tasks) }
+// Crossval journals get their own kind: their entries decode to point
+// reports, not injection reports.
+func journalKind(crossval bool, tasks int) string {
+	if crossval {
+		return fmt.Sprintf("dist-crossval-tasks-%d", tasks)
+	}
+	return fmt.Sprintf("dist-tasks-%d", tasks)
+}
 
 func taskKey(id int) string { return fmt.Sprintf("task:%d", id) }
 
@@ -106,13 +124,6 @@ func taskKey(id int) string { return fmt.Sprintf("task:%d", id) }
 // the injection space, and (when configured) opens the task journal,
 // restoring completed tasks from it under Resume.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
-	spec, err := cfg.Doc.Build()
-	if err != nil {
-		return nil, err
-	}
-	if len(spec.Injections) == 0 {
-		return nil, fmt.Errorf("dist: campaign enumerates no injections")
-	}
 	if cfg.Resume && cfg.Checkpoint == "" {
 		return nil, fmt.Errorf("dist: Resume requires a Checkpoint path")
 	}
@@ -120,19 +131,45 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if width <= 0 {
 		width = 1
 	}
-	tasks := cluster.Split(spec.Injections, width)
 	c := &Coordinator{
-		doc:         cfg.Doc,
-		spec:        spec,
-		fingerprint: campaign.Fingerprint(spec),
-		leaseDur:    cfg.Lease,
-		now:         cfg.Now,
-		tasks:       tasks,
-		leases:      make(map[int]lease),
-		results:     make([]*cluster.TaskReport, len(tasks)),
-		workers:     make(map[string]*workerInfo),
-		doneCh:      make(chan struct{}),
+		doc:      cfg.Doc,
+		leaseDur: cfg.Lease,
+		now:      cfg.Now,
+		leases:   make(map[int]lease),
+		workers:  make(map[string]*workerInfo),
+		doneCh:   make(chan struct{}),
 	}
+	if cfg.Doc.Crossval {
+		xspec, err := cfg.Doc.BuildCrossval()
+		if err != nil {
+			return nil, err
+		}
+		pts := xspec.Points()
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("dist: crossval campaign enumerates no injection sites")
+		}
+		c.xspec = xspec
+		c.fingerprint = crossval.Fingerprint(xspec)
+		c.xtasks = cluster.SplitPoints(pts, width)
+		c.tasks = make([]cluster.Task, len(c.xtasks))
+		for i := range c.xtasks {
+			c.tasks[i] = cluster.Task{ID: c.xtasks[i].ID}
+		}
+		c.xresults = make([][]crossval.PointReport, len(c.tasks))
+	} else {
+		spec, err := cfg.Doc.Build()
+		if err != nil {
+			return nil, err
+		}
+		if len(spec.Injections) == 0 {
+			return nil, fmt.Errorf("dist: campaign enumerates no injections")
+		}
+		c.spec = spec
+		c.fingerprint = campaign.Fingerprint(spec)
+		c.tasks = cluster.Split(spec.Injections, width)
+	}
+	tasks := c.tasks
+	c.results = make([]*cluster.TaskReport, len(tasks))
 	mCoordTasksTotal.Add(int64(len(tasks)))
 	if c.leaseDur <= 0 {
 		c.leaseDur = DefaultLease
@@ -141,7 +178,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		c.now = time.Now
 	}
 
-	kind := journalKind(len(tasks))
+	kind := journalKind(c.crossval(), len(tasks))
 	if cfg.Resume {
 		entries, err := campaign.LoadJournal(cfg.Checkpoint, kind, c.fingerprint)
 		if err != nil {
@@ -172,7 +209,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 // settleLocked folds a task result into its report and marks the task done.
 // Callers hold c.mu (or, in NewCoordinator, exclusive access).
 func (c *Coordinator) settleLocked(id int, res TaskResult) {
-	rep := cluster.PoolReports(c.tasks[id], res.Reports, c.doc.MaxFindingsPerTask)
+	var rep cluster.TaskReport
+	if c.crossval() {
+		// A crossval task's payload is its point reports; the TaskReport is
+		// only the done marker plus the failure text.
+		c.xresults[id] = res.PointReports
+		rep = cluster.TaskReport{TaskID: c.tasks[id].ID, Completed: res.Failure == ""}
+	} else {
+		rep = cluster.PoolReports(c.tasks[id], res.Reports, c.doc.MaxFindingsPerTask)
+	}
 	if res.Failure != "" {
 		rep.Failure = res.Failure
 		rep.Err = errors.New(res.Failure)
@@ -248,10 +293,13 @@ func (c *Coordinator) Claim(worker string) ClaimResponse {
 		w.leased[id] = true
 		c.counters.TasksServed++
 		mTasksServed.Inc()
-		return ClaimResponse{
-			Task:  &TaskAssignment{ID: c.tasks[id].ID, Injections: c.tasks[id].Injections},
-			Lease: c.leaseDur,
+		asg := &TaskAssignment{ID: c.tasks[id].ID}
+		if c.crossval() {
+			asg.Points = c.xtasks[id].Points
+		} else {
+			asg.Injections = c.tasks[id].Injections
 		}
+		return ClaimResponse{Task: asg, Lease: c.leaseDur}
 	}
 	return ClaimResponse{} // all in flight: poll again
 }
@@ -362,6 +410,16 @@ func (c *Coordinator) Status() StatusResponse {
 		st.Findings += len(rep.Findings)
 		st.States += rep.StatesExplored
 	}
+	if c.crossval() {
+		// Findings in crossval mode are pooled mismatches; States the pooled
+		// symbolic exploration size.
+		for _, prs := range c.xresults {
+			for i := range prs {
+				st.Findings += len(prs[i].Mismatches)
+				st.States += prs[i].Sym.States
+			}
+		}
+	}
 	st.Verdict = c.verdictLocked()
 	ids := make([]string, 0, len(c.workers))
 	for id := range c.workers {
@@ -387,8 +445,30 @@ func (c *Coordinator) Status() StatusResponse {
 	return st
 }
 
-// verdictLocked pools the verdict over the tasks done so far.
+// verdictLocked pools the verdict over the tasks done so far. For a crossval
+// campaign "refuted" means a conclusive SymbolicMiss pooled: the symbolic
+// engine's soundness claim is what the campaign checks.
 func (c *Coordinator) verdictLocked() string {
+	if c.crossval() {
+		for _, prs := range c.xresults {
+			for i := range prs {
+				for _, m := range prs[i].Mismatches {
+					if m.Class == crossval.SymbolicMiss && !m.Inconclusive {
+						return checker.VerdictRefuted.String()
+					}
+				}
+			}
+		}
+		if c.doneN < len(c.tasks) {
+			return "open"
+		}
+		for _, rep := range c.results {
+			if !rep.Completed {
+				return checker.VerdictInconclusive.String()
+			}
+		}
+		return checker.VerdictProven.String()
+	}
 	for _, rep := range c.results {
 		if rep != nil && len(rep.Findings) > 0 {
 			return checker.VerdictRefuted.String()
@@ -427,6 +507,15 @@ func (c *Coordinator) Report() MergedReport {
 		}
 	}
 	out.Summary = cluster.Summarize(out.Tasks)
+	if c.crossval() {
+		var pooled []crossval.PointReport
+		for _, prs := range c.xresults {
+			pooled = append(pooled, prs...)
+		}
+		xrep := crossval.Merge(c.xspec, pooled)
+		xrep.Interrupted = !out.Complete
+		out.Crossval = xrep
+	}
 	return out
 }
 

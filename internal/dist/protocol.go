@@ -5,7 +5,9 @@ import (
 
 	"symplfied/internal/checker"
 	"symplfied/internal/cluster"
+	"symplfied/internal/crossval"
 	"symplfied/internal/faults"
+	"symplfied/internal/simplescalar"
 )
 
 // The coordinator's JSON HTTP API. All bodies are JSON; errors are plain
@@ -48,8 +50,12 @@ type ClaimRequest struct {
 type TaskAssignment struct {
 	ID int
 	// Injections is the task's slice of the injection space, exactly as
-	// cluster.Split partitioned it.
-	Injections []faults.Injection
+	// cluster.Split partitioned it. Empty in crossval campaigns.
+	Injections []faults.Injection `json:",omitempty"`
+	// Points is the task's slice of a crossval campaign's injection sites,
+	// exactly as cluster.SplitPoints partitioned it. Empty in symbolic-search
+	// campaigns.
+	Points []simplescalar.Point `json:",omitempty"`
 }
 
 // ClaimResponse answers a claim.
@@ -75,8 +81,12 @@ type HeartbeatRequest struct {
 // with cluster.PoolReports, reconstructing the exact TaskReport the worker's
 // cluster.RunTaskCtx computed.
 type TaskResult struct {
-	Reports []checker.InjectionReport
-	Failure string `json:",omitempty"`
+	Reports []checker.InjectionReport `json:",omitempty"`
+	// PointReports carries a crossval task's per-site verdicts; the
+	// coordinator folds them with crossval.Merge, whose canonical ordering
+	// makes the merged report independent of task partitioning.
+	PointReports []crossval.PointReport `json:",omitempty"`
+	Failure      string                 `json:",omitempty"`
 }
 
 // CompleteRequest posts a finished task.
@@ -154,4 +164,8 @@ type MergedReport struct {
 	Complete bool
 	Tasks    []cluster.TaskReport
 	Summary  cluster.Summary
+	// Crossval is the pooled mismatch report of a crossval campaign (nil
+	// otherwise). For a complete campaign it is byte-identical to a
+	// single-process crossval.Run over the same spec.
+	Crossval *crossval.Report `json:",omitempty"`
 }

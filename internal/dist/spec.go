@@ -21,6 +21,7 @@ import (
 	"symplfied"
 	"symplfied/internal/checker"
 	"symplfied/internal/cli"
+	"symplfied/internal/crossval"
 	"symplfied/internal/query"
 )
 
@@ -67,19 +68,31 @@ type SpecDoc struct {
 	DisableAffineSolver bool `json:",omitempty"`
 	// Permanent turns every register/memory injection into a stuck-at fault.
 	Permanent bool `json:",omitempty"`
+
+	// Crossval switches the campaign from a symbolic search to a
+	// concrete↔symbolic cross-validation sweep (internal/crossval): tasks are
+	// slices of injection sites rather than symbolic injections, and the
+	// merged report is a crossval mismatch report. Class and Goal are unused
+	// in this mode. TaskStateBudget becomes the per-point symbolic budget and
+	// PerInjectionTimeout the per-trial wall clock.
+	Crossval bool `json:",omitempty"`
+	// Seed drives crossval's per-site random value derivation.
+	Seed int64 `json:",omitempty"`
+	// RandomPerReg is crossval's number of seeded random values per site on
+	// top of the three extremes (0: the paper's 3).
+	RandomPerReg int `json:",omitempty"`
 }
 
-// Build lowers the document to the internal checker spec. Every party of a
-// distributed campaign calls exactly this, so equal documents yield equal
-// specs — and equal campaign fingerprints.
-func (d SpecDoc) Build() (checker.Spec, error) {
+// loadUnit resolves the document's program source exactly the same way for
+// every party of a campaign.
+func (d SpecDoc) loadUnit() (*symplfied.Unit, error) {
 	var (
 		unit *symplfied.Unit
 		err  error
 	)
 	switch {
 	case d.App != "" && d.Source != "":
-		return checker.Spec{}, fmt.Errorf("dist: spec has both App and Source")
+		return nil, fmt.Errorf("dist: spec has both App and Source")
 	case d.App != "":
 		unit, err = cli.BuiltinApp(d.App)
 	case d.MIPS:
@@ -91,10 +104,24 @@ func (d SpecDoc) Build() (checker.Spec, error) {
 	case d.Source != "":
 		unit, err = symplfied.Assemble(d.name(), d.Source)
 	default:
-		return checker.Spec{}, fmt.Errorf("dist: spec has neither App nor Source")
+		return nil, fmt.Errorf("dist: spec has neither App nor Source")
 	}
 	if err != nil {
-		return checker.Spec{}, fmt.Errorf("dist: load program: %w", err)
+		return nil, fmt.Errorf("dist: load program: %w", err)
+	}
+	return unit, nil
+}
+
+// Build lowers the document to the internal checker spec. Every party of a
+// distributed campaign calls exactly this, so equal documents yield equal
+// specs — and equal campaign fingerprints.
+func (d SpecDoc) Build() (checker.Spec, error) {
+	if d.Crossval {
+		return checker.Spec{}, fmt.Errorf("dist: crossval campaign lowers via BuildCrossval, not Build")
+	}
+	unit, err := d.loadUnit()
+	if err != nil {
+		return checker.Spec{}, err
 	}
 	class, ok := query.ClassByName(d.Class)
 	if !ok {
@@ -118,6 +145,29 @@ func (d SpecDoc) Build() (checker.Spec, error) {
 		DisableAffineSolver: d.DisableAffineSolver,
 		Permanent:           d.Permanent,
 	}.CheckerSpec()
+}
+
+// BuildCrossval lowers the document to a cross-validation spec. Like Build it
+// is the single lowering path for every party, so equal documents yield equal
+// crossval fingerprints.
+func (d SpecDoc) BuildCrossval() (crossval.Spec, error) {
+	if !d.Crossval {
+		return crossval.Spec{}, fmt.Errorf("dist: spec is not a crossval campaign")
+	}
+	unit, err := d.loadUnit()
+	if err != nil {
+		return crossval.Spec{}, err
+	}
+	return crossval.Spec{
+		Program:         unit.Program,
+		Detectors:       unit.Detectors,
+		Input:           d.Input,
+		Watchdog:        d.Watchdog,
+		Seed:            d.Seed,
+		RandomPerReg:    d.RandomPerReg,
+		StateBudget:     d.TaskStateBudget,
+		PerTrialTimeout: d.PerInjectionTimeout,
+	}, nil
 }
 
 func (d SpecDoc) name() string {

@@ -12,8 +12,8 @@ import (
 	"time"
 
 	"symplfied/internal/campaign"
-	"symplfied/internal/checker"
 	"symplfied/internal/cluster"
+	"symplfied/internal/crossval"
 	"symplfied/internal/obs"
 )
 
@@ -107,19 +107,44 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	if err != nil {
 		return stats, err
 	}
-	spec, err := sr.Spec.Build()
-	if err != nil {
-		return stats, fmt.Errorf("dist: worker cannot build campaign spec: %w", err)
-	}
-	if fp := campaign.Fingerprint(spec); fp != sr.Fingerprint {
-		return stats, fmt.Errorf("dist: spec fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
-			sr.Fingerprint, fp)
-	}
-	if cfg.PruneDead {
-		// One analysis and one representative memo for the whole campaign on
-		// this node, shared by every task it leases.
-		spec.PruneDeadInjections = true
-		spec.EnsurePrune()
+	// Lower the document locally and verify the fingerprint, then wrap the
+	// mode's sweep in a closure so the claim/heartbeat/post loop below is
+	// shared between symbolic-search and crossval campaigns.
+	var sweepTask func(taskCtx context.Context, asg TaskAssignment) TaskResult
+	if sr.Spec.Crossval {
+		xspec, err := sr.Spec.BuildCrossval()
+		if err != nil {
+			return stats, fmt.Errorf("dist: worker cannot build crossval spec: %w", err)
+		}
+		if fp := crossval.Fingerprint(xspec); fp != sr.Fingerprint {
+			return stats, fmt.Errorf("dist: crossval fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
+				sr.Fingerprint, fp)
+		}
+		sweepTask = func(taskCtx context.Context, asg TaskAssignment) TaskResult {
+			prs, _ := crossval.RunPointsCtx(taskCtx, xspec, asg.Points, cfg.Parallelism)
+			return TaskResult{PointReports: prs}
+		}
+	} else {
+		spec, err := sr.Spec.Build()
+		if err != nil {
+			return stats, fmt.Errorf("dist: worker cannot build campaign spec: %w", err)
+		}
+		if fp := campaign.Fingerprint(spec); fp != sr.Fingerprint {
+			return stats, fmt.Errorf("dist: spec fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
+				sr.Fingerprint, fp)
+		}
+		if cfg.PruneDead {
+			// One analysis and one representative memo for the whole campaign on
+			// this node, shared by every task it leases.
+			spec.PruneDeadInjections = true
+			spec.EnsurePrune()
+		}
+		spec.Parallelism = cfg.Parallelism
+		sweepTask = func(taskCtx context.Context, asg TaskAssignment) TaskResult {
+			task := cluster.Task{ID: asg.ID, Injections: asg.Injections}
+			rep, irs := cluster.RunTaskCtx(taskCtx, spec, task, sr.Spec.TaskStateBudget, sr.Spec.MaxFindingsPerTask)
+			return TaskResult{Reports: irs, Failure: rep.Failure}
+		}
 	}
 	heartbeatEvery := sr.Lease / 3
 	if heartbeatEvery <= 0 {
@@ -149,7 +174,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 		if cfg.OnTask != nil {
 			cfg.OnTask("claimed", claim.Task.ID)
 		}
-		outcome, done, err := runOneTask(ctx, client, cfg, spec, sr, *claim.Task, heartbeatEvery)
+		outcome, done, err := runOneTask(ctx, client, cfg, *claim.Task, heartbeatEvery, sweepTask)
 		if err != nil {
 			return stats, err
 		}
@@ -184,14 +209,15 @@ const (
 	completeTimeout = 10 * time.Minute
 )
 
-// runOneTask sweeps one leased task under a heartbeat loop. The returned
-// outcome is "completed", "duplicate" or "abandoned"; done reports that the
-// campaign has no unsettled tasks left; an error means the coordinator is
-// unreachable for posting a finished result.
-func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec checker.Spec,
-	sr SpecResponse, assignment TaskAssignment, heartbeatEvery time.Duration) (string, bool, error) {
+// runOneTask sweeps one leased task under a heartbeat loop, delegating the
+// actual sweep to the campaign mode's closure. The returned outcome is
+// "completed", "duplicate" or "abandoned"; done reports that the campaign has
+// no unsettled tasks left; an error means the coordinator is unreachable for
+// posting a finished result.
+func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
+	assignment TaskAssignment, heartbeatEvery time.Duration,
+	sweepTask func(context.Context, TaskAssignment) TaskResult) (string, bool, error) {
 
-	task := cluster.Task{ID: assignment.ID, Injections: assignment.Injections}
 	taskCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -214,7 +240,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 				return
 			case <-t.C:
 				err := postJSONTimeout(taskCtx, client, cfg.Coordinator+PathHeartbeat,
-					HeartbeatRequest{Worker: cfg.ID, Task: task.ID}, nil, controlTimeout)
+					HeartbeatRequest{Worker: cfg.ID, Task: assignment.ID}, nil, controlTimeout)
 				wHeartbeats.Inc()
 				switch {
 				case err == nil:
@@ -244,8 +270,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 		}
 	}()
 
-	spec.Parallelism = cfg.Parallelism
-	rep, irs := cluster.RunTaskCtx(taskCtx, spec, task, sr.Spec.TaskStateBudget, sr.Spec.MaxFindingsPerTask)
+	result := sweepTask(taskCtx, assignment)
 	if taskCtx.Err() != nil {
 		// Cancelled (worker shutdown) or lease lost mid-sweep: the partial
 		// result must not be posted — the coordinator will re-serve the task
@@ -266,8 +291,8 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 	uploadStart := time.Now()
 	err := postJSONTimeout(ctx, client, cfg.Coordinator+PathComplete, CompleteRequest{
 		Worker: cfg.ID,
-		Task:   task.ID,
-		Result: TaskResult{Reports: irs, Failure: rep.Failure},
+		Task:   assignment.ID,
+		Result: result,
 	}, &resp, completeTimeout)
 	wUploadSecs.Observe(time.Since(uploadStart).Seconds())
 	cancel()
@@ -276,7 +301,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig, spec
 		if ctx.Err() != nil {
 			return "abandoned", false, nil
 		}
-		return "", false, fmt.Errorf("dist: post completion of task %d: %w", task.ID, err)
+		return "", false, fmt.Errorf("dist: post completion of task %d: %w", assignment.ID, err)
 	}
 	if resp.Duplicate {
 		return "duplicate", resp.Done, nil

@@ -1,0 +1,82 @@
+package machine_test
+
+// Hang classification parity: the concrete machine and the symbolic executor
+// must agree, by construction, on when a run is a Hang. Both engines share
+// machine.DefaultWatchdog and both raise ExcTimeout from the identical
+// "steps >= watchdog" guard before executing the next instruction, so a
+// spin-loop unit times out at exactly the same dynamic instruction count in
+// either engine. internal/crossval relies on this when diffing concrete
+// results against symbolic outcomes.
+
+import (
+	"context"
+	"testing"
+
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+// spinLoop is a unit that never halts: the watchdog is the only way out.
+func spinLoop(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("spin")
+	b.Label("top")
+	b.Addi(isa.Reg(1), isa.Reg(1), 1)
+	b.Jmp("top")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("build spin loop: %v", err)
+	}
+	return prog
+}
+
+func TestHangClassificationParity(t *testing.T) {
+	prog := spinLoop(t)
+	for _, watchdog := range []int{1, 2, 10, 100, 1000} {
+		m := machine.New(prog, nil, machine.Options{Watchdog: watchdog})
+		res := m.Run()
+		if res.Status != machine.StatusExcepted || res.Exception == nil || res.Exception.Kind != isa.ExcTimeout {
+			t.Fatalf("watchdog %d: concrete machine did not time out: %+v", watchdog, res)
+		}
+
+		st := symexec.NewState(prog, nil, nil, symexec.Options{Watchdog: watchdog})
+		for st.Running() {
+			if !st.StepInPlace() {
+				t.Fatalf("watchdog %d: fault-free spin loop forked symbolically", watchdog)
+			}
+		}
+		if st.Outcome() != symexec.OutcomeHang {
+			t.Fatalf("watchdog %d: symbolic outcome %v, want Hang", watchdog, st.Outcome())
+		}
+		if res.Steps != st.Steps {
+			t.Fatalf("watchdog %d: hang at step %d concretely but %d symbolically", watchdog, res.Steps, st.Steps)
+		}
+	}
+}
+
+// TestDefaultWatchdogShared pins the constant both engines resolve to when no
+// explicit watchdog is configured.
+func TestDefaultWatchdogShared(t *testing.T) {
+	if got := symexec.DefaultOptions().Watchdog; got != machine.DefaultWatchdog {
+		t.Fatalf("symexec default watchdog %d != machine default %d", got, machine.DefaultWatchdog)
+	}
+}
+
+// TestRunCtxInterruptsSpinLoop exercises the cooperative cancellation path:
+// a cancelled context must stop a spin loop long before a large watchdog
+// would, leaving the machine running so callers can tell interruption from
+// completion.
+func TestRunCtxInterruptsSpinLoop(t *testing.T) {
+	prog := spinLoop(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := machine.New(prog, nil, machine.Options{Watchdog: 50_000_000})
+	res := m.RunCtx(ctx)
+	if res.Status != machine.StatusRunning {
+		t.Fatalf("interrupted run finished with %v", res.Status)
+	}
+	if res.Steps > 2048 {
+		t.Fatalf("cancelled run executed %d instructions before stopping", res.Steps)
+	}
+}

@@ -15,6 +15,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,6 +26,13 @@ import (
 
 // DefaultWatchdog is the default instruction bound. It must be conservative:
 // larger than any correct execution of the analyzed programs (Section 5.4).
+//
+// This constant is shared with the symbolic engine: symexec.DefaultOptions
+// resolves its watchdog to DefaultWatchdog, and both engines raise ExcTimeout
+// through the identical "steps >= watchdog" check before executing the next
+// instruction. Hang classification therefore agrees between the concrete and
+// symbolic executors by construction (pinned by TestHangClassificationParity
+// and relied on by internal/crossval when diffing the two engines).
 const DefaultWatchdog = 1_000_000
 
 // OutItem is one element of the output stream: a printed value or a printed
@@ -262,6 +270,27 @@ type Result struct {
 // summary. Calling Run on a finished machine returns the existing result.
 func (m *Machine) Run() Result {
 	for m.status == StatusRunning {
+		m.Step()
+	}
+	return Result{Status: m.status, Exception: m.exc, Output: m.Output(), Steps: m.steps}
+}
+
+// runCtxPollMask gates how often RunCtx polls the context: every
+// runCtxPollMask+1 executed instructions. A power-of-two mask keeps the check
+// off the interpreter hot path while still bounding cancellation latency to
+// ~1k instructions.
+const runCtxPollMask = 1023
+
+// RunCtx executes like Run but polls ctx between instructions, so a
+// cancellation or deadline interrupts the run even inside a tight loop that
+// the watchdog would only stop much later. An interrupted machine is left
+// with StatusRunning and the partial result is returned; callers distinguish
+// interruption from completion via ctx.Err().
+func (m *Machine) RunCtx(ctx context.Context) Result {
+	for m.status == StatusRunning {
+		if m.steps&runCtxPollMask == 0 && ctx.Err() != nil {
+			break
+		}
 		m.Step()
 	}
 	return Result{Status: m.status, Exception: m.exc, Output: m.Output(), Steps: m.steps}

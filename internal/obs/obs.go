@@ -65,6 +65,13 @@ const (
 	MDistJournalErrors   = "symplfied_dist_journal_errors_total"
 	MDistWorkersLive     = "symplfied_dist_workers_live" // gauge
 
+	// Concrete↔symbolic cross-validation (internal/crossval).
+	MXvalTrials     = "symplfied_crossval_trials_total"        // concrete injections executed
+	MXvalKills      = "symplfied_crossval_timeout_kills_total" // trials killed at the wall-clock deadline (classified Hang)
+	MXvalRetries    = "symplfied_crossval_retries_total"       // transient-failure re-runs (concrete and symbolic)
+	MXvalPoints     = "symplfied_crossval_points_total"        // injection points cross-validated
+	MXvalMismatches = "symplfied_crossval_mismatches_total"    // label class: symbolic-miss|concrete-miss|class-drift
+
 	// Distributed worker client.
 	MWorkerClaimed      = "symplfied_worker_tasks_claimed_total"
 	MWorkerCompleted    = "symplfied_worker_tasks_completed_total"

@@ -60,14 +60,17 @@ func TestSnapshotDeterminism(t *testing.T) {
 			func() { r.Counter(MForks, L("kind", ForkLoad)).Add(3) },
 			func() { r.Gauge(MFrontier).Set(9) },
 			func() { r.Histogram(MTaskSeconds, []float64{1, 10}).Observe(2.5) },
+			func() { r.Counter(MXvalMismatches, L("class", "symbolic-miss")).Add(1) },
+			func() { r.Counter(MXvalMismatches, L("class", "concrete-miss")).Add(6) },
+			func() { r.Counter(MXvalMismatches, L("class", "class-drift")).Add(2) },
 		}
 		for _, i := range order {
 			ops[i]()
 		}
 		return r
 	}
-	a := build([]int{0, 1, 2, 3, 4})
-	b := build([]int{4, 3, 2, 1, 0})
+	a := build([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	b := build([]int{7, 6, 5, 4, 3, 2, 1, 0})
 
 	aj, _ := json.Marshal(a.Snapshot().ExpvarMap())
 	bj, _ := json.Marshal(b.Snapshot().ExpvarMap())
@@ -102,6 +105,8 @@ func TestPrometheusText(t *testing.T) {
 	r.Counter(MForks, L("kind", ForkStore)).Add(2)
 	r.Gauge(MFrontier).Set(3)
 	r.Histogram(MTaskSeconds, []float64{0.5, 5}).Observe(1.25)
+	r.Counter(MXvalMismatches, L("class", "symbolic-miss")).Inc()
+	r.Counter(MXvalMismatches, L("class", "class-drift")).Add(3)
 	r.Counter("weird_total", L("path", "a\\b\"c\nd")).Inc()
 
 	var buf bytes.Buffer
@@ -122,6 +127,9 @@ func TestPrometheusText(t *testing.T) {
 		`symplfied_task_seconds_bucket{le="+Inf"} 1` + "\n",
 		"symplfied_task_seconds_sum 1.25\n",
 		"symplfied_task_seconds_count 1\n",
+		"# TYPE symplfied_crossval_mismatches_total counter\n",
+		`symplfied_crossval_mismatches_total{class="symbolic-miss"} 1` + "\n",
+		`symplfied_crossval_mismatches_total{class="class-drift"} 3` + "\n",
 		`weird_total{path="a\\b\"c\nd"} 1` + "\n",
 	} {
 		if !strings.Contains(text, want) {

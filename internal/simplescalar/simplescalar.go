@@ -15,8 +15,10 @@ package simplescalar
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -180,20 +182,138 @@ func Enumerate(cfg Config) []Injection {
 	return injs
 }
 
+// PointValues returns the values injected at one site: the three extremes
+// followed by randomPer seeded random values (randomPer <= 0 selects the
+// paper's 3). Unlike Enumerate — whose sequential generator makes a value
+// depend on every preceding site — each random value here is derived by
+// hashing (seed, site, index), so the value set of a site is independent of
+// which other sites a worker happens to sweep. The cross-validation harness
+// depends on this: splitting a campaign across workers must not change the
+// experiment at any site.
+func PointValues(seed int64, pt Point, randomPer int) []int64 {
+	if randomPer <= 0 {
+		randomPer = 3
+	}
+	vals := make([]int64, 0, len(extremes)+randomPer)
+	vals = append(vals, extremes...)
+	for i := 0; i < randomPer; i++ {
+		vals = append(vals, pointValue(seed, pt, i))
+	}
+	return vals
+}
+
+// pointValue derives the i-th random value of a site from a hash, keeping it
+// deterministic under any sweep order or partition.
+func pointValue(seed int64, pt Point, i int) int64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|%d|%d|%v|%d", seed, pt.PC, pt.Reg, pt.Dst, i)
+	return int64(binary.BigEndian.Uint64(h.Sum(nil)[:8]))
+}
+
 // RunOne executes a single concrete injection experiment.
 func RunOne(cfg Config, inj Injection) machine.Result {
+	return RunOneCtx(context.Background(), cfg, inj)
+}
+
+// RunOneCtx executes a single concrete injection experiment under ctx; see
+// TrialCtx for the interruption and kill-on-deadline semantics of the result.
+func RunOneCtx(ctx context.Context, cfg Config, inj Injection) machine.Result {
+	return TrialCtx(ctx, cfg, inj).Result
+}
+
+// TraceTailLen is how many trailing program counters a trial records — the
+// crash-site context carried into cross-validation mismatch reports.
+const TraceTailLen = 16
+
+// Trial is the full record of one concrete injection experiment.
+type Trial struct {
+	// Result is the machine-level outcome. When the trial was killed at a
+	// wall-clock deadline, Result is synthesized as an ExcTimeout exception —
+	// the same classification a watchdog expiry gets (Hang) — because a run
+	// that outlives its deadline is indistinguishable from one that never
+	// terminates.
+	Result machine.Result
+	// Activated reports whether the injection point was reached (the value
+	// was actually written).
+	Activated bool
+	// TraceTail holds the last program counters executed, oldest first.
+	TraceTail []int
+	// Killed marks a trial stopped by a context deadline (Result synthesized
+	// as a hang). Interrupted marks a trial stopped by plain cancellation;
+	// its Result is the partial state and must not be tallied.
+	Killed      bool
+	Interrupted bool
+	// Panicked marks an interpreter (or hook) panic, isolated here so one bad
+	// run cannot kill a campaign.
+	Panicked   bool
+	PanicValue string
+}
+
+// TrialCtx executes one concrete injection experiment under ctx, recording
+// activation and a trace tail, killing the run when the context's deadline
+// expires (classified as a hang), and isolating panics.
+func TrialCtx(ctx context.Context, cfg Config, inj Injection) (tr Trial) {
+	var ring [TraceTailLen]int
+	n := 0
 	injected := false
+	defer func() {
+		if r := recover(); r != nil {
+			tr.Panicked = true
+			tr.PanicValue = fmt.Sprint(r)
+			tr.Activated = injected
+			tr.TraceTail = traceTail(ring, n)
+		}
+	}()
 	m := machine.New(cfg.Program, cfg.Input, machine.Options{
 		Watchdog:  cfg.Watchdog,
 		Detectors: cfg.Detectors,
 		PreStep: func(m *machine.Machine, _ int) {
+			ring[n%TraceTailLen] = m.PC()
+			n++
 			if !injected && m.PC() == inj.Point.PC {
 				m.SetReg(inj.Point.Reg, isa.Int(inj.Value))
 				injected = true
 			}
 		},
 	})
-	return m.Run()
+	res := m.RunCtx(ctx)
+	tr.Result = res
+	tr.Activated = injected
+	tr.TraceTail = traceTail(ring, n)
+	if res.Status == machine.StatusRunning {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			tr.Killed = true
+			tr.Result = machine.Result{
+				Status: machine.StatusExcepted,
+				Exception: &isa.Exception{
+					Kind:   isa.ExcTimeout,
+					PC:     m.PC(),
+					Detail: fmt.Sprintf("killed at wall-clock deadline after %d instructions", res.Steps),
+				},
+				Output: res.Output,
+				Steps:  res.Steps,
+			}
+		} else {
+			tr.Interrupted = true
+		}
+	}
+	return tr
+}
+
+// traceTail linearizes the PC ring buffer, oldest first.
+func traceTail(ring [TraceTailLen]int, n int) []int {
+	if n == 0 {
+		return nil
+	}
+	size := n
+	if size > TraceTailLen {
+		size = TraceTailLen
+	}
+	out := make([]int, 0, size)
+	for i := n - size; i < n; i++ {
+		out = append(out, ring[i%TraceTailLen])
+	}
+	return out
 }
 
 // Run executes the whole campaign and tallies outcomes.
@@ -299,7 +419,11 @@ func RunResilient(ctx context.Context, cfg Config, res Resilience) (*Report, err
 			rep.Interrupted = true
 			break
 		}
-		label := runOneIsolated(cfg, inj, classify)
+		label, interrupted := runOneIsolated(ctx, cfg, inj, classify)
+		if interrupted {
+			rep.Interrupted = true
+			break
+		}
 		tally(inj, label)
 		if journal != nil {
 			if err := journal.Append(k, runRecord{Label: label}); err != nil {
@@ -311,12 +435,24 @@ func RunResilient(ctx context.Context, cfg Config, res Resilience) (*Report, err
 }
 
 // runOneIsolated executes one injection with a recover boundary, so a
-// panicking interpreter run is one bad bucket entry, not a dead campaign.
-func runOneIsolated(cfg Config, inj Injection, classify Classifier) (label string) {
+// panicking interpreter run (or classifier) is one bad bucket entry, not a
+// dead campaign. The trial itself polls ctx, so cancellation interrupts a
+// hang mid-run instead of waiting out the watchdog — interrupted trials are
+// reported as such and never tallied.
+func runOneIsolated(ctx context.Context, cfg Config, inj Injection, classify Classifier) (label string, interrupted bool) {
+	tr := TrialCtx(ctx, cfg, inj)
+	if tr.Interrupted || tr.Killed {
+		// ctx here is the campaign's context: both cancellation and an
+		// expired campaign deadline mean "stop now", not "tally a hang".
+		return "", true
+	}
+	if tr.Panicked {
+		return LabelPanic, false
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			label = LabelPanic
 		}
 	}()
-	return classify(RunOne(cfg, inj))
+	return classify(tr.Result), false
 }

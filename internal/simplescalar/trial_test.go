@@ -1,0 +1,120 @@
+package simplescalar
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+)
+
+// loopUnit is a program that spins forever, so only the watchdog — or a
+// context — can stop it.
+func loopUnit(t *testing.T) *isa.Program {
+	t.Helper()
+	u := asm.MustParse("loop", `
+top:
+	addi $1 $1 1
+	jmp top
+`)
+	return u.Program
+}
+
+// TestRunResilientCancelMidTrial is the regression test for prompt SIGINT
+// handling: cancellation must interrupt a hang-heavy campaign *inside* a
+// value trial, not only between injection points. The watchdog is set so
+// large that waiting it out would blow the test deadline.
+func TestRunResilientCancelMidTrial(t *testing.T) {
+	cfg := Config{
+		Program:  loopUnit(t),
+		Watchdog: 500_000_000,
+		Classify: SingleValueClassifier(),
+		Seed:     1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var rep *Report
+	var err error
+	go func() {
+		rep, err = RunResilient(ctx, cfg, Resilience{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not stop promptly after cancellation")
+	}
+	if err != nil {
+		t.Fatalf("RunResilient: %v", err)
+	}
+	if !rep.Interrupted {
+		t.Errorf("report not marked interrupted: %+v", rep)
+	}
+}
+
+// TestTrialKilledAtDeadline: a deadline kill synthesizes a watchdog-style
+// timeout, so the standard classifiers file it as a hang.
+func TestTrialKilledAtDeadline(t *testing.T) {
+	cfg := Config{Program: loopUnit(t), Watchdog: 500_000_000}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	tr := TrialCtx(ctx, cfg, Injection{Point: Point{PC: 0, Reg: isa.Reg(1), Dst: true}, Value: 7})
+	if !tr.Killed {
+		t.Fatalf("trial not killed: %+v", tr)
+	}
+	if got := SingleValueClassifier()(tr.Result); got != LabelHang {
+		t.Errorf("killed trial classified %q, want %q", got, LabelHang)
+	}
+	if !tr.Activated {
+		t.Error("injection at PC 0 not marked activated")
+	}
+	if len(tr.TraceTail) == 0 {
+		t.Error("no trace tail recorded")
+	}
+}
+
+// TestTrialRecordsTraceTail: the tail holds the last PCs in execution order.
+func TestTrialRecordsTraceTail(t *testing.T) {
+	u := asm.MustParse("straight", `
+	li $1 1
+	li $2 2
+	halt
+`)
+	tr := TrialCtx(context.Background(), Config{Program: u.Program}, Injection{Point: Point{PC: 1, Reg: isa.Reg(2), Dst: true}, Value: 9})
+	if tr.Result.Status != machine.StatusHalted {
+		t.Fatalf("status %v", tr.Result.Status)
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(tr.TraceTail, want) {
+		t.Errorf("trace tail %v, want %v", tr.TraceTail, want)
+	}
+}
+
+// TestPointValuesDeterministic: values depend only on (seed, site, index) —
+// never on sweep order — and start with the three extremes.
+func TestPointValuesDeterministic(t *testing.T) {
+	pt := Point{PC: 3, Reg: isa.Reg(5)}
+	a := PointValues(2008, pt, 3)
+	b := PointValues(2008, pt, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+	if len(a) != 6 {
+		t.Fatalf("%d values, want 3 extremes + 3 random", len(a))
+	}
+	if a[0] != 0 || a[1] != int64(^uint64(0)>>1) || a[2] != -int64(^uint64(0)>>1)-1 {
+		t.Errorf("extremes wrong: %v", a[:3])
+	}
+	if got := PointValues(2008, Point{PC: 3, Reg: isa.Reg(5), Dst: true}, 3); reflect.DeepEqual(a, got) {
+		t.Error("src and dst sites share random values")
+	}
+	if got := PointValues(2009, pt, 3); reflect.DeepEqual(a, got) {
+		t.Error("different seeds share random values")
+	}
+}

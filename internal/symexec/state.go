@@ -69,8 +69,8 @@ type State struct {
 	// Mem is the memory image. After a Clone it may be shared copy-on-write
 	// with the state it was forked from; mutate it only through the State's
 	// methods (which materialize a private copy first), never directly.
-	Mem map[int64]isa.Value
-	Sym *symbolic.Store
+	Mem   map[int64]isa.Value
+	Sym   *symbolic.Store
 	In    []isa.Value // shared, immutable
 	InPos int
 	Out   []machine.OutItem

@@ -47,6 +47,7 @@ import (
 	"symplfied/internal/campaign"
 	"symplfied/internal/checker"
 	"symplfied/internal/cluster"
+	"symplfied/internal/crossval"
 	"symplfied/internal/detector"
 	"symplfied/internal/faults"
 	"symplfied/internal/isa"
@@ -508,4 +509,49 @@ func CampaignCtx(ctx context.Context, c CampaignSpec, r CampaignResilience) (*Ca
 		RandomPerReg:  c.RandomPerReg,
 		MaxInjections: c.Faults,
 	}, r)
+}
+
+// Cross-validation (internal/crossval): differential testing of the symbolic
+// engine against the concrete machine. A campaign runs seeded concrete
+// injections over every site and diffs each outcome against the symbolic
+// terminal set of the same site; a conclusive SymbolicMiss in the report is
+// an unsoundness in the engine.
+type (
+	// CrossvalSpec describes one cross-validation campaign.
+	CrossvalSpec = crossval.Spec
+	// CrossvalConfig carries the operational knobs of a sweep (parallelism,
+	// checkpoint/resume); none affect verdicts or report bytes.
+	CrossvalConfig = crossval.Config
+	// CrossvalReport is the deterministic campaign summary; see Sound.
+	CrossvalReport = crossval.Report
+	// CrossvalMismatch is one concrete↔symbolic disagreement with its repro.
+	CrossvalMismatch = crossval.Mismatch
+	// CrossvalClass discriminates mismatch kinds.
+	CrossvalClass = crossval.Class
+)
+
+// Crossval mismatch classes.
+const (
+	// CrossvalSymbolicMiss: a concrete outcome the symbolic terminal set does
+	// not cover — unsoundness.
+	CrossvalSymbolicMiss = crossval.SymbolicMiss
+	// CrossvalConcreteMiss: a symbolic outcome no concrete trial reproduced —
+	// expected; the symbolic engine is strictly stronger.
+	CrossvalConcreteMiss = crossval.ConcreteMiss
+	// CrossvalClassDrift: the engines disagree on the crash/hang/detect class
+	// or on whether the site was reached.
+	CrossvalClassDrift = crossval.ClassDrift
+)
+
+// CrossValidate runs a cross-validation campaign with default operational
+// settings.
+func CrossValidate(spec CrossvalSpec) (*CrossvalReport, error) {
+	return CrossValidateCtx(context.Background(), spec, CrossvalConfig{})
+}
+
+// CrossValidateCtx runs a cross-validation campaign under ctx with
+// checkpoint/resume support. Cancellation returns the partial report with
+// Interrupted set.
+func CrossValidateCtx(ctx context.Context, spec CrossvalSpec, cfg CrossvalConfig) (*CrossvalReport, error) {
+	return crossval.RunCtx(ctx, spec, cfg)
 }
