@@ -23,6 +23,7 @@ import (
 	"symplfied/internal/faults"
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
+	"symplfied/internal/summary"
 	"symplfied/internal/symbolic"
 	"symplfied/internal/symexec"
 )
@@ -386,3 +387,31 @@ func BenchmarkParallelSweepSequential(b *testing.B) { benchParallelSweep(b, 1) }
 
 // BenchmarkParallelSweepAllCores fans the same sweep across every core.
 func BenchmarkParallelSweepAllCores(b *testing.B) { benchParallelSweep(b, 0) }
+
+// benchSummaryBuild measures building the tcas function-summary set
+// (partition, SCC keys, per-function taint fixpoints, continuation
+// fixpoint) against a cache: nil for the cold path, a pre-warmed cache for
+// the warm path. functions/op and hits/op report what the build did.
+func benchSummaryBuild(b *testing.B, warm bool) {
+	b.Helper()
+	prog := tcas.Program()
+	var cache *summary.Cache
+	if warm {
+		cache = summary.NewCache(0, nil)
+		summary.Build(prog, nil, cache)
+	}
+	var stats summary.BuildStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats = summary.Build(prog, nil, cache).Stats
+	}
+	b.ReportMetric(float64(stats.Functions), "functions/op")
+	b.ReportMetric(float64(len(stats.Hits)), "hits/op")
+}
+
+// BenchmarkSummaryCacheCold builds every summary from scratch.
+func BenchmarkSummaryCacheCold(b *testing.B) { benchSummaryBuild(b, false) }
+
+// BenchmarkSummaryCacheWarm re-builds against a fully warmed cache: the
+// content-addressed fast path an unchanged re-analysis takes.
+func BenchmarkSummaryCacheWarm(b *testing.B) { benchSummaryBuild(b, true) }

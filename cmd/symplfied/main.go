@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -53,6 +54,7 @@ import (
 	"symplfied/internal/dist"
 	"symplfied/internal/obs"
 	"symplfied/internal/query"
+	"symplfied/internal/summary"
 )
 
 func main() {
@@ -71,6 +73,8 @@ func run(ctx context.Context, args []string) error {
 		analyze   = fs.Bool("analyze", false, "statically analyze the program (CFG, liveness, detector coverage) and print diagnostics instead of searching; exits nonzero on error-severity findings")
 		jsonOut   = fs.Bool("json", false, "with -analyze, print diagnostics as JSON")
 		pruneDead = fs.Bool("prune-dead", false, "elide explorations of register injections a liveness proof shows benign (verdicts unchanged; see SYMPLFIED_CHECK_PRUNING)")
+		summaries = fs.Bool("summaries", false, "elide explorations compositional per-function fault summaries prove benign (verdicts unchanged; see SYMPLFIED_CHECK_SUMMARIES)")
+		sumCache  = fs.String("summary-cache", "", "persist content-addressed function summaries in this directory, so re-analysis after an edit recomputes only changed functions (implies -summaries)")
 		app       = fs.String("app", "", "built-in application: factorial | factorial-detectors | tcas | replace")
 		isMIPS    = fs.Bool("mips", false, "treat -file as MIPS-dialect assembly")
 		input     = fs.String("input", "", "comma-separated input stream (default: the app's canonical input)")
@@ -130,12 +134,25 @@ func run(ctx context.Context, args []string) error {
 		defer cancel()
 	}
 
+	useSummaries := *summaries || *sumCache != ""
+	var summaryCache *symplfied.SummaryCache
+	if *sumCache != "" {
+		store, err := symplfied.OpenSummaryDiskStore(*sumCache)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		summaryCache = symplfied.NewSummaryCache(0, store)
+	} else if useSummaries {
+		summaryCache = symplfied.NewSummaryCache(0, nil)
+	}
+
 	if *analyze {
 		unit, err := cli.LoadUnit(*file, *app, *isMIPS)
 		if err != nil {
 			return err
 		}
-		return runAnalyze(unit, *jsonOut)
+		return runAnalyze(os.Stdout, unit, *jsonOut)
 	}
 
 	if *serve != "" {
@@ -164,7 +181,7 @@ func run(ctx context.Context, args []string) error {
 			}
 			doc.Name, doc.Source, doc.MIPS = *file, string(src), *isMIPS
 		}
-		return serveCampaign(ctx, *serve, doc, *lease, *ckpt, *resume, *traces, *xvalOut)
+		return serveCampaign(ctx, *serve, doc, *lease, *ckpt, *resume, *traces, *xvalOut, summaryCache)
 	}
 
 	if *xval {
@@ -224,6 +241,8 @@ func run(ctx context.Context, args []string) error {
 		Parallelism:         *parallel,
 		DisableAffineSolver: *noAffine,
 		PruneDeadInjections: *pruneDead,
+		UseSummaries:        useSummaries,
+		SummaryCache:        summaryCache,
 	}
 
 	var found []symplfied.Finding
@@ -235,6 +254,8 @@ func run(ctx context.Context, args []string) error {
 			Workers:             *workers,
 			Parallelism:         *parallel,
 			PruneDeadInjections: *pruneDead,
+			UseSummaries:        useSummaries,
+			SummaryCache:        summaryCache,
 		})
 		if err != nil {
 			return err
@@ -242,6 +263,10 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("tasks: %d launched, %d completed (%d empty, %d with findings), %d incomplete\n",
 			sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
 		fmt.Printf("states explored: %d over %d injections\n", sum.TotalStates, sum.TotalInjections)
+		if sum.Summarized > 0 {
+			fmt.Printf("summarized: %d injections proven benign by compositional summaries (explorations elided; verdicts unchanged)\n",
+				sum.Summarized)
+		}
 		if sum.Interrupted > 0 {
 			fmt.Printf("interrupted: %d tasks were cut short (partial results above)\n", sum.Interrupted)
 		}
@@ -270,6 +295,10 @@ func run(ctx context.Context, args []string) error {
 		if rep.PrunedInjections > 0 {
 			fmt.Printf("pruned: %d injections proven benign by liveness (explorations elided; verdicts unchanged)\n",
 				rep.PrunedInjections)
+		}
+		if rep.SummarizedInjections > 0 {
+			fmt.Printf("summarized: %d injections proven benign by compositional summaries (explorations elided; verdicts unchanged)\n",
+				rep.SummarizedInjections)
 		}
 		if stats.Resumed > 0 {
 			fmt.Printf("resumed: %d injections restored from %s, %d executed\n", stats.Resumed, *ckpt, stats.Executed)
@@ -311,35 +340,80 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
+// funcInfo is the -analyze view of one discovered function: its extent, its
+// call structure, and the content-addressed key its fault summary caches
+// under (internal/summary). Keys are canonical over the function body and
+// its detector lines, so two -analyze runs agree on them exactly when the
+// code agrees.
+type funcInfo struct {
+	Name         string
+	Entry        int
+	Size         int
+	Exits        []int  `json:",omitempty"`
+	Calls        []int  `json:",omitempty"` // call-site pcs, in body order
+	Opaque       bool   `json:",omitempty"`
+	OpaqueReason string `json:",omitempty"`
+	Key          string
+}
+
 // runAnalyze is the -analyze mode: CFG + liveness + detector-coverage lint
-// (internal/analysis) over the loaded program, printed human-readably or as
+// (internal/analysis) over the loaded program, plus the function partition
+// with summary cache keys (internal/summary), printed human-readably or as
 // JSON. Error-severity findings (unreachable detectors, unknown detector
 // IDs, control falling off the end, invalid branch targets) make the exit
 // status nonzero, so the lint gates CI the way `go vet` does.
-func runAnalyze(unit *symplfied.Unit, jsonOut bool) error {
+func runAnalyze(w io.Writer, unit *symplfied.Unit, jsonOut bool) error {
 	diags := analysis.Lint(unit.Program, unit.Detectors)
 	errs, warns := analysis.Summary(diags)
 	reg := obs.Default()
 	reg.Counter(obs.MLintDiags, obs.L("severity", "error")).Add(int64(errs))
 	reg.Counter(obs.MLintDiags, obs.L("severity", "warning")).Add(int64(warns))
 
+	set := summary.Build(unit.Program, unit.Detectors, nil)
+	funcs := make([]funcInfo, 0, len(set.Funcs.Funcs))
+	for i, f := range set.Funcs.Funcs {
+		fi := funcInfo{
+			Name:         f.Name,
+			Entry:        f.Entry,
+			Size:         len(f.Body),
+			Exits:        f.Exits,
+			Opaque:       f.Opaque,
+			OpaqueReason: f.OpaqueReason,
+			Key:          set.Summaries()[i].Key,
+		}
+		for _, c := range f.Calls {
+			fi.Calls = append(fi.Calls, c.PC)
+		}
+		funcs = append(funcs, fi)
+	}
+
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
 			Program     string
 			Errors      int
 			Warnings    int
 			Diagnostics []analysis.Diag
-		}{unit.Program.Name, errs, warns, diags}); err != nil {
+			Functions   []funcInfo
+		}{unit.Program.Name, errs, warns, diags, funcs}); err != nil {
 			return err
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Printf("%s: %s\n", unit.Program.Name, d)
+			fmt.Fprintf(w, "%s: %s\n", unit.Program.Name, d)
 		}
-		fmt.Printf("%s: %d instructions analyzed, %d errors, %d warnings\n",
+		fmt.Fprintf(w, "%s: %d instructions analyzed, %d errors, %d warnings\n",
 			unit.Program.Name, unit.Program.Len(), errs, warns)
+		fmt.Fprintf(w, "%s: %d functions discovered\n", unit.Program.Name, len(funcs))
+		for _, f := range funcs {
+			fmt.Fprintf(w, "  %s @%d: %d instrs, %d exits, %d calls, key %s",
+				f.Name, f.Entry, f.Size, len(f.Exits), len(f.Calls), f.Key)
+			if f.Opaque {
+				fmt.Fprintf(w, " (opaque: %s)", f.OpaqueReason)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	if errs > 0 {
 		return fmt.Errorf("analysis found %d error-severity finding(s)", errs)
@@ -406,7 +480,7 @@ func printFindings(found []symplfied.Finding, n int) {
 // gracefully; with -checkpoint the settled tasks are journaled so a restart
 // with -resume re-serves only the unfinished ones.
 func serveCampaign(ctx context.Context, addr string, doc dist.SpecDoc, lease time.Duration,
-	ckpt string, resume bool, traces int, xvalOut string) error {
+	ckpt string, resume bool, traces int, xvalOut string, summaryCache *symplfied.SummaryCache) error {
 
 	// Bind before building the coordinator: restoring a large task journal
 	// can take a while, and workers started in that window should queue in
@@ -420,6 +494,9 @@ func serveCampaign(ctx context.Context, addr string, doc dist.SpecDoc, lease tim
 		Lease:      lease,
 		Checkpoint: ckpt,
 		Resume:     resume,
+		// With -summary-cache the fleet-shared cache served on the /summary
+		// endpoints is disk-backed, so it survives coordinator restarts.
+		SummaryCache: summaryCache,
 	})
 	if err != nil {
 		ln.Close()

@@ -14,6 +14,12 @@
 //	symworker -coordinator http://host:8080
 //	symworker -coordinator http://host:8080 -id node42 -poll 2s
 //	symworker -coordinator http://host:8080 -metrics-addr :9091 -progress 5s
+//	symworker -coordinator http://host:8080 -summary-cache
+//
+// -summaries elides explorations that compositional per-function fault
+// summaries prove benign; -summary-cache additionally shares the
+// content-addressed summary cache fleet-wide through the coordinator's
+// /summary endpoints (and implies -summaries).
 //
 // -metrics-addr serves /metrics, /debug/vars and /debug/pprof for this
 // worker (lease/heartbeat/upload health plus the search-engine counters);
@@ -56,6 +62,8 @@ func run(ctx context.Context, args []string) error {
 		progress    = fs.Duration("progress", 0, "log a one-line progress report at this interval (0: off)")
 		parallel    = fs.Int("parallel", 0, "cores to fan each leased task's injection sweep across (0: all cores, 1: sequential)")
 		pruneDead   = fs.Bool("prune-dead", false, "elide explorations of register injections a liveness proof shows benign (verdicts unchanged)")
+		summaries   = fs.Bool("summaries", false, "elide explorations compositional per-function fault summaries prove benign (verdicts unchanged)")
+		shareCache  = fs.Bool("summary-cache", false, "share the summary cache through the coordinator's /summary endpoints (implies -summaries)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +103,9 @@ func run(ctx context.Context, args []string) error {
 		OnTask:      onTask,
 		Parallelism: *parallel,
 		PruneDead:   *pruneDead,
+
+		UseSummaries:      *summaries || *shareCache,
+		ShareSummaryCache: *shareCache,
 	})
 	if err != nil {
 		return err

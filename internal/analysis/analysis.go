@@ -154,6 +154,26 @@ func (a *Analysis) DeadAt(pc int, r isa.Reg) bool {
 	return !a.LiveIn[pc].Has(r)
 }
 
+// DetectorReads reports what detector d dereferences when its CHECK runs:
+// the set of registers it reads (its target register plus every RegRef in
+// its expression) and whether it reads memory (a MemRef in the expression or
+// a memory target). Clients propagating error taint through CHECKs
+// (internal/summary) need the memory half, which liveness ignores.
+func DetectorReads(d *detector.Detector) (regs RegSet, readsMem bool) {
+	return detectorUses(d), d.Target.IsMem || exprReadsMem(d.Expr)
+}
+
+// exprReadsMem reports whether a detector expression contains a MemRef.
+func exprReadsMem(e detector.Expr) bool {
+	switch e := e.(type) {
+	case detector.MemRef:
+		return true
+	case detector.BinExpr:
+		return exprReadsMem(e.L) || exprReadsMem(e.R)
+	}
+	return false
+}
+
 // detectorUses collects the registers detector d reads when its CHECK runs.
 func detectorUses(d *detector.Detector) RegSet {
 	var s RegSet

@@ -82,6 +82,18 @@ func succsOf(prog *isa.Program, dets *detector.Table, pc int, buf []int) (succs 
 	}
 }
 
+// SuccsOf exposes the instruction-level successor relation the CFG is built
+// from: the static successors of pc and whether the instruction also has a
+// dynamic successor (a jr, whose target is a register value). Function
+// discovery (internal/summary) layers its intra-procedural view — jal edges
+// to the call continuation, jr $31 as a function exit — on top of this.
+func SuccsOf(prog *isa.Program, dets *detector.Table, pc int, buf []int) (succs []int, dynamic bool) {
+	if dets == nil {
+		dets = detector.EmptyTable()
+	}
+	return succsOf(prog, dets, pc, buf)
+}
+
 // buildCFG constructs the block graph and reachability for prog.
 func buildCFG(prog *isa.Program, dets *detector.Table) *CFG {
 	n := prog.Len()

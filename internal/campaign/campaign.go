@@ -22,8 +22,6 @@ package campaign
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -31,6 +29,7 @@ import (
 
 	"symplfied/internal/checker"
 	"symplfied/internal/faults"
+	"symplfied/internal/fingerprint"
 	"symplfied/internal/obs"
 )
 
@@ -95,21 +94,17 @@ type Stats struct {
 // Operational knobs that do not change what is explored per injection
 // (DiscardStates, PerInjectionTimeout) are deliberately excluded.
 func Fingerprint(spec checker.Spec) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "program\n%s\n", spec.Program.String())
-	if spec.Detectors != nil {
-		for _, d := range spec.Detectors.All() {
-			fmt.Fprintf(h, "det %s\n", d)
-		}
-	}
-	fmt.Fprintf(h, "input %v\n", spec.Input)
-	fmt.Fprintf(h, "predicate %s\n", spec.Predicate.Name)
-	fmt.Fprintf(h, "exec %+v\n", spec.Exec)
-	fmt.Fprintf(h, "budget %d findings %d dedup %v\n", spec.StateBudget, spec.MaxFindings, spec.Dedup)
+	h := fingerprint.New()
+	h.Program(spec.Program)
+	h.Detectors(spec.Detectors)
+	h.Input(spec.Input)
+	h.Line("predicate %s", spec.Predicate.Name)
+	h.Line("exec %+v", spec.Exec)
+	h.Line("budget %d findings %d dedup %v", spec.StateBudget, spec.MaxFindings, spec.Dedup)
 	for _, inj := range spec.Injections {
-		fmt.Fprintf(h, "inj %s\n", inj)
+		h.Line("inj %s", inj)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return h.Sum()
 }
 
 // Key returns the journal key of an injection: its canonical rendering,
@@ -134,11 +129,15 @@ func Run(ctx context.Context, spec checker.Spec, cfg Config) (*checker.Report, S
 
 	stats := Stats{Total: len(spec.Injections)}
 	fingerprint := Fingerprint(spec)
-	// One pruning context for the whole campaign, shared by every worker's
-	// spec copy (pruning is operational, like Parallelism: it is absent from
-	// the fingerprint, and a resumed pruned campaign merges with an unpruned
-	// journal because the reports are identical modulo the Pruned marker).
+	// One pruning context and one summary context for the whole campaign,
+	// shared by every worker's spec copy (both are operational, like
+	// Parallelism: absent from the fingerprint, and a resumed pruned or
+	// summarized campaign merges with a plain journal because the reports
+	// are identical modulo the Pruned/Summarized markers). The summary
+	// cache on the spec survives checkpoint/resume: the content-addressed
+	// keys make stale entries unreachable, never wrong.
 	spec.EnsurePrune()
+	spec.EnsureSummaries()
 
 	journaled := map[string]json.RawMessage{}
 	if cfg.Resume {

@@ -30,6 +30,7 @@ import (
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
 	"symplfied/internal/obs"
+	"symplfied/internal/summary"
 	"symplfied/internal/symexec"
 	"symplfied/internal/trace"
 )
@@ -134,6 +135,28 @@ type Spec struct {
 	// install one PruneContext across all their task specs so representatives
 	// are shared process-wide. Never serialized.
 	Prune *PruneContext `json:"-"`
+	// UseSummaries turns on compositional summary-based elision
+	// (internal/summary): the program is partitioned into functions, each
+	// function's fault summary is computed (or loaded from SummaryCache) once,
+	// and a transient register injection the composed summaries prove benign —
+	// the err provably reaches no output, detector, or control decision on any
+	// continuation — reuses the site's fault-free representative exploration,
+	// marked Summarized. Strictly subsumes PruneDeadInjections' per-site
+	// liveness proof (a dead register's taint dies immediately) while also
+	// eliding injections whose taint dies later, across call boundaries. Like
+	// PruneDeadInjections, this is an operational knob excluded from the
+	// campaign fingerprint: verdicts and report bytes are unchanged modulo
+	// Summarized markers. Set SYMPLFIED_CHECK_SUMMARIES to have every reuse
+	// re-explored and asserted identical.
+	UseSummaries bool
+	// SummaryCache optionally backs the summary build with a content-addressed
+	// cache (in-memory LRU plus disk or coordinator store), making re-analysis
+	// of unchanged functions a pure cache hit. Never serialized.
+	SummaryCache *summary.Cache `json:"-"`
+	// Summaries carries the built summary set and the per-site representative
+	// memo for a summarized sweep, populated by RunCtx (or EnsureSummaries)
+	// when UseSummaries is set. Never serialized.
+	Summaries *SummaryContext `json:"-"`
 }
 
 // Finding is a terminal state matching the predicate, with provenance. The
@@ -234,6 +257,13 @@ type InjectionReport struct {
 	// stay comparable; the elided work shows up only in the live
 	// symplfied_pruned_injections_total counter.
 	Pruned bool `json:",omitempty"`
+	// Summarized is true when the compositional summaries proved this
+	// injection benign (Spec.UseSummaries): the err provably reaches no
+	// output, detector, or control decision on any continuation. As with
+	// Pruned, the tallies are the site representative's — byte-identical to
+	// the elided exploration — and the elided work shows up only in the live
+	// symplfied_summarized_injections_total counter.
+	Summarized bool `json:",omitempty"`
 	// Exec tallies how the exploration spent its budget (forks by kind,
 	// solver prunes, dedup hits, frontier/depth high-water marks). The
 	// tally is deterministic — derived from the search order, never the
@@ -271,6 +301,10 @@ type Report struct {
 	// PrunedInjections counts injections classified benign by the liveness
 	// proof (Spec.PruneDeadInjections) instead of a fresh exploration.
 	PrunedInjections int
+	// SummarizedInjections counts injections classified benign by the
+	// compositional summary proof (Spec.UseSummaries) instead of a fresh
+	// exploration.
+	SummarizedInjections int
 	// Exec is the merged per-injection exploration tally (Add folds each
 	// InjectionReport.Exec in; counters sum, high-water marks take the max).
 	Exec obs.ExecStats
@@ -316,6 +350,9 @@ func (r *Report) Add(ir InjectionReport) {
 	}
 	if ir.Pruned {
 		r.PrunedInjections++
+	}
+	if ir.Summarized {
+		r.SummarizedInjections++
 	}
 	r.Exec.Merge(ir.Exec)
 }
@@ -390,10 +427,11 @@ func RunCtx(ctx context.Context, spec Spec) (*Report, error) {
 	if spec.Predicate.Match == nil {
 		return nil, fmt.Errorf("checker: nil predicate")
 	}
-	// Resolve the pruning context once so every injection in the sweep —
-	// sequential or parallel — shares one analysis and one representative
-	// memo per breakpoint.
+	// Resolve the pruning and summary contexts once so every injection in
+	// the sweep — sequential or parallel — shares one analysis, one summary
+	// set, and one representative memo per breakpoint.
 	spec.EnsurePrune()
+	spec.EnsureSummaries()
 	if workers := poolSize(spec.Parallelism, len(spec.Injections)); workers > 1 {
 		return runParallel(ctx, spec, workers)
 	}
@@ -502,11 +540,15 @@ func RunInjection(spec Spec, inj faults.Injection) (InjectionReport, error) {
 // benign (see PruneContext), the site's representative report is reused
 // instead of exploring — the exploration is elided entirely, and the
 // returned report (marked Pruned) is what the exploration would have
-// produced.
+// produced. When spec.UseSummaries is set, the compositional summary proof
+// (see SummaryContext) does the same for the strictly larger class of
+// injections whose taint provably reaches nothing, marking reports
+// Summarized; an injection both classifiers cover is credited to pruning,
+// which is checked first.
 func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (InjectionReport, error) {
 	if prune := spec.EnsurePrune(); prune.Prunable(inj) {
 		budget := spec.effectiveBudget()
-		if reused, ok := prune.reuse(inj, budget); ok {
+		if reused, ok := prune.sites.reuse(inj, budget); ok {
 			reused.Pruned = true
 			livePruned.Inc()
 			liveInjections.Inc() // the injection is classified, just not explored
@@ -515,12 +557,30 @@ func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (Inje
 			}
 			return reused, nil
 		}
-		// First dead injection at this site: explore it for real and memoize
-		// the result as the site's representative.
+		// First benign injection at this site: explore it for real and
+		// memoize the result as the site's representative.
 		ir, err := runInjectionReal(ctx, spec, inj, true)
 		if err == nil {
+			prune.sites.store(inj, ir, budget)
 			ir.Pruned = true
-			prune.store(inj, ir, budget)
+		}
+		return ir, err
+	}
+	if sums := spec.EnsureSummaries(); sums.Benign(inj) {
+		budget := spec.effectiveBudget()
+		if reused, ok := sums.sites.reuse(inj, budget); ok {
+			reused.Summarized = true
+			liveSummarized.Inc()
+			liveInjections.Inc()
+			if checkSummaries {
+				checkSummarizedReuse(ctx, spec, inj, reused)
+			}
+			return reused, nil
+		}
+		ir, err := runInjectionReal(ctx, spec, inj, true)
+		if err == nil {
+			sums.sites.store(inj, ir, budget)
+			ir.Summarized = true
 		}
 		return ir, err
 	}

@@ -66,12 +66,27 @@ func SetCheckPruning(on bool) (restore func()) {
 // argument does not apply to it.
 type PruneContext struct {
 	analysis *analysis.Analysis
+	sites    *siteMemo
+}
 
+// siteMemo memoizes one representative exploration per breakpoint site. It
+// is the shared machinery behind both benign-injection elisions: liveness
+// pruning (PruneContext) and compositional summaries (SummaryContext). Both
+// classifications assert the same thing — the exploration is exactly the
+// fault-free continuation from the site — so when both contexts are active
+// they share one memo and one representative per site, whichever classifier
+// explored it first. Representatives are stored unmarked; each classifier
+// stamps its own marker (Pruned/Summarized) on the copies it returns.
+type siteMemo struct {
 	mu   sync.Mutex
 	memo map[pruneSite]pruneMemo
 }
 
-// pruneSite keys the memo: dead registers at the same breakpoint share the
+func newSiteMemo() *siteMemo {
+	return &siteMemo{memo: make(map[pruneSite]pruneMemo)}
+}
+
+// pruneSite keys the memo: benign registers at the same breakpoint share the
 // fault-free continuation.
 type pruneSite struct {
 	pc, occurrence int
@@ -89,7 +104,7 @@ type pruneMemo struct {
 func NewPruneContext(prog *isa.Program, dets *detector.Table) *PruneContext {
 	return &PruneContext{
 		analysis: analysis.Analyze(prog, dets),
-		memo:     make(map[pruneSite]pruneMemo),
+		sites:    newSiteMemo(),
 	}
 }
 
@@ -128,7 +143,7 @@ func site(inj faults.Injection) pruneSite {
 //   - ran to budget exhaustion under a different budget than the current
 //     one, or completed using more states than the current budget allows
 //     (the cluster's shared task budget shrinks per injection).
-func (p *PruneContext) reuse(inj faults.Injection, budget int) (InjectionReport, bool) {
+func (p *siteMemo) reuse(inj faults.Injection, budget int) (InjectionReport, bool) {
 	p.mu.Lock()
 	m, ok := p.memo[site(inj)]
 	p.mu.Unlock()
@@ -156,7 +171,7 @@ func (p *PruneContext) reuse(inj faults.Injection, budget int) (InjectionReport,
 }
 
 // store memoizes a representative exploration for inj's site.
-func (p *PruneContext) store(inj faults.Injection, rep InjectionReport, budget int) {
+func (p *siteMemo) store(inj faults.Injection, rep InjectionReport, budget int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, dup := p.memo[site(inj)]; !dup {

@@ -219,28 +219,28 @@ func TestPruneReuseBudgetGuard(t *testing.T) {
 	inj := faults.Injection{Class: faults.ClassRegister, PC: 3, Loc: isa.RegLoc(7)}
 
 	clean := InjectionReport{Injection: inj, Activated: true, StatesExplored: 500}
-	p.store(inj, clean, 1500)
-	if _, ok := p.reuse(inj, 1500); !ok {
+	p.sites.store(inj, clean, 1500)
+	if _, ok := p.sites.reuse(inj, 1500); !ok {
 		t.Errorf("clean memo not reused under its own budget")
 	}
-	if _, ok := p.reuse(inj, 400); ok {
+	if _, ok := p.sites.reuse(inj, 400); ok {
 		t.Errorf("memo using 500 states reused under a 400-state budget")
 	}
 
 	inj2 := faults.Injection{Class: faults.ClassRegister, PC: 4, Loc: isa.RegLoc(7)}
 	blown := InjectionReport{Injection: inj2, Activated: true, StatesExplored: 1500, BudgetExhausted: true}
-	p.store(inj2, blown, 1500)
-	if _, ok := p.reuse(inj2, 1500); !ok {
+	p.sites.store(inj2, blown, 1500)
+	if _, ok := p.sites.reuse(inj2, 1500); !ok {
 		t.Errorf("budget-exhausted memo not reused under the same budget")
 	}
-	if _, ok := p.reuse(inj2, 2000); ok {
+	if _, ok := p.sites.reuse(inj2, 2000); ok {
 		t.Errorf("budget-exhausted memo reused under a larger budget: the exploration would differ")
 	}
 
 	inj3 := faults.Injection{Class: faults.ClassRegister, PC: 5, Loc: isa.RegLoc(7)}
 	found := InjectionReport{Injection: inj3, Activated: true, Findings: []Finding{{Injection: inj3}}}
-	p.store(inj3, found, 1500)
-	if _, ok := p.reuse(inj3, 1500); ok {
+	p.sites.store(inj3, found, 1500)
+	if _, ok := p.sites.reuse(inj3, 1500); ok {
 		t.Errorf("memo with findings reused: findings name the injected location and cannot be rewritten")
 	}
 }

@@ -144,6 +144,10 @@ type TaskReport struct {
 	// site plus every elided reuse. Zero unless the spec enables
 	// PruneDeadInjections.
 	Pruned int `json:",omitempty"`
+	// Summarized counts injections classified benign by a compositional
+	// function summary (checker.InjectionReport.Summarized). Zero unless
+	// the spec enables UseSummaries.
+	Summarized int `json:",omitempty"`
 	// StatesExplored counts symbolic states expanded by the task.
 	StatesExplored int
 	// Findings are the predicate matches, capped by MaxFindingsPerTask.
@@ -197,10 +201,12 @@ func RunCtx(ctx context.Context, spec checker.Spec, tasks []Task, cfg Config) []
 	if budget <= 0 {
 		budget = DefaultTaskStateBudget
 	}
-	// Resolve the pruning context once so every task in the study shares one
-	// liveness analysis and one representative exploration per breakpoint;
-	// without this, each task-spec copy would rebuild its own memo.
+	// Resolve the pruning and summary contexts once so every task in the
+	// study shares one analysis and one representative exploration per
+	// breakpoint; without this, each task-spec copy would rebuild its own
+	// memo.
 	spec.EnsurePrune()
+	spec.EnsureSummaries()
 
 	// Pool utilization and decomposition-progress gauges for -metrics-addr
 	// scrapes and the -progress ETA. Gauges use deltas, not Set, so nested
@@ -289,9 +295,11 @@ func RunTaskCtx(ctx context.Context, spec checker.Spec, task Task, budget, maxFi
 	if budget <= 0 {
 		budget = DefaultTaskStateBudget
 	}
-	// Share one pruning context across this task's injections (a caller that
-	// installed spec.Prune — RunCtx, a dist worker — shares it wider).
+	// Share one pruning/summary context across this task's injections (a
+	// caller that installed spec.Prune or spec.Summaries — RunCtx, a dist
+	// worker — shares it wider).
 	spec.EnsurePrune()
+	spec.EnsureSummaries()
 	if workers := taskPoolSize(spec.Parallelism, len(task.Injections)); workers > 1 {
 		return runTaskParallel(ctx, spec, task, budget, maxFindings, workers)
 	}
@@ -508,6 +516,9 @@ func PoolReports(task Task, irs []checker.InjectionReport, maxFindings int) Task
 		if ir.Pruned {
 			rep.Pruned++
 		}
+		if ir.Summarized {
+			rep.Summarized++
+		}
 		for o, n := range ir.Outcomes {
 			rep.Outcomes[o] += n
 		}
@@ -547,7 +558,10 @@ type Summary struct {
 	Panics int
 	// Pruned counts injections across all tasks that a liveness proof
 	// classified benign instead of (or alongside) exploring.
-	Pruned          int
+	Pruned int
+	// Summarized counts injections across all tasks that a compositional
+	// summary proof classified benign.
+	Summarized      int
 	TotalStates     int
 	TotalInjections int
 	Findings        []checker.Finding
@@ -563,6 +577,7 @@ func Summarize(reports []TaskReport) Summary {
 		s.TotalStates += r.StatesExplored
 		s.TotalInjections += r.InjectionsDone
 		s.Pruned += r.Pruned
+		s.Summarized += r.Summarized
 		s.Findings = append(s.Findings, r.Findings...)
 		s.Panics += r.Panics
 		s.Exec.Merge(r.Exec)

@@ -32,14 +32,13 @@
 package crossval
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"sort"
 	"time"
 
 	"symplfied/internal/checker"
 	"symplfied/internal/detector"
+	"symplfied/internal/fingerprint"
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
 	"symplfied/internal/simplescalar"
@@ -116,17 +115,14 @@ func (s Spec) Points() []simplescalar.Point {
 // excluded, so a resumed or distributed run validates against the same
 // fingerprint.
 func Fingerprint(s Spec) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "crossval\nprogram\n%s\n", s.Program.String())
-	if s.Detectors != nil {
-		for _, d := range s.Detectors.All() {
-			fmt.Fprintf(h, "det %s\n", d)
-		}
-	}
-	fmt.Fprintf(h, "input %v\n", s.Input)
-	fmt.Fprintf(h, "watchdog %d seed %d randomPerReg %d budget %d maxPoints %d\n",
+	h := fingerprint.New()
+	h.Line("crossval")
+	h.Program(s.Program)
+	h.Detectors(s.Detectors)
+	h.Input(s.Input)
+	h.Line("watchdog %d seed %d randomPerReg %d budget %d maxPoints %d",
 		s.watchdog(), s.Seed, s.randomPer(), s.budget(), s.MaxPoints)
-	return hex.EncodeToString(h.Sum(nil))
+	return h.Sum()
 }
 
 // Class discriminates mismatch kinds.

@@ -15,6 +15,7 @@ import (
 	"symplfied/internal/cluster"
 	"symplfied/internal/crossval"
 	"symplfied/internal/obs"
+	"symplfied/internal/summary"
 	"symplfied/internal/symexec"
 )
 
@@ -58,6 +59,11 @@ type CoordinatorConfig struct {
 	// Resume loads the journal before serving and marks journaled tasks
 	// done. Requires Checkpoint.
 	Resume bool
+	// SummaryCache, when non-nil, is served to workers over /summary/get
+	// and /summary/put so the fleet shares one content-addressed summary
+	// cache; a function analyzed by any worker is a hit for every other.
+	// Nil installs a default in-memory cache (the endpoints always serve).
+	SummaryCache *summary.Cache
 	// Now is the clock, injectable for tests (nil: time.Now).
 	Now func() time.Time
 }
@@ -92,6 +98,10 @@ type Coordinator struct {
 	// entries so the task indexing is uniform.
 	xspec  crossval.Spec
 	xtasks []cluster.PointTask
+
+	// summaries is the fleet-shared content-addressed summary cache (see
+	// CoordinatorConfig.SummaryCache). Never nil; has its own locking.
+	summaries *summary.Cache
 
 	mu       sync.Mutex
 	leases   map[int]lease
@@ -132,12 +142,16 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		width = 1
 	}
 	c := &Coordinator{
-		doc:      cfg.Doc,
-		leaseDur: cfg.Lease,
-		now:      cfg.Now,
-		leases:   make(map[int]lease),
-		workers:  make(map[string]*workerInfo),
-		doneCh:   make(chan struct{}),
+		doc:       cfg.Doc,
+		leaseDur:  cfg.Lease,
+		now:       cfg.Now,
+		leases:    make(map[int]lease),
+		workers:   make(map[string]*workerInfo),
+		doneCh:    make(chan struct{}),
+		summaries: cfg.SummaryCache,
+	}
+	if c.summaries == nil {
+		c.summaries = summary.NewCache(0, nil)
 	}
 	if cfg.Doc.Crossval {
 		xspec, err := cfg.Doc.BuildCrossval()
@@ -379,6 +393,27 @@ func (c *Coordinator) Complete(worker string, task int, res TaskResult) (Complet
 	return CompleteResponse{Accepted: true, Done: done}, nil
 }
 
+// SummaryGet looks up a function summary in the fleet-shared cache.
+func (c *Coordinator) SummaryGet(key string) SummaryGetResponse {
+	raw, ok := c.summaries.GetRaw(key)
+	if !ok {
+		return SummaryGetResponse{}
+	}
+	return SummaryGetResponse{Found: true, Value: raw}
+}
+
+// SummaryPut admits a worker-computed function summary into the
+// fleet-shared cache, reporting whether the value decoded as one. The keys
+// are content-addressed, so no fingerprint or ownership check is needed: a
+// well-formed value under its canonical key is correct for every consumer
+// that derives that key.
+func (c *Coordinator) SummaryPut(key string, value json.RawMessage) bool {
+	return c.summaries.PutRaw(key, value)
+}
+
+// SummaryCache exposes the fleet-shared cache (for tests and embedding).
+func (c *Coordinator) SummaryCache() *summary.Cache { return c.summaries }
+
 // Done is closed once every task has settled.
 func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
 
@@ -568,6 +603,24 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
+	})
+	mux.HandleFunc(PathSummaryGet, func(w http.ResponseWriter, r *http.Request) {
+		var req SummaryGetRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.SummaryGet(req.Key))
+	})
+	mux.HandleFunc(PathSummaryPut, func(w http.ResponseWriter, r *http.Request) {
+		var req SummaryPutRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if !c.SummaryPut(req.Key, req.Value) {
+			http.Error(w, "value does not decode as a function summary", http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Status())

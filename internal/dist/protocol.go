@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"encoding/json"
 	"time"
 
 	"symplfied/internal/checker"
@@ -19,14 +20,18 @@ import (
 //	POST /complete   CompleteRequest -> CompleteResponse
 //	GET  /status     -> StatusResponse   live fleet status
 //	GET  /report     -> MergedReport     pooled report so far
+//	POST /summary/get  SummaryGetRequest -> SummaryGetResponse
+//	POST /summary/put  SummaryPutRequest -> 204
 //	GET  /debug/vars -> expvar counters
 const (
-	PathSpec      = "/spec"
-	PathClaim     = "/claim"
-	PathHeartbeat = "/heartbeat"
-	PathComplete  = "/complete"
-	PathStatus    = "/status"
-	PathReport    = "/report"
+	PathSpec       = "/spec"
+	PathClaim      = "/claim"
+	PathHeartbeat  = "/heartbeat"
+	PathComplete   = "/complete"
+	PathStatus     = "/status"
+	PathReport     = "/report"
+	PathSummaryGet = "/summary/get"
+	PathSummaryPut = "/summary/put"
 )
 
 // SpecResponse hands a worker everything it needs to rebuild the campaign.
@@ -107,6 +112,29 @@ type CompleteResponse struct {
 	// hearing Done exits without claiming again: the coordinator may
 	// already be shutting down, and a post-completion claim would fail.
 	Done bool
+}
+
+// SummaryGetRequest looks up one function summary in the coordinator's
+// shared content-addressed cache. The key is canonical over the function's
+// body and detector lines (internal/summary), so a served value is correct
+// for any worker that derives the same key — no fingerprint check needed.
+type SummaryGetRequest struct {
+	Key string
+}
+
+// SummaryGetResponse answers a summary lookup. Value is the JSON-encoded
+// summary.FuncSummary when Found.
+type SummaryGetResponse struct {
+	Found bool
+	Value json.RawMessage `json:",omitempty"`
+}
+
+// SummaryPutRequest publishes a computed function summary to the
+// coordinator's shared cache. The coordinator validates the value decodes
+// before admitting it.
+type SummaryPutRequest struct {
+	Key   string
+	Value json.RawMessage
 }
 
 // WorkerStatus describes one worker the coordinator has heard from.

@@ -15,6 +15,7 @@ import (
 	"symplfied/internal/cluster"
 	"symplfied/internal/crossval"
 	"symplfied/internal/obs"
+	"symplfied/internal/summary"
 )
 
 // Worker-side live metrics on the shared obs registry, served by the
@@ -65,6 +66,16 @@ type WorkerConfig struct {
 	// one liveness analysis at startup and shares the representative memo
 	// across every task it leases.
 	PruneDead bool
+	// UseSummaries enables compositional fault summaries
+	// (checker.Spec.UseSummaries) on this worker. Per-node and operational
+	// like PruneDead: a summarized task result is identical to a plain one
+	// apart from the Summarized markers, so the fleet may mix. The node
+	// builds one summary set at startup and shares it across every task.
+	UseSummaries bool
+	// ShareSummaryCache backs the node's summary cache with the
+	// coordinator's /summary endpoints, so a function any worker analyzed
+	// is a cache hit fleet-wide. Implies UseSummaries.
+	ShareSummaryCache bool
 }
 
 // WorkerStats summarizes one worker's run.
@@ -138,6 +149,23 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 			// this node, shared by every task it leases.
 			spec.PruneDeadInjections = true
 			spec.EnsurePrune()
+		}
+		if cfg.UseSummaries || cfg.ShareSummaryCache {
+			// One summary set for the whole campaign on this node. With
+			// ShareSummaryCache the local LRU sits in front of the
+			// coordinator's fleet-wide cache: misses fall through to
+			// /summary/get, computed summaries publish via /summary/put.
+			// Content-addressed keys make the remote values trustworthy
+			// without any fingerprint handshake.
+			spec.UseSummaries = true
+			if cfg.ShareSummaryCache {
+				spec.SummaryCache = summary.NewCache(0, &httpSummaryStore{
+					ctx:    ctx,
+					client: client,
+					base:   cfg.Coordinator,
+				})
+			}
+			spec.EnsureSummaries()
 		}
 		spec.Parallelism = cfg.Parallelism
 		sweepTask = func(taskCtx context.Context, asg TaskAssignment) TaskResult {
@@ -307,6 +335,36 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
 		return "duplicate", resp.Done, nil
 	}
 	return "completed", resp.Done, nil
+}
+
+// httpSummaryStore adapts the coordinator's /summary endpoints to
+// summary.Store, making the coordinator the fleet-shared second level of a
+// worker's summary cache. Failures degrade, never block: an unreachable
+// coordinator turns Load into a miss (the worker recomputes locally) and
+// Save into a dropped publish.
+type httpSummaryStore struct {
+	ctx    context.Context
+	client *http.Client
+	base   string
+}
+
+func (s *httpSummaryStore) Load(key string) ([]byte, bool, error) {
+	var resp SummaryGetResponse
+	if err := postJSONTimeout(s.ctx, s.client, s.base+PathSummaryGet,
+		SummaryGetRequest{Key: key}, &resp, controlTimeout); err != nil {
+		return nil, false, nil // degrade to a miss
+	}
+	if !resp.Found {
+		return nil, false, nil
+	}
+	return resp.Value, true, nil
+}
+
+func (s *httpSummaryStore) Save(key string, value []byte) error {
+	// Best-effort publish; the cache layer already treats Save as advisory.
+	postJSONTimeout(s.ctx, s.client, s.base+PathSummaryPut,
+		SummaryPutRequest{Key: key, Value: value}, nil, controlTimeout)
+	return nil
 }
 
 // fetchSpec retrieves the campaign document, retrying briefly so a worker

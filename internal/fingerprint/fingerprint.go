@@ -1,0 +1,86 @@
+// Package fingerprint canonicalizes the spec components that identify a
+// campaign — the program text, the detector table, the input vector — into
+// one byte encoding shared by every hasher in the tree. The campaign journal
+// fingerprint (internal/campaign), the crossval spec fingerprint
+// (internal/crossval), and the summary-cache content keys (internal/summary)
+// all write these exact bytes, so a detector or program rendering change
+// cannot silently make a cached summary valid under one key scheme and stale
+// under another: there is only one scheme.
+//
+// The encoding is line-oriented: each component is rendered as
+// "<tag> <canonical string>\n" through the same fmt verbs the campaign
+// fingerprint has used since it was introduced, which keeps existing
+// checkpoint journals resumable.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// Hasher renders canonical spec components into an underlying writer.
+// New returns one backed by sha256 (for hex campaign fingerprints); NewInto
+// adapts any writer, letting callers feed the identical bytes into other
+// digests (the summary cache feeds a symbolic.Hash64).
+type Hasher struct {
+	w   io.Writer
+	sum hash.Hash
+}
+
+// New returns a sha256-backed Hasher; Sum yields the hex digest.
+func New() *Hasher {
+	h := sha256.New()
+	return &Hasher{w: h, sum: h}
+}
+
+// NewInto returns a Hasher writing the canonical bytes into w. Sum panics on
+// such a Hasher — the caller owns the digest.
+func NewInto(w io.Writer) *Hasher { return &Hasher{w: w} }
+
+// Program writes the canonical program component: the full assembly listing.
+func (h *Hasher) Program(p *isa.Program) {
+	fmt.Fprintf(h.w, "program\n%s\n", p.String())
+}
+
+// Detectors writes one canonical line per detector in table order. A nil
+// table contributes nothing, matching the historical encodings.
+func (h *Hasher) Detectors(t *detector.Table) {
+	if t == nil {
+		return
+	}
+	for _, d := range t.All() {
+		h.Detector(d)
+	}
+}
+
+// Detector writes the canonical line for a single detector.
+func (h *Hasher) Detector(d *detector.Detector) {
+	fmt.Fprintf(h.w, "det %s\n", d)
+}
+
+// Input writes the canonical input-vector component.
+func (h *Hasher) Input(in []int64) {
+	fmt.Fprintf(h.w, "input %v\n", in)
+}
+
+// Line writes one caller-specific component line: format is rendered with
+// args and a trailing newline is appended. Spec fields without a shared
+// canonical form (budgets, predicates, seeds) go through here.
+func (h *Hasher) Line(format string, args ...any) {
+	fmt.Fprintf(h.w, format+"\n", args...)
+}
+
+// Sum returns the hex digest of everything written so far. Only valid on a
+// Hasher from New.
+func (h *Hasher) Sum() string {
+	if h.sum == nil {
+		panic("fingerprint: Sum on a Hasher without its own digest (use New)")
+	}
+	return hex.EncodeToString(h.sum.Sum(nil))
+}

@@ -48,6 +48,14 @@ const (
 	MPrunedInjections = "symplfied_pruned_injections_total" // explorations elided by a liveness proof
 	MLintDiags        = "symplfied_lint_diagnostics_total"  // label severity: error|warning
 
+	// Compositional fault summaries (internal/summary) and summary-based
+	// injection elision (internal/checker).
+	MSummariesComputed    = "symplfied_summaries_computed_total"    // function summaries (re)computed
+	MSummaryCacheHits     = "symplfied_summary_cache_hits_total"    // summaries served from the cache
+	MSummariesComposed    = "symplfied_summaries_composed_total"    // call-site compositions applied
+	MSummariesInvalidated = "symplfied_summaries_invalidated_total" // evicted, corrupt or dropped entries
+	MSummarizedInjections = "symplfied_summarized_injections_total" // explorations elided by a summary proof
+
 	// Cluster / campaign harness.
 	MTasksTotal  = "symplfied_tasks_total" // gauge: campaign decomposition width
 	MTasksDone   = "symplfied_tasks_done"  // gauge: tasks (or injections) settled so far

@@ -1,0 +1,227 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"symplfied/internal/analysis"
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// CallSite is one jal instruction inside a function body. The call's
+// continuation — where the callee's `jr $31` resumes under the calling
+// convention — is PC+1.
+type CallSite struct {
+	// PC is the address of the jal.
+	PC int
+	// Callee is the entry pc the jal targets.
+	Callee int
+}
+
+// Func is one discovered function: the intra-procedural closure of an entry
+// point, where a jal edge continues at the call site's successor (the callee
+// is a separate function) and a `jr $31` is a function exit.
+type Func struct {
+	// Entry is the entry pc: a jal target, or 0 for the program entry.
+	Entry int
+	// Name is the first label at Entry, or "@pc" when the entry is unlabeled.
+	Name string
+	// Body lists the function's pcs in ascending order.
+	Body []int
+	// Exits lists the pcs of `jr $31` returns within Body.
+	Exits []int
+	// Calls lists the jal sites within Body in ascending pc order.
+	Calls []CallSite
+	// HasCall is true when Body contains a jal: the function overwrites $31
+	// and is assumed to restore it before returning (see Partition).
+	HasCall bool
+	// Opaque marks a function the discipline guards reject: it contains an
+	// indirect `jr` through a register other than $31, writes $31 with
+	// something other than a jal link or an `ld` restore, or jal-targets an
+	// invalid pc. Opaque functions get the maximal (fully conservative)
+	// summary: every entry taint may reach everything.
+	Opaque bool
+	// OpaqueReason says which guard fired, for diagnostics.
+	OpaqueReason string `json:",omitempty"`
+
+	member map[int]bool
+}
+
+// Contains reports whether pc belongs to the function body.
+func (f *Func) Contains(pc int) bool { return f.member[pc] }
+
+// Funcs is the function partition of a program: every jal target plus the
+// program entry, each with its intra-procedural body, exits and call sites.
+// Bodies may overlap (shared tails, fallthrough into another entry); every
+// analysis over the partition unions the verdicts of all containing
+// functions, which keeps overlap conservative rather than wrong.
+type Funcs struct {
+	Prog  *isa.Program
+	Dets  *detector.Table
+	Funcs []*Func // ascending entry order
+
+	byEntry map[int]int
+	callers map[int][]Caller // func index -> sites that call it
+}
+
+// Caller is one incoming call edge: the jal at PC inside function Index.
+type Caller struct {
+	Index int
+	PC    int
+}
+
+// ByEntry returns the function whose entry is pc.
+func (fs *Funcs) ByEntry(pc int) (*Func, bool) {
+	i, ok := fs.byEntry[pc]
+	if !ok {
+		return nil, false
+	}
+	return fs.Funcs[i], true
+}
+
+// Containing returns the indexes of every function whose body contains pc,
+// in ascending entry order.
+func (fs *Funcs) Containing(pc int) []int {
+	var out []int
+	for i, f := range fs.Funcs {
+		if f.Contains(pc) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Callers returns the call edges into the function at index i.
+func (fs *Funcs) Callers(i int) []Caller { return fs.callers[i] }
+
+// IntraSuccs returns pc's successors within the function partition: the
+// instruction-level CFG successors, except that a jal continues at pc+1 (the
+// callee is summarized, not entered) and a `jr $31` is an exit with no
+// successors. The returned slice aliases buf when it has capacity.
+func (fs *Funcs) IntraSuccs(pc int, buf []int) []int {
+	in := fs.Prog.At(pc)
+	switch in.Op {
+	case isa.OpJal:
+		if pc+1 < fs.Prog.Len() {
+			return append(buf[:0], pc+1)
+		}
+		return buf[:0]
+	case isa.OpJr:
+		return buf[:0]
+	}
+	succs, _ := analysis.SuccsOf(fs.Prog, fs.Dets, pc, buf)
+	return succs
+}
+
+// Partition discovers the functions of prog: entries are pc 0 plus every jal
+// target, bodies are the intra-procedural closures over IntraSuccs, exits
+// are `jr $31` instructions, and call sites are jal instructions.
+//
+// Soundness posture: composition over this partition assumes the calling
+// convention every program in this tree follows — functions are entered by
+// jal, return through `jr $31`, and a function that itself calls restores
+// $31 from its stack save (an `ld` into $31) before returning. Shapes that
+// detectably break the convention (indirect jr, ad-hoc writes to $31) mark
+// the function Opaque, which degrades it to the maximal summary instead of
+// an unsound one; the residual assumption (a restored $31 really is the
+// saved link) is discharged dynamically by the checker, which explores one
+// real representative per summarized site and re-explores every reuse under
+// SYMPLFIED_CHECK_SUMMARIES=1.
+func Partition(prog *isa.Program, dets *detector.Table) *Funcs {
+	if dets == nil {
+		dets = detector.EmptyTable()
+	}
+	fs := &Funcs{
+		Prog:    prog,
+		Dets:    dets,
+		byEntry: make(map[int]int),
+		callers: make(map[int][]Caller),
+	}
+	entrySet := map[int]bool{0: true}
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		if in.Op == isa.OpJal && prog.ValidPC(in.Target) {
+			entrySet[in.Target] = true
+		}
+	}
+	if prog.Len() == 0 {
+		return fs
+	}
+	entries := make([]int, 0, len(entrySet))
+	for e := range entrySet {
+		entries = append(entries, e)
+	}
+	sort.Ints(entries)
+	for i, e := range entries {
+		fs.byEntry[e] = i
+		fs.Funcs = append(fs.Funcs, discover(prog, fs, e))
+	}
+	for i, f := range fs.Funcs {
+		for _, cs := range f.Calls {
+			if j, ok := fs.byEntry[cs.Callee]; ok {
+				fs.callers[j] = append(fs.callers[j], Caller{Index: i, PC: cs.PC})
+			}
+		}
+	}
+	return fs
+}
+
+// discover computes one function's body by BFS over IntraSuccs from entry.
+func discover(prog *isa.Program, fs *Funcs, entry int) *Func {
+	f := &Func{Entry: entry, member: make(map[int]bool)}
+	if labels := prog.LabelsAt(entry); len(labels) > 0 {
+		f.Name = labels[0]
+	} else {
+		f.Name = fmt.Sprintf("@%d", entry)
+	}
+	work := []int{entry}
+	f.member[entry] = true
+	var buf [4]int
+	for len(work) > 0 {
+		pc := work[0]
+		work = work[1:]
+		f.Body = append(f.Body, pc)
+		in := prog.At(pc)
+		switch in.Op {
+		case isa.OpJr:
+			if in.Rs == isa.RegRA {
+				f.Exits = append(f.Exits, pc)
+			} else {
+				f.markOpaque(fmt.Sprintf("indirect jr through %s at @%d", in.Rs, pc))
+			}
+		case isa.OpJal:
+			f.HasCall = true
+			if prog.ValidPC(in.Target) {
+				f.Calls = append(f.Calls, CallSite{PC: pc, Callee: in.Target})
+			} else {
+				f.markOpaque(fmt.Sprintf("jal to invalid pc %d at @%d", in.Target, pc))
+			}
+		default:
+			// $31 may only be written by a jal link or an ld restore; any
+			// other write breaks the return discipline composition relies on.
+			for _, dst := range in.DstRegs() {
+				if dst == isa.RegRA && in.Op != isa.OpLd {
+					f.markOpaque(fmt.Sprintf("%s writes $31 at @%d", in.Op, pc))
+				}
+			}
+		}
+		for _, s := range fs.IntraSuccs(pc, buf[:0]) {
+			if !f.member[s] {
+				f.member[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	sort.Ints(f.Body)
+	sort.Ints(f.Exits)
+	sort.Slice(f.Calls, func(i, j int) bool { return f.Calls[i].PC < f.Calls[j].PC })
+	return f
+}
+
+func (f *Func) markOpaque(reason string) {
+	if !f.Opaque {
+		f.Opaque = true
+		f.OpaqueReason = reason
+	}
+}

@@ -1,0 +1,243 @@
+package symplfied_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/query"
+	"symplfied/internal/summary"
+)
+
+// TestSummarySmokeTCAS is the compositional-summary acceptance gate, run
+// with the SYMPLFIED_CHECK_SUMMARIES assertion armed throughout (every
+// reused summarized report is re-explored and compared):
+//
+//  1. cold: a summarized tcas sweep over a disk-backed cache computes a
+//     summary for every discovered function and hits nothing;
+//  2. warm: an unchanged re-run over a fresh cache on the same directory
+//     hits the cache for every function and computes nothing, and its
+//     report is byte-identical to a plain (unsummarized) sweep's apart
+//     from the Summarized markers;
+//  3. incremental: after an in-place one-instruction mutation inside one
+//     function, only that function and its transitive callers are
+//     re-analyzed — every other function is a cache hit — and the
+//     findings are byte-identical to a from-scratch sweep of the mutated
+//     program.
+//
+// Set SUMMARY_CACHE_STATS to a path to dump the cache statistics as JSON
+// (the CI summary-smoke job uploads it as an artifact).
+func TestSummarySmokeTCAS(t *testing.T) {
+	prog := tcas.Program()
+	input := tcas.UpwardInput().Slice()
+	defer checker.SetCheckSummaries(true)()
+
+	limit := 120
+	if testing.Short() {
+		limit = 40
+	}
+	baseSpec := func(prog *isa.Program) checker.Spec {
+		t.Helper()
+		q := query.Query{Class: faults.ClassRegister, Goal: query.GoalErrOutput}
+		spec, err := q.Build(prog, nil, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.StateBudget = 2_000
+		spec.DiscardStates = true
+		// Sweep a deterministic sample of the exhaustive register space
+		// (every register at every pc, not just activated reads): that is
+		// the campaign where benign elision matters, and the sample spans
+		// every function so the incremental assertions exercise real reuse.
+		all := faults.RegisterInjections(prog, false)
+		step := len(all)/limit + 1
+		spec.Injections = spec.Injections[:0]
+		for i := 0; i < len(all); i += step {
+			spec.Injections = append(spec.Injections, all[i])
+		}
+		return spec
+	}
+	sweep := func(spec checker.Spec) *checker.Report {
+		t.Helper()
+		rep, err := checker.RunCtx(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// comparable strips the spec (it carries the predicate closure) and the
+	// Summarized markers — the one legitimate difference between a
+	// summarized report and a plain one.
+	comparable := func(rep *checker.Report) string {
+		t.Helper()
+		cp := *rep
+		cp.Spec = nil
+		cp.PerInjection = append([]checker.InjectionReport(nil), rep.PerInjection...)
+		for i := range cp.PerInjection {
+			cp.PerInjection[i].Summarized = false
+		}
+		cp.SummarizedInjections = 0
+		b, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	dir := t.TempDir()
+	openCache := func() *summary.Cache {
+		t.Helper()
+		store, err := summary.OpenDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		return summary.NewCache(0, store)
+	}
+
+	// Plain from-scratch sweep: the reference verdicts.
+	plain := sweep(baseSpec(prog))
+
+	// Cold summarized sweep: every function computed, nothing hit.
+	coldSpec := baseSpec(prog)
+	coldSpec.UseSummaries = true
+	coldSpec.SummaryCache = openCache()
+	coldCtx := coldSpec.EnsureSummaries()
+	cold := sweep(coldSpec)
+	coldStats := coldCtx.BuildStats()
+	if len(coldStats.Hits) != 0 {
+		t.Errorf("cold build hit the cache for %v; want none", coldStats.Hits)
+	}
+	if len(coldStats.Computed) != coldStats.Functions {
+		t.Errorf("cold build computed %d of %d functions", len(coldStats.Computed), coldStats.Functions)
+	}
+	if got, want := comparable(cold), comparable(plain); got != want {
+		t.Errorf("cold summarized report diverges from plain report:\nplain:      %s\nsummarized: %s", want, got)
+	}
+	if cold.SummarizedInjections == 0 {
+		t.Error("cold summarized sweep elided nothing on tcas")
+	}
+
+	// Warm re-run over a fresh cache on the same directory: all hits.
+	warmSpec := baseSpec(prog)
+	warmSpec.UseSummaries = true
+	warmSpec.SummaryCache = openCache()
+	warmCtx := warmSpec.EnsureSummaries()
+	warm := sweep(warmSpec)
+	warmStats := warmCtx.BuildStats()
+	if len(warmStats.Computed) != 0 {
+		t.Errorf("warm build recomputed %v; want pure cache hits", warmStats.Computed)
+	}
+	if len(warmStats.Hits) != warmStats.Functions {
+		t.Errorf("warm build hit %d of %d functions", len(warmStats.Hits), warmStats.Functions)
+	}
+	if got, want := comparable(warm), comparable(plain); got != want {
+		t.Errorf("warm summarized report diverges from plain report")
+	}
+
+	// In-place mutation: bump one immediate inside one function that has
+	// callers, preserving every pc. Only that function and its transitive
+	// callers may re-analyze.
+	fs := warmCtx.Set().Funcs
+	target, targetPC := -1, -1
+	for i, f := range fs.Funcs {
+		if f.Entry == 0 || f.Opaque || len(fs.Callers(i)) == 0 {
+			continue
+		}
+		for _, pc := range f.Body {
+			if op := prog.At(pc).Op; op == isa.OpAddi || op == isa.OpLi {
+				target, targetPC = i, pc
+				break
+			}
+		}
+		if target >= 0 {
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no mutable called function found in tcas")
+	}
+	instrs := append([]isa.Instr(nil), prog.Instrs...)
+	instrs[targetPC].Imm++
+	mutated, err := isa.NewProgram(prog.Name, instrs, prog.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected recompute set: the mutated function plus its transitive
+	// callers, by name, from the unmutated call graph (the partition is
+	// pc-identical after an in-place mutation).
+	want := map[string]bool{}
+	var mark func(i int)
+	mark = func(i int) {
+		if want[fs.Funcs[i].Name] {
+			return
+		}
+		want[fs.Funcs[i].Name] = true
+		for _, c := range fs.Callers(i) {
+			mark(c.Index)
+		}
+	}
+	mark(target)
+
+	mutSpec := baseSpec(mutated)
+	mutSpec.UseSummaries = true
+	mutSpec.SummaryCache = openCache()
+	mutCtx := mutSpec.EnsureSummaries()
+	mut := sweep(mutSpec)
+	mutStats := mutCtx.BuildStats()
+	got := map[string]bool{}
+	for _, n := range mutStats.Computed {
+		got[n] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("mutated build recomputed %v, want exactly %v (function %s + transitive callers)",
+			mutStats.Computed, keys(want), fs.Funcs[target].Name)
+	} else {
+		for n := range want {
+			if !got[n] {
+				t.Errorf("mutated build did not recompute %s (recomputed %v)", n, mutStats.Computed)
+			}
+		}
+	}
+	if len(mutStats.Hits) != mutStats.Functions-len(want) {
+		t.Errorf("mutated build hit %d functions, want %d (all but the invalidated %d)",
+			len(mutStats.Hits), mutStats.Functions-len(want), len(want))
+	}
+
+	// The mutated warm sweep must agree byte-for-byte with a from-scratch
+	// plain sweep of the mutated program.
+	mutPlain := sweep(baseSpec(mutated))
+	if got, want := comparable(mut), comparable(mutPlain); got != want {
+		t.Errorf("mutated summarized report diverges from its from-scratch report")
+	}
+
+	if path := os.Getenv("SUMMARY_CACHE_STATS"); path != "" {
+		artifact := struct {
+			Cold, Warm, Mutated  summary.BuildStats
+			MutatedFunction      string
+			Injections           int
+			SummarizedInjections int
+		}{coldStats, warmStats, mutStats, fs.Funcs[target].Name, len(coldSpec.Injections), cold.SummarizedInjections}
+		b, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("cache stats written to %s", path)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -55,6 +55,7 @@ import (
 	"symplfied/internal/mips"
 	"symplfied/internal/query"
 	"symplfied/internal/simplescalar"
+	"symplfied/internal/summary"
 	"symplfied/internal/symexec"
 )
 
@@ -261,6 +262,22 @@ type SearchSpec struct {
 	// internal/analysis, and SYMPLFIED_CHECK_PRUNING to audit the proof on
 	// a live run.
 	PruneDeadInjections bool
+	// UseSummaries elides explorations a compositional fault summary proves
+	// benign: per-function taint summaries, composed across call sites and
+	// return continuations, show the injected err reaches no output, no
+	// detector read, and no control decision (each such report is marked
+	// Summarized). A strictly larger benign class than PruneDeadInjections
+	// — taint may die later, or in a callee — at the cost of the
+	// calling-convention assumption documented on summary.Partition.
+	// Operational like Parallelism: excluded from the campaign fingerprint.
+	// See internal/summary, and SYMPLFIED_CHECK_SUMMARIES to audit the
+	// proof on a live run.
+	UseSummaries bool
+	// SummaryCache, when non-nil with UseSummaries, caches per-function
+	// summaries under content-addressed keys so re-analysis after an edit
+	// recomputes only the changed functions and their transitive callers.
+	// Back it with OpenSummaryDiskStore to persist across processes.
+	SummaryCache *SummaryCache
 }
 
 func (s SearchSpec) build() (checker.Spec, error) {
@@ -289,6 +306,8 @@ func (s SearchSpec) build() (checker.Spec, error) {
 	spec.Parallelism = s.Parallelism
 	spec.DiscardStates = s.DiscardStates
 	spec.PruneDeadInjections = s.PruneDeadInjections
+	spec.UseSummaries = s.UseSummaries
+	spec.SummaryCache = s.SummaryCache
 	return spec, nil
 }
 
@@ -372,6 +391,13 @@ type StudyConfig struct {
 	// is reused across task boundaries. Task reports and the pooled summary
 	// are identical to the unpruned study's apart from the Pruned markers.
 	PruneDeadInjections bool
+	// UseSummaries enables SearchSpec.UseSummaries for the whole study: one
+	// shared summary set and representative memo span every task, so a
+	// benign site's exploration is reused across task boundaries.
+	UseSummaries bool
+	// SummaryCache backs the study's summary build (see
+	// SearchSpec.SummaryCache).
+	SummaryCache *SummaryCache
 }
 
 // Study is StudyCtx with an un-cancellable context.
@@ -401,6 +427,12 @@ func StudyCtx(ctx context.Context, s SearchSpec, cfg StudyConfig) ([]TaskReport,
 	if cfg.PruneDeadInjections {
 		spec.PruneDeadInjections = true
 	}
+	if cfg.UseSummaries {
+		spec.UseSummaries = true
+	}
+	if cfg.SummaryCache != nil {
+		spec.SummaryCache = cfg.SummaryCache
+	}
 	budget := cfg.TaskStateBudget
 	if budget == 0 {
 		budget = cfg.Limits.StateBudget
@@ -416,6 +448,30 @@ func StudyCtx(ctx context.Context, s SearchSpec, cfg StudyConfig) ([]TaskReport,
 		MaxFindingsPerTask: findings,
 	})
 	return reports, cluster.Summarize(reports), nil
+}
+
+// SummaryCache is the content-addressed LRU cache of per-function fault
+// summaries (see internal/summary). A cache is safe for concurrent use and
+// may be shared across searches, studies, and campaign resumes; keys are
+// canonical hashes of function bodies plus the detector lines they check,
+// so entries for edited code become unreachable rather than stale.
+type SummaryCache = summary.Cache
+
+// SummaryStore is the persistence interface behind a SummaryCache.
+type SummaryStore = summary.Store
+
+// NewSummaryCache builds a summary cache bounded to capacity entries
+// (0: a default), optionally backed by a store (nil: memory only).
+func NewSummaryCache(capacity int, store SummaryStore) *SummaryCache {
+	return summary.NewCache(capacity, store)
+}
+
+// OpenSummaryDiskStore opens (creating if needed) an append-only JSONL
+// summary store under dir, giving SummaryCache persistence across
+// processes: a warm re-analysis after an edit recomputes only the changed
+// functions and their transitive callers.
+func OpenSummaryDiskStore(dir string) (*summary.DiskStore, error) {
+	return summary.OpenDiskStore(dir)
 }
 
 // SearchGraph is the explored search graph of one injection (paper
