@@ -388,6 +388,45 @@ func BenchmarkParallelSweepSequential(b *testing.B) { benchParallelSweep(b, 1) }
 // BenchmarkParallelSweepAllCores fans the same sweep across every core.
 func BenchmarkParallelSweepAllCores(b *testing.B) { benchParallelSweep(b, 0) }
 
+// benchMergedSweep runs the full tcas register sweep with a budget high
+// enough that every injection completes, merged or plain, so states/op
+// compares total exploration work rather than where two searches truncate.
+// findings/op must not move between the two variants — post-dominator
+// merging and cycle acceleration change only how many physical state
+// observations the identical verdicts cost (EXPERIMENTS.md E12).
+func benchMergedSweep(b *testing.B, merge bool) {
+	b.Helper()
+	prog := tcas.Program()
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 4000
+	spec := checker.Spec{
+		Program:     prog,
+		Input:       tcas.UpwardInput().Slice(),
+		Injections:  faults.RegisterInjectionsUsed(prog),
+		Exec:        exec,
+		Predicate:   checker.HaltedOutputOtherThan(1),
+		StateBudget: 150_000,
+		MergeStates: merge,
+	}
+	states, findings := 0, 0
+	for i := 0; i < b.N; i++ {
+		rep, err := checker.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = rep.TotalStates
+		findings = len(rep.Findings)
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(findings), "findings/op")
+}
+
+// BenchmarkMergedSweepOff is the plain-exploration baseline for E12.
+func BenchmarkMergedSweepOff(b *testing.B) { benchMergedSweep(b, false) }
+
+// BenchmarkMergedSweep explores the same sweep with MergeStates on.
+func BenchmarkMergedSweep(b *testing.B) { benchMergedSweep(b, true) }
+
 // benchSummaryBuild measures building the tcas function-summary set
 // (partition, SCC keys, per-function taint fixpoints, continuation
 // fixpoint) against a cache: nil for the cold path, a pre-warmed cache for

@@ -75,6 +75,7 @@ func run(ctx context.Context, args []string) error {
 		pruneDead = fs.Bool("prune-dead", false, "elide explorations of register injections a liveness proof shows benign (verdicts unchanged; see SYMPLFIED_CHECK_PRUNING)")
 		summaries = fs.Bool("summaries", false, "elide explorations compositional per-function fault summaries prove benign (verdicts unchanged; see SYMPLFIED_CHECK_SUMMARIES)")
 		sumCache  = fs.String("summary-cache", "", "persist content-addressed function summaries in this directory, so re-analysis after an edit recomputes only changed functions (implies -summaries)")
+		merge     = fs.Bool("merge", false, "merge states rejoining at post-dominators and fast-forward watchdog-bound loops (verdicts unchanged, fewer states; see SYMPLFIED_CHECK_MERGING)")
 		app       = fs.String("app", "", "built-in application: factorial | factorial-detectors | tcas | replace")
 		isMIPS    = fs.Bool("mips", false, "treat -file as MIPS-dialect assembly")
 		input     = fs.String("input", "", "comma-separated input stream (default: the app's canonical input)")
@@ -243,6 +244,7 @@ func run(ctx context.Context, args []string) error {
 		PruneDeadInjections: *pruneDead,
 		UseSummaries:        useSummaries,
 		SummaryCache:        summaryCache,
+		MergeStates:         *merge,
 	}
 
 	var found []symplfied.Finding
@@ -256,6 +258,7 @@ func run(ctx context.Context, args []string) error {
 			PruneDeadInjections: *pruneDead,
 			UseSummaries:        useSummaries,
 			SummaryCache:        summaryCache,
+			MergeStates:         *merge,
 		})
 		if err != nil {
 			return err
@@ -356,6 +359,17 @@ type funcInfo struct {
 	Key          string
 }
 
+// blockInfo is the -analyze rendering of one basic block: its extent, its
+// successors, and where its diverged paths rejoin (the immediate
+// post-dominator pc, -1 for the virtual exit).
+type blockInfo struct {
+	Start, End int
+	Succs      []int `json:",omitempty"`
+	Dynamic    bool  `json:",omitempty"`
+	IPostDom   int
+	MergePoint bool `json:",omitempty"`
+}
+
 // runAnalyze is the -analyze mode: CFG + liveness + detector-coverage lint
 // (internal/analysis) over the loaded program, plus the function partition
 // with summary cache keys (internal/summary), printed human-readably or as
@@ -365,6 +379,22 @@ type funcInfo struct {
 func runAnalyze(w io.Writer, unit *symplfied.Unit, jsonOut bool) error {
 	diags := analysis.Lint(unit.Program, unit.Detectors)
 	errs, warns := analysis.Summary(diags)
+	a := analysis.Analyze(unit.Program, unit.Detectors)
+	blocks := make([]blockInfo, len(a.CFG.Blocks))
+	for bi, b := range a.CFG.Blocks {
+		ip := -1
+		if a.PostDom.IPDom[bi] >= 0 {
+			ip = a.CFG.Blocks[a.PostDom.IPDom[bi]].Start
+		}
+		blocks[bi] = blockInfo{
+			Start:      b.Start,
+			End:        b.End,
+			Succs:      b.Succs,
+			Dynamic:    b.DynamicSucc,
+			IPostDom:   ip,
+			MergePoint: a.PostDom.MergeBlock[bi],
+		}
+	}
 	reg := obs.Default()
 	reg.Counter(obs.MLintDiags, obs.L("severity", "error")).Add(int64(errs))
 	reg.Counter(obs.MLintDiags, obs.L("severity", "warning")).Add(int64(warns))
@@ -396,7 +426,8 @@ func runAnalyze(w io.Writer, unit *symplfied.Unit, jsonOut bool) error {
 			Warnings    int
 			Diagnostics []analysis.Diag
 			Functions   []funcInfo
-		}{unit.Program.Name, errs, warns, diags, funcs}); err != nil {
+			Blocks      []blockInfo
+		}{unit.Program.Name, errs, warns, diags, funcs, blocks}); err != nil {
 			return err
 		}
 	} else {
@@ -411,6 +442,22 @@ func runAnalyze(w io.Writer, unit *symplfied.Unit, jsonOut bool) error {
 				f.Name, f.Entry, f.Size, len(f.Exits), len(f.Calls), f.Key)
 			if f.Opaque {
 				fmt.Fprintf(w, " (opaque: %s)", f.OpaqueReason)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s: %d basic blocks\n", unit.Program.Name, len(blocks))
+		for bi, b := range blocks {
+			ipdom := "exit"
+			if b.IPostDom >= 0 {
+				ipdom = fmt.Sprintf("@%d", b.IPostDom)
+			}
+			succs := fmt.Sprint(b.Succs)
+			if b.Dynamic {
+				succs = "dynamic"
+			}
+			fmt.Fprintf(w, "  block %d [%d,%d) succs=%s ipdom=%s", bi, b.Start, b.End, succs, ipdom)
+			if b.MergePoint {
+				fmt.Fprint(w, " merge-point")
 			}
 			fmt.Fprintln(w)
 		}

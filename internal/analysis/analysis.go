@@ -89,6 +89,10 @@ type Analysis struct {
 	// CFG is the control-flow graph (basic blocks + per-PC successors).
 	CFG *CFG
 
+	// PostDom is the post-dominator tree over CFG blocks, with the merge
+	// points (rejoin pcs of branching blocks) state merging defers at.
+	PostDom *PostDom
+
 	// LiveIn[pc] is the set of registers live just before the instruction at
 	// pc executes — exactly the set a register injection at pc can influence.
 	// LiveOut[pc] is the set live after it.
@@ -110,6 +114,7 @@ func Analyze(prog *isa.Program, dets *detector.Table) *Analysis {
 	}
 	a := &Analysis{Prog: prog, Detectors: dets}
 	a.CFG = buildCFG(prog, dets)
+	a.PostDom = computePostDom(a.CFG)
 	a.computeLiveness()
 	a.computeNeverWritten()
 	return a

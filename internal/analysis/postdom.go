@@ -1,0 +1,171 @@
+package analysis
+
+// Post-dominance over the block CFG. A block P post-dominates a block B when
+// every path from B to program exit passes through P. The immediate
+// post-dominator of a branching block is where its diverged paths provably
+// rejoin, which is exactly where the checker's state merging
+// (checker.Spec.MergeStates) tries to fuse forked symbolic states back into
+// one: the disjuncts have run out of reasons to differ in control flow.
+//
+// The computation is conservative with respect to the machine semantics:
+//
+//   - all terminal blocks (halt, throw, running off the end) share one
+//     virtual exit node;
+//   - a jr block's successors are every block plus the virtual exit (an
+//     out-of-range target is a terminal exception), so a jr block is
+//     usually post-dominated only by itself;
+//   - mid-block exceptional exits (division by zero, undefined loads) are
+//     ignored, as is convention for block-level post-dominance. Merging
+//     does not rely on post-dominance for soundness — states are fused only
+//     after an exact configuration comparison — so this only shapes where
+//     the checker looks for merge partners.
+
+// PostDom holds the post-dominator tree of a CFG and the derived merge
+// points used by state merging.
+type PostDom struct {
+	// IPDom[bi] is the immediate post-dominator of block bi as a block
+	// index, or -1 when the block is post-dominated only by the virtual
+	// exit (terminal blocks, jr blocks, and the last block on every path).
+	IPDom []int
+	// MergeBlock[bi] reports that block bi is the immediate post-dominator
+	// of at least one multi-successor block: forked paths rejoin at its
+	// first instruction.
+	MergeBlock []bool
+
+	mergePC []bool // per pc: pc is the first instruction of a merge block
+}
+
+// computePostDom builds the post-dominator tree for g using the standard
+// iterative set intersection over the reverse graph with a virtual exit.
+// Programs are small (hundreds of blocks), so bitset fixpoint iteration is
+// simpler and fast enough.
+func computePostDom(g *CFG) *PostDom {
+	m := len(g.Blocks)
+	pd := &PostDom{
+		IPDom:      make([]int, m),
+		MergeBlock: make([]bool, m),
+		mergePC:    make([]bool, g.Prog.Len()),
+	}
+	if m == 0 {
+		return pd
+	}
+
+	// Successor sets over block indices 0..m-1 plus the virtual exit m.
+	exit := m
+	succs := make([][]int, m)
+	for bi, b := range g.Blocks {
+		switch {
+		case b.DynamicSucc:
+			// jr: any block, or a terminal exception on a bad target.
+			all := make([]int, 0, m+1)
+			for j := 0; j < m; j++ {
+				all = append(all, j)
+			}
+			succs[bi] = append(all, exit)
+		case len(b.Succs) == 0:
+			succs[bi] = []int{exit}
+		default:
+			succs[bi] = b.Succs
+		}
+	}
+
+	// pdom as bitsets over m+1 nodes. Initialize every real block to the
+	// full set and the exit to itself, then intersect to a fixpoint.
+	words := (m + 1 + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i <= m; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	pdom := make([][]uint64, m+1)
+	for i := 0; i < m; i++ {
+		pdom[i] = append([]uint64(nil), full...)
+	}
+	pdom[exit] = make([]uint64, words)
+	pdom[exit][exit/64] |= 1 << (exit % 64)
+
+	tmp := make([]uint64, words)
+	for changed := true; changed; {
+		changed = false
+		for bi := m - 1; bi >= 0; bi-- {
+			copy(tmp, full)
+			for _, s := range succs[bi] {
+				if s == bi {
+					continue // self-loop contributes nothing to the meet
+				}
+				for w := range tmp {
+					tmp[w] &= pdom[s][w]
+				}
+			}
+			tmp[bi/64] |= 1 << (bi % 64)
+			for w := range tmp {
+				if tmp[w] != pdom[bi][w] {
+					pdom[bi] = append(pdom[bi][:0], tmp...)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	has := func(set []uint64, i int) bool { return set[i/64]&(1<<(i%64)) != 0 }
+
+	// Immediate post-dominator: the strict post-dominator x of b such that
+	// every other strict post-dominator of b also post-dominates x.
+	for bi := 0; bi < m; bi++ {
+		pd.IPDom[bi] = -1
+		var strict []int
+		for j := 0; j < m; j++ {
+			if j != bi && has(pdom[bi], j) {
+				strict = append(strict, j)
+			}
+		}
+		for _, x := range strict {
+			ok := true
+			for _, q := range strict {
+				if q != x && !has(pdom[x], q) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pd.IPDom[bi] = x
+				break
+			}
+		}
+	}
+
+	// Merge points: the immediate post-dominator of any block with two or
+	// more ways out (static branches or a dynamic jr fan-out).
+	for bi, b := range g.Blocks {
+		if len(b.Succs) < 2 && !b.DynamicSucc {
+			continue
+		}
+		if j := pd.IPDom[bi]; j >= 0 {
+			pd.MergeBlock[j] = true
+			pd.mergePC[g.Blocks[j].Start] = true
+		}
+	}
+	return pd
+}
+
+// MergePoint reports whether pc is the first instruction of a block where
+// diverged paths provably rejoin (an immediate post-dominator of a branching
+// block). The checker defers states arriving here so skeleton-equal siblings
+// can be fused.
+func (p *PostDom) MergePoint(pc int) bool {
+	return p != nil && pc >= 0 && pc < len(p.mergePC) && p.mergePC[pc]
+}
+
+// IPostDomPC returns the pc of the first instruction of the immediate
+// post-dominator of pc's block, or -1 when the block is post-dominated only
+// by the virtual exit. cfg must be the CFG the PostDom was computed from.
+func (p *PostDom) IPostDomPC(cfg *CFG, pc int) int {
+	if p == nil || pc < 0 || pc >= len(cfg.BlockOf) {
+		return -1
+	}
+	bi := cfg.BlockOf[pc]
+	if bi < 0 || bi >= len(p.IPDom) || p.IPDom[bi] < 0 {
+		return -1
+	}
+	return cfg.Blocks[p.IPDom[bi]].Start
+}

@@ -31,6 +31,7 @@ import (
 	"symplfied/internal/machine"
 	"symplfied/internal/obs"
 	"symplfied/internal/summary"
+	"symplfied/internal/symbolic"
 	"symplfied/internal/symexec"
 	"symplfied/internal/trace"
 )
@@ -43,9 +44,11 @@ var (
 	liveStates      = obs.Default().Counter(obs.MStates)
 	liveFindings    = obs.Default().Counter(obs.MFindings)
 	liveFrontier    = obs.Default().Gauge(obs.MFrontier)
-	liveInjections  = obs.Default().Counter(obs.MInjections)
-	liveInjTimeouts = obs.Default().Counter(obs.MInjTimeouts)
-	liveInjPanics   = obs.Default().Counter(obs.MInjPanics)
+	liveInjections   = obs.Default().Counter(obs.MInjections)
+	liveInjTimeouts  = obs.Default().Counter(obs.MInjTimeouts)
+	liveInjPanics    = obs.Default().Counter(obs.MInjPanics)
+	liveInternHits   = obs.Default().Gauge(obs.MInternHits)
+	liveInternMisses = obs.Default().Gauge(obs.MInternMisses)
 )
 
 // DefaultStateBudget bounds the states explored per injection when the spec
@@ -157,6 +160,25 @@ type Spec struct {
 	// memo for a summarized sweep, populated by RunCtx (or EnsureSummaries)
 	// when UseSummaries is set. Never serialized.
 	Summaries *SummaryContext `json:"-"`
+	// MergeStates turns on post-dominator state merging (the program-level
+	// analogue of veritesting's static merging): symbolic states that rejoin
+	// at a control-flow merge point (internal/analysis post-dominators) with
+	// identical concrete skeletons are fused into one representative carrying
+	// the sibling worlds' constraint stores as a disjunction, the instructions
+	// that cannot distinguish the worlds are executed once for all of them,
+	// and deterministic event-free cycles are fast-forwarded to the watchdog.
+	// Verdicts, terminal tallies and findings are unchanged (see MergeContext);
+	// StatesExplored counts physical state observations, so merged reports
+	// show the savings directly. Set SYMPLFIED_CHECK_MERGING to re-explore
+	// every merged injection unmerged and panic on any drift. Like
+	// PruneDeadInjections, this is an operational knob excluded from the
+	// campaign fingerprint.
+	MergeStates bool
+	// Merge carries the shared control-flow analysis for a merged sweep.
+	// RunCtx populates it when MergeStates is set; drivers fanning spec copies
+	// across pools install one MergeContext so the analysis is shared. Never
+	// serialized.
+	Merge *MergeContext `json:"-"`
 }
 
 // Finding is a terminal state matching the predicate, with provenance. The
@@ -264,6 +286,13 @@ type InjectionReport struct {
 	// the elided exploration — and the elided work shows up only in the live
 	// symplfied_summarized_injections_total counter.
 	Summarized bool `json:",omitempty"`
+	// Merged is true when the merged explorer (Spec.MergeStates) swept this
+	// injection. Verdict-bearing fields (Activated, TerminalStates, Outcomes,
+	// Findings, Truncated) match the unmerged exploration; StatesExplored and
+	// the Exec tallies reflect the physical work actually done, which is the
+	// point of merging. The marker is the one legitimate report difference
+	// between a merged and an unmerged sweep of a completing search.
+	Merged bool `json:",omitempty"`
 	// Exec tallies how the exploration spent its budget (forks by kind,
 	// solver prunes, dedup hits, frontier/depth high-water marks). The
 	// tally is deterministic — derived from the search order, never the
@@ -305,6 +334,9 @@ type Report struct {
 	// compositional summary proof (Spec.UseSummaries) instead of a fresh
 	// exploration.
 	SummarizedInjections int
+	// MergedInjections counts injections swept by the merged explorer
+	// (Spec.MergeStates).
+	MergedInjections int
 	// Exec is the merged per-injection exploration tally (Add folds each
 	// InjectionReport.Exec in; counters sum, high-water marks take the max).
 	Exec obs.ExecStats
@@ -353,6 +385,9 @@ func (r *Report) Add(ir InjectionReport) {
 	}
 	if ir.Summarized {
 		r.SummarizedInjections++
+	}
+	if ir.Merged {
+		r.MergedInjections++
 	}
 	r.Exec.Merge(ir.Exec)
 }
@@ -427,11 +462,12 @@ func RunCtx(ctx context.Context, spec Spec) (*Report, error) {
 	if spec.Predicate.Match == nil {
 		return nil, fmt.Errorf("checker: nil predicate")
 	}
-	// Resolve the pruning and summary contexts once so every injection in
-	// the sweep — sequential or parallel — shares one analysis, one summary
+	// Resolve the pruning, summary and merge contexts once so every injection
+	// in the sweep — sequential or parallel — shares one analysis, one summary
 	// set, and one representative memo per breakpoint.
 	spec.EnsurePrune()
 	spec.EnsureSummaries()
+	spec.EnsureMerge()
 	if workers := poolSize(spec.Parallelism, len(spec.Injections)); workers > 1 {
 		return runParallel(ctx, spec, workers)
 	}
@@ -559,7 +595,7 @@ func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (Inje
 		}
 		// First benign injection at this site: explore it for real and
 		// memoize the result as the site's representative.
-		ir, err := runInjectionReal(ctx, spec, inj, true)
+		ir, err := runInjectionChecked(ctx, spec, inj)
 		if err == nil {
 			prune.sites.store(inj, ir, budget)
 			ir.Pruned = true
@@ -577,14 +613,28 @@ func RunInjectionCtx(ctx context.Context, spec Spec, inj faults.Injection) (Inje
 			}
 			return reused, nil
 		}
-		ir, err := runInjectionReal(ctx, spec, inj, true)
+		ir, err := runInjectionChecked(ctx, spec, inj)
 		if err == nil {
 			sums.sites.store(inj, ir, budget)
 			ir.Summarized = true
 		}
 		return ir, err
 	}
-	return runInjectionReal(ctx, spec, inj, true)
+	return runInjectionChecked(ctx, spec, inj)
+}
+
+// runInjectionChecked explores the injection and, when the merging
+// cross-check mode is armed (SYMPLFIED_CHECK_MERGING) and the exploration was
+// merged, re-explores it unmerged and panics on any verdict drift. The check
+// runs outside runInjectionReal's recover boundary on purpose: a failed
+// equivalence obligation must abort the process, not become one more
+// isolated injection panic in the report.
+func runInjectionChecked(ctx context.Context, spec Spec, inj faults.Injection) (InjectionReport, error) {
+	ir, err := runInjectionReal(ctx, spec, inj, true)
+	if err == nil && checkMerging && ir.Merged {
+		checkMergedExploration(ctx, spec, inj, ir)
+	}
+	return ir, err
 }
 
 // runInjectionReal performs the actual exploration behind RunInjectionCtx.
@@ -622,9 +672,18 @@ func runInjectionReal(ctx context.Context, spec Spec, inj faults.Injection, publ
 				liveInjPanics.Inc()
 			}
 			ir.Exec.Publish(obs.Default())
+			// The intern table is process-global, so its counters are gauges
+			// refreshed to the current totals rather than per-report deltas.
+			hits, misses := symbolic.InternStats()
+			liveInternHits.Set(hits)
+			liveInternMisses.Set(misses)
 		}
 	}()
-	err = exploreInjection(ctx, spec, inj, &ir)
+	if mc := spec.EnsureMerge(); mc != nil {
+		err = exploreInjectionMerged(ctx, spec, inj, &ir, mc)
+	} else {
+		err = exploreInjection(ctx, spec, inj, &ir)
+	}
 	return ir, err
 }
 

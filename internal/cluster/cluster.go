@@ -144,6 +144,10 @@ type TaskReport struct {
 	// site plus every elided reuse. Zero unless the spec enables
 	// PruneDeadInjections.
 	Pruned int `json:",omitempty"`
+	// Merged counts injections explored with post-dominator state merging
+	// (checker.InjectionReport.Merged). Their verdicts match the plain
+	// exploration's; StatesExplored reflects the elided work.
+	Merged int `json:",omitempty"`
 	// Summarized counts injections classified benign by a compositional
 	// function summary (checker.InjectionReport.Summarized). Zero unless
 	// the spec enables UseSummaries.
@@ -204,9 +208,10 @@ func RunCtx(ctx context.Context, spec checker.Spec, tasks []Task, cfg Config) []
 	// Resolve the pruning and summary contexts once so every task in the
 	// study shares one analysis and one representative exploration per
 	// breakpoint; without this, each task-spec copy would rebuild its own
-	// memo.
+	// memo. The merge context likewise shares one control-flow analysis.
 	spec.EnsurePrune()
 	spec.EnsureSummaries()
+	spec.EnsureMerge()
 
 	// Pool utilization and decomposition-progress gauges for -metrics-addr
 	// scrapes and the -progress ETA. Gauges use deltas, not Set, so nested
@@ -297,9 +302,10 @@ func RunTaskCtx(ctx context.Context, spec checker.Spec, task Task, budget, maxFi
 	}
 	// Share one pruning/summary context across this task's injections (a
 	// caller that installed spec.Prune or spec.Summaries — RunCtx, a dist
-	// worker — shares it wider).
+	// worker — shares it wider), and likewise the merge context.
 	spec.EnsurePrune()
 	spec.EnsureSummaries()
+	spec.EnsureMerge()
 	if workers := taskPoolSize(spec.Parallelism, len(task.Injections)); workers > 1 {
 		return runTaskParallel(ctx, spec, task, budget, maxFindings, workers)
 	}
@@ -519,6 +525,9 @@ func PoolReports(task Task, irs []checker.InjectionReport, maxFindings int) Task
 		if ir.Summarized {
 			rep.Summarized++
 		}
+		if ir.Merged {
+			rep.Merged++
+		}
 		for o, n := range ir.Outcomes {
 			rep.Outcomes[o] += n
 		}
@@ -561,7 +570,10 @@ type Summary struct {
 	Pruned int
 	// Summarized counts injections across all tasks that a compositional
 	// summary proof classified benign.
-	Summarized      int
+	Summarized int
+	// Merged counts injections across all tasks explored with
+	// post-dominator state merging.
+	Merged          int
 	TotalStates     int
 	TotalInjections int
 	Findings        []checker.Finding
@@ -578,6 +590,7 @@ func Summarize(reports []TaskReport) Summary {
 		s.TotalInjections += r.InjectionsDone
 		s.Pruned += r.Pruned
 		s.Summarized += r.Summarized
+		s.Merged += r.Merged
 		s.Findings = append(s.Findings, r.Findings...)
 		s.Panics += r.Panics
 		s.Exec.Merge(r.Exec)

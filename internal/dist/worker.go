@@ -72,6 +72,14 @@ type WorkerConfig struct {
 	// apart from the Summarized markers, so the fleet may mix. The node
 	// builds one summary set at startup and shares it across every task.
 	UseSummaries bool
+	// MergeStates enables post-dominator state merging and cycle
+	// acceleration (checker.Spec.MergeStates) on this worker. Per-node and
+	// operational like PruneDead: a merged task result carries identical
+	// verdicts and findings, only its Merged markers and lower state counts
+	// differ, so the fleet may mix merging and non-merging workers. The
+	// node builds one control-flow analysis at startup and shares it across
+	// every task it leases.
+	MergeStates bool
 	// ShareSummaryCache backs the node's summary cache with the
 	// coordinator's /summary endpoints, so a function any worker analyzed
 	// is a cache hit fleet-wide. Implies UseSummaries.
@@ -166,6 +174,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 				})
 			}
 			spec.EnsureSummaries()
+		}
+		if cfg.MergeStates {
+			// One control-flow analysis (post-dominators, merge points) for
+			// the whole campaign on this node, shared by every task.
+			spec.MergeStates = true
+			spec.EnsureMerge()
 		}
 		spec.Parallelism = cfg.Parallelism
 		sweepTask = func(taskCtx context.Context, asg TaskAssignment) TaskResult {

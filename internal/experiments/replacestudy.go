@@ -26,6 +26,10 @@ type ReplaceConfig struct {
 	Watchdog int
 	// Pattern, Substitution, Line form the workload.
 	Pattern, Substitution, Line string
+	// MergeStates explores each injection with post-dominator state merging
+	// and cycle acceleration (checker.Spec.MergeStates); verdicts and
+	// findings are unchanged, only the states-explored tally drops.
+	MergeStates bool
 }
 
 // DefaultReplaceConfig reproduces the study on a character-class workload
@@ -68,10 +72,11 @@ func ReplaceStudy(ctx context.Context, cfg ReplaceConfig) (*Result, error) {
 	exec.Watchdog = cfg.Watchdog
 
 	spec := checker.Spec{
-		Program:   prog,
-		Input:     input,
-		Exec:      exec,
-		Predicate: checker.IncorrectOutput(expected),
+		Program:     prog,
+		Input:       input,
+		Exec:        exec,
+		Predicate:   checker.IncorrectOutput(expected),
+		MergeStates: cfg.MergeStates,
 	}
 	tasks := cluster.Split(injections, cfg.Tasks)
 	reports := cluster.RunCtx(ctx, spec, tasks, cluster.Config{
@@ -97,6 +102,10 @@ func ReplaceStudy(ctx context.Context, cfg ReplaceConfig) (*Result, error) {
 	res.rowf("tasks: %d launched, %d completed, %d completed empty (benign or crash), %d with incorrect-outcome findings, %d incomplete",
 		sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
 	res.rowf("states explored: %d; terminal outcomes: %s", sum.TotalStates, renderOutcomes(sum.Outcomes))
+	if cfg.MergeStates {
+		res.rowf("state merging: %d injections explored merged; %d shared-step observations and %d loop steps elided (verdicts unchanged)",
+			sum.Merged, sum.Exec.StatesMerged, sum.Exec.StepsElided)
+	}
 	res.rowf("findings near the getccl/dodash call machinery: %d", patternPhase)
 
 	res.check(sum.Tasks == cfg.Tasks || len(injections) < cfg.Tasks,

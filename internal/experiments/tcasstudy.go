@@ -30,6 +30,12 @@ type TcasConfig struct {
 	// already applies the coarser syntactic version of this optimization by
 	// enumerating only the registers each instruction uses.
 	PruneDead bool
+	// MergeStates explores each injection with post-dominator state merging
+	// and cycle acceleration (checker.Spec.MergeStates). Verdicts and
+	// findings are unchanged; the states-explored tally drops because fused
+	// states step once for many worlds and watchdog-bound hang loops are
+	// fast-forwarded instead of stepped lap by lap.
+	MergeStates bool
 }
 
 // DefaultTcasConfig reproduces the paper's setup at full scale.
@@ -68,6 +74,7 @@ func TcasStudy(ctx context.Context, cfg TcasConfig) (*Result, error) {
 		Exec:                exec,
 		Predicate:           checker.HaltedOutputOtherThan(tcas.UpwardRA),
 		PruneDeadInjections: cfg.PruneDead,
+		MergeStates:         cfg.MergeStates,
 	}
 	tasks := cluster.Split(injections, cfg.Tasks)
 	reports := cluster.RunCtx(ctx, spec, tasks, cluster.Config{
@@ -111,6 +118,10 @@ func TcasStudy(ctx context.Context, cfg TcasConfig) (*Result, error) {
 	res.rowf("states explored: %d; terminal outcomes: %v", sum.TotalStates, renderOutcomes(sum.Outcomes))
 	if cfg.PruneDead {
 		res.rowf("liveness pruning: %d injections classified benign by proof (verdicts unchanged)", sum.Pruned)
+	}
+	if cfg.MergeStates {
+		res.rowf("state merging: %d injections explored merged; %d shared-step observations and %d loop steps elided (verdicts unchanged)",
+			sum.Merged, sum.Exec.StatesMerged, sum.Exec.StepsElided)
 	}
 	res.rowf("undetected incorrect advisories: 1->2 (catastrophic): %d, 1->0 (unresolved): %d, out-of-range/multi: %d, err printed: %d",
 		flips, zeros, outOfRange, errOut)

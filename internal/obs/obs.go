@@ -56,6 +56,15 @@ const (
 	MSummariesInvalidated = "symplfied_summaries_invalidated_total" // evicted, corrupt or dropped entries
 	MSummarizedInjections = "symplfied_summarized_injections_total" // explorations elided by a summary proof
 
+	// Post-dominator state merging and incremental constraint solving
+	// (internal/checker merged explorer, internal/symbolic intern table).
+	MMergedInjections  = "symplfied_merged_injections_total"  // injections explored by the merged explorer
+	MMergedStates      = "symplfied_merged_states_total"      // state observations elided by shared stepping
+	MCyclesAccelerated = "symplfied_cycles_accelerated_total" // deterministic cycles fast-forwarded to the watchdog
+	MStepsElided       = "symplfied_steps_elided_total"       // steps skipped by cycle acceleration
+	MInternHits        = "symplfied_intern_hits_total"        // gauge: process-wide constraint-set intern hits
+	MInternMisses      = "symplfied_intern_misses_total"      // gauge: process-wide constraint-set intern misses
+
 	// Cluster / campaign harness.
 	MTasksTotal  = "symplfied_tasks_total" // gauge: campaign decomposition width
 	MTasksDone   = "symplfied_tasks_done"  // gauge: tasks (or injections) settled so far

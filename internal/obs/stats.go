@@ -43,6 +43,15 @@ type ExecStats struct {
 	MaxFrontier int64 `json:",omitempty"`
 	// MaxDepth is the deepest state (in executed steps) the search reached.
 	MaxDepth int64 `json:",omitempty"`
+	// StatesMerged counts state observations elided by post-dominator state
+	// merging (checker.Spec.MergeStates): each instruction executed once on
+	// behalf of n fused worlds elides n-1 observations.
+	StatesMerged int64 `json:",omitempty"`
+	// CyclesAccelerated counts deterministic event-free cycles the merged
+	// explorer fast-forwarded to the watchdog instead of stepping lap by lap.
+	CyclesAccelerated int64 `json:",omitempty"`
+	// StepsElided counts the instruction steps skipped by cycle acceleration.
+	StepsElided int64 `json:",omitempty"`
 }
 
 // Fork kinds, used as the `kind` label value on the MForks counter.
@@ -104,6 +113,23 @@ func (s *ExecStats) CountFanout() {
 	}
 }
 
+// CountMerged records n state observations elided by shared stepping of a
+// fused state. Nil-safe.
+func (s *ExecStats) CountMerged(n int64) {
+	if s != nil {
+		s.StatesMerged += n
+	}
+}
+
+// CountCycle records one accelerated cycle that skipped elided steps.
+// Nil-safe.
+func (s *ExecStats) CountCycle(elided int64) {
+	if s != nil {
+		s.CyclesAccelerated++
+		s.StepsElided += elided
+	}
+}
+
 // ObserveFrontier raises the frontier high-water mark. Nil-safe.
 func (s *ExecStats) ObserveFrontier(width int) {
 	if s != nil && int64(width) > s.MaxFrontier {
@@ -141,6 +167,9 @@ func (s *ExecStats) Merge(other ExecStats) {
 	s.DedupHits += other.DedupHits
 	s.WatchdogTruncations += other.WatchdogTruncations
 	s.FanoutTruncations += other.FanoutTruncations
+	s.StatesMerged += other.StatesMerged
+	s.CyclesAccelerated += other.CyclesAccelerated
+	s.StepsElided += other.StepsElided
 	if other.MaxFrontier > s.MaxFrontier {
 		s.MaxFrontier = other.MaxFrontier
 	}
@@ -174,5 +203,12 @@ func (s ExecStats) Publish(r *Registry) {
 	r.Counter(MDedupHits).Add(s.DedupHits)
 	r.Counter(MWatchdogTrunc).Add(s.WatchdogTruncations)
 	r.Counter(MFanoutTrunc).Add(s.FanoutTruncations)
+	if s.StatesMerged > 0 {
+		r.Counter(MMergedStates).Add(s.StatesMerged)
+	}
+	if s.CyclesAccelerated > 0 {
+		r.Counter(MCyclesAccelerated).Add(s.CyclesAccelerated)
+		r.Counter(MStepsElided).Add(s.StepsElided)
+	}
 	r.Gauge(MFrontierMax).SetMax(s.MaxFrontier)
 }

@@ -27,6 +27,12 @@ import (
 // single integer-valued root variable: an optional inclusive lower bound, an
 // optional inclusive upper bound, and a finite disequality set. Equalities
 // are represented as lo == hi. The zero value means "unconstrained".
+//
+// A Constraints is in one of two lifecycle phases. Freshly built sets (from
+// NewConstraints or Clone) are mutable scratch values: AddCmp and MarkUnsat
+// refine them in place. Once a set is handed to Intern it is frozen forever
+// — the mutators panic — and its canonical pointer may be shared freely;
+// stores only ever hold interned sets (see intern.go for the invariants).
 type Constraints struct {
 	unsat bool
 	hasLo bool
@@ -34,12 +40,19 @@ type Constraints struct {
 	hasHi bool
 	hi    int64
 	ne    map[int64]struct{}
+
+	// hash caches the canonical content hash (hashInto) and interned marks
+	// the set as frozen in the global intern table. Both are set only by
+	// Intern; Clone resets them, yielding a mutable copy.
+	hash     uint64
+	interned bool
 }
 
 // NewConstraints returns an unconstrained constraint set.
 func NewConstraints() *Constraints { return &Constraints{} }
 
-// Clone returns a deep copy.
+// Clone returns a mutable deep copy. Cloning an interned set is how stores
+// mutate constraints: copy, refine, re-intern (Store.ConstrainRoot).
 func (c *Constraints) Clone() *Constraints {
 	out := &Constraints{
 		unsat: c.unsat,
@@ -55,13 +68,26 @@ func (c *Constraints) Clone() *Constraints {
 	return out
 }
 
-// MarkUnsat forces the constraint set to be unsatisfiable.
-func (c *Constraints) MarkUnsat() { c.unsat = true }
+// MarkUnsat forces the constraint set to be unsatisfiable. Panics on an
+// interned set.
+func (c *Constraints) MarkUnsat() {
+	c.mutable()
+	c.unsat = true
+}
+
+// mutable guards the mutating methods: interned sets are frozen and shared,
+// so writing through one would corrupt every store holding the pointer.
+func (c *Constraints) mutable() {
+	if c.interned {
+		panic("symbolic: mutation of an interned Constraints")
+	}
+}
 
 // AddCmp conjoins the atomic constraint "root cmp v". It returns false if the
 // set became unsatisfiable (the caller should prune the state: a false
-// positive per Section 3.2).
+// positive per Section 3.2). Panics on an interned set.
 func (c *Constraints) AddCmp(cmp isa.Cmp, v int64) bool {
+	c.mutable()
 	if c.unsat {
 		return false
 	}

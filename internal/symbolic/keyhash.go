@@ -98,6 +98,19 @@ func entryHash(feed func(*Hash64)) uint64 {
 	return e.Sum()
 }
 
+// contentHash returns the 64-bit canonical content hash of the set: the
+// hashInto stream folded from the FNV basis. Interned sets return the value
+// cached at intern time; the result is identical either way, so interned and
+// scratch sets with equal content always hash equal.
+func (c *Constraints) contentHash() uint64 {
+	if c.interned {
+		return c.hash
+	}
+	h := NewHash64()
+	c.hashInto(&h)
+	return h.Sum()
+}
+
 // hashInto feeds the constraint set's canonical content: the unsat flag,
 // the bounds, and the disequality set folded commutatively.
 func (c *Constraints) hashInto(h *Hash64) {
@@ -155,7 +168,7 @@ func (s *Store) KeyHash(h *Hash64) {
 		constrained++
 		cons += entryHash(func(e *Hash64) {
 			e.Int(int64(r))
-			c.hashInto(e)
+			e.Word(c.contentHash())
 		})
 	}
 	h.Word(constrained)

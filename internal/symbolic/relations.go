@@ -83,6 +83,7 @@ func negOvf(v int64) (int64, bool) {
 
 func (s *Store) addEdge(from, to RootID, weight int64) {
 	s.materialize()
+	s.relsSatCached = false
 	// Keep only the tightest edge per pair.
 	for i, e := range s.rels {
 		if e.from == from && e.to == to {
@@ -98,16 +99,29 @@ func (s *Store) addEdge(from, to RootID, weight int64) {
 // markAllUnsat poisons the involved roots (used for degenerate overflows).
 func (s *Store) markAllUnsat(roots ...RootID) {
 	for _, r := range roots {
-		s.Constraints(r).MarkUnsat()
+		s.markRootUnsat(r)
 	}
 }
 
-// relsSatisfiable runs Bellman-Ford over the difference graph augmented with
+// relsSatisfiable answers "no negative cycle?" over the difference graph,
+// reusing the cached verdict when neither the relations nor any root's
+// bounds changed since the last solve — a forked child that learned nothing
+// relational re-checks only its own delta, not the whole graph.
+func (s *Store) relsSatisfiable() bool {
+	if s.relsSatCached {
+		return s.relsSat
+	}
+	sat := s.relsSolve()
+	s.relsSat, s.relsSatCached = sat, true
+	return sat
+}
+
+// relsSolve runs Bellman-Ford over the difference graph augmented with
 // the per-root interval bounds (a virtual zero node): satisfiable iff no
 // negative cycle. This is sound and complete for the conjunction of
 // difference constraints and bounds (disequalities excluded, which only
 // makes the check conservative).
-func (s *Store) relsSatisfiable() bool {
+func (s *Store) relsSolve() bool {
 	if len(s.rels) == 0 {
 		return true
 	}

@@ -66,7 +66,7 @@ func TestRelationsSoundnessBruteForce(t *testing.T) {
 				v:    int64(r.Intn(2*window+1) - window),
 			}
 			bounds = append(bounds, atom)
-			solverSat = s.Constraints(roots[atom.root]).AddCmp(atom.cmp, atom.v)
+			solverSat = s.ConstrainRoot(roots[atom.root], atom.cmp, atom.v)
 			if solverSat {
 				solverSat = s.Satisfiable()
 			}

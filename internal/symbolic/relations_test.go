@@ -88,10 +88,10 @@ func TestAddRelCombinesWithBounds(t *testing.T) {
 	if handled, sat := s.AddRel(x, isa.CmpGt, y); !handled || !sat {
 		t.Fatal("x > y rejected")
 	}
-	if !s.Constraints(y.Root).AddCmp(isa.CmpGe, 10) {
+	if !s.ConstrainRoot(y.Root, isa.CmpGe, 10) {
 		t.Fatal("y >= 10 rejected")
 	}
-	if !s.Constraints(x.Root).AddCmp(isa.CmpLe, 9) {
+	if !s.ConstrainRoot(x.Root, isa.CmpLe, 9) {
 		t.Fatal("x <= 9 rejected per-root (expected: intervals alone allow it)")
 	}
 	if s.Satisfiable() {

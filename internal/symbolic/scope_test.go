@@ -1,0 +1,135 @@
+package symbolic
+
+import (
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+// storeFingerprint captures everything observable about a store.
+func storeFingerprint(s *Store) (string, uint64) {
+	h := NewHash64()
+	s.KeyHash(&h)
+	return s.Key(), h.Sum()
+}
+
+// TestScopePushPopBalance drives deep chains of push / constrain / pop —
+// the shape the executor's fork feasibility pre-checks produce — and
+// verifies the store is restored exactly at every depth, including with
+// clones taken between Push and Pop (the copy-on-write hazard).
+func TestScopePushPopBalance(t *testing.T) {
+	cases := []struct {
+		name  string
+		depth int
+		step  func(s *Store, r RootID, lvl int)
+	}{
+		{"interval-tightening", 64, func(s *Store, r RootID, lvl int) {
+			s.ConstrainRoot(r, isa.CmpGe, int64(lvl))
+			s.ConstrainRoot(r, isa.CmpLe, int64(lvl+100))
+		}},
+		{"disequalities", 64, func(s *Store, r RootID, lvl int) {
+			s.ConstrainRoot(r, isa.CmpNe, int64(lvl))
+		}},
+		{"fresh-roots-and-terms", 32, func(s *Store, r RootID, lvl int) {
+			nr := s.NewRoot()
+			s.SetTerm(isa.RegLoc(isa.Reg(lvl%30)), FreshTerm(nr))
+			s.ConstrainRoot(nr, isa.CmpEq, int64(lvl))
+		}},
+		{"relations", 32, func(s *Store, r RootID, lvl int) {
+			nr := s.NewRoot()
+			s.AddRel(FreshTerm(r), isa.CmpLt, FreshTerm(nr))
+		}},
+		{"unsat-then-pop", 16, func(s *Store, r RootID, lvl int) {
+			s.ConstrainRoot(r, isa.CmpGt, 10)
+			s.ConstrainRoot(r, isa.CmpLt, 5) // now unsatisfiable
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewStore()
+			root := s.Inject(isa.RegLoc(4))
+			s.ConstrainRoot(root, isa.CmpGe, -1000)
+
+			type level struct {
+				scope    Scope
+				key      string
+				hash     uint64
+				sat      bool
+				snapshot *Store // clone taken inside the scope, must survive Pop
+			}
+			var stack []level
+			for lvl := 0; lvl < tc.depth; lvl++ {
+				key, hash := storeFingerprint(s)
+				stack = append(stack, level{scope: s.Push(), key: key, hash: hash, sat: s.Satisfiable()})
+				tc.step(s, root, lvl)
+				stack[len(stack)-1].snapshot = s.Clone()
+			}
+			// Pop all the way back down, checking restoration at each level.
+			for lvl := tc.depth - 1; lvl >= 0; lvl-- {
+				l := stack[lvl]
+				snapKey, snapHash := storeFingerprint(l.snapshot)
+				s.Pop(l.scope)
+				key, hash := storeFingerprint(s)
+				if key != l.key || hash != l.hash {
+					t.Fatalf("%s depth %d: Pop did not restore the store:\n pre-Push  %q (%x)\n post-Pop  %q (%x)",
+						tc.name, lvl, l.key, l.hash, key, hash)
+				}
+				if got := s.Satisfiable(); got != l.sat {
+					t.Fatalf("%s depth %d: satisfiability flipped across Push/Pop: %v -> %v", tc.name, lvl, l.sat, got)
+				}
+				// The clone taken inside the scope must be untouched by Pop.
+				if k, h := storeFingerprint(l.snapshot); k != snapKey || h != snapHash {
+					t.Fatalf("%s depth %d: Pop corrupted a clone taken inside the scope", tc.name, lvl)
+				}
+			}
+		})
+	}
+}
+
+// TestScopeFeasibilityProbe is the intended use: probe a branch's
+// feasibility on the parent store without cloning the state, then rewind.
+func TestScopeFeasibilityProbe(t *testing.T) {
+	s := NewStore()
+	root := s.Inject(isa.RegLoc(2))
+	if !s.ConstrainRoot(root, isa.CmpGe, 10) {
+		t.Fatal("setup unsat")
+	}
+	term := FreshTerm(root)
+
+	sc := s.Push()
+	if s.ConstrainTerm(term, isa.CmpLt, 5) {
+		t.Fatal("x>=10 && x<5 should be infeasible")
+	}
+	s.Pop(sc)
+
+	// After the rewind the contradictory atom is gone.
+	if !s.Satisfiable() {
+		t.Fatal("store unsat after Pop")
+	}
+	if !s.ConstrainTerm(term, isa.CmpLt, 50) {
+		t.Fatal("x>=10 && x<50 should be feasible")
+	}
+}
+
+// TestInternPointerEquality pins the hash-consing invariant: structurally
+// equal constraint sets intern to the same pointer, and interned sets refuse
+// mutation.
+func TestInternPointerEquality(t *testing.T) {
+	build := func() *Constraints {
+		c := NewConstraints()
+		c.AddCmp(isa.CmpGe, 3)
+		c.AddCmp(isa.CmpLe, 9)
+		c.AddCmp(isa.CmpNe, 5)
+		return c
+	}
+	a, b := Intern(build()), Intern(build())
+	if a != b {
+		t.Fatalf("equal content interned to distinct pointers %p %p", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating an interned Constraints did not panic")
+		}
+	}()
+	a.AddCmp(isa.CmpEq, 4)
+}

@@ -14,19 +14,31 @@ import (
 // about it from comparisons, branches, and detectors along the current path.
 //
 // A Store belongs to exactly one symbolic state; forking a state clones it.
+//
+// The constraint sets inside cons are interned (intern.go): each value is an
+// immutable canonical *Constraints, so cloning, snapshotting (Push/Pop), and
+// hashing never copy or re-render a set. Mutation is functional — copy the
+// set, refine it, re-intern, swap the pointer — which is exactly the delta a
+// forked child re-checks: the one root the fork constrained.
 type Store struct {
 	terms map[isa.Loc]Term
-	cons  map[RootID]*Constraints
-	rels  []diffEdge // difference constraints between roots (relations.go)
+	cons  map[RootID]*Constraints // values are interned, immutable
+	rels  []diffEdge              // difference constraints between roots (relations.go)
 	next  RootID
-	// cow marks the maps (and the *Constraints values inside cons, and the
-	// rels backing array) as possibly shared with another Store after a
-	// Clone; the first mutation copies them (materialize). Most forked
-	// states never touch their constraint map again — a control-flow fork
-	// constrains only the root involved, and plenty of successors terminate
-	// without learning anything new — so sharing until first write removes
-	// the dominant Clone allocation from the search hot path.
+	// cow marks the maps (and the rels backing array) as possibly shared
+	// with another Store after a Clone or Push; the first mutation copies
+	// them (materialize). Most forked states never touch their constraint
+	// map again — a control-flow fork constrains only the root involved,
+	// and plenty of successors terminate without learning anything new — so
+	// sharing until first write removes the dominant Clone allocation from
+	// the search hot path.
 	cow bool
+	// relsSat caches the Bellman-Ford verdict over the difference graph;
+	// valid while relsSatCached. Any constraint mutation invalidates it, so
+	// the solver re-runs only when the relations or bounds actually moved —
+	// the incremental half of "re-check only the delta".
+	relsSat       bool
+	relsSatCached bool
 }
 
 // NewStore returns an empty constraint map.
@@ -45,17 +57,19 @@ func NewStore() *Store {
 func (s *Store) Clone() *Store {
 	s.cow = true
 	return &Store{
-		terms: s.terms,
-		cons:  s.cons,
-		rels:  s.rels,
-		next:  s.next,
-		cow:   true,
+		terms:         s.terms,
+		cons:          s.cons,
+		rels:          s.rels,
+		next:          s.next,
+		cow:           true,
+		relsSat:       s.relsSat,
+		relsSatCached: s.relsSatCached,
 	}
 }
 
-// materialize copies the shared structures before the first mutation after a
-// Clone. The *Constraints values are deep-copied too: callers mutate them in
-// place through Constraints().
+// materialize copies the shared map shells before the first mutation after a
+// Clone or Push. The *Constraints values are interned and immutable, so only
+// the shells are copied — never the sets themselves.
 func (s *Store) materialize() {
 	if !s.cow {
 		return
@@ -66,7 +80,7 @@ func (s *Store) materialize() {
 	}
 	cons := make(map[RootID]*Constraints, len(s.cons)+1)
 	for r, c := range s.cons {
-		cons[r] = c.Clone()
+		cons[r] = c
 	}
 	var rels []diffEdge
 	if len(s.rels) > 0 {
@@ -77,12 +91,52 @@ func (s *Store) materialize() {
 	s.cow = false
 }
 
+// Scope is a savepoint of the store's entire constraint state, captured by
+// Push and restored by Pop. Because the maps are copy-on-write shells over
+// immutable interned values, a scope is O(1) to take and to restore: Push
+// freezes the current shells, the next mutation copies them, and Pop swaps
+// the frozen shells back. The executor uses scopes to answer "would this
+// branch be feasible?" on the parent store without cloning the whole state
+// (see symexec's fork enumeration).
+type Scope struct {
+	terms         map[isa.Loc]Term
+	cons          map[RootID]*Constraints
+	rels          []diffEdge
+	next          RootID
+	relsSat       bool
+	relsSatCached bool
+}
+
+// Push opens a constraint scope: a savepoint Pop rewinds to. Scopes nest;
+// Pop in reverse order of Push.
+func (s *Store) Push() Scope {
+	s.cow = true
+	return Scope{
+		terms:         s.terms,
+		cons:          s.cons,
+		rels:          s.rels,
+		next:          s.next,
+		relsSat:       s.relsSat,
+		relsSatCached: s.relsSatCached,
+	}
+}
+
+// Pop rewinds the store to the savepoint: every term, constraint, relation,
+// and root minted since the matching Push is discarded.
+func (s *Store) Pop(sc Scope) {
+	s.terms, s.cons, s.rels, s.next = sc.terms, sc.cons, sc.rels, sc.next
+	s.relsSat, s.relsSatCached = sc.relsSat, sc.relsSatCached
+	// The restored shells may still be shared with clones taken between
+	// Push and Pop; stay copy-on-write.
+	s.cow = true
+}
+
 // NewRoot introduces a fresh, unconstrained erroneous quantity.
 func (s *Store) NewRoot() RootID {
 	s.materialize()
 	r := s.next
 	s.next++
-	s.cons[r] = NewConstraints()
+	s.cons[r] = internedEmpty
 	return r
 }
 
@@ -128,17 +182,32 @@ func (s *Store) TermOrFresh(loc isa.Loc) Term {
 	return t
 }
 
-// Constraints returns the constraint set for a root, creating it if needed.
-// Callers mutate the returned set in place, so a shared (copy-on-write)
-// store materializes here even when the set already exists.
-func (s *Store) Constraints(r RootID) *Constraints {
+// updateRoot applies the functional mutation protocol to one root's set:
+// clone the interned value, let f refine the mutable copy, re-intern, swap
+// the pointer. Returns f's verdict (conventionally "still satisfiable").
+func (s *Store) updateRoot(r RootID, f func(*Constraints) bool) bool {
 	s.materialize()
-	c, ok := s.cons[r]
+	cur, ok := s.cons[r]
 	if !ok {
-		c = NewConstraints()
-		s.cons[r] = c
+		cur = internedEmpty
 	}
-	return c
+	mut := cur.Clone()
+	sat := f(mut)
+	s.cons[r] = Intern(mut)
+	s.relsSatCached = false // bounds feed the difference-graph solve
+	return sat
+}
+
+// ConstrainRoot conjoins the atomic constraint "r cmp v" on a root. It
+// returns false when the root's set became unsatisfiable (the caller should
+// prune the state).
+func (s *Store) ConstrainRoot(r RootID, cmp isa.Cmp, v int64) bool {
+	return s.updateRoot(r, func(c *Constraints) bool { return c.AddCmp(cmp, v) })
+}
+
+// markRootUnsat poisons one root's constraint set.
+func (s *Store) markRootUnsat(r RootID) {
+	s.updateRoot(r, func(c *Constraints) bool { c.MarkUnsat(); return false })
 }
 
 // ConstrainTerm conjoins "t cmp rhs" by inverting the affine map onto t's
@@ -146,13 +215,13 @@ func (s *Store) Constraints(r RootID) *Constraints {
 func (s *Store) ConstrainTerm(t Term, cmp isa.Cmp, rhs int64) bool {
 	rootCmp, rootVal, tautology, ok := t.InvertCmp(cmp, rhs)
 	if !ok {
-		s.Constraints(t.Root).MarkUnsat()
+		s.markRootUnsat(t.Root)
 		return false
 	}
 	if tautology {
 		return true
 	}
-	return s.Constraints(t.Root).AddCmp(rootCmp, rootVal)
+	return s.ConstrainRoot(t.Root, rootCmp, rootVal)
 }
 
 // ExactValue reports whether the constraints pin t to a single concrete

@@ -1,0 +1,175 @@
+package symexec
+
+import (
+	"symplfied/internal/isa"
+)
+
+// Support for post-dominator state merging (checker.Spec.MergeStates). Two
+// forked states that rejoin at a control-flow merge point with the same
+// concrete skeleton — equal PC, registers, memory, input cursor, output,
+// status — differ only in their symbolic stores (what is known about err),
+// their traces (how they got here), and their step counters (when). The
+// merged explorer fuses such states into one representative carrying the
+// sibling worlds, executes the steps that cannot tell the worlds apart once,
+// and splits back into singles the moment a step could observe the
+// difference. ShareableStep is that observability judgment; MergeCompatible
+// is the exact skeleton comparison behind the SkeletonHash grouping.
+
+// valueEq compares machine words with err as a class: all err values are
+// equal (their identities live in the store, which merging deliberately
+// ignores), concrete values compare by integer.
+func valueEq(a, b isa.Value) bool {
+	if a.IsErr() || b.IsErr() {
+		return a.IsErr() && b.IsErr()
+	}
+	av, _ := a.Concrete()
+	bv, _ := b.Concrete()
+	return av == bv
+}
+
+// MergeCompatible reports whether a and b have identical concrete skeletons:
+// every component of the configuration except the symbolic store, the trace,
+// and the step counter. It is the exact check behind SkeletonHash — callers
+// group by hash, then confirm here, so a 64-bit collision can never fuse
+// genuinely different states.
+func MergeCompatible(a, b *State) bool {
+	if a.PC != b.PC || a.InPos != b.InPos || a.Status != b.Status ||
+		a.Truncated != b.Truncated || len(a.In) != len(b.In) ||
+		len(a.Mem) != len(b.Mem) || len(a.Out) != len(b.Out) ||
+		len(a.Stuck) != len(b.Stuck) {
+		return false
+	}
+	for r := range a.Regs {
+		if !valueEq(a.Regs[r], b.Regs[r]) {
+			return false
+		}
+	}
+	for addr, av := range a.Mem {
+		bv, ok := b.Mem[addr]
+		if !ok || !valueEq(av, bv) {
+			return false
+		}
+	}
+	for i := range a.Out {
+		ao, bo := a.Out[i], b.Out[i]
+		if ao.IsStr != bo.IsStr {
+			return false
+		}
+		if ao.IsStr {
+			if ao.Str != bo.Str {
+				return false
+			}
+		} else if !valueEq(ao.Val, bo.Val) {
+			return false
+		}
+	}
+	for l := range a.Stuck {
+		if _, ok := b.Stuck[l]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ShareableStep reports whether the next instruction can be executed once on
+// behalf of every world of a merged state: it must be deterministic, must
+// not touch the symbolic store (no err operand, no err destination being
+// overwritten), must not append a trace event, and must not terminate the
+// state. The dispatch mirrors StepInPlace case by case; the equivalence is
+// pinned by TestShareableStepIsInvisible and, end to end, by
+// FuzzMergeEquivalence in the checker.
+//
+// The caller handles the watchdog separately (worlds disagree on Steps, so
+// watchdog proximity forces a split before this question is asked).
+func (s *State) ShareableStep() bool {
+	if !s.Running() || !s.Prog.ValidPC(s.PC) {
+		return false
+	}
+	in := s.Prog.At(s.PC)
+
+	concReg := func(r isa.Reg) bool {
+		return r == isa.RegZero || !s.Regs[r].IsErr()
+	}
+
+	if bin, imm, ok := isa.ArithOp(in.Op); ok {
+		if !concReg(in.Rs) || !concReg(in.Rd) {
+			return false
+		}
+		xc, _ := s.regOperand(in.Rs).Val.Concrete()
+		var yc int64
+		if imm {
+			yc = in.Imm
+		} else {
+			if !concReg(in.Rt) {
+				return false
+			}
+			yc, _ = s.regOperand(in.Rt).Val.Concrete()
+		}
+		// Concrete division by zero raises (terminal): not shareable.
+		if _, err := isa.EvalBin(bin, xc, yc); err != nil {
+			return false
+		}
+		return true
+	}
+
+	if _, imm, ok := isa.CmpForOp(in.Op); ok {
+		if !concReg(in.Rs) || !concReg(in.Rd) {
+			return false
+		}
+		if !imm && !concReg(in.Rt) {
+			return false
+		}
+		return true
+	}
+
+	switch in.Op {
+	case isa.OpMov:
+		return concReg(in.Rs) && concReg(in.Rd)
+	case isa.OpLi, isa.OpLui:
+		return concReg(in.Rd)
+	case isa.OpLd:
+		if !concReg(in.Rs) || !concReg(in.Rt) {
+			return false
+		}
+		bc, _ := s.regOperand(in.Rs).Val.Concrete()
+		v, defined := s.Mem[bc+in.Imm]
+		// Undefined address raises (terminal); an err cell loads a term.
+		return defined && !v.IsErr()
+	case isa.OpSt:
+		if !concReg(in.Rs) || !concReg(in.Rt) {
+			return false
+		}
+		bc, _ := s.regOperand(in.Rs).Val.Concrete()
+		// Overwriting an err cell clears its term (a store mutation).
+		if v, ok := s.Mem[bc+in.Imm]; ok && v.IsErr() {
+			return false
+		}
+		return true
+	case isa.OpBeq, isa.OpBne:
+		return concReg(in.Rs) && concReg(in.Rt)
+	case isa.OpBeqi, isa.OpBnei:
+		return concReg(in.Rs)
+	case isa.OpJmp:
+		return true
+	case isa.OpJal:
+		return concReg(isa.RegRA)
+	case isa.OpJr:
+		return concReg(in.Rs)
+	case isa.OpRead:
+		if s.InPos >= len(s.In) { // end of input raises (terminal)
+			return false
+		}
+		if s.In[s.InPos].IsErr() { // symbolic input value reaches the store
+			return false
+		}
+		return concReg(in.Rd)
+	case isa.OpPrint:
+		// Printing err appends a trace event; concrete prints are silent.
+		return in.Rd == isa.RegZero || !s.Regs[in.Rd].IsErr()
+	case isa.OpPrints, isa.OpNop:
+		return true
+	}
+	// halt, throw, check, and anything unknown: terminal, trace-noting, or
+	// store-dependent.
+	return false
+}

@@ -373,6 +373,10 @@ func (s *State) stepLoad(in isa.Instr) []*State {
 		truncated = true
 	}
 	for _, a := range addrs {
+		if !s.feasibleEq(base, a-in.Imm) {
+			s.Stats.CountPrune()
+			continue
+		}
 		c := s.fork()
 		if !c.constrainOperand(base, isa.CmpEq, a-in.Imm, "load resolves") {
 			s.Stats.CountPrune()
@@ -393,6 +397,28 @@ func (s *State) stepLoad(in isa.Instr) []*State {
 	}
 	s.countFan(obs.ForkLoad, len(out))
 	return out
+}
+
+// feasibleEq reports whether conjoining "op == v" could leave the path
+// satisfiable, without committing anything: the probe runs inside a
+// constraint scope (symbolic.Store.Push/Pop) on the receiver's own store and
+// rewinds before returning. The enumeration fan-outs (loads, stores, jr) ask
+// this before paying for a full state clone, so infeasible candidates cost a
+// scoped solver delta instead of a fork. The verdict matches what
+// constrainOperand on a clone would return, since the clone's store content
+// is identical.
+func (s *State) feasibleEq(op symbolic.Operand, v int64) bool {
+	if op.Val.IsConcrete() {
+		c, _ := op.Val.Concrete()
+		return c == v
+	}
+	if !op.HasTerm {
+		return true
+	}
+	sc := s.Sym.Push()
+	ok := s.Sym.ConstrainTerm(op.Term, isa.CmpEq, v)
+	s.Sym.Pop(sc)
+	return ok
 }
 
 // countFan records an n-way fan-out as n-1 forks of the given kind (so a
@@ -424,6 +450,10 @@ func (s *State) stepStore(in isa.Instr) []*State {
 		truncated = true
 	}
 	for _, a := range enumAddrs {
+		if !s.feasibleEq(base, a-in.Imm) {
+			s.Stats.CountPrune()
+			continue
+		}
 		c := s.fork()
 		if !c.constrainOperand(base, isa.CmpEq, a-in.Imm, "store resolves") {
 			s.Stats.CountPrune()
@@ -484,6 +514,10 @@ func (s *State) stepJr(in isa.Instr) []*State {
 		truncated = true
 	}
 	for pc := 0; pc < limit; pc++ {
+		if !s.feasibleEq(target, int64(pc)) {
+			s.Stats.CountPrune()
+			continue
+		}
 		c := s.fork()
 		if !c.constrainOperand(target, isa.CmpEq, int64(pc), "control target resolves") {
 			s.Stats.CountPrune()

@@ -1,0 +1,148 @@
+package symplfied_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/checker"
+	"symplfied/internal/faults"
+	"symplfied/internal/symexec"
+)
+
+// TestMergeSmokeTCAS is the state-merging acceptance gate, run with the
+// SYMPLFIED_CHECK_MERGING assertion armed throughout (every merged injection
+// is re-explored unmerged inside the run and compared): a tcas
+// register-error sweep with MergeStates on must reproduce the unmerged
+// sweep's verdicts — activation, terminal tallies, outcome tallies, and
+// byte-identical canonical findings for every injection — while exploring
+// several times fewer states. The states-per-operation delta is the
+// paper-reproduction payoff recorded in EXPERIMENTS.md E12.
+//
+// The state budget is set above the most expensive injection's full cost
+// (the $31 return-address corruptions: a 151-way jr fan-out whose hang paths
+// each run to the 4000-step watchdog, ~107k states unmerged) so both sweeps
+// complete and the ratio compares total work, not how two searches truncate
+// differently at a shared cap. At the paper-study budget of 25k the same
+// savings surface as coverage instead: the unmerged sweep exhausts the
+// budget on those injections while the merged one finishes them.
+//
+// Set MERGE_SMOKE_STATS to a path to dump the before/after state counts as
+// JSON (the CI merge-smoke job uploads it as an artifact).
+func TestMergeSmokeTCAS(t *testing.T) {
+	prog := tcas.Program()
+	input := tcas.UpwardInput().Slice()
+	defer checker.SetCheckMerging(true)()
+
+	injections := faults.RegisterInjectionsUsed(prog)
+	if testing.Short() {
+		sampled := make([]faults.Injection, 0, len(injections)/4+1)
+		for i := 0; i < len(injections); i += 4 {
+			sampled = append(sampled, injections[i])
+		}
+		injections = sampled
+	}
+
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 4_000
+	spec := checker.Spec{
+		Program:     prog,
+		Input:       input,
+		Injections:  injections,
+		Exec:        exec,
+		Predicate:   checker.HaltedOutputOtherThan(tcas.UpwardRA),
+		StateBudget: 150_000,
+	}
+
+	sweep := func(spec checker.Spec) *checker.Report {
+		t.Helper()
+		rep, err := checker.RunCtx(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	unmerged := sweep(spec)
+	mergedSpec := spec
+	mergedSpec.MergeStates = true
+	merged := sweep(mergedSpec)
+
+	if merged.MergedInjections == 0 {
+		t.Fatal("no injection was swept by the merged explorer")
+	}
+	if len(merged.PerInjection) != len(unmerged.PerInjection) {
+		t.Fatalf("injection count drift: %d vs %d", len(merged.PerInjection), len(unmerged.PerInjection))
+	}
+	for i := range merged.PerInjection {
+		m, u := merged.PerInjection[i], unmerged.PerInjection[i]
+		if m.Activated != u.Activated {
+			t.Fatalf("%s: activation drift", m.Injection)
+		}
+		// A blown budget truncates different frontiers (the merged search got
+		// further on the same budget), so tallies diverge legitimately there.
+		if m.BudgetExhausted || u.BudgetExhausted {
+			continue
+		}
+		if m.TerminalStates != u.TerminalStates || m.Truncated != u.Truncated {
+			t.Fatalf("%s: tally drift: merged %+v unmerged %+v", m.Injection, m, u)
+		}
+		for o, n := range u.Outcomes {
+			if m.Outcomes[o] != n {
+				t.Fatalf("%s: outcome %s drift: %d vs %d", m.Injection, o, m.Outcomes[o], n)
+			}
+		}
+		mf, uf := checker.CanonicalFindings(m.Findings), checker.CanonicalFindings(u.Findings)
+		if len(mf) != len(uf) {
+			t.Fatalf("%s: findings count drift: %d vs %d", m.Injection, len(mf), len(uf))
+		}
+		for j := range mf {
+			if mf[j] != uf[j] {
+				t.Fatalf("%s: finding drift:\nmerged:   %s\nunmerged: %s", m.Injection, mf[j], uf[j])
+			}
+		}
+	}
+
+	ratio := float64(unmerged.TotalStates) / float64(merged.TotalStates)
+	t.Logf("states: %d unmerged -> %d merged (%.1fx); shared-elided=%d cycles=%d steps-elided=%d; findings %d vs %d",
+		unmerged.TotalStates, merged.TotalStates, ratio,
+		merged.Exec.StatesMerged, merged.Exec.CyclesAccelerated, merged.Exec.StepsElided,
+		len(unmerged.Findings), len(merged.Findings))
+	if merged.Exec.CyclesAccelerated == 0 {
+		t.Error("no cycles accelerated despite tcas's concrete erroneous loops")
+	}
+	if ratio < 5 {
+		t.Errorf("states/op reduction %.1fx below the 5x target (%d -> %d)",
+			ratio, unmerged.TotalStates, merged.TotalStates)
+	}
+
+	if path := os.Getenv("MERGE_SMOKE_STATS"); path != "" {
+		artifact := struct {
+			Injections        int
+			UnmergedStates    int
+			MergedStates      int
+			Ratio             float64
+			StatesMerged      int64
+			CyclesAccelerated int64
+			StepsElided       int64
+			UnmergedFindings  int
+			MergedFindings    int
+			BudgetBlownBefore int
+			BudgetBlownAfter  int
+		}{
+			len(injections), unmerged.TotalStates, merged.TotalStates, ratio,
+			merged.Exec.StatesMerged, merged.Exec.CyclesAccelerated, merged.Exec.StepsElided,
+			len(unmerged.Findings), len(merged.Findings),
+			unmerged.BudgetBlown, merged.BudgetBlown,
+		}
+		b, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("merge stats written to %s", path)
+	}
+}

@@ -40,16 +40,29 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 			return nil
 		}
 		for pkgName, pkg := range pkgs {
-			documented := false
+			var doc string
 			for _, f := range pkg.Files {
 				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-					documented = true
+					doc = f.Doc.Text()
 					break
 				}
 			}
-			if !documented {
-				rel, _ := filepath.Rel(root, path)
+			rel, _ := filepath.Rel(root, path)
+			if doc == "" {
 				t.Errorf("package %s (%s) has no package doc comment", pkgName, rel)
+				continue
+			}
+			if min, ok := minDocLines[filepath.ToSlash(rel)]; ok {
+				lines := 0
+				for _, l := range strings.Split(doc, "\n") {
+					if strings.TrimSpace(l) != "" {
+						lines++
+					}
+				}
+				if lines < min {
+					t.Errorf("package %s (%s): package doc is a %d-line stub; these core packages document their invariants (interning, Key/Hash64 stability, fork semantics) in the package comment — want >= %d non-empty lines",
+						pkgName, rel, lines, min)
+				}
 			}
 		}
 		return nil
@@ -57,4 +70,14 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+// minDocLines pins a floor under the package docs that carry load-bearing
+// contracts: internal/symbolic's interning invariant (pointer equality ⇔
+// structural equality, frozen-after-Intern lifecycle) and internal/symexec's
+// fork semantics live in the package comments, and a regression to a
+// one-line stub would silently drop them.
+var minDocLines = map[string]int{
+	"internal/symbolic": 6,
+	"internal/symexec":  6,
 }

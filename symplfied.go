@@ -273,6 +273,17 @@ type SearchSpec struct {
 	// See internal/summary, and SYMPLFIED_CHECK_SUMMARIES to audit the
 	// proof on a live run.
 	UseSummaries bool
+	// MergeStates explores each injection with post-dominator state merging
+	// and cycle acceleration (checker.Spec.MergeStates): states that rejoin
+	// at control-flow merge points with identical skeletons are stepped once
+	// for all of them, and deterministic or affine watchdog-bound loops are
+	// fast-forwarded instead of stepped lap by lap. Verdicts, outcome
+	// tallies and findings are identical to the plain exploration's; only
+	// StatesExplored (physical state observations) drops. Operational like
+	// Parallelism: excluded from the campaign fingerprint. See
+	// internal/checker's merge.go, and SYMPLFIED_CHECK_MERGING to audit the
+	// equivalence on a live run.
+	MergeStates bool
 	// SummaryCache, when non-nil with UseSummaries, caches per-function
 	// summaries under content-addressed keys so re-analysis after an edit
 	// recomputes only the changed functions and their transitive callers.
@@ -308,6 +319,7 @@ func (s SearchSpec) build() (checker.Spec, error) {
 	spec.PruneDeadInjections = s.PruneDeadInjections
 	spec.UseSummaries = s.UseSummaries
 	spec.SummaryCache = s.SummaryCache
+	spec.MergeStates = s.MergeStates
 	return spec, nil
 }
 
@@ -395,6 +407,13 @@ type StudyConfig struct {
 	// shared summary set and representative memo span every task, so a
 	// benign site's exploration is reused across task boundaries.
 	UseSummaries bool
+	// MergeStates enables SearchSpec.MergeStates for the whole study: one
+	// shared control-flow analysis spans every task, and each task's
+	// injections are explored with post-dominator state merging and cycle
+	// acceleration. Task reports and the pooled summary are identical to the
+	// plain study's apart from the Merged markers and the lower state
+	// counts.
+	MergeStates bool
 	// SummaryCache backs the study's summary build (see
 	// SearchSpec.SummaryCache).
 	SummaryCache *SummaryCache
@@ -429,6 +448,9 @@ func StudyCtx(ctx context.Context, s SearchSpec, cfg StudyConfig) ([]TaskReport,
 	}
 	if cfg.UseSummaries {
 		spec.UseSummaries = true
+	}
+	if cfg.MergeStates {
+		spec.MergeStates = true
 	}
 	if cfg.SummaryCache != nil {
 		spec.SummaryCache = cfg.SummaryCache
