@@ -45,7 +45,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"symplfied"
@@ -102,11 +104,27 @@ func run(ctx context.Context, args []string) error {
 		xvalOut   = fs.String("crossval-report", "", "write the full -crossval mismatch report (JSON) to this file")
 		serve     = fs.String("serve", "", "serve the campaign to symworker processes on this address (e.g. :8080) instead of searching locally")
 		lease     = fs.Duration("lease", 0, "task lease duration for -serve; a worker silent this long loses its task (0: 30s)")
+		storeDir  = fs.String("store", "", "with -serve, run the multi-tenant campaign service over this durable store directory: every open campaign is resumed from it on start, and new campaigns can be POSTed to /v1/campaigns")
+		tenant    = fs.String("tenant", "", "with -serve -store, the tenant owning the initial campaign (default: \"default\")")
+		priority  = fs.Int("priority", 0, "with -serve -store, the initial campaign's dispatch priority (higher is served first)")
+		maxLeased = fs.Int("max-leased", 0, "with -serve -store, cap on tasks one tenant may hold leased fleet-wide (0: unlimited)")
+		maxQueued = fs.Int("max-queued", 0, "with -serve -store, cap on open campaigns per tenant (0: unlimited)")
+		campaigns = fs.String("campaigns", "", "list the campaigns on a running service at this base URL (e.g. http://host:8080) and exit")
 		metrics   = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090 or :0)")
 		progress  = fs.Duration("progress", 0, "log a one-line progress report at this interval (e.g. 2s; 0: off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *campaigns != "" {
+		return listCampaigns(ctx, os.Stdout, *campaigns)
+	}
+	if *storeDir != "" && *serve == "" {
+		return fmt.Errorf("-store requires -serve (it is the service's durable campaign store)")
+	}
+	if *storeDir != "" && (*ckpt != "" || *resume) {
+		return fmt.Errorf("-store and -checkpoint/-resume are mutually exclusive: the store journals every campaign and always resumes open ones")
 	}
 
 	if *metrics != "" {
@@ -181,6 +199,21 @@ func run(ctx context.Context, args []string) error {
 				return err
 			}
 			doc.Name, doc.Source, doc.MIPS = *file, string(src), *isMIPS
+		}
+		if *storeDir != "" {
+			var initial *dist.SpecDoc
+			if *app != "" || *file != "" {
+				initial = &doc
+			}
+			return serveService(ctx, *serve, *storeDir, initial, serviceOptions{
+				Lease:     *lease,
+				Tenant:    *tenant,
+				Priority:  *priority,
+				MaxLeased: *maxLeased,
+				MaxQueued: *maxQueued,
+				Traces:    *traces,
+				XvalOut:   *xvalOut,
+			}, summaryCache)
 		}
 		return serveCampaign(ctx, *serve, doc, *lease, *ckpt, *resume, *traces, *xvalOut, summaryCache)
 	}
@@ -519,6 +552,190 @@ func printFindings(found []symplfied.Finding, n int) {
 			}
 		}
 	}
+}
+
+// listCampaigns is the -campaigns subcommand: list every campaign on a
+// running service and exit.
+func listCampaigns(ctx context.Context, w io.Writer, base string) error {
+	cl := dist.NewClient(strings.TrimRight(base, "/"), nil)
+	list, err := cl.Campaigns(ctx)
+	if err != nil {
+		return err
+	}
+	if len(list.Campaigns) == 0 {
+		fmt.Fprintln(w, "no campaigns registered")
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tTENANT\tPRIO\tSTATE\tTASKS\tCACHED\tVERDICT\tFINGERPRINT")
+	for _, ci := range list.Campaigns {
+		fp := ci.Fingerprint
+		if len(fp) > 12 {
+			fp = fp[:12]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d/%d\t%d\t%s\t%s\n",
+			ci.ID, ci.Tenant, ci.Priority, ci.State, ci.Done, ci.Total, ci.FromCache, ci.Verdict, fp)
+	}
+	return tw.Flush()
+}
+
+// serviceOptions carries the -serve -store service flags.
+type serviceOptions struct {
+	Lease     time.Duration
+	Tenant    string
+	Priority  int
+	MaxLeased int
+	MaxQueued int
+	Traces    int
+	XvalOut   string
+}
+
+// serveService runs the multi-tenant campaign service: a durable store-backed
+// registry serving the versioned /v1 API (plus the legacy root aliases) to
+// symworker fleets. Every open campaign in the store is resumed on start;
+// the initial document (when the command line names an app or file) is
+// registered as a campaign unless an open campaign with the same fingerprint
+// is already stored — so killing and restarting the service with the same
+// flags resumes rather than duplicates. With an initial campaign the service
+// exits once every campaign drains, printing the initial campaign's merged
+// report; started bare it serves until interrupted.
+func serveService(ctx context.Context, addr, storeDir string, initialDoc *dist.SpecDoc,
+	opt serviceOptions, summaryCache *symplfied.SummaryCache) error {
+
+	// Bind before building the registry: resuming large stores can take a
+	// while, and workers started in that window should queue in the accept
+	// backlog rather than get connection-refused.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	store, err := dist.NewDiskStore(storeDir)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	reg, err := dist.NewRegistry(dist.RegistryConfig{
+		Store:        store,
+		Lease:        opt.Lease,
+		Quotas:       dist.Quotas{MaxOpenCampaigns: opt.MaxQueued, MaxLeasedTasks: opt.MaxLeased},
+		SummaryCache: summaryCache,
+	})
+	if err != nil {
+		ln.Close()
+		store.Close()
+		return err
+	}
+
+	var initial *dist.Coordinator
+	if initialDoc != nil {
+		fp, err := dist.DocFingerprint(*initialDoc)
+		if err != nil {
+			ln.Close()
+			reg.Close()
+			return err
+		}
+		for _, info := range reg.List().Campaigns {
+			if info.Fingerprint != fp || info.State == dist.StateCancelled {
+				continue
+			}
+			if c, ok := reg.Get(info.ID); ok {
+				initial = c
+				fmt.Printf("campaign %s resumed from %s (%d/%d tasks settled)\n",
+					info.ID, storeDir, info.Done, info.Total)
+				break
+			}
+		}
+		if initial == nil {
+			c, err := reg.Create(*initialDoc, opt.Tenant, opt.Priority)
+			if err != nil {
+				ln.Close()
+				reg.Close()
+				return err
+			}
+			initial = c
+			fmt.Printf("campaign %s registered\n", c.ID())
+		}
+	}
+
+	srv := &http.Server{Handler: dist.NewService(reg).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	fmt.Printf("campaign service on %s, store %s\n", ln.Addr(), storeDir)
+	fmt.Printf("point workers here: symworker -coordinator http://%s\n", ln.Addr())
+	fmt.Printf("list campaigns:     symplfied -campaigns http://%s\n", ln.Addr())
+
+	interrupted := false
+	if initial != nil {
+		drained := make(chan struct{})
+		go func() {
+			if reg.WaitDrained(ctx) == nil {
+				close(drained)
+			}
+		}()
+		select {
+		case <-drained:
+			// Drain window: workers whose next claim raced the final
+			// completion must hear Done before the listener goes away.
+			select {
+			case <-time.After(2 * time.Second):
+			case <-ctx.Done():
+			}
+		case <-ctx.Done():
+			interrupted = true
+		case err := <-serveErr:
+			reg.Close()
+			return err
+		}
+	} else {
+		select {
+		case <-ctx.Done():
+			interrupted = true
+		case err := <-serveErr:
+			reg.Close()
+			return err
+		}
+	}
+
+	parent := ctx
+	grace := 10 * time.Minute
+	if interrupted {
+		parent = context.Background()
+		grace = 5 * time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(parent, grace)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	if err := reg.Close(); err != nil {
+		return err
+	}
+
+	for _, ci := range reg.List().Campaigns {
+		fmt.Printf("campaign %s (%s, priority %d): %s, %d/%d tasks, %d from cache, verdict %s\n",
+			ci.ID, ci.Tenant, ci.Priority, ci.State, ci.Done, ci.Total, ci.FromCache, ci.Verdict)
+	}
+	if initial == nil {
+		return nil
+	}
+	merged := initial.Report()
+	sum := merged.Summary
+	fmt.Printf("tasks: %d launched, %d completed (%d empty, %d with findings), %d incomplete\n",
+		sum.Tasks, sum.Completed, sum.CompletedEmpty, sum.CompletedWithFinds, sum.Incomplete)
+	if merged.Crossval != nil {
+		return reportCrossval(merged.Crossval, opt.XvalOut, "")
+	}
+	fmt.Printf("states explored: %d over %d injections\n", sum.TotalStates, sum.TotalInjections)
+	if sum.Panics > 0 {
+		fmt.Printf("warning: %d injections panicked and were isolated\n", sum.Panics)
+	}
+	if interrupted && !merged.Complete {
+		st := initial.Status()
+		fmt.Printf("interrupted: %d tasks unfinished; restart with the same -store to resume\n",
+			st.Queued+st.Leased)
+	}
+	fmt.Printf("findings (%s, goal %s): %d\n", initialDoc.Class, initialDoc.Goal, len(sum.Findings))
+	printFindings(sum.Findings, opt.Traces)
+	return nil
 }
 
 // serveCampaign runs the distributed-campaign coordinator: it partitions the

@@ -65,6 +65,8 @@ func run(ctx context.Context, args []string) error {
 		merge       = fs.Bool("merge", false, "merge states at post-dominators and fast-forward watchdog-bound loops on this node (verdicts unchanged)")
 		summaries   = fs.Bool("summaries", false, "elide explorations compositional per-function fault summaries prove benign (verdicts unchanged)")
 		shareCache  = fs.Bool("summary-cache", false, "share the summary cache through the coordinator's /summary endpoints (implies -summaries)")
+		campaignID  = fs.String("campaign", "", "serve only this campaign ID on a multi-campaign service (default: the whole fleet)")
+		drain       = fs.Bool("drain", false, "exit when the campaign just served completes, instead of rolling into the next open campaign")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,15 +93,21 @@ func run(ctx context.Context, args []string) error {
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
-	var onTask func(event string, task int)
+	var onTask func(campaign, event string, task int)
 	if !*quiet {
-		onTask = func(event string, task int) {
-			fmt.Printf("task %d: %s\n", task, event)
+		onTask = func(campaign, event string, task int) {
+			if campaign == "" {
+				fmt.Printf("task %d: %s\n", task, event)
+				return
+			}
+			fmt.Printf("campaign %s task %d: %s\n", campaign, task, event)
 		}
 	}
 	stats, err := dist.RunWorker(ctx, dist.WorkerConfig{
 		Coordinator: strings.TrimRight(*coordinator, "/"),
 		ID:          *id,
+		Campaign:    *campaignID,
+		Drain:       *drain,
 		Poll:        *poll,
 		OnTask:      onTask,
 		Parallelism: *parallel,

@@ -36,6 +36,7 @@ var (
 	mCoordTasksTotal = obs.Default().Gauge(obs.MTasksTotal)
 	mCoordTasksDone  = obs.Default().Gauge(obs.MTasksDone)
 	mCoordFindings   = obs.Default().Counter(obs.MFindings)
+	mEvents          = obs.Default().Counter(obs.MDistEvents)
 )
 
 // DefaultLease is the task lease duration when the config does not set one.
@@ -82,15 +83,32 @@ type workerInfo struct {
 }
 
 // Coordinator owns a campaign: the task queue, the leases, the pooled
-// results and the journal. All exported methods are safe for concurrent use;
-// the HTTP layer in Handler is a thin JSON shim over them.
+// results and the durable result log. All exported methods are safe for
+// concurrent use; the HTTP layer (Handler for a standalone coordinator,
+// Service for the multi-campaign registry) is a thin JSON shim over them.
 type Coordinator struct {
+	// id, tenant and priority identify the campaign within a Registry; a
+	// standalone coordinator (NewCoordinator) leaves them zero.
+	id       string
+	tenant   string
+	priority int
+
 	doc         SpecDoc
 	spec        checker.Spec
 	fingerprint string
 	leaseDur    time.Duration
 	now         func() time.Time
 	tasks       []cluster.Task
+
+	// cache is the fleet-wide result cache, consulted at claim time and fed
+	// on every settle. Nil disables caching (standalone coordinators).
+	cache *ResultCache
+
+	// persist durably logs one settled result; closePersist flushes the log.
+	// Either may be nil. A persist error does not un-settle the task — see
+	// Complete for how it is surfaced.
+	persist      func(key string, payload any) error
+	closePersist func() error
 
 	// Crossval campaigns replace the symbolic search: tasks are slices of
 	// injection sites, results are per-site crossval verdicts. The lease,
@@ -108,10 +126,16 @@ type Coordinator struct {
 	results  []*cluster.TaskReport // folded reports, indexed by task ID; nil = not done
 	xresults [][]crossval.PointReport
 	workers  map[string]*workerInfo
-	journal  *campaign.Journal
 	counters Counters
 	doneN    int
 	doneCh   chan struct{}
+
+	cancelled bool
+	// events is the campaign's append-only result stream; eventsCh is the
+	// broadcast channel closed and replaced on every append, so any number
+	// of subscribers can wait for "something new" without registration.
+	events   []Event
+	eventsCh chan struct{}
 }
 
 func (c *Coordinator) crossval() bool { return c.doc.Crossval }
@@ -130,31 +154,46 @@ func journalKind(crossval bool, tasks int) string {
 
 func taskKey(id int) string { return fmt.Sprintf("task:%d", id) }
 
-// NewCoordinator builds the campaign: lowers the spec document, partitions
-// the injection space, and (when configured) opens the task journal,
-// restoring completed tasks from it under Resume.
-func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
-	if cfg.Resume && cfg.Checkpoint == "" {
-		return nil, fmt.Errorf("dist: Resume requires a Checkpoint path")
-	}
-	width := cfg.Doc.Tasks
+// coordOptions configures newCoordinator, the shared constructor behind the
+// legacy single-campaign NewCoordinator and the Registry.
+type coordOptions struct {
+	id        string
+	tenant    string
+	priority  int
+	lease     time.Duration
+	now       func() time.Time
+	summaries *summary.Cache
+	cache     *ResultCache
+}
+
+// newCoordinator lowers the spec document and partitions the injection
+// space. Persistence is wired separately (see NewCoordinator and Registry):
+// the caller may call restore with previously journaled results and set
+// persist/closePersist, both before the coordinator starts serving.
+func newCoordinator(doc SpecDoc, opt coordOptions) (*Coordinator, error) {
+	width := doc.Tasks
 	if width <= 0 {
 		width = 1
 	}
 	c := &Coordinator{
-		doc:       cfg.Doc,
-		leaseDur:  cfg.Lease,
-		now:       cfg.Now,
+		id:        opt.id,
+		tenant:    opt.tenant,
+		priority:  opt.priority,
+		doc:       doc,
+		leaseDur:  opt.lease,
+		now:       opt.now,
+		cache:     opt.cache,
 		leases:    make(map[int]lease),
 		workers:   make(map[string]*workerInfo),
 		doneCh:    make(chan struct{}),
-		summaries: cfg.SummaryCache,
+		eventsCh:  make(chan struct{}),
+		summaries: opt.summaries,
 	}
 	if c.summaries == nil {
 		c.summaries = summary.NewCache(0, nil)
 	}
-	if cfg.Doc.Crossval {
-		xspec, err := cfg.Doc.BuildCrossval()
+	if doc.Crossval {
+		xspec, err := doc.BuildCrossval()
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +210,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 		c.xresults = make([][]crossval.PointReport, len(c.tasks))
 	} else {
-		spec, err := cfg.Doc.Build()
+		spec, err := doc.Build()
 		if err != nil {
 			return nil, err
 		}
@@ -182,47 +221,119 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		c.fingerprint = campaign.Fingerprint(spec)
 		c.tasks = cluster.Split(spec.Injections, width)
 	}
-	tasks := c.tasks
-	c.results = make([]*cluster.TaskReport, len(tasks))
-	mCoordTasksTotal.Add(int64(len(tasks)))
+	c.results = make([]*cluster.TaskReport, len(c.tasks))
+	mCoordTasksTotal.Add(int64(len(c.tasks)))
 	if c.leaseDur <= 0 {
 		c.leaseDur = DefaultLease
 	}
 	if c.now == nil {
 		c.now = time.Now
 	}
+	return c, nil
+}
 
-	kind := journalKind(c.crossval(), len(tasks))
+// NewCoordinator builds a standalone single-campaign coordinator: lowers the
+// spec document, partitions the injection space, and (when configured) opens
+// the task journal, restoring completed tasks from it under Resume. The
+// multi-campaign service wraps the same machinery via Registry.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return nil, fmt.Errorf("dist: Resume requires a Checkpoint path")
+	}
+	c, err := newCoordinator(cfg.Doc, coordOptions{
+		lease:     cfg.Lease,
+		now:       cfg.Now,
+		summaries: cfg.SummaryCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kind := c.JournalKind()
 	if cfg.Resume {
 		entries, err := campaign.LoadJournal(cfg.Checkpoint, kind, c.fingerprint)
 		if err != nil {
 			return nil, err
 		}
-		for id := range tasks {
-			raw, ok := entries[taskKey(id)]
-			if !ok {
-				continue
-			}
-			var res TaskResult
-			if err := json.Unmarshal(raw, &res); err != nil {
-				continue // an undecodable entry is re-run rather than trusted
-			}
-			c.settleLocked(id, res)
-		}
+		c.restore(entries)
 	}
 	if cfg.Checkpoint != "" {
 		j, err := campaign.OpenJournal(cfg.Checkpoint, kind, c.fingerprint)
 		if err != nil {
 			return nil, err
 		}
-		c.journal = j
+		c.persist = func(key string, payload any) error { return j.Append(key, payload) }
+		c.closePersist = j.Close
 	}
 	return c, nil
 }
 
+// DocFingerprint lowers doc and returns its campaign fingerprint — the key
+// by which the service recognizes resubmissions of the same document —
+// without building a coordinator.
+func DocFingerprint(doc SpecDoc) (string, error) {
+	if doc.Crossval {
+		xspec, err := doc.BuildCrossval()
+		if err != nil {
+			return "", err
+		}
+		return crossval.Fingerprint(xspec), nil
+	}
+	spec, err := doc.Build()
+	if err != nil {
+		return "", err
+	}
+	return campaign.Fingerprint(spec), nil
+}
+
+// JournalKind is the campaign's durable-log kind string: it pins the
+// decomposition width as well as (via the fingerprint) the spec, so a log
+// written under a different -tasks split is rejected rather than replayed
+// across different task boundaries.
+func (c *Coordinator) JournalKind() string { return journalKind(c.crossval(), len(c.tasks)) }
+
+// restore settles previously journaled results. It must run before the
+// coordinator starts serving (NewCoordinator and Registry call it during
+// construction). Undecodable entries are re-run rather than trusted; settled
+// results are published to the fleet result cache when one is wired.
+func (c *Coordinator) restore(entries map[string]json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id := range c.tasks {
+		if c.results[id] != nil {
+			continue
+		}
+		raw, ok := entries[taskKey(id)]
+		if !ok {
+			continue
+		}
+		var res TaskResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			continue
+		}
+		c.settleLocked(id, res, Event{Restored: true})
+		c.cache.Put(c.cacheKey(id), res)
+	}
+}
+
+// cacheKey is task id's fleet result-cache key.
+func (c *Coordinator) cacheKey(id int) string {
+	return resultCacheKey(c.fingerprint, len(c.tasks), id, c.doc.TaskStateBudget, c.doc.MaxFindingsPerTask)
+}
+
+// appendEventLocked numbers and appends one event to the campaign stream and
+// wakes every subscriber. Callers hold c.mu.
+func (c *Coordinator) appendEventLocked(ev Event) {
+	ev.Seq = len(c.events) + 1
+	c.events = append(c.events, ev)
+	mEvents.Inc()
+	close(c.eventsCh)
+	c.eventsCh = make(chan struct{})
+}
+
 // settleLocked folds a task result into its report and marks the task done.
-// Callers hold c.mu (or, in NewCoordinator, exclusive access).
-func (c *Coordinator) settleLocked(id int, res TaskResult) {
+// src carries the event provenance (worker, cache, restore); Seq, Type, Task
+// and the tallies are filled here. Callers hold c.mu.
+func (c *Coordinator) settleLocked(id int, res TaskResult, src Event) {
 	var rep cluster.TaskReport
 	if c.crossval() {
 		// A crossval task's payload is its point reports; the TaskReport is
@@ -245,7 +356,13 @@ func (c *Coordinator) settleLocked(id int, res TaskResult) {
 	// coordinator and an in-process worker — tests — the worker's checker
 	// also counts findings; the live counter is operational, not a report.)
 	mCoordFindings.Add(int64(len(rep.Findings)))
+	src.Type = "task"
+	src.Task = c.tasks[id].ID
+	src.Findings = len(rep.Findings)
+	src.States = rep.StatesExplored
+	c.appendEventLocked(src)
 	if c.doneN == len(c.tasks) {
+		c.appendEventLocked(Event{Type: "done"})
 		close(c.doneCh)
 	}
 }
@@ -283,39 +400,78 @@ func (c *Coordinator) touchLocked(worker string, now time.Time) *workerInfo {
 	return w
 }
 
-// Claim leases the lowest-numbered pending task to worker. When every task
-// is done the response says so (the worker should exit); when all remaining
-// tasks are currently leased the response carries no task (the worker should
-// poll again).
+// Claim leases the lowest-numbered pending task to worker. Before leasing,
+// each candidate task is looked up in the fleet result cache: a task whose
+// (fingerprint, width, id, budget, findings-cap) key already settled under
+// any campaign is answered from cache and settled without a lease — the
+// cached result is byte-identical to what a worker would compute, since
+// exploration is deterministic over that key. When every task is done the
+// response says so (the worker should exit); when all remaining tasks are
+// currently leased the response carries no task (the worker should poll
+// again).
 func (c *Coordinator) Claim(worker string) ClaimResponse {
+	type settled struct {
+		key string
+		res TaskResult
+	}
+	var persisted []settled
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.now()
 	c.reapLocked(now)
 	w := c.touchLocked(worker, now)
-	if c.doneN == len(c.tasks) {
-		return ClaimResponse{Done: true}
+	resp := func() ClaimResponse {
+		if c.cancelled || c.doneN == len(c.tasks) {
+			return ClaimResponse{Done: true}
+		}
+		for id := range c.tasks {
+			if c.results[id] != nil {
+				continue
+			}
+			if _, held := c.leases[id]; held {
+				continue
+			}
+			if c.cache != nil {
+				if res, ok := c.cache.Get(c.cacheKey(id)); ok {
+					c.settleLocked(id, res, Event{FromCache: true})
+					c.counters.TasksFromCache++
+					persisted = append(persisted, settled{key: taskKey(id), res: res})
+					if c.doneN == len(c.tasks) {
+						return ClaimResponse{Done: true}
+					}
+					continue
+				}
+			}
+			c.leases[id] = lease{worker: worker, expires: now.Add(c.leaseDur)}
+			w.leased[id] = true
+			c.counters.TasksServed++
+			mTasksServed.Inc()
+			asg := &TaskAssignment{ID: c.tasks[id].ID}
+			if c.crossval() {
+				asg.Points = c.xtasks[id].Points
+			} else {
+				asg.Injections = c.tasks[id].Injections
+			}
+			return ClaimResponse{Task: asg, Lease: c.leaseDur}
+		}
+		return ClaimResponse{} // all in flight: poll again
+	}()
+	persist := c.persist
+	c.mu.Unlock()
+
+	// Journal cache-settled tasks outside the lock, like Complete does.
+	if persist != nil {
+		for _, s := range persisted {
+			if err := persist(s.key, s.res); err != nil {
+				log.Printf("dist: journal append for cached task failed: %v", err)
+				c.mu.Lock()
+				c.counters.JournalErrors++
+				c.mu.Unlock()
+				mJournalErrors.Inc()
+			}
+		}
 	}
-	for id := range c.tasks {
-		if c.results[id] != nil {
-			continue
-		}
-		if _, held := c.leases[id]; held {
-			continue
-		}
-		c.leases[id] = lease{worker: worker, expires: now.Add(c.leaseDur)}
-		w.leased[id] = true
-		c.counters.TasksServed++
-		mTasksServed.Inc()
-		asg := &TaskAssignment{ID: c.tasks[id].ID}
-		if c.crossval() {
-			asg.Points = c.xtasks[id].Points
-		} else {
-			asg.Injections = c.tasks[id].Injections
-		}
-		return ClaimResponse{Task: asg, Lease: c.leaseDur}
-	}
-	return ClaimResponse{} // all in flight: poll again
+	return resp
 }
 
 // Heartbeat renews worker's lease on task. ErrLeaseLost means the worker no
@@ -349,9 +505,11 @@ func (c *Coordinator) Complete(worker string, task int, res TaskResult) (Complet
 	}
 	now := c.now()
 	w := c.touchLocked(worker, now)
-	if c.results[task] != nil {
+	if c.results[task] != nil || c.cancelled {
+		// Already settled — or the campaign was cancelled, in which case a
+		// late post is dropped the same way a zombie duplicate is.
 		c.counters.DuplicateCompletions++
-		done := c.doneN == len(c.tasks)
+		done := c.cancelled || c.doneN == len(c.tasks)
 		c.mu.Unlock()
 		mDuplicates.Inc()
 		return CompleteResponse{Duplicate: true, Done: done}, nil
@@ -361,21 +519,22 @@ func (c *Coordinator) Complete(worker string, task int, res TaskResult) (Complet
 			delete(prev.leased, task)
 		}
 	}
-	c.settleLocked(task, res)
+	c.settleLocked(task, res, Event{Worker: worker})
 	delete(w.leased, task)
 	w.completed++
 	c.counters.TasksCompleted++
 	c.counters.ReportsPooled += int64(len(res.Reports))
-	journal := c.journal
+	persist := c.persist
 	done := c.doneN == len(c.tasks)
 	c.mu.Unlock()
 	mTasksCompleted.Inc()
 	mReportsPooled.Add(int64(len(res.Reports)))
+	c.cache.Put(c.cacheKey(task), res)
 	// Journal outside the coordinator lock: a huge task result (gigabytes
 	// under unlimited findings) must not stall heartbeats and claims while
 	// it is serialized to disk. Journal.Append serializes appends itself.
-	if journal != nil {
-		if err := journal.Append(taskKey(task), res); err != nil {
+	if persist != nil {
+		if err := persist(taskKey(task), res); err != nil {
 			// The result is pooled; only checkpoint durability is
 			// compromised, so the completion is still acknowledged Accepted.
 			// That very acknowledgement hides the failure from the worker, so
@@ -420,6 +579,97 @@ func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
 // Fingerprint returns the campaign fingerprint workers verify against.
 func (c *Coordinator) Fingerprint() string { return c.fingerprint }
 
+// ID returns the campaign's registry ID (empty for standalone coordinators).
+func (c *Coordinator) ID() string { return c.id }
+
+// Tenant returns the owning tenant (empty for standalone coordinators).
+func (c *Coordinator) Tenant() string { return c.tenant }
+
+// Cancel closes the campaign: outstanding leases are dropped, further claims
+// answer Done and further completions are dropped as duplicates. Settled
+// results are kept — the partial report stays available — but the Done
+// channel is not closed: cancellation is not completion.
+func (c *Coordinator) Cancel() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelled {
+		return
+	}
+	c.cancelled = true
+	for id, l := range c.leases {
+		if w := c.workers[l.worker]; w != nil {
+			delete(w.leased, id)
+		}
+		delete(c.leases, id)
+	}
+	c.appendEventLocked(Event{Type: "cancelled"})
+}
+
+// State reports the campaign lifecycle state: StateOpen while tasks remain,
+// StateDone once every task settled, StateCancelled after Cancel.
+func (c *Coordinator) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateLocked()
+}
+
+func (c *Coordinator) stateLocked() string {
+	switch {
+	case c.cancelled:
+		return StateCancelled
+	case c.doneN == len(c.tasks):
+		return StateDone
+	default:
+		return StateOpen
+	}
+}
+
+// LeasedCount reports how many tasks the campaign currently has leased, for
+// per-tenant quota accounting. Lapsed leases are reaped first so a stalled
+// worker does not pin its tenant at quota.
+func (c *Coordinator) LeasedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.now())
+	return len(c.leases)
+}
+
+// EventsSince returns the campaign events with Seq > after, plus a channel
+// closed the next time any event is appended — the long-poll/SSE wait
+// primitive. An empty slice with an open channel means "nothing new yet".
+func (c *Coordinator) EventsSince(after int) ([]Event, <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := c.eventsCh
+	if after < 0 {
+		after = 0
+	}
+	if after >= len(c.events) {
+		return nil, ch
+	}
+	out := make([]Event, len(c.events)-after)
+	copy(out, c.events[after:])
+	return out, ch
+}
+
+// Info snapshots the campaign for the registry listing.
+func (c *Coordinator) Info() CampaignInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CampaignInfo{
+		ID:          c.id,
+		Tenant:      c.tenant,
+		Priority:    c.priority,
+		Fingerprint: c.fingerprint,
+		State:       c.stateLocked(),
+		Crossval:    c.crossval(),
+		Done:        c.doneN,
+		Total:       len(c.tasks),
+		FromCache:   int(c.counters.TasksFromCache),
+		Verdict:     c.verdictLocked(),
+	}
+}
+
 // SpecResponse returns the campaign document handed to workers.
 func (c *Coordinator) SpecResponse() SpecResponse {
 	return SpecResponse{Spec: c.doc, Fingerprint: c.fingerprint, Lease: c.leaseDur}
@@ -432,6 +682,10 @@ func (c *Coordinator) Status() StatusResponse {
 	now := c.now()
 	c.reapLocked(now)
 	st := StatusResponse{
+		ID:       c.id,
+		Tenant:   c.tenant,
+		Priority: c.priority,
+		State:    c.stateLocked(),
 		Total:    len(c.tasks),
 		Done:     c.doneN,
 		Leased:   len(c.leases),
@@ -484,6 +738,9 @@ func (c *Coordinator) Status() StatusResponse {
 // campaign "refuted" means a conclusive SymbolicMiss pooled: the symbolic
 // engine's soundness claim is what the campaign checks.
 func (c *Coordinator) verdictLocked() string {
+	if c.cancelled && c.doneN < len(c.tasks) {
+		return StateCancelled
+	}
 	if c.crossval() {
 		for _, prs := range c.xresults {
 			for i := range prs {
@@ -554,15 +811,17 @@ func (c *Coordinator) Report() MergedReport {
 	return out
 }
 
-// Close flushes and closes the task journal, if any.
+// Close flushes and closes the task journal, if any. Registry-owned
+// coordinators share their store's lifecycle and have no closePersist.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.journal == nil {
+	if c.closePersist == nil {
 		return nil
 	}
-	err := c.journal.Close()
-	c.journal = nil
+	err := c.closePersist()
+	c.closePersist = nil
+	c.persist = nil
 	return err
 }
 

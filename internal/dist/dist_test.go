@@ -199,8 +199,12 @@ func TestJournalErrorSurfaced(t *testing.T) {
 	if resp := c.Claim("w"); resp.Task == nil {
 		t.Fatal("claim failed")
 	}
-	// The checkpoint file goes bad mid-campaign.
-	c.journal.Close()
+	// The checkpoint file goes bad mid-campaign: close the underlying
+	// journal while leaving the persist hook attached.
+	if err := c.closePersist(); err != nil {
+		t.Fatal(err)
+	}
+	c.closePersist = nil
 	resp, err := c.Complete("w", 0, syntheticResult(1))
 	if err == nil {
 		t.Fatal("journal failure not reported")

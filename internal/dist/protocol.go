@@ -11,18 +11,35 @@ import (
 	"symplfied/internal/simplescalar"
 )
 
-// The coordinator's JSON HTTP API. All bodies are JSON; errors are plain
-// text with a non-2xx status.
+// The campaign service's JSON HTTP API. All bodies are JSON; errors are
+// plain text with a non-2xx status.
 //
-//	GET  /spec       -> SpecResponse     campaign document + fingerprint
-//	POST /claim      ClaimRequest -> ClaimResponse
-//	POST /heartbeat  HeartbeatRequest -> 204 (409 when the lease is lost)
-//	POST /complete   CompleteRequest -> CompleteResponse
-//	GET  /status     -> StatusResponse   live fleet status
-//	GET  /report     -> MergedReport     pooled report so far
+// Versioned, campaign-scoped surface (dist.Service):
+//
+//	POST /v1/campaigns                 CreateCampaignRequest -> CampaignInfo (429 at tenant quota)
+//	GET  /v1/campaigns                 -> CampaignList        every campaign, priority-ranked
+//	POST /v1/campaigns/{id}/cancel     -> 204                 stop serving; unsettled tasks stay unsettled
+//	GET  /v1/campaigns/{id}/spec       -> SpecResponse        campaign document + fingerprint
+//	POST /v1/campaigns/{id}/claim      ClaimRequest -> ClaimResponse
+//	POST /v1/campaigns/{id}/heartbeat  HeartbeatRequest -> 204 (409 when the lease is lost)
+//	POST /v1/campaigns/{id}/complete   CompleteRequest -> CompleteResponse
+//	GET  /v1/campaigns/{id}/status     -> StatusResponse      live campaign status
+//	GET  /v1/campaigns/{id}/report     -> MergedReport        pooled report so far
+//	GET  /v1/campaigns/{id}/events     -> []Event             ?after=N long-poll, ?sse=1 streams
+//	POST /v1/claim                     ClaimRequest -> FleetClaimResponse (priority-weighted, any campaign)
+//
+// Fleet-wide, campaign-independent surface:
+//
 //	POST /summary/get  SummaryGetRequest -> SummaryGetResponse
 //	POST /summary/put  SummaryPutRequest -> 204
-//	GET  /debug/vars -> expvar counters
+//	GET  /debug/vars   -> expvar counters; /metrics Prometheus text
+//
+// Legacy root-level paths (thin aliases onto the service's default campaign,
+// so pre-v1 symworker flags keep working; also the whole surface of a
+// standalone Coordinator.Handler):
+//
+//	GET  /spec       POST /claim      POST /heartbeat
+//	POST /complete   GET  /status     GET  /report
 const (
 	PathSpec       = "/spec"
 	PathClaim      = "/claim"
@@ -32,7 +49,21 @@ const (
 	PathReport     = "/report"
 	PathSummaryGet = "/summary/get"
 	PathSummaryPut = "/summary/put"
+
+	// PathV1Campaigns is the campaign collection; campaign-scoped calls live
+	// under PathV1Campaigns + "/{id}/..." (see V1CampaignPath).
+	PathV1Campaigns = "/v1/campaigns"
+	// PathV1Claim is the fleet-level claim: the service picks the campaign
+	// (priority-weighted across every open campaign whose tenant is under
+	// quota) and answers with the campaign ID alongside the task.
+	PathV1Claim = "/v1/claim"
 )
+
+// V1CampaignPath renders a campaign-scoped route: op is one of "spec",
+// "claim", "heartbeat", "complete", "status", "report", "events", "cancel".
+func V1CampaignPath(id, op string) string {
+	return PathV1Campaigns + "/" + id + "/" + op
+}
 
 // SpecResponse hands a worker everything it needs to rebuild the campaign.
 type SpecResponse struct {
@@ -160,14 +191,112 @@ type Counters struct {
 	Heartbeats           int64
 	ReportsPooled        int64
 	DuplicateCompletions int64
+	// TasksFromCache counts tasks settled from the fleet-wide result cache
+	// at claim time, without a worker lease.
+	TasksFromCache int64
 	// JournalErrors counts completions that pooled but failed to checkpoint:
 	// nonzero means a -resume of this coordinator would re-run tasks the
 	// operator believed journaled.
 	JournalErrors int64
 }
 
+// CreateCampaignRequest submits a new campaign to the service.
+type CreateCampaignRequest struct {
+	// Tenant names the submitting tenant for quota accounting and fleet
+	// status. Empty selects the "default" tenant.
+	Tenant string `json:",omitempty"`
+	// Priority weights task dispatch across campaigns sharing the fleet:
+	// higher-priority campaigns are served first, ties round-robin. 0 is the
+	// default priority.
+	Priority int `json:",omitempty"`
+	// Doc is the declarative campaign document, lowered identically by the
+	// service and every worker.
+	Doc SpecDoc
+}
+
+// CampaignInfo is one registry entry as listed by GET /v1/campaigns.
+type CampaignInfo struct {
+	// ID addresses the campaign in every /v1/campaigns/{id}/... route. It
+	// embeds a prefix of the spec fingerprint plus a creation sequence
+	// number, so two submissions of the same document are distinct campaigns
+	// with a shared fingerprint.
+	ID          string
+	Tenant      string
+	Priority    int    `json:",omitempty"`
+	Fingerprint string
+	// State is "open" (accepting claims), "done" (every task settled) or
+	// "cancelled".
+	State string
+	// Crossval marks a cross-validation campaign.
+	Crossval bool `json:",omitempty"`
+	// Done and Total count settled tasks and the decomposition width.
+	Done, Total int
+	// FromCache counts tasks answered by the fleet-wide result cache without
+	// a worker lease.
+	FromCache int `json:",omitempty"`
+	// Verdict is the campaign's pooled verdict so far.
+	Verdict string `json:",omitempty"`
+}
+
+// CampaignList answers GET /v1/campaigns. Campaigns are listed in dispatch
+// order: open campaigns first, priority-ranked exactly as the fleet claim
+// serves them, then settled and cancelled ones in creation order.
+type CampaignList struct {
+	Campaigns []CampaignInfo
+}
+
+// FleetClaimResponse answers the fleet-level POST /v1/claim: a campaign
+// chosen by the service plus the task leased within it.
+type FleetClaimResponse struct {
+	// Campaign is the ID of the campaign the task belongs to; heartbeats and
+	// the completion go to its campaign-scoped routes. Empty when no task was
+	// leased.
+	Campaign string `json:",omitempty"`
+	// Done is true when the service has campaigns and every one is settled
+	// or cancelled: the worker should exit. A service with no campaigns yet
+	// answers Done=false so a fleet may start before its first submission.
+	Done bool
+	// Task and Lease are as in ClaimResponse, scoped to Campaign.
+	Task  *TaskAssignment `json:",omitempty"`
+	Lease time.Duration   `json:",omitempty"`
+	// OpenCampaigns counts campaigns currently accepting claims.
+	OpenCampaigns int
+}
+
+// Event is one entry in a campaign's append-only result stream, pushed to
+// subscribers of GET /v1/campaigns/{id}/events as tasks settle instead of
+// one final /report poll.
+type Event struct {
+	// Seq numbers events from 1 within the campaign; pass the last seen Seq
+	// as ?after=N to long-poll for the rest.
+	Seq int
+	// Type is "task" (one task settled), "done" (every task settled) or
+	// "cancelled".
+	Type string
+	// Task identifies the settled task for Type "task".
+	Task int `json:",omitempty"`
+	// Worker is the poster for worker-settled tasks; empty for cache- or
+	// journal-settled ones.
+	Worker string `json:",omitempty"`
+	// FromCache marks a task answered by the fleet-wide result cache without
+	// a worker lease.
+	FromCache bool `json:",omitempty"`
+	// Restored marks a task settled from the durable store during resume.
+	Restored bool `json:",omitempty"`
+	// Findings and States carry the settled task's pooled tallies.
+	Findings int `json:",omitempty"`
+	States   int `json:",omitempty"`
+}
+
 // StatusResponse is the live fleet status.
 type StatusResponse struct {
+	// ID, Tenant, Priority and State identify the campaign within the
+	// service; a standalone coordinator reports an empty ID and tenant.
+	ID       string `json:",omitempty"`
+	Tenant   string `json:",omitempty"`
+	Priority int    `json:",omitempty"`
+	// State is "open", "done" or "cancelled".
+	State string `json:",omitempty"`
 	// Queued, Leased, Done partition the Total tasks.
 	Queued, Leased, Done, Total int
 	// Verdict is the pooled verdict over the tasks done so far: "refuted" as

@@ -2,16 +2,34 @@
 // paper ran each SymPLFIED study by splitting the search into independent
 // tasks dispatched to a 150-node Opteron cluster (Section 6.1).
 // internal/cluster reproduces the decomposition on one machine's cores; this
-// package spans machines. A coordinator loads a campaign spec, partitions
-// the injection space with cluster.Split, and serves tasks over a JSON HTTP
-// API to pull-based workers; each worker claims a task under a renewable
-// lease, sweeps it with cluster.RunTaskCtx (keeping the checker's
-// per-injection timeout and panic isolation), and posts back the serialized
-// per-injection reports. The coordinator journals completed tasks through
-// internal/campaign's JSONL journal so a killed coordinator resumes without
-// re-running finished work, reassigns tasks whose lease heartbeats lapse,
-// drops duplicate completions from re-claimed tasks, and pools the results
-// into a merged report identical to a single-process cluster.Run.
+// package spans machines — and, beyond the paper, spans campaigns: it is a
+// persistent multi-tenant campaign service, not a one-shot coordinator.
+//
+// A Registry owns any number of campaigns at once. Each campaign lowers a
+// declarative SpecDoc, partitions its injection space with cluster.Split,
+// and serves tasks over the versioned JSON HTTP API (Service; see the
+// endpoint table in protocol.go) to pull-based workers. Workers claim either
+// from one campaign's scoped routes or from the fleet-level dispatcher,
+// which ranks open campaigns by priority (round-robining equals) and
+// enforces per-tenant quotas on open campaigns and leased tasks. Each
+// claimed task runs under a renewable lease, is swept with
+// cluster.RunTaskCtx (keeping the checker's per-injection timeout and panic
+// isolation), and its serialized per-injection reports are posted back.
+//
+// Durability is a pluggable Store behind internal/campaign's JSONL journal
+// format: every campaign's record and settled results persist, so a killed
+// service resumes every open campaign — not just one checkpoint path.
+// Settled results also feed a fleet-wide content-addressed ResultCache
+// keyed by (fingerprint, split width, task, budgets): a re-submitted
+// document's tasks are answered from cache at claim time without a worker
+// lease. Findings stream to subscribers over per-campaign event feeds
+// (long-poll or SSE) as tasks settle.
+//
+// The original single-campaign machinery remains: Coordinator still
+// reassigns tasks whose lease heartbeats lapse, drops duplicate completions
+// from re-claimed tasks, and pools results into a merged report identical —
+// byte for byte — to a single-process cluster.Run per campaign; the legacy
+// root-level HTTP paths alias onto the registry's default campaign.
 package dist
 
 import (

@@ -1,0 +1,323 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"symplfied/internal/campaign"
+)
+
+// Store is the durable backing of a campaign Registry. It records each
+// campaign's document and lifecycle state plus an append-only log of its
+// settled task results, so a restarted service resumes every open campaign —
+// not just one -resume path. Implementations must be safe for concurrent use
+// and must tolerate a crash between any two calls: on reload, a campaign
+// record written by PutCampaign and any prefix of its appended results must
+// be recovered (a torn final append may be dropped).
+//
+// MemStore keeps everything in memory (tests, ephemeral services); DiskStore
+// persists under a directory using the internal/campaign journal format, so
+// its result logs inherit the journal's header validation and torn-tail
+// truncation.
+type Store interface {
+	// PutCampaign creates or replaces a campaign record. Replacing is how
+	// lifecycle transitions (open → done, open → cancelled) are persisted.
+	PutCampaign(rec CampaignRecord) error
+	// Campaigns lists every stored record in creation (Seq) order.
+	Campaigns() ([]CampaignRecord, error)
+	// AppendResult logs one settled task result for the campaign. Keys
+	// follow the journal convention ("task:<id>"); appending a key twice is
+	// harmless — the last entry wins on reload, matching the journal format.
+	// Appending to a campaign never stored is an error.
+	AppendResult(campaignID, key string, payload any) error
+	// Results replays the campaign's settled results, last entry per key.
+	// An unknown campaign is an error; a known campaign with no results yet
+	// yields an empty map.
+	Results(campaignID string) (map[string]json.RawMessage, error)
+	// Close releases any held resources (open journal files).
+	Close() error
+}
+
+// Campaign lifecycle states as stored and served.
+const (
+	StateOpen      = "open"
+	StateDone      = "done"
+	StateCancelled = "cancelled"
+)
+
+// CampaignRecord is a Store's durable description of one campaign: enough
+// to re-lower the document and resume dispatch after a restart.
+type CampaignRecord struct {
+	// ID addresses the campaign; it doubles as the journal directory name in
+	// DiskStore, so Registry mints it from the fingerprint prefix plus Seq.
+	ID     string
+	Tenant string
+	// Priority weights dispatch; higher is served first.
+	Priority int
+	// State is StateOpen, StateDone or StateCancelled.
+	State string
+	// Doc is the campaign document as submitted (pre-lowering).
+	Doc SpecDoc
+	// Fingerprint is the lowered spec's campaign fingerprint; it guards the
+	// result journal against replaying a foreign campaign's entries.
+	Fingerprint string
+	// Kind is the journal kind string ("dist-tasks-<n>" or
+	// "dist-crossval-tasks-<n>"), which pins the decomposition width.
+	Kind string
+	// Seq orders campaigns by creation within the service.
+	Seq int
+}
+
+// MemStore is the in-memory Store: durable for the life of the process only.
+type MemStore struct {
+	mu      sync.Mutex
+	recs    map[string]CampaignRecord
+	results map[string][]memEntry
+}
+
+type memEntry struct {
+	key string
+	raw json.RawMessage
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		recs:    make(map[string]CampaignRecord),
+		results: make(map[string][]memEntry),
+	}
+}
+
+// PutCampaign implements Store.
+func (s *MemStore) PutCampaign(rec CampaignRecord) error {
+	if rec.ID == "" {
+		return fmt.Errorf("dist: store: empty campaign ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs[rec.ID] = rec
+	return nil
+}
+
+// Campaigns implements Store.
+func (s *MemStore) Campaigns() ([]CampaignRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CampaignRecord, 0, len(s.recs))
+	for _, rec := range s.recs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// AppendResult implements Store.
+func (s *MemStore) AppendResult(campaignID, key string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("dist: store: marshal result: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[campaignID]; !ok {
+		return fmt.Errorf("dist: store: append to unknown campaign %q", campaignID)
+	}
+	s.results[campaignID] = append(s.results[campaignID], memEntry{key: key, raw: raw})
+	return nil
+}
+
+// Results implements Store.
+func (s *MemStore) Results(campaignID string) (map[string]json.RawMessage, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[campaignID]; !ok {
+		return nil, fmt.Errorf("dist: store: results for unknown campaign %q", campaignID)
+	}
+	out := make(map[string]json.RawMessage)
+	for _, e := range s.results[campaignID] {
+		out[e.key] = e.raw
+	}
+	return out, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// DiskStore persists campaigns under a root directory:
+//
+//	<root>/<id>/campaign.json  — the CampaignRecord, written atomically
+//	<root>/<id>/tasks.jsonl    — settled results, internal/campaign journal
+//
+// Result logs reuse campaign.OpenJournal, so each carries a header binding
+// it to the campaign's fingerprint and kind: a journal that does not match
+// its record (edited by hand, copied between directories) is rejected on
+// reload rather than silently pooled, and a torn final line from a crash is
+// truncated away.
+type DiskStore struct {
+	root string
+
+	mu       sync.Mutex
+	journals map[string]*campaign.Journal
+}
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: store: %w", err)
+	}
+	return &DiskStore{root: dir, journals: make(map[string]*campaign.Journal)}, nil
+}
+
+// validStoreID guards against campaign IDs that would escape the store root
+// or collide with special directory entries when used as a path component.
+func validStoreID(id string) error {
+	if id == "" || id == "." || id == ".." ||
+		strings.ContainsAny(id, "/\\") || strings.ContainsRune(id, 0) {
+		return fmt.Errorf("dist: store: invalid campaign ID %q", id)
+	}
+	return nil
+}
+
+func (s *DiskStore) dir(id string) string { return filepath.Join(s.root, id) }
+
+// PutCampaign implements Store. The record is written to a temporary file
+// and renamed into place so a crash mid-write leaves either the old record
+// or the new one, never a torn file.
+func (s *DiskStore) PutCampaign(rec CampaignRecord) error {
+	if err := validStoreID(rec.ID); err != nil {
+		return err
+	}
+	dir := s.dir(rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dist: store: %w", err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dist: store: marshal campaign: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "campaign-*.tmp")
+	if err != nil {
+		return fmt.Errorf("dist: store: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: store: write campaign: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: store: sync campaign: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: store: close campaign: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, "campaign.json")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: store: commit campaign: %w", err)
+	}
+	return nil
+}
+
+// Campaigns implements Store.
+func (s *DiskStore) Campaigns() ([]CampaignRecord, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("dist: store: %w", err)
+	}
+	var out []CampaignRecord
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.root, e.Name(), "campaign.json"))
+		if os.IsNotExist(err) {
+			continue // crashed between MkdirAll and rename: nothing to resume
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dist: store: %w", err)
+		}
+		var rec CampaignRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("dist: store: campaign %s: %w", e.Name(), err)
+		}
+		if rec.ID != e.Name() {
+			return nil, fmt.Errorf("dist: store: campaign directory %s holds record for %q", e.Name(), rec.ID)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// journal returns the campaign's open result journal, opening it lazily so
+// Campaigns()-only consumers (the -campaigns CLI) never touch task logs.
+func (s *DiskStore) journal(campaignID string) (*campaign.Journal, error) {
+	if err := validStoreID(campaignID); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.journals[campaignID]; ok {
+		return j, nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir(campaignID), "campaign.json"))
+	if err != nil {
+		return nil, fmt.Errorf("dist: store: append to unknown campaign %q: %w", campaignID, err)
+	}
+	var rec CampaignRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("dist: store: campaign %s: %w", campaignID, err)
+	}
+	j, err := campaign.OpenJournal(filepath.Join(s.dir(campaignID), "tasks.jsonl"), rec.Kind, rec.Fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	s.journals[campaignID] = j
+	return j, nil
+}
+
+// AppendResult implements Store.
+func (s *DiskStore) AppendResult(campaignID, key string, payload any) error {
+	j, err := s.journal(campaignID)
+	if err != nil {
+		return err
+	}
+	return j.Append(key, payload)
+}
+
+// Results implements Store.
+func (s *DiskStore) Results(campaignID string) (map[string]json.RawMessage, error) {
+	if err := validStoreID(campaignID); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir(campaignID), "campaign.json"))
+	if err != nil {
+		return nil, fmt.Errorf("dist: store: results for unknown campaign %q: %w", campaignID, err)
+	}
+	var rec CampaignRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("dist: store: campaign %s: %w", campaignID, err)
+	}
+	return campaign.LoadJournal(filepath.Join(s.dir(campaignID), "tasks.jsonl"), rec.Kind, rec.Fingerprint)
+}
+
+// Close implements Store.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, j := range s.journals {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.journals, id)
+	}
+	return first
+}

@@ -1,0 +1,393 @@
+package dist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// storeFixture abstracts one Store implementation for the conformance suite.
+// open yields a fresh store plus a reopen hook that simulates a process
+// restart: for DiskStore it closes the handle and opens a new one over the
+// same directory; for MemStore — durable only for the life of the process —
+// it returns the same instance.
+type storeFixture struct {
+	name string
+	open func(t *testing.T) (store Store, reopen func(t *testing.T) Store)
+}
+
+func storeFixtures() []storeFixture {
+	return []storeFixture{
+		{"mem", func(t *testing.T) (Store, func(t *testing.T) Store) {
+			s := NewMemStore()
+			return s, func(t *testing.T) Store { return s }
+		}},
+		{"disk", func(t *testing.T) (Store, func(t *testing.T) Store) {
+			dir := t.TempDir()
+			s, err := NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cur Store = s
+			return s, func(t *testing.T) Store {
+				if err := cur.Close(); err != nil {
+					t.Fatal(err)
+				}
+				next, err := NewDiskStore(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur = next
+				return next
+			}
+		}},
+	}
+}
+
+// storeTestRecord fabricates a well-formed campaign record whose journal
+// identity comes from a real lowering, so DiskStore's journal headers check.
+func storeTestRecord(t *testing.T, id string, seq int) CampaignRecord {
+	t.Helper()
+	doc := testDoc()
+	fp, err := DocFingerprint(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CampaignRecord{
+		ID:          id,
+		Tenant:      "t",
+		Priority:    seq,
+		State:       StateOpen,
+		Doc:         doc,
+		Fingerprint: fp,
+		Kind:        journalKind(false, doc.Tasks),
+		Seq:         seq,
+	}
+}
+
+// TestStoreConformance runs the shared Store contract against every
+// implementation: record round-trips and lifecycle replacement, Seq-ordered
+// listing, result append/replay with last-entry-wins, restart-resume, and
+// safety under concurrent appends.
+func TestStoreConformance(t *testing.T) {
+	for _, fx := range storeFixtures() {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Run("records round-trip in Seq order and replace on rewrite", func(t *testing.T) {
+				s, reopen := fx.open(t)
+				b := storeTestRecord(t, "camp-b", 2)
+				a := storeTestRecord(t, "camp-a", 1)
+				for _, rec := range []CampaignRecord{b, a} {
+					if err := s.PutCampaign(rec); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Lifecycle transition: rewrite a's record as done.
+				a.State = StateDone
+				if err := s.PutCampaign(a); err != nil {
+					t.Fatal(err)
+				}
+				s = reopen(t)
+				recs, err := s.Campaigns()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(recs) != 2 || recs[0].ID != "camp-a" || recs[1].ID != "camp-b" {
+					t.Fatalf("campaigns %+v, want camp-a then camp-b by Seq", recs)
+				}
+				if recs[0].State != StateDone {
+					t.Errorf("rewritten record state %q, want %q", recs[0].State, StateDone)
+				}
+				if recs[0].Fingerprint == "" || recs[0].Kind == "" || recs[0].Doc.App != "factorial" {
+					t.Errorf("record did not round-trip: %+v", recs[0])
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("empty campaign ID rejected", func(t *testing.T) {
+				s, _ := fx.open(t)
+				defer s.Close()
+				if err := s.PutCampaign(CampaignRecord{}); err == nil {
+					t.Error("record with empty ID accepted")
+				}
+			})
+
+			t.Run("append to unknown campaign rejected", func(t *testing.T) {
+				s, _ := fx.open(t)
+				defer s.Close()
+				if err := s.AppendResult("nonesuch", taskKey(0), syntheticResult(1)); err == nil {
+					t.Error("append to a campaign never stored accepted")
+				}
+				if _, err := s.Results("nonesuch"); err == nil {
+					t.Error("results for a campaign never stored answered")
+				}
+			})
+
+			t.Run("results survive reopen, last entry per key wins", func(t *testing.T) {
+				s, reopen := fx.open(t)
+				if err := s.PutCampaign(storeTestRecord(t, "camp", 1)); err != nil {
+					t.Fatal(err)
+				}
+				for id := 0; id < 3; id++ {
+					if err := s.AppendResult("camp", taskKey(id), syntheticResult(10*(id+1))); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// A re-append of task 0: the later entry wins on replay.
+				if err := s.AppendResult("camp", taskKey(0), syntheticResult(99)); err != nil {
+					t.Fatal(err)
+				}
+				s = reopen(t)
+				got, err := s.Results("camp")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != 3 {
+					t.Fatalf("replayed %d keys, want 3: %v", len(got), got)
+				}
+				var res TaskResult
+				if err := json.Unmarshal(got[taskKey(0)], &res); err != nil {
+					t.Fatal(err)
+				}
+				if res.Reports[0].StatesExplored != 99 {
+					t.Errorf("task 0 replayed states %d, want the re-appended 99", res.Reports[0].StatesExplored)
+				}
+				// A fresh append after reopen still lands.
+				if err := s.AppendResult("camp", taskKey(3), syntheticResult(40)); err != nil {
+					t.Fatal(err)
+				}
+				got, err = s.Results("camp")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != 4 {
+					t.Errorf("after post-reopen append: %d keys, want 4", len(got))
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+
+			t.Run("concurrent appends all land", func(t *testing.T) {
+				s, reopen := fx.open(t)
+				if err := s.PutCampaign(storeTestRecord(t, "camp", 1)); err != nil {
+					t.Fatal(err)
+				}
+				const goroutines, each = 8, 16
+				var wg sync.WaitGroup
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; i < each; i++ {
+							id := g*each + i
+							if err := s.AppendResult("camp", taskKey(id), syntheticResult(id)); err != nil {
+								t.Errorf("concurrent append %d: %v", id, err)
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				s = reopen(t)
+				got, err := s.Results("camp")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != goroutines*each {
+					t.Errorf("replayed %d keys, want %d (interleaved appends lost or torn)", len(got), goroutines*each)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// TestDiskStoreCorruptTailTruncated: a crash mid-append leaves a torn final
+// line. Reload must keep every whole entry and drop only the fragment, and a
+// reopened journal must keep appending cleanly after the truncation.
+func TestDiskStoreCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign(storeTestRecord(t, "camp", 1)); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 2; id++ {
+		if err := s.AppendResult("camp", taskKey(id), syntheticResult(10*(id+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The kill: a partial, unterminated entry at the tail.
+	path := filepath.Join(dir, "camp", "tasks.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"task:2","data":{"Repor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Results("camp")
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d keys, want the 2 whole entries: %v", len(got), got)
+	}
+	// Appending truncates the fragment first, so the new entry is whole.
+	if err := s2.AppendResult("camp", taskKey(2), syntheticResult(30)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s2.Results("camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res TaskResult
+	if err := json.Unmarshal(got[taskKey(2)], &res); err != nil {
+		t.Fatalf("entry appended after truncation does not decode: %v", err)
+	}
+	if res.Reports[0].StatesExplored != 30 {
+		t.Errorf("post-truncation append states %d, want 30", res.Reports[0].StatesExplored)
+	}
+}
+
+// TestDiskStoreRejectsForeignJournal: a result journal that does not match
+// its campaign record's fingerprint (copied between directories, edited by
+// hand) must be refused on reload, not silently pooled.
+func TestDiskStoreRejectsForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := storeTestRecord(t, "camp", 1)
+	if err := s.PutCampaign(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendResult("camp", taskKey(0), syntheticResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The record now claims a different campaign identity than the journal
+	// header carries.
+	rec.Fingerprint = "0000000000000000000000000000000000000000000000000000000000000000"
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.PutCampaign(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Results("camp"); err == nil {
+		t.Error("journal with a mismatched fingerprint replayed")
+	}
+	if err := s2.AppendResult("camp", taskKey(1), syntheticResult(2)); err == nil {
+		t.Error("append through a mismatched journal header accepted")
+	}
+}
+
+// TestDiskStorePathSafety: campaign IDs are path components; anything that
+// would escape the root or collide with special entries is refused.
+func TestDiskStorePathSafety(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, id := range []string{"", ".", "..", "../evil", "a/b", `a\b`, "nul\x00byte"} {
+		rec := storeTestRecord(t, "x", 1)
+		rec.ID = id
+		if err := s.PutCampaign(rec); err == nil {
+			t.Errorf("campaign ID %q accepted as a store path component", id)
+		}
+		if _, err := s.Results(id); err == nil {
+			t.Errorf("results served for unsafe campaign ID %q", id)
+		}
+	}
+}
+
+// TestDiskStoreSkipsTornCampaignDir: a directory left by a crash between
+// MkdirAll and the record rename has no campaign.json; listing must skip it
+// rather than fail the whole resume.
+func TestDiskStoreSkipsTornCampaignDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutCampaign(storeTestRecord(t, "whole", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "torn"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A stray tmp file from an interrupted atomic write is also ignored.
+	if err := os.WriteFile(filepath.Join(dir, "torn", "campaign-123.tmp"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "whole" {
+		t.Errorf("campaigns %+v, want only the whole record", recs)
+	}
+}
+
+// TestDiskStoreRejectsMisfiledRecord: a campaign.json whose ID does not match
+// its directory name (a copied directory) is corruption worth failing on.
+func TestDiskStoreRejectsMisfiledRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign(storeTestRecord(t, "orig", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "orig", "campaign.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "copy"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "copy", "campaign.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Campaigns(); err == nil {
+		t.Error("directory holding another campaign's record listed without error")
+	}
+}

@@ -37,18 +37,29 @@ var (
 
 // WorkerConfig configures a pull-based campaign worker.
 type WorkerConfig struct {
-	// Coordinator is the coordinator's base URL (e.g. http://host:8080).
+	// Coordinator is the coordinator/service base URL (e.g. http://host:8080).
 	Coordinator string
 	// ID names this worker in leases and fleet status. Required.
 	ID string
 	// Client is the HTTP client (nil: a client with a sane timeout).
 	Client *http.Client
+	// Campaign pins the worker to one campaign ID on a multi-campaign
+	// service: it claims only from that campaign's routes and exits when the
+	// campaign settles. Empty serves the whole fleet (or, against a legacy
+	// standalone coordinator, its single campaign).
+	Campaign string
+	// Drain restores the pre-service exit behavior on a multi-campaign
+	// service: exit as soon as the campaign the worker just fed reports
+	// done, instead of claiming from the next open campaign.
+	Drain bool
 	// Poll is how long to wait between claims when every remaining task is
 	// leased elsewhere (0: 500ms).
 	Poll time.Duration
 	// OnTask, if set, is called when a task is claimed and again when it
-	// settles (posted, abandoned, or lost), for CLI progress output.
-	OnTask func(event string, task int)
+	// settles (posted, abandoned, or lost), for CLI progress output. The
+	// campaign argument is the campaign ID (empty against a legacy
+	// coordinator).
+	OnTask func(campaign, event string, task int)
 	// Parallelism fans each leased task's injection sweep across this many
 	// cores (checker.Spec.Parallelism semantics: 0 selects GOMAXPROCS, 1 is
 	// sequential). A worker holds one lease at a time, so this is how a node
@@ -63,26 +74,24 @@ type WorkerConfig struct {
 	// one apart from the Pruned markers, so a fleet may mix pruning and
 	// non-pruning workers: the pooled verdicts and tallies are unchanged,
 	// and only the markers record which node proved what. The node builds
-	// one liveness analysis at startup and shares the representative memo
-	// across every task it leases.
+	// one liveness analysis per campaign and shares the representative memo
+	// across every task it leases from it.
 	PruneDead bool
 	// UseSummaries enables compositional fault summaries
 	// (checker.Spec.UseSummaries) on this worker. Per-node and operational
 	// like PruneDead: a summarized task result is identical to a plain one
 	// apart from the Summarized markers, so the fleet may mix. The node
-	// builds one summary set at startup and shares it across every task.
+	// builds one summary set per campaign and shares it across its tasks.
 	UseSummaries bool
 	// MergeStates enables post-dominator state merging and cycle
 	// acceleration (checker.Spec.MergeStates) on this worker. Per-node and
 	// operational like PruneDead: a merged task result carries identical
 	// verdicts and findings, only its Merged markers and lower state counts
-	// differ, so the fleet may mix merging and non-merging workers. The
-	// node builds one control-flow analysis at startup and shares it across
-	// every task it leases.
+	// differ, so the fleet may mix merging and non-merging workers.
 	MergeStates bool
-	// ShareSummaryCache backs the node's summary cache with the
-	// coordinator's /summary endpoints, so a function any worker analyzed
-	// is a cache hit fleet-wide. Implies UseSummaries.
+	// ShareSummaryCache backs the node's summary cache with the service's
+	// /summary endpoints, so a function any worker analyzed is a cache hit
+	// fleet-wide. Implies UseSummaries.
 	ShareSummaryCache bool
 }
 
@@ -98,13 +107,129 @@ type WorkerStats struct {
 	Abandoned int
 }
 
-// RunWorker serves one worker until the campaign completes or ctx is
-// cancelled. It fetches the campaign spec, lowers it locally, verifies the
-// fingerprint against the coordinator's, then loops: claim a task, sweep it
-// with cluster.RunTaskCtx under a renewable lease (heartbeats every lease/3;
-// a lost lease cancels the sweep), and post the per-injection reports back.
-// Cancellation mid-task abandons the task — its lease lapses and the
-// coordinator re-serves it — and returns cleanly with the stats so far.
+// sweeper is one campaign's locally-lowered sweep closure plus its lease
+// cadence. A fleet worker builds one per campaign it encounters and reuses
+// it for every task of that campaign.
+type sweeper struct {
+	sweep          func(context.Context, TaskAssignment) TaskResult
+	heartbeatEvery time.Duration
+}
+
+// buildSweeper fetches campaign id's document ("" = legacy root), lowers it
+// locally, verifies the fingerprint against the coordinator's, and wraps the
+// mode's sweep in a closure so the claim/heartbeat/post loop is shared
+// between symbolic-search and crossval campaigns.
+func buildSweeper(ctx context.Context, cl *Client, cfg WorkerConfig, id string) (*sweeper, error) {
+	sr, err := cl.Spec(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("dist: fetch campaign spec from %s: %w", cfg.Coordinator, err)
+	}
+	sw := &sweeper{heartbeatEvery: sr.Lease / 3}
+	if sw.heartbeatEvery <= 0 {
+		sw.heartbeatEvery = time.Second
+	}
+	if sr.Spec.Crossval {
+		xspec, err := sr.Spec.BuildCrossval()
+		if err != nil {
+			return nil, fmt.Errorf("dist: worker cannot build crossval spec: %w", err)
+		}
+		if fp := crossval.Fingerprint(xspec); fp != sr.Fingerprint {
+			return nil, fmt.Errorf("dist: crossval fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
+				sr.Fingerprint, fp)
+		}
+		sw.sweep = func(taskCtx context.Context, asg TaskAssignment) TaskResult {
+			prs, _ := crossval.RunPointsCtx(taskCtx, xspec, asg.Points, cfg.Parallelism)
+			return TaskResult{PointReports: prs}
+		}
+		return sw, nil
+	}
+	spec, err := sr.Spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker cannot build campaign spec: %w", err)
+	}
+	if fp := campaign.Fingerprint(spec); fp != sr.Fingerprint {
+		return nil, fmt.Errorf("dist: spec fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
+			sr.Fingerprint, fp)
+	}
+	if cfg.PruneDead {
+		// One analysis and one representative memo for the whole campaign on
+		// this node, shared by every task it leases.
+		spec.PruneDeadInjections = true
+		spec.EnsurePrune()
+	}
+	if cfg.UseSummaries || cfg.ShareSummaryCache {
+		// One summary set for the whole campaign on this node. With
+		// ShareSummaryCache the local LRU sits in front of the service's
+		// fleet-wide cache: misses fall through to /summary/get, computed
+		// summaries publish via /summary/put. Content-addressed keys make
+		// the remote values trustworthy without any fingerprint handshake.
+		spec.UseSummaries = true
+		if cfg.ShareSummaryCache {
+			spec.SummaryCache = summary.NewCache(0, &httpSummaryStore{ctx: ctx, cl: cl})
+		}
+		spec.EnsureSummaries()
+	}
+	if cfg.MergeStates {
+		// One control-flow analysis (post-dominators, merge points) for
+		// the whole campaign on this node, shared by every task.
+		spec.MergeStates = true
+		spec.EnsureMerge()
+	}
+	spec.Parallelism = cfg.Parallelism
+	sw.sweep = func(taskCtx context.Context, asg TaskAssignment) TaskResult {
+		task := cluster.Task{ID: asg.ID, Injections: asg.Injections}
+		rep, irs := cluster.RunTaskCtx(taskCtx, spec, task, sr.Spec.TaskStateBudget, sr.Spec.MaxFindingsPerTask)
+		return TaskResult{Reports: irs, Failure: rep.Failure}
+	}
+	return sw, nil
+}
+
+// probeService classifies the base URL: a multi-campaign service (it serves
+// GET /v1/campaigns) or a legacy standalone coordinator (404/405 there). It
+// retries transport errors briefly so a worker started moments before its
+// coordinator still connects.
+func probeService(ctx context.Context, cl *Client) (bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 && !sleepCtx(ctx, 300*time.Millisecond) {
+			break
+		}
+		var out CampaignList
+		err := cl.do(ctx, http.MethodGet, cl.Base+PathV1Campaigns, nil, &out, cl.control(), 1)
+		if err == nil {
+			return true, nil
+		}
+		var he *httpError
+		if errors.As(err, &he) {
+			if he.status == http.StatusNotFound || he.status == http.StatusMethodNotAllowed {
+				return false, nil // legacy coordinator: no v1 surface
+			}
+		}
+		lastErr = err
+	}
+	if ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	return false, fmt.Errorf("dist: probe coordinator %s: %w", cl.Base, lastErr)
+}
+
+// RunWorker serves one worker until its work runs out or ctx is cancelled.
+//
+// Against a multi-campaign service (detected by probing GET /v1/campaigns)
+// the worker claims from the fleet-level dispatcher: each claim names the
+// campaign the task belongs to, the worker lowers and caches that campaign's
+// spec on first contact, and finishing one campaign rolls straight into the
+// next open one. It exits when the service reports the fleet drained (every
+// campaign settled or cancelled) — or, under Drain, as soon as the campaign
+// it just fed completes. Campaign pins the worker to one campaign's scoped
+// routes instead.
+//
+// Against a legacy standalone coordinator the worker behaves as before:
+// fetch the single campaign spec, verify the fingerprint, then claim — sweep
+// under a renewable lease (heartbeats every lease/3; a lost lease cancels
+// the sweep) — post, until the campaign completes. Cancellation mid-task
+// abandons the task — its lease lapses and the coordinator re-serves it —
+// and returns cleanly with the stats so far.
 func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	var stats WorkerStats
 	if cfg.ID == "" {
@@ -112,111 +237,89 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 	}
 	// No global client timeout: completion posts carry whole task results
 	// (every finding with its trace) and can legitimately take minutes.
-	// Small control requests get per-call deadlines instead.
-	client := cfg.Client
-	if client == nil {
-		client = &http.Client{}
-	}
+	// The Client applies per-call deadlines instead.
+	cl := NewClient(cfg.Coordinator, cfg.Client)
 	poll := cfg.Poll
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
 
-	sr, err := fetchSpec(ctx, client, cfg.Coordinator)
-	if err != nil {
-		return stats, err
+	// Classify the far end and pre-build the sweeper for single-campaign
+	// modes, so a fingerprint mismatch aborts before any claim.
+	fleet := false
+	pinned := cfg.Campaign
+	sweepers := map[string]*sweeper{}
+	getSweeper := func(id string) (*sweeper, error) {
+		if sw, ok := sweepers[id]; ok {
+			return sw, nil
+		}
+		sw, err := buildSweeper(ctx, cl, cfg, id)
+		if err != nil {
+			return nil, err
+		}
+		sweepers[id] = sw
+		return sw, nil
 	}
-	// Lower the document locally and verify the fingerprint, then wrap the
-	// mode's sweep in a closure so the claim/heartbeat/post loop below is
-	// shared between symbolic-search and crossval campaigns.
-	var sweepTask func(taskCtx context.Context, asg TaskAssignment) TaskResult
-	if sr.Spec.Crossval {
-		xspec, err := sr.Spec.BuildCrossval()
+	if pinned == "" {
+		var err error
+		fleet, err = probeService(ctx, cl)
 		if err != nil {
-			return stats, fmt.Errorf("dist: worker cannot build crossval spec: %w", err)
-		}
-		if fp := crossval.Fingerprint(xspec); fp != sr.Fingerprint {
-			return stats, fmt.Errorf("dist: crossval fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
-				sr.Fingerprint, fp)
-		}
-		sweepTask = func(taskCtx context.Context, asg TaskAssignment) TaskResult {
-			prs, _ := crossval.RunPointsCtx(taskCtx, xspec, asg.Points, cfg.Parallelism)
-			return TaskResult{PointReports: prs}
-		}
-	} else {
-		spec, err := sr.Spec.Build()
-		if err != nil {
-			return stats, fmt.Errorf("dist: worker cannot build campaign spec: %w", err)
-		}
-		if fp := campaign.Fingerprint(spec); fp != sr.Fingerprint {
-			return stats, fmt.Errorf("dist: spec fingerprint mismatch: coordinator %s, worker %s (diverged builds?)",
-				sr.Fingerprint, fp)
-		}
-		if cfg.PruneDead {
-			// One analysis and one representative memo for the whole campaign on
-			// this node, shared by every task it leases.
-			spec.PruneDeadInjections = true
-			spec.EnsurePrune()
-		}
-		if cfg.UseSummaries || cfg.ShareSummaryCache {
-			// One summary set for the whole campaign on this node. With
-			// ShareSummaryCache the local LRU sits in front of the
-			// coordinator's fleet-wide cache: misses fall through to
-			// /summary/get, computed summaries publish via /summary/put.
-			// Content-addressed keys make the remote values trustworthy
-			// without any fingerprint handshake.
-			spec.UseSummaries = true
-			if cfg.ShareSummaryCache {
-				spec.SummaryCache = summary.NewCache(0, &httpSummaryStore{
-					ctx:    ctx,
-					client: client,
-					base:   cfg.Coordinator,
-				})
-			}
-			spec.EnsureSummaries()
-		}
-		if cfg.MergeStates {
-			// One control-flow analysis (post-dominators, merge points) for
-			// the whole campaign on this node, shared by every task.
-			spec.MergeStates = true
-			spec.EnsureMerge()
-		}
-		spec.Parallelism = cfg.Parallelism
-		sweepTask = func(taskCtx context.Context, asg TaskAssignment) TaskResult {
-			task := cluster.Task{ID: asg.ID, Injections: asg.Injections}
-			rep, irs := cluster.RunTaskCtx(taskCtx, spec, task, sr.Spec.TaskStateBudget, sr.Spec.MaxFindingsPerTask)
-			return TaskResult{Reports: irs, Failure: rep.Failure}
+			return stats, err
 		}
 	}
-	heartbeatEvery := sr.Lease / 3
-	if heartbeatEvery <= 0 {
-		heartbeatEvery = time.Second
+	if !fleet {
+		if _, err := getSweeper(pinned); err != nil {
+			return stats, err
+		}
 	}
 
 	for {
 		if ctx.Err() != nil {
 			return stats, nil
 		}
-		var claim ClaimResponse
-		if err := postJSONTimeout(ctx, client, cfg.Coordinator+PathClaim,
-			ClaimRequest{Worker: cfg.ID}, &claim, controlTimeout); err != nil {
-			return stats, err
-		}
-		if claim.Done {
-			return stats, nil
-		}
-		if claim.Task == nil {
-			if !sleepCtx(ctx, poll) {
+		var campaignID string
+		var task *TaskAssignment
+		if fleet {
+			fr, err := cl.FleetClaim(ctx, cfg.ID)
+			if err != nil {
+				return stats, err
+			}
+			if fr.Done {
 				return stats, nil
 			}
-			continue
+			if fr.Task == nil {
+				if !sleepCtx(ctx, poll) {
+					return stats, nil
+				}
+				continue
+			}
+			campaignID, task = fr.Campaign, fr.Task
+		} else {
+			resp, err := cl.Claim(ctx, pinned, cfg.ID)
+			if err != nil {
+				return stats, err
+			}
+			if resp.Done {
+				return stats, nil
+			}
+			if resp.Task == nil {
+				if !sleepCtx(ctx, poll) {
+					return stats, nil
+				}
+				continue
+			}
+			campaignID, task = pinned, resp.Task
+		}
+		sw, err := getSweeper(campaignID)
+		if err != nil {
+			return stats, err
 		}
 		stats.Claimed++
 		wClaimed.Inc()
 		if cfg.OnTask != nil {
-			cfg.OnTask("claimed", claim.Task.ID)
+			cfg.OnTask(campaignID, "claimed", task.ID)
 		}
-		outcome, done, err := runOneTask(ctx, client, cfg, *claim.Task, heartbeatEvery, sweepTask)
+		outcome, done, err := runOneTask(ctx, cl, cfg, campaignID, *task, sw)
 		if err != nil {
 			return stats, err
 		}
@@ -232,12 +335,17 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
 			wAbandoned.Inc()
 		}
 		if cfg.OnTask != nil {
-			cfg.OnTask(outcome, claim.Task.ID)
+			cfg.OnTask(campaignID, outcome, task.ID)
 		}
 		if done {
-			// The campaign settled with this post; the coordinator may be
-			// shutting down already, so do not claim again.
-			return stats, nil
+			// This campaign settled with the post. On a fleet that is not
+			// the end of the work — the next claim rolls into the next open
+			// campaign — unless the operator asked to drain. A standalone
+			// coordinator may already be shutting down, so do not claim
+			// again there.
+			if !fleet || cfg.Drain {
+				return stats, nil
+			}
 		}
 	}
 }
@@ -256,9 +364,8 @@ const (
 // "completed", "duplicate" or "abandoned"; done reports that the campaign has
 // no unsettled tasks left; an error means the coordinator is unreachable for
 // posting a finished result.
-func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
-	assignment TaskAssignment, heartbeatEvery time.Duration,
-	sweepTask func(context.Context, TaskAssignment) TaskResult) (string, bool, error) {
+func runOneTask(ctx context.Context, cl *Client, cfg WorkerConfig, campaignID string,
+	assignment TaskAssignment, sw *sweeper) (string, bool, error) {
 
 	taskCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -273,7 +380,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
 	hb.Add(1)
 	go func() {
 		defer hb.Done()
-		t := time.NewTicker(heartbeatEvery)
+		t := time.NewTicker(sw.heartbeatEvery)
 		defer t.Stop()
 		fails := 0
 		for {
@@ -281,8 +388,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
 			case <-taskCtx.Done():
 				return
 			case <-t.C:
-				err := postJSONTimeout(taskCtx, client, cfg.Coordinator+PathHeartbeat,
-					HeartbeatRequest{Worker: cfg.ID, Task: assignment.ID}, nil, controlTimeout)
+				err := cl.Heartbeat(taskCtx, campaignID, cfg.ID, assignment.ID)
 				wHeartbeats.Inc()
 				switch {
 				case err == nil:
@@ -312,7 +418,7 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
 		}
 	}()
 
-	result := sweepTask(taskCtx, assignment)
+	result := sw.sweep(taskCtx, assignment)
 	if taskCtx.Err() != nil {
 		// Cancelled (worker shutdown) or lease lost mid-sweep: the partial
 		// result must not be posted — the coordinator will re-serve the task
@@ -329,13 +435,12 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
 	// same injection, and abandons again. The Interrupted/TimedOut marks
 	// travel inside the per-injection reports, and the coordinator's
 	// cluster.PoolReports reconstructs the identical interrupted TaskReport.
-	var resp CompleteResponse
 	uploadStart := time.Now()
-	err := postJSONTimeout(ctx, client, cfg.Coordinator+PathComplete, CompleteRequest{
+	resp, err := cl.Complete(ctx, campaignID, CompleteRequest{
 		Worker: cfg.ID,
 		Task:   assignment.ID,
 		Result: result,
-	}, &resp, completeTimeout)
+	})
 	wUploadSecs.Observe(time.Since(uploadStart).Seconds())
 	cancel()
 	hb.Wait()
@@ -351,98 +456,28 @@ func runOneTask(ctx context.Context, client *http.Client, cfg WorkerConfig,
 	return "completed", resp.Done, nil
 }
 
-// httpSummaryStore adapts the coordinator's /summary endpoints to
-// summary.Store, making the coordinator the fleet-shared second level of a
-// worker's summary cache. Failures degrade, never block: an unreachable
-// coordinator turns Load into a miss (the worker recomputes locally) and
-// Save into a dropped publish.
+// httpSummaryStore adapts the service's /summary endpoints to summary.Store,
+// making the service the fleet-shared second level of a worker's summary
+// cache. Failures degrade, never block: an unreachable service turns Load
+// into a miss (the worker recomputes locally) and Save into a dropped
+// publish.
 type httpSummaryStore struct {
-	ctx    context.Context
-	client *http.Client
-	base   string
+	ctx context.Context
+	cl  *Client
 }
 
 func (s *httpSummaryStore) Load(key string) ([]byte, bool, error) {
-	var resp SummaryGetResponse
-	if err := postJSONTimeout(s.ctx, s.client, s.base+PathSummaryGet,
-		SummaryGetRequest{Key: key}, &resp, controlTimeout); err != nil {
+	resp, err := s.cl.SummaryGet(s.ctx, key)
+	if err != nil || !resp.Found {
 		return nil, false, nil // degrade to a miss
-	}
-	if !resp.Found {
-		return nil, false, nil
 	}
 	return resp.Value, true, nil
 }
 
 func (s *httpSummaryStore) Save(key string, value []byte) error {
 	// Best-effort publish; the cache layer already treats Save as advisory.
-	postJSONTimeout(s.ctx, s.client, s.base+PathSummaryPut,
-		SummaryPutRequest{Key: key, Value: value}, nil, controlTimeout)
+	_ = s.cl.SummaryPut(s.ctx, key, value)
 	return nil
-}
-
-// fetchSpec retrieves the campaign document, retrying briefly so a worker
-// started moments before its coordinator still connects.
-func fetchSpec(ctx context.Context, client *http.Client, base string) (SpecResponse, error) {
-	var sr SpecResponse
-	var lastErr error
-	for attempt := 0; attempt < 10; attempt++ {
-		if attempt > 0 && !sleepCtx(ctx, 300*time.Millisecond) {
-			break
-		}
-		err := func() error {
-			reqCtx, cancel := context.WithTimeout(ctx, controlTimeout)
-			defer cancel()
-			req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, base+PathSpec, nil)
-			if err != nil {
-				return err
-			}
-			resp, err := client.Do(req)
-			if err != nil {
-				return err
-			}
-			return decodeResponse(resp, &sr)
-		}()
-		if err == nil {
-			return sr, nil
-		}
-		lastErr = err
-	}
-	if ctx.Err() != nil {
-		return sr, ctx.Err()
-	}
-	return sr, fmt.Errorf("dist: fetch campaign spec from %s: %w", base, lastErr)
-}
-
-// postJSONTimeout is postJSON under a per-call deadline (0: none).
-func postJSONTimeout(ctx context.Context, client *http.Client, url string, body, out any, d time.Duration) error {
-	if d > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d)
-		defer cancel()
-	}
-	return postJSON(ctx, client, url, body, out)
-}
-
-// postJSON posts body and decodes the JSON reply into out (out may be nil
-// for replies without a body). Non-2xx statuses are errors carrying the
-// server's text.
-func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	wPostBytes.Add(int64(len(data)))
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
 }
 
 // httpError is a non-2xx reply from the coordinator — the coordinator spoke,
@@ -460,6 +495,9 @@ func (e *httpError) Error() string { return e.msg }
 // decoding another worker's result — do not prove the lease is gone and must
 // be retried, not acted on.
 func leaseLost(err error) bool {
+	if errors.Is(err, ErrLeaseLost) {
+		return true
+	}
 	var he *httpError
 	return errors.As(err, &he) && he.status == http.StatusConflict
 }

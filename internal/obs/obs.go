@@ -82,6 +82,15 @@ const (
 	MDistJournalErrors   = "symplfied_dist_journal_errors_total"
 	MDistWorkersLive     = "symplfied_dist_workers_live" // gauge
 
+	// Multi-tenant campaign service (dist.Registry / dist.Service).
+	MDistCampaignsOpen = "symplfied_dist_campaigns_open"       // gauge: campaigns accepting claims
+	MDistCampaignsDone = "symplfied_dist_campaigns_done_total" // campaigns that settled every task
+	MDistCacheHits     = "symplfied_dist_result_cache_hits_total"
+	MDistCacheMisses   = "symplfied_dist_result_cache_misses_total"
+	MDistQuotaDenials  = "symplfied_dist_quota_denials_total" // label tenant: claims/creates refused at quota
+	MDistTenantLeased  = "symplfied_dist_tenant_leased"       // gauge, label tenant: tasks leased fleet-wide
+	MDistEvents        = "symplfied_dist_events_total"        // per-campaign events appended (task settles, done, cancel)
+
 	// Concrete↔symbolic cross-validation (internal/crossval).
 	MXvalTrials     = "symplfied_crossval_trials_total"        // concrete injections executed
 	MXvalKills      = "symplfied_crossval_timeout_kills_total" // trials killed at the wall-clock deadline (classified Hang)
