@@ -12,6 +12,17 @@
 // With -tasks > 1 the search is decomposed cluster-style (paper Section 6.1)
 // over a worker pool; otherwise it runs sequentially.
 //
+// Two static modes run no campaign: -analyze lints the program
+// (control-flow, liveness, detector coverage) and exits nonzero on
+// error-severity findings; -harden goes further and closes the reported
+// coverage gaps — it synthesizes CHECK detectors, splices them in, verifies
+// the fault-free run is unchanged, and re-measures detection coverage
+// before and after (-harden-gaps caps the targeted gaps, -harden-out writes
+// the hardened program + detectors). Both honor -json:
+//
+//	symplfied -analyze -app tcas
+//	symplfied -harden -app tcas -harden-out hardened.sym
+//
 // With -serve the process becomes a distributed campaign coordinator
 // instead of running the search itself: it partitions the injection space
 // into -tasks tasks and serves them over HTTP to symworker processes (the
@@ -73,7 +84,10 @@ func run(ctx context.Context, args []string) error {
 	var (
 		file      = fs.String("file", "", "assembly file to analyze")
 		analyze   = fs.Bool("analyze", false, "statically analyze the program (CFG, liveness, detector coverage) and print diagnostics instead of searching; exits nonzero on error-severity findings")
-		jsonOut   = fs.Bool("json", false, "with -analyze, print diagnostics as JSON")
+		jsonOut   = fs.Bool("json", false, "with -analyze or -harden, print the report as JSON")
+		hardenRun = fs.Bool("harden", false, "run the detector-hardening pass: find coverage gaps, synthesize CHECK detectors closing them, splice them in, and verify re-coverage with a targeted symbolic sweep plus a crossval spot-check; exits nonzero if verification fails")
+		hardenOut = fs.String("harden-out", "", "with -harden, write the hardened unit (detector lines plus assembly) to this file")
+		hardenMax = fs.Int("harden-gaps", 0, "with -harden, cap the number of coverage gaps targeted, largest window first (0: all)")
 		pruneDead = fs.Bool("prune-dead", false, "elide explorations of register injections a liveness proof shows benign (verdicts unchanged; see SYMPLFIED_CHECK_PRUNING)")
 		summaries = fs.Bool("summaries", false, "elide explorations compositional per-function fault summaries prove benign (verdicts unchanged; see SYMPLFIED_CHECK_SUMMARIES)")
 		sumCache  = fs.String("summary-cache", "", "persist content-addressed function summaries in this directory, so re-analysis after an edit recomputes only changed functions (implies -summaries)")
@@ -172,6 +186,20 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		return runAnalyze(os.Stdout, unit, *jsonOut)
+	}
+
+	if *hardenRun {
+		unit, err := cli.LoadUnit(*file, *app, *isMIPS)
+		if err != nil {
+			return err
+		}
+		return runHarden(ctx, os.Stdout, unit, in, symplfied.HardenOptions{
+			MaxGaps:      *hardenMax,
+			StateBudget:  *budget,
+			Watchdog:     *watchdog,
+			CrossvalSeed: *xvalSeed,
+			Parallelism:  *parallel,
+		}, *jsonOut, *hardenOut)
 	}
 
 	if *serve != "" {
@@ -497,6 +525,66 @@ func runAnalyze(w io.Writer, unit *symplfied.Unit, jsonOut bool) error {
 	}
 	if errs > 0 {
 		return fmt.Errorf("analysis found %d error-severity finding(s)", errs)
+	}
+	return nil
+}
+
+// runHarden is the -harden mode: the detector-hardening compiler pass
+// (internal/harden) over the loaded unit — coverage-gap analysis, CHECK
+// synthesis, splice, fault-free gate, targeted before/after sweeps and a
+// crossval spot-check — printed human-readably or as JSON, with the hardened
+// unit optionally written out as assembly.
+func runHarden(ctx context.Context, w io.Writer, unit *symplfied.Unit, input []int64,
+	opt symplfied.HardenOptions, jsonOut bool, outPath string) error {
+
+	res, err := symplfied.HardenCtx(ctx, unit, input, opt)
+	if err != nil {
+		return err
+	}
+
+	if outPath != "" {
+		var b strings.Builder
+		for _, d := range res.Detectors.All() {
+			fmt.Fprintf(&b, "%s\n", d)
+		}
+		b.WriteString(res.Hardened.String())
+		if err := os.WriteFile(outPath, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "%s: %d coverage gaps, %d targeted, %d hardened (%d detectors synthesized, %d instructions inserted)\n",
+			res.Program, res.GapsFound, res.GapsTargeted, res.GapsHardened, res.Synthesized, res.Inserted)
+		for _, g := range res.Gaps {
+			if g.Dropped != "" {
+				fmt.Fprintf(w, "  gap @%d %s (%d-site window, escapes to %s @%d): dropped: %s\n",
+					g.Gap.DefPC, g.Gap.Reg, len(g.Gap.Window), g.Gap.Kind, g.Gap.EscapePC, g.Dropped)
+				continue
+			}
+			fmt.Fprintf(w, "  gap @%d %s (%d-site window, escapes to %s @%d): %s: %s\n",
+				g.Gap.DefPC, g.Gap.Reg, len(g.Gap.Window), g.Gap.Kind, g.Gap.EscapePC,
+				g.Strategy, strings.Join(g.Detectors, "; "))
+		}
+		fmt.Fprintf(w, "%s: fault-free run preserved (output %q, %d steps); residual gaps %d (was %d)\n",
+			res.Program, res.FaultFreeOutput, res.FaultFreeSteps, res.ResidualGaps, res.GapsFound)
+		if len(res.Sites) > 0 {
+			fmt.Fprintf(w, "%s: targeted sweep over %d sites: detected %d -> %d, undetected corruptions %d -> %d\n",
+				res.Program, len(res.Sites), res.BeforeDetected, res.AfterDetected,
+				res.BeforeUndetected, res.AfterUndetected)
+		}
+		if res.Crossval != nil {
+			fmt.Fprintf(w, "%s: %s\n", res.Program, res.Crossval.Summary())
+		}
+	}
+	if outPath != "" {
+		fmt.Fprintf(w, "hardened unit written to %s\n", outPath)
 	}
 	return nil
 }

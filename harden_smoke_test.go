@@ -1,0 +1,242 @@
+package symplfied_test
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+
+	"symplfied"
+	"symplfied/internal/apps/tcas"
+	"symplfied/internal/checker"
+	"symplfied/internal/detector"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// TestHardenSmokeTCAS is the detector-hardening acceptance gate, on the
+// paper's tcas case study:
+//
+//  1. every coverage gap the pass targets gets at least one synthesized
+//     detector, and every synthesized detector round-trips through
+//     detector.Parse structurally equal;
+//  2. the fault-free run of the hardened unit is output-identical to the
+//     seed (advisory 1, the upward RA);
+//  3. the targeted symbolic sweep shows strictly fewer undetected
+//     corruptions on the hardened unit than on the seed;
+//  4. sites the hardening did not touch report byte-identically (activation,
+//     terminal tallies, outcomes, finding outputs) on both units, and
+//     any site that does differ differs only by corruption flowing into a
+//     synthesized check — never by lost coverage;
+//  5. the crossval spot-check on the hardened unit reports zero
+//     symbolic-miss mismatches.
+//
+// Set HARDEN_SMOKE_STATS to a path to dump the before/after coverage tallies
+// as JSON (the CI harden-smoke job uploads it as an artifact).
+func TestHardenSmokeTCAS(t *testing.T) {
+	unit := &symplfied.Unit{Program: tcas.Program()}
+	input := tcas.UpwardInput().Slice()
+
+	opt := symplfied.HardenOptions{Watchdog: 4_000}
+	if testing.Short() {
+		opt.MaxGaps = 8
+	}
+	res, err := symplfied.Harden(unit, input, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (1) Each hardened gap has detectors, and they all round-trip.
+	if res.GapsHardened == 0 {
+		t.Fatal("no gaps hardened on tcas")
+	}
+	synth := make(map[int64]bool)
+	for _, g := range res.Gaps {
+		if g.Dropped != "" {
+			continue
+		}
+		if len(g.Detectors) == 0 {
+			t.Errorf("hardened gap @%d %s carries no detector", g.Gap.DefPC, g.Gap.Reg)
+		}
+		for _, src := range g.Detectors {
+			d, err := detector.Parse(src)
+			if err != nil {
+				t.Fatalf("synthesized %q does not parse: %v", src, err)
+			}
+			reg, ok := res.Detectors.Lookup(d.ID)
+			if !ok || !detector.Equal(d, reg) {
+				t.Errorf("synthesized %q does not round-trip to the registered detector", src)
+			}
+			synth[d.ID] = true
+		}
+	}
+
+	// (2) The golden run is preserved.
+	if res.FaultFreeOutput != "1" {
+		t.Fatalf("hardened fault-free output %q, want the upward advisory \"1\"", res.FaultFreeOutput)
+	}
+
+	// (3) Strictly fewer undetected corruptions on the targeted sites.
+	if res.BeforeUndetected == 0 {
+		t.Fatal("seed sweep found no undetected corruption; the gaps were not real")
+	}
+	if res.AfterUndetected >= res.BeforeUndetected {
+		t.Errorf("undetected corruptions %d -> %d, want a strict drop",
+			res.BeforeUndetected, res.AfterUndetected)
+	}
+	if res.AfterDetected <= res.BeforeDetected {
+		t.Errorf("detected terminals %d -> %d, want a strict rise",
+			res.BeforeDetected, res.AfterDetected)
+	}
+
+	// (4) Untouched sites: sample register-injection sites outside every
+	// hardened window and sweep them on both units.
+	inWindow := make(map[isa.Loc]map[int]bool)
+	for _, g := range res.Gaps {
+		if g.Dropped != "" {
+			continue
+		}
+		loc := isa.RegLoc(g.Gap.Reg)
+		if inWindow[loc] == nil {
+			inWindow[loc] = make(map[int]bool)
+		}
+		for _, w := range g.Gap.Window {
+			inWindow[loc][w] = true
+		}
+	}
+	var untouched []faults.Injection
+	for _, inj := range faults.RegisterInjectionsUsed(unit.Program) {
+		if !inWindow[inj.Loc][inj.PC] {
+			untouched = append(untouched, inj)
+		}
+	}
+	stride := len(untouched)/16 + 1
+	sampled := make([]faults.Injection, 0, 16)
+	for i := 0; i < len(untouched); i += stride {
+		sampled = append(sampled, untouched[i])
+	}
+	exec := symexec.DefaultOptions()
+	exec.Watchdog = 4_000
+	base := checker.Spec{
+		Input:         input,
+		Exec:          exec,
+		Predicate:     checker.HaltedOutputOtherThan(tcas.UpwardRA),
+		DiscardStates: true,
+	}
+	before := base
+	before.Program, before.Injections = unit.Program, sampled
+	beforeRep, err := checker.Run(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := base
+	after.Program, after.Detectors = res.Hardened, res.Detectors
+	after.Injections = append(after.Injections, sampled...)
+	for i := range after.Injections {
+		after.Injections[i].PC = res.PCMap.BlockStart(after.Injections[i].PC)
+	}
+	afterRep, err := checker.Run(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical := 0
+	for i, inj := range sampled {
+		b, a := beforeRep.PerInjection[i], afterRep.PerInjection[i]
+		if sameVerdicts(b, a) {
+			identical++
+			continue
+		}
+		// The only admissible difference: the corrupted value flowed into a
+		// synthesized check. Detection must credit a synthesized detector,
+		// and coverage must not regress.
+		credited := false
+		for id := range a.DetectorHits {
+			if synth[id] {
+				credited = true
+			}
+		}
+		if !credited {
+			t.Errorf("untouched site %s diverged without a synthesized detector firing:\nseed:     %v %d findings\nhardened: %v %d findings",
+				inj, b.Outcomes, len(b.Findings), a.Outcomes, len(a.Findings))
+		}
+		if len(a.Findings) > len(b.Findings) {
+			t.Errorf("site %s: hardening increased silent corruptions %d -> %d",
+				inj, len(b.Findings), len(a.Findings))
+		}
+	}
+	if identical == 0 {
+		t.Error("no untouched site reported byte-identically; the sample is not exercising the invariance claim")
+	}
+
+	// (5) Crossval on the hardened unit: zero symbolic-miss.
+	if res.Crossval == nil {
+		t.Fatal("crossval spot-check missing")
+	}
+	if !res.Crossval.Sound() {
+		t.Errorf("crossval refuted soundness: %s", res.Crossval.Summary())
+	}
+	if n := res.Crossval.ByClass["symbolic-miss"]; n != 0 {
+		t.Errorf("crossval reports %d symbolic-miss mismatches, want 0", n)
+	}
+
+	if path := os.Getenv("HARDEN_SMOKE_STATS"); path != "" {
+		stats := struct {
+			GapsFound, GapsTargeted, GapsHardened int
+			Synthesized, Inserted                 int
+			BeforeDetected, AfterDetected         int
+			BeforeUndetected, AfterUndetected     int
+			ResidualGaps                          int
+			UntouchedSampled, UntouchedIdentical  int
+			CrossvalPoints, CrossvalTrials        int
+		}{
+			res.GapsFound, res.GapsTargeted, res.GapsHardened,
+			res.Synthesized, res.Inserted,
+			res.BeforeDetected, res.AfterDetected,
+			res.BeforeUndetected, res.AfterUndetected,
+			res.ResidualGaps,
+			len(sampled), identical,
+			res.Crossval.Points, res.Crossval.Trials,
+		}
+		b, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// sameVerdicts compares the verdict-bearing fields of two injection reports:
+// activation, terminal count, outcome tallies, and the sorted finding
+// outputs. States explored and pcs legitimately differ after insertion.
+func sameVerdicts(b, a checker.InjectionReport) bool {
+	if b.Activated != a.Activated || b.TerminalStates != a.TerminalStates {
+		return false
+	}
+	if len(b.Outcomes) != len(a.Outcomes) {
+		return false
+	}
+	for o, n := range b.Outcomes {
+		if a.Outcomes[o] != n {
+			return false
+		}
+	}
+	if len(b.Findings) != len(a.Findings) {
+		return false
+	}
+	bo := make([]string, len(b.Findings))
+	ao := make([]string, len(a.Findings))
+	for i := range b.Findings {
+		bo[i], ao[i] = b.Findings[i].Output, a.Findings[i].Output
+	}
+	sort.Strings(bo)
+	sort.Strings(ao)
+	for i := range bo {
+		if bo[i] != ao[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -12,11 +12,35 @@
 // detector model (Section 5.3): a CHECK annotation that can never execute, or
 // one that guards a value no subsequent instruction reads, is a silent
 // coverage hole this package reports statically.
+//
+// # Diagnostic codes
+//
+// Every Diag carries one of these stable, kebab-case codes (the Code*
+// constants in lint.go; tools/analyzers/diagcodes enforces the registry):
+//
+//   - unreachable-code: instructions no path from entry executes.
+//   - unreachable-detector: a CHECK that can never run, so its detector
+//     cannot fire.
+//   - unknown-detector: a CHECK naming a detector the table does not define;
+//     the check always throws.
+//   - unused-detector: a detector no CHECK references.
+//   - dead-guard: a CHECK validating a register that is dead immediately
+//     after it — nothing reads the guarded value.
+//   - falls-off-end: control can run past the last instruction.
+//   - bad-branch-target: a branch whose resolved target is outside the
+//     program.
+//   - uninitialized-read: a read of a register no path from entry writes.
+//   - dead-store: a register write nothing ever reads.
+//   - undetected-escape-window: a live value that, if corrupted anywhere in
+//     its definition-to-use window, can reach program output or control flow
+//     with no CHECK reading it first (see Gaps; internal/harden synthesizes
+//     detectors to close these).
 package analysis
 
 import (
 	"math/bits"
 	"strings"
+	"sync"
 
 	"symplfied/internal/detector"
 	"symplfied/internal/isa"
@@ -103,6 +127,16 @@ type Analysis struct {
 	// can reach pc. The one-bit-per-register dual of reaching definitions;
 	// Lint uses it to flag reads of never-written registers.
 	NeverWritten []RegSet
+
+	// Demand-computed passes (Gaps, Consts): built on first use so callers
+	// that only prune injections never pay for them, cached so the structure
+	// stays shareable.
+	gapsOnce   sync.Once
+	gaps       []Gap
+	constsOnce sync.Once
+	consts     *Consts
+	dynOnce    sync.Once
+	dyn        []int
 }
 
 // Analyze builds the CFG and runs the dataflow passes. A nil detector table

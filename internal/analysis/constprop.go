@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"symplfied/internal/isa"
+)
+
+// RegConsts is the constant lattice for one program point: for every
+// register either a single known value (its bit in Known set, value in Val)
+// or "varying" — more than one value can reach the point. $0 is always the
+// known constant 0.
+type RegConsts struct {
+	Known uint32
+	Val   [isa.NumRegs]int64
+}
+
+// Get returns the known constant value of r, if any.
+func (c RegConsts) Get(r isa.Reg) (int64, bool) {
+	if !r.Valid() {
+		return 0, false
+	}
+	if r == isa.RegZero {
+		return 0, true
+	}
+	if c.Known&(1<<r) == 0 {
+		return 0, false
+	}
+	return c.Val[r], true
+}
+
+func (c *RegConsts) set(r isa.Reg, v int64) {
+	if r == isa.RegZero || !r.Valid() {
+		return
+	}
+	c.Known |= 1 << r
+	c.Val[r] = v
+}
+
+func (c *RegConsts) clear(r isa.Reg) {
+	if r == isa.RegZero || !r.Valid() {
+		return
+	}
+	c.Known &^= 1 << r
+}
+
+// meet intersects two fact sets: a register stays known only when both
+// paths agree on its value. Reports whether c changed.
+func (c *RegConsts) meet(o RegConsts) bool {
+	changed := false
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		bit := uint32(1) << r
+		if c.Known&bit == 0 {
+			continue
+		}
+		if o.Known&bit == 0 || o.Val[r] != c.Val[r] {
+			c.Known &^= bit
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Consts holds the forward constant-propagation facts: for each reachable
+// pc, the registers whose value is the same on every fault-free path from
+// entry to that point. The machine boots with a zeroed register file, so
+// the entry fact is "every register is 0".
+//
+// Soundness is relative to fault-free executions under the calling
+// convention internal/summary states on Partition: an indirect jump (jr)
+// transfers to a call continuation (the pc after some jal). A fault can of
+// course break any of this — that is exactly what a synthesized invariant
+// check is for, and why internal/harden re-verifies every synthesized
+// detector against the fault-free run before keeping it.
+type Consts struct {
+	in      []RegConsts
+	reached []bool
+}
+
+// At returns the constant value register r provably holds just before the
+// instruction at pc executes on every fault-free path, if any.
+func (c *Consts) At(pc int, r isa.Reg) (int64, bool) {
+	if pc < 0 || pc >= len(c.in) || !c.reached[pc] {
+		return 0, false
+	}
+	return c.in[pc].Get(r)
+}
+
+// computeConsts runs the forward worklist. dynTargets are the successor pcs
+// assumed for jr instructions (the jal continuations; see Consts).
+func (a *Analysis) computeConsts(dynTargets []int) *Consts {
+	prog := a.Prog
+	n := prog.Len()
+	c := &Consts{in: make([]RegConsts, n), reached: make([]bool, n)}
+	if n == 0 {
+		return c
+	}
+	// Entry: zeroed register file, every register a known 0.
+	c.in[0] = RegConsts{Known: uint32(AllRegs)}
+	c.reached[0] = true
+
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	var buf [2]int
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[pc] = false
+
+		out := c.in[pc]
+		transferConsts(prog.At(pc), &out)
+
+		succs, dynamic := succsOf(prog, a.Detectors, pc, buf[:0])
+		push := func(s int) {
+			if s < 0 || s >= n {
+				return
+			}
+			changed := false
+			if !c.reached[s] {
+				c.reached[s] = true
+				c.in[s] = out
+				changed = true
+			} else {
+				changed = c.in[s].meet(out)
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+		for _, s := range succs {
+			push(s)
+		}
+		if dynamic {
+			for _, s := range dynTargets {
+				push(s)
+			}
+		}
+	}
+	return c
+}
+
+// transferConsts applies one instruction to a fact set in place.
+func transferConsts(in isa.Instr, f *RegConsts) {
+	if bin, imm, ok := isa.ArithOp(in.Op); ok {
+		x, okX := f.Get(in.Rs)
+		var y int64
+		okY := true
+		if imm {
+			y = in.Imm
+		} else {
+			y, okY = f.Get(in.Rt)
+		}
+		if okX && okY {
+			if v, err := isa.EvalBin(bin, x, y); err == nil {
+				f.set(in.Rd, v)
+				return
+			}
+		}
+		f.clear(in.Rd)
+		return
+	}
+	if cmp, imm, ok := isa.CmpForOp(in.Op); ok {
+		x, okX := f.Get(in.Rs)
+		var y int64
+		okY := true
+		if imm {
+			y = in.Imm
+		} else {
+			y, okY = f.Get(in.Rt)
+		}
+		if okX && okY {
+			v := int64(0)
+			if isa.EvalCmp(cmp, x, y) {
+				v = 1
+			}
+			f.set(in.Rd, v)
+			return
+		}
+		f.clear(in.Rd)
+		return
+	}
+	switch in.Op {
+	case isa.OpLi:
+		f.set(in.Rd, in.Imm)
+	case isa.OpLui:
+		f.set(in.Rd, in.Imm<<16)
+	case isa.OpMov:
+		if v, ok := f.Get(in.Rs); ok {
+			f.set(in.Rd, v)
+		} else {
+			f.clear(in.Rd)
+		}
+	default:
+		// Loads, reads and jal produce values the lattice does not track
+		// (memory, input, a code address that moves when code is rewritten).
+		for _, r := range in.DstRegs() {
+			f.clear(r)
+		}
+	}
+}
+
+// dynContinuations returns the pcs an indirect jump is assumed to target on
+// a fault-free run: the continuation of every jal (see Consts). A program
+// with jr but no jal falls back to every pc — fully conservative.
+func dynContinuations(prog *isa.Program) []int {
+	var out []int
+	hasJr := false
+	for pc := 0; pc < prog.Len(); pc++ {
+		switch prog.At(pc).Op {
+		case isa.OpJal:
+			if pc+1 < prog.Len() {
+				out = append(out, pc+1)
+			}
+		case isa.OpJr:
+			hasJr = true
+		}
+	}
+	if hasJr && len(out) == 0 {
+		out = make([]int, prog.Len())
+		for i := range out {
+			out[i] = i
+		}
+	}
+	return out
+}

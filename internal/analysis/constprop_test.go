@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+// TestConstsBootZeros: the machine zeroes the register file, so at entry
+// every register is the known constant 0.
+func TestConstsBootZeros(t *testing.T) {
+	a := analyzeSrc(t, "\tprint $5\n\thalt\n")
+	c := a.Consts()
+	if v, ok := c.At(0, isa.Reg(5)); !ok || v != 0 {
+		t.Errorf("At(0, $5) = %d, %v; want boot zero", v, ok)
+	}
+}
+
+// TestConstsArithChain: constants fold through li and arithmetic.
+func TestConstsArithChain(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $1 #6
+	addi $2 $1 #4
+	mult $3 $2 $2
+	print $3
+	halt
+`)
+	c := a.Consts()
+	if v, ok := c.At(3, isa.Reg(3)); !ok || v != 100 {
+		t.Errorf("At(print, $3) = %d, %v; want 100", v, ok)
+	}
+	if v, ok := c.At(3, isa.Reg(2)); !ok || v != 10 {
+		t.Errorf("At(print, $2) = %d, %v; want 10", v, ok)
+	}
+}
+
+// TestConstsMergeConflict: a register set to different values on two arms is
+// varying at the join, while one set identically on both stays known.
+func TestConstsMergeConflict(t *testing.T) {
+	a := analyzeSrc(t, `
+	read $1
+	beqi $1 #0 other
+	li $2 #5
+	li $3 #8
+	jmp join
+other:
+	li $2 #9
+	li $3 #8
+join:
+	print $2
+	halt
+`)
+	c := a.Consts()
+	joinPC := 7
+	if _, ok := c.At(joinPC, isa.Reg(2)); ok {
+		t.Error("$2 is 5 or 9 at the join but reported constant")
+	}
+	if v, ok := c.At(joinPC, isa.Reg(3)); !ok || v != 8 {
+		t.Errorf("At(join, $3) = %d, %v; want 8 (both arms agree)", v, ok)
+	}
+	if _, ok := c.At(joinPC, isa.Reg(1)); ok {
+		t.Error("$1 comes from read but reported constant")
+	}
+}
+
+// TestConstsUntrackedDefs: read, ld and jal destinations are varying — jal
+// deliberately so, since a linked return address moves when the hardening
+// pass inserts instructions.
+func TestConstsUntrackedDefs(t *testing.T) {
+	a := analyzeSrc(t, `
+	jal f
+	halt
+f:
+	read $1
+	st $1 100($0)
+	ld $2 100($0)
+	jr $31
+`)
+	c := a.Consts()
+	// At the jr (pc 5): $31 was linked by jal, $1 read, $2 loaded — all
+	// varying.
+	for _, r := range []isa.Reg{isa.RegRA, isa.Reg(1), isa.Reg(2)} {
+		if _, ok := c.At(5, r); ok {
+			t.Errorf("%s reported constant after an untracked definition", r)
+		}
+	}
+}
+
+// TestConstsLoopCounterVaries: a loop counter is constant at its
+// initialization but varying at the loop head, where iterations meet.
+func TestConstsLoopCounterVaries(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $1 #0
+	li $2 #10
+loop:
+	addi $1 $1 #1
+	bne $1 $2 loop
+	halt
+`)
+	c := a.Consts()
+	loopPC := 2
+	if _, ok := c.At(loopPC, isa.Reg(1)); ok {
+		t.Error("loop counter $1 reported constant at the loop head")
+	}
+	if v, ok := c.At(loopPC, isa.Reg(2)); !ok || v != 10 {
+		t.Errorf("loop bound $2 = %d, %v; want constant 10", v, ok)
+	}
+}
+
+// TestConstsDivByZeroVaries: folding a division whose constant divisor is
+// zero must not invent a value — the instruction traps instead.
+func TestConstsDivByZeroVaries(t *testing.T) {
+	a := analyzeSrc(t, "\tli $1 #3\n\tdiv $2 $1 $0\n\tprint $2\n\thalt\n")
+	c := a.Consts()
+	if _, ok := c.At(2, isa.Reg(2)); ok {
+		t.Error("divide-by-zero result reported constant")
+	}
+}

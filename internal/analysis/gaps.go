@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"sort"
+
+	"symplfied/internal/isa"
+)
+
+// EscapeKind classifies where a corrupted value first becomes observable.
+type EscapeKind int
+
+// Escape kinds, in diagnostic-priority order: reaching program output is the
+// paper's canonical undetected failure; influencing control flow (a branch,
+// an indirect jump, a memory address, a trap condition) covers the rest.
+const (
+	EscapeOutput EscapeKind = iota + 1
+	EscapeControl
+)
+
+// String names the escape kind for messages.
+func (k EscapeKind) String() string {
+	switch k {
+	case EscapeOutput:
+		return "output"
+	case EscapeControl:
+		return "control flow"
+	}
+	return "escape"
+}
+
+// Gap is one undetected-escape window: a register defined at DefPC whose
+// value, if corrupted anywhere in the window, can reach program output or
+// control flow without any CHECK reading the corrupted data first. It is the
+// static complement of the checker's undetected-corruption verdicts — every
+// gap names injection sites whose failures no detector can catch — and the
+// work list of the detector-hardening pass (internal/harden).
+type Gap struct {
+	// DefPC is the instruction defining the unprotected value; Reg the
+	// register carrying it.
+	DefPC int
+	Reg   isa.Reg
+	// UsePCs are the first reads of Reg on paths from DefPC, ascending — the
+	// frontier where a synthesized CHECK would close the window (insert
+	// before the read).
+	UsePCs []int
+	// Window lists every pc, ascending, where the in-flight value is live —
+	// the injection sites the gap exposes. It includes the use frontier.
+	Window []int
+	// EscapePC is the lowest pc where the taint becomes observable, and Kind
+	// says how.
+	EscapePC int
+	Kind     EscapeKind
+}
+
+// Gaps returns the program's undetected-escape windows, ordered by
+// (DefPC, Reg). Computed on first call and cached; Analysis stays safe to
+// share. The walk is a may-taint escape analysis seeded at each reachable
+// definition: the taint flows through register copies, arithmetic and
+// memory, dies where a CHECK reads any tainted location (over-approximating
+// detection — the sound direction for a warning, and internal/harden
+// re-verifies empirically), and escapes at a print of tainted data
+// (EscapeOutput) or at a branch, indirect jump, memory address, or divisor
+// computed from it (EscapeControl).
+func (a *Analysis) Gaps() []Gap {
+	a.gapsOnce.Do(func() { a.gaps = a.computeGaps() })
+	return a.gaps
+}
+
+// Consts returns the constant-propagation facts (see the Consts type),
+// computed on first call and cached.
+func (a *Analysis) Consts() *Consts {
+	a.constsOnce.Do(func() { a.consts = a.computeConsts(a.dynTargets()) })
+	return a.consts
+}
+
+// dynTargets caches the assumed jr successor set shared by the forward
+// passes.
+func (a *Analysis) dynTargets() []int {
+	a.dynOnce.Do(func() { a.dyn = dynContinuations(a.Prog) })
+	return a.dyn
+}
+
+func (a *Analysis) computeGaps() []Gap {
+	var gaps []Gap
+	dyn := a.dynTargets()
+	for pc := 0; pc < a.Prog.Len(); pc++ {
+		if !a.CFG.Reachable[pc] {
+			continue
+		}
+		for _, r := range a.Defs(pc).Regs() {
+			if !a.LiveOut[pc].Has(r) {
+				continue // dead store; flagged separately
+			}
+			escPC, kind, escapes := a.escapeOf(pc, r, dyn)
+			if !escapes {
+				continue
+			}
+			window, uses := a.windowOf(pc, r, dyn)
+			if len(uses) == 0 {
+				continue
+			}
+			gaps = append(gaps, Gap{
+				DefPC: pc, Reg: r,
+				UsePCs: uses, Window: window,
+				EscapePC: escPC, Kind: kind,
+			})
+		}
+	}
+	return gaps
+}
+
+// windowOf walks forward from defPC while r carries the defined value,
+// returning the live window pcs and the first-read frontier (both sorted
+// ascending). Paths stop at a read of r, at a redefinition, or where r goes
+// dead.
+func (a *Analysis) windowOf(defPC int, r isa.Reg, dyn []int) (window, uses []int) {
+	prog := a.Prog
+	n := prog.Len()
+	seen := make([]bool, n)
+	member := make([]bool, n)
+	var work []int
+	var buf [2]int
+	push := func(pc int) {
+		if pc >= 0 && pc < n && !seen[pc] {
+			seen[pc] = true
+			work = append(work, pc)
+		}
+	}
+	succs, dynamic := succsOf(prog, a.Detectors, defPC, buf[:0])
+	for _, s := range succs {
+		push(s)
+	}
+	if dynamic {
+		for _, s := range dyn {
+			push(s)
+		}
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !a.LiveIn[pc].Has(r) {
+			continue // value dead here: not a window site
+		}
+		member[pc] = true
+		if a.Uses(pc).Has(r) {
+			uses = append(uses, pc)
+			continue // frontier: the value is consumed
+		}
+		if a.Defs(pc).Has(r) {
+			continue // redefined unread
+		}
+		succs, dynamic := succsOf(prog, a.Detectors, pc, buf[:0])
+		for _, s := range succs {
+			push(s)
+		}
+		if dynamic {
+			for _, s := range dyn {
+				push(s)
+			}
+		}
+	}
+	for pc := 0; pc < n; pc++ {
+		if member[pc] {
+			window = append(window, pc)
+		}
+	}
+	sort.Ints(uses)
+	return window, uses
+}
+
+// taintFact is the escape walk's per-pc state: the registers that may carry
+// data derived from the corrupted value, plus one coarse bit for all of
+// memory (a store of tainted data taints it; it is never cleared — the
+// sound direction for a may analysis).
+type taintFact struct {
+	regs RegSet
+	mem  bool
+}
+
+// escapeOf runs the may-taint walk from a definition of r at defPC and
+// reports the lowest pc (ties broken toward EscapeOutput) where the taint
+// escapes before any CHECK reads it, if any.
+func (a *Analysis) escapeOf(defPC int, r isa.Reg, dyn []int) (escPC int, kind EscapeKind, escapes bool) {
+	prog := a.Prog
+	n := prog.Len()
+	in := make([]taintFact, n)
+	seen := make([]bool, n)
+	escPC = -1
+	var work []int
+	push := func(pc int, f taintFact) {
+		if pc < 0 || pc >= n || (f.regs == 0 && !f.mem) {
+			return
+		}
+		if !seen[pc] {
+			seen[pc] = true
+			in[pc] = f
+			work = append(work, pc)
+			return
+		}
+		merged := taintFact{regs: in[pc].regs.Union(f.regs), mem: in[pc].mem || f.mem}
+		if merged != in[pc] {
+			in[pc] = merged
+			work = append(work, pc)
+		}
+	}
+	note := func(pc int, k EscapeKind) {
+		if escPC == -1 || pc < escPC || (pc == escPC && k < kind) {
+			escPC, kind = pc, k
+		}
+	}
+
+	var buf [2]int
+	seed := taintFact{regs: RegSet(0).Add(r)}
+	succs, dynamic := succsOf(prog, a.Detectors, defPC, buf[:0])
+	for _, s := range succs {
+		push(s, seed)
+	}
+	if dynamic {
+		for _, s := range dyn {
+			push(s, seed)
+		}
+	}
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		f := in[pc]
+		inst := prog.At(pc)
+
+		var srcs RegSet
+		for _, s := range inst.SrcRegs() {
+			srcs = srcs.Add(s)
+		}
+		srcTainted := f.regs&srcs != 0
+
+		switch inst.Op {
+		case isa.OpPrint:
+			if srcTainted {
+				note(pc, EscapeOutput)
+			}
+		case isa.OpBeq, isa.OpBne, isa.OpBeqi, isa.OpBnei, isa.OpJr:
+			if srcTainted {
+				note(pc, EscapeControl)
+			}
+		case isa.OpDiv, isa.OpMod:
+			// A corrupted divisor can raise divide-by-zero.
+			if f.regs.Has(inst.Rt) {
+				note(pc, EscapeControl)
+			}
+		case isa.OpLd, isa.OpSt:
+			// A corrupted address reads or writes a wild location.
+			if f.regs.Has(inst.Rs) {
+				note(pc, EscapeControl)
+			}
+		case isa.OpCheck:
+			if d, ok := a.Detectors.Lookup(inst.Imm); ok {
+				dregs, dmem := DetectorReads(d)
+				if f.regs&dregs != 0 || (dmem && f.mem) {
+					continue // a check reads the taint first: covered path
+				}
+			}
+		}
+
+		// Value flow into the written registers (and memory, for stores).
+		out := f
+		flow := srcTainted
+		switch inst.Op {
+		case isa.OpLd:
+			// Tainted cell, or tainted address selecting any cell.
+			flow = f.mem || f.regs.Has(inst.Rs)
+		case isa.OpSt:
+			if f.regs.Has(inst.Rt) {
+				out.mem = true
+			}
+			flow = false
+		case isa.OpLi, isa.OpLui, isa.OpRead, isa.OpJal:
+			flow = false // fresh value overwrites any taint
+		}
+		for _, d := range inst.DstRegs() {
+			if flow {
+				out.regs = out.regs.Add(d)
+			} else {
+				out.regs = out.regs.Remove(d)
+			}
+		}
+
+		succs, dynamic := succsOf(prog, a.Detectors, pc, buf[:0])
+		for _, s := range succs {
+			push(s, out)
+		}
+		if dynamic {
+			for _, s := range dyn {
+				push(s, out)
+			}
+		}
+	}
+	return escPC, kind, escPC >= 0
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+// gapDiags filters a diagnostic list down to the coverage-gap code.
+func gapDiags(diags []Diag) []Diag {
+	var out []Diag
+	for _, d := range diags {
+		if d.Code == CodeUndetectedEscape {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestGapSimpleOutputEscape: an unguarded value printed directly is the
+// canonical gap — window from the definition to the print, escaping as
+// output at the print itself.
+func TestGapSimpleOutputEscape(t *testing.T) {
+	a := analyzeSrc(t, "\tli $1 #7\n\tprint $1\n\thalt\n")
+	gaps := a.Gaps()
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %+v, want exactly one", gaps)
+	}
+	g := gaps[0]
+	if g.DefPC != 0 || g.Reg != isa.Reg(1) || g.Kind != EscapeOutput || g.EscapePC != 1 {
+		t.Errorf("gap = %+v, want def@0 $1 output@1", g)
+	}
+	if len(g.UsePCs) != 1 || g.UsePCs[0] != 1 {
+		t.Errorf("UsePCs = %v, want [1]", g.UsePCs)
+	}
+	if len(g.Window) != 1 || g.Window[0] != 1 {
+		t.Errorf("Window = %v, want [1]", g.Window)
+	}
+}
+
+// TestGapCoveredByCheck: a CHECK reading the value before it can escape
+// closes the window — no gap.
+func TestGapCoveredByCheck(t *testing.T) {
+	a := analyzeSrc(t, `
+	det(1, $1, ==, 7)
+	li $1 #7
+	check #1
+	print $1
+	halt
+`)
+	if gaps := a.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps = %+v, want none: the check reads the taint before the print", gaps)
+	}
+}
+
+// TestGapCheckOnCopyCovers: the taint flows through a register copy, and a
+// CHECK on the copy still covers the original definition.
+func TestGapCheckOnCopyCovers(t *testing.T) {
+	a := analyzeSrc(t, `
+	det(1, $2, ==, 7)
+	li $1 #7
+	mov $2 $1
+	check #1
+	print $2
+	halt
+`)
+	if gaps := a.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps = %+v, want none: the check on the copy reads the taint", gaps)
+	}
+}
+
+// TestGapControlEscape: a branch on an unguarded input value is a
+// control-flow escape.
+func TestGapControlEscape(t *testing.T) {
+	a := analyzeSrc(t, "\tread $1\n\tbeqi $1 #0 done\ndone:\thalt\n")
+	gaps := a.Gaps()
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %+v, want exactly one", gaps)
+	}
+	if g := gaps[0]; g.Kind != EscapeControl || g.EscapePC != 1 {
+		t.Errorf("gap = %+v, want control-flow escape @1", g)
+	}
+}
+
+// TestGapTaintThroughMemory: a store forwards the taint into memory and a
+// later load resurrects it — the definition still escapes at the print.
+func TestGapTaintThroughMemory(t *testing.T) {
+	a := analyzeSrc(t, `
+	li $1 #7
+	st $1 100($0)
+	ld $2 100($0)
+	print $2
+	halt
+`)
+	var found *Gap
+	for i := range a.Gaps() {
+		if g := &a.Gaps()[i]; g.DefPC == 0 {
+			found = g
+		}
+	}
+	if found == nil {
+		t.Fatalf("no gap for the definition at @0: %+v", a.Gaps())
+	}
+	if found.Kind != EscapeOutput || found.EscapePC != 3 {
+		t.Errorf("gap = %+v, want output escape @3 through memory", *found)
+	}
+}
+
+// TestGapDeadValueNoGap: a dead store opens no window (it has its own
+// diagnostic).
+func TestGapDeadValueNoGap(t *testing.T) {
+	a := analyzeSrc(t, "\tli $1 #7\n\thalt\n")
+	if gaps := a.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps = %+v, want none for a dead definition", gaps)
+	}
+}
+
+// TestLintGapDedupe is the regression test for duplicate diagnostics: two
+// definitions of the same register on the arms of a diamond converge on one
+// read, so the gap pass vouches twice for the same (PC, Code, Reg) finding.
+// Lint must emit it once, deterministically.
+func TestLintGapDedupe(t *testing.T) {
+	a := analyzeSrc(t, `
+	read $1
+	beqi $1 #0 other
+	li $2 #5
+	jmp join
+other:
+	li $2 #9
+join:
+	print $2
+	halt
+`)
+	diags := gapDiags(a.Lint())
+	// The join read of $2 must be reported exactly once despite two
+	// converging definitions.
+	joinPC := 5
+	n := 0
+	for _, d := range diags {
+		if d.PC == joinPC && d.Reg != nil && *d.Reg == isa.Reg(2) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("got %d undetected-escape-window diags at the join read, want exactly 1:\n%v", n, diags)
+	}
+	// No two adjacent diagnostics may share the dedupe key, for any code.
+	all := a.Lint()
+	for i := 1; i < len(all); i++ {
+		if sameFinding(all[i-1], all[i]) {
+			t.Errorf("duplicate finding survived dedupe: %v / %v", all[i-1], all[i])
+		}
+	}
+	// And the survivor must be deterministic: the message sorting first.
+	for _, d := range diags {
+		if d.PC == joinPC {
+			if want := "a corruption of $2 (defined @2, 2-site window) can reach output @5 before any check reads it"; d.Message != want {
+				t.Errorf("kept message %q, want the sort-first duplicate %q", d.Message, want)
+			}
+		}
+	}
+}

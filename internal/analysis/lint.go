@@ -44,6 +44,7 @@ const (
 	CodeBadBranchTarget     = "bad-branch-target"
 	CodeUninitRead          = "uninitialized-read"
 	CodeDeadStore           = "dead-store"
+	CodeUndetectedEscape    = "undetected-escape-window"
 )
 
 // Diag is one diagnostic from the lint pass.
@@ -100,7 +101,10 @@ func HasErrors(diags []Diag) bool {
 //     register that is dead immediately after the check (warning: the check
 //     validates a value nothing reads);
 //   - reads of registers no path from entry ever writes (warning) and
-//     stores into registers that are dead afterwards (warning).
+//     stores into registers that are dead afterwards (warning);
+//   - undetected-escape windows (warning): first reads of live values whose
+//     corruption can reach output or control flow before any CHECK sees it
+//     (the coverage-gap analysis, see Gaps).
 func Lint(prog *isa.Program, dets *detector.Table) []Diag {
 	return Analyze(prog, dets).Lint()
 }
@@ -234,13 +238,87 @@ func (a *Analysis) Lint() []Diag {
 		}
 	}
 
-	sort.SliceStable(diags, func(i, j int) bool {
-		if diags[i].PC != diags[j].PC {
-			return diags[i].PC < diags[j].PC
+	// Coverage gaps: live windows whose corruption can reach output or
+	// control flow before any check reads it. Anchored at the first read —
+	// the pc a synthesized CHECK would precede — so several definitions
+	// converging on one read each vouch for the same finding (deduped below).
+	for _, gap := range a.Gaps() {
+		for _, use := range gap.UsePCs {
+			r := gap.Reg
+			add(Diag{
+				Severity: SeverityWarning, Code: CodeUndetectedEscape, PC: use, Reg: &r,
+				Message: fmt.Sprintf("a corruption of %s (defined @%d, %d-site window) can reach %s @%d before any check reads it",
+					r, gap.DefPC, len(gap.Window), gap.Kind, gap.EscapePC),
+			})
 		}
-		return diags[i].Code < diags[j].Code
+	}
+
+	sortDiags(diags)
+	return dedupeDiags(diags)
+}
+
+// sortDiags orders diagnostics deterministically by (PC, Code, Reg,
+// DetectorID, Message). The full key makes the order — and which duplicate
+// dedupeDiags keeps — independent of emission order.
+func sortDiags(diags []Diag) {
+	ord := func(d Diag) (reg int, det int64) {
+		reg, det = -1, -1
+		if d.Reg != nil {
+			reg = int(*d.Reg)
+		}
+		if d.DetectorID != nil {
+			det = *d.DetectorID
+		}
+		return reg, det
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.PC != dj.PC {
+			return di.PC < dj.PC
+		}
+		if di.Code != dj.Code {
+			return di.Code < dj.Code
+		}
+		ri, deti := ord(di)
+		rj, detj := ord(dj)
+		if ri != rj {
+			return ri < rj
+		}
+		if deti != detj {
+			return deti < detj
+		}
+		return di.Message < dj.Message
 	})
-	return diags
+}
+
+// dedupeDiags drops adjacent diagnostics sharing (Severity, Code, PC, Reg,
+// DetectorID) from a sorted slice, keeping the first. A block reachable
+// along multiple edges — or several definitions converging on one read —
+// would otherwise mint the same finding more than once.
+func dedupeDiags(diags []Diag) []Diag {
+	out := diags[:0]
+	for _, d := range diags {
+		if n := len(out); n > 0 && sameFinding(out[n-1], d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// sameFinding reports whether two diagnostics are the same finding for
+// dedupe purposes: identical anchor and kind, messages aside.
+func sameFinding(a, b Diag) bool {
+	if a.Severity != b.Severity || a.Code != b.Code || a.PC != b.PC {
+		return false
+	}
+	if (a.Reg == nil) != (b.Reg == nil) || (a.Reg != nil && *a.Reg != *b.Reg) {
+		return false
+	}
+	if (a.DetectorID == nil) != (b.DetectorID == nil) || (a.DetectorID != nil && *a.DetectorID != *b.DetectorID) {
+		return false
+	}
+	return true
 }
 
 // isPureDef reports whether the instruction's only observable effect is the

@@ -1,0 +1,47 @@
+package checker
+
+import (
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/symexec"
+)
+
+// TestDetectorHitsAttribution: an injection caught by a CHECK credits the
+// firing detector in InjectionReport.DetectorHits and the aggregate folds
+// it, so hardened-vs-seed campaigns can compare coverage per detector.
+func TestDetectorHitsAttribution(t *testing.T) {
+	u := asm.MustParse("t", `
+	det(7, $1, ==, 5)
+	li $1 #5
+	check #7
+	print $1
+	halt
+`)
+	inj := faults.Injection{Class: faults.ClassRegister, PC: 1, Occurrence: 1, Loc: isa.RegLoc(1)}
+	for _, merge := range []bool{false, true} {
+		rep, err := Run(Spec{
+			Program:     u.Program,
+			Detectors:   u.Detectors,
+			Injections:  []faults.Injection{inj},
+			Exec:        symexec.DefaultOptions(),
+			Predicate:   OutcomeIs(symexec.OutcomeNormal),
+			MergeStates: merge,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Outcomes[symexec.OutcomeDetected] == 0 {
+			t.Fatalf("merge=%v: injection before the check produced no detected outcome: %v", merge, rep.Outcomes)
+		}
+		if got := rep.DetectorHits[7]; got != rep.Outcomes[symexec.OutcomeDetected] {
+			t.Errorf("merge=%v: DetectorHits[7] = %d, want every detected terminal (%d) attributed",
+				merge, got, rep.Outcomes[symexec.OutcomeDetected])
+		}
+		if len(rep.PerInjection) != 1 || rep.PerInjection[0].DetectorHits[7] == 0 {
+			t.Errorf("merge=%v: per-injection attribution missing: %+v", merge, rep.PerInjection)
+		}
+	}
+}

@@ -41,9 +41,9 @@ import (
 // -metrics-addr scrapes and the -progress line; the deterministic tallies
 // that travel inside reports live in InjectionReport.Exec instead.
 var (
-	liveStates      = obs.Default().Counter(obs.MStates)
-	liveFindings    = obs.Default().Counter(obs.MFindings)
-	liveFrontier    = obs.Default().Gauge(obs.MFrontier)
+	liveStates       = obs.Default().Counter(obs.MStates)
+	liveFindings     = obs.Default().Counter(obs.MFindings)
+	liveFrontier     = obs.Default().Gauge(obs.MFrontier)
 	liveInjections   = obs.Default().Counter(obs.MInjections)
 	liveInjTimeouts  = obs.Default().Counter(obs.MInjTimeouts)
 	liveInjPanics    = obs.Default().Counter(obs.MInjPanics)
@@ -249,6 +249,11 @@ type InjectionReport struct {
 	TerminalStates int
 	// Outcomes tallies terminal states by outcome.
 	Outcomes map[symexec.Outcome]int
+	// DetectorHits tallies detected terminal states by the detector that
+	// fired — per-detector coverage attribution, so hardened-vs-seed
+	// campaigns can say which CHECK earned each detection. Nil until a
+	// detection is attributed.
+	DetectorHits map[int64]int `json:",omitempty"`
 	// Findings holds predicate matches (capped at MaxFindings).
 	Findings []Finding
 	// BudgetExhausted is true when the state budget expired before the
@@ -309,10 +314,13 @@ func (ir InjectionReport) Failed() bool {
 
 // Report aggregates a whole search.
 type Report struct {
-	Spec          *Spec
-	PerInjection  []InjectionReport
-	Findings      []Finding
-	Outcomes      map[symexec.Outcome]int
+	Spec         *Spec
+	PerInjection []InjectionReport
+	Findings     []Finding
+	Outcomes     map[symexec.Outcome]int
+	// DetectorHits folds the per-injection detector attribution: how many
+	// detected terminals each detector accounts for across the sweep.
+	DetectorHits  map[int64]int `json:",omitempty"`
 	TotalStates   int
 	NotActivated  int
 	BudgetBlown   int
@@ -360,6 +368,12 @@ func (r *Report) Add(ir InjectionReport) {
 	r.TotalStates += ir.StatesExplored
 	for o, n := range ir.Outcomes {
 		r.Outcomes[o] += n
+	}
+	for id, n := range ir.DetectorHits {
+		if r.DetectorHits == nil {
+			r.DetectorHits = make(map[int64]int)
+		}
+		r.DetectorHits[id] += n
 	}
 	if !ir.Activated && !ir.Failed() {
 		r.NotActivated++
@@ -782,6 +796,12 @@ func exploreInjection(ctx context.Context, spec Spec, inj faults.Injection, ir *
 			if !cur.Running() {
 				ir.TerminalStates++
 				ir.Outcomes[cur.Outcome()]++
+				if id, ok := cur.FiredDetector(); ok {
+					if ir.DetectorHits == nil {
+						ir.DetectorHits = make(map[int64]int)
+					}
+					ir.DetectorHits[id]++
+				}
 				ir.Exec.ObserveDepth(int64(cur.Steps))
 				if spec.Predicate.Match(cur) {
 					if spec.MaxFindings == 0 || len(ir.Findings) < spec.MaxFindings {

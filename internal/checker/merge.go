@@ -277,6 +277,12 @@ func exploreInjectionMerged(ctx context.Context, spec Spec, inj faults.Injection
 	classifyTerminal := func(cur *symexec.State) {
 		ir.TerminalStates++
 		ir.Outcomes[cur.Outcome()]++
+		if id, ok := cur.FiredDetector(); ok {
+			if ir.DetectorHits == nil {
+				ir.DetectorHits = make(map[int64]int)
+			}
+			ir.DetectorHits[id]++
+		}
 		ir.Exec.ObserveDepth(int64(cur.Steps))
 		if spec.Predicate.Match(cur) {
 			if spec.MaxFindings == 0 || len(ir.Findings) < spec.MaxFindings {

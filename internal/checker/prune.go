@@ -167,6 +167,13 @@ func (p *siteMemo) reuse(inj faults.Injection, budget int) (InjectionReport, boo
 		out[o] = n
 	}
 	rep.Outcomes = out
+	if len(m.rep.DetectorHits) > 0 {
+		hits := make(map[int64]int, len(m.rep.DetectorHits))
+		for id, n := range m.rep.DetectorHits {
+			hits[id] = n
+		}
+		rep.DetectorHits = hits
+	}
 	return rep, true
 }
 
@@ -233,6 +240,9 @@ func checkPrunedReuse(ctx context.Context, spec Spec, inj faults.Injection, reus
 func normalizeForCheck(ir InjectionReport) InjectionReport {
 	if len(ir.Outcomes) == 0 {
 		ir.Outcomes = nil
+	}
+	if len(ir.DetectorHits) == 0 {
+		ir.DetectorHits = nil
 	}
 	return ir
 }

@@ -158,6 +158,9 @@ type TaskReport struct {
 	Findings []checker.Finding
 	// Outcomes tallies terminal states by outcome over the whole task.
 	Outcomes map[symexec.Outcome]int
+	// DetectorHits folds the task's per-detector coverage attribution
+	// (checker.InjectionReport.DetectorHits). Nil when nothing fired.
+	DetectorHits map[int64]int `json:",omitempty"`
 	// Err reports an infrastructure failure (not a program failure). Errors
 	// do not survive JSON transport; Failure carries the text.
 	Err error `json:"-"`
@@ -531,6 +534,12 @@ func PoolReports(task Task, irs []checker.InjectionReport, maxFindings int) Task
 		for o, n := range ir.Outcomes {
 			rep.Outcomes[o] += n
 		}
+		for id, n := range ir.DetectorHits {
+			if rep.DetectorHits == nil {
+				rep.DetectorHits = make(map[int64]int)
+			}
+			rep.DetectorHits[id] += n
+		}
 		rep.Findings = append(rep.Findings, ir.Findings...)
 		if ir.Panicked {
 			rep.Panics++
@@ -578,6 +587,8 @@ type Summary struct {
 	TotalInjections int
 	Findings        []checker.Finding
 	Outcomes        map[symexec.Outcome]int
+	// DetectorHits folds every task's per-detector coverage attribution.
+	DetectorHits map[int64]int `json:",omitempty"`
 	// Exec merges every task's exploration tally.
 	Exec obs.ExecStats
 }
@@ -596,6 +607,12 @@ func Summarize(reports []TaskReport) Summary {
 		s.Exec.Merge(r.Exec)
 		for o, n := range r.Outcomes {
 			s.Outcomes[o] += n
+		}
+		for id, n := range r.DetectorHits {
+			if s.DetectorHits == nil {
+				s.DetectorHits = make(map[int64]int)
+			}
+			s.DetectorHits[id] += n
 		}
 		switch {
 		case r.Completed && r.FoundErrors():

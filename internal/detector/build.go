@@ -1,0 +1,96 @@
+package detector
+
+import (
+	"fmt"
+
+	"symplfied/internal/isa"
+)
+
+// This file is the programmatic counterpart of Parse: constructors for
+// building detector expressions directly from static-analysis facts (the
+// detector-hardening pass, internal/harden) and structural equality for
+// verifying that a synthesized detector survives the round trip through its
+// det(...) rendering and Parse.
+
+// Num builds an integer literal expression.
+func Num(v int64) Expr { return Const{V: v} }
+
+// Reg builds a register reference expression.
+func Reg(r isa.Reg) Expr { return RegRef{R: r} }
+
+// Mem builds a memory reference expression for a fixed address.
+func Mem(addr int64) Expr { return MemRef{Addr: addr} }
+
+// Bin combines two expressions with an arithmetic operator.
+func Bin(op isa.BinOp, l, r Expr) Expr { return BinExpr{Op: op, L: l, R: r} }
+
+// New builds a detector and validates it the way Parse would: the expression
+// must be non-nil and restricted to the paper's grammar (+ - * /; Parse
+// cannot read back any other operator).
+func New(id int64, target isa.Loc, cmp isa.Cmp, expr Expr) (*Detector, error) {
+	if expr == nil {
+		return nil, fmt.Errorf("detector %d: nil expression", id)
+	}
+	if err := checkGrammar(expr); err != nil {
+		return nil, fmt.Errorf("detector %d: %w", id, err)
+	}
+	return &Detector{ID: id, Target: target, Cmp: cmp, Expr: expr}, nil
+}
+
+// checkGrammar rejects expression shapes outside the paper's Section 5.3
+// grammar, which are exactly the shapes String renders but Parse rejects.
+func checkGrammar(e Expr) error {
+	switch e := e.(type) {
+	case Const:
+		return nil
+	case RegRef:
+		if !e.R.Valid() {
+			return fmt.Errorf("invalid register %s", e.R)
+		}
+		return nil
+	case MemRef:
+		return nil
+	case BinExpr:
+		switch e.Op {
+		case isa.BinAdd, isa.BinSub, isa.BinMult, isa.BinDiv:
+		default:
+			return fmt.Errorf("operator %s is outside the detector grammar", e.Op)
+		}
+		if e.L == nil || e.R == nil {
+			return fmt.Errorf("incomplete %s expression", e.Op)
+		}
+		if err := checkGrammar(e.L); err != nil {
+			return err
+		}
+		return checkGrammar(e.R)
+	}
+	return fmt.Errorf("unknown expression type %T", e)
+}
+
+// Equal reports whether two detectors are structurally identical: same ID,
+// target, comparison and expression tree.
+func Equal(a, b *Detector) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.ID == b.ID && a.Target == b.Target && a.Cmp == b.Cmp && ExprEqual(a.Expr, b.Expr)
+}
+
+// ExprEqual reports structural equality of two expression trees.
+func ExprEqual(a, b Expr) bool {
+	switch a := a.(type) {
+	case Const:
+		b, ok := b.(Const)
+		return ok && a == b
+	case RegRef:
+		b, ok := b.(RegRef)
+		return ok && a == b
+	case MemRef:
+		b, ok := b.(MemRef)
+		return ok && a == b
+	case BinExpr:
+		b, ok := b.(BinExpr)
+		return ok && a.Op == b.Op && ExprEqual(a.L, b.L) && ExprEqual(a.R, b.R)
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package detector
+
+import (
+	"testing"
+
+	"symplfied/internal/isa"
+)
+
+// TestBuildRoundTrip: programmatically built detectors render to det(...)
+// syntax that Parse reads back structurally equal.
+func TestBuildRoundTrip(t *testing.T) {
+	cases := []struct {
+		target isa.Loc
+		cmp    isa.Cmp
+		expr   Expr
+	}{
+		{isa.RegLoc(5), isa.CmpEq, Num(42)},
+		{isa.RegLoc(1), isa.CmpGe, Bin(isa.BinAdd, Reg(2), Num(-7))},
+		{isa.MemLoc(100), isa.CmpNe, Mem(200)},
+		{isa.RegLoc(31), isa.CmpEq, Mem(1 << 20)},
+		{isa.RegLoc(3), isa.CmpLt, Bin(isa.BinMult, Bin(isa.BinSub, Reg(4), Num(1)), Reg(5))},
+		{isa.RegLoc(9), isa.CmpLe, Bin(isa.BinDiv, Num(100), Reg(6))},
+	}
+	for i, tc := range cases {
+		d, err := New(int64(i+1), tc.target, tc.cmp, tc.expr)
+		if err != nil {
+			t.Fatalf("New(%d): %v", i+1, err)
+		}
+		back, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", d.String(), err)
+		}
+		if !Equal(d, back) {
+			t.Errorf("round trip changed %s: got %s", d, back)
+		}
+	}
+}
+
+// TestBuildRejectsOutsideGrammar: operators Parse cannot read back are
+// construction errors, not latent render-time corruption.
+func TestBuildRejectsOutsideGrammar(t *testing.T) {
+	if _, err := New(1, isa.RegLoc(1), isa.CmpEq, Bin(isa.BinXor, Reg(1), Num(1))); err == nil {
+		t.Error("xor accepted into the detector grammar")
+	}
+	if _, err := New(1, isa.RegLoc(1), isa.CmpEq, nil); err == nil {
+		t.Error("nil expression accepted")
+	}
+	if _, err := New(1, isa.RegLoc(1), isa.CmpEq, Bin(isa.BinAdd, Reg(1), nil)); err == nil {
+		t.Error("incomplete expression accepted")
+	}
+}
+
+// TestExprEqualDiscriminates: equality is structural, not textual.
+func TestExprEqualDiscriminates(t *testing.T) {
+	if ExprEqual(Num(1), Reg(1)) {
+		t.Error("Const(1) == RegRef($1)")
+	}
+	if ExprEqual(Bin(isa.BinAdd, Num(1), Num(2)), Bin(isa.BinAdd, Num(2), Num(1))) {
+		t.Error("operand order ignored")
+	}
+	if !ExprEqual(Bin(isa.BinSub, Mem(4), Reg(2)), Bin(isa.BinSub, Mem(4), Reg(2))) {
+		t.Error("identical trees unequal")
+	}
+}

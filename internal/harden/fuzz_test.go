@@ -1,0 +1,147 @@
+package harden
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+)
+
+// fuzzWatchdog bounds fuzz programs that loop.
+const fuzzWatchdog = 10_000
+
+// buildHardenFuzzProgram decodes a byte string into a valid program biased
+// toward hardening-relevant shapes: definitions that stay live to a print or
+// branch (coverage gaps), constant chains (invariant synthesis), counters
+// with immediate guards (range synthesis), and input reads (duplication).
+func buildHardenFuzzProgram(data []byte) *isa.Program {
+	b := isa.NewBuilder("fuzz")
+	n := len(data)
+	if n > 32 {
+		n = 32
+	}
+	at := func(j int) byte {
+		if len(data) == 0 {
+			return 0
+		}
+		return data[j%len(data)]
+	}
+	reg := func(j int) isa.Reg { return isa.Reg(1 + at(j)%4) }
+	for i := 0; i < n; i++ {
+		b.Label(fmt.Sprintf("L%d", i))
+		imm := int64(int8(at(i*7 + 1)))
+		r1, r2, r3 := reg(i*3+1), reg(i*3+2), reg(i*3+3)
+		target := fmt.Sprintf("L%d", int(at(i*5+2))%(n+1))
+		switch at(i) % 10 {
+		case 0:
+			b.Li(r1, imm)
+		case 1:
+			b.Add(r1, r2, r3)
+		case 2:
+			b.Addi(r1, r1, imm) // self-increment: range-synthesis shape
+		case 3:
+			b.Mult(r1, r2, r3)
+		case 4:
+			b.Read(r1)
+		case 5, 6:
+			b.Print(r1)
+		case 7:
+			b.Beqi(r1, imm, target)
+		case 8:
+			b.Bne(r1, r2, target)
+		default:
+			b.St(r1, int64(at(i*11+4)%16), isa.Reg(0))
+		}
+	}
+	b.Label(fmt.Sprintf("L%d", n))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// disarm replaces every detector with a trivially-true self-comparison of
+// the same target (same table size, same IDs), so an armed and a disarmed
+// run of the same hardened program differ only in what the checks compute —
+// never in layout or step count.
+func disarm(dets *detector.Table) *detector.Table {
+	out := detector.EmptyTable()
+	for _, d := range dets.All() {
+		var self detector.Expr
+		if d.Target.IsMem {
+			self = detector.Mem(d.Target.Addr)
+		} else {
+			self = detector.Reg(d.Target.Reg)
+		}
+		nd, err := detector.New(d.ID, d.Target, isa.CmpEq, self)
+		if err != nil {
+			panic(err)
+		}
+		if err := out.Add(nd); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// FuzzSynthesizedCheckRoundTrip (satellite): on any program the hardening
+// pass accepts, (1) every synthesized detector renders to det(...) syntax
+// that detector.Parse reads back structurally equal, and (2) the spliced
+// checks are inert on the fault-free run — the armed hardened run halts with
+// the seed's output, and step-for-step identically to a disarmed run of the
+// same layout.
+func FuzzSynthesizedCheckRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00, 0x14, 0x05}, int64(3))                               // li/print chain
+	f.Add([]byte{0x04, 0x00, 0x01, 0x05, 0x06}, int64(-9))                  // read + add + prints
+	f.Add([]byte{0x02, 0x07, 0x05, 0x02, 0x07}, int64(1))                   // counters + guards
+	f.Add([]byte{0x09, 0x0a, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05}, int64(7)) // mixed
+	f.Fuzz(func(t *testing.T, data []byte, in0 int64) {
+		prog := buildHardenFuzzProgram(data)
+		input := []int64{in0, in0 ^ 21, in0 + 5, 2, 0, -1, 40, 8}
+		res, err := Harden(Spec{Program: prog, Input: input}, Options{
+			SkipSweep: true,
+			Watchdog:  fuzzWatchdog,
+		})
+		if err != nil {
+			// Programs whose golden run hangs or excepts have nothing to
+			// preserve and are rejected up front; anything else is a bug.
+			if strings.Contains(err.Error(), "does not halt") {
+				t.Skip("fault-free run does not halt")
+			}
+			t.Fatal(err)
+		}
+
+		// (1) Round trip: every synthesized detector survives Parse.
+		for _, d := range res.Detectors.All() {
+			back, err := detector.Parse(d.String())
+			if err != nil {
+				t.Fatalf("synthesized %s does not parse: %v", d, err)
+			}
+			if !detector.Equal(d, back) {
+				t.Fatalf("round trip changed %s into %s", d, back)
+			}
+		}
+
+		// (2) Inertness: armed vs seed (outcome and output), armed vs
+		// disarmed same-layout (outcome, output and exact step count).
+		run := func(p *isa.Program, dets *detector.Table) machine.Result {
+			m := machine.New(p, input, machine.Options{Watchdog: fuzzWatchdog, Detectors: dets})
+			return m.Run()
+		}
+		seed := run(prog, nil)
+		armed := run(res.Hardened, res.Detectors)
+		if armed.Status != seed.Status {
+			t.Fatalf("hardened status %s, seed %s", armed.Status, seed.Status)
+		}
+		if got, want := machine.RenderOutput(armed.Output), machine.RenderOutput(seed.Output); got != want {
+			t.Fatalf("hardened output %q, seed %q", got, want)
+		}
+		disarmed := run(res.Hardened, disarm(res.Detectors))
+		if armed.Status != disarmed.Status || armed.Steps != disarmed.Steps ||
+			machine.RenderOutput(armed.Output) != machine.RenderOutput(disarmed.Output) {
+			t.Fatalf("armed run (status %s, steps %d) differs from disarmed layout twin (status %s, steps %d)",
+				armed.Status, armed.Steps, disarmed.Status, disarmed.Steps)
+		}
+	})
+}

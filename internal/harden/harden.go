@@ -1,0 +1,310 @@
+// Package harden implements the detector-hardening compiler pass: it finds
+// the program's undetected-escape windows (internal/analysis coverage-gap
+// analysis, confirmed against internal/summary's may-taint effects),
+// synthesizes CHECK detectors closing each window (constant invariants,
+// affine loop-counter ranges, shadow duplication — see synth.go), splices
+// them into the program (rewrite.go), and re-verifies: the fault-free run
+// must be output-identical to the seed, the residual gap count must shrink,
+// and a targeted symbolic sweep quantifies before/after detection coverage
+// per injection site, with internal/crossval as an optional soundness
+// spot-check on the hardened unit.
+//
+// The pass automates what SymPLFIED's authors did by hand after their tcas
+// study (paper Section 6.3): read the undetected-corruption verdicts, place
+// a CHECK where the corrupted value is consumed, and re-run the sweep to
+// confirm the window closed.
+package harden
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"symplfied/internal/analysis"
+	"symplfied/internal/crossval"
+	"symplfied/internal/detector"
+	"symplfied/internal/faults"
+	"symplfied/internal/isa"
+	"symplfied/internal/summary"
+)
+
+// Spec names the unit to harden.
+type Spec struct {
+	Program   *isa.Program
+	Detectors *detector.Table // may be nil
+	Input     []int64
+}
+
+// Options tunes the pass. The zero value selects sensible defaults.
+type Options struct {
+	// MaxGaps caps how many coverage gaps are targeted, largest window
+	// first; 0 targets all of them.
+	MaxGaps int
+	// StateBudget bounds states per injection in the verification sweeps
+	// (0 = checker.DefaultStateBudget); Watchdog bounds the per-path
+	// instruction count in the fault-free gate runs, the sweeps and the
+	// crossval trials (0 = the engines' defaults).
+	StateBudget int
+	Watchdog    int
+	// ShadowBase overrides the first shadow cell address (0 = ShadowBase).
+	ShadowBase int64
+	// SkipSweep skips the before/after symbolic sweeps (and crossval):
+	// analyze, synthesize, rewrite and gate only.
+	SkipSweep bool
+	// CrossvalPoints caps the soundness spot-check on the hardened unit
+	// (0 = DefaultCrossvalPoints; negative disables crossval).
+	CrossvalPoints int
+	// CrossvalSeed seeds the spot-check's value sampling (0 = 2008).
+	CrossvalSeed int64
+	// Parallelism sizes the sweep worker pools (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultCrossvalPoints is the spot-check sample size when Options does not
+// say otherwise: large enough to exercise several hardened sites, small
+// enough to keep -harden interactive.
+const DefaultCrossvalPoints = 12
+
+// GapReport records what happened to one coverage gap.
+type GapReport struct {
+	Gap      analysis.Gap
+	Strategy Strategy `json:",omitempty"`
+	// Detectors holds the synthesized det(...) sources (round-trippable
+	// through detector.Parse).
+	Detectors []string `json:",omitempty"`
+	// Dropped explains why the gap went unprotected ("" when hardened):
+	// "no applicable strategy", "summary-benign", "over gap budget", or a
+	// fault-free gate veto.
+	Dropped string `json:",omitempty"`
+}
+
+// SiteCoverage compares one injection site before and after hardening.
+type SiteCoverage struct {
+	// PC and Reg name the seed-program site; HardenedPC its image in the
+	// hardened program (the start of the inserted block, so the corruption
+	// manifests before the guards run).
+	PC         int
+	Reg        isa.Reg
+	HardenedPC int
+	// Activated reports whether the fault-free run reaches the site.
+	Activated bool
+	Before    Tally
+	After     Tally
+}
+
+// Tally summarizes one site's sweep: Detected counts terminals a CHECK
+// caught, Undetected the silent-data-corruption terminals (halted normally
+// with wrong output) — the paper's "errors that evade detection".
+type Tally struct {
+	Detected   int
+	Undetected int
+}
+
+// Result is the pass report.
+type Result struct {
+	// Hardened is the rewritten program and Detectors the combined table
+	// (seed detectors plus synthesized ones).
+	Hardened  *isa.Program    `json:"-"`
+	Detectors *detector.Table `json:"-"`
+	// PCMap relates seed pcs to hardened pcs.
+	PCMap *PCMap `json:"-"`
+
+	Program      string
+	GapsFound    int
+	GapsTargeted int
+	GapsHardened int
+	Gaps         []GapReport
+	// Synthesized counts detectors added; Inserted instructions spliced in.
+	Synthesized int
+	Inserted    int
+	// FaultFreeOutput is the (identical) rendered output of seed and
+	// hardened fault-free runs; FaultFreeSteps the hardened step count.
+	FaultFreeOutput string
+	FaultFreeSteps  int
+	// ResidualGaps counts coverage gaps remaining in the hardened unit
+	// (GapsFound minus the windows the new checks closed, plus any the
+	// rewrite could not target).
+	ResidualGaps int
+
+	// Sites details the targeted-site sweeps (empty under SkipSweep);
+	// the totals aggregate them.
+	Sites            []SiteCoverage `json:",omitempty"`
+	BeforeDetected   int
+	BeforeUndetected int
+	AfterDetected    int
+	AfterUndetected  int
+
+	// Crossval is the hardened-unit soundness spot-check (nil when
+	// disabled or skipped).
+	Crossval *crossval.Report `json:",omitempty"`
+}
+
+// Harden runs the pass with a background context.
+func Harden(spec Spec, opt Options) (*Result, error) {
+	return HardenCtx(context.Background(), spec, opt)
+}
+
+// HardenCtx runs the full pass: analyze, synthesize, rewrite, gate, re-lint,
+// sweep, spot-check.
+func HardenCtx(ctx context.Context, spec Spec, opt Options) (*Result, error) {
+	if spec.Program == nil {
+		return nil, fmt.Errorf("harden: nil program")
+	}
+	dets := spec.Detectors
+	if dets == nil {
+		dets = detector.EmptyTable()
+	}
+
+	a := analysis.Analyze(spec.Program, dets)
+	gaps := a.Gaps()
+	res := &Result{Program: spec.Program.Name, GapsFound: len(gaps)}
+
+	// Rank gaps by exposure (window size) and confirm each against the
+	// compositional summaries: a gap whose every window site is provably
+	// benign needs no detector (the escape walk over-approximates; the
+	// summary taint is the finer judge).
+	sums := summary.Build(spec.Program, dets, nil)
+	ranked := make([]analysis.Gap, 0, len(gaps))
+	for _, g := range gaps {
+		benign := true
+		for _, w := range g.Window {
+			if eff, ok := sums.EffectOf(w, g.Reg); !ok || !eff.Benign() {
+				benign = false
+				break
+			}
+		}
+		if benign {
+			res.Gaps = append(res.Gaps, GapReport{Gap: g, Dropped: "summary-benign"})
+			continue
+		}
+		ranked = append(ranked, g)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		gi, gj := ranked[i], ranked[j]
+		if len(gi.Window) != len(gj.Window) {
+			return len(gi.Window) > len(gj.Window)
+		}
+		if gi.DefPC != gj.DefPC {
+			return gi.DefPC < gj.DefPC
+		}
+		return gi.Reg < gj.Reg
+	})
+	if opt.MaxGaps > 0 && len(ranked) > opt.MaxGaps {
+		for _, g := range ranked[opt.MaxGaps:] {
+			res.Gaps = append(res.Gaps, GapReport{Gap: g, Dropped: "over gap budget"})
+		}
+		ranked = ranked[:opt.MaxGaps]
+	}
+	res.GapsTargeted = len(ranked)
+
+	// Synthesize one candidate per targeted gap on a private copy of the
+	// detector table.
+	combined := detector.EmptyTable()
+	for _, d := range dets.All() {
+		if err := combined.Add(d); err != nil {
+			return nil, fmt.Errorf("harden: %w", err)
+		}
+	}
+	shadowBase := opt.ShadowBase
+	if shadowBase == 0 {
+		shadowBase = ShadowBase
+	}
+	syn := &synthesizer{a: a, dets: combined, shadow: shadowBase}
+	var cands []Candidate
+	for _, g := range ranked {
+		c, ok := syn.synthesize(g)
+		if !ok {
+			res.Gaps = append(res.Gaps, GapReport{Gap: g, Dropped: "no applicable strategy"})
+			continue
+		}
+		cands = append(cands, c)
+	}
+
+	// Rewrite and gate, dropping candidates the fault-free run vetoes.
+	hardened, pcmap, kept, ffOut, ffSteps, err := gateCandidates(ctx, spec, combined, cands, opt)
+	if err != nil {
+		return nil, err
+	}
+	// The final table holds only detectors the hardened program references:
+	// seed detectors plus the surviving candidates' (vetoed candidates left
+	// theirs in the scratch table).
+	final := detector.EmptyTable()
+	for _, d := range dets.All() {
+		if err := final.Add(d); err != nil {
+			return nil, fmt.Errorf("harden: %w", err)
+		}
+	}
+	for _, c := range kept {
+		for _, d := range c.Detectors {
+			if err := final.Add(d); err != nil {
+				return nil, fmt.Errorf("harden: %w", err)
+			}
+		}
+	}
+	res.Hardened, res.Detectors, res.PCMap = hardened, final, pcmap
+	res.FaultFreeOutput, res.FaultFreeSteps = ffOut, ffSteps
+	for _, c := range cands {
+		gr := GapReport{Gap: c.Gap, Strategy: c.Strategy}
+		for _, d := range c.Detectors {
+			gr.Detectors = append(gr.Detectors, d.String())
+		}
+		if c.dropped != "" {
+			gr.Dropped, gr.Strategy, gr.Detectors = c.dropped, "", nil
+		} else {
+			res.GapsHardened++
+			res.Synthesized += len(c.Detectors)
+		}
+		res.Gaps = append(res.Gaps, gr)
+	}
+	sort.SliceStable(res.Gaps, func(i, j int) bool {
+		gi, gj := res.Gaps[i].Gap, res.Gaps[j].Gap
+		if gi.DefPC != gj.DefPC {
+			return gi.DefPC < gj.DefPC
+		}
+		return gi.Reg < gj.Reg
+	})
+	res.Inserted = hardened.Len() - spec.Program.Len()
+
+	// Re-lint: the hardened unit's own coverage-gap analysis.
+	res.ResidualGaps = len(analysis.Analyze(hardened, combined).Gaps())
+
+	if opt.SkipSweep {
+		return res, nil
+	}
+	if err := sweepCoverage(ctx, spec, res, kept, opt); err != nil {
+		return nil, err
+	}
+	if opt.CrossvalPoints >= 0 {
+		if err := spotCheck(ctx, res, spec.Input, opt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// targetSites enumerates the deduplicated injection sites the kept
+// candidates' windows expose, in (pc, reg) order.
+func targetSites(kept []Candidate) []faults.Injection {
+	seen := make(map[isa.Loc]map[int]bool)
+	var out []faults.Injection
+	for _, c := range kept {
+		loc := isa.RegLoc(c.Gap.Reg)
+		if seen[loc] == nil {
+			seen[loc] = make(map[int]bool)
+		}
+		for _, w := range c.Gap.Window {
+			if seen[loc][w] {
+				continue
+			}
+			seen[loc][w] = true
+			out = append(out, faults.Injection{Class: faults.ClassRegister, PC: w, Occurrence: 1, Loc: loc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PC != out[j].PC {
+			return out[i].PC < out[j].PC
+		}
+		return out[i].Loc.Reg < out[j].Loc.Reg
+	})
+	return out
+}

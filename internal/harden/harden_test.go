@@ -1,0 +1,232 @@
+package harden
+
+import (
+	"strings"
+	"testing"
+
+	"symplfied/internal/asm"
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+)
+
+// TestRewriteSplice: insertions land before their anchors, branch targets and
+// labels chase the anchor's block start, and the pc map is exact.
+func TestRewriteSplice(t *testing.T) {
+	u := asm.MustParse("t", `
+	li $1 #1
+	beqi $1 #0 done
+	print $1
+done:	halt
+`)
+	plan := NewPlan()
+	plan.InsertBefore(2, isa.Instr{Op: isa.OpCheck, Imm: 9})
+	plan.InsertBefore(3, isa.Instr{Op: isa.OpCheck, Imm: 9})
+	out, m, err := Rewrite(u.Program, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 {
+		t.Fatalf("rewritten length = %d, want 6", out.Len())
+	}
+	if m.BlockStart(2) != 2 || m.InstrPC(2) != 3 {
+		t.Errorf("pc 2 mapped to block %d, instr %d", m.BlockStart(2), m.InstrPC(2))
+	}
+	if m.BlockStart(3) != 4 || m.InstrPC(3) != 5 {
+		t.Errorf("pc 3 mapped to block %d, instr %d", m.BlockStart(3), m.InstrPC(3))
+	}
+	if got := out.At(1).Target; got != 4 {
+		t.Errorf("branch retargeted to %d, want 4 (block start of old 3)", got)
+	}
+	if got := out.Labels["done"]; got != 4 {
+		t.Errorf("label done = %d, want 4", got)
+	}
+	if out.At(2).Op != isa.OpCheck || out.At(3).Op != isa.OpPrint {
+		t.Errorf("insertion order wrong: %s then %s", out.At(2).Op, out.At(3).Op)
+	}
+}
+
+// TestRewriteRejectsBranchInsertion: the pass only splices straight-line
+// guards; a branch would break the occurrence bookkeeping.
+func TestRewriteRejectsBranchInsertion(t *testing.T) {
+	u := asm.MustParse("t", "halt\n")
+	plan := NewPlan()
+	plan.InsertBefore(0, isa.Instr{Op: isa.OpJmp, Target: 0})
+	if _, _, err := Rewrite(u.Program, plan); err == nil {
+		t.Fatal("branch insertion accepted")
+	}
+}
+
+// TestHardenInvariantGap: constant propagation proves the escaping values,
+// the pass pins them with invariant checks, and the targeted sweep shows the
+// corruption detected where it previously escaped to output.
+func TestHardenInvariantGap(t *testing.T) {
+	u := asm.MustParse("t", `
+	li $1 #5
+	add $2 $1 $1
+	print $2
+	halt
+`)
+	res, err := Harden(Spec{Program: u.Program, Detectors: u.Detectors}, Options{CrossvalPoints: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GapsFound == 0 || res.GapsHardened == 0 {
+		t.Fatalf("no gaps hardened: %+v", res)
+	}
+	for _, g := range res.Gaps {
+		if g.Dropped == "" && g.Strategy != StrategyInvariant {
+			t.Errorf("gap @%d %s hardened by %s, want invariant", g.Gap.DefPC, g.Gap.Reg, g.Strategy)
+		}
+	}
+	if res.FaultFreeOutput != "10" {
+		t.Errorf("fault-free output %q, want 10", res.FaultFreeOutput)
+	}
+	if res.BeforeUndetected == 0 {
+		t.Fatal("seed sweep found no silent corruption; the gap was not real")
+	}
+	if res.AfterUndetected >= res.BeforeUndetected {
+		t.Errorf("undetected %d -> %d, want a strict drop", res.BeforeUndetected, res.AfterUndetected)
+	}
+	if res.AfterDetected <= res.BeforeDetected {
+		t.Errorf("detected %d -> %d, want a strict rise", res.BeforeDetected, res.AfterDetected)
+	}
+	if res.ResidualGaps >= res.GapsFound {
+		t.Errorf("residual gaps %d, want < %d", res.ResidualGaps, res.GapsFound)
+	}
+}
+
+// TestHardenDuplicateGap: a value with no static characterization (read from
+// input) gets a shadow copy; corruption inside the window past the store is
+// caught at the use.
+func TestHardenDuplicateGap(t *testing.T) {
+	u := asm.MustParse("t", `
+	read $1
+	li $2 #0
+	add $3 $1 $1
+	print $3
+	halt
+`)
+	res, err := Harden(Spec{Program: u.Program, Detectors: u.Detectors, Input: []int64{21}}, Options{CrossvalPoints: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dup *GapReport
+	for i := range res.Gaps {
+		if res.Gaps[i].Strategy == StrategyDuplicate {
+			dup = &res.Gaps[i]
+		}
+	}
+	if dup == nil {
+		t.Fatalf("no duplication candidate survived: %+v", res.Gaps)
+	}
+	if dup.Gap.Reg != isa.Reg(1) {
+		t.Errorf("duplication shadows %s, want $1", dup.Gap.Reg)
+	}
+	if !strings.Contains(dup.Detectors[0], "*(") {
+		t.Errorf("duplication detector %q does not read a shadow cell", dup.Detectors[0])
+	}
+	if res.FaultFreeOutput != "42" {
+		t.Errorf("fault-free output %q, want 42", res.FaultFreeOutput)
+	}
+	if res.AfterUndetected >= res.BeforeUndetected {
+		t.Errorf("undetected %d -> %d, want a strict drop", res.BeforeUndetected, res.AfterUndetected)
+	}
+}
+
+// TestHardenRangeGap: an affine loop counter guarded by a constant bound gets
+// a two-sided range check (sweep skipped: the unbounded symbolic loop is
+// exercised by the tcas smoke test instead).
+func TestHardenRangeGap(t *testing.T) {
+	u := asm.MustParse("t", `
+	li $1 #0
+loop:	addi $1 $1 #1
+	bnei $1 #5 loop
+	print $1
+	halt
+`)
+	res, err := Harden(Spec{Program: u.Program, Detectors: u.Detectors}, Options{SkipSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng *GapReport
+	for i := range res.Gaps {
+		if res.Gaps[i].Strategy == StrategyRange {
+			rng = &res.Gaps[i]
+		}
+	}
+	if rng == nil {
+		t.Fatalf("no range candidate: %+v", res.Gaps)
+	}
+	if len(rng.Detectors) != 2 {
+		t.Fatalf("range candidate has %d detectors, want a two-sided interval: %v", len(rng.Detectors), rng.Detectors)
+	}
+	for _, src := range rng.Detectors {
+		if _, err := detector.Parse(src); err != nil {
+			t.Errorf("synthesized %q does not parse: %v", src, err)
+		}
+	}
+	if res.FaultFreeOutput != "5" {
+		t.Errorf("fault-free output %q, want 5", res.FaultFreeOutput)
+	}
+}
+
+// TestHardenGateVeto: a shadow store on one arm of a diamond leaves the
+// shadow uninitialized on the other; the synthesized check fires on the
+// golden run and the gate drops the candidate instead of shipping a detector
+// that cries wolf.
+func TestHardenGateVeto(t *testing.T) {
+	u := asm.MustParse("t", `
+	read $1
+	beqi $1 #0 other
+	read $2
+	jmp join
+other:	li $2 #7
+join:	print $2
+	halt
+`)
+	res, err := Harden(Spec{Program: u.Program, Detectors: u.Detectors, Input: []int64{0}}, Options{SkipSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vetoed := false
+	for _, g := range res.Gaps {
+		if strings.Contains(g.Dropped, "fault-free gate") {
+			vetoed = true
+		}
+	}
+	if !vetoed {
+		t.Fatalf("no gate veto recorded: %+v", res.Gaps)
+	}
+	if res.FaultFreeOutput != "7" {
+		t.Errorf("fault-free output %q, want 7", res.FaultFreeOutput)
+	}
+	// The surviving program must still run golden.
+	m := machine.New(res.Hardened, []int64{0}, machine.Options{Detectors: res.Detectors})
+	if got := machine.RenderOutput(m.Run().Output); got != "7" {
+		t.Errorf("hardened run output %q, want 7", got)
+	}
+}
+
+// TestHardenPreservesSeedDetectors: pre-existing detectors keep their IDs and
+// the synthesized ones get fresh ones.
+func TestHardenPreservesSeedDetectors(t *testing.T) {
+	u := asm.MustParse("t", `
+	det(3, $1, ==, 5)
+	li $1 #5
+	check #3
+	add $2 $1 $1
+	print $2
+	halt
+`)
+	res, err := Harden(Spec{Program: u.Program, Detectors: u.Detectors}, Options{SkipSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Detectors.Lookup(3); !ok {
+		t.Error("seed detector 3 lost")
+	}
+	if res.Detectors.Len() <= u.Detectors.Len() {
+		t.Errorf("no detectors synthesized: table %d -> %d", u.Detectors.Len(), res.Detectors.Len())
+	}
+}

@@ -1,0 +1,110 @@
+package harden
+
+import (
+	"fmt"
+	"sort"
+
+	"symplfied/internal/isa"
+)
+
+// Plan is a set of instruction sequences to splice into a program: for each
+// original pc, the instructions to execute immediately before it. The
+// hardening pass only ever inserts straight-line guards (shadow stores and
+// CHECK instructions), so inserted instructions must not branch — that keeps
+// the pc mapping total and the occurrence counts of every original
+// instruction unchanged (each inserted block runs exactly once per execution
+// of its anchor instruction).
+type Plan struct {
+	before map[int][]isa.Instr
+}
+
+// NewPlan returns an empty insertion plan.
+func NewPlan() *Plan {
+	return &Plan{before: make(map[int][]isa.Instr)}
+}
+
+// InsertBefore schedules instrs to run immediately before original pc, after
+// anything already scheduled there.
+func (p *Plan) InsertBefore(pc int, instrs ...isa.Instr) {
+	p.before[pc] = append(p.before[pc], instrs...)
+}
+
+// Len counts scheduled instructions.
+func (p *Plan) Len() int {
+	n := 0
+	for _, ins := range p.before {
+		n += len(ins)
+	}
+	return n
+}
+
+// PCMap relates original pcs to pcs in the rewritten program.
+type PCMap struct {
+	blockStart []int // old pc -> new pc of the first inserted instruction
+	instrPC    []int // old pc -> new pc of the original instruction
+}
+
+// BlockStart returns the new pc where old's inserted block begins (equal to
+// InstrPC when nothing was inserted there). Injections that targeted old map
+// here: the corruption manifests before the inserted guards run, so a guard
+// that reads the corrupted location sees it.
+func (m *PCMap) BlockStart(old int) int { return m.blockStart[old] }
+
+// InstrPC returns the new pc of the original instruction at old.
+func (m *PCMap) InstrPC(old int) int { return m.instrPC[old] }
+
+// Rewrite splices the plan into prog, producing a new program plus the pc
+// mapping. Branch targets and labels are remapped to the start of the target's
+// inserted block, so guards at merge points protect every incoming edge.
+// Inserted instructions must not be branches.
+func Rewrite(prog *isa.Program, plan *Plan) (*isa.Program, *PCMap, error) {
+	n := prog.Len()
+	for pc, ins := range plan.before {
+		if pc < 0 || pc >= n {
+			return nil, nil, fmt.Errorf("rewrite %q: insertion anchored at invalid pc %d", prog.Name, pc)
+		}
+		for _, in := range ins {
+			if in.IsBranch() {
+				return nil, nil, fmt.Errorf("rewrite %q: inserted instruction at pc %d is a branch (%s)", prog.Name, pc, in.Op)
+			}
+		}
+	}
+
+	m := &PCMap{blockStart: make([]int, n+1), instrPC: make([]int, n)}
+	out := make([]isa.Instr, 0, n+plan.Len())
+	for pc := 0; pc < n; pc++ {
+		m.blockStart[pc] = len(out)
+		out = append(out, plan.before[pc]...)
+		m.instrPC[pc] = len(out)
+		out = append(out, prog.At(pc))
+	}
+	m.blockStart[n] = len(out) // end-of-code labels survive
+
+	// Remap resolved branch targets. Labels are remapped consistently below,
+	// so NewProgram's label re-resolution lands on the same pc.
+	for i := range out {
+		if out[i].IsBranch() {
+			out[i].Target = m.blockStart[out[i].Target]
+		}
+	}
+	labels := make(map[string]int, len(prog.Labels))
+	for l, idx := range prog.Labels {
+		labels[l] = m.blockStart[idx]
+	}
+	hardened, err := isa.NewProgram(prog.Name, out, labels)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rewrite %q: %w", prog.Name, err)
+	}
+	return hardened, m, nil
+}
+
+// MapInjectionPCs returns the new-program pcs of old, sorted ascending,
+// mapping each to the start of its inserted block (see PCMap.BlockStart).
+func (m *PCMap) MapInjectionPCs(old []int) []int {
+	out := make([]int, len(old))
+	for i, pc := range old {
+		out[i] = m.blockStart[pc]
+	}
+	sort.Ints(out)
+	return out
+}

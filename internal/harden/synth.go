@@ -1,0 +1,235 @@
+package harden
+
+import (
+	"fmt"
+
+	"symplfied/internal/analysis"
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+)
+
+// Strategy names a CHECK synthesis tactic, in the order the synthesizer tries
+// them (strongest claim first).
+type Strategy string
+
+// Synthesis strategies. Invariant pins a value constant-propagation proved;
+// Range bounds an affine loop counter by its initializer and guard; Duplicate
+// shadows the live value through its window and compares at the read.
+const (
+	StrategyInvariant Strategy = "invariant"
+	StrategyRange     Strategy = "range"
+	StrategyDuplicate Strategy = "duplicate"
+)
+
+// Candidate is one synthesized protection for a coverage gap: the detectors
+// to register plus the insertion plan closing the gap's use frontier.
+type Candidate struct {
+	Gap      analysis.Gap
+	Strategy Strategy
+	// Detectors are the synthesized checks (two for a range candidate, one
+	// otherwise), already assigned final IDs.
+	Detectors []*detector.Detector
+	// CheckPCs are the original pcs (the gap's use frontier) that receive a
+	// CHECK per detector, inserted before the read.
+	CheckPCs []int
+	// StorePC is the original pc receiving the shadow store (duplication
+	// only; -1 otherwise), and ShadowAddr the shadow cell.
+	StorePC    int
+	ShadowAddr int64
+
+	// dropped records a fault-free gate veto ("" while the candidate is
+	// live); see gateCandidates.
+	dropped string
+}
+
+// synthesizer assigns detector IDs and shadow cells while building
+// candidates.
+type synthesizer struct {
+	a      *analysis.Analysis
+	dets   *detector.Table // combined table; synthesized detectors are added here
+	shadow int64           // next shadow cell
+}
+
+// ShadowBase is the first memory address the duplication strategy uses for
+// shadow copies, far above the data any bundled program touches. Programs
+// that legitimately address beyond it should set Options.ShadowBase.
+const ShadowBase = int64(1) << 20
+
+// synthesize builds the best candidate for gap, trying strategies in order,
+// or reports ok=false when no strategy applies.
+func (s *synthesizer) synthesize(gap analysis.Gap) (Candidate, bool) {
+	if c, ok := s.invariant(gap); ok {
+		return c, true
+	}
+	if c, ok := s.affineRange(gap); ok {
+		return c, true
+	}
+	if c, ok := s.duplicate(gap); ok {
+		return c, true
+	}
+	return Candidate{}, false
+}
+
+// newDet builds and registers a detector, panicking on grammar violations
+// (the synthesizer only emits the Parse-able subset by construction).
+func (s *synthesizer) newDet(target isa.Loc, cmp isa.Cmp, expr detector.Expr) *detector.Detector {
+	d, err := detector.New(s.dets.NextID(), target, cmp, expr)
+	if err == nil {
+		err = s.dets.Add(d)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("harden: synthesized detector outside grammar: %v", err))
+	}
+	return d
+}
+
+// invariant applies when constant propagation proves the register holds one
+// known value at every use in the window: det(id, $r, ==, k). Catches any
+// corruption of the value, including corruption that manifests immediately
+// before the check itself.
+func (s *synthesizer) invariant(gap analysis.Gap) (Candidate, bool) {
+	consts := s.a.Consts()
+	val, ok := consts.At(gap.UsePCs[0], gap.Reg)
+	if !ok {
+		return Candidate{}, false
+	}
+	for _, u := range gap.UsePCs[1:] {
+		v, vok := consts.At(u, gap.Reg)
+		if !vok || v != val {
+			return Candidate{}, false
+		}
+	}
+	d := s.newDet(isa.RegLoc(gap.Reg), isa.CmpEq, detector.Num(val))
+	return Candidate{
+		Gap: gap, Strategy: StrategyInvariant,
+		Detectors: []*detector.Detector{d},
+		CheckPCs:  gap.UsePCs, StorePC: -1,
+	}, true
+}
+
+// affineRange applies to self-incrementing counters: the definition is
+// `addi $r $r s`, the window contains a branch comparing $r against a known
+// bound B, and the program initializes $r only through `li $r I`
+// instructions. Fault-free, every value of $r in the window then lies in
+// [min(I*, B) - |s|, max(I*, B) + |s|]; two one-sided detectors pin the
+// interval. Wild corruptions (the overwhelming mass of a uniform word flip)
+// land far outside it.
+func (s *synthesizer) affineRange(gap analysis.Gap) (Candidate, bool) {
+	prog := s.a.Prog
+	def := prog.At(gap.DefPC)
+	if def.Op != isa.OpAddi || def.Rd != gap.Reg || def.Rs != gap.Reg || def.Imm == 0 {
+		return Candidate{}, false
+	}
+	step := def.Imm
+
+	// The guard: a comparison of $r against a constant inside the window.
+	bound, haveBound := int64(0), false
+	for _, w := range gap.Window {
+		in := prog.At(w)
+		switch in.Op {
+		case isa.OpBeqi, isa.OpBnei:
+			if in.Rs == gap.Reg {
+				bound, haveBound = in.Imm, true
+			}
+		case isa.OpBeq, isa.OpBne:
+			other := in.Rt
+			if other == gap.Reg {
+				other = in.Rs
+			}
+			if (in.Rs == gap.Reg || in.Rt == gap.Reg) && other != gap.Reg {
+				if v, ok := s.a.Consts().At(w, other); ok {
+					bound, haveBound = v, true
+				}
+			}
+		}
+		if haveBound {
+			break
+		}
+	}
+	if !haveBound {
+		return Candidate{}, false
+	}
+
+	// Every other write to $r must be a known initializer; their values and
+	// the bound span the counter's fault-free orbit. The machine boots
+	// registers to zero, so 0 is always a reachable initial value.
+	lo, hi := int64(0), int64(0)
+	widen := func(v int64) {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for pc := 0; pc < prog.Len(); pc++ {
+		if pc == gap.DefPC || !s.a.Defs(pc).Has(gap.Reg) {
+			continue
+		}
+		in := prog.At(pc)
+		if in.Op != isa.OpLi {
+			return Candidate{}, false // an untracked producer: no sound bound
+		}
+		widen(in.Imm)
+	}
+	widen(bound)
+	if step > 0 {
+		hi += step
+		lo -= step
+	} else {
+		lo += step
+		hi -= step
+	}
+
+	dLo := s.newDet(isa.RegLoc(gap.Reg), isa.CmpGe, detector.Num(lo))
+	dHi := s.newDet(isa.RegLoc(gap.Reg), isa.CmpLe, detector.Num(hi))
+	return Candidate{
+		Gap: gap, Strategy: StrategyRange,
+		Detectors: []*detector.Detector{dLo, dHi},
+		CheckPCs:  gap.UsePCs, StorePC: -1,
+	}, true
+}
+
+// duplicate shadows the defined value into a dedicated memory cell right
+// after the definition and compares the register against its shadow at every
+// use: det(id, $r, ==, *(shadow)). It needs no static knowledge of the value,
+// but the shadow store must itself execute before the checks, so it only
+// applies when the window extends past the definition's successor — a
+// corruption manifesting at the store site itself writes the corrupted value
+// to both copies and is indistinguishable from a wrong definition.
+func (s *synthesizer) duplicate(gap analysis.Gap) (Candidate, bool) {
+	prog := s.a.Prog
+	def := prog.At(gap.DefPC)
+	// The store is anchored before DefPC+1: the definition must fall through.
+	if def.IsBranch() || def.Op == isa.OpJr || gap.DefPC+1 >= prog.Len() {
+		return Candidate{}, false
+	}
+	if len(gap.Window) < 2 {
+		// The whole window is the store's own anchor site; a check there runs
+		// after the shadow already captured the corruption. Nothing to gain.
+		return Candidate{}, false
+	}
+	addr := s.shadow
+	s.shadow++
+	d := s.newDet(isa.RegLoc(gap.Reg), isa.CmpEq, detector.Mem(addr))
+	return Candidate{
+		Gap: gap, Strategy: StrategyDuplicate,
+		Detectors:  []*detector.Detector{d},
+		CheckPCs:   gap.UsePCs,
+		StorePC:    gap.DefPC + 1,
+		ShadowAddr: addr,
+	}, true
+}
+
+// plan splices the candidate's guards into p: the shadow store (if any)
+// before its anchor, then one CHECK per detector before each use.
+func (c *Candidate) plan(p *Plan) {
+	if c.StorePC >= 0 {
+		p.InsertBefore(c.StorePC, isa.Instr{Op: isa.OpSt, Rt: c.Gap.Reg, Rs: isa.RegZero, Imm: c.ShadowAddr})
+	}
+	for _, u := range c.CheckPCs {
+		for _, d := range c.Detectors {
+			p.InsertBefore(u, isa.Instr{Op: isa.OpCheck, Imm: d.ID})
+		}
+	}
+}

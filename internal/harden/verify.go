@@ -1,0 +1,189 @@
+package harden
+
+import (
+	"context"
+	"fmt"
+
+	"symplfied/internal/checker"
+	"symplfied/internal/crossval"
+	"symplfied/internal/detector"
+	"symplfied/internal/isa"
+	"symplfied/internal/machine"
+	"symplfied/internal/symexec"
+)
+
+// gateCandidates rewrites the program with the live candidates and verifies
+// the fault-free run is unchanged: it must halt with the seed's exact
+// output. A synthesized detector firing fault-free is a refuted invariant
+// (the static claim was too strong — an unmodeled producer, an uninitialized
+// shadow on a path the analysis assumed dominated); the gate drops that
+// candidate and retries, so every surviving check is empirically silent on
+// the golden run. Modifies cands in place (dropped markers) and returns the
+// surviving set.
+func gateCandidates(ctx context.Context, spec Spec, dets *detector.Table, cands []Candidate, opt Options) (
+	hardened *isa.Program, pcmap *PCMap, kept []Candidate, ffOut string, ffSteps int, err error) {
+
+	watchdog := opt.Watchdog
+	if watchdog <= 0 {
+		watchdog = machine.DefaultWatchdog
+	}
+	run := func(p *isa.Program) machine.Result {
+		m := machine.New(p, spec.Input, machine.Options{Watchdog: watchdog, Detectors: dets})
+		return m.RunCtx(ctx)
+	}
+
+	seed := run(spec.Program)
+	if seed.Status != machine.StatusHalted {
+		return nil, nil, nil, "", 0, fmt.Errorf("harden %q: fault-free run does not halt (%s); nothing to preserve", spec.Program.Name, seed.Status)
+	}
+	ffOut = machine.RenderOutput(seed.Output)
+
+	// Each retry drops at least one candidate, so len(cands)+1 rounds
+	// suffice.
+	for round := 0; round <= len(cands); round++ {
+		plan := NewPlan()
+		kept = kept[:0]
+		for i := range cands {
+			if cands[i].dropped == "" {
+				cands[i].plan(plan)
+				kept = append(kept, cands[i])
+			}
+		}
+		hardened, pcmap, err = Rewrite(spec.Program, plan)
+		if err != nil {
+			return nil, nil, nil, "", 0, err
+		}
+		res := run(hardened)
+		if res.Status == machine.StatusHalted && machine.RenderOutput(res.Output) == ffOut {
+			return hardened, pcmap, kept, ffOut, res.Steps, nil
+		}
+		if res.Exception == nil || res.Exception.Detector == 0 {
+			return nil, nil, nil, "", 0, fmt.Errorf("harden %q: hardened fault-free run diverged without a firing detector (status %s)",
+				spec.Program.Name, res.Status)
+		}
+		if !dropOwner(cands, res.Exception.Detector) {
+			return nil, nil, nil, "", 0, fmt.Errorf("harden %q: pre-existing detector %d fired only on the hardened fault-free run",
+				spec.Program.Name, res.Exception.Detector)
+		}
+	}
+	return nil, nil, nil, "", 0, fmt.Errorf("harden %q: fault-free gate did not converge", spec.Program.Name)
+}
+
+// dropOwner vetoes the live candidate owning detector id.
+func dropOwner(cands []Candidate, id int64) bool {
+	for i := range cands {
+		if cands[i].dropped != "" {
+			continue
+		}
+		for _, d := range cands[i].Detectors {
+			if d.ID == id {
+				cands[i].dropped = fmt.Sprintf("fault-free gate: detector %d fired on the golden run", id)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sweepCoverage runs the targeted symbolic sweeps: the same injection sites
+// (first dynamic occurrence, mapped through the pc map on the hardened side)
+// explored on the seed and hardened units, tallying detected terminals
+// against silent-data-corruption terminals per site.
+func sweepCoverage(ctx context.Context, spec Spec, res *Result, kept []Candidate, opt Options) error {
+	sites := targetSites(kept)
+	if len(sites) == 0 {
+		return nil
+	}
+	seedDets := spec.Detectors
+	if seedDets == nil {
+		seedDets = detector.EmptyTable()
+	}
+	exec := symexec.DefaultOptions()
+	if opt.Watchdog > 0 {
+		exec.Watchdog = opt.Watchdog
+	}
+	base := checker.Spec{
+		Input:         spec.Input,
+		Exec:          exec,
+		Predicate:     checker.IncorrectOutput(res.FaultFreeOutput),
+		StateBudget:   opt.StateBudget,
+		DiscardStates: true,
+		Parallelism:   opt.Parallelism,
+	}
+
+	before := base
+	before.Program, before.Detectors, before.Injections = spec.Program, seedDets, sites
+	beforeRep, err := checker.RunCtx(ctx, before)
+	if err != nil {
+		return fmt.Errorf("harden %q: seed sweep: %w", spec.Program.Name, err)
+	}
+
+	after := base
+	after.Program, after.Detectors = res.Hardened, res.Detectors
+	after.Injections = append(after.Injections[:0:0], sites...)
+	for i := range after.Injections {
+		after.Injections[i].PC = res.PCMap.BlockStart(after.Injections[i].PC)
+	}
+	afterRep, err := checker.RunCtx(ctx, after)
+	if err != nil {
+		return fmt.Errorf("harden %q: hardened sweep: %w", spec.Program.Name, err)
+	}
+
+	for i, inj := range sites {
+		b, a := beforeRep.PerInjection[i], afterRep.PerInjection[i]
+		sc := SiteCoverage{
+			PC: inj.PC, Reg: inj.Loc.Reg,
+			HardenedPC: after.Injections[i].PC,
+			Activated:  b.Activated,
+			Before:     tallyOf(b),
+			After:      tallyOf(a),
+		}
+		res.Sites = append(res.Sites, sc)
+		res.BeforeDetected += sc.Before.Detected
+		res.BeforeUndetected += sc.Before.Undetected
+		res.AfterDetected += sc.After.Detected
+		res.AfterUndetected += sc.After.Undetected
+	}
+	return nil
+}
+
+// tallyOf projects one injection report: Detected terminals versus findings
+// (terminals that halted normally with non-golden output).
+func tallyOf(ir checker.InjectionReport) Tally {
+	return Tally{
+		Detected:   ir.Outcomes[symexec.OutcomeDetected],
+		Undetected: len(ir.Findings),
+	}
+}
+
+// spotCheck cross-validates the hardened unit against the concrete reference
+// machine on a sampled point set and fails on any conclusive symbolic miss:
+// the hardening rewrite must not have broken the exhaustiveness guarantee
+// the coverage numbers rest on.
+func spotCheck(ctx context.Context, res *Result, input []int64, opt Options) error {
+	points := opt.CrossvalPoints
+	if points == 0 {
+		points = DefaultCrossvalPoints
+	}
+	seed := opt.CrossvalSeed
+	if seed == 0 {
+		seed = 2008
+	}
+	rep, err := crossval.RunCtx(ctx, crossval.Spec{
+		Program:     res.Hardened,
+		Detectors:   res.Detectors,
+		Input:       input,
+		Watchdog:    opt.Watchdog,
+		Seed:        seed,
+		StateBudget: opt.StateBudget,
+		MaxPoints:   points,
+	}, crossval.Config{Parallelism: opt.Parallelism})
+	if err != nil {
+		return fmt.Errorf("harden %q: crossval: %w", res.Program, err)
+	}
+	res.Crossval = rep
+	if !rep.Sound() {
+		return fmt.Errorf("harden %q: crossval refuted soundness on the hardened unit: %s", res.Program, rep.Summary())
+	}
+	return nil
+}

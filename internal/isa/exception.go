@@ -47,6 +47,14 @@ type Exception struct {
 	Kind   ExceptionKind
 	PC     int    // program counter at which the exception was raised
 	Detail string // free-form detail (thrown message, detector ID, address)
+	// Detector is the ID of the detector responsible for the exception,
+	// when the raiser attributed one; 0 means unattributed. Set for
+	// ExcDetected (the detector fired) and for ExcThrow raised while
+	// evaluating a detector expression (e.g. an uninitialized shadow
+	// read). Coverage attribution (checker.InjectionReport.DetectorHits)
+	// and the hardening gate (internal/harden) read this instead of
+	// re-parsing Detail.
+	Detector int64
 }
 
 // Error implements the error interface.

@@ -518,11 +518,13 @@ func (m *Machine) execCheck(in isa.Instr) {
 	target, err := det.TargetOperand(m)
 	if err != nil {
 		m.raise(isa.ExcThrow, err.Error())
+		m.exc.Detector = det.ID
 		return
 	}
 	expr, err := det.EvalExpr(m, false)
 	if err != nil {
 		m.raise(isa.ExcThrow, err.Error())
+		m.exc.Detector = det.ID
 		return
 	}
 	tc, okT := target.Val.Concrete()
@@ -531,10 +533,12 @@ func (m *Machine) execCheck(in isa.Instr) {
 		// A hook-injected err reached a detector in the concrete machine:
 		// conservatively detect.
 		m.raise(isa.ExcDetected, fmt.Sprintf("detector %d (erroneous operand)", det.ID))
+		m.exc.Detector = det.ID
 		return
 	}
 	if !isa.EvalCmp(det.Cmp, tc, ec) {
 		m.raise(isa.ExcDetected, fmt.Sprintf("detector %d: %s", det.ID, det))
+		m.exc.Detector = det.ID
 		return
 	}
 	m.pc++

@@ -215,12 +215,14 @@ func (s *State) stepCheckInPlace(in isa.Instr) bool {
 	if err != nil {
 		s.Steps++
 		s.raise(isa.ExcThrow, err.Error())
+		s.Exc.Detector = det.ID
 		return true
 	}
 	expr, err := det.EvalExpr(s, s.Opts.AffineTracking)
 	if err != nil {
 		s.Steps++
 		s.raise(isa.ExcThrow, err.Error())
+		s.Exc.Detector = det.ID
 		return true
 	}
 	switch symbolic.DecideCmp(det.Cmp, target, expr) {
@@ -233,6 +235,7 @@ func (s *State) stepCheckInPlace(in isa.Instr) bool {
 		s.Steps++
 		s.note(trace.KindDetect, "detector %d fired: %s", det.ID, det)
 		s.raise(isa.ExcDetected, fmt.Sprintf("detector %d: %s", det.ID, det))
+		s.Exc.Detector = det.ID
 		return true
 	}
 	return false

@@ -383,6 +383,17 @@ func (s *State) raise(kind isa.ExceptionKind, detail string) {
 	s.note(trace.KindException, "%s", s.Exc.Error())
 }
 
+// FiredDetector returns the ID of the detector that terminated this state,
+// when the state was detected by an attributed CHECK. Coverage attribution
+// (which detector catches which injection) folds these into
+// checker.InjectionReport.DetectorHits.
+func (s *State) FiredDetector() (int64, bool) {
+	if s.Exc != nil && s.Exc.Kind == isa.ExcDetected && s.Exc.Detector != 0 {
+		return s.Exc.Detector, true
+	}
+	return 0, false
+}
+
 // OutputString renders the output stream.
 func (s *State) OutputString() string { return machine.RenderOutput(s.Out) }
 

@@ -568,12 +568,14 @@ func (s *State) stepCheck(in isa.Instr) []*State {
 	if err != nil {
 		c := s.fork()
 		c.raise(isa.ExcThrow, err.Error())
+		c.Exc.Detector = det.ID
 		return one(c)
 	}
 	expr, err := det.EvalExpr(s, s.Opts.AffineTracking)
 	if err != nil {
 		c := s.fork()
 		c.raise(isa.ExcThrow, err.Error())
+		c.Exc.Detector = det.ID
 		return one(c)
 	}
 	why := fmt.Sprintf("detector %d at %s", det.ID, s.Prog.Locate(s.PC))
@@ -587,6 +589,7 @@ func (s *State) stepCheck(in isa.Instr) []*State {
 	if fail != nil {
 		fail.note(trace.KindDetect, "detector %d fired: %s", det.ID, det)
 		fail.raise(isa.ExcDetected, fmt.Sprintf("detector %d: %s", det.ID, det))
+		fail.Exc.Detector = det.ID
 		out = append(out, fail)
 	}
 	return out

@@ -50,6 +50,7 @@ import (
 	"symplfied/internal/crossval"
 	"symplfied/internal/detector"
 	"symplfied/internal/faults"
+	"symplfied/internal/harden"
 	"symplfied/internal/isa"
 	"symplfied/internal/machine"
 	"symplfied/internal/mips"
@@ -632,4 +633,40 @@ func CrossValidate(spec CrossvalSpec) (*CrossvalReport, error) {
 // Interrupted set.
 func CrossValidateCtx(ctx context.Context, spec CrossvalSpec, cfg CrossvalConfig) (*CrossvalReport, error) {
 	return crossval.RunCtx(ctx, spec, cfg)
+}
+
+// Detector hardening (the automatic counterpart of examples/hardening's
+// manual workflow), re-exported from internal/harden.
+type (
+	// HardenOptions tunes the hardening pass; the zero value selects
+	// sensible defaults.
+	HardenOptions = harden.Options
+	// HardenResult reports gaps found, detectors synthesized, and
+	// before/after detection coverage.
+	HardenResult = harden.Result
+	// HardenGap records what happened to one coverage gap.
+	HardenGap = harden.GapReport
+	// HardenSite compares one injection site before and after hardening.
+	HardenSite = harden.SiteCoverage
+	// HardenStrategy names a CHECK synthesis tactic.
+	HardenStrategy = harden.Strategy
+)
+
+// Synthesis strategies, in the order the synthesizer tries them.
+const (
+	HardenInvariant = harden.StrategyInvariant
+	HardenRange     = harden.StrategyRange
+	HardenDuplicate = harden.StrategyDuplicate
+)
+
+// Harden runs the detector-hardening compiler pass on a unit: coverage-gap
+// analysis, CHECK synthesis, splice, fault-free gate, and verified
+// re-coverage (targeted symbolic sweeps plus a crossval spot-check).
+func Harden(u *Unit, input []int64, opt HardenOptions) (*HardenResult, error) {
+	return HardenCtx(context.Background(), u, input, opt)
+}
+
+// HardenCtx is Harden under a context.
+func HardenCtx(ctx context.Context, u *Unit, input []int64, opt HardenOptions) (*HardenResult, error) {
+	return harden.HardenCtx(ctx, harden.Spec{Program: u.Program, Detectors: u.Detectors, Input: input}, opt)
 }

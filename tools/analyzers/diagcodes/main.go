@@ -1,0 +1,312 @@
+// Command diagcodes enforces the diagnostic-code registry convention:
+//
+//   - internal/analysis owns the registry: every diagnostic code is a
+//     top-level Code* string constant. Codes are stable machine-readable
+//     identifiers — JSON consumers and CI gates filter on them — so each
+//     must be kebab-case, unique, and documented in the package doc's
+//     "# Diagnostic codes" section.
+//   - Every analysis.Diag composite literal must populate its Code field
+//     from a registered Code* constant. A string literal there mints an
+//     undocumented ad-hoc code that silently escapes the registry; a Diag
+//     without a Code field is invisible to code-based filtering.
+//
+// The checker is deliberately syntactic — stdlib go/parser only, no type
+// information — which the repository's layout makes sound enough: the Diag
+// type lives in exactly one package, and every import of repository code
+// uses the module path prefix. Test files, examples/ and tools/ are exempt.
+//
+// Usage:
+//
+//	diagcodes [module root]
+//
+// Exit status 1 if any violation is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const modulePath = "symplfied"
+
+// registryDir is the package owning the Diag type and its code registry,
+// relative to the module root.
+const registryDir = "internal/analysis"
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagcodes:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "diagcodes: %d violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// parsedFile is one repository source file plus its position table.
+type parsedFile struct {
+	path string // slash path relative to the module root
+	file *ast.File
+	fset *token.FileSet
+}
+
+// check walks the module rooted at root and returns one formatted finding
+// per convention violation, sorted by position.
+func check(root string) ([]string, error) {
+	files, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	report := func(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+
+	// Pass 1: collect the registry from internal/analysis — every top-level
+	// Code* string constant — and validate it: kebab-case values, no
+	// duplicates, each value named in the package doc.
+	registry := map[string]string{} // const name -> code value
+	byValue := map[string]string{}  // code value -> first const name
+	var pkgDoc strings.Builder
+	for _, pf := range files {
+		if !strings.HasPrefix(pf.path, registryDir+"/") || strings.HasSuffix(pf.path, "_test.go") {
+			continue
+		}
+		if pf.file.Doc != nil {
+			pkgDoc.WriteString(pf.file.Doc.Text())
+		}
+		for _, decl := range pf.file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Code") || len(name.Name) == len("Code") {
+						continue
+					}
+					if i >= len(vs.Values) {
+						report(pf.fset, name.Pos(), "registry constant %s has no explicit string value", name.Name)
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						report(pf.fset, name.Pos(), "registry constant %s must be a string literal", name.Name)
+						continue
+					}
+					value := strings.Trim(lit.Value, `"`)
+					if !kebabCase(value) {
+						report(pf.fset, name.Pos(), "diagnostic code %q is not kebab-case", value)
+					}
+					if prev, dup := byValue[value]; dup {
+						report(pf.fset, name.Pos(), "diagnostic code %q already registered as %s", value, prev)
+					} else {
+						byValue[value] = name.Name
+					}
+					registry[name.Name] = value
+				}
+			}
+		}
+	}
+	if len(registry) == 0 {
+		return nil, fmt.Errorf("no Code* constants found under %s", registryDir)
+	}
+	doc := pkgDoc.String()
+	if !strings.Contains(doc, "# Diagnostic codes") {
+		findings = append(findings, fmt.Sprintf(`%s: package doc lacks a "# Diagnostic codes" section`, registryDir))
+	}
+	for _, name := range sortedKeys(registry) {
+		if !strings.Contains(doc, registry[name]) {
+			findings = append(findings, fmt.Sprintf("%s: diagnostic code %q (%s) is not documented in the package doc",
+				registryDir, registry[name], name))
+		}
+	}
+
+	// Pass 2: every Diag composite literal — Diag{...} inside the registry
+	// package, analysis.Diag{...} elsewhere — takes its Code field from a
+	// registered constant.
+	for _, pf := range files {
+		if exempt(pf.path) {
+			continue
+		}
+		inRegistry := strings.HasPrefix(pf.path, registryDir+"/")
+		importNames := analysisImportNames(pf.file)
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isDiagLit(cl, inRegistry, importNames) {
+				return true
+			}
+			code, found := codeField(cl)
+			if !found {
+				report(pf.fset, cl.Pos(), "Diag literal without a Code field; set a registered Code* constant")
+				return true
+			}
+			switch v := code.(type) {
+			case *ast.Ident:
+				if !inRegistry {
+					report(pf.fset, v.Pos(), "Diag.Code must reference the analysis registry (analysis.Code*), not a local name %s", v.Name)
+				} else if _, ok := registry[v.Name]; !ok {
+					report(pf.fset, v.Pos(), "Diag.Code uses %s, which is not a registered Code* constant", v.Name)
+				}
+			case *ast.SelectorExpr:
+				x, ok := v.X.(*ast.Ident)
+				if !ok || !importNames[x.Name] {
+					report(pf.fset, v.Pos(), "Diag.Code must reference the analysis registry (analysis.Code*)")
+				} else if _, ok := registry[v.Sel.Name]; !ok {
+					report(pf.fset, v.Pos(), "Diag.Code uses %s.%s, which is not a registered Code* constant", x.Name, v.Sel.Name)
+				}
+			case *ast.BasicLit:
+				report(pf.fset, v.Pos(), "Diag.Code uses string literal %s; use a registered Code* constant", v.Value)
+			default:
+				report(pf.fset, code.Pos(), "Diag.Code must be a registered Code* constant, not a computed expression")
+			}
+			return true
+		})
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// isDiagLit reports whether cl is a Diag composite literal: the bare type
+// name inside the registry package, or selector through an import of it
+// anywhere else.
+func isDiagLit(cl *ast.CompositeLit, inRegistry bool, importNames map[string]bool) bool {
+	switch t := cl.Type.(type) {
+	case *ast.Ident:
+		return inRegistry && t.Name == "Diag"
+	case *ast.SelectorExpr:
+		x, ok := t.X.(*ast.Ident)
+		return ok && importNames[x.Name] && t.Sel.Name == "Diag"
+	}
+	return false
+}
+
+// codeField returns the value of the literal's keyed Code field. Unkeyed
+// Diag literals report the field as absent — positional initialization hides
+// the code from this checker and from readers alike.
+func codeField(cl *ast.CompositeLit) (ast.Expr, bool) {
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+			return kv.Value, true
+		}
+	}
+	return nil, false
+}
+
+// kebabCase reports whether s is nonempty lowercase-alphanumeric words
+// joined by single hyphens.
+func kebabCase(s string) bool {
+	if s == "" || s[0] == '-' || s[len(s)-1] == '-' {
+		return false
+	}
+	prevHyphen := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			prevHyphen = false
+		case c == '-':
+			if prevHyphen {
+				return false
+			}
+			prevHyphen = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseTree parses every .go file under root, skipping version-control and
+// vendored trees.
+func parseTree(root string) ([]parsedFile, error) {
+	var files []parsedFile
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, parsedFile{path: filepath.ToSlash(rel), file: f, fset: fset})
+		return nil
+	})
+	return files, err
+}
+
+// exempt reports whether a file is outside the convention's scope: tests
+// construct expected diagnostics however reads best, examples do not mint
+// diagnostics, and this tool is not its own subject.
+func exempt(path string) bool {
+	return strings.HasSuffix(path, "_test.go") ||
+		strings.HasPrefix(path, "examples/") ||
+		strings.HasPrefix(path, "tools/")
+}
+
+// analysisImportNames maps the local names under which a file imports the
+// registry package to true.
+func analysisImportNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != modulePath+"/"+registryDir {
+			continue
+		}
+		name := "analysis"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		names[name] = true
+	}
+	return names
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic findings.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a synthetic module; files only need to parse.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// registrySrc is a minimal well-formed registry: documented, kebab-case,
+// and a Diag type for literals to name.
+const registrySrc = `// Package analysis hosts the diagnostic registry.
+//
+// # Diagnostic codes
+//
+//   - dead-store: a write nothing reads.
+//   - bad-target: a branch outside the program.
+package analysis
+
+const (
+	CodeDeadStore = "dead-store"
+	CodeBadTarget = "bad-target"
+)
+
+type Diag struct {
+	Code    string
+	Message string
+}
+`
+
+func TestCleanTreePasses(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/analysis.go": registrySrc,
+		"internal/analysis/lint.go": `package analysis
+
+func lint() Diag { return Diag{Code: CodeDeadStore, Message: "m"} }
+`,
+		"internal/report/report.go": `package report
+
+import "symplfied/internal/analysis"
+
+func synth() analysis.Diag { return analysis.Diag{Code: analysis.CodeBadTarget} }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean tree flagged: %v", findings)
+	}
+}
+
+func TestFlagsStringLiteralCode(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/analysis.go": registrySrc,
+		"internal/analysis/lint.go": `package analysis
+
+func lint() Diag { return Diag{Code: "dead-store"} }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "string literal") {
+		t.Errorf("want one string-literal finding, got %v", findings)
+	}
+}
+
+func TestFlagsMissingCodeField(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/analysis.go": registrySrc,
+		"internal/report/report.go": `package report
+
+import "symplfied/internal/analysis"
+
+func synth() analysis.Diag { return analysis.Diag{Message: "m"} }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "without a Code field") {
+		t.Errorf("want one missing-Code finding, got %v", findings)
+	}
+}
+
+func TestFlagsUnregisteredConstant(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/analysis.go": registrySrc,
+		"internal/report/report.go": `package report
+
+import "symplfied/internal/analysis"
+
+const codeLocal = "local-code"
+
+func synth() analysis.Diag { return analysis.Diag{Code: codeLocal} }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "analysis.Code*") {
+		t.Errorf("want one unregistered-constant finding, got %v", findings)
+	}
+}
+
+func TestFlagsBadRegistryEntries(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// Not kebab-case, a duplicate value, and a code the doc omits.
+		"internal/analysis/analysis.go": `// Package analysis hosts the registry.
+//
+// # Diagnostic codes
+//
+//   - dead-store: a write nothing reads.
+package analysis
+
+const (
+	CodeDeadStore = "dead-store"
+	CodeDeadWrite = "dead-store"
+	CodeShouty    = "Dead_Store"
+)
+
+type Diag struct{ Code string }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dup, kebab, undoc bool
+	for _, f := range findings {
+		dup = dup || strings.Contains(f, "already registered")
+		kebab = kebab || strings.Contains(f, "not kebab-case")
+		undoc = undoc || strings.Contains(f, "not documented")
+	}
+	if !dup || !kebab || !undoc {
+		t.Errorf("want duplicate+kebab+undocumented findings, got %v", findings)
+	}
+}
+
+func TestFlagsMissingDocSection(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/analysis.go": `// Package analysis hosts the registry.
+package analysis
+
+const CodeDeadStore = "dead-store"
+
+type Diag struct{ Code string }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var section bool
+	for _, f := range findings {
+		section = section || strings.Contains(f, "Diagnostic codes")
+	}
+	if !section {
+		t.Errorf("want a missing-section finding, got %v", findings)
+	}
+}
+
+func TestExemptions(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/analysis.go": registrySrc,
+		// Tests construct expected diagnostics however reads best.
+		"internal/analysis/lint_test.go": `package analysis
+
+func want() Diag { return Diag{Code: "dead-store"} }
+`,
+		"examples/demo/main.go": `package main
+
+import "symplfied/internal/analysis"
+
+func main() { _ = analysis.Diag{Code: "ad-hoc"} }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("exempt files flagged: %v", findings)
+	}
+}
+
+func TestRenamedImport(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/analysis.go": registrySrc,
+		"internal/report/report.go": `package report
+
+import lint "symplfied/internal/analysis"
+
+func synth() lint.Diag { return lint.Diag{Code: "raw"} }
+`,
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "string literal") {
+		t.Errorf("want one finding through the renamed import, got %v", findings)
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The repository itself must satisfy its own convention. The module
+	// root is two directories up from this tool.
+	findings, err := check(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("repository violates the diagnostic-code convention:\n%s", strings.Join(findings, "\n"))
+	}
+}
